@@ -1,0 +1,81 @@
+// Ablation C: Cover Order's payoff (§4.3, and [Ant93]'s motivation) — when
+// GROUP BY and ORDER BY are compatible, one sort serves both; the disabled
+// optimizer pays two. Reports sort counts, rows sorted, and simulated time
+// for a family of grouped+ordered queries.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "exec/engine.h"
+
+using namespace ordopt;
+
+int main() {
+  Database db;
+  Rng rng(31);
+  {
+    TableDef def;
+    def.name = "sales";
+    def.columns = {{"region", DataType::kInt64},
+                   {"product", DataType::kInt64},
+                   {"day", DataType::kInt64},
+                   {"amount", DataType::kInt64}};
+    Table* t = db.CreateTable(def).value();
+    for (int i = 0; i < 200000; ++i) {
+      t->AppendRow({Value::Int(rng.Uniform(0, 49)),
+                    Value::Int(rng.Uniform(0, 499)),
+                    Value::Int(rng.Uniform(0, 364)),
+                    Value::Int(rng.Uniform(1, 1000))});
+    }
+  }
+  if (!db.FinalizeAll().ok()) return 1;
+
+  struct Case {
+    const char* label;
+    const char* sql;
+  };
+  const Case cases[] = {
+      {"ORDER BY == GROUP BY prefix",
+       "select region, product, sum(amount) as total from sales "
+       "group by region, product order by region, product"},
+      {"ORDER BY permutes GROUP BY",
+       "select region, product, sum(amount) as total from sales "
+       "group by region, product order by product"},
+      {"ORDER BY DESC inside GROUP BY freedom",
+       "select region, product, sum(amount) as total from sales "
+       "group by region, product order by product desc, region desc"},
+      {"ORDER BY on aggregate (not coverable)",
+       "select region, product, sum(amount) as total from sales "
+       "group by region, product order by total desc"},
+  };
+
+  std::printf("=== Cover Order: one sort for GROUP BY + ORDER BY ===\n\n");
+  std::printf("%-38s %10s %12s %12s\n", "query", "mode", "sorts",
+              "sim time (s)");
+  for (const Case& c : cases) {
+    double times[2];
+    for (int mode = 0; mode < 2; ++mode) {
+      OptimizerConfig cfg;
+      cfg.enable_order_optimization = mode == 0;
+      cfg.enable_hash_grouping = false;  // isolate the sort story
+      cfg.enable_hash_join = false;
+      QueryEngine engine(&db, cfg);
+      Result<QueryResult> r = engine.Run(c.sql);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      times[mode] = r.value().SimulatedElapsedSeconds();
+      std::printf("%-38s %10s %12lld %12.3f\n", mode == 0 ? c.label : "",
+                  mode == 0 ? "enabled" : "disabled",
+                  static_cast<long long>(r.value().metrics.sorts_performed),
+                  times[mode]);
+    }
+    std::printf("%-38s %10s %25.2fx speedup\n\n", "", "",
+                times[1] / times[0]);
+  }
+  std::printf("Expected shape: coverable cases run one sort when enabled "
+              "and two when disabled; the aggregate-ordered case needs the "
+              "second sort either way.\n");
+  return 0;
+}

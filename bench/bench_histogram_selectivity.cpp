@@ -1,0 +1,110 @@
+// Ablation E: selectivity estimation quality — equi-depth histograms vs
+// the uniform min/max interpolation they replace — on skewed data, and the
+// plan damage bad estimates cause. Not a paper experiment (the paper
+// predates serious histogram work in DB2), but the cost model's estimates
+// gate every order-optimization decision, so the substrate's quality is
+// part of the reproduction's credibility.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "exec/engine.h"
+#include "optimizer/planner.h"
+
+using namespace ordopt;
+
+namespace {
+
+void Build(Database* db) {
+  Rng rng(4242);
+  // events: heavily skewed `kind` (90% kind 0), uniform `ts`, plus a
+  // dimension table for join-order sensitivity.
+  {
+    TableDef def;
+    def.name = "events";
+    def.columns = {{"id", DataType::kInt64},
+                   {"kind", DataType::kInt64},
+                   {"ts", DataType::kInt64},
+                   {"device", DataType::kInt64}};
+    def.AddUniqueKey({"id"});
+    def.AddIndex("events_kind", {"kind", "ts"});
+    Table* t = db->CreateTable(def).value();
+    for (int i = 0; i < 100000; ++i) {
+      int64_t kind = rng.Chance(0.9) ? 0 : rng.Uniform(1, 99);
+      t->AppendRow({Value::Int(i), Value::Int(kind),
+                    Value::Int(rng.Uniform(0, 999999)),
+                    Value::Int(rng.Uniform(0, 499))});
+    }
+  }
+  {
+    TableDef def;
+    def.name = "device";
+    def.columns = {{"device", DataType::kInt64}, {"site", DataType::kInt64}};
+    def.AddUniqueKey({"device"});
+    def.AddIndex("device_pk", {"device"}, true, true);
+    Table* t = db->CreateTable(def).value();
+    for (int i = 0; i < 500; ++i) {
+      t->AppendRow({Value::Int(i), Value::Int(rng.Uniform(0, 9))});
+    }
+  }
+  ORDOPT_CHECK(db->FinalizeAll().ok());
+}
+
+struct Probe {
+  const char* label;
+  const char* sql;
+};
+
+}  // namespace
+
+int main() {
+  Database db;
+  Build(&db);
+
+  const Probe probes[] = {
+      {"hot key (90% of rows)", "select id from events where kind = 0"},
+      {"cold key (~0.1%)", "select id from events where kind = 37"},
+      {"wide range", "select id from events where ts < 900000"},
+      {"narrow range", "select id from events where ts < 1000"},
+      {"range on skewed col", "select id from events where kind > 0"},
+  };
+
+  std::printf("=== Estimated vs actual rows: histograms on/off ===\n");
+  std::printf("%-26s %12s %14s %14s\n", "predicate", "actual",
+              "est (hist)", "est (uniform)");
+  for (const Probe& p : probes) {
+    double est[2];
+    size_t actual = 0;
+    for (int mode = 0; mode < 2; ++mode) {
+      OptimizerConfig cfg;
+      cfg.cost_params.use_histograms = mode == 0;
+      QueryEngine engine(&db, cfg);
+      auto r = engine.Run(p.sql);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      est[mode] = r.value().plan->props.cardinality;
+      actual = r.value().rows.size();
+    }
+    std::printf("%-26s %12zu %14.0f %14.0f\n", p.label, actual, est[0],
+                est[1]);
+  }
+
+  // Plan sensitivity: with the hot key the index probe is a trap (90% of
+  // the table via an unclustered index); the histogram steers to a scan.
+  std::printf("\n=== Plan choice under skew ===\n");
+  for (int mode = 0; mode < 2; ++mode) {
+    OptimizerConfig cfg;
+    cfg.cost_params.use_histograms = mode == 0;
+    QueryEngine engine(&db, cfg);
+    auto r = engine.Run(
+        "select d.site, count(*) from events e, device d "
+        "where e.device = d.device and e.kind = 0 group by d.site");
+    if (!r.ok()) return 1;
+    std::printf("--- histograms %s ---\n%s  simulated: %.3fs\n",
+                mode == 0 ? "ON" : "OFF", r.value().plan_text.c_str(),
+                r.value().SimulatedElapsedSeconds());
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation B: the payoff of minimizing sort columns (§4.2: "the reduced
+// version of I provides the minimal number of sorting columns, which is
+// important for minimizing sort costs"). Sorts the same data on 1..6 key
+// columns where the trailing columns are functionally redundant, and
+// reports comparisons and simulated time — the work Reduce Order saves
+// when it trims a sort list.
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/random.h"
+#include "exec/operators.h"
+
+using namespace ordopt;
+
+namespace {
+
+class VectorSource : public Operator {
+ public:
+  VectorSource(std::vector<ColumnId> layout, const std::vector<Row>* rows) {
+    layout_ = std::move(layout);
+    rows_ = rows;
+  }
+  void Open() override { pos_ = 0; }
+  bool Next(Row* out) override {
+    if (pos_ >= rows_->size()) return false;
+    *out = (*rows_)[pos_++];
+    return true;
+  }
+
+ private:
+  const std::vector<Row>* rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  const int kRows = 100000;
+  const int kCols = 6;
+  std::vector<ColumnId> layout;
+  for (int c = 0; c < kCols; ++c) layout.emplace_back(0, c);
+
+  // Column 0 has ~20 duplicates per value; columns 1..5 are functions of
+  // it. Sorting on (c0) or on (c0, c1, ..., ck) yields equivalent orders —
+  // the trailing columns only burn comparisons resolving ties that the FDs
+  // guarantee are full-row ties. This is the work Reduce Order saves.
+  std::vector<Row> rows;
+  rows.reserve(kRows);
+  Rng rng(41);
+  for (int i = 0; i < kRows; ++i) {
+    Row row;
+    int64_t k = rng.Uniform(0, kRows / 20);
+    row.push_back(Value::Int(k));
+    for (int c = 1; c < kCols; ++c) {
+      row.push_back(Value::Int((k * (c + 7)) % 1000003));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("=== Sort cost vs number of sort columns (%d rows) ===\n",
+              kRows);
+  std::printf("%-14s %16s %16s %14s\n", "sort columns", "comparisons",
+              "sim CPU (s)", "wall (ms)");
+  for (int width = 1; width <= kCols; ++width) {
+    OrderSpec spec;
+    for (int c = 0; c < width; ++c) {
+      spec.Append(OrderElement(ColumnId(0, c)));
+    }
+    RuntimeMetrics m;
+    SortOp sort(std::make_unique<VectorSource>(layout, &rows), spec, &m);
+    auto start = std::chrono::steady_clock::now();
+    sort.Open();
+    Row row;
+    int64_t produced = 0;
+    while (sort.Next(&row)) ++produced;
+    sort.Close();
+    auto end = std::chrono::steady_clock::now();
+    double wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    ORDOPT_CHECK(produced == kRows);
+    std::printf("%-14d %16lld %16.3f %13.1f\n", width,
+                static_cast<long long>(m.comparisons),
+                m.SimulatedCpuSeconds(), wall_ms);
+  }
+  std::printf("\nEvery sort produced the identical order: the trailing "
+              "columns are FD-redundant, exactly what Reduce Order "
+              "removes.\n");
+  return 0;
+}

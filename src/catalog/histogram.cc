@@ -1,0 +1,143 @@
+#include "catalog/histogram.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace ordopt {
+
+EquiDepthHistogram EquiDepthHistogram::Build(const std::vector<Value>& values,
+                                             int bucket_count) {
+  EquiDepthHistogram h;
+  h.total_rows_ = static_cast<int64_t>(values.size());
+  std::vector<Value> sorted;
+  sorted.reserve(values.size());
+  for (const Value& v : values) {
+    if (v.is_null()) {
+      ++h.null_rows_;
+    } else {
+      sorted.push_back(v);
+    }
+  }
+  if (sorted.empty() || bucket_count <= 0) return h;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  h.lower_ = sorted.front();
+
+  size_t n = sorted.size();
+  size_t per_bucket =
+      std::max<size_t>(1, n / static_cast<size_t>(bucket_count));
+
+  // Pack runs of equal values into buckets: boundaries always fall between
+  // distinct values, and a heavy run (>= one bucket's worth of rows) gets
+  // a bucket of its own so its frequency is represented exactly rather
+  // than smeared over neighbors.
+  Bucket current;
+  bool open = false;
+  size_t i = 0;
+  while (i < n) {
+    size_t run_end = i + 1;
+    while (run_end < n && sorted[run_end].Compare(sorted[i]) == 0) {
+      ++run_end;
+    }
+    size_t run_len = run_end - i;
+    if (run_len >= per_bucket && open) {
+      // Close the partial bucket so the heavy run stands alone.
+      h.buckets_.push_back(std::move(current));
+      current = Bucket();
+      open = false;
+    }
+    current.upper = sorted[i];
+    current.rows += static_cast<int64_t>(run_len);
+    current.distinct += 1;
+    open = true;
+    if (static_cast<size_t>(current.rows) >= per_bucket) {
+      h.buckets_.push_back(std::move(current));
+      current = Bucket();
+      open = false;
+    }
+    i = run_end;
+  }
+  if (open) h.buckets_.push_back(std::move(current));
+  return h;
+}
+
+double EquiDepthHistogram::SelectivityLt(const Value& v) const {
+  if (empty() || v.is_null() || total_rows_ == 0) return 0.0;
+  if (v.Compare(lower_) <= 0) return 0.0;
+  double qualifying = 0.0;
+  Value prev_upper = lower_;
+  bool first = true;
+  for (const Bucket& b : buckets_) {
+    if (v.Compare(b.upper) > 0) {
+      qualifying += static_cast<double>(b.rows);
+      prev_upper = b.upper;
+      first = false;
+      continue;
+    }
+    // v falls inside this bucket. At the boundary, < excludes the upper
+    // value's own rows; otherwise interpolate linearly over the bucket's
+    // value range when numeric (half the bucket for strings).
+    double fraction;
+    if (v.Compare(b.upper) == 0) {
+      double d = static_cast<double>(std::max<int64_t>(1, b.distinct));
+      fraction = (d - 1.0) / d;
+    } else {
+      fraction = 0.5;
+      const Value& lo = first ? lower_ : prev_upper;
+      if (v.type() != DataType::kString && lo.type() != DataType::kNull &&
+          b.upper.type() != DataType::kString) {
+        double lo_d = lo.AsDouble();
+        double hi_d = b.upper.AsDouble();
+        if (hi_d > lo_d) {
+          fraction = (v.AsDouble() - lo_d) / (hi_d - lo_d);
+          fraction = std::clamp(fraction, 0.0, 1.0);
+        }
+      }
+    }
+    qualifying += fraction * static_cast<double>(b.rows);
+    break;
+  }
+  return qualifying / static_cast<double>(total_rows_);
+}
+
+double EquiDepthHistogram::SelectivityEq(const Value& v) const {
+  if (empty() || v.is_null() || total_rows_ == 0) return 0.0;
+  Value prev_upper = lower_;
+  bool first = true;
+  for (const Bucket& b : buckets_) {
+    bool in_bucket =
+        v.Compare(b.upper) <= 0 &&
+        (first ? v.Compare(lower_) >= 0 : v.Compare(prev_upper) > 0);
+    if (in_bucket) {
+      double rows_per_value =
+          static_cast<double>(b.rows) /
+          static_cast<double>(std::max<int64_t>(1, b.distinct));
+      return rows_per_value / static_cast<double>(total_rows_);
+    }
+    prev_upper = b.upper;
+    first = false;
+  }
+  return 0.0;  // outside the observed range
+}
+
+double EquiDepthHistogram::SelectivityLe(const Value& v) const {
+  return std::min(1.0, SelectivityLt(v) + SelectivityEq(v));
+}
+
+std::string EquiDepthHistogram::ToString() const {
+  std::string out = StrFormat("hist[rows=%lld nulls=%lld",
+                              static_cast<long long>(total_rows_),
+                              static_cast<long long>(null_rows_));
+  if (!empty()) {
+    out += " lo=" + lower_.ToString();
+    for (const Bucket& b : buckets_) {
+      out += StrFormat(" |%s:%lld/%lld", b.upper.ToString().c_str(),
+                       static_cast<long long>(b.rows),
+                       static_cast<long long>(b.distinct));
+    }
+  }
+  return out + "]";
+}
+
+}  // namespace ordopt

@@ -1,0 +1,71 @@
+#ifndef ORDOPT_CATALOG_HISTOGRAM_H_
+#define ORDOPT_CATALOG_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace ordopt {
+
+/// Equi-depth (equi-height) histogram over one column: bucket boundaries
+/// chosen so each bucket holds ~the same number of rows, plus per-bucket
+/// distinct counts. Gives the cost model selectivity estimates that track
+/// skew — the uniform min/max interpolation it replaces is exact only for
+/// uniform data.
+class EquiDepthHistogram {
+ public:
+  EquiDepthHistogram() = default;
+
+  /// Builds from a column's values (any order; NULLs allowed and tracked
+  /// separately). `bucket_count` is a target; fewer buckets result when
+  /// the column has few distinct values.
+  static EquiDepthHistogram Build(const std::vector<Value>& values,
+                                  int bucket_count = 32);
+
+  bool empty() const { return buckets_.empty(); }
+  int64_t row_count() const { return total_rows_; }
+  int64_t null_count() const { return null_rows_; }
+  size_t bucket_count() const { return buckets_.size(); }
+
+  /// Estimated fraction of (all) rows with value < v / <= v / == v.
+  /// NULL rows never qualify.
+  double SelectivityLt(const Value& v) const;
+  double SelectivityLe(const Value& v) const;
+  double SelectivityEq(const Value& v) const;
+  /// > and >= derive from the above (NULLs never qualify on either side).
+  double SelectivityGt(const Value& v) const {
+    double s = FracNonNull() - SelectivityLe(v);
+    return s > 0.0 ? s : 0.0;
+  }
+  double SelectivityGe(const Value& v) const {
+    double s = FracNonNull() - SelectivityLt(v);
+    return s > 0.0 ? s : 0.0;
+  }
+
+  std::string ToString() const;
+
+ private:
+  struct Bucket {
+    Value upper;        ///< inclusive upper boundary
+    int64_t rows = 0;   ///< rows in (previous upper, upper]
+    int64_t distinct = 0;
+  };
+
+  double FracNull() const {
+    return total_rows_ > 0
+               ? static_cast<double>(null_rows_) /
+                     static_cast<double>(total_rows_)
+               : 0.0;
+  }
+  double FracNonNull() const { return 1.0 - FracNull(); }
+
+  Value lower_;  ///< minimum non-NULL value
+  std::vector<Bucket> buckets_;
+  int64_t total_rows_ = 0;
+  int64_t null_rows_ = 0;
+};
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_CATALOG_HISTOGRAM_H_

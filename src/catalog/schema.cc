@@ -1,0 +1,40 @@
+#include "catalog/schema.h"
+
+#include "common/macros.h"
+#include "common/str_util.h"
+
+namespace ordopt {
+
+int TableDef::FindColumn(const std::string& col_name) const {
+  std::string lower = ToLower(col_name);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (ToLower(columns[i].name) == lower) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void TableDef::AddUniqueKey(const std::vector<std::string>& col_names) {
+  std::vector<int> ordinals;
+  for (const std::string& n : col_names) {
+    int ord = FindColumn(n);
+    ORDOPT_CHECK_MSG(ord >= 0, "unknown key column '%s' in table '%s'",
+                     n.c_str(), name.c_str());
+    ordinals.push_back(ord);
+  }
+  unique_keys.push_back(std::move(ordinals));
+}
+
+void TableDef::AddIndex(const std::string& index_name,
+                        const std::vector<std::string>& col_names, bool unique,
+                        bool clustered) {
+  std::vector<int> ordinals;
+  for (const std::string& n : col_names) {
+    int ord = FindColumn(n);
+    ORDOPT_CHECK_MSG(ord >= 0, "unknown index column '%s' in table '%s'",
+                     n.c_str(), name.c_str());
+    ordinals.push_back(ord);
+  }
+  indexes.emplace_back(index_name, std::move(ordinals), unique, clustered);
+}
+
+}  // namespace ordopt

@@ -1,0 +1,85 @@
+#ifndef ORDOPT_CATALOG_SCHEMA_H_
+#define ORDOPT_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/histogram.h"
+#include "common/value.h"
+#include "orderopt/order_spec.h"
+
+namespace ordopt {
+
+/// One column of a base table.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+
+  ColumnDef() = default;
+  ColumnDef(std::string n, DataType t) : name(std::move(n)), type(t) {}
+};
+
+/// A secondary (or primary) index over a base table. Column ordinals refer
+/// to the owning TableDef. A *clustered* index implies the table's rows are
+/// stored in index-key order, so ordered probes through it touch pages
+/// sequentially — the property the paper's ordered nested-loop join
+/// exploits (§8.1).
+struct IndexDef {
+  std::string name;
+  std::vector<int> column_ordinals;
+  std::vector<SortDirection> directions;  ///< parallel to column_ordinals
+  bool unique = false;
+  bool clustered = false;
+
+  IndexDef() = default;
+  IndexDef(std::string n, std::vector<int> cols, bool uniq = false,
+           bool clust = false)
+      : name(std::move(n)),
+        column_ordinals(std::move(cols)),
+        unique(uniq),
+        clustered(clust) {
+    directions.assign(column_ordinals.size(), SortDirection::kAscending);
+  }
+};
+
+/// Optimizer-visible statistics for a base table.
+struct TableStats {
+  int64_t row_count = 0;
+  /// Per-column distinct-value estimates (parallel to columns; 0 = unknown).
+  std::vector<int64_t> distinct_counts;
+  /// Per-column min/max (parallel to columns; NULL = unknown). Used for
+  /// range-predicate selectivity.
+  std::vector<Value> min_values;
+  std::vector<Value> max_values;
+  /// Per-column equi-depth histograms (parallel to columns; may be empty
+  /// when stats were not collected). Preferred over min/max interpolation
+  /// when present.
+  std::vector<EquiDepthHistogram> histograms;
+};
+
+/// Schema of one base table: columns, declared unique keys (as ordinal
+/// lists; the first is treated as the primary key), and indexes.
+struct TableDef {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::vector<std::vector<int>> unique_keys;
+  std::vector<IndexDef> indexes;
+  TableStats stats;
+
+  /// Ordinal of the column named `col_name` (case-insensitive), or -1.
+  int FindColumn(const std::string& col_name) const;
+
+  /// Declares a unique key by column names; aborts on unknown names
+  /// (schema construction is programmer-driven, not user input).
+  void AddUniqueKey(const std::vector<std::string>& col_names);
+
+  /// Declares an index by column names.
+  void AddIndex(const std::string& index_name,
+                const std::vector<std::string>& col_names, bool unique = false,
+                bool clustered = false);
+};
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_CATALOG_SCHEMA_H_

@@ -1,0 +1,109 @@
+#ifndef ORDOPT_COMMON_COLUMN_ID_H_
+#define ORDOPT_COMMON_COLUMN_ID_H_
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ordopt {
+
+/// Identity of a column instance inside one query: the id of the table
+/// instance (quantifier) it comes from plus the column's ordinal within
+/// that table. Two references to the same base table in one query get
+/// distinct table ids, so self-joins are unambiguous. Names are attached
+/// elsewhere and used only for printing.
+struct ColumnId {
+  int32_t table = -1;
+  int32_t column = -1;
+
+  ColumnId() = default;
+  ColumnId(int32_t t, int32_t c) : table(t), column(c) {}
+
+  bool valid() const { return table >= 0 && column >= 0; }
+
+  friend auto operator<=>(const ColumnId&, const ColumnId&) = default;
+};
+
+struct ColumnIdHash {
+  size_t operator()(const ColumnId& c) const {
+    return (static_cast<size_t>(static_cast<uint32_t>(c.table)) << 32) ^
+           static_cast<uint32_t>(c.column);
+  }
+};
+
+/// A set of columns kept as a sorted, deduplicated vector. Small-cardinality
+/// sets dominate (FD heads, keys), so a flat vector beats node containers.
+class ColumnSet {
+ public:
+  ColumnSet() = default;
+  ColumnSet(std::initializer_list<ColumnId> cols)
+      : cols_(cols.begin(), cols.end()) {
+    Normalize();
+  }
+  explicit ColumnSet(std::vector<ColumnId> cols) : cols_(std::move(cols)) {
+    Normalize();
+  }
+
+  bool empty() const { return cols_.empty(); }
+  size_t size() const { return cols_.size(); }
+  const std::vector<ColumnId>& columns() const { return cols_; }
+  auto begin() const { return cols_.begin(); }
+  auto end() const { return cols_.end(); }
+
+  bool Contains(const ColumnId& c) const {
+    return std::binary_search(cols_.begin(), cols_.end(), c);
+  }
+
+  /// True if every column of this set is in `other`.
+  bool IsSubsetOf(const ColumnSet& other) const {
+    return std::includes(other.cols_.begin(), other.cols_.end(),
+                         cols_.begin(), cols_.end());
+  }
+
+  void Add(const ColumnId& c) {
+    auto it = std::lower_bound(cols_.begin(), cols_.end(), c);
+    if (it == cols_.end() || *it != c) cols_.insert(it, c);
+  }
+
+  void Remove(const ColumnId& c) {
+    auto it = std::lower_bound(cols_.begin(), cols_.end(), c);
+    if (it != cols_.end() && *it == c) cols_.erase(it);
+  }
+
+  /// Set union.
+  ColumnSet Union(const ColumnSet& other) const {
+    ColumnSet out;
+    out.cols_.reserve(cols_.size() + other.cols_.size());
+    std::set_union(cols_.begin(), cols_.end(), other.cols_.begin(),
+                   other.cols_.end(), std::back_inserter(out.cols_));
+    return out;
+  }
+
+  /// Set intersection.
+  ColumnSet Intersect(const ColumnSet& other) const {
+    ColumnSet out;
+    std::set_intersection(cols_.begin(), cols_.end(), other.cols_.begin(),
+                          other.cols_.end(), std::back_inserter(out.cols_));
+    return out;
+  }
+
+  friend bool operator==(const ColumnSet&, const ColumnSet&) = default;
+  friend auto operator<=>(const ColumnSet& a, const ColumnSet& b) {
+    return a.cols_ <=> b.cols_;
+  }
+
+ private:
+  void Normalize() {
+    std::sort(cols_.begin(), cols_.end());
+    cols_.erase(std::unique(cols_.begin(), cols_.end()), cols_.end());
+  }
+
+  std::vector<ColumnId> cols_;
+};
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_COMMON_COLUMN_ID_H_

@@ -1,0 +1,49 @@
+#ifndef ORDOPT_COMMON_MACROS_H_
+#define ORDOPT_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Checked invariant: aborts with a message when `cond` is false.
+/// Used for internal invariants that indicate programming errors, never for
+/// user-input validation (which must go through Status).
+#define ORDOPT_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "ORDOPT_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Like ORDOPT_CHECK but with a custom printf-style message.
+#define ORDOPT_CHECK_MSG(cond, ...)                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "ORDOPT_CHECK failed at %s:%d: %s: ", __FILE__,   \
+                   __LINE__, #cond);                                         \
+      std::fprintf(stderr, __VA_ARGS__);                                     \
+      std::fprintf(stderr, "\n");                                            \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define ORDOPT_RETURN_NOT_OK(expr)                                           \
+  do {                                                                       \
+    ::ordopt::Status _st = (expr);                                           \
+    if (!_st.ok()) return _st;                                               \
+  } while (0)
+
+/// Evaluates an expression returning Result<T>; on error returns the Status,
+/// otherwise assigns the value to `lhs`.
+#define ORDOPT_ASSIGN_OR_RETURN(lhs, expr)                                   \
+  auto ORDOPT_CONCAT_(_res_, __LINE__) = (expr);                             \
+  if (!ORDOPT_CONCAT_(_res_, __LINE__).ok())                                 \
+    return ORDOPT_CONCAT_(_res_, __LINE__).status();                         \
+  lhs = std::move(ORDOPT_CONCAT_(_res_, __LINE__)).value_unsafe();
+
+#define ORDOPT_CONCAT_IMPL_(a, b) a##b
+#define ORDOPT_CONCAT_(a, b) ORDOPT_CONCAT_IMPL_(a, b)
+
+#endif  // ORDOPT_COMMON_MACROS_H_

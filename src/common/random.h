@@ -1,0 +1,43 @@
+#ifndef ORDOPT_COMMON_RANDOM_H_
+#define ORDOPT_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace ordopt {
+
+/// Deterministic 64-bit PRNG (splitmix64 core). Used by the TPC-D data
+/// generator and the property tests so every run is reproducible without
+/// depending on std::random_device or platform distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() %
+                                     static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_COMMON_RANDOM_H_

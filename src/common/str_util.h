@@ -1,0 +1,22 @@
+#ifndef ORDOPT_COMMON_STR_UTIL_H_
+#define ORDOPT_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace ordopt {
+
+/// Joins the elements with `sep`, e.g. Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// ASCII lowercase copy (SQL keywords and identifiers are case-insensitive).
+std::string ToLower(const std::string& s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_COMMON_STR_UTIL_H_

@@ -1,0 +1,186 @@
+#include "common/value.h"
+
+#include <cstdio>
+#include <functional>
+
+#include "common/macros.h"
+
+namespace ordopt {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+    case DataType::kDate:
+      return "date";
+  }
+  return "unknown";
+}
+
+Value Value::DateFromString(const std::string& iso) {
+  int64_t days = 0;
+  ORDOPT_CHECK_MSG(ParseDate(iso, &days), "bad date literal '%s'",
+                   iso.c_str());
+  return Date(days);
+}
+
+int64_t Value::AsInt() const {
+  ORDOPT_CHECK(type_ == DataType::kInt64 || type_ == DataType::kDate);
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  if (type_ == DataType::kDouble) return std::get<double>(data_);
+  ORDOPT_CHECK(type_ == DataType::kInt64 || type_ == DataType::kDate);
+  return static_cast<double>(std::get<int64_t>(data_));
+}
+
+const std::string& Value::AsString() const {
+  ORDOPT_CHECK(type_ == DataType::kString);
+  return std::get<std::string>(data_);
+}
+
+namespace {
+
+bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDouble ||
+         t == DataType::kDate;
+}
+
+int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;  // NULL sorts first
+  }
+  if (IsNumeric(type_) && IsNumeric(other.type_)) {
+    if (type_ == DataType::kInt64 && other.type_ == DataType::kInt64) {
+      int64_t a = std::get<int64_t>(data_);
+      int64_t b = std::get<int64_t>(other.data_);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    if (type_ == DataType::kDate && other.type_ == DataType::kDate) {
+      int64_t a = std::get<int64_t>(data_);
+      int64_t b = std::get<int64_t>(other.data_);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    return CompareDoubles(AsDouble(), other.AsDouble());
+  }
+  if (type_ == DataType::kString && other.type_ == DataType::kString) {
+    return AsString().compare(other.AsString());
+  }
+  // Incomparable kinds: order by type tag to keep the relation total.
+  return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case DataType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case DataType::kInt64:
+    case DataType::kDate: {
+      // Hash through double so 3 == 3.0 implies equal hashes.
+      return std::hash<double>()(static_cast<double>(std::get<int64_t>(data_)));
+    }
+    case DataType::kDouble:
+      return std::hash<double>()(std::get<double>(data_));
+    case DataType::kString:
+      return std::hash<std::string>()(std::get<std::string>(data_));
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  char buf[64];
+  switch (type_) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt64:
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(std::get<int64_t>(data_)));
+      return buf;
+    case DataType::kDouble:
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(data_));
+      return buf;
+    case DataType::kString:
+      return "'" + std::get<std::string>(data_) + "'";
+    case DataType::kDate:
+      return FormatDate(std::get<int64_t>(data_));
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsLeapYear(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+const int kDaysInMonth[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+int DaysInMonth(int y, int m) {
+  if (m == 2 && IsLeapYear(y)) return 29;
+  return kDaysInMonth[m - 1];
+}
+
+// Days from 1970-01-01 to the first day of year y.
+int64_t DaysToYear(int y) {
+  int64_t days = 0;
+  if (y >= 1970) {
+    for (int i = 1970; i < y; ++i) days += IsLeapYear(i) ? 366 : 365;
+  } else {
+    for (int i = y; i < 1970; ++i) days -= IsLeapYear(i) ? 366 : 365;
+  }
+  return days;
+}
+
+}  // namespace
+
+bool ParseDate(const std::string& iso, int64_t* days_out) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(iso.c_str(), "%d-%d-%d", &y, &m, &d) != 3) return false;
+  if (m < 1 || m > 12 || d < 1 || d > DaysInMonth(y, m)) return false;
+  int64_t days = DaysToYear(y);
+  for (int i = 1; i < m; ++i) days += DaysInMonth(y, i);
+  days += d - 1;
+  *days_out = days;
+  return true;
+}
+
+std::string FormatDate(int64_t days) {
+  int y = 1970;
+  while (true) {
+    int64_t len = IsLeapYear(y) ? 366 : 365;
+    if (days >= len) {
+      days -= len;
+      ++y;
+    } else if (days < 0) {
+      --y;
+      days += IsLeapYear(y) ? 366 : 365;
+    } else {
+      break;
+    }
+  }
+  int m = 1;
+  while (days >= DaysInMonth(y, m)) {
+    days -= DaysInMonth(y, m);
+    ++m;
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m,
+                static_cast<int>(days) + 1);
+  return buf;
+}
+
+}  // namespace ordopt

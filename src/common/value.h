@@ -1,0 +1,92 @@
+#ifndef ORDOPT_COMMON_VALUE_H_
+#define ORDOPT_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ordopt {
+
+/// Logical column/value types supported by the engine.
+enum class DataType : uint8_t {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+  kDate,  ///< days since 1970-01-01, stored as int64
+};
+
+/// Returns a lowercase name for a DataType ("int64", "string", ...).
+const char* DataTypeName(DataType type);
+
+/// A runtime datum. Values form a total order (used by sorts, B+-trees, and
+/// merge joins): NULL sorts before every non-NULL value; numeric types
+/// compare by numeric value (int64 vs double compares as double); strings
+/// compare lexicographically. Cross-kind comparisons between non-comparable
+/// kinds (e.g. string vs int) order by type tag so the order stays total.
+class Value {
+ public:
+  /// Constructs the SQL NULL value.
+  Value() : type_(DataType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(DataType::kInt64, v); }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = DataType::kDouble;
+    out.data_ = v;
+    return out;
+  }
+  static Value Str(std::string v) {
+    Value out;
+    out.type_ = DataType::kString;
+    out.data_ = std::move(v);
+    return out;
+  }
+  /// A date expressed as days since 1970-01-01.
+  static Value Date(int64_t days) { return Value(DataType::kDate, days); }
+  /// Parses "YYYY-MM-DD" into a date value; aborts on malformed input
+  /// (callers validate first via ParseDate).
+  static Value DateFromString(const std::string& iso);
+
+  DataType type() const { return type_; }
+  bool is_null() const { return type_ == DataType::kNull; }
+
+  /// Numeric accessors; abort if the kind does not match.
+  int64_t AsInt() const;
+  double AsDouble() const;  ///< accepts kInt64, kDouble, kDate
+  const std::string& AsString() const;
+
+  /// Three-way comparison defining the engine's total order.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with operator== (numeric 3 == 3.0 hash equal).
+  size_t Hash() const;
+
+  /// Display rendering ("NULL", "42", "3.14", "'abc'", "1995-03-15").
+  std::string ToString() const;
+
+ private:
+  Value(DataType type, int64_t v) : type_(type), data_(v) {}
+
+  DataType type_;
+  std::variant<int64_t, double, std::string> data_{int64_t{0}};
+};
+
+/// A materialized record: one Value per output column.
+using Row = std::vector<Value>;
+
+/// Parses "YYYY-MM-DD" into days since epoch. Returns false on bad input.
+bool ParseDate(const std::string& iso, int64_t* days_out);
+
+/// Formats days-since-epoch as "YYYY-MM-DD".
+std::string FormatDate(int64_t days);
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_COMMON_VALUE_H_

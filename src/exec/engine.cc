@@ -1,0 +1,47 @@
+#include "exec/engine.h"
+
+#include <chrono>
+
+#include "parser/parser.h"
+#include "qgm/rewrite.h"
+
+namespace ordopt {
+
+Result<QueryResult> QueryEngine::Prepare(const std::string& sql,
+                                         bool execute) {
+  ORDOPT_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelect(sql));
+  ORDOPT_ASSIGN_OR_RETURN(std::unique_ptr<Query> query,
+                          BindQuery(*stmt, *db_));
+  MergeDerivedTables(query.get());
+
+  Planner planner(*query, config_);
+  ORDOPT_ASSIGN_OR_RETURN(PlanRef plan, planner.BuildPlan());
+
+  QueryResult result;
+  result.plan = plan;
+  result.plan_text = plan->ToString(query->namer());
+  result.qgm_text = query->ToString();
+  result.plans_generated = planner.plans_generated();
+  for (const OutputColumn& oc : query->root->outputs) {
+    result.column_names.push_back(oc.name);
+  }
+
+  if (execute) {
+    auto start = std::chrono::steady_clock::now();
+    ORDOPT_ASSIGN_OR_RETURN(result.rows, ExecutePlan(plan, &result.metrics));
+    auto end = std::chrono::steady_clock::now();
+    result.elapsed_seconds =
+        std::chrono::duration<double>(end - start).count();
+  }
+  return result;
+}
+
+Result<QueryResult> QueryEngine::Explain(const std::string& sql) {
+  return Prepare(sql, /*execute=*/false);
+}
+
+Result<QueryResult> QueryEngine::Run(const std::string& sql) {
+  return Prepare(sql, /*execute=*/true);
+}
+
+}  // namespace ordopt

@@ -1,0 +1,113 @@
+#include "exec/executor.h"
+
+#include "common/str_util.h"
+
+namespace ordopt {
+
+Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan,
+                                      RuntimeMetrics* metrics) {
+  std::vector<OperatorPtr> children;
+  for (const PlanRef& child : plan->children) {
+    ORDOPT_ASSIGN_OR_RETURN(OperatorPtr op, BuildOperatorTree(child, metrics));
+    children.push_back(std::move(op));
+  }
+
+  switch (plan->kind) {
+    case OpKind::kTableScan:
+      return OperatorPtr(
+          new TableScanOp(*plan->table, plan->table_id, metrics));
+    case OpKind::kIndexScan:
+      return OperatorPtr(new IndexScanOp(*plan->table, plan->table_id,
+                                         plan->index_ordinal,
+                                         plan->reverse_scan,
+                                         plan->range_predicates, metrics));
+    case OpKind::kFilter:
+      return OperatorPtr(
+          new FilterOp(std::move(children[0]), plan->predicates));
+    case OpKind::kSort:
+      return OperatorPtr(
+          new SortOp(std::move(children[0]), plan->sort_spec, metrics));
+    case OpKind::kMergeJoin:
+      return OperatorPtr(new MergeJoinOp(std::move(children[0]),
+                                         std::move(children[1]),
+                                         plan->join_pairs, metrics));
+    case OpKind::kIndexNLJoin:
+      return OperatorPtr(new IndexNLJoinOp(std::move(children[0]),
+                                           *plan->table, plan->table_id,
+                                           plan->index_ordinal,
+                                           plan->join_pairs, metrics));
+    case OpKind::kNaiveNLJoin:
+      return OperatorPtr(
+          new NaiveNLJoinOp(std::move(children[0]), std::move(children[1])));
+    case OpKind::kHashJoin:
+      return OperatorPtr(new HashJoinOp(std::move(children[0]),
+                                        std::move(children[1]),
+                                        plan->join_pairs));
+    case OpKind::kMergeLeftJoin:
+      return OperatorPtr(new MergeLeftJoinOp(std::move(children[0]),
+                                             std::move(children[1]),
+                                             plan->join_pairs, metrics));
+    case OpKind::kHashLeftJoin:
+      return OperatorPtr(new HashLeftJoinOp(std::move(children[0]),
+                                            std::move(children[1]),
+                                            plan->join_pairs));
+    case OpKind::kNaiveLeftJoin:
+      return OperatorPtr(new NaiveLeftJoinOp(std::move(children[0]),
+                                             std::move(children[1]),
+                                             plan->predicates));
+    case OpKind::kStreamGroupBy:
+    case OpKind::kSortGroupBy:
+      return OperatorPtr(new StreamGroupByOp(std::move(children[0]),
+                                             plan->group_columns,
+                                             plan->aggregates, metrics));
+    case OpKind::kHashGroupBy:
+      return OperatorPtr(new HashGroupByOp(std::move(children[0]),
+                                           plan->group_columns,
+                                           plan->aggregates, metrics));
+    case OpKind::kStreamDistinct:
+      return OperatorPtr(new StreamDistinctOp(std::move(children[0]),
+                                              plan->distinct_columns));
+    case OpKind::kHashDistinct:
+      return OperatorPtr(new HashDistinctOp(std::move(children[0]),
+                                            plan->distinct_columns));
+    case OpKind::kProject:
+      return OperatorPtr(
+          new ProjectOp(std::move(children[0]), plan->projections));
+    case OpKind::kLimit:
+      return OperatorPtr(new LimitOp(std::move(children[0]), plan->limit));
+    case OpKind::kTopN:
+      return OperatorPtr(new TopNOp(std::move(children[0]), plan->sort_spec,
+                                    plan->limit, metrics));
+    case OpKind::kUnionAll:
+    case OpKind::kMergeUnion: {
+      std::vector<ColumnId> layout;
+      for (const OutputColumn& oc : plan->projections) {
+        layout.push_back(oc.id);
+      }
+      if (plan->kind == OpKind::kUnionAll) {
+        return OperatorPtr(
+            new UnionAllOp(std::move(children), std::move(layout)));
+      }
+      return OperatorPtr(new MergeUnionOp(std::move(children),
+                                          std::move(layout), metrics));
+    }
+  }
+  return Status::Internal(
+      StrFormat("unknown operator kind %d", static_cast<int>(plan->kind)));
+}
+
+Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
+                                     RuntimeMetrics* metrics) {
+  ORDOPT_ASSIGN_OR_RETURN(OperatorPtr root, BuildOperatorTree(plan, metrics));
+  root->Open();
+  std::vector<Row> rows;
+  Row row;
+  while (root->Next(&row)) {
+    rows.push_back(std::move(row));
+    ++metrics->rows_produced;
+  }
+  root->Close();
+  return rows;
+}
+
+}  // namespace ordopt

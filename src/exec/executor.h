@@ -1,0 +1,26 @@
+#ifndef ORDOPT_EXEC_EXECUTOR_H_
+#define ORDOPT_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/metrics.h"
+#include "exec/operators.h"
+#include "optimizer/plan.h"
+
+namespace ordopt {
+
+/// Instantiates the Volcano operator tree for a physical plan. `metrics`
+/// must outlive the returned operator.
+Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan,
+                                      RuntimeMetrics* metrics);
+
+/// Convenience: builds, opens, drains, and closes the plan, returning every
+/// produced row.
+Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
+                                     RuntimeMetrics* metrics);
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_EXEC_EXECUTOR_H_

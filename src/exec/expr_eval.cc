@@ -1,0 +1,115 @@
+#include "exec/expr_eval.h"
+
+#include "common/macros.h"
+
+namespace ordopt {
+
+ExprEvaluator::ExprEvaluator(const std::vector<ColumnId>& layout) {
+  for (size_t i = 0; i < layout.size(); ++i) {
+    positions_.emplace(layout[i], static_cast<int>(i));
+  }
+}
+
+int ExprEvaluator::PositionOf(const ColumnId& col) const {
+  auto it = positions_.find(col);
+  return it == positions_.end() ? -1 : it->second;
+}
+
+Value EvalBinary(BinOp op, const Value& l, const Value& r) {
+  switch (op) {
+    case BinOp::kAnd: {
+      // Two-valued folding: NULL acts as false.
+      bool lt = !l.is_null() && l.Compare(Value::Int(0)) != 0;
+      bool rt = !r.is_null() && r.Compare(Value::Int(0)) != 0;
+      return Value::Int(lt && rt ? 1 : 0);
+    }
+    case BinOp::kOr: {
+      bool lt = !l.is_null() && l.Compare(Value::Int(0)) != 0;
+      bool rt = !r.is_null() && r.Compare(Value::Int(0)) != 0;
+      return Value::Int(lt || rt ? 1 : 0);
+    }
+    default:
+      break;
+  }
+  if (l.is_null() || r.is_null()) return Value::Null();
+  switch (op) {
+    case BinOp::kEq:
+      return Value::Int(l.Compare(r) == 0 ? 1 : 0);
+    case BinOp::kNe:
+      return Value::Int(l.Compare(r) != 0 ? 1 : 0);
+    case BinOp::kLt:
+      return Value::Int(l.Compare(r) < 0 ? 1 : 0);
+    case BinOp::kLe:
+      return Value::Int(l.Compare(r) <= 0 ? 1 : 0);
+    case BinOp::kGt:
+      return Value::Int(l.Compare(r) > 0 ? 1 : 0);
+    case BinOp::kGe:
+      return Value::Int(l.Compare(r) >= 0 ? 1 : 0);
+    case BinOp::kDiv: {
+      double rv = r.AsDouble();
+      if (rv == 0.0) return Value::Null();
+      return Value::Double(l.AsDouble() / rv);
+    }
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul: {
+      bool both_int = l.type() == DataType::kInt64 &&
+                      r.type() == DataType::kInt64;
+      if (both_int) {
+        int64_t a = l.AsInt(), b = r.AsInt();
+        switch (op) {
+          case BinOp::kAdd:
+            return Value::Int(a + b);
+          case BinOp::kSub:
+            return Value::Int(a - b);
+          default:
+            return Value::Int(a * b);
+        }
+      }
+      double a = l.AsDouble(), b = r.AsDouble();
+      switch (op) {
+        case BinOp::kAdd:
+          return Value::Double(a + b);
+        case BinOp::kSub:
+          return Value::Double(a - b);
+        default:
+          return Value::Double(a * b);
+      }
+    }
+    default:
+      break;
+  }
+  ORDOPT_CHECK_MSG(false, "unhandled binary op");
+  return Value::Null();
+}
+
+Value ExprEvaluator::Eval(const BoundExpr& expr, const Row& row) const {
+  switch (expr.kind()) {
+    case BoundExpr::Kind::kLiteral:
+      return expr.literal();
+    case BoundExpr::Kind::kColumn: {
+      int pos = PositionOf(expr.column());
+      ORDOPT_CHECK_MSG(pos >= 0, "column %s not in row layout",
+                       DefaultColumnName(expr.column()).c_str());
+      return row[static_cast<size_t>(pos)];
+    }
+    case BoundExpr::Kind::kBinary: {
+      Value l = Eval(expr.left(), row);
+      Value r = Eval(expr.right(), row);
+      return EvalBinary(expr.op(), l, r);
+    }
+    case BoundExpr::Kind::kIsNull: {
+      bool is_null = Eval(expr.is_null_child(), row).is_null();
+      return Value::Int(is_null != expr.is_null_negated() ? 1 : 0);
+    }
+  }
+  return Value::Null();
+}
+
+bool ExprEvaluator::EvalPredicate(const Predicate& pred,
+                                  const Row& row) const {
+  Value v = Eval(pred.expr, row);
+  return !v.is_null() && v.Compare(Value::Int(0)) != 0;
+}
+
+}  // namespace ordopt

@@ -1,0 +1,42 @@
+#ifndef ORDOPT_EXEC_EXPR_EVAL_H_
+#define ORDOPT_EXEC_EXPR_EVAL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/column_id.h"
+#include "common/value.h"
+#include "qgm/predicate.h"
+
+namespace ordopt {
+
+/// Maps a stream's row layout (a ColumnId per position) to positions and
+/// evaluates bound expressions against rows of that layout.
+///
+/// SQL three-valued logic is folded to two: a NULL comparison result is
+/// "not satisfied", matching WHERE semantics.
+class ExprEvaluator {
+ public:
+  explicit ExprEvaluator(const std::vector<ColumnId>& layout);
+
+  /// Position of `col` in the layout; -1 when absent.
+  int PositionOf(const ColumnId& col) const;
+
+  /// Evaluates a scalar expression against `row`.
+  Value Eval(const BoundExpr& expr, const Row& row) const;
+
+  /// Evaluates a predicate: true iff the expression is non-NULL and
+  /// non-zero.
+  bool EvalPredicate(const Predicate& pred, const Row& row) const;
+
+ private:
+  std::unordered_map<ColumnId, int, ColumnIdHash> positions_;
+};
+
+/// Arithmetic/comparison on two Values with NULL propagation; used by both
+/// the evaluator and the aggregate accumulators.
+Value EvalBinary(BinOp op, const Value& l, const Value& r);
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_EXEC_EXPR_EVAL_H_

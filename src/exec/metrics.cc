@@ -1,0 +1,21 @@
+#include "exec/metrics.h"
+
+#include "common/str_util.h"
+
+namespace ordopt {
+
+std::string RuntimeMetrics::ToString() const {
+  return StrFormat(
+      "rows=%lld scanned=%lld cmp=%lld seq_pages=%lld rand_pages=%lld "
+      "probes=%lld sorts=%lld rows_sorted=%lld sim_io=%.3fs",
+      static_cast<long long>(rows_produced),
+      static_cast<long long>(rows_scanned),
+      static_cast<long long>(comparisons),
+      static_cast<long long>(seq_pages),
+      static_cast<long long>(random_pages),
+      static_cast<long long>(index_probes),
+      static_cast<long long>(sorts_performed),
+      static_cast<long long>(rows_sorted), SimulatedIoSeconds());
+}
+
+}  // namespace ordopt

@@ -1,0 +1,100 @@
+#ifndef ORDOPT_EXEC_METRICS_H_
+#define ORDOPT_EXEC_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+namespace ordopt {
+
+/// Runtime counters collected during execution. Page counters come from a
+/// per-scan locality tracker: a row fetch that stays on the current page is
+/// free, a move to the next page counts as a sequential page read, and any
+/// other move counts as a random page read — so clustered, ordered probe
+/// sequences naturally cost sequential I/O (the §8.1 effect) without the
+/// executor special-casing them.
+struct RuntimeMetrics {
+  int64_t rows_produced = 0;   ///< rows emitted by the plan root
+  int64_t rows_scanned = 0;    ///< rows read from base tables
+  int64_t comparisons = 0;     ///< sort + merge comparisons
+  int64_t seq_pages = 0;       ///< sequential page reads
+  int64_t random_pages = 0;    ///< random page reads
+  int64_t index_probes = 0;    ///< nested-loop index probes
+  int64_t sorts_performed = 0; ///< Sort operators that ran
+  int64_t rows_sorted = 0;     ///< total rows passed through sorts
+
+  /// Simulated I/O time with 1996-style disk parameters: a random page
+  /// pays a seek (~8 ms); sequential pages stream with big-block prefetch
+  /// and I/O parallelism (~1 ms/page). The 8:1 ratio is kept close to the
+  /// cost model's random:sequential ratio so plan rank order and simulated
+  /// time agree.
+  double SimulatedIoSeconds() const {
+    return static_cast<double>(random_pages) * 0.008 +
+           static_cast<double>(seq_pages) * 0.001;
+  }
+
+  /// Simulated CPU time on a 1996-class (66 MHz) processor. Row handling
+  /// through an interpreted executor cost on the order of thousands of
+  /// instructions: ~30 µs per row moved, ~5 µs per key comparison
+  /// (calibrated against the paper's §8.1 numbers — 393 s for the
+  /// scan-dominated disabled plan over a 1 GB database is ~60 µs/row).
+  /// The paper's configuration drove the CPU to 100% utilization, so this
+  /// work contributes elapsed time directly — a modern CPU would hide it.
+  double SimulatedCpuSeconds() const {
+    return static_cast<double>(comparisons) * 5e-6 +
+           static_cast<double>(rows_scanned + rows_produced + rows_sorted) *
+               30e-6;
+  }
+
+  /// Total simulated elapsed time (I/O + CPU) on the paper-era hardware.
+  double SimulatedElapsedSeconds() const {
+    return SimulatedIoSeconds() + SimulatedCpuSeconds();
+  }
+
+  std::string ToString() const;
+};
+
+/// Tracks page-access locality for one scan or probe stream. A fetch on
+/// the current page is free; a short forward move counts as a sequential
+/// (prefetched) read — the disk arm sweeps forward, and the paper's
+/// big-block I/O + striping configuration (§8.1) turns an ordered,
+/// clustered probe sequence into sequential I/O even when pages are
+/// skipped; anything else (backward moves, long jumps) is a random read.
+class PageTracker {
+ public:
+  /// Forward jumps up to this many pages ride the prefetch window.
+  static constexpr int64_t kPrefetchWindowPages = 32;
+
+  PageTracker(RuntimeMetrics* metrics, int64_t rows_per_page)
+      : metrics_(metrics), rows_per_page_(rows_per_page) {}
+
+  /// Records the I/O for fetching row `rid`. Pages this operator already
+  /// touched are buffer hits (free): the operator-local working set models
+  /// the 512 MB buffer pool of the paper's configuration, which easily
+  /// holds the hot pages of a repeatedly-probed table.
+  void Access(int64_t rid) {
+    int64_t page = rid / rows_per_page_;
+    if (page == last_page_) return;
+    if (resident_.insert(page).second == false) {
+      last_page_ = page;  // buffer hit
+      return;
+    }
+    if (page > last_page_ && page - last_page_ <= kPrefetchWindowPages &&
+        last_page_ >= 0) {
+      ++metrics_->seq_pages;
+    } else {
+      ++metrics_->random_pages;
+    }
+    last_page_ = page;
+  }
+
+ private:
+  RuntimeMetrics* metrics_;
+  int64_t rows_per_page_;
+  int64_t last_page_ = -2;  // so the first access is random
+  std::unordered_set<int64_t> resident_;
+};
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_EXEC_METRICS_H_

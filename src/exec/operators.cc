@@ -1,0 +1,1419 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace ordopt {
+
+namespace {
+
+// Positions of `cols` within `layout`; aborts on a miss (planner bug).
+std::vector<int> PositionsOf(const std::vector<ColumnId>& cols,
+                             const std::vector<ColumnId>& layout) {
+  ExprEvaluator eval(layout);
+  std::vector<int> out;
+  for (const ColumnId& c : cols) {
+    int pos = eval.PositionOf(c);
+    ORDOPT_CHECK_MSG(pos >= 0, "column %s missing from layout",
+                     DefaultColumnName(c).c_str());
+    out.push_back(pos);
+  }
+  return out;
+}
+
+std::vector<ColumnId> TableLayout(const Table& table, int table_id) {
+  std::vector<ColumnId> layout;
+  for (size_t i = 0; i < table.def().columns.size(); ++i) {
+    layout.emplace_back(table_id, static_cast<int32_t>(i));
+  }
+  return layout;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TableScanOp
+// ---------------------------------------------------------------------------
+
+TableScanOp::TableScanOp(const Table& table, int table_id,
+                         RuntimeMetrics* metrics)
+    : table_(table), metrics_(metrics), pages_(metrics, kRowsPerPage) {
+  layout_ = TableLayout(table, table_id);
+}
+
+void TableScanOp::Open() { rid_ = 0; }
+
+bool TableScanOp::Next(Row* out) {
+  if (rid_ >= table_.row_count()) return false;
+  pages_.Access(rid_);
+  ++metrics_->rows_scanned;
+  *out = table_.row(rid_);
+  ++rid_;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// IndexScanOp
+// ---------------------------------------------------------------------------
+
+IndexScanOp::IndexScanOp(const Table& table, int table_id, int index_ordinal,
+                         bool reverse, std::vector<Predicate> range_predicates,
+                         RuntimeMetrics* metrics)
+    : table_(table),
+      index_ordinal_(index_ordinal),
+      reverse_(reverse),
+      range_predicates_(std::move(range_predicates)),
+      metrics_(metrics),
+      pages_(metrics, kRowsPerPage) {
+  layout_ = TableLayout(table, table_id);
+  ORDOPT_CHECK_MSG(!reverse_ || range_predicates_.empty(),
+                   "reverse index scans do not support range bounds");
+}
+
+void IndexScanOp::Open() {
+  const BTreeIndex* index =
+      table_.index(static_cast<size_t>(index_ordinal_));
+  ORDOPT_CHECK(index != nullptr);
+  done_ = false;
+  eq_prefix_.clear();
+  cmp_position_ = -1;
+
+  // Decompose range predicates along the index key: a chain of equalities
+  // then at most one comparison (the planner guarantees this shape).
+  const IndexDef& def =
+      table_.def().indexes[static_cast<size_t>(index_ordinal_)];
+  for (const Predicate& p : range_predicates_) {
+    // Position of the predicate column within the index key.
+    int key_pos = -1;
+    for (size_t k = 0; k < def.column_ordinals.size(); ++k) {
+      if (p.left_col.column == def.column_ordinals[k]) {
+        key_pos = static_cast<int>(k);
+        break;
+      }
+    }
+    ORDOPT_CHECK_MSG(key_pos >= 0, "range predicate off the index key");
+    if (p.kind == Predicate::Kind::kColEqConst) {
+      ORDOPT_CHECK(key_pos == static_cast<int>(eq_prefix_.size()));
+      eq_prefix_.push_back(p.constant);
+    } else {
+      cmp_position_ = key_pos;
+      cmp_op_ = p.cmp;
+      cmp_bound_ = p.constant;
+    }
+  }
+
+  if (reverse_) {
+    cursor_ = index->SeekLast();
+    return;
+  }
+  IndexKey seek = eq_prefix_;
+  if (cmp_position_ >= 0 &&
+      (cmp_op_ == BinOp::kGt || cmp_op_ == BinOp::kGe)) {
+    seek.push_back(cmp_bound_);
+    cursor_ = cmp_op_ == BinOp::kGt ? index->SeekAfter(seek)
+                                    : index->SeekAtLeast(seek);
+  } else if (!seek.empty()) {
+    cursor_ = index->SeekAtLeast(seek);
+  } else {
+    cursor_ = index->SeekFirst();
+  }
+}
+
+bool IndexScanOp::EntryQualifies() const {
+  const IndexKey& key = cursor_.key();
+  for (size_t i = 0; i < eq_prefix_.size(); ++i) {
+    if (key[i].Compare(eq_prefix_[i]) != 0) return false;
+  }
+  if (cmp_position_ >= 0) {
+    const Value& v = key[static_cast<size_t>(cmp_position_)];
+    if (v.is_null()) return false;
+    int c = v.Compare(cmp_bound_);
+    switch (cmp_op_) {
+      case BinOp::kLt:
+        return c < 0;
+      case BinOp::kLe:
+        return c <= 0;
+      case BinOp::kGt:
+        return c > 0;
+      case BinOp::kGe:
+        return c >= 0;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+bool IndexScanOp::Next(Row* out) {
+  while (!done_ && cursor_.Valid()) {
+    if (!EntryQualifies()) {
+      // Keys are monotone: an equality-prefix mismatch or a violated upper
+      // bound means no further entry qualifies; a violated lower bound
+      // cannot happen (the seek skipped below-bound entries).
+      done_ = true;
+      return false;
+    }
+    int64_t rid = cursor_.rid();
+    if (reverse_) {
+      cursor_.Prev();
+    } else {
+      cursor_.Next();
+    }
+    pages_.Access(rid);
+    ++metrics_->rows_scanned;
+    *out = table_.row(rid);
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// FilterOp
+// ---------------------------------------------------------------------------
+
+FilterOp::FilterOp(OperatorPtr child, std::vector<Predicate> predicates)
+    : child_(std::move(child)), predicates_(std::move(predicates)) {
+  layout_ = child_->layout();
+}
+
+void FilterOp::Open() {
+  child_->Open();
+  eval_ = std::make_unique<ExprEvaluator>(layout_);
+}
+
+bool FilterOp::Next(Row* out) {
+  Row row;
+  while (child_->Next(&row)) {
+    bool pass = true;
+    for (const Predicate& p : predicates_) {
+      if (!eval_->EvalPredicate(p, row)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      *out = std::move(row);
+      return true;
+    }
+  }
+  return false;
+}
+
+void FilterOp::Close() { child_->Close(); }
+
+// ---------------------------------------------------------------------------
+// SortOp
+// ---------------------------------------------------------------------------
+
+SortOp::SortOp(OperatorPtr child, OrderSpec spec, RuntimeMetrics* metrics)
+    : child_(std::move(child)), spec_(std::move(spec)), metrics_(metrics) {
+  layout_ = child_->layout();
+}
+
+void SortOp::Open() {
+  child_->Open();
+  rows_.clear();
+  pos_ = 0;
+  Row row;
+  while (child_->Next(&row)) rows_.push_back(std::move(row));
+
+  std::vector<int> positions;
+  std::vector<bool> descending;
+  ExprEvaluator eval(layout_);
+  for (const OrderElement& e : spec_) {
+    int p = eval.PositionOf(e.col);
+    ORDOPT_CHECK_MSG(p >= 0, "sort column %s missing from layout",
+                     DefaultColumnName(e.col).c_str());
+    positions.push_back(p);
+    descending.push_back(e.dir == SortDirection::kDescending);
+  }
+  ++metrics_->sorts_performed;
+  metrics_->rows_sorted += static_cast<int64_t>(rows_.size());
+  // A sort exceeding memory spills run files and merges them back: two
+  // sequential passes over the data (mirrors CostParams::sort_memory_rows).
+  constexpr size_t kSortMemoryRows = 200000;
+  if (rows_.size() > kSortMemoryRows) {
+    metrics_->seq_pages +=
+        2 * static_cast<int64_t>(rows_.size()) / kRowsPerPage;
+  }
+  int64_t* cmp_counter = &metrics_->comparisons;
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [&positions, &descending, cmp_counter](const Row& a,
+                                                          const Row& b) {
+                     for (size_t i = 0; i < positions.size(); ++i) {
+                       ++*cmp_counter;
+                       int c = a[static_cast<size_t>(positions[i])].Compare(
+                           b[static_cast<size_t>(positions[i])]);
+                       if (c != 0) return descending[i] ? c > 0 : c < 0;
+                     }
+                     return false;
+                   });
+}
+
+bool SortOp::Next(Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+void SortOp::Close() {
+  child_->Close();
+  rows_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// MergeJoinOp
+// ---------------------------------------------------------------------------
+
+MergeJoinOp::MergeJoinOp(OperatorPtr outer, OperatorPtr inner,
+                         std::vector<std::pair<ColumnId, ColumnId>> pairs,
+                         RuntimeMetrics* metrics)
+    : outer_(std::move(outer)), inner_(std::move(inner)), metrics_(metrics) {
+  layout_ = outer_->layout();
+  for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
+  std::vector<ColumnId> ocols, icols;
+  for (const auto& [o, i] : pairs) {
+    ocols.push_back(o);
+    icols.push_back(i);
+  }
+  outer_positions_ = PositionsOf(ocols, outer_->layout());
+  inner_positions_ = PositionsOf(icols, inner_->layout());
+}
+
+void MergeJoinOp::Open() {
+  outer_->Open();
+  inner_->Open();
+  outer_valid_ = outer_->Next(&outer_row_);
+  inner_valid_ = inner_->Next(&inner_row_);
+  group_valid_ = false;
+  group_pos_ = 0;
+}
+
+int MergeJoinOp::CompareKeys(const Row& outer_row,
+                             const Row& inner_row) const {
+  for (size_t i = 0; i < outer_positions_.size(); ++i) {
+    ++metrics_->comparisons;
+    int c = outer_row[static_cast<size_t>(outer_positions_[i])].Compare(
+        inner_row[static_cast<size_t>(inner_positions_[i])]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+bool MergeJoinOp::OuterKeyEqualsGroup(const Row& outer_row) const {
+  for (size_t i = 0; i < outer_positions_.size(); ++i) {
+    if (outer_row[static_cast<size_t>(outer_positions_[i])].Compare(
+            group_key_[i]) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MergeJoinOp::FetchOuter() {
+  outer_valid_ = outer_->Next(&outer_row_);
+  return outer_valid_;
+}
+
+void MergeJoinOp::LoadInnerGroup() {
+  group_.clear();
+  group_key_.clear();
+  for (int p : inner_positions_) {
+    group_key_.push_back(inner_row_[static_cast<size_t>(p)]);
+  }
+  while (inner_valid_) {
+    bool same = true;
+    for (size_t i = 0; i < inner_positions_.size(); ++i) {
+      if (inner_row_[static_cast<size_t>(inner_positions_[i])].Compare(
+              group_key_[i]) != 0) {
+        same = false;
+        break;
+      }
+    }
+    if (!same) break;
+    group_.push_back(inner_row_);
+    inner_valid_ = inner_->Next(&inner_row_);
+  }
+  group_valid_ = true;
+  group_pos_ = 0;
+}
+
+bool MergeJoinOp::Next(Row* out) {
+  while (true) {
+    if (group_valid_ && outer_valid_ && OuterKeyEqualsGroup(outer_row_)) {
+      if (group_pos_ < group_.size()) {
+        *out = outer_row_;
+        const Row& inner = group_[group_pos_++];
+        out->insert(out->end(), inner.begin(), inner.end());
+        return true;
+      }
+      group_pos_ = 0;
+      FetchOuter();
+      continue;
+    }
+    if (!outer_valid_) return false;
+
+    // Skip outer rows with NULL join keys (they match nothing).
+    bool outer_null = false;
+    for (int p : outer_positions_) {
+      if (outer_row_[static_cast<size_t>(p)].is_null()) outer_null = true;
+    }
+    if (outer_null) {
+      FetchOuter();
+      continue;
+    }
+
+    // Advance inner past smaller (or NULL) keys.
+    while (inner_valid_) {
+      bool inner_null = false;
+      for (int p : inner_positions_) {
+        if (inner_row_[static_cast<size_t>(p)].is_null()) inner_null = true;
+      }
+      if (inner_null || CompareKeys(outer_row_, inner_row_) > 0) {
+        inner_valid_ = inner_->Next(&inner_row_);
+        continue;
+      }
+      break;
+    }
+    if (!inner_valid_) {
+      // Inner exhausted: no outer row can match any more. A still-loaded
+      // group can only match the current outer, which we already checked.
+      return false;
+    }
+    if (CompareKeys(outer_row_, inner_row_) == 0) {
+      LoadInnerGroup();
+      continue;
+    }
+    // inner key > outer key: advance outer.
+    FetchOuter();
+  }
+}
+
+void MergeJoinOp::Close() {
+  outer_->Close();
+  inner_->Close();
+  group_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// IndexNLJoinOp
+// ---------------------------------------------------------------------------
+
+IndexNLJoinOp::IndexNLJoinOp(OperatorPtr outer, const Table& table,
+                             int table_id, int index_ordinal,
+                             std::vector<std::pair<ColumnId, ColumnId>> pairs,
+                             RuntimeMetrics* metrics)
+    : outer_(std::move(outer)),
+      table_(table),
+      index_ordinal_(index_ordinal),
+      pairs_(std::move(pairs)),
+      metrics_(metrics),
+      pages_(metrics, kRowsPerPage) {
+  layout_ = outer_->layout();
+  for (const ColumnId& c : TableLayout(table, table_id)) layout_.push_back(c);
+  std::vector<ColumnId> ocols;
+  for (const auto& [o, i] : pairs_) ocols.push_back(o);
+  outer_positions_ = PositionsOf(ocols, outer_->layout());
+}
+
+void IndexNLJoinOp::Open() {
+  outer_->Open();
+  probing_ = false;
+}
+
+bool IndexNLJoinOp::Probe() {
+  const BTreeIndex* index =
+      table_.index(static_cast<size_t>(index_ordinal_));
+  ORDOPT_CHECK(index != nullptr);
+  while (outer_->Next(&outer_row_)) {
+    probe_key_.clear();
+    bool has_null = false;
+    for (int p : outer_positions_) {
+      const Value& v = outer_row_[static_cast<size_t>(p)];
+      if (v.is_null()) has_null = true;
+      probe_key_.push_back(v);
+    }
+    if (has_null) continue;
+    ++metrics_->index_probes;
+    cursor_ = index->SeekAtLeast(probe_key_);
+    if (cursor_.Valid() && index->CompareKeys(cursor_.key(), probe_key_) == 0) {
+      probing_ = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IndexNLJoinOp::Next(Row* out) {
+  const BTreeIndex* index =
+      table_.index(static_cast<size_t>(index_ordinal_));
+  while (true) {
+    if (!probing_) {
+      if (!Probe()) return false;
+    }
+    if (cursor_.Valid() &&
+        index->CompareKeys(cursor_.key(), probe_key_) == 0) {
+      int64_t rid = cursor_.rid();
+      cursor_.Next();
+      pages_.Access(rid);
+      ++metrics_->rows_scanned;
+      *out = outer_row_;
+      const Row& inner = table_.row(rid);
+      out->insert(out->end(), inner.begin(), inner.end());
+      return true;
+    }
+    probing_ = false;
+  }
+}
+
+void IndexNLJoinOp::Close() { outer_->Close(); }
+
+// ---------------------------------------------------------------------------
+// NaiveNLJoinOp
+// ---------------------------------------------------------------------------
+
+NaiveNLJoinOp::NaiveNLJoinOp(OperatorPtr outer, OperatorPtr inner)
+    : outer_(std::move(outer)), inner_(std::move(inner)) {
+  layout_ = outer_->layout();
+  for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
+}
+
+void NaiveNLJoinOp::Open() {
+  outer_->Open();
+  inner_->Open();
+  inner_rows_.clear();
+  Row row;
+  while (inner_->Next(&row)) inner_rows_.push_back(std::move(row));
+  outer_valid_ = outer_->Next(&outer_row_);
+  inner_pos_ = 0;
+}
+
+bool NaiveNLJoinOp::Next(Row* out) {
+  while (outer_valid_) {
+    if (inner_pos_ < inner_rows_.size()) {
+      *out = outer_row_;
+      const Row& inner = inner_rows_[inner_pos_++];
+      out->insert(out->end(), inner.begin(), inner.end());
+      return true;
+    }
+    inner_pos_ = 0;
+    outer_valid_ = outer_->Next(&outer_row_);
+  }
+  return false;
+}
+
+void NaiveNLJoinOp::Close() {
+  outer_->Close();
+  inner_->Close();
+  inner_rows_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// HashJoinOp
+// ---------------------------------------------------------------------------
+
+size_t HashJoinOp::KeyHash::operator()(const std::vector<Value>& key) const {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : key) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool HashJoinOp::KeyEq::operator()(const std::vector<Value>& a,
+                                   const std::vector<Value>& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].Compare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
+HashJoinOp::HashJoinOp(OperatorPtr outer, OperatorPtr inner,
+                       std::vector<std::pair<ColumnId, ColumnId>> pairs)
+    : outer_(std::move(outer)), inner_(std::move(inner)) {
+  layout_ = outer_->layout();
+  for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
+  std::vector<ColumnId> ocols, icols;
+  for (const auto& [o, i] : pairs) {
+    ocols.push_back(o);
+    icols.push_back(i);
+  }
+  outer_positions_ = PositionsOf(ocols, outer_->layout());
+  inner_positions_ = PositionsOf(icols, inner_->layout());
+}
+
+void HashJoinOp::Open() {
+  outer_->Open();
+  inner_->Open();
+  hash_table_.clear();
+  Row row;
+  while (inner_->Next(&row)) {
+    std::vector<Value> key;
+    bool has_null = false;
+    for (int p : inner_positions_) {
+      if (row[static_cast<size_t>(p)].is_null()) has_null = true;
+      key.push_back(row[static_cast<size_t>(p)]);
+    }
+    if (has_null) continue;
+    hash_table_[std::move(key)].push_back(std::move(row));
+  }
+  matches_ = nullptr;
+  match_pos_ = 0;
+}
+
+bool HashJoinOp::Next(Row* out) {
+  while (true) {
+    if (matches_ != nullptr && match_pos_ < matches_->size()) {
+      *out = outer_row_;
+      const Row& inner = (*matches_)[match_pos_++];
+      out->insert(out->end(), inner.begin(), inner.end());
+      return true;
+    }
+    matches_ = nullptr;
+    if (!outer_->Next(&outer_row_)) return false;
+    std::vector<Value> key;
+    bool has_null = false;
+    for (int p : outer_positions_) {
+      if (outer_row_[static_cast<size_t>(p)].is_null()) has_null = true;
+      key.push_back(outer_row_[static_cast<size_t>(p)]);
+    }
+    if (has_null) continue;
+    auto it = hash_table_.find(key);
+    if (it != hash_table_.end()) {
+      matches_ = &it->second;
+      match_pos_ = 0;
+    }
+  }
+}
+
+void HashJoinOp::Close() {
+  outer_->Close();
+  inner_->Close();
+  hash_table_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// MergeLeftJoinOp
+// ---------------------------------------------------------------------------
+
+MergeLeftJoinOp::MergeLeftJoinOp(
+    OperatorPtr outer, OperatorPtr inner,
+    std::vector<std::pair<ColumnId, ColumnId>> pairs, RuntimeMetrics* metrics)
+    : outer_(std::move(outer)), inner_(std::move(inner)), metrics_(metrics) {
+  layout_ = outer_->layout();
+  inner_width_ = inner_->layout().size();
+  for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
+  std::vector<ColumnId> ocols, icols;
+  for (const auto& [o, i] : pairs) {
+    ocols.push_back(o);
+    icols.push_back(i);
+  }
+  outer_positions_ = PositionsOf(ocols, outer_->layout());
+  inner_positions_ = PositionsOf(icols, inner_->layout());
+}
+
+void MergeLeftJoinOp::Open() {
+  outer_->Open();
+  inner_->Open();
+  outer_valid_ = outer_->Next(&outer_row_);
+  inner_valid_ = inner_->Next(&inner_row_);
+  started_ = false;
+  group_valid_ = false;
+}
+
+bool MergeLeftJoinOp::KeyEqualsGroup(const Row& outer_row) const {
+  for (size_t i = 0; i < outer_positions_.size(); ++i) {
+    if (outer_row[static_cast<size_t>(outer_positions_[i])].Compare(
+            group_key_[i]) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MergeLeftJoinOp::OuterKeyHasNull() const {
+  for (int p : outer_positions_) {
+    if (outer_row_[static_cast<size_t>(p)].is_null()) return true;
+  }
+  return false;
+}
+
+void MergeLeftJoinOp::AdvanceOuter() {
+  outer_valid_ = outer_->Next(&outer_row_);
+  started_ = false;
+}
+
+void MergeLeftJoinOp::LoadGroupFor(const Row& outer_row) {
+  // Advance the inner past NULL keys and keys below the outer's.
+  while (inner_valid_) {
+    bool inner_null = false;
+    int cmp = 0;
+    for (size_t i = 0; i < inner_positions_.size() && cmp == 0; ++i) {
+      const Value& iv = inner_row_[static_cast<size_t>(inner_positions_[i])];
+      if (iv.is_null()) {
+        inner_null = true;
+        break;
+      }
+      ++metrics_->comparisons;
+      cmp = iv.Compare(
+          outer_row[static_cast<size_t>(outer_positions_[i])]);
+    }
+    if (inner_null || cmp < 0) {
+      inner_valid_ = inner_->Next(&inner_row_);
+      continue;
+    }
+    if (cmp > 0) {
+      group_valid_ = false;
+      return;
+    }
+    // Equal: buffer the whole group.
+    group_.clear();
+    group_key_.clear();
+    for (int p : inner_positions_) {
+      group_key_.push_back(inner_row_[static_cast<size_t>(p)]);
+    }
+    while (inner_valid_) {
+      bool same = true;
+      for (size_t i = 0; i < inner_positions_.size(); ++i) {
+        if (inner_row_[static_cast<size_t>(inner_positions_[i])].Compare(
+                group_key_[i]) != 0) {
+          same = false;
+          break;
+        }
+      }
+      if (!same) break;
+      group_.push_back(inner_row_);
+      inner_valid_ = inner_->Next(&inner_row_);
+    }
+    group_valid_ = true;
+    return;
+  }
+  group_valid_ = false;
+}
+
+Row MergeLeftJoinOp::Padded() const {
+  Row out = outer_row_;
+  for (size_t i = 0; i < inner_width_; ++i) out.push_back(Value::Null());
+  return out;
+}
+
+bool MergeLeftJoinOp::Next(Row* out) {
+  while (outer_valid_) {
+    if (!started_) {
+      started_ = true;
+      group_pos_ = 0;
+      if (OuterKeyHasNull()) {
+        match_ = false;
+      } else {
+        if (!(group_valid_ && KeyEqualsGroup(outer_row_))) {
+          LoadGroupFor(outer_row_);
+        }
+        match_ = group_valid_ && KeyEqualsGroup(outer_row_);
+      }
+    }
+    if (!match_) {
+      *out = Padded();
+      AdvanceOuter();
+      return true;
+    }
+    if (group_pos_ < group_.size()) {
+      *out = outer_row_;
+      const Row& inner = group_[group_pos_++];
+      out->insert(out->end(), inner.begin(), inner.end());
+      return true;
+    }
+    AdvanceOuter();
+  }
+  return false;
+}
+
+void MergeLeftJoinOp::Close() {
+  outer_->Close();
+  inner_->Close();
+  group_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// HashLeftJoinOp
+// ---------------------------------------------------------------------------
+
+HashLeftJoinOp::HashLeftJoinOp(
+    OperatorPtr outer, OperatorPtr inner,
+    std::vector<std::pair<ColumnId, ColumnId>> pairs)
+    : outer_(std::move(outer)), inner_(std::move(inner)) {
+  layout_ = outer_->layout();
+  inner_width_ = inner_->layout().size();
+  for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
+  std::vector<ColumnId> ocols, icols;
+  for (const auto& [o, i] : pairs) {
+    ocols.push_back(o);
+    icols.push_back(i);
+  }
+  outer_positions_ = PositionsOf(ocols, outer_->layout());
+  inner_positions_ = PositionsOf(icols, inner_->layout());
+}
+
+void HashLeftJoinOp::Open() {
+  outer_->Open();
+  inner_->Open();
+  hash_table_.clear();
+  Row row;
+  while (inner_->Next(&row)) {
+    std::vector<Value> key;
+    bool has_null = false;
+    for (int p : inner_positions_) {
+      if (row[static_cast<size_t>(p)].is_null()) has_null = true;
+      key.push_back(row[static_cast<size_t>(p)]);
+    }
+    if (has_null) continue;
+    hash_table_[std::move(key)].push_back(std::move(row));
+  }
+  matches_ = nullptr;
+  match_pos_ = 0;
+}
+
+bool HashLeftJoinOp::Next(Row* out) {
+  while (true) {
+    if (matches_ != nullptr && match_pos_ < matches_->size()) {
+      *out = outer_row_;
+      const Row& inner = (*matches_)[match_pos_++];
+      out->insert(out->end(), inner.begin(), inner.end());
+      return true;
+    }
+    matches_ = nullptr;
+    if (!outer_->Next(&outer_row_)) return false;
+    std::vector<Value> key;
+    bool has_null = false;
+    for (int p : outer_positions_) {
+      if (outer_row_[static_cast<size_t>(p)].is_null()) has_null = true;
+      key.push_back(outer_row_[static_cast<size_t>(p)]);
+    }
+    auto it = has_null ? hash_table_.end() : hash_table_.find(key);
+    if (it != hash_table_.end()) {
+      matches_ = &it->second;
+      match_pos_ = 0;
+      continue;
+    }
+    // No match: null-padded output.
+    *out = outer_row_;
+    for (size_t i = 0; i < inner_width_; ++i) out->push_back(Value::Null());
+    return true;
+  }
+}
+
+void HashLeftJoinOp::Close() {
+  outer_->Close();
+  inner_->Close();
+  hash_table_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// NaiveLeftJoinOp
+// ---------------------------------------------------------------------------
+
+NaiveLeftJoinOp::NaiveLeftJoinOp(OperatorPtr outer, OperatorPtr inner,
+                                 std::vector<Predicate> on_predicates)
+    : outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      on_predicates_(std::move(on_predicates)) {
+  layout_ = outer_->layout();
+  for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
+}
+
+void NaiveLeftJoinOp::Open() {
+  outer_->Open();
+  inner_->Open();
+  eval_ = std::make_unique<ExprEvaluator>(layout_);
+  inner_rows_.clear();
+  Row row;
+  while (inner_->Next(&row)) inner_rows_.push_back(std::move(row));
+  outer_valid_ = outer_->Next(&outer_row_);
+  matched_current_ = false;
+  inner_pos_ = 0;
+}
+
+bool NaiveLeftJoinOp::Next(Row* out) {
+  while (outer_valid_) {
+    while (inner_pos_ < inner_rows_.size()) {
+      const Row& inner = inner_rows_[inner_pos_++];
+      Row combined = outer_row_;
+      combined.insert(combined.end(), inner.begin(), inner.end());
+      bool pass = true;
+      for (const Predicate& p : on_predicates_) {
+        if (!eval_->EvalPredicate(p, combined)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) {
+        matched_current_ = true;
+        *out = std::move(combined);
+        return true;
+      }
+    }
+    bool emit_pad = !matched_current_;
+    Row padded;
+    if (emit_pad) {
+      padded = outer_row_;
+      size_t inner_width = layout_.size() - outer_row_.size();
+      for (size_t i = 0; i < inner_width; ++i) {
+        padded.push_back(Value::Null());
+      }
+    }
+    outer_valid_ = outer_->Next(&outer_row_);
+    matched_current_ = false;
+    inner_pos_ = 0;
+    if (emit_pad) {
+      *out = std::move(padded);
+      return true;
+    }
+  }
+  return false;
+}
+
+void NaiveLeftJoinOp::Close() {
+  outer_->Close();
+  inner_->Close();
+  inner_rows_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// StreamGroupByOp
+// ---------------------------------------------------------------------------
+
+StreamGroupByOp::StreamGroupByOp(OperatorPtr child,
+                                 std::vector<ColumnId> group_columns,
+                                 std::vector<AggregateSpec> aggregates,
+                                 RuntimeMetrics* metrics)
+    : child_(std::move(child)),
+      group_columns_(std::move(group_columns)),
+      aggregates_(std::move(aggregates)),
+      metrics_(metrics) {
+  for (const ColumnId& c : group_columns_) layout_.push_back(c);
+  for (const AggregateSpec& a : aggregates_) layout_.push_back(a.output);
+  group_positions_ = PositionsOf(group_columns_, child_->layout());
+}
+
+void StreamGroupByOp::Open() {
+  child_->Open();
+  eval_ = std::make_unique<ExprEvaluator>(child_->layout());
+  pending_valid_ = child_->Next(&pending_row_);
+  done_ = false;
+  emitted_global_ = false;
+}
+
+void StreamGroupByOp::InitStates() {
+  states_.assign(aggregates_.size(), State());
+}
+
+void StreamGroupByOp::Accumulate(const Row& row) {
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    const AggregateSpec& spec = aggregates_[i];
+    State& st = states_[i];
+    if (spec.count_star) {
+      ++st.count;
+      continue;
+    }
+    Value v = eval_->Eval(spec.arg, row);
+    if (v.is_null()) continue;
+    if (spec.distinct) {
+      st.distinct_values.emplace(std::vector<Value>{v}, true);
+      continue;
+    }
+    st.saw_value = true;
+    ++st.count;
+    switch (spec.func) {
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (v.type() == DataType::kInt64 && st.sum_is_int) {
+          st.sum_i += v.AsInt();
+        } else {
+          if (st.sum_is_int) {
+            st.sum_d = static_cast<double>(st.sum_i);
+            st.sum_is_int = false;
+          }
+          st.sum_d += v.AsDouble();
+        }
+        break;
+      case AggFunc::kMin:
+        if (st.min_v.is_null() || v.Compare(st.min_v) < 0) st.min_v = v;
+        break;
+      case AggFunc::kMax:
+        if (st.max_v.is_null() || v.Compare(st.max_v) > 0) st.max_v = v;
+        break;
+      case AggFunc::kCount:
+        break;  // count accumulated above
+    }
+  }
+}
+
+Row StreamGroupByOp::EmitGroup() {
+  Row out = Row(current_key_.begin(), current_key_.end());
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    const AggregateSpec& spec = aggregates_[i];
+    State& st = states_[i];
+    if (spec.distinct) {
+      // Fold the collected distinct values.
+      st.saw_value = !st.distinct_values.empty();
+      st.count = 0;
+      st.sum_is_int = true;
+      st.sum_i = 0;
+      st.sum_d = 0.0;
+      st.min_v = Value::Null();
+      st.max_v = Value::Null();
+      for (const auto& [key, _] : st.distinct_values) {
+        const Value& v = key[0];
+        ++st.count;
+        if (v.type() == DataType::kInt64 && st.sum_is_int) {
+          st.sum_i += v.AsInt();
+        } else {
+          if (st.sum_is_int) {
+            st.sum_d = static_cast<double>(st.sum_i);
+            st.sum_is_int = false;
+          }
+          st.sum_d += v.AsDouble();
+        }
+        if (st.min_v.is_null() || v.Compare(st.min_v) < 0) st.min_v = v;
+        if (st.max_v.is_null() || v.Compare(st.max_v) > 0) st.max_v = v;
+      }
+    }
+    switch (spec.func) {
+      case AggFunc::kCount:
+        out.push_back(Value::Int(st.count));
+        break;
+      case AggFunc::kSum:
+        if (!st.saw_value) {
+          out.push_back(Value::Null());
+        } else if (st.sum_is_int) {
+          out.push_back(Value::Int(st.sum_i));
+        } else {
+          out.push_back(Value::Double(st.sum_d));
+        }
+        break;
+      case AggFunc::kAvg:
+        if (!st.saw_value || st.count == 0) {
+          out.push_back(Value::Null());
+        } else {
+          double total = st.sum_is_int ? static_cast<double>(st.sum_i)
+                                       : st.sum_d;
+          out.push_back(Value::Double(total /
+                                      static_cast<double>(st.count)));
+        }
+        break;
+      case AggFunc::kMin:
+        out.push_back(st.min_v);
+        break;
+      case AggFunc::kMax:
+        out.push_back(st.max_v);
+        break;
+    }
+  }
+  ++metrics_->comparisons;  // group-boundary detection work
+  return out;
+}
+
+bool StreamGroupByOp::Next(Row* out) {
+  if (done_) return false;
+  if (!pending_valid_) {
+    // Empty input: a global aggregate still emits one row.
+    if (group_columns_.empty() && !emitted_global_) {
+      current_key_.clear();
+      InitStates();
+      emitted_global_ = true;
+      done_ = true;
+      *out = EmitGroup();
+      return true;
+    }
+    done_ = true;
+    return false;
+  }
+  // Start a new group from the pending row.
+  current_key_.clear();
+  for (int p : group_positions_) {
+    current_key_.push_back(pending_row_[static_cast<size_t>(p)]);
+  }
+  InitStates();
+  Accumulate(pending_row_);
+  emitted_global_ = true;
+  Row row;
+  while (child_->Next(&row)) {
+    bool same = true;
+    for (size_t i = 0; i < group_positions_.size(); ++i) {
+      ++metrics_->comparisons;
+      if (row[static_cast<size_t>(group_positions_[i])].Compare(
+              current_key_[i]) != 0) {
+        same = false;
+        break;
+      }
+    }
+    if (same) {
+      Accumulate(row);
+      continue;
+    }
+    pending_row_ = std::move(row);
+    *out = EmitGroup();
+    return true;
+  }
+  pending_valid_ = false;
+  *out = EmitGroup();
+  return true;
+}
+
+void StreamGroupByOp::Close() { child_->Close(); }
+
+// ---------------------------------------------------------------------------
+// HashGroupByOp
+// ---------------------------------------------------------------------------
+
+HashGroupByOp::HashGroupByOp(OperatorPtr child,
+                             std::vector<ColumnId> group_columns,
+                             std::vector<AggregateSpec> aggregates,
+                             RuntimeMetrics* metrics)
+    : child_(std::move(child)),
+      group_columns_(std::move(group_columns)),
+      aggregates_(std::move(aggregates)),
+      metrics_(metrics) {
+  for (const ColumnId& c : group_columns_) layout_.push_back(c);
+  for (const AggregateSpec& a : aggregates_) layout_.push_back(a.output);
+}
+
+void HashGroupByOp::Open() {
+  // Implemented by delegation: hash grouping is sort-grouping with an
+  // order-insensitive map. We materialize child rows grouped by key (an
+  // ordered map for determinism), then stream-aggregate each bucket.
+  child_->Open();
+  results_.clear();
+  pos_ = 0;
+
+  std::vector<int> positions = PositionsOf(group_columns_, child_->layout());
+  ExprEvaluator eval(child_->layout());
+  std::map<std::vector<Value>, std::vector<Row>> buckets;
+  Row row;
+  while (child_->Next(&row)) {
+    std::vector<Value> key;
+    for (int p : positions) key.push_back(row[static_cast<size_t>(p)]);
+    buckets[std::move(key)].push_back(std::move(row));
+  }
+
+  // Reuse the streaming accumulator per bucket via a tiny adapter.
+  class BucketSource : public Operator {
+   public:
+    BucketSource(const std::vector<Row>* rows, std::vector<ColumnId> layout) {
+      rows_ = rows;
+      layout_ = std::move(layout);
+    }
+    void Open() override { pos_ = 0; }
+    bool Next(Row* out) override {
+      if (pos_ >= rows_->size()) return false;
+      *out = (*rows_)[pos_++];
+      return true;
+    }
+
+   private:
+    const std::vector<Row>* rows_;
+    size_t pos_ = 0;
+  };
+
+  if (buckets.empty() && group_columns_.empty()) {
+    // Global aggregate over empty input still emits one row; delegate to
+    // the streaming accumulator over an empty source.
+    static const std::vector<Row> kEmpty;
+    StreamGroupByOp agg(
+        std::make_unique<BucketSource>(&kEmpty, child_->layout()),
+        group_columns_, aggregates_, metrics_);
+    agg.Open();
+    Row out;
+    while (agg.Next(&out)) results_.push_back(out);
+    return;
+  }
+
+  for (const auto& [key, rows] : buckets) {
+    StreamGroupByOp agg(std::make_unique<BucketSource>(&rows,
+                                                       child_->layout()),
+                        group_columns_, aggregates_, metrics_);
+    agg.Open();
+    Row out;
+    while (agg.Next(&out)) results_.push_back(out);
+  }
+}
+
+bool HashGroupByOp::Next(Row* out) {
+  if (pos_ >= results_.size()) return false;
+  *out = results_[pos_++];
+  return true;
+}
+
+void HashGroupByOp::Close() {
+  child_->Close();
+  results_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// StreamDistinctOp / HashDistinctOp
+// ---------------------------------------------------------------------------
+
+StreamDistinctOp::StreamDistinctOp(OperatorPtr child,
+                                   ColumnSet distinct_columns)
+    : child_(std::move(child)), distinct_columns_(std::move(distinct_columns)) {
+  layout_ = child_->layout();
+  std::vector<ColumnId> cols(distinct_columns_.begin(),
+                             distinct_columns_.end());
+  positions_ = PositionsOf(cols, layout_);
+}
+
+void StreamDistinctOp::Open() {
+  child_->Open();
+  has_last_ = false;
+}
+
+bool StreamDistinctOp::Next(Row* out) {
+  Row row;
+  while (child_->Next(&row)) {
+    std::vector<Value> key;
+    for (int p : positions_) key.push_back(row[static_cast<size_t>(p)]);
+    if (has_last_) {
+      bool same = true;
+      for (size_t i = 0; i < key.size(); ++i) {
+        if (key[i].Compare(last_key_[i]) != 0) {
+          same = false;
+          break;
+        }
+      }
+      if (same) continue;
+    }
+    last_key_ = std::move(key);
+    has_last_ = true;
+    *out = std::move(row);
+    return true;
+  }
+  return false;
+}
+
+void StreamDistinctOp::Close() { child_->Close(); }
+
+HashDistinctOp::HashDistinctOp(OperatorPtr child, ColumnSet distinct_columns)
+    : child_(std::move(child)), distinct_columns_(std::move(distinct_columns)) {
+  layout_ = child_->layout();
+  std::vector<ColumnId> cols(distinct_columns_.begin(),
+                             distinct_columns_.end());
+  positions_ = PositionsOf(cols, layout_);
+}
+
+void HashDistinctOp::Open() {
+  child_->Open();
+  seen_.clear();
+}
+
+bool HashDistinctOp::Next(Row* out) {
+  Row row;
+  while (child_->Next(&row)) {
+    std::vector<Value> key;
+    for (int p : positions_) key.push_back(row[static_cast<size_t>(p)]);
+    if (!seen_.emplace(std::move(key), true).second) continue;
+    *out = std::move(row);
+    return true;
+  }
+  return false;
+}
+
+void HashDistinctOp::Close() {
+  child_->Close();
+  seen_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// UnionAllOp / MergeUnionOp
+// ---------------------------------------------------------------------------
+
+UnionAllOp::UnionAllOp(std::vector<OperatorPtr> children,
+                       std::vector<ColumnId> layout)
+    : children_(std::move(children)) {
+  layout_ = std::move(layout);
+}
+
+void UnionAllOp::Open() {
+  for (OperatorPtr& c : children_) c->Open();
+  current_ = 0;
+}
+
+bool UnionAllOp::Next(Row* out) {
+  while (current_ < children_.size()) {
+    if (children_[current_]->Next(out)) return true;
+    ++current_;
+  }
+  return false;
+}
+
+void UnionAllOp::Close() {
+  for (OperatorPtr& c : children_) c->Close();
+}
+
+MergeUnionOp::MergeUnionOp(std::vector<OperatorPtr> children,
+                           std::vector<ColumnId> layout,
+                           RuntimeMetrics* metrics)
+    : children_(std::move(children)), metrics_(metrics) {
+  layout_ = std::move(layout);
+}
+
+void MergeUnionOp::Open() {
+  heads_.assign(children_.size(), Row());
+  valid_.assign(children_.size(), false);
+  for (size_t i = 0; i < children_.size(); ++i) {
+    children_[i]->Open();
+    valid_[i] = children_[i]->Next(&heads_[i]);
+  }
+}
+
+int MergeUnionOp::CompareRows(const Row& a, const Row& b) const {
+  for (size_t i = 0; i < a.size(); ++i) {
+    ++metrics_->comparisons;
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+bool MergeUnionOp::Next(Row* out) {
+  int best = -1;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!valid_[i]) continue;
+    if (best < 0 ||
+        CompareRows(heads_[i], heads_[static_cast<size_t>(best)]) < 0) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) return false;
+  size_t b = static_cast<size_t>(best);
+  *out = std::move(heads_[b]);
+  valid_[b] = children_[b]->Next(&heads_[b]);
+  return true;
+}
+
+void MergeUnionOp::Close() {
+  for (OperatorPtr& c : children_) c->Close();
+}
+
+// ---------------------------------------------------------------------------
+// TopNOp
+// ---------------------------------------------------------------------------
+
+TopNOp::TopNOp(OperatorPtr child, OrderSpec spec, int64_t limit,
+               RuntimeMetrics* metrics)
+    : child_(std::move(child)),
+      spec_(std::move(spec)),
+      limit_(limit),
+      metrics_(metrics) {
+  layout_ = child_->layout();
+}
+
+void TopNOp::Open() {
+  child_->Open();
+  rows_.clear();
+  pos_ = 0;
+  if (limit_ <= 0) return;
+
+  std::vector<int> positions;
+  std::vector<bool> descending;
+  ExprEvaluator eval(layout_);
+  for (const OrderElement& e : spec_) {
+    int p = eval.PositionOf(e.col);
+    ORDOPT_CHECK_MSG(p >= 0, "top-n column %s missing from layout",
+                     DefaultColumnName(e.col).c_str());
+    positions.push_back(p);
+    descending.push_back(e.dir == SortDirection::kDescending);
+  }
+  int64_t* cmp_counter = &metrics_->comparisons;
+  auto less = [&positions, &descending, cmp_counter](const Row& a,
+                                                     const Row& b) {
+    for (size_t i = 0; i < positions.size(); ++i) {
+      ++*cmp_counter;
+      int c = a[static_cast<size_t>(positions[i])].Compare(
+          b[static_cast<size_t>(positions[i])]);
+      if (c != 0) return descending[i] ? c > 0 : c < 0;
+    }
+    return false;
+  };
+
+  // Max-heap of the current best `limit_` rows (heap top = worst kept).
+  Row row;
+  size_t cap = static_cast<size_t>(limit_);
+  while (child_->Next(&row)) {
+    if (rows_.size() < cap) {
+      rows_.push_back(std::move(row));
+      std::push_heap(rows_.begin(), rows_.end(), less);
+      continue;
+    }
+    if (less(row, rows_.front())) {
+      std::pop_heap(rows_.begin(), rows_.end(), less);
+      rows_.back() = std::move(row);
+      std::push_heap(rows_.begin(), rows_.end(), less);
+    }
+  }
+  std::sort_heap(rows_.begin(), rows_.end(), less);
+  ++metrics_->sorts_performed;
+  metrics_->rows_sorted += static_cast<int64_t>(rows_.size());
+}
+
+bool TopNOp::Next(Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+void TopNOp::Close() {
+  child_->Close();
+  rows_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// LimitOp
+// ---------------------------------------------------------------------------
+
+LimitOp::LimitOp(OperatorPtr child, int64_t limit)
+    : child_(std::move(child)), limit_(limit) {
+  layout_ = child_->layout();
+}
+
+void LimitOp::Open() {
+  child_->Open();
+  emitted_ = 0;
+}
+
+bool LimitOp::Next(Row* out) {
+  if (emitted_ >= limit_) return false;
+  if (!child_->Next(out)) return false;
+  ++emitted_;
+  return true;
+}
+
+void LimitOp::Close() { child_->Close(); }
+
+// ---------------------------------------------------------------------------
+// ProjectOp
+// ---------------------------------------------------------------------------
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<OutputColumn> projections)
+    : child_(std::move(child)), projections_(std::move(projections)) {
+  for (const OutputColumn& oc : projections_) layout_.push_back(oc.id);
+}
+
+void ProjectOp::Open() {
+  child_->Open();
+  eval_ = std::make_unique<ExprEvaluator>(child_->layout());
+}
+
+bool ProjectOp::Next(Row* out) {
+  Row row;
+  if (!child_->Next(&row)) return false;
+  out->clear();
+  for (const OutputColumn& oc : projections_) {
+    out->push_back(eval_->Eval(oc.expr, row));
+  }
+  return true;
+}
+
+void ProjectOp::Close() { child_->Close(); }
+
+}  // namespace ordopt

@@ -1,0 +1,490 @@
+#ifndef ORDOPT_EXEC_OPERATORS_H_
+#define ORDOPT_EXEC_OPERATORS_H_
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/expr_eval.h"
+#include "exec/metrics.h"
+#include "optimizer/plan.h"
+#include "storage/table.h"
+
+namespace ordopt {
+
+/// Volcano-style iterator. Each operator declares its row layout (the
+/// ColumnId at each position) so parents can bind expressions by identity.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual void Open() = 0;
+  /// Produces the next row; false at end of stream.
+  virtual bool Next(Row* out) = 0;
+  virtual void Close() {}
+
+  const std::vector<ColumnId>& layout() const { return layout_; }
+
+ protected:
+  std::vector<ColumnId> layout_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Heap scan over a base table (sequential pages).
+class TableScanOp : public Operator {
+ public:
+  TableScanOp(const Table& table, int table_id, RuntimeMetrics* metrics);
+  void Open() override;
+  bool Next(Row* out) override;
+
+ private:
+  const Table& table_;
+  RuntimeMetrics* metrics_;
+  PageTracker pages_;
+  int64_t rid_ = 0;
+};
+
+/// Ordered index scan, optionally range-bounded by equality constants on a
+/// key prefix plus at most one comparison on the next key column, and
+/// optionally reversed (yields the reversed order, full scans only).
+class IndexScanOp : public Operator {
+ public:
+  IndexScanOp(const Table& table, int table_id, int index_ordinal,
+              bool reverse, std::vector<Predicate> range_predicates,
+              RuntimeMetrics* metrics);
+  void Open() override;
+  bool Next(Row* out) override;
+
+ private:
+  bool EntryQualifies() const;
+
+  const Table& table_;
+  int index_ordinal_;
+  bool reverse_;
+  std::vector<Predicate> range_predicates_;
+  RuntimeMetrics* metrics_;
+  PageTracker pages_;
+  BTreeIndex::Cursor cursor_;
+  // Range bounds in index-key positions.
+  IndexKey eq_prefix_;
+  int cmp_position_ = -1;
+  BinOp cmp_op_ = BinOp::kEq;
+  Value cmp_bound_;
+  bool done_ = false;
+};
+
+/// Predicate application.
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, std::vector<Predicate> predicates);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<Predicate> predicates_;
+  std::unique_ptr<ExprEvaluator> eval_;
+};
+
+/// Full in-memory sort on an OrderSpec (counts comparisons).
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr child, OrderSpec spec, RuntimeMetrics* metrics);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  OrderSpec spec_;
+  RuntimeMetrics* metrics_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// Merge join of two streams sorted on the join keys (ascending). Handles
+/// many-to-many groups by buffering the inner group; NULL keys never match.
+class MergeJoinOp : public Operator {
+ public:
+  MergeJoinOp(OperatorPtr outer, OperatorPtr inner,
+              std::vector<std::pair<ColumnId, ColumnId>> pairs,
+              RuntimeMetrics* metrics);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  int CompareKeys(const Row& outer_row, const Row& inner_row) const;
+  bool OuterKeyEqualsGroup(const Row& outer_row) const;
+  bool FetchOuter();
+  void LoadInnerGroup();
+
+  OperatorPtr outer_;
+  OperatorPtr inner_;
+  std::vector<int> outer_positions_;
+  std::vector<int> inner_positions_;
+  RuntimeMetrics* metrics_;
+
+  Row outer_row_;
+  bool outer_valid_ = false;
+  Row inner_row_;
+  bool inner_valid_ = false;
+  std::vector<Row> group_;  ///< buffered inner rows with equal key
+  std::vector<Value> group_key_;
+  bool group_valid_ = false;
+  size_t group_pos_ = 0;
+};
+
+/// Index nested-loop join: for each outer row, probe a base-table index on
+/// the matched key prefix and emit concatenated matches. When the outer
+/// stream is sorted on the probe key, page accesses arrive in order and the
+/// tracker records them as (mostly) sequential — the paper's ordered
+/// nested-loop join.
+class IndexNLJoinOp : public Operator {
+ public:
+  IndexNLJoinOp(OperatorPtr outer, const Table& table, int table_id,
+                int index_ordinal,
+                std::vector<std::pair<ColumnId, ColumnId>> pairs,
+                RuntimeMetrics* metrics);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  bool Probe();  // advances to the next outer row and seeks
+
+  OperatorPtr outer_;
+  const Table& table_;
+  int index_ordinal_;
+  std::vector<std::pair<ColumnId, ColumnId>> pairs_;
+  std::vector<int> outer_positions_;
+  RuntimeMetrics* metrics_;
+  PageTracker pages_;
+
+  Row outer_row_;
+  IndexKey probe_key_;
+  BTreeIndex::Cursor cursor_;
+  bool probing_ = false;
+};
+
+/// Naive nested-loop join (inner materialized once, rescanned per outer
+/// row); used for cartesian products and non-equality joins.
+class NaiveNLJoinOp : public Operator {
+ public:
+  NaiveNLJoinOp(OperatorPtr outer, OperatorPtr inner);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr outer_;
+  OperatorPtr inner_;
+  std::vector<Row> inner_rows_;
+  Row outer_row_;
+  bool outer_valid_ = false;
+  size_t inner_pos_ = 0;
+};
+
+/// Hash join: builds on the inner, probes with the outer (outer order NOT
+/// preserved by contract, although probing happens in outer order).
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr outer, OperatorPtr inner,
+             std::vector<std::pair<ColumnId, ColumnId>> pairs);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::vector<Value>& key) const;
+  };
+  struct KeyEq {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const;
+  };
+
+  OperatorPtr outer_;
+  OperatorPtr inner_;
+  std::vector<int> outer_positions_;
+  std::vector<int> inner_positions_;
+  std::unordered_map<std::vector<Value>, std::vector<Row>, KeyHash, KeyEq>
+      hash_table_;
+  Row outer_row_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+/// LEFT OUTER merge join: both inputs sorted ascending on the ON-equality
+/// keys; unmatched (or NULL-keyed) outer rows emit once, null-padded on
+/// the inner width. Preserves outer order.
+class MergeLeftJoinOp : public Operator {
+ public:
+  MergeLeftJoinOp(OperatorPtr outer, OperatorPtr inner,
+                  std::vector<std::pair<ColumnId, ColumnId>> pairs,
+                  RuntimeMetrics* metrics);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  bool KeyEqualsGroup(const Row& outer_row) const;
+  bool OuterKeyHasNull() const;
+  void AdvanceOuter();
+  void LoadGroupFor(const Row& outer_row);
+  Row Padded() const;
+
+  OperatorPtr outer_;
+  OperatorPtr inner_;
+  std::vector<int> outer_positions_;
+  std::vector<int> inner_positions_;
+  size_t inner_width_;
+  RuntimeMetrics* metrics_;
+
+  Row outer_row_;
+  bool outer_valid_ = false;
+  bool started_ = false;  ///< matching state initialized for current outer
+  bool match_ = false;
+  Row inner_row_;
+  bool inner_valid_ = false;
+  std::vector<Row> group_;
+  std::vector<Value> group_key_;
+  bool group_valid_ = false;
+  size_t group_pos_ = 0;
+};
+
+/// LEFT OUTER hash join: build inner, probe outer, pad on miss.
+class HashLeftJoinOp : public Operator {
+ public:
+  HashLeftJoinOp(OperatorPtr outer, OperatorPtr inner,
+                 std::vector<std::pair<ColumnId, ColumnId>> pairs);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr outer_;
+  OperatorPtr inner_;
+  std::vector<int> outer_positions_;
+  std::vector<int> inner_positions_;
+  size_t inner_width_;
+  std::map<std::vector<Value>, std::vector<Row>> hash_table_;
+  Row outer_row_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+/// LEFT OUTER nested-loop join with an arbitrary ON condition: the inner
+/// is materialized once; per outer row every inner row is tested against
+/// the ON predicates (evaluated over the concatenated row); unmatched
+/// outers emit null-padded. Preserves outer order.
+class NaiveLeftJoinOp : public Operator {
+ public:
+  NaiveLeftJoinOp(OperatorPtr outer, OperatorPtr inner,
+                  std::vector<Predicate> on_predicates);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr outer_;
+  OperatorPtr inner_;
+  std::vector<Predicate> on_predicates_;
+  std::unique_ptr<ExprEvaluator> eval_;
+  std::vector<Row> inner_rows_;
+  Row outer_row_;
+  bool outer_valid_ = false;
+  bool matched_current_ = false;
+  size_t inner_pos_ = 0;
+};
+
+/// Streaming aggregation over an input whose order makes groups adjacent
+/// (also used above an explicit Sort). Output layout: group columns then
+/// aggregate outputs. With no group columns, emits exactly one row (the
+/// SQL global-aggregate contract), even for empty input.
+class StreamGroupByOp : public Operator {
+ public:
+  StreamGroupByOp(OperatorPtr child, std::vector<ColumnId> group_columns,
+                  std::vector<AggregateSpec> aggregates,
+                  RuntimeMetrics* metrics);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  struct AggState;
+
+  void InitStates();
+  void Accumulate(const Row& row);
+  Row EmitGroup();
+
+  OperatorPtr child_;
+  std::vector<ColumnId> group_columns_;
+  std::vector<AggregateSpec> aggregates_;
+  std::vector<int> group_positions_;
+  RuntimeMetrics* metrics_;
+  std::unique_ptr<ExprEvaluator> eval_;
+
+  std::vector<Value> current_key_;
+  bool group_open_ = false;
+  Row pending_row_;
+  bool pending_valid_ = false;
+  bool done_ = false;
+  bool emitted_global_ = false;
+
+  struct State {
+    double sum_d = 0.0;
+    int64_t sum_i = 0;
+    bool sum_is_int = true;
+    bool saw_value = false;
+    int64_t count = 0;
+    Value min_v;
+    Value max_v;
+    std::map<std::vector<Value>, bool> distinct_values;
+  };
+  std::vector<State> states_;
+};
+
+/// Hash aggregation (no order in, no order out).
+class HashGroupByOp : public Operator {
+ public:
+  HashGroupByOp(OperatorPtr child, std::vector<ColumnId> group_columns,
+                std::vector<AggregateSpec> aggregates,
+                RuntimeMetrics* metrics);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<ColumnId> group_columns_;
+  std::vector<AggregateSpec> aggregates_;
+  RuntimeMetrics* metrics_;
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+/// Duplicate elimination on a column subset for inputs where duplicates are
+/// adjacent (sorted or grouped); preserves order.
+class StreamDistinctOp : public Operator {
+ public:
+  StreamDistinctOp(OperatorPtr child, ColumnSet distinct_columns);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  ColumnSet distinct_columns_;
+  std::vector<int> positions_;
+  std::vector<Value> last_key_;
+  bool has_last_ = false;
+};
+
+/// Hash-based duplicate elimination (destroys order).
+class HashDistinctOp : public Operator {
+ public:
+  HashDistinctOp(OperatorPtr child, ColumnSet distinct_columns);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  ColumnSet distinct_columns_;
+  std::vector<int> positions_;
+  std::map<std::vector<Value>, bool> seen_;
+};
+
+/// Concatenates branch streams. Columns are positional: every child's row
+/// has the same width; the operator's layout carries the union's fresh
+/// output ColumnIds.
+class UnionAllOp : public Operator {
+ public:
+  UnionAllOp(std::vector<OperatorPtr> children,
+             std::vector<ColumnId> layout);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  std::vector<OperatorPtr> children_;
+  size_t current_ = 0;
+};
+
+/// K-way merge of branch streams, each sorted ascending on all columns
+/// (position-major); emits rows in that global order, enabling streaming
+/// duplicate elimination for UNION and satisfying an ORDER BY for free.
+class MergeUnionOp : public Operator {
+ public:
+  MergeUnionOp(std::vector<OperatorPtr> children,
+               std::vector<ColumnId> layout, RuntimeMetrics* metrics);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  int CompareRows(const Row& a, const Row& b) const;
+
+  std::vector<OperatorPtr> children_;
+  RuntimeMetrics* metrics_;
+  std::vector<Row> heads_;
+  std::vector<bool> valid_;
+};
+
+/// Bounded-heap Top-N: keeps only the `limit` smallest rows under the
+/// order specification while consuming the child, then emits them in
+/// order. O(n log k) comparisons and O(k) memory instead of a full sort —
+/// the classic ORDER BY + LIMIT fusion.
+class TopNOp : public Operator {
+ public:
+  TopNOp(OperatorPtr child, OrderSpec spec, int64_t limit,
+         RuntimeMetrics* metrics);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  OrderSpec spec_;
+  int64_t limit_;
+  RuntimeMetrics* metrics_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// Emits at most `limit` rows, then ends the stream.
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, int64_t limit);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  int64_t limit_;
+  int64_t emitted_ = 0;
+};
+
+/// Final projection: evaluates the output expressions.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<OutputColumn> projections);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<OutputColumn> projections_;
+  std::unique_ptr<ExprEvaluator> eval_;
+};
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_EXEC_OPERATORS_H_

@@ -1,0 +1,112 @@
+#ifndef ORDOPT_OPTIMIZER_COST_MODEL_H_
+#define ORDOPT_OPTIMIZER_COST_MODEL_H_
+
+#include "qgm/predicate.h"
+#include "qgm/qgm.h"
+#include "storage/table.h"
+
+namespace ordopt {
+
+/// Tunable unit costs. The absolute values are arbitrary units; the ratios
+/// (random vs sequential I/O, CPU vs I/O) are what shape plan choices —
+/// they mirror the paper's environment, where ordered (clustered) probes
+/// turn random I/O into sequential prefetched I/O (§8.1).
+struct CostParams {
+  double seq_page_cost = 1.0;
+  double random_page_cost = 4.0;
+  double cpu_tuple_cost = 0.01;
+  double cpu_compare_cost = 0.004;
+  double cpu_eval_cost = 0.002;   ///< per predicate/expression evaluation
+  double hash_tuple_cost = 0.02;  ///< build+probe overhead per tuple
+  /// Rows that fit in sort memory; beyond this a sort spills and pays two
+  /// sequential passes over its input pages.
+  double sort_memory_rows = 200000;
+  /// Use per-column equi-depth histograms for selectivity (falls back to
+  /// uniform min/max interpolation and distinct counts when off). Exposed
+  /// for the histogram ablation bench.
+  bool use_histograms = true;
+};
+
+/// Cardinality and cost formulas. Stateless except for the parameters; all
+/// estimates flow from base-table statistics.
+class CostModel {
+ public:
+  explicit CostModel(CostParams params = CostParams()) : params_(params) {}
+
+  const CostParams& params() const { return params_; }
+
+  // ---- selectivity / cardinality ----------------------------------------
+
+  /// Selectivity of one predicate, using distinct counts and min/max when
+  /// the column belongs to a base table in `query`.
+  double Selectivity(const Predicate& pred, const Query& query) const;
+
+  /// Join selectivity of equality pairs: 1 / max(distinct(l), distinct(r))
+  /// per pair, defaulting per Predicate shape.
+  double JoinSelectivity(
+      const std::vector<std::pair<ColumnId, ColumnId>>& pairs,
+      const Query& query) const;
+
+  /// Grouping output cardinality: product of per-column distinct counts
+  /// capped by input cardinality.
+  double GroupCardinality(const std::vector<ColumnId>& group_columns,
+                          double input_cardinality, const Query& query) const;
+
+  /// Distinct count of a column (0 when unknown).
+  double DistinctCount(const ColumnId& col, const Query& query) const;
+
+  // ---- operator costs -----------------------------------------------------
+
+  /// Full heap scan: sequential pages + per-tuple CPU.
+  double TableScanCost(const Table& table) const;
+
+  /// Full ordered index scan returning `rows` of `table`. Clustered scans
+  /// read pages sequentially; unclustered scans pay a random fetch per row.
+  double IndexFullScanCost(const Table& table, bool clustered) const;
+
+  /// Index range scan returning `rows` matching rows.
+  double IndexRangeScanCost(const Table& table, bool clustered,
+                            double rows) const;
+
+  /// Sort of `rows` records with `key_columns` sort columns — the
+  /// per-comparison cost scales with key width, which is why reducing to
+  /// the minimal sort columns (§4.2) pays off.
+  double SortCost(double rows, size_t key_columns) const;
+
+  /// Nested-loop join driving `outer_rows` probes into an index of `table`,
+  /// `rows_per_probe` matches each. When `ordered_probes` (the outer stream
+  /// is sorted on the probe key — the paper's ordered nested-loop join),
+  /// page fetches are sequential and shared between adjacent probes;
+  /// otherwise every probe pays random I/O.
+  double IndexNestedLoopCost(const Table& table, bool clustered,
+                             double outer_rows, double rows_per_probe,
+                             bool ordered_probes) const;
+
+  /// Merge join of two sorted streams.
+  double MergeJoinCost(double outer_rows, double inner_rows,
+                       double output_rows) const;
+
+  /// Hash join (build inner, probe outer).
+  double HashJoinCost(double outer_rows, double inner_rows,
+                      double output_rows) const;
+
+  /// Naive nested-loop (inner rescanned per outer row).
+  double NaiveNestedLoopCost(double outer_rows, double inner_rows,
+                             double inner_cost) const;
+
+  /// Streaming (sort-based) group-by over an already-ordered input.
+  double StreamGroupByCost(double rows, size_t agg_count) const;
+
+  /// Hash group-by.
+  double HashGroupByCost(double rows, size_t agg_count) const;
+
+  /// Filter application.
+  double FilterCost(double rows, size_t predicate_count) const;
+
+ private:
+  CostParams params_;
+};
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,192 @@
+#include "optimizer/plan.h"
+
+#include "common/str_util.h"
+
+namespace ordopt {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kTableScan:
+      return "TableScan";
+    case OpKind::kIndexScan:
+      return "IndexScan";
+    case OpKind::kFilter:
+      return "Filter";
+    case OpKind::kSort:
+      return "Sort";
+    case OpKind::kMergeJoin:
+      return "MergeJoin";
+    case OpKind::kIndexNLJoin:
+      return "IndexNLJoin";
+    case OpKind::kNaiveNLJoin:
+      return "NestedLoopJoin";
+    case OpKind::kHashJoin:
+      return "HashJoin";
+    case OpKind::kMergeLeftJoin:
+      return "MergeLeftJoin";
+    case OpKind::kHashLeftJoin:
+      return "HashLeftJoin";
+    case OpKind::kNaiveLeftJoin:
+      return "NestedLoopLeftJoin";
+    case OpKind::kStreamGroupBy:
+      return "StreamGroupBy";
+    case OpKind::kSortGroupBy:
+      return "SortGroupBy";
+    case OpKind::kHashGroupBy:
+      return "HashGroupBy";
+    case OpKind::kStreamDistinct:
+      return "StreamDistinct";
+    case OpKind::kHashDistinct:
+      return "HashDistinct";
+    case OpKind::kProject:
+      return "Project";
+    case OpKind::kLimit:
+      return "Limit";
+    case OpKind::kUnionAll:
+      return "UnionAll";
+    case OpKind::kMergeUnion:
+      return "MergeUnion";
+    case OpKind::kTopN:
+      return "TopN";
+  }
+  return "?";
+}
+
+namespace {
+
+void Print(const PlanNode* node, const ColumnNamer& namer, int indent,
+           std::string* out) {
+  *out += std::string(static_cast<size_t>(indent) * 2, ' ');
+  *out += OpKindName(node->kind);
+  switch (node->kind) {
+    case OpKind::kTableScan:
+      *out += StrFormat("(%s)", node->table->name().c_str());
+      break;
+    case OpKind::kIndexScan: {
+      const IndexDef& idx =
+          node->table->def().indexes[static_cast<size_t>(node->index_ordinal)];
+      *out += StrFormat("(%s.%s%s%s)", node->table->name().c_str(),
+                        idx.name.c_str(), node->reverse_scan ? " reverse" : "",
+                        idx.clustered ? " clustered" : "");
+      if (!node->range_predicates.empty()) {
+        std::vector<std::string> preds;
+        for (const Predicate& p : node->range_predicates) {
+          preds.push_back(p.ToString());
+        }
+        *out += " range[" + Join(preds, " AND ") + "]";
+      }
+      break;
+    }
+    case OpKind::kFilter: {
+      std::vector<std::string> preds;
+      for (const Predicate& p : node->predicates) preds.push_back(p.ToString());
+      *out += "[" + Join(preds, " AND ") + "]";
+      break;
+    }
+    case OpKind::kSort:
+      *out += node->sort_spec.ToString(namer);
+      break;
+    case OpKind::kMergeJoin:
+    case OpKind::kHashJoin:
+    case OpKind::kIndexNLJoin:
+    case OpKind::kNaiveNLJoin:
+    case OpKind::kMergeLeftJoin:
+    case OpKind::kHashLeftJoin:
+    case OpKind::kNaiveLeftJoin: {
+      std::vector<std::string> pairs;
+      for (const auto& [l, r] : node->join_pairs) {
+        std::string ln = namer ? namer(l) : DefaultColumnName(l);
+        std::string rn = namer ? namer(r) : DefaultColumnName(r);
+        pairs.push_back(ln + " = " + rn);
+      }
+      if (!pairs.empty()) *out += "[" + Join(pairs, " AND ") + "]";
+      if (!node->predicates.empty()) {
+        std::vector<std::string> preds;
+        for (const Predicate& p : node->predicates) {
+          preds.push_back(p.ToString());
+        }
+        *out += " on[" + Join(preds, " AND ") + "]";
+      }
+      if (node->kind == OpKind::kIndexNLJoin) {
+        const IndexDef& idx = node->table->def()
+                                  .indexes[static_cast<size_t>(
+                                      node->index_ordinal)];
+        *out += StrFormat(" probe %s.%s%s%s", node->table->name().c_str(),
+                          idx.name.c_str(), idx.clustered ? " clustered" : "",
+                          node->ordered_probes ? " ordered" : "");
+      }
+      break;
+    }
+    case OpKind::kStreamGroupBy:
+    case OpKind::kSortGroupBy:
+    case OpKind::kHashGroupBy: {
+      std::vector<std::string> cols;
+      for (const ColumnId& c : node->group_columns) {
+        cols.push_back(namer ? namer(c) : DefaultColumnName(c));
+      }
+      *out += "[" + Join(cols, ", ") + "]";
+      cols.clear();
+      for (const AggregateSpec& a : node->aggregates) cols.push_back(a.name);
+      if (!cols.empty()) *out += " aggs[" + Join(cols, ", ") + "]";
+      break;
+    }
+    case OpKind::kStreamDistinct:
+    case OpKind::kHashDistinct:
+      break;
+    case OpKind::kProject: {
+      std::vector<std::string> cols;
+      for (const OutputColumn& oc : node->projections) cols.push_back(oc.name);
+      *out += "[" + Join(cols, ", ") + "]";
+      break;
+    }
+    case OpKind::kLimit:
+      *out += StrFormat("(%lld)", static_cast<long long>(node->limit));
+      break;
+    case OpKind::kUnionAll:
+    case OpKind::kMergeUnion:
+      *out += StrFormat("(%zu branches)", node->children.size());
+      break;
+    case OpKind::kTopN:
+      *out += node->sort_spec.ToString(namer) +
+              StrFormat(" limit %lld", static_cast<long long>(node->limit));
+      break;
+  }
+  *out += StrFormat("  {cost=%.1f rows=%.0f", node->cost,
+                    node->props.cardinality);
+  if (!node->props.order.empty()) {
+    *out += " order" + node->props.order.ToString(namer);
+  }
+  *out += "}\n";
+  for (const auto& child : node->children) {
+    Print(child.get(), namer, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string PlanNode::ToString(const ColumnNamer& namer) const {
+  std::string out;
+  Print(this, namer, 0, &out);
+  return out;
+}
+
+int PlanNode::NodeCount() const {
+  int count = 1;
+  for (const auto& child : children) count += child->NodeCount();
+  return count;
+}
+
+bool PlanNode::ContainsKind(OpKind k) const {
+  if (kind == k) return true;
+  for (const auto& child : children) {
+    if (child->ContainsKind(k)) return true;
+  }
+  return false;
+}
+
+void PlanNode::CollectKind(OpKind k, std::vector<const PlanNode*>* out) const {
+  if (kind == k) out->push_back(this);
+  for (const auto& child : children) child->CollectKind(k, out);
+}
+
+}  // namespace ordopt

@@ -1,0 +1,100 @@
+#ifndef ORDOPT_OPTIMIZER_PLAN_H_
+#define ORDOPT_OPTIMIZER_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "properties/stream_properties.h"
+#include "qgm/qgm.h"
+
+namespace ordopt {
+
+/// Physical operator kinds of the execution engine.
+enum class OpKind {
+  kTableScan,      ///< heap scan of a base table
+  kIndexScan,      ///< ordered (optionally range-bounded) index scan
+  kFilter,         ///< predicate application
+  kSort,           ///< in-memory sort on an OrderSpec
+  kMergeJoin,      ///< both inputs sorted on the join key
+  kIndexNLJoin,    ///< outer stream drives index probes into a base table
+  kNaiveNLJoin,    ///< inner fully rescanned per outer row
+  kHashJoin,       ///< build inner, probe outer
+  kMergeLeftJoin,  ///< LEFT OUTER merge join (preserves outer order)
+  kHashLeftJoin,   ///< LEFT OUTER hash join
+  kNaiveLeftJoin,  ///< LEFT OUTER nested loop with arbitrary ON condition
+  kStreamGroupBy,  ///< input already grouped (order satisfies grouping)
+  kSortGroupBy,    ///< sort below is explicit; this node only aggregates
+  kHashGroupBy,
+  kStreamDistinct,  ///< input order makes duplicates adjacent
+  kHashDistinct,
+  kProject,    ///< final projection to output expressions
+  kLimit,      ///< emit at most N rows
+  kUnionAll,   ///< concatenation of branch streams (positional columns)
+  kMergeUnion, ///< order-preserving merge of sorted branch streams
+  kTopN,       ///< bounded-heap sort: ORDER BY + LIMIT in one operator
+};
+
+const char* OpKindName(OpKind kind);
+
+/// One node of a physical plan. Immutable after construction; subtrees are
+/// shared between the dynamic-programming table's candidate plans.
+struct PlanNode {
+  OpKind kind;
+  std::vector<std::shared_ptr<const PlanNode>> children;
+
+  // -- scans ---------------------------------------------------------------
+  const Table* table = nullptr;
+  int table_id = -1;      ///< table-instance id (quantifier)
+  int index_ordinal = -1; ///< into table->def().indexes
+  bool reverse_scan = false;
+  /// Range bounds for index scans: predicates over the index's leading
+  /// column(s), already reflected in props.cardinality.
+  std::vector<Predicate> range_predicates;
+
+  // -- filter / residual ----------------------------------------------------
+  std::vector<Predicate> predicates;
+
+  // -- sort -----------------------------------------------------------------
+  OrderSpec sort_spec;
+
+  // -- joins ----------------------------------------------------------------
+  /// Equality pairs (outer column, inner column).
+  std::vector<std::pair<ColumnId, ColumnId>> join_pairs;
+  /// True when probes of an index nested-loop join arrive in index order
+  /// (the paper's ordered nested-loop join, §8.1).
+  bool ordered_probes = false;
+
+  // -- grouping / distinct ---------------------------------------------------
+  std::vector<ColumnId> group_columns;
+  std::vector<AggregateSpec> aggregates;
+  ColumnSet distinct_columns;
+
+  // -- projection -----------------------------------------------------------
+  std::vector<OutputColumn> projections;
+
+  // -- limit ------------------------------------------------------------------
+  int64_t limit = -1;
+
+  // -- derived --------------------------------------------------------------
+  StreamProperties props;
+  double cost = 0.0;
+
+  /// Multi-line indented plan rendering (Figure 7/8-style).
+  std::string ToString(const ColumnNamer& namer = nullptr) const;
+
+  /// Number of nodes in this subtree.
+  int NodeCount() const;
+
+  /// Depth-first search for an operator kind.
+  bool ContainsKind(OpKind k) const;
+
+  /// Collects nodes of kind `k` in preorder.
+  void CollectKind(OpKind k, std::vector<const PlanNode*>* out) const;
+};
+
+using PlanRef = std::shared_ptr<const PlanNode>;
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_OPTIMIZER_PLAN_H_

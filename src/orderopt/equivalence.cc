@@ -1,0 +1,126 @@
+#include "orderopt/equivalence.h"
+
+#include <algorithm>
+
+namespace ordopt {
+
+ColumnId EquivalenceClasses::FindRoot(const ColumnId& col) {
+  auto it = parent_.find(col);
+  if (it == parent_.end()) {
+    parent_.emplace(col, col);
+    head_.emplace(col, col);
+    return col;
+  }
+  // Path compression (iterative).
+  ColumnId root = col;
+  while (parent_.at(root) != root) root = parent_.at(root);
+  ColumnId walk = col;
+  while (parent_.at(walk) != root) {
+    ColumnId next = parent_.at(walk);
+    parent_[walk] = root;
+    walk = next;
+  }
+  return root;
+}
+
+ColumnId EquivalenceClasses::FindRootConst(const ColumnId& col) const {
+  auto it = parent_.find(col);
+  if (it == parent_.end()) return col;
+  ColumnId root = col;
+  while (parent_.at(root) != root) root = parent_.at(root);
+  return root;
+}
+
+void EquivalenceClasses::AddEquivalence(const ColumnId& a, const ColumnId& b) {
+  ColumnId ra = FindRoot(a);
+  ColumnId rb = FindRoot(b);
+  if (ra == rb) return;
+  // Union by attaching rb under ra; keep the smallest member as head and a
+  // single constant binding.
+  parent_[rb] = ra;
+  ColumnId new_head = std::min(head_.at(ra), head_.at(rb));
+  head_[ra] = new_head;
+  head_.erase(rb);
+  auto cb = constant_.find(rb);
+  if (cb != constant_.end()) {
+    // If both sides had constants they must agree at runtime; keep ra's if
+    // present, else adopt rb's.
+    constant_.emplace(ra, cb->second);
+    constant_.erase(rb);
+  }
+}
+
+void EquivalenceClasses::AddConstant(const ColumnId& col, const Value& value) {
+  ColumnId root = FindRoot(col);
+  constant_.emplace(root, value);
+}
+
+ColumnId EquivalenceClasses::Head(const ColumnId& col) const {
+  ColumnId root = FindRootConst(col);
+  auto it = head_.find(root);
+  return it == head_.end() ? col : it->second;
+}
+
+bool EquivalenceClasses::IsConstant(const ColumnId& col) const {
+  return constant_.find(FindRootConst(col)) != constant_.end();
+}
+
+std::optional<Value> EquivalenceClasses::ConstantValue(
+    const ColumnId& col) const {
+  auto it = constant_.find(FindRootConst(col));
+  if (it == constant_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool EquivalenceClasses::AreEquivalent(const ColumnId& a,
+                                       const ColumnId& b) const {
+  if (a == b) return true;
+  if (parent_.find(a) == parent_.end() || parent_.find(b) == parent_.end()) {
+    return false;
+  }
+  return FindRootConst(a) == FindRootConst(b);
+}
+
+std::vector<ColumnId> EquivalenceClasses::ClassMembers(
+    const ColumnId& col) const {
+  std::vector<ColumnId> out;
+  if (parent_.find(col) == parent_.end()) {
+    out.push_back(col);
+    return out;
+  }
+  ColumnId root = FindRootConst(col);
+  for (const auto& [c, _] : parent_) {
+    if (FindRootConst(c) == root) out.push_back(c);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ColumnId> EquivalenceClasses::KnownColumns() const {
+  std::vector<ColumnId> out;
+  out.reserve(parent_.size());
+  for (const auto& [c, _] : parent_) out.push_back(c);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void EquivalenceClasses::MergeFrom(const EquivalenceClasses& other) {
+  // Re-play other's classes: for each class, equate all members; re-play
+  // constants on heads.
+  for (const auto& [c, _] : other.parent_) {
+    ColumnId head = other.Head(c);
+    if (!(head == c)) AddEquivalence(head, c);
+    std::optional<Value> cv = other.ConstantValue(c);
+    if (cv.has_value()) AddConstant(c, *cv);
+  }
+}
+
+void EquivalenceClasses::MergeEquivalencesFrom(
+    const EquivalenceClasses& other) {
+  for (const auto& [c, _] : other.parent_) {
+    ColumnId head = other.Head(c);
+    if (!(head == c)) AddEquivalence(head, c);
+  }
+}
+
+}  // namespace ordopt

@@ -1,0 +1,82 @@
+#ifndef ORDOPT_ORDEROPT_EQUIVALENCE_H_
+#define ORDOPT_ORDEROPT_EQUIVALENCE_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/column_id.h"
+#include "common/value.h"
+
+namespace ordopt {
+
+/// Column equivalence classes plus column-to-constant bindings (§4.1).
+///
+/// `col = col` predicates merge two columns into one class; `col = const`
+/// predicates bind a whole class to a constant. The designated *head* of a
+/// class is its smallest ColumnId, which makes reduction deterministic
+/// ("the equivalence class head is chosen from those columns made
+/// equivalent by predicates already applied to the stream").
+///
+/// Implemented as a union-find with path compression; constants live on the
+/// root so that after merging {x,y} with x=10, y is constant-bound too.
+class EquivalenceClasses {
+ public:
+  EquivalenceClasses() = default;
+
+  /// Records `a = b` (both directions).
+  void AddEquivalence(const ColumnId& a, const ColumnId& b);
+
+  /// Records `col = value` (literal, host variable, or correlated column —
+  /// anything constant for the duration of the stream, per §4.1).
+  void AddConstant(const ColumnId& col, const Value& value);
+
+  /// Canonical representative of col's class (smallest member). A column
+  /// never seen by Add* is its own head.
+  ColumnId Head(const ColumnId& col) const;
+
+  /// True when the column's class is bound to a constant.
+  bool IsConstant(const ColumnId& col) const;
+
+  /// The binding when IsConstant; nullopt otherwise.
+  std::optional<Value> ConstantValue(const ColumnId& col) const;
+
+  /// True if a and b are in the same class.
+  bool AreEquivalent(const ColumnId& a, const ColumnId& b) const;
+
+  /// All known members of col's class (including col itself, even if never
+  /// added). Order is deterministic (sorted).
+  std::vector<ColumnId> ClassMembers(const ColumnId& col) const;
+
+  /// All columns ever mentioned, sorted.
+  std::vector<ColumnId> KnownColumns() const;
+
+  /// Merges every class and constant binding from `other` into this.
+  /// Used when joining two streams: the join output sees both sides'
+  /// applied predicates.
+  void MergeFrom(const EquivalenceClasses& other);
+
+  /// Merges only the equivalence classes from `other`, dropping its
+  /// constant bindings. Used across the null-supplying side of an outer
+  /// join: `col = col` classes survive null-extension (two NULLs compare
+  /// equal in the engine's total order), but `col = const` does not —
+  /// null-extended rows hold NULL, not the constant.
+  void MergeEquivalencesFrom(const EquivalenceClasses& other);
+
+ private:
+  // Returns the root of col's tree, inserting col if unseen.
+  ColumnId FindRoot(const ColumnId& col);
+  // Const lookup: root if col known, col itself otherwise.
+  ColumnId FindRootConst(const ColumnId& col) const;
+
+  // parent_[c] == c for roots.
+  mutable std::unordered_map<ColumnId, ColumnId, ColumnIdHash> parent_;
+  // Root -> smallest member of the class.
+  std::unordered_map<ColumnId, ColumnId, ColumnIdHash> head_;
+  // Root -> bound constant.
+  std::unordered_map<ColumnId, Value, ColumnIdHash> constant_;
+};
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_ORDEROPT_EQUIVALENCE_H_

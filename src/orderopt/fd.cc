@@ -1,0 +1,108 @@
+#include "orderopt/fd.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace ordopt {
+
+namespace {
+
+std::string SetToString(const ColumnSet& set, const ColumnNamer& namer) {
+  std::vector<std::string> parts;
+  for (const ColumnId& c : set) {
+    parts.push_back(namer ? namer(c) : DefaultColumnName(c));
+  }
+  return "{" + Join(parts, ", ") + "}";
+}
+
+// Maps every column of `set` to its equivalence-class head.
+ColumnSet MapToHeads(const ColumnSet& set, const EquivalenceClasses& eq) {
+  ColumnSet out;
+  for (const ColumnId& c : set) out.Add(eq.Head(c));
+  return out;
+}
+
+// Drops constant-bound columns (they are determined by {}).
+ColumnSet DropConstants(const ColumnSet& set, const EquivalenceClasses& eq) {
+  ColumnSet out;
+  for (const ColumnId& c : set) {
+    if (!eq.IsConstant(c)) out.Add(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FunctionalDependency::ToString(const ColumnNamer& namer) const {
+  return SetToString(head, namer) + " -> " + SetToString(tail, namer);
+}
+
+void FDSet::Add(ColumnSet head, ColumnSet tail) {
+  if (tail.IsSubsetOf(head)) return;  // trivial
+  FunctionalDependency fd(std::move(head), std::move(tail));
+  // Avoid exact duplicates; keep the set small for the subset scans.
+  if (std::find(fds_.begin(), fds_.end(), fd) != fds_.end()) return;
+  fds_.push_back(std::move(fd));
+}
+
+void FDSet::AddKey(const ColumnSet& key, const ColumnSet& all_columns) {
+  Add(key, all_columns);
+}
+
+bool FDSet::Determines(const ColumnSet& b, const ColumnId& c,
+                       const EquivalenceClasses& eq) const {
+  ColumnId c_head = eq.Head(c);
+  if (eq.IsConstant(c_head)) return true;  // {} -> {c}
+  ColumnSet b_heads = MapToHeads(b, eq);
+  if (b_heads.Contains(c_head)) return true;  // trivial {c} -> {c}
+  for (const FunctionalDependency& fd : fds_) {
+    ColumnSet head = DropConstants(MapToHeads(fd.head, eq), eq);
+    if (!head.IsSubsetOf(b_heads)) continue;
+    ColumnSet tail = MapToHeads(fd.tail, eq);
+    if (tail.Contains(c_head)) return true;
+  }
+  return false;
+}
+
+ColumnSet FDSet::Closure(const ColumnSet& b,
+                         const EquivalenceClasses& eq) const {
+  ColumnSet closure = MapToHeads(b, eq);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds_) {
+      ColumnSet head = DropConstants(MapToHeads(fd.head, eq), eq);
+      if (!head.IsSubsetOf(closure)) continue;
+      for (const ColumnId& t : fd.tail) {
+        ColumnId th = eq.Head(t);
+        if (!closure.Contains(th)) {
+          closure.Add(th);
+          changed = true;
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+bool FDSet::DeterminesTransitive(const ColumnSet& b, const ColumnId& c,
+                                 const EquivalenceClasses& eq) const {
+  ColumnId c_head = eq.Head(c);
+  if (eq.IsConstant(c_head)) return true;
+  return Closure(b, eq).Contains(c_head);
+}
+
+void FDSet::MergeFrom(const FDSet& other) {
+  for (const FunctionalDependency& fd : other.fds_) {
+    Add(fd.head, fd.tail);
+  }
+}
+
+std::string FDSet::ToString(const ColumnNamer& namer) const {
+  std::vector<std::string> parts;
+  for (const FunctionalDependency& fd : fds_) parts.push_back(fd.ToString(namer));
+  return "[" + Join(parts, "; ") + "]";
+}
+
+}  // namespace ordopt

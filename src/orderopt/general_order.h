@@ -1,0 +1,87 @@
+#ifndef ORDOPT_ORDEROPT_GENERAL_ORDER_H_
+#define ORDOPT_ORDEROPT_GENERAL_ORDER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "orderopt/operations.h"
+#include "orderopt/order_spec.h"
+
+namespace ordopt {
+
+/// §7 "degrees of freedom": order-based GROUP BY and DISTINCT do not
+/// dictate one exact order — `GROUP BY x, y` is satisfied by any
+/// permutation of {x, y} in any mix of ascending/descending. Instead of
+/// enumerating the exponentially many concrete orders, one *general*
+/// interesting order records which columns are permutable and which
+/// directions are free, and all order operations work against it.
+///
+/// A GeneralOrderSpec is an ordered sequence of *groups*. Columns within a
+/// group may appear in any permutation; groups must be exhausted in
+/// sequence (a GROUP BY under an ORDER BY prefix uses two groups: the
+/// fixed ORDER BY columns first, then the free remainder). Each element
+/// optionally pins a direction; unpinned elements accept either.
+class GeneralOrderSpec {
+ public:
+  /// One column with an optional pinned direction.
+  struct Element {
+    ColumnId col;
+    std::optional<SortDirection> fixed_dir;
+
+    Element() = default;
+    explicit Element(ColumnId c,
+                     std::optional<SortDirection> d = std::nullopt)
+        : col(c), fixed_dir(d) {}
+  };
+
+  /// A permutable block of columns.
+  struct Group {
+    std::vector<Element> elements;
+  };
+
+  GeneralOrderSpec() = default;
+
+  /// The general order of `GROUP BY cols` / `DISTINCT cols`: one group,
+  /// all permutations, both directions.
+  static GeneralOrderSpec ForGrouping(const std::vector<ColumnId>& cols);
+
+  /// A fully pinned general order equivalent to a concrete OrderSpec:
+  /// singleton groups with fixed directions.
+  static GeneralOrderSpec FromConcrete(const OrderSpec& spec);
+
+  void AppendGroup(Group group) { groups_.push_back(std::move(group)); }
+  const std::vector<Group>& groups() const { return groups_; }
+  bool empty() const { return groups_.empty(); }
+
+  /// All columns mentioned.
+  ColumnSet Columns() const;
+
+  /// True iff the stream order property `property` satisfies this general
+  /// order under `ctx`. Uses the FD-equivalence criterion: after reduction,
+  /// some prefix P_i of the property must mutually determine the union of
+  /// the first i groups' (non-constant) columns, for every i, with pinned
+  /// directions respected.
+  bool Satisfies(const OrderSpec& property, const OrderContext& ctx) const;
+
+  /// Builds a concrete sort specification that satisfies both this general
+  /// order and the concrete order `concrete` — the §7 analogue of Cover
+  /// Order, e.g. aligning a GROUP BY's permutation freedom with an ORDER BY
+  /// so one sort serves both. nullopt when impossible.
+  std::optional<OrderSpec> CoverConcrete(const OrderSpec& concrete,
+                                         const OrderContext& ctx) const;
+
+  /// A canonical minimal concrete sort satisfying this general order:
+  /// groups in sequence, columns within a group in ColumnId order,
+  /// unpinned directions ascending, then reduced under `ctx`.
+  OrderSpec DefaultSortSpec(const OrderContext& ctx) const;
+
+  std::string ToString(const ColumnNamer& namer = nullptr) const;
+
+ private:
+  std::vector<Group> groups_;
+};
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_ORDEROPT_GENERAL_ORDER_H_

@@ -1,0 +1,138 @@
+#include "orderopt/key_property.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace ordopt {
+
+namespace {
+
+// Growth bound for concatenated keys; redundancy removal usually keeps the
+// set far smaller, this is a deterministic backstop.
+constexpr size_t kMaxKeys = 16;
+
+std::string SetToString(const ColumnSet& set, const ColumnNamer& namer) {
+  std::vector<std::string> parts;
+  for (const ColumnId& c : set) {
+    parts.push_back(namer ? namer(c) : DefaultColumnName(c));
+  }
+  return "{" + Join(parts, ", ") + "}";
+}
+
+}  // namespace
+
+KeyProperty KeyProperty::OneRecord() {
+  KeyProperty out;
+  out.keys_.push_back(ColumnSet());
+  return out;
+}
+
+bool KeyProperty::IsOneRecord() const {
+  for (const ColumnSet& k : keys_) {
+    if (k.empty()) return true;
+  }
+  return false;
+}
+
+void KeyProperty::AddKey(ColumnSet key) {
+  if (std::find(keys_.begin(), keys_.end(), key) != keys_.end()) return;
+  keys_.push_back(std::move(key));
+  RemoveRedundant();
+}
+
+bool KeyProperty::IsUniqueOn(const ColumnSet& cols) const {
+  for (const ColumnSet& k : keys_) {
+    if (k.IsSubsetOf(cols)) return true;
+  }
+  return false;
+}
+
+void KeyProperty::Simplify(const EquivalenceClasses& eq) {
+  for (ColumnSet& key : keys_) {
+    ColumnSet simplified;
+    for (const ColumnId& c : key) {
+      if (eq.IsConstant(c)) continue;  // bound by equality predicate
+      simplified.Add(eq.Head(c));
+    }
+    key = std::move(simplified);
+    // An emptied key is the one-record condition; RemoveRedundant below
+    // discards everything else ("the entire key property is discarded and a
+    // one-record condition is flagged").
+  }
+  RemoveRedundant();
+}
+
+void KeyProperty::Project(const ColumnSet& visible_columns) {
+  keys_.erase(std::remove_if(keys_.begin(), keys_.end(),
+                             [&](const ColumnSet& k) {
+                               return !k.IsSubsetOf(visible_columns);
+                             }),
+              keys_.end());
+}
+
+KeyProperty KeyProperty::PropagateJoin(
+    const KeyProperty& left, const KeyProperty& right,
+    const std::vector<std::pair<ColumnId, ColumnId>>& join_pairs) {
+  ColumnSet left_qualified;   // left columns equated by join predicates
+  ColumnSet right_qualified;  // right columns equated by join predicates
+  for (const auto& [l, r] : join_pairs) {
+    left_qualified.Add(l);
+    right_qualified.Add(r);
+  }
+
+  // "If any key K of KP2 is fully qualified by predicates in JP ... then the
+  // join is n-to-1 and KP1 is propagated."
+  bool n_to_one = right.IsUniqueOn(right_qualified);  // each left row: <=1 match
+  bool one_to_n = left.IsUniqueOn(left_qualified);    // each right row: <=1 match
+
+  KeyProperty out;
+  if (n_to_one) {
+    for (const ColumnSet& k : left.keys_) out.AddKey(k);
+  }
+  if (one_to_n) {
+    for (const ColumnSet& k : right.keys_) out.AddKey(k);
+  }
+  if (!n_to_one && !one_to_n) {
+    // All concatenated key pairs K1 . K2.
+    for (const ColumnSet& k1 : left.keys_) {
+      for (const ColumnSet& k2 : right.keys_) {
+        out.AddKey(k1.Union(k2));
+      }
+    }
+  }
+  return out;
+}
+
+void KeyProperty::RemoveRedundant() {
+  // Prefer smaller keys; a key is redundant when some other key is a strict
+  // subset (or an equal key earlier in the deterministic order).
+  std::sort(keys_.begin(), keys_.end(),
+            [](const ColumnSet& a, const ColumnSet& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  keys_.erase(std::unique(keys_.begin(), keys_.end()), keys_.end());
+  std::vector<ColumnSet> kept;
+  for (const ColumnSet& k : keys_) {
+    bool subsumed = false;
+    for (const ColumnSet& small : kept) {
+      if (small.IsSubsetOf(k)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) kept.push_back(k);
+  }
+  if (kept.size() > kMaxKeys) kept.resize(kMaxKeys);
+  keys_ = std::move(kept);
+}
+
+std::string KeyProperty::ToString(const ColumnNamer& namer) const {
+  if (IsOneRecord()) return "one-record";
+  std::vector<std::string> parts;
+  for (const ColumnSet& k : keys_) parts.push_back(SetToString(k, namer));
+  return "keys[" + Join(parts, ", ") + "]";
+}
+
+}  // namespace ordopt

@@ -1,0 +1,76 @@
+#ifndef ORDOPT_ORDEROPT_KEY_PROPERTY_H_
+#define ORDOPT_ORDEROPT_KEY_PROPERTY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/column_id.h"
+#include "orderopt/equivalence.h"
+#include "orderopt/order_spec.h"
+
+namespace ordopt {
+
+/// The key property of a stream (§5.2.1): a set of column sets, each of
+/// which uniquely identifies a record of the stream. The paper's
+/// *one-record condition* — at most one record in the stream, flagged when
+/// some key becomes fully qualified by equality predicates — is represented
+/// as the empty key {}: it is trivially a key of a one-record stream,
+/// subsumes every other key under the redundancy rule, and concatenates as
+/// the identity, so all of §5.2.1's rules fall out uniformly.
+class KeyProperty {
+ public:
+  KeyProperty() = default;
+
+  /// A key property asserting nothing (no known keys).
+  static KeyProperty None() { return KeyProperty(); }
+
+  /// The one-record condition.
+  static KeyProperty OneRecord();
+
+  /// True when the stream is known to contain at most one record.
+  bool IsOneRecord() const;
+
+  bool empty() const { return keys_.empty(); }
+  const std::vector<ColumnSet>& keys() const { return keys_; }
+
+  /// Registers `key` as a key of the stream (duplicates ignored).
+  void AddKey(ColumnSet key);
+
+  /// True if `cols` is a superset of some known key.
+  bool IsUniqueOn(const ColumnSet& cols) const;
+
+  /// §5.2.1 canonical simplification: rewrite each key column to its
+  /// equivalence-class head, drop constant-bound columns (a key column
+  /// bound by an equality predicate no longer discriminates), collapse to
+  /// the one-record condition when a key empties out, and remove keys that
+  /// another (smaller) key subsumes.
+  void Simplify(const EquivalenceClasses& eq);
+
+  /// Projection rule: a key survives only if every one of its columns is
+  /// still visible downstream.
+  void Project(const ColumnSet& visible_columns);
+
+  /// Join propagation (§5.2.1). `join_pairs` holds the equality join
+  /// predicates as (left column, right column). If some key of `right` is
+  /// fully qualified by the pairs' right-side columns, the join is n-to-1
+  /// and `left`'s keys propagate; symmetrically for 1-to-n. If neither,
+  /// the result is all concatenations K_left ∪ K_right.
+  static KeyProperty PropagateJoin(
+      const KeyProperty& left, const KeyProperty& right,
+      const std::vector<std::pair<ColumnId, ColumnId>>& join_pairs);
+
+  std::string ToString(const ColumnNamer& namer = nullptr) const;
+
+  friend bool operator==(const KeyProperty&, const KeyProperty&) = default;
+
+ private:
+  // Drops keys subsumed by a subset key and bounds the key count.
+  void RemoveRedundant();
+
+  std::vector<ColumnSet> keys_;
+};
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_ORDEROPT_KEY_PROPERTY_H_

@@ -1,0 +1,96 @@
+#include "orderopt/operations.h"
+
+#include <algorithm>
+
+namespace ordopt {
+
+OrderSpec ReduceOrder(const OrderSpec& spec, const OrderContext& ctx) {
+  // Step 1 (Figure 2, line 1): rewrite every column as its equivalence-class
+  // head, keeping the requested direction.
+  std::vector<OrderElement> elems;
+  elems.reserve(spec.size());
+  for (const OrderElement& e : spec) {
+    elems.emplace_back(ctx.eq.Head(e.col), e.dir);
+  }
+
+  // Step 2 (lines 2-8): scan backwards; remove c_i when the columns that
+  // precede it functionally determine it. Scanning backwards means the
+  // preceding set B always reflects columns still present.
+  std::vector<bool> removed(elems.size(), false);
+  for (size_t i = elems.size(); i-- > 0;) {
+    ColumnSet preceding;
+    for (size_t j = 0; j < i; ++j) preceding.Add(elems[j].col);
+    if (ctx.Determines(preceding, elems[i].col)) removed[i] = true;
+  }
+
+  OrderSpec out;
+  for (size_t i = 0; i < elems.size(); ++i) {
+    if (!removed[i]) out.Append(elems[i]);
+  }
+  return out;
+}
+
+bool TestOrder(const OrderSpec& interesting, const OrderSpec& property,
+               const OrderContext& ctx) {
+  OrderSpec i = ReduceOrder(interesting, ctx);
+  if (i.empty()) return true;  // trivially satisfied (§4.1 end)
+  OrderSpec op = ReduceOrder(property, ctx);
+  return i.IsPrefixOf(op);
+}
+
+std::optional<OrderSpec> CoverOrder(const OrderSpec& i1, const OrderSpec& i2,
+                                    const OrderContext& ctx) {
+  OrderSpec r1 = ReduceOrder(i1, ctx);
+  OrderSpec r2 = ReduceOrder(i2, ctx);
+  // W.l.o.g. make r1 the shorter one (Figure 4, line 2).
+  if (r1.size() > r2.size()) std::swap(r1, r2);
+  if (r1.IsPrefixOf(r2)) return r2;
+  return std::nullopt;
+}
+
+namespace {
+
+// Finds a substitute for `col` among `targets` via `eq`: `col` itself if it
+// is already a target, otherwise the smallest equivalent target column.
+std::optional<ColumnId> SubstituteColumn(const ColumnId& col,
+                                         const ColumnSet& targets,
+                                         const EquivalenceClasses& eq) {
+  if (targets.Contains(col)) return col;
+  for (const ColumnId& member : eq.ClassMembers(col)) {  // sorted
+    if (targets.Contains(member)) return member;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<OrderSpec> HomogenizeOrder(
+    const OrderSpec& spec, const ColumnSet& target_columns,
+    const EquivalenceClasses& substitution_eq, const OrderContext& ctx) {
+  OrderSpec reduced = ReduceOrder(spec, ctx);  // Figure 5, line 1
+  OrderSpec out;
+  for (const OrderElement& e : reduced) {
+    std::optional<ColumnId> sub =
+        SubstituteColumn(e.col, target_columns, substitution_eq);
+    if (!sub.has_value()) return std::nullopt;
+    out.Append(OrderElement(*sub, e.dir));
+  }
+  return out;
+}
+
+OrderSpec HomogenizeOrderPrefix(const OrderSpec& spec,
+                                const ColumnSet& target_columns,
+                                const EquivalenceClasses& substitution_eq,
+                                const OrderContext& ctx) {
+  OrderSpec reduced = ReduceOrder(spec, ctx);
+  OrderSpec out;
+  for (const OrderElement& e : reduced) {
+    std::optional<ColumnId> sub =
+        SubstituteColumn(e.col, target_columns, substitution_eq);
+    if (!sub.has_value()) break;
+    out.Append(OrderElement(*sub, e.dir));
+  }
+  return out;
+}
+
+}  // namespace ordopt

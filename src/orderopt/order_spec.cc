@@ -1,0 +1,53 @@
+#include "orderopt/order_spec.h"
+
+#include "common/str_util.h"
+
+namespace ordopt {
+
+SortDirection Reverse(SortDirection dir) {
+  return dir == SortDirection::kAscending ? SortDirection::kDescending
+                                          : SortDirection::kAscending;
+}
+
+OrderSpec OrderSpec::Ascending(const std::vector<ColumnId>& cols) {
+  OrderSpec out;
+  for (const ColumnId& c : cols) out.Append(OrderElement(c));
+  return out;
+}
+
+ColumnSet OrderSpec::Columns() const {
+  ColumnSet out;
+  for (const OrderElement& e : elems_) out.Add(e.col);
+  return out;
+}
+
+bool OrderSpec::IsPrefixOf(const OrderSpec& other) const {
+  if (elems_.size() > other.elems_.size()) return false;
+  for (size_t i = 0; i < elems_.size(); ++i) {
+    if (!(elems_[i] == other.elems_[i])) return false;
+  }
+  return true;
+}
+
+OrderSpec OrderSpec::Prefix(size_t n) const {
+  OrderSpec out = *this;
+  out.Truncate(n);
+  return out;
+}
+
+std::string DefaultColumnName(const ColumnId& col) {
+  return StrFormat("t%d.c%d", col.table, col.column);
+}
+
+std::string OrderSpec::ToString(const ColumnNamer& namer) const {
+  std::vector<std::string> parts;
+  parts.reserve(elems_.size());
+  for (const OrderElement& e : elems_) {
+    std::string name = namer ? namer(e.col) : DefaultColumnName(e.col);
+    if (e.dir == SortDirection::kDescending) name += " DESC";
+    parts.push_back(std::move(name));
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace ordopt

@@ -1,0 +1,86 @@
+#ifndef ORDOPT_ORDEROPT_ORDER_SPEC_H_
+#define ORDOPT_ORDEROPT_ORDER_SPEC_H_
+
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/column_id.h"
+
+namespace ordopt {
+
+/// Sort direction of one order column. The paper assumes ascending
+/// throughout §4 "without loss of generality"; we carry the direction so
+/// ORDER BY ... DESC and §7 direction freedom work end to end.
+enum class SortDirection : uint8_t { kAscending, kDescending };
+
+/// Flips ascending <-> descending.
+SortDirection Reverse(SortDirection dir);
+
+/// One column of an order specification.
+struct OrderElement {
+  ColumnId col;
+  SortDirection dir = SortDirection::kAscending;
+
+  OrderElement() = default;
+  OrderElement(ColumnId c, SortDirection d = SortDirection::kAscending)
+      : col(c), dir(d) {}
+
+  friend bool operator==(const OrderElement&, const OrderElement&) = default;
+};
+
+/// Maps a ColumnId to a printable name; used by ToString diagnostics.
+using ColumnNamer = std::function<std::string(const ColumnId&)>;
+
+/// An order specification: a list of columns in major-to-minor significance,
+/// each with a direction. Used both for *order properties* (the physical
+/// order a stream actually has) and *interesting orders* (an order some
+/// operation would like), exactly as in the paper (§3).
+class OrderSpec {
+ public:
+  OrderSpec() = default;
+  OrderSpec(std::initializer_list<OrderElement> elems) : elems_(elems) {}
+  explicit OrderSpec(std::vector<OrderElement> elems)
+      : elems_(std::move(elems)) {}
+
+  /// Convenience: all-ascending order over `cols`.
+  static OrderSpec Ascending(const std::vector<ColumnId>& cols);
+
+  bool empty() const { return elems_.empty(); }
+  size_t size() const { return elems_.size(); }
+  const std::vector<OrderElement>& elements() const { return elems_; }
+  const OrderElement& at(size_t i) const { return elems_[i]; }
+  auto begin() const { return elems_.begin(); }
+  auto end() const { return elems_.end(); }
+
+  void Append(const OrderElement& e) { elems_.push_back(e); }
+  void Truncate(size_t n) {
+    if (n < elems_.size()) elems_.resize(n);
+  }
+
+  /// The set of columns mentioned (ignoring direction and position).
+  ColumnSet Columns() const;
+
+  /// True if this is a prefix of `other` (columns and directions both).
+  bool IsPrefixOf(const OrderSpec& other) const;
+
+  /// First `n` elements.
+  OrderSpec Prefix(size_t n) const;
+
+  /// "(a.x ASC, b.y DESC)" using `namer` for column names; falls back to
+  /// "t<i>.c<j>" without one.
+  std::string ToString(const ColumnNamer& namer = nullptr) const;
+
+  friend bool operator==(const OrderSpec&, const OrderSpec&) = default;
+
+ private:
+  std::vector<OrderElement> elems_;
+};
+
+/// Default "t<i>.c<j>" rendering for a ColumnId.
+std::string DefaultColumnName(const ColumnId& col);
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_ORDEROPT_ORDER_SPEC_H_

@@ -1,0 +1,28 @@
+#ifndef ORDOPT_PARSER_PARSER_H_
+#define ORDOPT_PARSER_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace ordopt {
+
+/// Parses one SELECT statement of the supported SQL subset:
+///
+///   SELECT [DISTINCT] expr [AS alias], ...
+///   FROM table [alias] | (subselect) alias, ...
+///   [WHERE conjunct AND conjunct ...]
+///   [GROUP BY expr, ...]
+///   [ORDER BY expr [ASC|DESC], ...]
+///
+/// Expressions support column references (optionally qualified), integer /
+/// decimal / string literals, DATE '...' literals and date('...') calls,
+/// +,-,*,/ arithmetic, =,<>,<,<=,>,>= comparisons, AND, and the aggregates
+/// sum/count/min/max/avg (with count(*) and agg(distinct x)).
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql);
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_PARSER_PARSER_H_

@@ -1,0 +1,116 @@
+#include "parser/token.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace ordopt {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      tok.kind = TokenKind::kIdentifier;
+      tok.text = ToLower(sql.substr(start, i - start));
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      tok.kind = is_float ? TokenKind::kFloat : TokenKind::kInteger;
+      tok.text = sql.substr(start, i - start);
+    } else if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // '' escape
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += sql[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu",
+                      tok.offset));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(text);
+    } else {
+      // Two-char operators first.
+      if (i + 1 < n) {
+        std::string two = sql.substr(i, 2);
+        if (two == "<>" || two == "<=" || two == ">=" || two == "!=") {
+          tok.kind = TokenKind::kSymbol;
+          tok.text = two == "!=" ? "<>" : two;
+          i += 2;
+          tokens.push_back(std::move(tok));
+          continue;
+        }
+      }
+      static const char kSingles[] = "(),.*+-/=<>";
+      bool known = false;
+      for (const char* p = kSingles; *p != '\0'; ++p) {
+        if (*p == c) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at offset %zu", c, i));
+      }
+      tok.kind = TokenKind::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token eof;
+  eof.kind = TokenKind::kEndOfInput;
+  eof.offset = n;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace ordopt

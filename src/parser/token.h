@@ -1,0 +1,43 @@
+#ifndef ORDOPT_PARSER_TOKEN_H_
+#define ORDOPT_PARSER_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ordopt {
+
+/// Lexical token kinds for the SQL subset.
+enum class TokenKind {
+  kIdentifier,  ///< bare identifier or keyword (keywords resolved in parser)
+  kInteger,
+  kFloat,
+  kString,    ///< 'quoted literal' (quotes stripped, '' unescaped)
+  kSymbol,    ///< operators and punctuation: ( ) , . * + - / = <> <= >= < >
+  kEndOfInput
+};
+
+/// One lexical token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEndOfInput;
+  std::string text;  ///< identifier lowercased; literals verbatim
+  size_t offset = 0;
+
+  bool IsSymbol(const char* s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+  /// True when this is the (case-insensitive) keyword/identifier `kw`
+  /// (callers pass lowercase).
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kIdentifier && text == kw;
+  }
+};
+
+/// Splits SQL text into tokens. Identifiers are lowercased (the SQL subset
+/// is case-insensitive); string literals keep their exact contents.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_PARSER_TOKEN_H_

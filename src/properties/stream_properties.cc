@@ -1,0 +1,182 @@
+#include "properties/stream_properties.h"
+
+#include "common/str_util.h"
+
+namespace ordopt {
+
+std::string StreamProperties::ToString(const ColumnNamer& namer) const {
+  std::string out = "order" + order.ToString(namer);
+  out += " " + keys.ToString(namer);
+  out += StrFormat(" card=%.0f", cardinality);
+  return out;
+}
+
+StreamProperties BaseTableProperties(const Table& table, int table_id) {
+  StreamProperties props;
+  const TableDef& def = table.def();
+  for (size_t i = 0; i < def.columns.size(); ++i) {
+    props.columns.Add(ColumnId(table_id, static_cast<int32_t>(i)));
+  }
+  for (const std::vector<int>& key : def.unique_keys) {
+    ColumnSet key_cols;
+    for (int ord : key) key_cols.Add(ColumnId(table_id, ord));
+    props.keys.AddKey(key_cols);
+    props.fds.AddKey(key_cols, props.columns);
+  }
+  // Unique indexes are keys too.
+  for (const IndexDef& idx : def.indexes) {
+    if (!idx.unique) continue;
+    ColumnSet key_cols;
+    for (int ord : idx.column_ordinals) key_cols.Add(ColumnId(table_id, ord));
+    props.keys.AddKey(key_cols);
+    props.fds.AddKey(key_cols, props.columns);
+  }
+  props.cardinality = static_cast<double>(table.row_count());
+  return props;
+}
+
+void ApplyPredicate(StreamProperties* props, const Predicate& pred,
+                    double selectivity) {
+  switch (pred.kind) {
+    case Predicate::Kind::kColEqCol:
+      props->eq.AddEquivalence(pred.left_col, pred.right_col);
+      break;
+    case Predicate::Kind::kColEqConst:
+      props->eq.AddConstant(pred.left_col, pred.constant);
+      break;
+    default:
+      break;
+  }
+  props->cardinality *= selectivity;
+  if (props->cardinality < 1.0) props->cardinality = 1.0;
+  // Key columns bound to constants stop discriminating; a fully bound key
+  // collapses the property to the one-record condition.
+  props->keys.Simplify(props->eq);
+}
+
+StreamProperties JoinProperties(
+    const StreamProperties& outer, const StreamProperties& inner,
+    const std::vector<std::pair<ColumnId, ColumnId>>& join_pairs,
+    bool preserves_outer_order, double cardinality) {
+  StreamProperties props;
+  props.columns = outer.columns.Union(inner.columns);
+  props.eq = outer.eq;
+  props.eq.MergeFrom(inner.eq);
+  props.fds = outer.fds;
+  props.fds.MergeFrom(inner.fds);
+  props.keys = KeyProperty::PropagateJoin(outer.keys, inner.keys, join_pairs);
+  props.keys.Simplify(props.eq);
+  if (preserves_outer_order) props.order = outer.order;
+  props.cardinality = cardinality;
+  return props;
+}
+
+StreamProperties LeftJoinProperties(
+    const StreamProperties& outer, const StreamProperties& inner,
+    const std::vector<std::pair<ColumnId, ColumnId>>& on_pairs,
+    bool preserves_outer_order, double cardinality) {
+  StreamProperties props;
+  props.columns = outer.columns.Union(inner.columns);
+  props.eq = outer.eq;
+  props.eq.MergeEquivalencesFrom(inner.eq);
+  props.fds = outer.fds;
+  props.fds.MergeFrom(inner.fds);
+  // §4.1: {preserved} -> {null-supplying} per equality ON predicate.
+  for (const auto& [p, n] : on_pairs) {
+    props.fds.Add(ColumnSet{p}, ColumnSet{n});
+  }
+  // Keys: n-to-1 (some inner key fully covered by ON columns) keeps the
+  // outer's keys; otherwise concatenate.
+  ColumnSet inner_on_cols;
+  for (const auto& [p, n] : on_pairs) {
+    (void)p;
+    inner_on_cols.Add(n);
+  }
+  if (inner.keys.IsUniqueOn(inner_on_cols)) {
+    props.keys = outer.keys;
+  } else {
+    for (const ColumnSet& ko : outer.keys.keys()) {
+      for (const ColumnSet& ki : inner.keys.keys()) {
+        props.keys.AddKey(ko.Union(ki));
+      }
+    }
+  }
+  props.keys.Simplify(props.eq);
+  if (preserves_outer_order) props.order = outer.order;
+  props.cardinality = cardinality;
+  return props;
+}
+
+StreamProperties SortProperties(const StreamProperties& input,
+                                const OrderSpec& spec) {
+  StreamProperties props = input;
+  props.order = spec;
+  return props;
+}
+
+StreamProperties GroupByProperties(const StreamProperties& input,
+                                   const std::vector<ColumnId>& group_columns,
+                                   const ColumnSet& aggregate_outputs,
+                                   bool preserves_order, double cardinality) {
+  StreamProperties props;
+  ColumnSet group_set;
+  for (const ColumnId& c : group_columns) group_set.Add(c);
+  props.columns = group_set.Union(aggregate_outputs);
+  props.eq = input.eq;
+  props.fds = input.fds;
+  // After grouping, the grouping columns identify each output record and
+  // determine the aggregate outputs.
+  props.keys.AddKey(group_set);
+  props.keys.Simplify(props.eq);
+  props.fds.Add(group_set, props.columns);
+  if (preserves_order) {
+    props.order = input.order;
+  }
+  props.cardinality = cardinality;
+  return props;
+}
+
+StreamProperties DistinctProperties(const StreamProperties& input,
+                                    const ColumnSet& distinct_columns,
+                                    bool preserves_order, double cardinality) {
+  StreamProperties props = input;
+  props.columns = distinct_columns;
+  props.keys.AddKey(distinct_columns);
+  props.keys.Simplify(props.eq);
+  if (!preserves_order) props.order = OrderSpec();
+  props.cardinality = cardinality;
+  props.keys.Project(distinct_columns);
+  // Re-add: Project may have dropped the new key if it referenced invisible
+  // columns — it cannot (distinct_columns are visible), but keep keys valid.
+  props.keys.AddKey(distinct_columns);
+  return props;
+}
+
+StreamProperties ProjectProperties(const StreamProperties& input,
+                                   const ColumnSet& visible) {
+  StreamProperties props = input;
+  props.columns = visible;
+  props.keys.Project(visible);
+  // Truncate the order property at the first invisible column that has no
+  // visible equivalent.
+  OrderSpec truncated;
+  for (const OrderElement& e : input.order) {
+    if (visible.Contains(e.col)) {
+      truncated.Append(e);
+      continue;
+    }
+    bool substituted = false;
+    for (const ColumnId& member : input.eq.ClassMembers(e.col)) {
+      if (visible.Contains(member)) {
+        truncated.Append(OrderElement(member, e.dir));
+        substituted = true;
+        break;
+      }
+    }
+    if (!substituted) break;
+  }
+  props.order = truncated;
+  return props;
+}
+
+}  // namespace ordopt

@@ -1,0 +1,104 @@
+#ifndef ORDOPT_PROPERTIES_STREAM_PROPERTIES_H_
+#define ORDOPT_PROPERTIES_STREAM_PROPERTIES_H_
+
+#include <string>
+#include <vector>
+
+#include "orderopt/equivalence.h"
+#include "orderopt/fd.h"
+#include "orderopt/key_property.h"
+#include "orderopt/operations.h"
+#include "orderopt/order_spec.h"
+#include "qgm/predicate.h"
+#include "storage/table.h"
+
+namespace ordopt {
+
+/// The properties of one plan stream (§3, §5.2.1): the visible columns,
+/// the physical order, the equivalence classes and constants implied by the
+/// applied predicates, the functional dependencies, the key property, and
+/// the cardinality estimate. Every physical operator derives its output
+/// properties from its inputs through the functions below.
+struct StreamProperties {
+  ColumnSet columns;
+  OrderSpec order;         ///< physical order; originates from index or sort
+  EquivalenceClasses eq;   ///< from applied predicates
+  FDSet fds;
+  KeyProperty keys;
+  double cardinality = 0.0;
+
+  /// The reduction context for order operations over this stream.
+  OrderContext MakeContext(bool transitive_fds = false) const {
+    OrderContext ctx;
+    ctx.eq = eq;
+    ctx.fds = fds;
+    ctx.transitive_fds = transitive_fds;
+    return ctx;
+  }
+
+  /// One-record streams satisfy every order (§5.2.1).
+  bool IsOneRecord() const { return keys.IsOneRecord(); }
+
+  std::string ToString(const ColumnNamer& namer = nullptr) const;
+};
+
+/// Properties of a base-table access with instance id `table_id`: columns,
+/// declared-key FDs and key property; order empty (heap) — index-scan order
+/// is layered on by the caller.
+StreamProperties BaseTableProperties(const Table& table, int table_id);
+
+/// Applies one predicate: updates equivalence classes / constants, scales
+/// cardinality by `selectivity`, and re-simplifies the key property (which
+/// may collapse to the one-record condition, §5.2.1).
+void ApplyPredicate(StreamProperties* props, const Predicate& pred,
+                    double selectivity);
+
+/// Properties of a join: merged equivalences and FDs, propagated keys
+/// (n-to-1 analysis over `join_pairs`), concatenated columns. The outer
+/// order survives only when `preserves_outer_order` (nested-loop and merge
+/// joins; not hash join). Join predicates must additionally be applied by
+/// the caller via ApplyPredicate.
+StreamProperties JoinProperties(
+    const StreamProperties& outer, const StreamProperties& inner,
+    const std::vector<std::pair<ColumnId, ColumnId>>& join_pairs,
+    bool preserves_outer_order, double cardinality);
+
+/// Properties of a LEFT OUTER JOIN (outer = preserved side, inner =
+/// null-supplying side), per §4.1's outer-join rule: each equality ON pair
+/// (p, n) contributes only the one-way FD {p} -> {n}; the inner side's
+/// equivalence classes survive (NULLs compare equal) but its constant
+/// bindings do not; inner keys never propagate alone (null-extended rows
+/// collide on them) — outer keys survive when the join is n-to-1,
+/// otherwise concatenated pairs are used.
+StreamProperties LeftJoinProperties(
+    const StreamProperties& outer, const StreamProperties& inner,
+    const std::vector<std::pair<ColumnId, ColumnId>>& on_pairs,
+    bool preserves_outer_order, double cardinality);
+
+/// Properties after sorting on `spec`: order replaced, rest unchanged.
+StreamProperties SortProperties(const StreamProperties& input,
+                                const OrderSpec& spec);
+
+/// Properties after grouping: visible columns become the group columns and
+/// aggregate outputs; the group columns form a key; {group} -> {aggregates}
+/// joins the FDs. `preserves_order` is true for the streaming (sort-based)
+/// implementation.
+StreamProperties GroupByProperties(const StreamProperties& input,
+                                   const std::vector<ColumnId>& group_columns,
+                                   const ColumnSet& aggregate_outputs,
+                                   bool preserves_order, double cardinality);
+
+/// Properties after duplicate elimination over `distinct_columns`.
+StreamProperties DistinctProperties(const StreamProperties& input,
+                                    const ColumnSet& distinct_columns,
+                                    bool preserves_order, double cardinality);
+
+/// Properties after projecting to `visible`: keys project (§5.2.1), and the
+/// order property is truncated at the first column that is no longer
+/// visible (and cannot be substituted via an equivalence class).
+StreamProperties ProjectProperties(const StreamProperties& input,
+                                   const ColumnSet& visible);
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_PROPERTIES_STREAM_PROPERTIES_H_

@@ -1,0 +1,27 @@
+#ifndef ORDOPT_QGM_BINDER_H_
+#define ORDOPT_QGM_BINDER_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "parser/ast.h"
+#include "qgm/qgm.h"
+#include "storage/database.h"
+
+namespace ordopt {
+
+/// Binds a parsed SELECT statement against the database catalog and builds
+/// the QGM box tree (§3): a SELECT box for the join block; a GROUP BY box
+/// plus a finishing SELECT box when the query aggregates; nested boxes for
+/// derived tables. ORDER BY becomes the top box's output order requirement.
+///
+/// Semantic rules enforced here: every name resolves unambiguously; in a
+/// grouped query, non-aggregate select/order-by columns must be grouping
+/// columns; GROUP BY items must be plain columns; `*` is incompatible with
+/// grouping.
+Result<std::unique_ptr<Query>> BindQuery(const SelectStmt& stmt,
+                                         const Database& db);
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_QGM_BINDER_H_

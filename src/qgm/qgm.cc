@@ -1,0 +1,102 @@
+#include "qgm/qgm.h"
+
+#include "common/macros.h"
+#include "common/str_util.h"
+
+namespace ordopt {
+
+ColumnSet QgmBox::OutputColumns() const {
+  ColumnSet out;
+  for (const OutputColumn& c : outputs) out.Add(c.id);
+  return out;
+}
+
+int QgmBox::FindOutput(const ColumnId& id) const {
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (outputs[i].id == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+QgmBox* Query::NewBox(QgmBox::Kind kind) {
+  auto box = std::make_unique<QgmBox>();
+  box->kind = kind;
+  box->vid = AllocTableId();
+  QgmBox* ptr = box.get();
+  boxes.push_back(std::move(box));
+  return ptr;
+}
+
+ColumnNamer Query::namer() const {
+  return [this](const ColumnId& id) -> std::string {
+    auto it = column_names.find(id);
+    return it != column_names.end() ? it->second : DefaultColumnName(id);
+  };
+}
+
+DataType Query::TypeOf(const ColumnId& id) const {
+  auto it = column_types.find(id);
+  return it != column_types.end() ? it->second : DataType::kNull;
+}
+
+namespace {
+
+void PrintBox(const QgmBox* box, const ColumnNamer& namer, int indent,
+              std::string* out) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  if (box->kind == QgmBox::Kind::kUnion) {
+    *out += pad + StrFormat("UNION%s box (%zu branches)\n",
+                            box->distinct ? "" : " ALL",
+                            box->quantifiers.size());
+  } else if (box->kind == QgmBox::Kind::kGroupBy) {
+    *out += pad + "GROUP BY box";
+    std::vector<std::string> cols;
+    for (const ColumnId& c : box->group_columns) cols.push_back(namer(c));
+    *out += " [" + Join(cols, ", ") + "]";
+    cols.clear();
+    for (const AggregateSpec& a : box->aggregates) cols.push_back(a.name);
+    if (!cols.empty()) *out += " aggs[" + Join(cols, ", ") + "]";
+    *out += "\n";
+  } else {
+    *out += pad + "SELECT box";
+    if (box->distinct) *out += " DISTINCT";
+    if (!box->output_order_requirement.empty()) {
+      *out += " order" + box->output_order_requirement.ToString(namer);
+    }
+    if (!box->predicates.empty()) {
+      std::vector<std::string> preds;
+      for (const Predicate& p : box->predicates) preds.push_back(p.ToString());
+      *out += " where[" + Join(preds, " AND ") + "]";
+    }
+    *out += "\n";
+  }
+  std::string qpad(static_cast<size_t>(indent + 1) * 2, ' ');
+  auto print_quantifier = [&](const Quantifier& q, const char* prefix) {
+    if (q.IsBase()) {
+      *out += qpad + StrFormat("%squantifier %s (table %s, id %d)\n", prefix,
+                               q.alias.c_str(), q.table->name().c_str(), q.id);
+    } else {
+      *out += qpad + StrFormat("%squantifier %s over:\n", prefix,
+                               q.alias.c_str());
+      PrintBox(q.input, namer, indent + 2, out);
+    }
+  };
+  for (const Quantifier& q : box->quantifiers) print_quantifier(q, "");
+  for (const OuterJoinStep& step : box->outer_joins) {
+    print_quantifier(step.quantifier, "left-join ");
+    std::vector<std::string> preds;
+    for (const Predicate& p : step.on_predicates) preds.push_back(p.ToString());
+    *out += qpad + "  on[" + Join(preds, " AND ") + "]\n";
+  }
+}
+
+}  // namespace
+
+std::string Query::ToString() const {
+  ORDOPT_CHECK(root != nullptr);
+  std::string out;
+  PrintBox(root, namer(), 0, &out);
+  return out;
+}
+
+}  // namespace ordopt

@@ -1,0 +1,64 @@
+#include "qgm/rewrite.h"
+
+namespace ordopt {
+
+namespace {
+
+// A child box can merge into its parent when it is a plain select whose
+// outputs all pass through inner columns unchanged.
+bool IsMergeable(const QgmBox* child) {
+  if (child->kind != QgmBox::Kind::kSelect) return false;
+  if (child->distinct || child->limit >= 0) return false;
+  for (const OutputColumn& oc : child->outputs) {
+    if (!oc.expr.IsColumn() || oc.expr.column() != oc.id) return false;
+  }
+  return true;
+}
+
+// Merges mergeable quantifiers of `box`; returns true if anything changed.
+bool MergeInto(QgmBox* box) {
+  bool changed = false;
+  std::vector<Quantifier> merged;
+  for (Quantifier& q : box->quantifiers) {
+    if (q.IsBase() || !IsMergeable(q.input)) {
+      merged.push_back(std::move(q));
+      continue;
+    }
+    QgmBox* child = q.input;
+    for (Quantifier& cq : child->quantifiers) {
+      merged.push_back(std::move(cq));
+    }
+    child->quantifiers.clear();
+    for (Predicate& p : child->predicates) {
+      box->predicates.push_back(std::move(p));
+    }
+    child->predicates.clear();
+    changed = true;
+  }
+  box->quantifiers = std::move(merged);
+  return changed;
+}
+
+void Walk(QgmBox* box, bool* changed) {
+  for (Quantifier& q : box->quantifiers) {
+    if (!q.IsBase()) Walk(q.input, changed);
+  }
+  // Null-supplying derived tables are planned as units, never merged
+  // (merging would hoist their predicates above the outer join).
+  for (OuterJoinStep& step : box->outer_joins) {
+    if (!step.quantifier.IsBase()) Walk(step.quantifier.input, changed);
+  }
+  if (box->kind == QgmBox::Kind::kSelect && MergeInto(box)) *changed = true;
+}
+
+}  // namespace
+
+void MergeDerivedTables(Query* query) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    Walk(query->root, &changed);
+  }
+}
+
+}  // namespace ordopt

@@ -1,0 +1,22 @@
+#ifndef ORDOPT_QGM_REWRITE_H_
+#define ORDOPT_QGM_REWRITE_H_
+
+#include "qgm/qgm.h"
+
+namespace ordopt {
+
+/// QGM-to-QGM rewrites applied before planning ([PHH92]-style, §3). The
+/// one that matters for order optimization is *view merging*: a quantifier
+/// ranging over a plain SELECT box (no DISTINCT, no grouping, all outputs
+/// pass-through) is replaced by that box's own quantifiers and predicates,
+/// so the enclosing join sees the view's tables directly — which is what
+/// lets sort-ahead push an ORDER BY sort *into* a view (§1). A derived
+/// table's ORDER BY, if any, is discarded (SQL derived tables are
+/// unordered).
+///
+/// Runs to a fixpoint, handling nested views.
+void MergeDerivedTables(Query* query);
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_QGM_REWRITE_H_

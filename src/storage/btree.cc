@@ -1,0 +1,414 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/str_util.h"
+
+namespace ordopt {
+
+namespace {
+// Node capacities kept modest so tests exercise multi-level trees.
+constexpr size_t kMaxLeafEntries = 32;
+constexpr size_t kMaxInnerSeps = 32;
+}  // namespace
+
+struct BTreeIndex::Node {
+  bool is_leaf = false;
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+};
+
+struct BTreeIndex::LeafNode : BTreeIndex::Node {
+  LeafNode() : Node(true) {}
+  std::vector<IndexKey> keys;
+  std::vector<int64_t> rids;
+  LeafNode* prev = nullptr;
+  LeafNode* next = nullptr;
+};
+
+struct BTreeIndex::InnerNode : BTreeIndex::Node {
+  InnerNode() : Node(false) {}
+  // sep_keys[i]/sep_rids[i] is the smallest entry of children[i+1]'s
+  // subtree; children.size() == sep_keys.size() + 1.
+  std::vector<IndexKey> sep_keys;
+  std::vector<int64_t> sep_rids;
+  std::vector<Node*> children;
+};
+
+BTreeIndex::BTreeIndex(std::vector<SortDirection> directions)
+    : directions_(std::move(directions)) {
+  LeafNode* leaf = new LeafNode();
+  root_ = leaf;
+  first_leaf_ = leaf;
+  last_leaf_ = leaf;
+}
+
+BTreeIndex::~BTreeIndex() {
+  if (root_ == nullptr) return;
+  // Iterative destruction via the leaf chain plus a stack for inner nodes.
+  std::vector<Node*> stack = {root_};
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (!n->is_leaf) {
+      InnerNode* inner = static_cast<InnerNode*>(n);
+      for (Node* c : inner->children) stack.push_back(c);
+      delete inner;
+    } else {
+      delete static_cast<LeafNode*>(n);
+    }
+  }
+}
+
+int BTreeIndex::CompareKeys(const IndexKey& a, const IndexKey& b) const {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) {
+      bool desc = i < directions_.size() &&
+                  directions_[i] == SortDirection::kDescending;
+      return desc ? -c : c;
+    }
+  }
+  return 0;  // equal on the shared prefix
+}
+
+void BTreeIndex::Insert(IndexKey key, int64_t rid) {
+  ORDOPT_CHECK_MSG(key.size() == directions_.size(),
+                   "index key arity %zu != declared %zu", key.size(),
+                   directions_.size());
+  // Compares (key, rid) entries under the index collation.
+  auto entry_less = [this](const IndexKey& ak, int64_t ar, const IndexKey& bk,
+                           int64_t br) {
+    int c = CompareKeys(ak, bk);
+    if (c != 0) return c < 0;
+    return ar < br;
+  };
+
+  struct SplitResult {
+    IndexKey sep_key;
+    int64_t sep_rid;
+    Node* right;
+  };
+
+  // Recursive insert returning a split description when the child divides.
+  auto insert_rec = [&](auto&& self, Node* node) -> std::unique_ptr<SplitResult> {
+    if (node->is_leaf) {
+      LeafNode* leaf = static_cast<LeafNode*>(node);
+      size_t pos = leaf->keys.size();
+      // Binary search for the insertion point.
+      size_t lo = 0, hi = leaf->keys.size();
+      while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (entry_less(leaf->keys[mid], leaf->rids[mid], key, rid)) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      pos = lo;
+      leaf->keys.insert(leaf->keys.begin() + pos, key);
+      leaf->rids.insert(leaf->rids.begin() + pos, rid);
+      if (leaf->keys.size() <= kMaxLeafEntries) return nullptr;
+
+      // Split the leaf in half.
+      LeafNode* right = new LeafNode();
+      size_t half = leaf->keys.size() / 2;
+      right->keys.assign(leaf->keys.begin() + half, leaf->keys.end());
+      right->rids.assign(leaf->rids.begin() + half, leaf->rids.end());
+      leaf->keys.resize(half);
+      leaf->rids.resize(half);
+      right->next = leaf->next;
+      right->prev = leaf;
+      if (leaf->next != nullptr) leaf->next->prev = right;
+      leaf->next = right;
+      if (last_leaf_ == leaf) last_leaf_ = right;
+      auto split = std::make_unique<SplitResult>();
+      split->sep_key = right->keys.front();
+      split->sep_rid = right->rids.front();
+      split->right = right;
+      return split;
+    }
+
+    InnerNode* inner = static_cast<InnerNode*>(node);
+    // First separator strictly greater than the entry -> descend before it.
+    size_t child_idx = inner->sep_keys.size();
+    {
+      size_t lo = 0, hi = inner->sep_keys.size();
+      while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (entry_less(key, rid, inner->sep_keys[mid], inner->sep_rids[mid])) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      child_idx = lo;
+    }
+    std::unique_ptr<SplitResult> child_split =
+        self(self, inner->children[child_idx]);
+    if (child_split == nullptr) return nullptr;
+
+    inner->sep_keys.insert(inner->sep_keys.begin() + child_idx,
+                           child_split->sep_key);
+    inner->sep_rids.insert(inner->sep_rids.begin() + child_idx,
+                           child_split->sep_rid);
+    inner->children.insert(inner->children.begin() + child_idx + 1,
+                           child_split->right);
+    if (inner->sep_keys.size() <= kMaxInnerSeps) return nullptr;
+
+    // Split the inner node: middle separator moves up.
+    InnerNode* right = new InnerNode();
+    size_t mid = inner->sep_keys.size() / 2;
+    auto split = std::make_unique<SplitResult>();
+    split->sep_key = inner->sep_keys[mid];
+    split->sep_rid = inner->sep_rids[mid];
+    right->sep_keys.assign(inner->sep_keys.begin() + mid + 1,
+                           inner->sep_keys.end());
+    right->sep_rids.assign(inner->sep_rids.begin() + mid + 1,
+                           inner->sep_rids.end());
+    right->children.assign(inner->children.begin() + mid + 1,
+                           inner->children.end());
+    inner->sep_keys.resize(mid);
+    inner->sep_rids.resize(mid);
+    inner->children.resize(mid + 1);
+    split->right = right;
+    return split;
+  };
+
+  auto split = insert_rec(insert_rec, root_);
+  if (split != nullptr) {
+    InnerNode* new_root = new InnerNode();
+    new_root->sep_keys.push_back(split->sep_key);
+    new_root->sep_rids.push_back(split->sep_rid);
+    new_root->children.push_back(root_);
+    new_root->children.push_back(split->right);
+    root_ = new_root;
+  }
+  ++size_;
+}
+
+const IndexKey& BTreeIndex::Cursor::key() const {
+  const LeafNode* leaf = static_cast<const LeafNode*>(leaf_);
+  return leaf->keys[pos_];
+}
+
+int64_t BTreeIndex::Cursor::rid() const {
+  const LeafNode* leaf = static_cast<const LeafNode*>(leaf_);
+  return leaf->rids[pos_];
+}
+
+void BTreeIndex::Cursor::Next() {
+  const LeafNode* leaf = static_cast<const LeafNode*>(leaf_);
+  if (pos_ + 1 < leaf->keys.size()) {
+    ++pos_;
+    return;
+  }
+  const LeafNode* next = leaf->next;
+  while (next != nullptr && next->keys.empty()) next = next->next;
+  leaf_ = next;
+  pos_ = 0;
+}
+
+void BTreeIndex::Cursor::Prev() {
+  const LeafNode* leaf = static_cast<const LeafNode*>(leaf_);
+  if (pos_ > 0) {
+    --pos_;
+    return;
+  }
+  const LeafNode* prev = leaf->prev;
+  while (prev != nullptr && prev->keys.empty()) prev = prev->prev;
+  leaf_ = prev;
+  pos_ = prev != nullptr ? prev->keys.size() - 1 : 0;
+}
+
+BTreeIndex::Cursor BTreeIndex::SeekFirst() const {
+  Cursor c;
+  const LeafNode* leaf = first_leaf_;
+  while (leaf != nullptr && leaf->keys.empty()) leaf = leaf->next;
+  c.leaf_ = leaf;
+  c.pos_ = 0;
+  return c;
+}
+
+BTreeIndex::Cursor BTreeIndex::SeekLast() const {
+  Cursor c;
+  const LeafNode* leaf = last_leaf_;
+  while (leaf != nullptr && leaf->keys.empty()) leaf = leaf->prev;
+  c.leaf_ = leaf;
+  c.pos_ = leaf != nullptr ? leaf->keys.size() - 1 : 0;
+  return c;
+}
+
+BTreeIndex::Cursor BTreeIndex::SeekInternal(const IndexKey& prefix,
+                                            bool after) const {
+  // Predicate: entry qualifies when key >= prefix (or > when `after`).
+  auto qualifies = [&](const IndexKey& k) {
+    int c = CompareKeys(k, prefix);
+    return after ? c > 0 : c >= 0;
+  };
+
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    const InnerNode* inner = static_cast<const InnerNode*>(node);
+    // Descend into the first child whose separator could still contain a
+    // qualifying entry to its left: first separator that qualifies.
+    size_t idx = inner->sep_keys.size();
+    for (size_t i = 0; i < inner->sep_keys.size(); ++i) {
+      if (qualifies(inner->sep_keys[i])) {
+        idx = i;
+        break;
+      }
+    }
+    node = inner->children[idx];
+  }
+
+  const LeafNode* leaf = static_cast<const LeafNode*>(node);
+  // First qualifying position in this leaf; binary search is valid because
+  // qualification is monotone in key order.
+  size_t lo = 0, hi = leaf->keys.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (qualifies(leaf->keys[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  Cursor c;
+  if (lo < leaf->keys.size()) {
+    c.leaf_ = leaf;
+    c.pos_ = lo;
+    return c;
+  }
+  // All entries here are below the target; the next non-empty leaf's first
+  // entry (if any) is the answer.
+  const LeafNode* next = leaf->next;
+  while (next != nullptr && next->keys.empty()) next = next->next;
+  c.leaf_ = next;
+  c.pos_ = 0;
+  return c;
+}
+
+BTreeIndex::Cursor BTreeIndex::SeekAtLeast(const IndexKey& prefix) const {
+  return SeekInternal(prefix, /*after=*/false);
+}
+
+BTreeIndex::Cursor BTreeIndex::SeekAfter(const IndexKey& prefix) const {
+  return SeekInternal(prefix, /*after=*/true);
+}
+
+Status BTreeIndex::CheckInvariants() const {
+  // 1. Every path from the root has uniform depth; node fills respected.
+  // 2. Within every node, entries/separators are strictly increasing.
+  // 3. Separators bound their subtrees.
+  // 4. The leaf chain enumerates size_ entries in nondecreasing order.
+  auto entry_leq = [this](const IndexKey& ak, int64_t ar, const IndexKey& bk,
+                          int64_t br) {
+    int c = CompareKeys(ak, bk);
+    if (c != 0) return c < 0;
+    return ar <= br;
+  };
+
+  struct Bounds {
+    const IndexKey* min_key = nullptr;
+    int64_t min_rid = 0;
+    const IndexKey* max_key = nullptr;
+    int64_t max_rid = 0;
+  };
+
+  int expected_depth = -1;
+  Status status = Status::OK();
+  auto check_rec = [&](auto&& self, const Node* node, int depth,
+                       Bounds* bounds) -> bool {
+    if (node->is_leaf) {
+      if (expected_depth == -1) expected_depth = depth;
+      if (depth != expected_depth) {
+        status = Status::Internal("non-uniform leaf depth");
+        return false;
+      }
+      const LeafNode* leaf = static_cast<const LeafNode*>(node);
+      for (size_t i = 1; i < leaf->keys.size(); ++i) {
+        if (!entry_leq(leaf->keys[i - 1], leaf->rids[i - 1], leaf->keys[i],
+                       leaf->rids[i])) {
+          status = Status::Internal("leaf entries out of order");
+          return false;
+        }
+      }
+      if (!leaf->keys.empty()) {
+        bounds->min_key = &leaf->keys.front();
+        bounds->min_rid = leaf->rids.front();
+        bounds->max_key = &leaf->keys.back();
+        bounds->max_rid = leaf->rids.back();
+      }
+      return true;
+    }
+    const InnerNode* inner = static_cast<const InnerNode*>(node);
+    if (inner->children.size() != inner->sep_keys.size() + 1 ||
+        inner->sep_rids.size() != inner->sep_keys.size()) {
+      status = Status::Internal("inner node arity mismatch");
+      return false;
+    }
+    Bounds prev_child;
+    for (size_t i = 0; i < inner->children.size(); ++i) {
+      Bounds child_bounds;
+      if (!self(self, inner->children[i], depth + 1, &child_bounds)) {
+        return false;
+      }
+      if (i > 0 && child_bounds.min_key != nullptr) {
+        // Separator i-1 must equal/lower-bound child i's minimum and
+        // upper-bound child i-1's maximum.
+        if (!entry_leq(inner->sep_keys[i - 1], inner->sep_rids[i - 1],
+                       *child_bounds.min_key, child_bounds.min_rid)) {
+          status = Status::Internal("separator exceeds right subtree min");
+          return false;
+        }
+        if (prev_child.max_key != nullptr &&
+            !entry_leq(*prev_child.max_key, prev_child.max_rid,
+                       inner->sep_keys[i - 1], inner->sep_rids[i - 1])) {
+          status = Status::Internal("separator below left subtree max");
+          return false;
+        }
+      }
+      if (i == 0) {
+        bounds->min_key = child_bounds.min_key;
+        bounds->min_rid = child_bounds.min_rid;
+      }
+      if (child_bounds.max_key != nullptr) {
+        bounds->max_key = child_bounds.max_key;
+        bounds->max_rid = child_bounds.max_rid;
+      }
+      prev_child = child_bounds;
+    }
+    return true;
+  };
+
+  Bounds root_bounds;
+  if (!check_rec(check_rec, root_, 0, &root_bounds)) return status;
+
+  // Leaf-chain check.
+  int64_t count = 0;
+  const IndexKey* prev_key = nullptr;
+  int64_t prev_rid = 0;
+  for (const LeafNode* leaf = first_leaf_; leaf != nullptr;
+       leaf = leaf->next) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (prev_key != nullptr &&
+          !entry_leq(*prev_key, prev_rid, leaf->keys[i], leaf->rids[i])) {
+        return Status::Internal("leaf chain out of order");
+      }
+      prev_key = &leaf->keys[i];
+      prev_rid = leaf->rids[i];
+      ++count;
+    }
+  }
+  if (count != size_) {
+    return Status::Internal(
+        StrFormat("leaf chain has %lld entries, expected %lld",
+                  static_cast<long long>(count),
+                  static_cast<long long>(size_)));
+  }
+  return Status::OK();
+}
+
+}  // namespace ordopt

@@ -1,0 +1,98 @@
+#ifndef ORDOPT_STORAGE_BTREE_H_
+#define ORDOPT_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "orderopt/order_spec.h"
+
+namespace ordopt {
+
+/// Composite index key: one Value per indexed column.
+using IndexKey = std::vector<Value>;
+
+/// In-memory B+-tree mapping composite keys to row ids. Provides the two
+/// things order optimization cares about: an *ordered* full scan (forward or
+/// backward — an index on (c1, c2) yields order (c1, c2) scanned forward and
+/// (c1 DESC, c2 DESC) scanned backward), and ordered range probes for
+/// nested-loop index joins. Duplicate keys are allowed; ties are broken by
+/// row id so iteration order is deterministic.
+///
+/// Non-unique multi-version concerns do not apply: the engine loads tables
+/// once and then serves read-only queries, so only Insert and lookups are
+/// provided (no delete).
+class BTreeIndex {
+ public:
+  /// `directions` fixes the per-column collation of the key; its size is
+  /// the key arity.
+  explicit BTreeIndex(std::vector<SortDirection> directions);
+  ~BTreeIndex();
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  /// Inserts one entry. `key` must have exactly the declared arity.
+  void Insert(IndexKey key, int64_t rid);
+
+  int64_t size() const { return size_; }
+  size_t arity() const { return directions_.size(); }
+  const std::vector<SortDirection>& directions() const { return directions_; }
+
+  /// Lexicographic comparison of (possibly prefix-length) keys under the
+  /// index collation. Returns <0/0/>0. The shorter key is compared as a
+  /// prefix: equal prefixes compare equal.
+  int CompareKeys(const IndexKey& a, const IndexKey& b) const;
+
+  /// Read cursor over index entries in key order.
+  class Cursor {
+   public:
+    bool Valid() const { return leaf_ != nullptr; }
+    const IndexKey& key() const;
+    int64_t rid() const;
+    void Next();
+    void Prev();
+
+   private:
+    friend class BTreeIndex;
+    const void* leaf_ = nullptr;  // LeafNode*
+    size_t pos_ = 0;
+  };
+
+  /// Cursor at the first entry in key order (invalid when empty).
+  Cursor SeekFirst() const;
+  /// Cursor at the last entry in key order (invalid when empty).
+  Cursor SeekLast() const;
+  /// Cursor at the first entry whose key is >= `prefix` under the index
+  /// collation, comparing only prefix.size() leading columns. Invalid when
+  /// no such entry exists.
+  Cursor SeekAtLeast(const IndexKey& prefix) const;
+  /// Cursor at the first entry whose key is > `prefix` (strictly after all
+  /// entries with that prefix).
+  Cursor SeekAfter(const IndexKey& prefix) const;
+
+  /// Structural self-check used by tests: node fill, key ordering, linked
+  /// leaf chain, separator correctness.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct InnerNode;
+
+  // Descends to the leaf that would contain `prefix`; `after` selects
+  // upper-bound semantics.
+  Cursor SeekInternal(const IndexKey& prefix, bool after) const;
+
+  std::vector<SortDirection> directions_;
+  Node* root_ = nullptr;
+  LeafNode* first_leaf_ = nullptr;
+  LeafNode* last_leaf_ = nullptr;
+  int64_t size_ = 0;
+};
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_STORAGE_BTREE_H_

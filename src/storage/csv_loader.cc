@@ -1,0 +1,138 @@
+#include "storage/csv_loader.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace ordopt {
+
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line,
+                                              char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';  // "" escape
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (!current.empty()) {
+        return Status::InvalidArgument(
+            "quote in the middle of an unquoted CSV field: " + line);
+      }
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF.
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field: " + line);
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<Value> ParseCsvField(const std::string& field, DataType type,
+                            const CsvOptions& options) {
+  if (field.empty() || field == options.null_marker) return Value::Null();
+  switch (type) {
+    case DataType::kInt64: {
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("bad int64 field '" + field + "'");
+      }
+      return Value::Int(v);
+    }
+    case DataType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("bad double field '" + field + "'");
+      }
+      return Value::Double(v);
+    }
+    case DataType::kDate: {
+      int64_t days = 0;
+      if (!ParseDate(field, &days)) {
+        return Status::InvalidArgument("bad date field '" + field +
+                                       "' (expected YYYY-MM-DD)");
+      }
+      return Value::Date(days);
+    }
+    case DataType::kString:
+      return Value::Str(field);
+    case DataType::kNull:
+      break;
+  }
+  return Status::InvalidArgument("column with unloadable type");
+}
+
+Result<int64_t> LoadCsvText(const std::string& text, Table* table,
+                            const CsvOptions& options) {
+  const TableDef& def = table->def();
+  std::istringstream in(text);
+  std::string line;
+  int64_t line_no = 0;
+  int64_t loaded = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line_no == 1 && options.has_header) continue;
+    if (line.empty() || line == "\r") continue;
+    ORDOPT_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                            SplitCsvLine(line, options.delimiter));
+    if (fields.size() != def.columns.size()) {
+      return Status::InvalidArgument(
+          StrFormat("line %lld of table '%s': %zu fields, schema has %zu",
+                    static_cast<long long>(line_no), def.name.c_str(),
+                    fields.size(), def.columns.size()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      auto value = ParseCsvField(fields[c], def.columns[c].type, options);
+      if (!value.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %lld, column '%s': %s",
+                      static_cast<long long>(line_no),
+                      def.columns[c].name.c_str(),
+                      value.status().message().c_str()));
+      }
+      row.push_back(std::move(value).value());
+    }
+    table->AppendRow(std::move(row));
+    ++loaded;
+  }
+  return loaded;
+}
+
+Result<int64_t> LoadCsvFile(const std::string& path, Table* table,
+                            const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open CSV file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadCsvText(buffer.str(), table, options);
+}
+
+}  // namespace ordopt

@@ -1,0 +1,42 @@
+#ifndef ORDOPT_STORAGE_CSV_LOADER_H_
+#define ORDOPT_STORAGE_CSV_LOADER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace ordopt {
+
+/// Options for CSV ingestion.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Skip the first line (header). Column order must match the schema.
+  bool has_header = true;
+  /// The spelling of SQL NULL in the file (empty fields are NULL too).
+  std::string null_marker = "NULL";
+};
+
+/// Parses one CSV line into fields, honoring double-quoted fields with ""
+/// escapes. Exposed for testing.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line,
+                                              char delimiter);
+
+/// Converts one CSV field to a Value of the given type. Empty fields and
+/// the null marker load as NULL; dates parse as YYYY-MM-DD.
+Result<Value> ParseCsvField(const std::string& field, DataType type,
+                            const CsvOptions& options);
+
+/// Loads CSV text (already read into memory) into `table`. The table must
+/// not be finalized yet; the caller runs Database::FinalizeAll (or
+/// Table::BuildIndexes) afterwards. Returns the number of rows appended.
+Result<int64_t> LoadCsvText(const std::string& text, Table* table,
+                            const CsvOptions& options = CsvOptions());
+
+/// Convenience: reads `path` from disk and loads it into `table`.
+Result<int64_t> LoadCsvFile(const std::string& path, Table* table,
+                            const CsvOptions& options = CsvOptions());
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_STORAGE_CSV_LOADER_H_

@@ -1,0 +1,35 @@
+#include "storage/database.h"
+
+#include "common/str_util.h"
+
+namespace ordopt {
+
+Result<Table*> Database::CreateTable(TableDef def) {
+  std::string key = ToLower(def.name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + def.name + "' already exists");
+  }
+  auto table = std::make_unique<Table>(std::move(def));
+  Table* ptr = table.get();
+  tables_.emplace(std::move(key), std::move(table));
+  return ptr;
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Database::FinalizeAll() {
+  for (auto& [_, table] : tables_) {
+    ORDOPT_RETURN_NOT_OK(table->BuildIndexes());
+  }
+  return Status::OK();
+}
+
+}  // namespace ordopt

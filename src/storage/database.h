@@ -1,0 +1,43 @@
+#ifndef ORDOPT_STORAGE_DATABASE_H_
+#define ORDOPT_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace ordopt {
+
+/// The catalog-plus-storage registry: owns every table by (lowercased)
+/// name. This is the root object an application creates, loads, and then
+/// runs queries against (see QueryEngine in exec/engine.h).
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty table with the given schema. Fails on duplicates.
+  Result<Table*> CreateTable(TableDef def);
+
+  /// Lookup by name (case-insensitive); nullptr when absent.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  /// Finalizes every table (sorts clustered heaps, builds indexes, refreshes
+  /// statistics). Call once after loading data.
+  Status FinalizeAll();
+
+  const std::map<std::string, std::unique_ptr<Table>>& tables() const {
+    return tables_;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_STORAGE_DATABASE_H_

@@ -1,0 +1,107 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/str_util.h"
+
+namespace ordopt {
+
+int64_t Table::AppendRow(Row row) {
+  ORDOPT_CHECK_MSG(!finalized_, "AppendRow after BuildIndexes on '%s'",
+                   def_.name.c_str());
+  ORDOPT_CHECK_MSG(row.size() == def_.columns.size(),
+                   "row arity %zu != schema arity %zu on '%s'", row.size(),
+                   def_.columns.size(), def_.name.c_str());
+  rows_.push_back(std::move(row));
+  return static_cast<int64_t>(rows_.size()) - 1;
+}
+
+IndexKey Table::ExtractKey(const Row& row, const IndexDef& idx) const {
+  IndexKey key;
+  key.reserve(idx.column_ordinals.size());
+  for (int ord : idx.column_ordinals) {
+    key.push_back(row[static_cast<size_t>(ord)]);
+  }
+  return key;
+}
+
+Status Table::BuildIndexes() {
+  if (finalized_) {
+    return Status::Internal("BuildIndexes called twice on '" + def_.name +
+                            "'");
+  }
+  finalized_ = true;
+
+  // A clustered index dictates physical row order; sort the heap by its key
+  // first so row ids correlate with index-key order.
+  int clustered = -1;
+  for (size_t i = 0; i < def_.indexes.size(); ++i) {
+    if (def_.indexes[i].clustered) {
+      if (clustered >= 0) {
+        return Status::InvalidArgument("table '" + def_.name +
+                                       "' declares two clustered indexes");
+      }
+      clustered = static_cast<int>(i);
+    }
+  }
+  if (clustered >= 0) {
+    const IndexDef& idx = def_.indexes[static_cast<size_t>(clustered)];
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [&](const Row& a, const Row& b) {
+                       for (size_t k = 0; k < idx.column_ordinals.size();
+                            ++k) {
+                         size_t ord =
+                             static_cast<size_t>(idx.column_ordinals[k]);
+                         int c = a[ord].Compare(b[ord]);
+                         if (c != 0) {
+                           return idx.directions[k] ==
+                                          SortDirection::kDescending
+                                      ? c > 0
+                                      : c < 0;
+                         }
+                       }
+                       return false;
+                     });
+  }
+
+  indexes_.clear();
+  for (const IndexDef& idx : def_.indexes) {
+    auto tree = std::make_unique<BTreeIndex>(idx.directions);
+    for (int64_t rid = 0; rid < row_count(); ++rid) {
+      tree->Insert(ExtractKey(rows_[static_cast<size_t>(rid)], idx), rid);
+    }
+    indexes_.push_back(std::move(tree));
+  }
+
+  // Refresh statistics: row count plus per-column distinct estimates
+  // (exact for the in-memory data set).
+  def_.stats.row_count = row_count();
+  def_.stats.distinct_counts.assign(def_.columns.size(), 0);
+  def_.stats.min_values.assign(def_.columns.size(), Value::Null());
+  def_.stats.max_values.assign(def_.columns.size(), Value::Null());
+  def_.stats.histograms.assign(def_.columns.size(), EquiDepthHistogram());
+  std::vector<Value> column_values;
+  for (size_t col = 0; col < def_.columns.size(); ++col) {
+    std::unordered_set<size_t> hashes;
+    hashes.reserve(rows_.size());
+    column_values.clear();
+    column_values.reserve(rows_.size());
+    for (const Row& row : rows_) {
+      const Value& v = row[col];
+      hashes.insert(v.Hash());
+      column_values.push_back(v);
+      if (v.is_null()) continue;
+      Value& mn = def_.stats.min_values[col];
+      Value& mx = def_.stats.max_values[col];
+      if (mn.is_null() || v.Compare(mn) < 0) mn = v;
+      if (mx.is_null() || v.Compare(mx) > 0) mx = v;
+    }
+    def_.stats.distinct_counts[col] = static_cast<int64_t>(hashes.size());
+    def_.stats.histograms[col] = EquiDepthHistogram::Build(column_values);
+  }
+  return Status::OK();
+}
+
+}  // namespace ordopt

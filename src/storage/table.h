@@ -1,0 +1,67 @@
+#ifndef ORDOPT_STORAGE_TABLE_H_
+#define ORDOPT_STORAGE_TABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/btree.h"
+
+namespace ordopt {
+
+/// Rows stored per simulated disk page. The optimizer's I/O cost model and
+/// the executor's I/O accounting both key off this: a heap scan of N rows
+/// reads ceil(N / kRowsPerPage) sequential pages; an index probe reads the
+/// page that holds the row (random unless the probe sequence is clustered).
+constexpr int64_t kRowsPerPage = 64;
+
+/// A base table: schema + row storage + built indexes. Loading is
+/// append-then-finalize: call AppendRow for every row, then BuildIndexes
+/// once; after that the table serves read-only queries.
+class Table {
+ public:
+  explicit Table(TableDef def) : def_(std::move(def)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableDef& def() const { return def_; }
+  const std::string& name() const { return def_.name; }
+  int64_t row_count() const { return static_cast<int64_t>(rows_.size()); }
+  const Row& row(int64_t rid) const { return rows_[static_cast<size_t>(rid)]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends one row; arity must match the schema. Returns the row id.
+  int64_t AppendRow(Row row);
+
+  /// If some index is clustered, physically reorders rows into that index's
+  /// key order, then builds every declared index and refreshes statistics.
+  /// Must be called exactly once, after loading.
+  Status BuildIndexes();
+
+  /// Built index for def().indexes[i]; null before BuildIndexes.
+  const BTreeIndex* index(size_t i) const {
+    return i < indexes_.size() ? indexes_[i].get() : nullptr;
+  }
+  size_t index_count() const { return indexes_.size(); }
+
+  /// Simulated page number holding row `rid`.
+  int64_t PageOf(int64_t rid) const { return rid / kRowsPerPage; }
+  int64_t page_count() const {
+    return (row_count() + kRowsPerPage - 1) / kRowsPerPage;
+  }
+
+ private:
+  IndexKey ExtractKey(const Row& row, const IndexDef& idx) const;
+
+  TableDef def_;
+  std::vector<Row> rows_;
+  std::vector<std::unique_ptr<BTreeIndex>> indexes_;
+  bool finalized_ = false;
+};
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_STORAGE_TABLE_H_

@@ -1,0 +1,56 @@
+#ifndef ORDOPT_TPCD_TPCD_H_
+#define ORDOPT_TPCD_TPCD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace ordopt {
+
+/// Deterministic TPC-D-subset data generator (the paper's evaluation
+/// database, §8.1). Substitutes for the official dbgen: same schema shape
+/// for the tables Query 3 touches (customer, orders, lineitem, plus
+/// nation/region for wider examples), uniform value distributions from a
+/// seeded PRNG, and the indexes the paper's plans rely on — most
+/// importantly the clustered index on lineitem(l_orderkey) that makes the
+/// ordered nested-loop join of Figure 7 pay off.
+///
+/// Scale factor 1.0 corresponds to 150k customers / 1.5M orders / ~6M
+/// lineitems as in TPC-D; the default 0.01 keeps test runs fast.
+struct TpcdConfig {
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+  /// Build the benchmark indexes (clustered lineitem(l_orderkey), unique
+  /// orders(o_orderkey), orders(o_custkey), unique customer(c_custkey)).
+  bool with_indexes = true;
+};
+
+/// Creates and loads the TPC-D tables into `db` and finalizes them.
+Status LoadTpcd(Database* db, const TpcdConfig& config);
+
+namespace tpcd_queries {
+
+/// TPC-D Query 3 (§8.1): shipping priority / potential revenue of the
+/// largest-revenue orders not yet shipped as of 1995-03-15.
+extern const char kQuery3[];
+
+/// Simplified Q1-style pricing summary (order-based GROUP BY workout).
+extern const char kPricingSummary[];
+
+/// A DISTINCT + ORDER BY combination query (cover-order workout).
+extern const char kDistinctShipdates[];
+
+/// Q4-style: orders with at least one late lineitem (IN-subquery
+/// semi-join workout).
+extern const char kLateOrders[];
+
+/// Q5-style: revenue by nation for one region (5-way join workout).
+extern const char kRegionRevenue[];
+
+}  // namespace tpcd_queries
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_TPCD_TPCD_H_

@@ -1,0 +1,177 @@
+// Binder / QGM construction tests: box shapes, pass-through column
+// identity, aggregate handling, ORDER BY resolution, error reporting, and
+// the view-merging rewrite.
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "qgm/binder.h"
+#include "qgm/rewrite.h"
+#include "storage/database.h"
+
+namespace ordopt {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableDef ta;
+    ta.name = "ta";
+    ta.columns = {{"x", DataType::kInt64},
+                  {"y", DataType::kInt64},
+                  {"s", DataType::kString}};
+    ta.AddUniqueKey({"x"});
+    ASSERT_TRUE(db_.CreateTable(ta).ok());
+    TableDef tb;
+    tb.name = "tb";
+    tb.columns = {{"x", DataType::kInt64}, {"z", DataType::kDouble}};
+    ASSERT_TRUE(db_.CreateTable(tb).ok());
+    ASSERT_TRUE(db_.FinalizeAll().ok());
+  }
+
+  Result<std::unique_ptr<Query>> Bind(const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    if (!stmt.ok()) return stmt.status();
+    return BindQuery(*stmt.value(), db_);
+  }
+
+  Database db_;
+};
+
+TEST_F(BinderTest, SimpleSelectSingleBox) {
+  auto q = Bind("select x, y from ta where y > 3 order by x");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const Query& query = *q.value();
+  EXPECT_EQ(query.root->kind, QgmBox::Kind::kSelect);
+  EXPECT_EQ(query.root->quantifiers.size(), 1u);
+  EXPECT_EQ(query.root->predicates.size(), 1u);
+  ASSERT_EQ(query.root->outputs.size(), 2u);
+  // Pass-through outputs keep the base ColumnId of the quantifier.
+  int qid = query.root->quantifiers[0].id;
+  EXPECT_EQ(query.root->outputs[0].id, ColumnId(qid, 0));
+  EXPECT_EQ(query.root->outputs[1].id, ColumnId(qid, 1));
+  EXPECT_EQ(query.root->output_order_requirement,
+            (OrderSpec{{ColumnId(qid, 0)}}));
+}
+
+TEST_F(BinderTest, PredicateClassification) {
+  auto q = Bind(
+      "select ta.x from ta, tb where ta.x = tb.x and ta.y = 5 and "
+      "ta.y < 9 and ta.x + ta.y = 10");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const auto& preds = q.value()->root->predicates;
+  ASSERT_EQ(preds.size(), 4u);
+  EXPECT_EQ(preds[0].kind, Predicate::Kind::kColEqCol);
+  EXPECT_TRUE(preds[0].IsEquiJoin());
+  EXPECT_EQ(preds[1].kind, Predicate::Kind::kColEqConst);
+  EXPECT_EQ(preds[2].kind, Predicate::Kind::kColCmpConst);
+  EXPECT_EQ(preds[3].kind, Predicate::Kind::kGeneric);
+}
+
+TEST_F(BinderTest, GroupedQueryBoxStack) {
+  auto q = Bind(
+      "select y, sum(x) as total from ta group by y order by total desc");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const Query& query = *q.value();
+  // Top select box over group-by box over join box.
+  ASSERT_EQ(query.root->kind, QgmBox::Kind::kSelect);
+  ASSERT_EQ(query.root->quantifiers.size(), 1u);
+  const QgmBox* group = query.root->quantifiers[0].input;
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->kind, QgmBox::Kind::kGroupBy);
+  EXPECT_EQ(group->group_columns.size(), 1u);
+  ASSERT_EQ(group->aggregates.size(), 1u);
+  EXPECT_EQ(group->aggregates[0].func, AggFunc::kSum);
+  // ORDER BY alias resolves to the aggregate's output column.
+  ASSERT_EQ(query.root->output_order_requirement.size(), 1u);
+  EXPECT_EQ(query.root->output_order_requirement.at(0).col,
+            group->aggregates[0].output);
+  EXPECT_EQ(query.root->output_order_requirement.at(0).dir,
+            SortDirection::kDescending);
+}
+
+TEST_F(BinderTest, DuplicateAggregateReused) {
+  auto q = Bind("select sum(x), sum(x) + 1 from ta group by y");
+  ASSERT_TRUE(q.ok());
+  const QgmBox* group = q.value()->root->quantifiers[0].input;
+  EXPECT_EQ(group->aggregates.size(), 1u);
+}
+
+TEST_F(BinderTest, ImplicitGroupingForGlobalAggregates) {
+  auto q = Bind("select count(*), max(y) from ta");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const QgmBox* group = q.value()->root->quantifiers[0].input;
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->kind, QgmBox::Kind::kGroupBy);
+  EXPECT_TRUE(group->group_columns.empty());
+  EXPECT_EQ(group->aggregates.size(), 2u);
+}
+
+TEST_F(BinderTest, BindErrors) {
+  EXPECT_EQ(Bind("select nope from ta").status().code(),
+            StatusCode::kBindError);
+  EXPECT_EQ(Bind("select x from ta, tb").status().code(),
+            StatusCode::kBindError);  // ambiguous x
+  EXPECT_EQ(Bind("select x from missing").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Bind("select y from ta group by x").status().code(),
+            StatusCode::kBindError);  // y not grouped
+  EXPECT_EQ(Bind("select x from ta a, ta a").status().code(),
+            StatusCode::kBindError);  // duplicate alias
+  EXPECT_EQ(Bind("select sum(x) from ta where sum(x) > 1").status().code(),
+            StatusCode::kBindError);  // aggregate in WHERE
+  EXPECT_EQ(Bind("select * from ta group by x").status().code(),
+            StatusCode::kUnsupported);
+}
+
+TEST_F(BinderTest, SelfJoinGetsDistinctTableIds) {
+  auto q = Bind("select a1.x, a2.x from ta a1, ta a2 where a1.x = a2.y");
+  ASSERT_TRUE(q.ok());
+  const auto& outs = q.value()->root->outputs;
+  EXPECT_NE(outs[0].id.table, outs[1].id.table);
+}
+
+TEST_F(BinderTest, DerivedTableMergesWhenPlain) {
+  auto q = Bind(
+      "select d.x from (select x, y from ta where y > 1) d, tb "
+      "where d.x = tb.x");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  Query* query = q.value().get();
+  MergeDerivedTables(query);
+  // After merging: the root box joins base tables directly.
+  ASSERT_EQ(query->root->quantifiers.size(), 2u);
+  EXPECT_TRUE(query->root->quantifiers[0].IsBase());
+  EXPECT_TRUE(query->root->quantifiers[1].IsBase());
+  // Both the view predicate and the join predicate live in the root box.
+  EXPECT_EQ(query->root->predicates.size(), 2u);
+}
+
+TEST_F(BinderTest, GroupedDerivedTableDoesNotMerge) {
+  auto q = Bind(
+      "select d.total from (select y, sum(x) as total from ta group by y) d "
+      "where d.total > 0");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  Query* query = q.value().get();
+  MergeDerivedTables(query);
+  ASSERT_EQ(query->root->quantifiers.size(), 1u);
+  EXPECT_FALSE(query->root->quantifiers[0].IsBase());
+}
+
+TEST_F(BinderTest, OrderByOrdinaryColumnNotInSelect) {
+  auto q = Bind("select x from ta order by y desc");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  int qid = q.value()->root->quantifiers[0].id;
+  EXPECT_EQ(q.value()->root->output_order_requirement.at(0).col,
+            ColumnId(qid, 1));
+}
+
+TEST_F(BinderTest, QgmToStringSmoke) {
+  auto q = Bind("select y, sum(x) from ta group by y");
+  ASSERT_TRUE(q.ok());
+  std::string text = q.value()->ToString();
+  EXPECT_NE(text.find("GROUP BY box"), std::string::npos);
+  EXPECT_NE(text.find("SELECT box"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ordopt

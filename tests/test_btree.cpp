@@ -1,0 +1,174 @@
+// B+-tree tests: structural invariants, seek semantics, duplicate keys,
+// reverse iteration, and a randomized model check against std::multimap.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "storage/btree.h"
+
+namespace ordopt {
+namespace {
+
+IndexKey K(int64_t a) { return {Value::Int(a)}; }
+IndexKey K2(int64_t a, int64_t b) { return {Value::Int(a), Value::Int(b)}; }
+
+std::vector<SortDirection> Asc(size_t n) {
+  return std::vector<SortDirection>(n, SortDirection::kAscending);
+}
+
+TEST(BTree, EmptyTree) {
+  BTreeIndex tree(Asc(1));
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_FALSE(tree.SeekFirst().Valid());
+  EXPECT_FALSE(tree.SeekLast().Valid());
+  EXPECT_FALSE(tree.SeekAtLeast(K(0)).Valid());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTree, InsertAndScanInOrder) {
+  BTreeIndex tree(Asc(1));
+  for (int64_t i = 99; i >= 0; --i) tree.Insert(K(i), i * 10);
+  EXPECT_EQ(tree.size(), 100);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  int64_t expect = 0;
+  for (auto c = tree.SeekFirst(); c.Valid(); c.Next()) {
+    EXPECT_EQ(c.key()[0].AsInt(), expect);
+    EXPECT_EQ(c.rid(), expect * 10);
+    ++expect;
+  }
+  EXPECT_EQ(expect, 100);
+}
+
+TEST(BTree, ReverseScan) {
+  BTreeIndex tree(Asc(1));
+  for (int64_t i = 0; i < 100; ++i) tree.Insert(K(i), i);
+  int64_t expect = 99;
+  for (auto c = tree.SeekLast(); c.Valid(); c.Prev()) {
+    EXPECT_EQ(c.key()[0].AsInt(), expect);
+    --expect;
+  }
+  EXPECT_EQ(expect, -1);
+}
+
+TEST(BTree, DuplicateKeysOrderedByRid) {
+  BTreeIndex tree(Asc(1));
+  for (int64_t rid = 9; rid >= 0; --rid) tree.Insert(K(5), rid);
+  int64_t expect = 0;
+  for (auto c = tree.SeekFirst(); c.Valid(); c.Next()) {
+    EXPECT_EQ(c.rid(), expect++);
+  }
+  EXPECT_EQ(expect, 10);
+}
+
+TEST(BTree, SeekAtLeastAndAfter) {
+  BTreeIndex tree(Asc(1));
+  for (int64_t i = 0; i < 200; i += 2) tree.Insert(K(i), i);  // evens
+  auto c = tree.SeekAtLeast(K(10));
+  ASSERT_TRUE(c.Valid());
+  EXPECT_EQ(c.key()[0].AsInt(), 10);
+  c = tree.SeekAtLeast(K(11));
+  ASSERT_TRUE(c.Valid());
+  EXPECT_EQ(c.key()[0].AsInt(), 12);
+  c = tree.SeekAfter(K(10));
+  ASSERT_TRUE(c.Valid());
+  EXPECT_EQ(c.key()[0].AsInt(), 12);
+  EXPECT_FALSE(tree.SeekAtLeast(K(199)).Valid());
+  EXPECT_FALSE(tree.SeekAfter(K(198)).Valid());
+}
+
+TEST(BTree, CompositeKeyPrefixSeek) {
+  BTreeIndex tree(Asc(2));
+  for (int64_t a = 0; a < 20; ++a) {
+    for (int64_t b = 0; b < 5; ++b) tree.Insert(K2(a, b), a * 10 + b);
+  }
+  // Prefix seek finds the first entry of group a=7.
+  auto c = tree.SeekAtLeast(K(7));
+  ASSERT_TRUE(c.Valid());
+  EXPECT_EQ(c.key()[0].AsInt(), 7);
+  EXPECT_EQ(c.key()[1].AsInt(), 0);
+  // SeekAfter with a prefix skips the whole group.
+  c = tree.SeekAfter(K(7));
+  ASSERT_TRUE(c.Valid());
+  EXPECT_EQ(c.key()[0].AsInt(), 8);
+}
+
+TEST(BTree, DescendingDirection) {
+  BTreeIndex tree({SortDirection::kDescending});
+  for (int64_t i = 0; i < 50; ++i) tree.Insert(K(i), i);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  int64_t expect = 49;
+  for (auto c = tree.SeekFirst(); c.Valid(); c.Next()) {
+    EXPECT_EQ(c.key()[0].AsInt(), expect--);
+  }
+}
+
+TEST(BTree, NullsSortFirst) {
+  BTreeIndex tree(Asc(1));
+  tree.Insert(K(5), 1);
+  tree.Insert({Value::Null()}, 2);
+  tree.Insert(K(1), 3);
+  auto c = tree.SeekFirst();
+  ASSERT_TRUE(c.Valid());
+  EXPECT_TRUE(c.key()[0].is_null());
+}
+
+TEST(BTree, StringKeys) {
+  BTreeIndex tree(Asc(1));
+  tree.Insert({Value::Str("pear")}, 0);
+  tree.Insert({Value::Str("apple")}, 1);
+  tree.Insert({Value::Str("mango")}, 2);
+  auto c = tree.SeekFirst();
+  EXPECT_EQ(c.key()[0].AsString(), "apple");
+  c.Next();
+  EXPECT_EQ(c.key()[0].AsString(), "mango");
+}
+
+// Randomized model check against std::multimap.
+class BTreeModel : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeModel, MatchesMultimap) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31337 + 1);
+  BTreeIndex tree(Asc(2));
+  std::multimap<std::pair<int64_t, int64_t>, int64_t> model;
+  int n = static_cast<int>(rng.Uniform(1, 2000));
+  for (int i = 0; i < n; ++i) {
+    int64_t a = rng.Uniform(0, 50);
+    int64_t b = rng.Uniform(0, 10);
+    tree.Insert(K2(a, b), i);
+    model.emplace(std::make_pair(a, b), i);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << "n=" << n;
+  ASSERT_EQ(tree.size(), static_cast<int64_t>(model.size()));
+
+  // Full scan matches model order (rid breaks ties deterministically in
+  // both: multimap preserves insertion order for equal keys, and the tree
+  // orders equal keys by rid which equals insertion order here).
+  auto it = model.begin();
+  for (auto c = tree.SeekFirst(); c.Valid(); c.Next(), ++it) {
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(c.key()[0].AsInt(), it->first.first);
+    EXPECT_EQ(c.key()[1].AsInt(), it->first.second);
+    EXPECT_EQ(c.rid(), it->second);
+  }
+  EXPECT_EQ(it, model.end());
+
+  // Random prefix seeks match lower_bound.
+  for (int probe = 0; probe < 20; ++probe) {
+    int64_t a = rng.Uniform(-1, 52);
+    auto c = tree.SeekAtLeast(K(a));
+    auto lb = model.lower_bound({a, INT64_MIN});
+    if (lb == model.end()) {
+      EXPECT_FALSE(c.Valid()) << "a=" << a;
+    } else {
+      ASSERT_TRUE(c.Valid()) << "a=" << a;
+      EXPECT_EQ(c.key()[0].AsInt(), lb->first.first);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, BTreeModel, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace ordopt

@@ -1,0 +1,129 @@
+// Tests for common utilities: Value ordering/hash/dates, ColumnSet,
+// Status/Result, string helpers, deterministic PRNG.
+
+#include <gtest/gtest.h>
+
+#include "common/column_id.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "common/value.h"
+
+namespace ordopt {
+namespace {
+
+TEST(Value, TotalOrderBasics) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(3).Compare(Value::Int(3)), 0);
+  EXPECT_GT(Value::Int(3).Compare(Value::Int(2)), 0);
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  // NULL sorts before everything.
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(Value, NumericCrossKindComparison) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Double(3.5)), 0);
+  EXPECT_GT(Value::Double(4.0).Compare(Value::Int(3)), 0);
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Double(3.0).Hash());
+  EXPECT_EQ(Value::Str("x").Hash(), Value::Str("x").Hash());
+}
+
+TEST(Value, DateRoundTrip) {
+  int64_t days = 0;
+  ASSERT_TRUE(ParseDate("1995-03-15", &days));
+  EXPECT_EQ(FormatDate(days), "1995-03-15");
+  ASSERT_TRUE(ParseDate("1970-01-01", &days));
+  EXPECT_EQ(days, 0);
+  ASSERT_TRUE(ParseDate("1970-01-02", &days));
+  EXPECT_EQ(days, 1);
+  ASSERT_TRUE(ParseDate("1969-12-31", &days));
+  EXPECT_EQ(days, -1);
+  ASSERT_TRUE(ParseDate("2000-02-29", &days));  // leap year
+  EXPECT_EQ(FormatDate(days), "2000-02-29");
+  EXPECT_FALSE(ParseDate("1900-02-29", &days));  // not a leap year
+  EXPECT_FALSE(ParseDate("1995-13-01", &days));
+  EXPECT_FALSE(ParseDate("bogus", &days));
+}
+
+TEST(Value, DateComparison) {
+  Value a = Value::DateFromString("1995-03-15");
+  Value b = Value::DateFromString("1995-03-16");
+  EXPECT_LT(a.Compare(b), 0);
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Str("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::DateFromString("1996-06-04").ToString(), "1996-06-04");
+}
+
+TEST(ColumnSet, BasicOps) {
+  ColumnSet s{{0, 2}, {0, 1}, {0, 2}};
+  EXPECT_EQ(s.size(), 2u);  // deduplicated
+  EXPECT_TRUE(s.Contains({0, 1}));
+  EXPECT_FALSE(s.Contains({0, 3}));
+  s.Add({1, 0});
+  EXPECT_EQ(s.size(), 3u);
+  s.Remove({0, 1});
+  EXPECT_FALSE(s.Contains({0, 1}));
+}
+
+TEST(ColumnSet, SubsetUnionIntersect) {
+  ColumnSet a{{0, 0}, {0, 1}};
+  ColumnSet b{{0, 0}, {0, 1}, {0, 2}};
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(ColumnSet().IsSubsetOf(a));
+  EXPECT_EQ(a.Union(b), b);
+  EXPECT_EQ(a.Intersect(b), a);
+  EXPECT_EQ(a.Intersect(ColumnSet{{0, 2}}), ColumnSet());
+}
+
+TEST(Status, Basics) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status err = Status::ParseError("bad token");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kParseError);
+  EXPECT_EQ(err.ToString(), "ParseError: bad token");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  Result<int> err(Status::NotFound("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StrUtil, JoinLowerFormat) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(ToLower("AbC_1"), "abc_1");
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+}
+
+TEST(Rng, DeterministicAndInRange) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    int64_t va = a.Uniform(5, 10);
+    EXPECT_EQ(va, b.Uniform(5, 10));
+    EXPECT_GE(va, 5);
+    EXPECT_LE(va, 10);
+  }
+  Rng c(124);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (Rng(123).Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace ordopt

@@ -1,0 +1,99 @@
+// QueryEngine facade tests: error surfacing, Explain vs Run, result
+// metadata, and configuration plumbing.
+
+#include <gtest/gtest.h>
+
+#include "exec/engine.h"
+#include "query_test_util.h"
+
+namespace ordopt {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { BuildToyDatabase(&db_, 21, 60); }
+  Database db_;
+};
+
+TEST_F(EngineTest, ErrorsSurfaceWithCorrectCodes) {
+  QueryEngine engine(&db_);
+  EXPECT_EQ(engine.Run("selec x from emp").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(engine.Run("select nosuchcol from emp").status().code(),
+            StatusCode::kBindError);
+  EXPECT_EQ(engine.Run("select x from nosuchtable").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.Run("select * from emp group by dno").status().code(),
+            StatusCode::kUnsupported);
+}
+
+TEST_F(EngineTest, ExplainDoesNotExecute) {
+  QueryEngine engine(&db_);
+  auto r = engine.Explain("select eno from emp order by eno");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().rows.empty());
+  EXPECT_FALSE(r.value().plan_text.empty());
+  EXPECT_FALSE(r.value().qgm_text.empty());
+  EXPECT_EQ(r.value().metrics.rows_scanned, 0);
+  EXPECT_NE(r.value().plan, nullptr);
+}
+
+TEST_F(EngineTest, ResultMetadata) {
+  QueryEngine engine(&db_);
+  auto r = engine.Run(
+      "select eno, salary * 2 as double_pay from emp where eno < 5 "
+      "order by eno");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().column_names.size(), 2u);
+  EXPECT_EQ(r.value().column_names[0], "eno");
+  EXPECT_EQ(r.value().column_names[1], "double_pay");
+  EXPECT_EQ(r.value().rows.size(), 5u);
+  EXPECT_GT(r.value().plans_generated, 0);
+  EXPECT_GE(r.value().elapsed_seconds, 0.0);
+  EXPECT_GT(r.value().SimulatedElapsedSeconds(), 0.0);
+}
+
+TEST_F(EngineTest, ConfigSwitchChangesPlans) {
+  // The same engine object re-plans under a new config.
+  QueryEngine engine(&db_);
+  auto on = engine.Explain("select eno, dno, count(*) from emp "
+                           "group by eno, dno");
+  ASSERT_TRUE(on.ok());
+  OptimizerConfig cfg;
+  cfg.enable_order_optimization = false;
+  cfg.enable_hash_grouping = false;
+  engine.set_config(cfg);
+  auto off = engine.Explain("select eno, dno, count(*) from emp "
+                            "group by eno, dno");
+  ASSERT_TRUE(off.ok());
+  // Enabled: grouping on the key eno needs no sort; disabled pays one.
+  EXPECT_FALSE(on.value().plan->ContainsKind(OpKind::kSortGroupBy))
+      << on.value().plan_text;
+  EXPECT_TRUE(off.value().plan->ContainsKind(OpKind::kSortGroupBy))
+      << off.value().plan_text;
+}
+
+TEST_F(EngineTest, RepeatedRunsAreDeterministic) {
+  QueryEngine engine(&db_);
+  const char* sql =
+      "select dno, count(*) as n from emp group by dno order by dno";
+  auto a = engine.Run(sql);
+  auto b = engine.Run(sql);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().plan_text, b.value().plan_text);
+  EXPECT_EQ(Canonicalize(a.value().rows), Canonicalize(b.value().rows));
+}
+
+TEST_F(EngineTest, TooManyJoinTablesRejectedCleanly) {
+  std::string sql = "select t0.eno from emp t0";
+  for (int i = 1; i < 18; ++i) {
+    sql += StrFormat(", emp t%d", i);
+  }
+  sql += " where t0.eno = t1.eno";
+  QueryEngine engine(&db_);
+  EXPECT_EQ(engine.Run(sql).status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace ordopt

@@ -1,0 +1,151 @@
+// Tests for equivalence classes / constant bindings and the FD set (§4.1).
+
+#include <gtest/gtest.h>
+
+#include "orderopt/equivalence.h"
+#include "orderopt/fd.h"
+
+namespace ordopt {
+namespace {
+
+const ColumnId ax(0, 0), ay(0, 1), az(0, 2);
+const ColumnId bx(1, 0), by(1, 1);
+const ColumnId cx(2, 0);
+
+TEST(Equivalence, HeadIsSmallestMember) {
+  EquivalenceClasses eq;
+  eq.AddEquivalence(bx, cx);
+  EXPECT_EQ(eq.Head(cx), bx);
+  eq.AddEquivalence(ax, cx);  // ax joins: new head
+  EXPECT_EQ(eq.Head(bx), ax);
+  EXPECT_EQ(eq.Head(cx), ax);
+  EXPECT_EQ(eq.Head(ax), ax);
+}
+
+TEST(Equivalence, UnknownColumnIsItsOwnHead) {
+  EquivalenceClasses eq;
+  EXPECT_EQ(eq.Head(az), az);
+  EXPECT_FALSE(eq.IsConstant(az));
+}
+
+TEST(Equivalence, ConstantPropagatesThroughClass) {
+  EquivalenceClasses eq;
+  eq.AddConstant(ax, Value::Int(10));
+  eq.AddEquivalence(ax, bx);
+  EXPECT_TRUE(eq.IsConstant(bx));
+  EXPECT_EQ(eq.ConstantValue(bx)->AsInt(), 10);
+  // And the other insertion order.
+  EquivalenceClasses eq2;
+  eq2.AddEquivalence(ax, bx);
+  eq2.AddConstant(bx, Value::Int(7));
+  EXPECT_TRUE(eq2.IsConstant(ax));
+}
+
+TEST(Equivalence, AreEquivalentAndMembers) {
+  EquivalenceClasses eq;
+  eq.AddEquivalence(ax, bx);
+  eq.AddEquivalence(bx, cx);
+  EXPECT_TRUE(eq.AreEquivalent(ax, cx));
+  EXPECT_FALSE(eq.AreEquivalent(ax, ay));
+  std::vector<ColumnId> members = eq.ClassMembers(bx);
+  EXPECT_EQ(members, (std::vector<ColumnId>{ax, bx, cx}));
+}
+
+TEST(Equivalence, MergeFrom) {
+  EquivalenceClasses left;
+  left.AddEquivalence(ax, ay);
+  EquivalenceClasses right;
+  right.AddEquivalence(bx, by);
+  right.AddConstant(bx, Value::Int(3));
+  left.MergeFrom(right);
+  EXPECT_TRUE(left.AreEquivalent(ax, ay));
+  EXPECT_TRUE(left.AreEquivalent(bx, by));
+  EXPECT_TRUE(left.IsConstant(by));
+}
+
+TEST(FDSet, TrivialAndStoredDetermination) {
+  FDSet fds;
+  EquivalenceClasses eq;
+  // Trivial: c in B.
+  EXPECT_TRUE(fds.Determines(ColumnSet{ax}, ax, eq));
+  EXPECT_FALSE(fds.Determines(ColumnSet{ax}, ay, eq));
+  fds.Add(ColumnSet{ax}, ColumnSet{ay});
+  EXPECT_TRUE(fds.Determines(ColumnSet{ax}, ay, eq));
+  EXPECT_TRUE(fds.Determines(ColumnSet{ax, az}, ay, eq));  // superset head
+  EXPECT_FALSE(fds.Determines(ColumnSet{az}, ay, eq));
+}
+
+TEST(FDSet, ConstantIsEmptyHeadedFd) {
+  FDSet fds;
+  EquivalenceClasses eq;
+  eq.AddConstant(az, Value::Int(1));
+  EXPECT_TRUE(fds.Determines(ColumnSet{}, az, eq));
+}
+
+TEST(FDSet, EquivalenceAwareMatching) {
+  // FD {b.x} -> {b.y}, with a.x = b.x applied: {a.x} determines b.y.
+  FDSet fds;
+  fds.Add(ColumnSet{bx}, ColumnSet{by});
+  EquivalenceClasses eq;
+  eq.AddEquivalence(ax, bx);
+  EXPECT_TRUE(fds.Determines(ColumnSet{ax}, by, eq));
+}
+
+TEST(FDSet, SimpleModeIsNotTransitive) {
+  FDSet fds;
+  fds.Add(ColumnSet{ax}, ColumnSet{ay});
+  fds.Add(ColumnSet{ay}, ColumnSet{az});
+  EquivalenceClasses eq;
+  EXPECT_FALSE(fds.Determines(ColumnSet{ax}, az, eq));
+  EXPECT_TRUE(fds.DeterminesTransitive(ColumnSet{ax}, az, eq));
+}
+
+TEST(FDSet, Closure) {
+  FDSet fds;
+  fds.Add(ColumnSet{ax}, ColumnSet{ay});
+  fds.Add(ColumnSet{ay, bx}, ColumnSet{by});
+  EquivalenceClasses eq;
+  ColumnSet closure = fds.Closure(ColumnSet{ax, bx}, eq);
+  EXPECT_TRUE(closure.Contains(ay));
+  EXPECT_TRUE(closure.Contains(by));
+  EXPECT_FALSE(closure.Contains(az));
+}
+
+TEST(FDSet, TrivialFdsIgnoredAndDeduplicated) {
+  FDSet fds;
+  fds.Add(ColumnSet{ax, ay}, ColumnSet{ax});  // trivial: tail within head
+  EXPECT_TRUE(fds.empty());
+  fds.Add(ColumnSet{ax}, ColumnSet{ay});
+  fds.Add(ColumnSet{ax}, ColumnSet{ay});
+  EXPECT_EQ(fds.size(), 1u);
+}
+
+TEST(FDSet, KeyDeterminesAllColumns) {
+  FDSet fds;
+  fds.AddKey(ColumnSet{ax}, ColumnSet{ax, ay, az});
+  EquivalenceClasses eq;
+  EXPECT_TRUE(fds.Determines(ColumnSet{ax}, ay, eq));
+  EXPECT_TRUE(fds.Determines(ColumnSet{ax}, az, eq));
+}
+
+TEST(FDSet, ConstantHeadColumnFreeInMatch) {
+  // FD {x, y} -> {z}; y constant-bound: {x} suffices.
+  FDSet fds;
+  fds.Add(ColumnSet{ax, ay}, ColumnSet{az});
+  EquivalenceClasses eq;
+  eq.AddConstant(ay, Value::Int(2));
+  EXPECT_TRUE(fds.Determines(ColumnSet{ax}, az, eq));
+}
+
+TEST(FDSet, MergeFrom) {
+  FDSet a, b;
+  a.Add(ColumnSet{ax}, ColumnSet{ay});
+  b.Add(ColumnSet{bx}, ColumnSet{by});
+  a.MergeFrom(b);
+  EquivalenceClasses eq;
+  EXPECT_TRUE(a.Determines(ColumnSet{bx}, by, eq));
+  EXPECT_EQ(a.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ordopt

@@ -1,0 +1,488 @@
+// Unit tests for the Volcano operators, driven directly (no optimizer):
+// scans, filters, sorts, all join algorithms, grouping, distinct, project.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "exec/executor.h"
+#include "exec/operators.h"
+#include "storage/database.h"
+
+namespace ordopt {
+namespace {
+
+class RowSource : public Operator {
+ public:
+  RowSource(std::vector<ColumnId> layout, std::vector<Row> rows) {
+    layout_ = std::move(layout);
+    rows_ = std::move(rows);
+  }
+  void Open() override { pos_ = 0; }
+  bool Next(Row* out) override {
+    if (pos_ >= rows_.size()) return false;
+    *out = rows_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+std::vector<Row> Drain(Operator* op) {
+  op->Open();
+  std::vector<Row> out;
+  Row row;
+  while (op->Next(&row)) out.push_back(row);
+  op->Close();
+  return out;
+}
+
+Row R(std::initializer_list<int64_t> vals) {
+  Row row;
+  for (int64_t v : vals) row.push_back(Value::Int(v));
+  return row;
+}
+
+std::unique_ptr<Table> MakeTable(int rows, bool clustered_index) {
+  TableDef def;
+  def.name = "t";
+  def.columns = {{"k", DataType::kInt64}, {"v", DataType::kInt64}};
+  def.AddUniqueKey({"k"});
+  def.AddIndex("t_k", {"k"}, /*unique=*/true, clustered_index);
+  auto t = std::make_unique<Table>(std::move(def));
+  // Insert in reverse so clustered reordering is observable.
+  for (int i = rows - 1; i >= 0; --i) {
+    t->AppendRow({Value::Int(i), Value::Int(i * 2)});
+  }
+  ORDOPT_CHECK(t->BuildIndexes().ok());
+  return t;
+}
+
+TEST(ExecScan, TableScanCountsPages) {
+  auto t = MakeTable(200, true);
+  RuntimeMetrics m;
+  TableScanOp scan(*t, 0, &m);
+  std::vector<Row> rows = Drain(&scan);
+  EXPECT_EQ(rows.size(), 200u);
+  EXPECT_EQ(m.rows_scanned, 200);
+  // 200 rows / 64 per page = 4 pages; first access counts as random.
+  EXPECT_EQ(m.seq_pages + m.random_pages, 4);
+}
+
+TEST(ExecScan, IndexScanOrderedAndReverse) {
+  auto t = MakeTable(100, false);
+  RuntimeMetrics m;
+  IndexScanOp fwd(*t, 0, 0, /*reverse=*/false, {}, &m);
+  std::vector<Row> rows = Drain(&fwd);
+  ASSERT_EQ(rows.size(), 100u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i][0].AsInt(), static_cast<int64_t>(i));
+  }
+  IndexScanOp rev(*t, 0, 0, /*reverse=*/true, {}, &m);
+  rows = Drain(&rev);
+  ASSERT_EQ(rows.size(), 100u);
+  EXPECT_EQ(rows[0][0].AsInt(), 99);
+  EXPECT_EQ(rows[99][0].AsInt(), 0);
+}
+
+Predicate MakeRangePred(ColumnId col, BinOp op, int64_t bound) {
+  BoundExpr e = BoundExpr::Binary(
+      op, BoundExpr::Column(col, DataType::kInt64, "c"),
+      BoundExpr::Literal(Value::Int(bound)), DataType::kInt64);
+  return ClassifyPredicate(std::move(e));
+}
+
+TEST(ExecScan, IndexRangeScans) {
+  auto t = MakeTable(100, true);
+  RuntimeMetrics m;
+  {
+    IndexScanOp op(*t, 0, 0, false, {MakeRangePred({0, 0}, BinOp::kGt, 89)},
+                   &m);
+    std::vector<Row> rows = Drain(&op);
+    ASSERT_EQ(rows.size(), 10u);
+    EXPECT_EQ(rows[0][0].AsInt(), 90);
+  }
+  {
+    IndexScanOp op(*t, 0, 0, false, {MakeRangePred({0, 0}, BinOp::kGe, 90)},
+                   &m);
+    EXPECT_EQ(Drain(&op).size(), 10u);
+  }
+  {
+    IndexScanOp op(*t, 0, 0, false, {MakeRangePred({0, 0}, BinOp::kLt, 10)},
+                   &m);
+    std::vector<Row> rows = Drain(&op);
+    ASSERT_EQ(rows.size(), 10u);
+    EXPECT_EQ(rows.back()[0].AsInt(), 9);
+  }
+  {
+    IndexScanOp op(*t, 0, 0, false, {MakeRangePred({0, 0}, BinOp::kEq, 42)},
+                   &m);
+    std::vector<Row> rows = Drain(&op);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0][1].AsInt(), 84);
+  }
+}
+
+TEST(ExecSort, SortsWithDirectionsAndCountsComparisons) {
+  std::vector<ColumnId> layout = {{0, 0}, {0, 1}};
+  auto src = std::make_unique<RowSource>(
+      layout, std::vector<Row>{R({2, 1}), R({1, 5}), R({2, 0}), R({1, 2})});
+  RuntimeMetrics m;
+  SortOp sort(std::move(src),
+              OrderSpec{{ColumnId(0, 0)},
+                        {ColumnId(0, 1), SortDirection::kDescending}},
+              &m);
+  std::vector<Row> rows = Drain(&sort);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0], R({1, 5}));
+  EXPECT_EQ(rows[1], R({1, 2}));
+  EXPECT_EQ(rows[2], R({2, 1}));
+  EXPECT_EQ(rows[3], R({2, 0}));
+  EXPECT_GT(m.comparisons, 0);
+  EXPECT_EQ(m.sorts_performed, 1);
+  EXPECT_EQ(m.rows_sorted, 4);
+}
+
+TEST(ExecMergeJoin, ManyToManyGroups) {
+  std::vector<ColumnId> lo = {{0, 0}};
+  std::vector<ColumnId> li = {{1, 0}, {1, 1}};
+  auto outer = std::make_unique<RowSource>(
+      lo, std::vector<Row>{R({1}), R({2}), R({2}), R({4})});
+  auto inner = std::make_unique<RowSource>(
+      li, std::vector<Row>{R({2, 10}), R({2, 20}), R({3, 30}), R({4, 40})});
+  RuntimeMetrics m;
+  MergeJoinOp join(std::move(outer), std::move(inner),
+                   {{ColumnId(0, 0), ColumnId(1, 0)}}, &m);
+  std::vector<Row> rows = Drain(&join);
+  // 2 outer 2s x 2 inner 2s + 1x1 for key 4 = 5 rows.
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0], R({2, 2, 10}));
+  EXPECT_EQ(rows[1], R({2, 2, 20}));
+  EXPECT_EQ(rows[4], R({4, 4, 40}));
+}
+
+TEST(ExecMergeJoin, NullKeysNeverMatch) {
+  std::vector<ColumnId> lo = {{0, 0}};
+  std::vector<ColumnId> li = {{1, 0}};
+  Row null_row;
+  null_row.push_back(Value::Null());
+  auto outer = std::make_unique<RowSource>(
+      lo, std::vector<Row>{null_row, R({1})});
+  auto inner = std::make_unique<RowSource>(
+      li, std::vector<Row>{null_row, R({1})});
+  RuntimeMetrics m;
+  MergeJoinOp join(std::move(outer), std::move(inner),
+                   {{ColumnId(0, 0), ColumnId(1, 0)}}, &m);
+  EXPECT_EQ(Drain(&join).size(), 1u);
+}
+
+TEST(ExecHashJoin, MatchesAndNulls) {
+  std::vector<ColumnId> lo = {{0, 0}};
+  std::vector<ColumnId> li = {{1, 0}, {1, 1}};
+  Row null_row;
+  null_row.push_back(Value::Null());
+  auto outer = std::make_unique<RowSource>(
+      lo, std::vector<Row>{R({5}), null_row, R({6})});
+  auto inner = std::make_unique<RowSource>(
+      li, std::vector<Row>{R({5, 1}), R({5, 2}), R({7, 3})});
+  HashJoinOp join(std::move(outer), std::move(inner),
+                  {{ColumnId(0, 0), ColumnId(1, 0)}});
+  std::vector<Row> rows = Drain(&join);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].AsInt(), 5);
+}
+
+TEST(ExecIndexNLJoin, ProbesAndConcatenates) {
+  auto t = MakeTable(50, true);
+  std::vector<ColumnId> lo = {{9, 0}};
+  auto outer = std::make_unique<RowSource>(
+      lo, std::vector<Row>{R({3}), R({3}), R({49}), R({77})});
+  RuntimeMetrics m;
+  IndexNLJoinOp join(std::move(outer), *t, 0, 0,
+                     {{ColumnId(9, 0), ColumnId(0, 0)}}, &m);
+  std::vector<Row> rows = Drain(&join);
+  ASSERT_EQ(rows.size(), 3u);  // 77 misses
+  EXPECT_EQ(rows[0], R({3, 3, 6}));
+  EXPECT_EQ(rows[2], R({49, 49, 98}));
+  EXPECT_EQ(m.index_probes, 4);
+}
+
+TEST(ExecNaiveNLJoin, CrossProduct) {
+  std::vector<ColumnId> lo = {{0, 0}};
+  std::vector<ColumnId> li = {{1, 0}};
+  auto outer =
+      std::make_unique<RowSource>(lo, std::vector<Row>{R({1}), R({2})});
+  auto inner =
+      std::make_unique<RowSource>(li, std::vector<Row>{R({10}), R({20})});
+  NaiveNLJoinOp join(std::move(outer), std::move(inner));
+  EXPECT_EQ(Drain(&join).size(), 4u);
+}
+
+TEST(ExecMergeLeftJoin, PadsUnmatchedAndNullKeys) {
+  std::vector<ColumnId> lo = {{0, 0}};
+  std::vector<ColumnId> li = {{1, 0}, {1, 1}};
+  Row null_row;
+  null_row.push_back(Value::Null());
+  // Outer (sorted, NULL first): NULL, 1, 2, 2, 4.
+  auto outer = std::make_unique<RowSource>(
+      lo, std::vector<Row>{null_row, R({1}), R({2}), R({2}), R({4})});
+  // Inner (sorted): 2x2, 3, 4.
+  auto inner = std::make_unique<RowSource>(
+      li, std::vector<Row>{R({2, 10}), R({2, 20}), R({3, 30}), R({4, 40})});
+  RuntimeMetrics m;
+  MergeLeftJoinOp join(std::move(outer), std::move(inner),
+                       {{ColumnId(0, 0), ColumnId(1, 0)}}, &m);
+  std::vector<Row> rows = Drain(&join);
+  // NULL -> padded; 1 -> padded; 2 -> two matches each (x2 outers);
+  // 4 -> one match. Total 1 + 1 + 4 + 1 = 7, in outer order.
+  ASSERT_EQ(rows.size(), 7u);
+  EXPECT_TRUE(rows[0][0].is_null());
+  EXPECT_TRUE(rows[0][1].is_null());  // padded inner
+  EXPECT_EQ(rows[1][0].AsInt(), 1);
+  EXPECT_TRUE(rows[1][2].is_null());
+  EXPECT_EQ(rows[2], R({2, 2, 10}));
+  EXPECT_EQ(rows[3], R({2, 2, 20}));
+  EXPECT_EQ(rows[4], R({2, 2, 10}));
+  EXPECT_EQ(rows[5], R({2, 2, 20}));
+  EXPECT_EQ(rows[6], R({4, 4, 40}));
+}
+
+TEST(ExecHashLeftJoin, PadsUnmatched) {
+  std::vector<ColumnId> lo = {{0, 0}};
+  std::vector<ColumnId> li = {{1, 0}};
+  auto outer = std::make_unique<RowSource>(
+      lo, std::vector<Row>{R({7}), R({8})});
+  auto inner = std::make_unique<RowSource>(li, std::vector<Row>{R({8})});
+  HashLeftJoinOp join(std::move(outer), std::move(inner),
+                      {{ColumnId(0, 0), ColumnId(1, 0)}});
+  std::vector<Row> rows = Drain(&join);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0][1].is_null());
+  EXPECT_EQ(rows[1][1].AsInt(), 8);
+}
+
+TEST(ExecNaiveLeftJoin, ArbitraryOnCondition) {
+  std::vector<ColumnId> lo = {{0, 0}};
+  std::vector<ColumnId> li = {{1, 0}};
+  auto outer = std::make_unique<RowSource>(
+      lo, std::vector<Row>{R({1}), R({5})});
+  auto inner = std::make_unique<RowSource>(
+      li, std::vector<Row>{R({2}), R({3}), R({9})});
+  // ON outer.c0 < inner.c0 and inner.c0 < 9.
+  BoundExpr cond = BoundExpr::Binary(
+      BinOp::kAnd,
+      BoundExpr::Binary(BinOp::kLt,
+                        BoundExpr::Column({0, 0}, DataType::kInt64, "o"),
+                        BoundExpr::Column({1, 0}, DataType::kInt64, "i"),
+                        DataType::kInt64),
+      BoundExpr::Binary(BinOp::kLt,
+                        BoundExpr::Column({1, 0}, DataType::kInt64, "i"),
+                        BoundExpr::Literal(Value::Int(9)), DataType::kInt64),
+      DataType::kInt64);
+  NaiveLeftJoinOp join(std::move(outer), std::move(inner),
+                       {ClassifyPredicate(std::move(cond))});
+  std::vector<Row> rows = Drain(&join);
+  // outer 1 matches inner 2 and 3; outer 5 matches nothing -> padded.
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], R({1, 2}));
+  EXPECT_EQ(rows[1], R({1, 3}));
+  EXPECT_EQ(rows[2][0].AsInt(), 5);
+  EXPECT_TRUE(rows[2][1].is_null());
+}
+
+TEST(ExecUnion, AllAndMerge) {
+  std::vector<ColumnId> layout = {{0, 0}};
+  std::vector<ColumnId> out_layout = {{9, 0}};
+  {
+    std::vector<OperatorPtr> kids;
+    kids.push_back(std::make_unique<RowSource>(
+        layout, std::vector<Row>{R({1}), R({3})}));
+    kids.push_back(std::make_unique<RowSource>(
+        layout, std::vector<Row>{R({2})}));
+    UnionAllOp u(std::move(kids), out_layout);
+    std::vector<Row> rows = Drain(&u);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0][0].AsInt(), 1);  // branch order
+    EXPECT_EQ(rows[2][0].AsInt(), 2);
+  }
+  {
+    RuntimeMetrics m;
+    std::vector<OperatorPtr> kids;
+    kids.push_back(std::make_unique<RowSource>(
+        layout, std::vector<Row>{R({1}), R({3}), R({5})}));
+    kids.push_back(std::make_unique<RowSource>(
+        layout, std::vector<Row>{R({2}), R({3})}));
+    MergeUnionOp u(std::move(kids), out_layout, &m);
+    std::vector<Row> rows = Drain(&u);
+    ASSERT_EQ(rows.size(), 5u);
+    for (size_t i = 1; i < rows.size(); ++i) {
+      EXPECT_LE(rows[i - 1][0].AsInt(), rows[i][0].AsInt());
+    }
+  }
+}
+
+TEST(ExecTopN, KeepsSmallestUnderSpec) {
+  std::vector<ColumnId> layout = {{0, 0}};
+  std::vector<Row> data;
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) data.push_back(R({rng.Uniform(0, 10000)}));
+  RuntimeMetrics m;
+  TopNOp top(std::make_unique<RowSource>(layout, data),
+             OrderSpec{{ColumnId(0, 0), SortDirection::kDescending}}, 10, &m);
+  std::vector<Row> rows = Drain(&top);
+  ASSERT_EQ(rows.size(), 10u);
+  // Equals the full sort's first 10.
+  std::sort(data.begin(), data.end(), [](const Row& a, const Row& b) {
+    return a[0].AsInt() > b[0].AsInt();
+  });
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(rows[i][0].AsInt(), data[i][0].AsInt());
+  }
+  // Zero limit yields nothing.
+  TopNOp empty(std::make_unique<RowSource>(layout, data),
+               OrderSpec{{ColumnId(0, 0)}}, 0, &m);
+  EXPECT_TRUE(Drain(&empty).empty());
+}
+
+AggregateSpec MakeAgg(AggFunc func, ColumnId arg, ColumnId out,
+                      bool distinct = false, bool star = false) {
+  AggregateSpec spec;
+  spec.func = func;
+  spec.distinct = distinct;
+  spec.count_star = star;
+  if (!star) spec.arg = BoundExpr::Column(arg, DataType::kInt64, "arg");
+  spec.output = out;
+  spec.name = "agg";
+  return spec;
+}
+
+TEST(ExecGroupBy, StreamingGroups) {
+  std::vector<ColumnId> layout = {{0, 0}, {0, 1}};
+  auto src = std::make_unique<RowSource>(
+      layout,
+      std::vector<Row>{R({1, 10}), R({1, 20}), R({2, 5}), R({3, 7}),
+                       R({3, 0})});
+  RuntimeMetrics m;
+  StreamGroupByOp group(
+      std::move(src), {ColumnId(0, 0)},
+      {MakeAgg(AggFunc::kSum, {0, 1}, {5, 0}),
+       MakeAgg(AggFunc::kCount, {0, 1}, {5, 1}, false, /*star=*/true),
+       MakeAgg(AggFunc::kMin, {0, 1}, {5, 2}),
+       MakeAgg(AggFunc::kMax, {0, 1}, {5, 3})},
+      &m);
+  std::vector<Row> rows = Drain(&group);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], R({1, 30, 2, 10, 20}));
+  EXPECT_EQ(rows[1], R({2, 5, 1, 5, 5}));
+  EXPECT_EQ(rows[2], R({3, 7, 2, 0, 7}));
+}
+
+TEST(ExecGroupBy, GlobalAggregateOnEmptyInput) {
+  std::vector<ColumnId> layout = {{0, 0}};
+  auto src = std::make_unique<RowSource>(layout, std::vector<Row>{});
+  RuntimeMetrics m;
+  StreamGroupByOp group(std::move(src), {},
+                        {MakeAgg(AggFunc::kCount, {0, 0}, {5, 0}, false,
+                                 /*star=*/true),
+                         MakeAgg(AggFunc::kSum, {0, 0}, {5, 1})},
+                        &m);
+  std::vector<Row> rows = Drain(&group);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(rows[0][1].is_null());
+}
+
+TEST(ExecGroupBy, DistinctAggregatesAndNulls) {
+  std::vector<ColumnId> layout = {{0, 0}, {0, 1}};
+  Row with_null = R({1, 0});
+  with_null[1] = Value::Null();
+  auto src = std::make_unique<RowSource>(
+      layout,
+      std::vector<Row>{R({1, 5}), R({1, 5}), R({1, 7}), with_null});
+  RuntimeMetrics m;
+  StreamGroupByOp group(
+      std::move(src), {ColumnId(0, 0)},
+      {MakeAgg(AggFunc::kSum, {0, 1}, {5, 0}, /*distinct=*/true),
+       MakeAgg(AggFunc::kCount, {0, 1}, {5, 1}),
+       MakeAgg(AggFunc::kCount, {0, 1}, {5, 2}, /*distinct=*/true)},
+      &m);
+  std::vector<Row> rows = Drain(&group);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1].AsInt(), 12);  // sum(distinct 5, 7)
+  EXPECT_EQ(rows[0][2].AsInt(), 3);   // count non-null
+  EXPECT_EQ(rows[0][3].AsInt(), 2);   // count distinct
+}
+
+TEST(ExecGroupBy, HashMatchesStream) {
+  std::vector<ColumnId> layout = {{0, 0}, {0, 1}};
+  std::vector<Row> data;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    data.push_back(R({rng.Uniform(0, 5), rng.Uniform(0, 50)}));
+  }
+  std::vector<AggregateSpec> aggs = {MakeAgg(AggFunc::kSum, {0, 1}, {5, 0}),
+                                     MakeAgg(AggFunc::kAvg, {0, 1}, {5, 1})};
+  RuntimeMetrics m;
+  HashGroupByOp hash(std::make_unique<RowSource>(layout, data),
+                     {ColumnId(0, 0)}, aggs, &m);
+  std::vector<Row> hashed = Drain(&hash);
+
+  std::sort(data.begin(), data.end(), [](const Row& a, const Row& b) {
+    return a[0].AsInt() < b[0].AsInt();
+  });
+  StreamGroupByOp stream(std::make_unique<RowSource>(layout, data),
+                         {ColumnId(0, 0)}, aggs, &m);
+  std::vector<Row> streamed = Drain(&stream);
+  ASSERT_EQ(hashed.size(), streamed.size());
+  for (size_t i = 0; i < hashed.size(); ++i) {
+    for (size_t c = 0; c < hashed[i].size(); ++c) {
+      EXPECT_EQ(hashed[i][c].Compare(streamed[i][c]), 0);
+    }
+  }
+}
+
+TEST(ExecDistinct, StreamAndHash) {
+  std::vector<ColumnId> layout = {{0, 0}, {0, 1}};
+  std::vector<Row> sorted_dups = {R({1, 9}), R({1, 9}), R({2, 9}), R({2, 8}),
+                                  R({2, 8})};
+  StreamDistinctOp stream(std::make_unique<RowSource>(layout, sorted_dups),
+                          ColumnSet{{0, 0}, {0, 1}});
+  EXPECT_EQ(Drain(&stream).size(), 3u);
+
+  std::vector<Row> unsorted = {R({2, 8}), R({1, 9}), R({2, 8}), R({1, 9})};
+  HashDistinctOp hash(std::make_unique<RowSource>(layout, unsorted),
+                      ColumnSet{{0, 0}, {0, 1}});
+  EXPECT_EQ(Drain(&hash).size(), 2u);
+
+  // Distinct on a column subset.
+  StreamDistinctOp subset(std::make_unique<RowSource>(layout, sorted_dups),
+                          ColumnSet{{0, 0}});
+  EXPECT_EQ(Drain(&subset).size(), 2u);
+}
+
+TEST(ExecFilterProject, EvaluateExpressions) {
+  std::vector<ColumnId> layout = {{0, 0}, {0, 1}};
+  auto src = std::make_unique<RowSource>(
+      layout, std::vector<Row>{R({1, 10}), R({5, 2}), R({9, 30})});
+  FilterOp filter(std::move(src),
+                  {MakeRangePred({0, 0}, BinOp::kGt, 2)});
+  std::vector<Row> rows = Drain(&filter);
+  ASSERT_EQ(rows.size(), 2u);
+
+  OutputColumn oc;
+  oc.expr = BoundExpr::Binary(
+      BinOp::kMul, BoundExpr::Column({0, 0}, DataType::kInt64, "k"),
+      BoundExpr::Literal(Value::Int(3)), DataType::kInt64);
+  oc.name = "k3";
+  oc.id = ColumnId(7, 0);
+  ProjectOp project(
+      std::make_unique<RowSource>(layout, std::vector<Row>{R({2, 0})}),
+      {oc});
+  rows = Drain(&project);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 6);
+}
+
+}  // namespace
+}  // namespace ordopt

@@ -1,0 +1,94 @@
+// Expression evaluation tests: arithmetic, comparisons, NULL propagation,
+// SQL-to-two-valued folding, layout binding.
+
+#include <gtest/gtest.h>
+
+#include "exec/expr_eval.h"
+
+namespace ordopt {
+namespace {
+
+TEST(EvalBinary, IntegerArithmetic) {
+  EXPECT_EQ(EvalBinary(BinOp::kAdd, Value::Int(2), Value::Int(3)).AsInt(), 5);
+  EXPECT_EQ(EvalBinary(BinOp::kSub, Value::Int(2), Value::Int(3)).AsInt(),
+            -1);
+  EXPECT_EQ(EvalBinary(BinOp::kMul, Value::Int(4), Value::Int(3)).AsInt(),
+            12);
+}
+
+TEST(EvalBinary, MixedTypePromotion) {
+  Value v = EvalBinary(BinOp::kAdd, Value::Int(2), Value::Double(0.5));
+  EXPECT_EQ(v.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 2.5);
+}
+
+TEST(EvalBinary, DivisionAlwaysDouble) {
+  Value v = EvalBinary(BinOp::kDiv, Value::Int(7), Value::Int(2));
+  EXPECT_EQ(v.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.5);
+  // Division by zero yields NULL, not a crash.
+  EXPECT_TRUE(
+      EvalBinary(BinOp::kDiv, Value::Int(1), Value::Int(0)).is_null());
+}
+
+TEST(EvalBinary, Comparisons) {
+  EXPECT_EQ(EvalBinary(BinOp::kLt, Value::Int(1), Value::Int(2)).AsInt(), 1);
+  EXPECT_EQ(EvalBinary(BinOp::kGe, Value::Int(1), Value::Int(2)).AsInt(), 0);
+  EXPECT_EQ(EvalBinary(BinOp::kNe, Value::Str("a"), Value::Str("b")).AsInt(),
+            1);
+  EXPECT_EQ(EvalBinary(BinOp::kEq, Value::Int(3), Value::Double(3.0)).AsInt(),
+            1);
+}
+
+TEST(EvalBinary, NullPropagation) {
+  EXPECT_TRUE(EvalBinary(BinOp::kAdd, Value::Null(), Value::Int(1)).is_null());
+  EXPECT_TRUE(EvalBinary(BinOp::kEq, Value::Null(), Value::Null()).is_null());
+  EXPECT_TRUE(EvalBinary(BinOp::kLt, Value::Int(1), Value::Null()).is_null());
+}
+
+TEST(EvalBinary, AndFoldsNullToFalse) {
+  EXPECT_EQ(EvalBinary(BinOp::kAnd, Value::Int(1), Value::Int(1)).AsInt(), 1);
+  EXPECT_EQ(EvalBinary(BinOp::kAnd, Value::Int(1), Value::Int(0)).AsInt(), 0);
+  EXPECT_EQ(EvalBinary(BinOp::kAnd, Value::Null(), Value::Int(1)).AsInt(), 0);
+}
+
+TEST(ExprEvaluator, BindsColumnsByIdentity) {
+  std::vector<ColumnId> layout = {{3, 1}, {0, 0}};
+  ExprEvaluator eval(layout);
+  EXPECT_EQ(eval.PositionOf({3, 1}), 0);
+  EXPECT_EQ(eval.PositionOf({0, 0}), 1);
+  EXPECT_EQ(eval.PositionOf({9, 9}), -1);
+
+  BoundExpr e = BoundExpr::Binary(
+      BinOp::kMul, BoundExpr::Column({0, 0}, DataType::kInt64, "a"),
+      BoundExpr::Column({3, 1}, DataType::kInt64, "b"), DataType::kInt64);
+  Row row = {Value::Int(4), Value::Int(6)};
+  EXPECT_EQ(eval.Eval(e, row).AsInt(), 24);
+}
+
+TEST(ExprEvaluator, PredicateNullIsFalse) {
+  std::vector<ColumnId> layout = {{0, 0}};
+  ExprEvaluator eval(layout);
+  BoundExpr cmp = BoundExpr::Binary(
+      BinOp::kGt, BoundExpr::Column({0, 0}, DataType::kInt64, "x"),
+      BoundExpr::Literal(Value::Int(5)), DataType::kInt64);
+  Predicate pred = ClassifyPredicate(std::move(cmp));
+  Row null_row = {Value::Null()};
+  EXPECT_FALSE(eval.EvalPredicate(pred, null_row));
+  Row yes = {Value::Int(9)};
+  EXPECT_TRUE(eval.EvalPredicate(pred, yes));
+}
+
+TEST(ExprEvaluator, LiteralAndNested) {
+  ExprEvaluator eval({});
+  BoundExpr e = BoundExpr::Binary(
+      BinOp::kSub,
+      BoundExpr::Binary(BinOp::kMul, BoundExpr::Literal(Value::Int(3)),
+                        BoundExpr::Literal(Value::Int(4)), DataType::kInt64),
+      BoundExpr::Literal(Value::Int(2)), DataType::kInt64);
+  Row empty;
+  EXPECT_EQ(eval.Eval(e, empty).AsInt(), 10);
+}
+
+}  // namespace
+}  // namespace ordopt

@@ -1,0 +1,160 @@
+// HAVING and LIMIT: parsing, binding, planning, and execution semantics.
+
+#include <gtest/gtest.h>
+
+#include "exec/engine.h"
+#include "qgm/rewrite.h"
+#include "query_test_util.h"
+
+namespace ordopt {
+namespace {
+
+class HavingLimitTest : public ::testing::Test {
+ protected:
+  void SetUp() override { BuildToyDatabase(&db_, 13, 150); }
+  Database db_;
+};
+
+TEST_F(HavingLimitTest, HavingParsesAndBinds) {
+  auto stmt = ParseSelect(
+      "select dno, count(*) as n from emp group by dno having count(*) > 10");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_NE(stmt.value()->having, nullptr);
+
+  auto q = BindQuery(*stmt.value(), db_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  // HAVING lands as a predicate on the finishing box above the group-by.
+  EXPECT_EQ(q.value()->root->predicates.size(), 1u);
+}
+
+TEST_F(HavingLimitTest, HavingFiltersGroups) {
+  QueryEngine engine(&db_);
+  auto all = engine.Run("select dno, count(*) as n from emp group by dno");
+  auto filtered = engine.Run(
+      "select dno, count(*) as n from emp group by dno having count(*) > 12");
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  EXPECT_LT(filtered.value().rows.size(), all.value().rows.size());
+  for (const Row& row : filtered.value().rows) {
+    EXPECT_GT(row[1].AsInt(), 12);
+  }
+}
+
+TEST_F(HavingLimitTest, HavingMatchesReference) {
+  const char* sql =
+      "select dno, sum(salary) as total from emp group by dno "
+      "having sum(salary) > 800 and count(*) > 5 order by total desc";
+  QueryEngine engine(&db_);
+  auto run = engine.Run(sql);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok());
+  auto bound = BindQuery(*stmt.value(), db_);
+  ASSERT_TRUE(bound.ok());
+  MergeDerivedTables(bound.value().get());
+  ReferenceEvaluator ref(*bound.value());
+  EXPECT_EQ(Canonicalize(run.value().rows),
+            Canonicalize(ref.Evaluate().rows));
+}
+
+TEST_F(HavingLimitTest, HavingWithoutGroupByIsGlobalAggregate) {
+  QueryEngine engine(&db_);
+  auto r = engine.Run("select count(*) from emp having count(*) > 0");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().rows.size(), 1u);
+  auto empty =
+      engine.Run("select count(*) from emp having count(*) > 100000");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().rows.empty());
+}
+
+TEST_F(HavingLimitTest, LimitParsesAndCapsRows) {
+  QueryEngine engine(&db_);
+  auto r = engine.Run("select eno from emp order by eno limit 7");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 7u);
+  // The limit applies after ordering: the 7 smallest enos.
+  for (int64_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(r.value().rows[static_cast<size_t>(i)][0].AsInt(), i);
+  }
+  EXPECT_NE(r.value().plan_text.find("Limit(7)"), std::string::npos);
+}
+
+TEST_F(HavingLimitTest, LimitZeroAndOversized) {
+  QueryEngine engine(&db_);
+  auto zero = engine.Run("select eno from emp limit 0");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(zero.value().rows.empty());
+  auto big = engine.Run("select eno from emp limit 999999");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big.value().rows.size(), 150u);
+}
+
+TEST_F(HavingLimitTest, LimitWithGroupingAndHaving) {
+  QueryEngine engine(&db_);
+  auto r = engine.Run(
+      "select dno, count(*) as n from emp group by dno "
+      "having count(*) > 2 order by n desc, dno limit 3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_LE(r.value().rows.size(), 3u);
+}
+
+TEST_F(HavingLimitTest, LimitedDerivedTableDoesNotMerge) {
+  auto stmt = ParseSelect(
+      "select d.eno from (select eno from emp order by eno limit 5) d "
+      "where d.eno >= 0");
+  ASSERT_TRUE(stmt.ok());
+  auto q = BindQuery(*stmt.value(), db_);
+  ASSERT_TRUE(q.ok());
+  MergeDerivedTables(q.value().get());
+  // The limited view must stay a separate box (merging would lift the
+  // WHERE above/below the LIMIT incorrectly).
+  ASSERT_EQ(q.value()->root->quantifiers.size(), 1u);
+  EXPECT_FALSE(q.value()->root->quantifiers[0].IsBase());
+
+  QueryEngine engine(&db_);
+  auto r = engine.Run(
+      "select d.eno from (select eno from emp order by eno limit 5) d "
+      "where d.eno >= 0");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().rows.size(), 5u);
+}
+
+TEST_F(HavingLimitTest, OrderByLimitFusesIntoTopN) {
+  QueryEngine engine(&db_);
+  auto r = engine.Run(
+      "select eno, salary from emp order by salary desc, eno limit 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().plan->ContainsKind(OpKind::kTopN))
+      << r.value().plan_text;
+  EXPECT_FALSE(r.value().plan->ContainsKind(OpKind::kSort))
+      << r.value().plan_text;
+  ASSERT_EQ(r.value().rows.size(), 5u);
+  // Matches a full sort's prefix.
+  auto full = engine.Run("select eno, salary from emp "
+                         "order by salary desc, eno");
+  ASSERT_TRUE(full.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(r.value().rows[i][0].AsInt(), full.value().rows[i][0].AsInt());
+    EXPECT_EQ(r.value().rows[i][1].AsInt(), full.value().rows[i][1].AsInt());
+  }
+}
+
+TEST_F(HavingLimitTest, TopNNotUsedWhenOrderAlreadySatisfied) {
+  // emp's clustered pk provides (eno): plain Limit suffices, no Top-N.
+  QueryEngine engine(&db_);
+  auto r = engine.Explain("select eno from emp order by eno limit 5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().plan->ContainsKind(OpKind::kTopN))
+      << r.value().plan_text;
+  EXPECT_TRUE(r.value().plan->ContainsKind(OpKind::kLimit))
+      << r.value().plan_text;
+}
+
+TEST_F(HavingLimitTest, ParserErrors) {
+  EXPECT_FALSE(ParseSelect("select eno from emp limit").ok());
+  EXPECT_FALSE(ParseSelect("select eno from emp limit abc").ok());
+}
+
+}  // namespace
+}  // namespace ordopt

@@ -1,0 +1,154 @@
+// Tests for the key property (§5.2.1): canonical simplification, the
+// one-record condition, projection, and join propagation.
+
+#include <gtest/gtest.h>
+
+#include "orderopt/key_property.h"
+
+namespace ordopt {
+namespace {
+
+const ColumnId ax(0, 0), ay(0, 1), az(0, 2);
+const ColumnId bx(1, 0), by(1, 1);
+
+TEST(KeyProperty, AddAndQuery) {
+  KeyProperty kp;
+  kp.AddKey(ColumnSet{ax, ay});
+  EXPECT_TRUE(kp.IsUniqueOn(ColumnSet{ax, ay}));
+  EXPECT_TRUE(kp.IsUniqueOn(ColumnSet{ax, ay, az}));
+  EXPECT_FALSE(kp.IsUniqueOn(ColumnSet{ax}));
+  EXPECT_FALSE(kp.IsOneRecord());
+}
+
+TEST(KeyProperty, SubsetKeySubsumesSuperset) {
+  KeyProperty kp;
+  kp.AddKey(ColumnSet{ax, ay});
+  kp.AddKey(ColumnSet{ax});
+  EXPECT_EQ(kp.keys().size(), 1u);
+  EXPECT_EQ(kp.keys()[0], (ColumnSet{ax}));
+}
+
+TEST(KeyProperty, ConstantBoundColumnDropsOut) {
+  // §5.2.1: key columns bound by equality predicates are removed from the
+  // canonical key.
+  KeyProperty kp;
+  kp.AddKey(ColumnSet{ax, ay});
+  EquivalenceClasses eq;
+  eq.AddConstant(ay, Value::Int(5));
+  kp.Simplify(eq);
+  ASSERT_EQ(kp.keys().size(), 1u);
+  EXPECT_EQ(kp.keys()[0], (ColumnSet{ax}));
+}
+
+TEST(KeyProperty, FullyQualifiedKeyFlagsOneRecord) {
+  // §5.2.1: "if some key has become fully qualified by equality predicates
+  // ... a one-record condition is flagged" and it subsumes everything.
+  KeyProperty kp;
+  kp.AddKey(ColumnSet{ax});
+  kp.AddKey(ColumnSet{ay, az});
+  EquivalenceClasses eq;
+  eq.AddConstant(ax, Value::Int(5));
+  kp.Simplify(eq);
+  EXPECT_TRUE(kp.IsOneRecord());
+  EXPECT_EQ(kp.keys().size(), 1u);  // everything else discarded
+  EXPECT_TRUE(kp.IsUniqueOn(ColumnSet{}));
+}
+
+TEST(KeyProperty, EquivalenceHeadRewrite) {
+  KeyProperty kp;
+  kp.AddKey(ColumnSet{bx});
+  EquivalenceClasses eq;
+  eq.AddEquivalence(ax, bx);  // head ax
+  kp.Simplify(eq);
+  ASSERT_EQ(kp.keys().size(), 1u);
+  EXPECT_EQ(kp.keys()[0], (ColumnSet{ax}));
+}
+
+TEST(KeyProperty, ProjectionDropsKeysWithInvisibleColumns) {
+  KeyProperty kp;
+  kp.AddKey(ColumnSet{ax, ay});
+  kp.AddKey(ColumnSet{az});
+  kp.Project(ColumnSet{ax, ay});
+  ASSERT_EQ(kp.keys().size(), 1u);
+  EXPECT_EQ(kp.keys()[0], (ColumnSet{ax, ay}));
+}
+
+TEST(KeyProperty, OneRecordSurvivesProjection) {
+  KeyProperty kp = KeyProperty::OneRecord();
+  kp.Project(ColumnSet{ax});
+  EXPECT_TRUE(kp.IsOneRecord());
+}
+
+TEST(KeyPropertyJoin, NToOnePropagatesOuterKeys) {
+  // §5.2.1: if a key of the inner is fully qualified by join predicates,
+  // each outer row matches at most one inner row: outer keys remain keys.
+  KeyProperty outer;
+  outer.AddKey(ColumnSet{ax});
+  KeyProperty inner;
+  inner.AddKey(ColumnSet{bx});
+  std::vector<std::pair<ColumnId, ColumnId>> pairs = {{ay, bx}};
+  KeyProperty joined = KeyProperty::PropagateJoin(outer, inner, pairs);
+  EXPECT_TRUE(joined.IsUniqueOn(ColumnSet{ax}));
+}
+
+TEST(KeyPropertyJoin, OneToNPropagatesInnerKeys) {
+  KeyProperty outer;
+  outer.AddKey(ColumnSet{ax});
+  KeyProperty inner;
+  inner.AddKey(ColumnSet{bx, by});
+  // Outer's key ax fully qualified: each inner row sees at most one outer.
+  std::vector<std::pair<ColumnId, ColumnId>> pairs = {{ax, by}};
+  KeyProperty joined = KeyProperty::PropagateJoin(outer, inner, pairs);
+  EXPECT_TRUE(joined.IsUniqueOn(ColumnSet{bx, by}));
+  EXPECT_FALSE(joined.IsUniqueOn(ColumnSet{ax}));
+}
+
+TEST(KeyPropertyJoin, BothSidesQualifiedPropagatesBoth) {
+  KeyProperty outer;
+  outer.AddKey(ColumnSet{ax});
+  KeyProperty inner;
+  inner.AddKey(ColumnSet{bx});
+  std::vector<std::pair<ColumnId, ColumnId>> pairs = {{ax, bx}};
+  KeyProperty joined = KeyProperty::PropagateJoin(outer, inner, pairs);
+  EXPECT_TRUE(joined.IsUniqueOn(ColumnSet{ax}));
+  EXPECT_TRUE(joined.IsUniqueOn(ColumnSet{bx}));
+}
+
+TEST(KeyPropertyJoin, ManyToManyConcatenatesKeys) {
+  // §5.2.1: neither side qualified -> all concatenated key pairs K1.K2.
+  KeyProperty outer;
+  outer.AddKey(ColumnSet{ax});
+  KeyProperty inner;
+  inner.AddKey(ColumnSet{bx, by});
+  std::vector<std::pair<ColumnId, ColumnId>> pairs = {{ay, by}};
+  KeyProperty joined = KeyProperty::PropagateJoin(outer, inner, pairs);
+  EXPECT_FALSE(joined.IsUniqueOn(ColumnSet{ax}));
+  EXPECT_FALSE(joined.IsUniqueOn(ColumnSet{bx, by}));
+  EXPECT_TRUE(joined.IsUniqueOn(ColumnSet{ax, bx, by}));
+}
+
+TEST(KeyPropertyJoin, OneRecordOuterIsAlwaysQualified) {
+  // The one-record condition acts as the empty key: trivially qualified,
+  // so the inner's keys propagate and, if the inner also qualifies, the
+  // result is one-record.
+  KeyProperty outer = KeyProperty::OneRecord();
+  KeyProperty inner;
+  inner.AddKey(ColumnSet{bx});
+  std::vector<std::pair<ColumnId, ColumnId>> pairs;
+  KeyProperty joined = KeyProperty::PropagateJoin(outer, inner, pairs);
+  EXPECT_TRUE(joined.IsUniqueOn(ColumnSet{bx}));
+
+  KeyProperty both =
+      KeyProperty::PropagateJoin(KeyProperty::OneRecord(),
+                                 KeyProperty::OneRecord(), pairs);
+  EXPECT_TRUE(both.IsOneRecord());
+}
+
+TEST(KeyPropertyJoin, NoKeysAtAll) {
+  KeyProperty joined = KeyProperty::PropagateJoin(
+      KeyProperty::None(), KeyProperty::None(), {{ax, bx}});
+  EXPECT_TRUE(joined.empty());
+}
+
+}  // namespace
+}  // namespace ordopt

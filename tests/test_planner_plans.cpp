@@ -1,0 +1,293 @@
+// Plan-shape tests: the optimizer must avoid sorts when predicates, keys,
+// indexes, or FDs make them redundant (§4), push sorts down join trees
+// (§5.2 sort-ahead, the paper's Figure 6 and Figure 7 scenarios), and fall
+// back to naive behavior when order optimization is disabled (Figure 8).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "exec/engine.h"
+#include "tpcd/tpcd.h"
+
+namespace ordopt {
+namespace {
+
+int CountKind(const PlanRef& plan, OpKind kind) {
+  std::vector<const PlanNode*> nodes;
+  plan->CollectKind(kind, &nodes);
+  return static_cast<int>(nodes.size());
+}
+
+class PlanShapeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Schema mirroring the paper's §6 example: tables a, b, c with
+    // predicates a.x = b.x and b.x = c.x; b.x and c.x are unique keys with
+    // indexes; a.x is NOT a key (so a.y does not reduce away).
+    Rng rng(11);
+    {
+      TableDef def;
+      def.name = "a";
+      def.columns = {{"x", DataType::kInt64}, {"y", DataType::kInt64}};
+      Table* t = db_.CreateTable(def).value();
+      for (int i = 0; i < 400; ++i) {
+        t->AppendRow({Value::Int(rng.Uniform(0, 199)),
+                      Value::Int(rng.Uniform(0, 9))});
+      }
+    }
+    {
+      TableDef def;
+      def.name = "b";
+      def.columns = {{"x", DataType::kInt64}, {"y", DataType::kInt64}};
+      def.AddUniqueKey({"x"});
+      def.AddIndex("b_x", {"x"}, /*unique=*/true, /*clustered=*/true);
+      Table* t = db_.CreateTable(def).value();
+      for (int i = 0; i < 200; ++i) {
+        t->AppendRow({Value::Int(i), Value::Int(rng.Uniform(0, 99))});
+      }
+    }
+    {
+      TableDef def;
+      def.name = "c";
+      def.columns = {{"x", DataType::kInt64}, {"z", DataType::kInt64}};
+      def.AddUniqueKey({"x"});
+      def.AddIndex("c_x", {"x"}, /*unique=*/true, /*clustered=*/true);
+      Table* t = db_.CreateTable(def).value();
+      for (int i = 0; i < 200; ++i) {
+        t->AppendRow({Value::Int(i), Value::Int(rng.Uniform(0, 999))});
+      }
+    }
+    ASSERT_TRUE(db_.FinalizeAll().ok());
+  }
+
+  PlanRef Plan(const std::string& sql, OptimizerConfig config = {}) {
+    QueryEngine engine(&db_, config);
+    Result<QueryResult> r = engine.Explain(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value().plan : nullptr;
+  }
+
+  Database db_;
+};
+
+TEST_F(PlanShapeTest, IndexOrderAvoidsSort) {
+  PlanRef plan = Plan("select x, y from b order by x");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(CountKind(plan, OpKind::kSort), 0) << plan->ToString();
+  EXPECT_EQ(CountKind(plan, OpKind::kIndexScan), 1);
+}
+
+TEST_F(PlanShapeTest, ReverseIndexScanForDescOrder) {
+  PlanRef plan = Plan("select x from b order by x desc");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(CountKind(plan, OpKind::kSort), 0) << plan->ToString();
+  std::vector<const PlanNode*> scans;
+  plan->CollectKind(OpKind::kIndexScan, &scans);
+  ASSERT_EQ(scans.size(), 1u);
+  EXPECT_TRUE(scans[0]->reverse_scan);
+}
+
+TEST_F(PlanShapeTest, ConstantPredicateEliminatesSortColumn) {
+  // ORDER BY (y, x) with y = 5: reduces to (x): the index provides it.
+  PlanRef plan = Plan("select x, y from b where y = 5 order by y, x");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(CountKind(plan, OpKind::kSort), 0) << plan->ToString();
+}
+
+TEST_F(PlanShapeTest, DisabledModeSortsAnyway) {
+  OptimizerConfig off;
+  off.enable_order_optimization = false;
+  PlanRef plan =
+      Plan("select x, y from b where y = 5 order by y, x", off);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(CountKind(plan, OpKind::kSort), 1) << plan->ToString();
+  // And the sort uses the full, unreduced column list.
+  std::vector<const PlanNode*> sorts;
+  plan->CollectKind(OpKind::kSort, &sorts);
+  EXPECT_EQ(sorts[0]->sort_spec.size(), 2u);
+}
+
+TEST_F(PlanShapeTest, MinimalSortColumnsWhenSortUnavoidable) {
+  // ORDER BY (x, y) on table b where x is a key: sort on (x) alone.
+  PlanRef plan = Plan("select x, y from a order by x, y");  // a: no key
+  ASSERT_NE(plan, nullptr);
+  std::vector<const PlanNode*> sorts;
+  plan->CollectKind(OpKind::kSort, &sorts);
+  ASSERT_EQ(sorts.size(), 1u);
+  EXPECT_EQ(sorts[0]->sort_spec.size(), 2u);  // both needed on a
+
+  PlanRef plan_b = Plan("select x, y from b order by x, y");
+  std::vector<const PlanNode*> sorts_b;
+  plan_b->CollectKind(OpKind::kSort, &sorts_b);
+  // b.x is a key: either no sort (index) or a one-column sort.
+  for (const PlanNode* s : sorts_b) {
+    EXPECT_LE(s->sort_spec.size(), 1u) << plan_b->ToString();
+  }
+}
+
+TEST_F(PlanShapeTest, GroupByOnKeyNeedsNoSort) {
+  // Grouping on a key: every group is one record; any order groups it.
+  PlanRef plan = Plan("select x, count(*) from b group by x");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(CountKind(plan, OpKind::kSort), 0) << plan->ToString();
+  EXPECT_EQ(CountKind(plan, OpKind::kHashGroupBy), 0) << plan->ToString();
+}
+
+TEST_F(PlanShapeTest, Figure6SingleSortServesEverything) {
+  // §6: one sort-ahead below both joins provides the merge join order, the
+  // grouping order, AND the ORDER BY — because b.x's key FD makes b.y
+  // redundant and the a.x = b.x = c.x equivalence class links the joins.
+  OptimizerConfig cfg;
+  cfg.enable_hash_join = false;  // the paper's engine profile
+  cfg.enable_hash_grouping = false;
+  PlanRef plan = Plan(
+      "select a.x, a.y, b.y, sum(c.z) from a, b, c "
+      "where a.x = b.x and b.x = c.x "
+      "group by a.x, a.y, b.y order by a.x",
+      cfg);
+  ASSERT_NE(plan, nullptr);
+  // Exactly one sort in the whole plan...
+  EXPECT_EQ(CountKind(plan, OpKind::kSort), 1) << plan->ToString();
+  std::vector<const PlanNode*> sorts;
+  plan->CollectKind(OpKind::kSort, &sorts);
+  // ...on (a.x, a.y) — b.y reduced away via b's key FD (§6)...
+  EXPECT_EQ(sorts[0]->sort_spec.size(), 2u) << plan->ToString();
+  // ...sitting directly above table a's access (pushed below both joins).
+  ASSERT_EQ(sorts[0]->children.size(), 1u);
+  EXPECT_EQ(sorts[0]->children[0]->kind, OpKind::kTableScan);
+  // The group-by streams.
+  EXPECT_EQ(CountKind(plan, OpKind::kStreamGroupBy), 1) << plan->ToString();
+}
+
+TEST_F(PlanShapeTest, SortAheadDisabledNeedsLaterSort) {
+  OptimizerConfig cfg;
+  cfg.enable_hash_join = false;
+  cfg.enable_hash_grouping = false;
+  cfg.enable_sort_ahead = false;
+  PlanRef plan = Plan(
+      "select a.x, a.y, b.y, sum(c.z) from a, b, c "
+      "where a.x = b.x and b.x = c.x "
+      "group by a.x, a.y, b.y order by a.x",
+      cfg);
+  ASSERT_NE(plan, nullptr);
+  // Without sort-ahead, a merge join may still sort table a on its join
+  // column — but the single *covered* bottom sort on (a.x, a.y) that
+  // serves the grouping and ORDER BY too is a sort-ahead product and must
+  // not appear. Whatever plan wins, the grouping or ordering pays an
+  // extra sort above the joins.
+  std::vector<const PlanNode*> sorts;
+  plan->CollectKind(OpKind::kSort, &sorts);
+  ASSERT_GE(sorts.size(), 1u);
+  bool covered_bottom_sort_on_a = false;
+  bool sort_above_join = false;
+  for (const PlanNode* s : sorts) {
+    if (s->children[0]->kind == OpKind::kTableScan &&
+        s->children[0]->table != nullptr &&
+        s->children[0]->table->name() == "a" && s->sort_spec.size() >= 2) {
+      covered_bottom_sort_on_a = true;
+    }
+    if (s->children[0]->kind == OpKind::kMergeJoin ||
+        s->children[0]->kind == OpKind::kIndexNLJoin ||
+        s->children[0]->kind == OpKind::kHashJoin ||
+        s->children[0]->kind == OpKind::kFilter) {
+      sort_above_join = true;
+    }
+  }
+  EXPECT_FALSE(covered_bottom_sort_on_a) << plan->ToString();
+  EXPECT_TRUE(sort_above_join) << plan->ToString();
+}
+
+TEST_F(PlanShapeTest, OneRecordConditionSatisfiesAnyOrder) {
+  // b.x = 7 fully qualifies b's key: at most one record, so any ORDER BY
+  // over b alone needs no sort.
+  PlanRef plan = Plan("select x, y from b where x = 7 order by y, x");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(CountKind(plan, OpKind::kSort), 0) << plan->ToString();
+}
+
+TEST_F(PlanShapeTest, MergeJoinOrderFromEquivalentColumn) {
+  // Order on a.x satisfies a merge join on b.x via the equivalence class.
+  OptimizerConfig cfg;
+  cfg.enable_hash_join = false;
+  PlanRef plan = Plan(
+      "select a.y, b.y from a, b where a.x = b.x order by a.x", cfg);
+  ASSERT_NE(plan, nullptr);
+  // At most one sort: the a-side sort serves both the merge join and the
+  // ORDER BY (b side comes ordered from its clustered index).
+  EXPECT_LE(CountKind(plan, OpKind::kSort), 1) << plan->ToString();
+}
+
+class Q3PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpcdConfig config;
+    config.scale_factor = 0.002;
+    ASSERT_TRUE(LoadTpcd(&db_, config).ok());
+  }
+  Database db_;
+};
+
+TEST_F(Q3PlanTest, Figure7ShapeWithOrderOptimization) {
+  OptimizerConfig cfg;
+  cfg.enable_hash_join = false;
+  cfg.enable_hash_grouping = false;
+  QueryEngine engine(&db_, cfg);
+  Result<QueryResult> r = engine.Explain(tpcd_queries::kQuery3);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const PlanRef& plan = r.value().plan;
+
+  // The group-by streams (no sort directly feeding it for grouping).
+  EXPECT_EQ(CountKind(plan, OpKind::kStreamGroupBy), 1) << plan->ToString();
+  EXPECT_EQ(CountKind(plan, OpKind::kSortGroupBy), 0) << plan->ToString();
+  // Lineitem is reached through an ordered, clustered index nested-loop
+  // join (Figure 7's ordered NL join).
+  std::vector<const PlanNode*> nljs;
+  plan->CollectKind(OpKind::kIndexNLJoin, &nljs);
+  bool ordered_lineitem_probe = false;
+  for (const PlanNode* j : nljs) {
+    if (j->table->name() == "lineitem" && j->ordered_probes) {
+      ordered_lineitem_probe = true;
+    }
+  }
+  EXPECT_TRUE(ordered_lineitem_probe) << plan->ToString();
+}
+
+TEST_F(Q3PlanTest, Figure8ShapeWhenDisabled) {
+  OptimizerConfig cfg;
+  cfg.enable_order_optimization = false;
+  cfg.enable_hash_join = false;
+  cfg.enable_hash_grouping = false;
+  QueryEngine engine(&db_, cfg);
+  Result<QueryResult> r = engine.Explain(tpcd_queries::kQuery3);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const PlanRef& plan = r.value().plan;
+
+  // Disabled: the optimizer cannot see that an o_orderkey order satisfies
+  // the GROUP BY, so it pays a full-width grouping sort (Figure 8).
+  EXPECT_EQ(CountKind(plan, OpKind::kSortGroupBy), 1) << plan->ToString();
+  std::vector<const PlanNode*> groups;
+  plan->CollectKind(OpKind::kSortGroupBy, &groups);
+  ASSERT_EQ(groups[0]->children[0]->kind, OpKind::kSort);
+  EXPECT_EQ(groups[0]->children[0]->sort_spec.size(), 3u)
+      << plan->ToString();
+  // Two sorts minimum: grouping sort + ORDER BY sort.
+  EXPECT_GE(CountKind(plan, OpKind::kSort), 2) << plan->ToString();
+}
+
+TEST_F(Q3PlanTest, EnabledBeatsDisabledOnSimulatedTime) {
+  double elapsed[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    OptimizerConfig cfg;
+    cfg.enable_order_optimization = mode == 0;
+    cfg.enable_hash_join = false;
+    cfg.enable_hash_grouping = false;
+    QueryEngine engine(&db_, cfg);
+    Result<QueryResult> r = engine.Run(tpcd_queries::kQuery3);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    elapsed[mode] = r.value().SimulatedElapsedSeconds();
+  }
+  EXPECT_LT(elapsed[0], elapsed[1]);
+}
+
+}  // namespace
+}  // namespace ordopt

@@ -1,0 +1,161 @@
+// Tests for the extended predicate language: OR, IN lists, BETWEEN,
+// IS [NOT] NULL, NULL literals — including the anti-join pattern over
+// LEFT JOIN and reference-evaluator equality.
+
+#include <gtest/gtest.h>
+
+#include "exec/engine.h"
+#include "qgm/rewrite.h"
+#include "query_test_util.h"
+
+namespace ordopt {
+namespace {
+
+class SqlPredicateTest : public ::testing::Test {
+ protected:
+  void SetUp() override { BuildToyDatabase(&db_, 33, 120); }
+
+  void CheckAllConfigs(const std::string& sql) {
+    for (int mode = 0; mode < 3; ++mode) {
+      OptimizerConfig cfg;
+      if (mode == 1) cfg.enable_order_optimization = false;
+      if (mode == 2) {
+        cfg.enable_hash_join = false;
+        cfg.enable_hash_grouping = false;
+      }
+      SCOPED_TRACE(StrFormat("mode=%d: %s", mode, sql.c_str()));
+      QueryEngine engine(&db_, cfg);
+      Result<QueryResult> run = engine.Run(sql);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      auto stmt = ParseSelect(sql);
+      ASSERT_TRUE(stmt.ok());
+      auto bound = BindQuery(*stmt.value(), db_);
+      ASSERT_TRUE(bound.ok());
+      MergeDerivedTables(bound.value().get());
+      ReferenceEvaluator ref(*bound.value());
+      EXPECT_EQ(Canonicalize(run.value().rows),
+                Canonicalize(ref.Evaluate().rows))
+          << run.value().plan_text;
+    }
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlPredicateTest, ParsesNewForms) {
+  EXPECT_TRUE(ParseSelect("select x from t where a = 1 or b = 2").ok());
+  EXPECT_TRUE(ParseSelect("select x from t where a in (1, 2, 3)").ok());
+  EXPECT_TRUE(
+      ParseSelect("select x from t where a between 1 and 5").ok());
+  EXPECT_TRUE(ParseSelect("select x from t where a is null").ok());
+  EXPECT_TRUE(ParseSelect("select x from t where a is not null").ok());
+  EXPECT_TRUE(ParseSelect("select null from t").ok());
+  EXPECT_FALSE(ParseSelect("select x from t where a is").ok());
+  EXPECT_FALSE(ParseSelect("select x from t where a in ()").ok());
+}
+
+TEST_F(SqlPredicateTest, OrPrecedenceBelowAnd) {
+  // a OR b AND c parses as a OR (b AND c).
+  auto stmt = ParseSelect("select x from t where a = 1 or b = 2 and c = 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt.value()->where->op, BinOp::kOr);
+  EXPECT_EQ(stmt.value()->where->right->op, BinOp::kAnd);
+}
+
+TEST_F(SqlPredicateTest, BetweenDesugarsToConjuncts) {
+  // BETWEEN splits into two WHERE conjuncts, so an index range scan can
+  // absorb both.
+  auto stmt =
+      ParseSelect("select eno from emp where eno between 10 and 20");
+  ASSERT_TRUE(stmt.ok());
+  auto q = BindQuery(*stmt.value(), db_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value()->root->predicates.size(), 2u);
+
+  QueryEngine engine(&db_);
+  auto r = engine.Run("select eno from emp where eno between 10 and 20");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows.size(), 11u);
+}
+
+TEST_F(SqlPredicateTest, InListResults) {
+  QueryEngine engine(&db_);
+  auto r = engine.Run("select eno from emp where eno in (3, 5, 900)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().rows.size(), 2u);
+}
+
+TEST_F(SqlPredicateTest, ReferenceEquality) {
+  CheckAllConfigs("select eno from emp where dno = 1 or dno = 3");
+  CheckAllConfigs(
+      "select eno, salary from emp where salary between 80 and 120 "
+      "order by salary");
+  CheckAllConfigs("select eno from emp where dno in (0, 2, 4) and age > 30");
+  CheckAllConfigs("select eno from emp where dno is null");
+  CheckAllConfigs("select eno from emp where dno is not null order by eno");
+  CheckAllConfigs(
+      "select dno, count(*) from emp where age > 25 or salary > 150 "
+      "group by dno");
+}
+
+TEST_F(SqlPredicateTest, AntiJoinViaIsNull) {
+  // Employees with no tasks: LEFT JOIN + IS NULL on the null side. The
+  // IS NULL must NOT convert the outer join to inner.
+  auto stmt = ParseSelect(
+      "select e.eno from emp e left join task t on e.eno = t.eno "
+      "where t.tno is null order by e.eno");
+  ASSERT_TRUE(stmt.ok());
+  auto q = BindQuery(*stmt.value(), db_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value()->root->outer_joins.size(), 1u);  // still outer
+
+  CheckAllConfigs(
+      "select e.eno from emp e left join task t on e.eno = t.eno "
+      "where t.tno is null order by e.eno");
+
+  // Sanity: the anti-join plus the semi side covers all employees.
+  QueryEngine engine(&db_);
+  auto anti = engine.Run(
+      "select e.eno from emp e left join task t on e.eno = t.eno "
+      "where t.tno is null");
+  auto semi = engine.Run(
+      "select distinct e.eno from emp e, task t where e.eno = t.eno");
+  ASSERT_TRUE(anti.ok());
+  ASSERT_TRUE(semi.ok());
+  EXPECT_EQ(anti.value().rows.size() + semi.value().rows.size(), 120u);
+}
+
+TEST_F(SqlPredicateTest, IsNotNullStillConvertsOuterJoin) {
+  // IS NOT NULL on the null side rejects padded rows: inner join.
+  auto stmt = ParseSelect(
+      "select e.eno from emp e left join task t on e.eno = t.eno "
+      "where t.tno is not null");
+  ASSERT_TRUE(stmt.ok());
+  auto q = BindQuery(*stmt.value(), db_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q.value()->root->outer_joins.empty());
+}
+
+TEST_F(SqlPredicateTest, OrOnNullSideBlocksConversion) {
+  auto stmt = ParseSelect(
+      "select e.eno from emp e left join task t on e.eno = t.eno "
+      "where t.hours > 5 or e.age > 30");
+  ASSERT_TRUE(stmt.ok());
+  auto q = BindQuery(*stmt.value(), db_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value()->root->outer_joins.size(), 1u);
+  CheckAllConfigs(
+      "select e.eno from emp e left join task t on e.eno = t.eno "
+      "where t.hours > 5 or e.age > 30");
+}
+
+TEST_F(SqlPredicateTest, NullLiteralInSelect) {
+  QueryEngine engine(&db_);
+  auto r = engine.Run("select eno, null from emp where eno = 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_TRUE(r.value().rows[0][1].is_null());
+}
+
+}  // namespace
+}  // namespace ordopt

@@ -1,0 +1,103 @@
+// Storage tests: table loading, clustered reordering, statistics, schema
+// helpers, and the database registry.
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace ordopt {
+namespace {
+
+TableDef SimpleDef(const std::string& name) {
+  TableDef def;
+  def.name = name;
+  def.columns = {{"k", DataType::kInt64},
+                 {"v", DataType::kString},
+                 {"d", DataType::kDouble}};
+  return def;
+}
+
+TEST(Schema, FindColumnCaseInsensitive) {
+  TableDef def = SimpleDef("t");
+  EXPECT_EQ(def.FindColumn("k"), 0);
+  EXPECT_EQ(def.FindColumn("V"), 1);
+  EXPECT_EQ(def.FindColumn("missing"), -1);
+}
+
+TEST(Schema, AddKeyAndIndexByName) {
+  TableDef def = SimpleDef("t");
+  def.AddUniqueKey({"k"});
+  def.AddIndex("t_vk", {"v", "k"}, /*unique=*/true);
+  ASSERT_EQ(def.unique_keys.size(), 1u);
+  EXPECT_EQ(def.unique_keys[0], (std::vector<int>{0}));
+  ASSERT_EQ(def.indexes.size(), 1u);
+  EXPECT_EQ(def.indexes[0].column_ordinals, (std::vector<int>{1, 0}));
+  EXPECT_TRUE(def.indexes[0].unique);
+}
+
+TEST(Table, AppendAndStats) {
+  Table t(SimpleDef("t"));
+  t.AppendRow({Value::Int(3), Value::Str("c"), Value::Double(0.5)});
+  t.AppendRow({Value::Int(1), Value::Str("a"), Value::Double(1.5)});
+  t.AppendRow({Value::Int(1), Value::Str("b"), Value::Double(2.5)});
+  ASSERT_TRUE(t.BuildIndexes().ok());
+  EXPECT_EQ(t.row_count(), 3);
+  EXPECT_EQ(t.def().stats.row_count, 3);
+  EXPECT_EQ(t.def().stats.distinct_counts[0], 2);  // {1, 3}
+  EXPECT_EQ(t.def().stats.distinct_counts[1], 3);
+  EXPECT_EQ(t.def().stats.min_values[0].AsInt(), 1);
+  EXPECT_EQ(t.def().stats.max_values[0].AsInt(), 3);
+}
+
+TEST(Table, ClusteredIndexReordersHeap) {
+  TableDef def = SimpleDef("t");
+  def.AddIndex("t_k", {"k"}, /*unique=*/false, /*clustered=*/true);
+  Table t(std::move(def));
+  t.AppendRow({Value::Int(5), Value::Str("e"), Value::Double(0)});
+  t.AppendRow({Value::Int(2), Value::Str("b"), Value::Double(0)});
+  t.AppendRow({Value::Int(9), Value::Str("i"), Value::Double(0)});
+  ASSERT_TRUE(t.BuildIndexes().ok());
+  EXPECT_EQ(t.row(0)[0].AsInt(), 2);
+  EXPECT_EQ(t.row(1)[0].AsInt(), 5);
+  EXPECT_EQ(t.row(2)[0].AsInt(), 9);
+  // Index rids agree with physical order.
+  const BTreeIndex* idx = t.index(0);
+  ASSERT_NE(idx, nullptr);
+  int64_t expect = 0;
+  for (auto c = idx->SeekFirst(); c.Valid(); c.Next()) {
+    EXPECT_EQ(c.rid(), expect++);
+  }
+}
+
+TEST(Table, TwoClusteredIndexesRejected) {
+  TableDef def = SimpleDef("t");
+  def.AddIndex("i1", {"k"}, false, true);
+  def.AddIndex("i2", {"v"}, false, true);
+  Table t(std::move(def));
+  t.AppendRow({Value::Int(1), Value::Str("a"), Value::Double(0)});
+  EXPECT_FALSE(t.BuildIndexes().ok());
+}
+
+TEST(Table, PageAccounting) {
+  Table t(SimpleDef("t"));
+  for (int i = 0; i < 200; ++i) {
+    t.AppendRow({Value::Int(i), Value::Str("x"), Value::Double(0)});
+  }
+  ASSERT_TRUE(t.BuildIndexes().ok());
+  EXPECT_EQ(t.page_count(), (200 + kRowsPerPage - 1) / kRowsPerPage);
+  EXPECT_EQ(t.PageOf(0), 0);
+  EXPECT_EQ(t.PageOf(kRowsPerPage), 1);
+}
+
+TEST(Database, RegistryAndDuplicates) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(SimpleDef("T1")).ok());
+  EXPECT_NE(db.GetTable("t1"), nullptr);   // case-insensitive
+  EXPECT_NE(db.GetTable("T1"), nullptr);
+  EXPECT_EQ(db.GetTable("t2"), nullptr);
+  EXPECT_EQ(db.CreateTable(SimpleDef("t1")).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace ordopt
