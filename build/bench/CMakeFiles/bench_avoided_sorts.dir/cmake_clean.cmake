@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_avoided_sorts.dir/bench_avoided_sorts.cpp.o"
+  "CMakeFiles/bench_avoided_sorts.dir/bench_avoided_sorts.cpp.o.d"
+  "bench_avoided_sorts"
+  "bench_avoided_sorts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_avoided_sorts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

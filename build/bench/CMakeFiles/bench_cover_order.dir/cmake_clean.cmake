@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cover_order.dir/bench_cover_order.cpp.o"
+  "CMakeFiles/bench_cover_order.dir/bench_cover_order.cpp.o.d"
+  "bench_cover_order"
+  "bench_cover_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cover_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

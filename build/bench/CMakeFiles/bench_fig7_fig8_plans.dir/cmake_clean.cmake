@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fig8_plans.dir/bench_fig7_fig8_plans.cpp.o"
+  "CMakeFiles/bench_fig7_fig8_plans.dir/bench_fig7_fig8_plans.cpp.o.d"
+  "bench_fig7_fig8_plans"
+  "bench_fig7_fig8_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fig8_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

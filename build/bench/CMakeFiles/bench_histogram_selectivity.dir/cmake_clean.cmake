@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_histogram_selectivity.dir/bench_histogram_selectivity.cpp.o"
+  "CMakeFiles/bench_histogram_selectivity.dir/bench_histogram_selectivity.cpp.o.d"
+  "bench_histogram_selectivity"
+  "bench_histogram_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_histogram_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_min_sort_columns.dir/bench_min_sort_columns.cpp.o"
+  "CMakeFiles/bench_min_sort_columns.dir/bench_min_sort_columns.cpp.o.d"
+  "bench_min_sort_columns"
+  "bench_min_sort_columns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_min_sort_columns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reduce_order.dir/bench_reduce_order.cpp.o"
+  "CMakeFiles/bench_reduce_order.dir/bench_reduce_order.cpp.o.d"
+  "bench_reduce_order"
+  "bench_reduce_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reduce_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

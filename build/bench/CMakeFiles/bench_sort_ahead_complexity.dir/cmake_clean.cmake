@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sort_ahead_complexity.dir/bench_sort_ahead_complexity.cpp.o"
+  "CMakeFiles/bench_sort_ahead_complexity.dir/bench_sort_ahead_complexity.cpp.o.d"
+  "bench_sort_ahead_complexity"
+  "bench_sort_ahead_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sort_ahead_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

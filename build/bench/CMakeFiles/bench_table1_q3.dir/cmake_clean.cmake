@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_q3.dir/bench_table1_q3.cpp.o"
+  "CMakeFiles/bench_table1_q3.dir/bench_table1_q3.cpp.o.d"
+  "bench_table1_q3"
+  "bench_table1_q3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_q3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_api.dir/order_api.cpp.o"
+  "CMakeFiles/order_api.dir/order_api.cpp.o.d"
+  "order_api"
+  "order_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

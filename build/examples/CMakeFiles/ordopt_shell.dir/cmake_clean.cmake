@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordopt_shell.dir/ordopt_shell.cpp.o"
+  "CMakeFiles/ordopt_shell.dir/ordopt_shell.cpp.o.d"
+  "ordopt_shell"
+  "ordopt_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordopt_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_ahead_tour.dir/sort_ahead_tour.cpp.o"
+  "CMakeFiles/sort_ahead_tour.dir/sort_ahead_tour.cpp.o.d"
+  "sort_ahead_tour"
+  "sort_ahead_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_ahead_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

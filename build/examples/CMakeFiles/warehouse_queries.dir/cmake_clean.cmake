@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_queries.dir/warehouse_queries.cpp.o"
+  "CMakeFiles/warehouse_queries.dir/warehouse_queries.cpp.o.d"
+  "warehouse_queries"
+  "warehouse_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/histogram.cc" "src/CMakeFiles/ordopt.dir/catalog/histogram.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/catalog/histogram.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/ordopt.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/ordopt.dir/common/status.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/ordopt.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/common/str_util.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/ordopt.dir/common/value.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/common/value.cc.o.d"
+  "/root/repo/src/exec/engine.cc" "src/CMakeFiles/ordopt.dir/exec/engine.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/exec/engine.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/ordopt.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/expr_eval.cc" "src/CMakeFiles/ordopt.dir/exec/expr_eval.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/exec/expr_eval.cc.o.d"
+  "/root/repo/src/exec/metrics.cc" "src/CMakeFiles/ordopt.dir/exec/metrics.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/exec/metrics.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/ordopt.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/exec/operators.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/ordopt.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/order_scan.cc" "src/CMakeFiles/ordopt.dir/optimizer/order_scan.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/optimizer/order_scan.cc.o.d"
+  "/root/repo/src/optimizer/plan.cc" "src/CMakeFiles/ordopt.dir/optimizer/plan.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/optimizer/plan.cc.o.d"
+  "/root/repo/src/optimizer/planner.cc" "src/CMakeFiles/ordopt.dir/optimizer/planner.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/optimizer/planner.cc.o.d"
+  "/root/repo/src/orderopt/equivalence.cc" "src/CMakeFiles/ordopt.dir/orderopt/equivalence.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/orderopt/equivalence.cc.o.d"
+  "/root/repo/src/orderopt/fd.cc" "src/CMakeFiles/ordopt.dir/orderopt/fd.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/orderopt/fd.cc.o.d"
+  "/root/repo/src/orderopt/general_order.cc" "src/CMakeFiles/ordopt.dir/orderopt/general_order.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/orderopt/general_order.cc.o.d"
+  "/root/repo/src/orderopt/key_property.cc" "src/CMakeFiles/ordopt.dir/orderopt/key_property.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/orderopt/key_property.cc.o.d"
+  "/root/repo/src/orderopt/operations.cc" "src/CMakeFiles/ordopt.dir/orderopt/operations.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/orderopt/operations.cc.o.d"
+  "/root/repo/src/orderopt/order_spec.cc" "src/CMakeFiles/ordopt.dir/orderopt/order_spec.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/orderopt/order_spec.cc.o.d"
+  "/root/repo/src/parser/ast.cc" "src/CMakeFiles/ordopt.dir/parser/ast.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/parser/ast.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/ordopt.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/parser/parser.cc.o.d"
+  "/root/repo/src/parser/token.cc" "src/CMakeFiles/ordopt.dir/parser/token.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/parser/token.cc.o.d"
+  "/root/repo/src/properties/stream_properties.cc" "src/CMakeFiles/ordopt.dir/properties/stream_properties.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/properties/stream_properties.cc.o.d"
+  "/root/repo/src/qgm/binder.cc" "src/CMakeFiles/ordopt.dir/qgm/binder.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/qgm/binder.cc.o.d"
+  "/root/repo/src/qgm/bound_expr.cc" "src/CMakeFiles/ordopt.dir/qgm/bound_expr.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/qgm/bound_expr.cc.o.d"
+  "/root/repo/src/qgm/predicate.cc" "src/CMakeFiles/ordopt.dir/qgm/predicate.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/qgm/predicate.cc.o.d"
+  "/root/repo/src/qgm/qgm.cc" "src/CMakeFiles/ordopt.dir/qgm/qgm.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/qgm/qgm.cc.o.d"
+  "/root/repo/src/qgm/rewrite.cc" "src/CMakeFiles/ordopt.dir/qgm/rewrite.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/qgm/rewrite.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/ordopt.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/csv_loader.cc" "src/CMakeFiles/ordopt.dir/storage/csv_loader.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/storage/csv_loader.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/ordopt.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/ordopt.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/storage/table.cc.o.d"
+  "/root/repo/src/tpcd/tpcd.cc" "src/CMakeFiles/ordopt.dir/tpcd/tpcd.cc.o" "gcc" "src/CMakeFiles/ordopt.dir/tpcd/tpcd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csv_loader.dir/test_csv_loader.cpp.o"
+  "CMakeFiles/test_csv_loader.dir/test_csv_loader.cpp.o.d"
+  "test_csv_loader"
+  "test_csv_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csv_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

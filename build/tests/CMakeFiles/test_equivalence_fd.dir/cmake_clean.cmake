@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equivalence_fd.dir/test_equivalence_fd.cpp.o"
+  "CMakeFiles/test_equivalence_fd.dir/test_equivalence_fd.cpp.o.d"
+  "test_equivalence_fd"
+  "test_equivalence_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equivalence_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_general_order.dir/test_general_order.cpp.o"
+  "CMakeFiles/test_general_order.dir/test_general_order.cpp.o.d"
+  "test_general_order"
+  "test_general_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_general_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_having_limit.dir/test_having_limit.cpp.o"
+  "CMakeFiles/test_having_limit.dir/test_having_limit.cpp.o.d"
+  "test_having_limit"
+  "test_having_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_having_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_in_subquery.dir/test_in_subquery.cpp.o"
+  "CMakeFiles/test_in_subquery.dir/test_in_subquery.cpp.o.d"
+  "test_in_subquery"
+  "test_in_subquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_in_subquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_key_property.dir/test_key_property.cpp.o"
+  "CMakeFiles/test_key_property.dir/test_key_property.cpp.o.d"
+  "test_key_property"
+  "test_key_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_key_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

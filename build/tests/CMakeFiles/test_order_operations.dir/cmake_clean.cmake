@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_order_operations.dir/test_order_operations.cpp.o"
+  "CMakeFiles/test_order_operations.dir/test_order_operations.cpp.o.d"
+  "test_order_operations"
+  "test_order_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_order_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

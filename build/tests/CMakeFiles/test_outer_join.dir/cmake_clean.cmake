@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_outer_join.dir/test_outer_join.cpp.o"
+  "CMakeFiles/test_outer_join.dir/test_outer_join.cpp.o.d"
+  "test_outer_join"
+  "test_outer_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_outer_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

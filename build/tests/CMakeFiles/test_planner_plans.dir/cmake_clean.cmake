@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_planner_plans.dir/test_planner_plans.cpp.o"
+  "CMakeFiles/test_planner_plans.dir/test_planner_plans.cpp.o.d"
+  "test_planner_plans"
+  "test_planner_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_planner_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

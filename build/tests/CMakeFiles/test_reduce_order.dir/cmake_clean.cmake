@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reduce_order.dir/test_reduce_order.cpp.o"
+  "CMakeFiles/test_reduce_order.dir/test_reduce_order.cpp.o.d"
+  "test_reduce_order"
+  "test_reduce_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reduce_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

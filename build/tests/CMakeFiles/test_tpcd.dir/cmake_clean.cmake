@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tpcd.dir/test_tpcd.cpp.o"
+  "CMakeFiles/test_tpcd.dir/test_tpcd.cpp.o.d"
+  "test_tpcd"
+  "test_tpcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tpcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

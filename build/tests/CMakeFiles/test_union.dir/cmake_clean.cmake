@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_union.dir/test_union.cpp.o"
+  "CMakeFiles/test_union.dir/test_union.cpp.o.d"
+  "test_union"
+  "test_union.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_union.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
