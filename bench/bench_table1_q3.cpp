@@ -9,7 +9,12 @@
 // aggregation — DB2/CS had neither in 1996); a supplementary run with hash
 // operators enabled shows the modern trade-off.
 //
-// Usage: bench_table1_q3 [--sf=0.02] [--runs=5]
+// Usage: bench_table1_q3 [--sf=0.02] [--runs=5] [--guard-overhead]
+//
+// --guard-overhead instead measures the wall-clock cost of the execution
+// guardrails on Q3: unlimited QueryLimits (every limit check short-
+// circuits) vs generous finite limits (every per-row check is live but
+// never trips). The delta is the price of the safety net.
 
 #include <cstdio>
 #include <cstring>
@@ -54,16 +59,63 @@ ModeResult RunMode(Database* db, bool order_opt, bool hash_ops, int runs) {
   return out;
 }
 
+double RunGuardMode(Database* db, QueryLimits limits, int runs) {
+  OptimizerConfig cfg;
+  cfg.enable_order_optimization = true;
+  cfg.enable_hash_join = false;
+  cfg.enable_hash_grouping = false;
+  cfg.limits = limits;
+  QueryEngine engine(db, cfg);
+  double wall = 0;
+  for (int i = 0; i < runs; ++i) {
+    Result<QueryResult> r = engine.Run(tpcd_queries::kQuery3);
+    if (!r.ok()) {
+      std::fprintf(stderr, "Q3 failed: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+    wall += r.value().elapsed_seconds;
+  }
+  return wall / runs;
+}
+
+int GuardOverhead(Database* db, int runs) {
+  QueryLimits generous;
+  generous.deadline_seconds = 3600.0;
+  generous.max_rows_scanned = int64_t{1} << 40;
+  generous.max_rows_produced = int64_t{1} << 40;
+  generous.max_buffered_rows = int64_t{1} << 40;
+  generous.max_buffered_bytes = int64_t{1} << 50;
+
+  // Warm-up, then interleave to keep cache/frequency drift symmetric.
+  RunGuardMode(db, QueryLimits{}, 1);
+  double unlimited = 0, guarded = 0;
+  for (int i = 0; i < 3; ++i) {
+    unlimited += RunGuardMode(db, QueryLimits{}, runs);
+    guarded += RunGuardMode(db, generous, runs);
+  }
+  unlimited /= 3;
+  guarded /= 3;
+  double pct = (guarded - unlimited) / unlimited * 100.0;
+  std::printf("--- guardrail overhead on Q3 (wall clock, %d runs x3) ---\n",
+              runs);
+  std::printf("unlimited limits:       %.4fs\n", unlimited);
+  std::printf("generous finite limits: %.4fs\n", guarded);
+  std::printf("overhead: %+.2f%%   [target: < 2%%]\n", pct);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double sf = 0.02;
   int runs = 5;
+  bool guard_overhead = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--sf=", 5) == 0) sf = std::atof(argv[i] + 5);
     if (std::strncmp(argv[i], "--runs=", 7) == 0) {
       runs = std::atoi(argv[i] + 7);
     }
+    if (std::strcmp(argv[i], "--guard-overhead") == 0) guard_overhead = true;
   }
 
   std::printf("=== Table 1: Elapsed Time for Query 3 (TPC-D, SF=%.3f, "
@@ -81,6 +133,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(db.GetTable("customer")->row_count()),
               static_cast<long long>(db.GetTable("orders")->row_count()),
               static_cast<long long>(db.GetTable("lineitem")->row_count()));
+
+  if (guard_overhead) return GuardOverhead(&db, runs);
 
   // DB2/CS engine profile: the paper's configuration.
   ModeResult prod = RunMode(&db, /*order_opt=*/true, /*hash=*/false, runs);

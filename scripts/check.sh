@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build and test both configurations.
+#
+#   default    RelWithDebInfo, the configuration benches run under
+#   asan-ubsan Debug with -fsanitize=address,undefined; any guardrail or
+#              fault-injection path that still aborts, leaks, or trips UB
+#              fails here
+#
+# Usage: scripts/check.sh [jobs]   (default: nproc)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+for preset in default asan-ubsan; do
+  echo "==> configure [$preset]"
+  cmake --preset "$preset" >/dev/null
+  echo "==> build [$preset]"
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "==> test [$preset]"
+  ctest --preset "$preset" -j "$JOBS"
+done
+
+echo "OK: both configurations build and pass."

@@ -1,0 +1,149 @@
+#include "common/fault_injection.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace ordopt {
+
+namespace {
+
+// Splits on ',' with empty pieces dropped (tolerates trailing commas).
+std::vector<std::string> SplitSpec(const std::string& spec, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : spec) {
+    if (c == sep) {
+      if (!current.empty()) out.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+bool ParseCount(const std::string& text, int64_t* out) {
+  if (text == "*") {
+    *out = -1;
+    return true;
+  }
+  if (text.empty()) return false;
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() {
+  const char* env = std::getenv("ORDOPT_FAULTS");
+  if (env != nullptr && env[0] != '\0') {
+    Status st = ArmFromSpec(env);
+    if (!st.ok()) {
+      std::fprintf(stderr, "ordopt: ignoring ORDOPT_FAULTS: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& site, int64_t fire_after,
+                        int64_t fire_count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  state.fire_after = fire_after;
+  state.fire_count = fire_count;
+  state.hits = 0;
+  state.fired = 0;
+  armed_sites_.store(static_cast<int>(sites_.size()),
+                     std::memory_order_relaxed);
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  // Validate the whole spec before arming anything.
+  struct Parsed {
+    std::string site;
+    int64_t fire_after;
+    int64_t fire_count;
+  };
+  std::vector<Parsed> parsed;
+  for (const std::string& arm : SplitSpec(spec, ',')) {
+    std::vector<std::string> parts = SplitSpec(arm, ':');
+    if (parts.size() < 2 || parts.size() > 3) {
+      return Status::InvalidArgument(
+          "fault spec '" + arm + "' is not site:fire_after[:fire_count]");
+    }
+    Parsed p;
+    p.site = parts[0];
+    if (!ParseCount(parts[1], &p.fire_after) || p.fire_after < 0) {
+      return Status::InvalidArgument("fault spec '" + arm +
+                                     "': bad fire_after '" + parts[1] + "'");
+    }
+    p.fire_count = 1;
+    if (parts.size() == 3 &&
+        (!ParseCount(parts[2], &p.fire_count) ||
+         (p.fire_count < 0 && p.fire_count != -1))) {
+      return Status::InvalidArgument("fault spec '" + arm +
+                                     "': bad fire_count '" + parts[2] + "'");
+    }
+    parsed.push_back(std::move(p));
+  }
+  if (parsed.empty()) {
+    return Status::InvalidArgument("empty fault spec");
+  }
+  for (const Parsed& p : parsed) Arm(p.site, p.fire_after, p.fire_count);
+  return Status::OK();
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.erase(site);
+  armed_sites_.store(static_cast<int>(sites_.size()),
+                     std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  armed_sites_.store(0, std::memory_order_relaxed);
+}
+
+Status FaultInjector::Check(const char* site) {
+  if (!enabled()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return Status::OK();
+  SiteState& state = it->second;
+  ++state.hits;
+  if (state.hits <= state.fire_after) return Status::OK();
+  if (state.fire_count >= 0 && state.fired >= state.fire_count) {
+    return Status::OK();
+  }
+  ++state.fired;
+  return Status::Internal(StrFormat("injected fault at %s (hit %lld)", site,
+                                    static_cast<long long>(state.hits)));
+}
+
+int64_t FaultInjector::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+int64_t FaultInjector::FireCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+}  // namespace ordopt

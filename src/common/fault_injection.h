@@ -1,0 +1,98 @@
+#ifndef ORDOPT_COMMON_FAULT_INJECTION_H_
+#define ORDOPT_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace ordopt {
+
+/// Deterministic fault-injection registry. Code sprinkles named probe
+/// sites on fallible paths (storage reads, CSV rows, sort spills, executor
+/// steps, planner allocation); tests or operators arm a site so its N-th
+/// hit fails with a clean Status instead of relying on real hardware
+/// faults. Nothing fires unless a site is armed, and the disarmed fast
+/// path is a single relaxed atomic load, so probes are safe on hot paths.
+///
+/// Sites currently probed:
+///   storage.btree.read   B+-tree seek on index scans and index NL probes
+///   storage.csv.row      per-row CSV ingestion
+///   exec.sort.spill      Sort operator run formation (any sort)
+///   exec.operator.next   every row pulled from the plan root
+///   planner.alloc        plan-node construction per QGM box
+///
+/// Arming is programmatic (Arm/ArmFromSpec) or via the ORDOPT_FAULTS
+/// environment variable, read once at first use. Spec grammar:
+///
+///   spec       := arm (',' arm)*
+///   arm        := site ':' fire_after [':' fire_count]
+///   fire_after := non-negative integer; the site passes this many hits,
+///                 then starts firing (0 = fire on the first hit)
+///   fire_count := hits that fail once firing starts (default 1;
+///                 -1 or '*' = every subsequent hit fails)
+///
+/// e.g. ORDOPT_FAULTS="storage.btree.read:2,exec.operator.next:0:*".
+class FaultInjector {
+ public:
+  /// Process-wide registry. ORDOPT_FAULTS is applied on first call.
+  static FaultInjector& Global();
+
+  /// Arms `site`: passes `fire_after` hits, then fails `fire_count` hits
+  /// (-1 = forever). Re-arming resets the site's hit counters.
+  void Arm(const std::string& site, int64_t fire_after,
+           int64_t fire_count = 1);
+
+  /// Parses and applies the spec grammar above. On a malformed spec no
+  /// site is armed and an InvalidArgument status describes the problem.
+  Status ArmFromSpec(const std::string& spec);
+
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// True when at least one site is armed (probe fast-path gate).
+  bool enabled() const {
+    return armed_sites_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Probe: records a hit on `site` and returns the injected failure when
+  /// the site fires, OK otherwise. Cheap no-op while nothing is armed.
+  Status Check(const char* site);
+
+  /// Hits recorded on an armed site (0 for unarmed/unknown sites).
+  int64_t HitCount(const std::string& site) const;
+  /// Times the site has fired.
+  int64_t FireCount(const std::string& site) const;
+
+ private:
+  struct SiteState {
+    int64_t fire_after = 0;
+    int64_t fire_count = 1;  // -1 = unlimited
+    int64_t hits = 0;
+    int64_t fired = 0;
+  };
+
+  FaultInjector();
+
+  mutable std::mutex mu_;
+  std::atomic<int> armed_sites_{0};
+  std::unordered_map<std::string, SiteState> sites_;
+};
+
+/// Probe for Status-returning code: returns the injected fault from the
+/// enclosing function when `site` fires.
+#define ORDOPT_FAULT_POINT(site)                                           \
+  do {                                                                     \
+    if (::ordopt::FaultInjector::Global().enabled()) {                     \
+      ::ordopt::Status _ordopt_fault =                                     \
+          ::ordopt::FaultInjector::Global().Check(site);                   \
+      if (!_ordopt_fault.ok()) return _ordopt_fault;                       \
+    }                                                                      \
+  } while (0)
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_COMMON_FAULT_INJECTION_H_

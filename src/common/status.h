@@ -19,6 +19,9 @@ enum class StatusCode {
   kAlreadyExists,     ///< catalog object duplicated
   kUnsupported,       ///< valid SQL outside the implemented subset
   kInternal,          ///< invariant violation reported without aborting
+  kResourceExhausted, ///< a configured resource limit was exceeded
+  kCancelled,         ///< execution stopped by a cancellation request
+  kTimeout,           ///< execution exceeded its wall-clock deadline
 };
 
 /// Lightweight error-or-success value, RocksDB/Arrow style.
@@ -50,6 +53,15 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status Timeout(std::string m) {
+    return Status(StatusCode::kTimeout, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -7,8 +7,8 @@
 
 namespace ordopt {
 
-Result<QueryResult> QueryEngine::Prepare(const std::string& sql,
-                                         bool execute) {
+Result<QueryResult> QueryEngine::Prepare(const std::string& sql, bool execute,
+                                         QueryGuard* guard) {
   ORDOPT_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelect(sql));
   ORDOPT_ASSIGN_OR_RETURN(std::unique_ptr<Query> query,
                           BindQuery(*stmt, *db_));
@@ -27,21 +27,35 @@ Result<QueryResult> QueryEngine::Prepare(const std::string& sql,
   }
 
   if (execute) {
+    // Queries run under the engine's configured limits unless the caller
+    // supplied a guard of their own.
+    QueryGuard config_guard(config_.limits);
+    if (guard == nullptr) guard = &config_guard;
     auto start = std::chrono::steady_clock::now();
-    ORDOPT_ASSIGN_OR_RETURN(result.rows, ExecutePlan(plan, &result.metrics));
+    Result<std::vector<Row>> rows = ExecutePlan(plan, &result.metrics, guard);
     auto end = std::chrono::steady_clock::now();
     result.elapsed_seconds =
         std::chrono::duration<double>(end - start).count();
+    // Keep consumed-vs-limit visible even when the query failed: a
+    // Result<QueryResult> error drops the metrics it carried.
+    last_metrics_ = result.metrics;
+    ORDOPT_RETURN_NOT_OK(rows.status());
+    result.rows = std::move(rows).value();
   }
   return result;
 }
 
 Result<QueryResult> QueryEngine::Explain(const std::string& sql) {
-  return Prepare(sql, /*execute=*/false);
+  return Prepare(sql, /*execute=*/false, /*guard=*/nullptr);
 }
 
 Result<QueryResult> QueryEngine::Run(const std::string& sql) {
-  return Prepare(sql, /*execute=*/true);
+  return Prepare(sql, /*execute=*/true, /*guard=*/nullptr);
+}
+
+Result<QueryResult> QueryEngine::Run(const std::string& sql,
+                                     QueryGuard* guard) {
+  return Prepare(sql, /*execute=*/true, guard);
 }
 
 }  // namespace ordopt

@@ -47,14 +47,28 @@ class QueryEngine {
   /// Plans `sql` without executing (fills everything but rows/metrics).
   Result<QueryResult> Explain(const std::string& sql);
 
-  /// Plans and executes `sql`.
+  /// Plans and executes `sql` under `config().limits` (unlimited when the
+  /// config sets none).
   Result<QueryResult> Run(const std::string& sql);
 
+  /// Plans and executes `sql` under a caller-owned guard, e.g. to cancel
+  /// from another thread or to reuse one set of limits across queries.
+  /// `guard` must outlive the call; the caller is responsible for arming
+  /// semantics (Run re-arms it so the deadline clock starts at execution).
+  Result<QueryResult> Run(const std::string& sql, QueryGuard* guard);
+
+  /// Metrics of the most recent Run, populated even when the query failed —
+  /// a tripped guardrail reports consumed-vs-limit here (e.g.
+  /// rows_scanned against limits().max_rows_scanned).
+  const RuntimeMetrics& last_metrics() const { return last_metrics_; }
+
  private:
-  Result<QueryResult> Prepare(const std::string& sql, bool execute);
+  Result<QueryResult> Prepare(const std::string& sql, bool execute,
+                              QueryGuard* guard);
 
   Database* db_;
   OptimizerConfig config_;
+  RuntimeMetrics last_metrics_;
 };
 
 }  // namespace ordopt

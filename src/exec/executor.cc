@@ -1,83 +1,102 @@
 #include "exec/executor.h"
 
+#include "common/fault_injection.h"
 #include "common/str_util.h"
 
 namespace ordopt {
 
-Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan,
-                                      RuntimeMetrics* metrics) {
+Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan, ExecContext ctx) {
   std::vector<OperatorPtr> children;
   for (const PlanRef& child : plan->children) {
-    ORDOPT_ASSIGN_OR_RETURN(OperatorPtr op, BuildOperatorTree(child, metrics));
+    ORDOPT_ASSIGN_OR_RETURN(OperatorPtr op, BuildOperatorTree(child, ctx));
     children.push_back(std::move(op));
   }
 
+  OperatorPtr built;
   switch (plan->kind) {
     case OpKind::kTableScan:
-      return OperatorPtr(
-          new TableScanOp(*plan->table, plan->table_id, metrics));
+      built = OperatorPtr(new TableScanOp(*plan->table, plan->table_id, ctx));
+      break;
     case OpKind::kIndexScan:
-      return OperatorPtr(new IndexScanOp(*plan->table, plan->table_id,
-                                         plan->index_ordinal,
-                                         plan->reverse_scan,
-                                         plan->range_predicates, metrics));
+      built = OperatorPtr(new IndexScanOp(*plan->table, plan->table_id,
+                                          plan->index_ordinal,
+                                          plan->reverse_scan,
+                                          plan->range_predicates, ctx));
+      break;
     case OpKind::kFilter:
-      return OperatorPtr(
-          new FilterOp(std::move(children[0]), plan->predicates));
+      built = OperatorPtr(
+          new FilterOp(std::move(children[0]), plan->predicates, ctx));
+      break;
     case OpKind::kSort:
-      return OperatorPtr(
-          new SortOp(std::move(children[0]), plan->sort_spec, metrics));
+      built = OperatorPtr(
+          new SortOp(std::move(children[0]), plan->sort_spec, ctx));
+      break;
     case OpKind::kMergeJoin:
-      return OperatorPtr(new MergeJoinOp(std::move(children[0]),
-                                         std::move(children[1]),
-                                         plan->join_pairs, metrics));
+      built = OperatorPtr(new MergeJoinOp(std::move(children[0]),
+                                          std::move(children[1]),
+                                          plan->join_pairs, ctx));
+      break;
     case OpKind::kIndexNLJoin:
-      return OperatorPtr(new IndexNLJoinOp(std::move(children[0]),
-                                           *plan->table, plan->table_id,
-                                           plan->index_ordinal,
-                                           plan->join_pairs, metrics));
+      built = OperatorPtr(new IndexNLJoinOp(std::move(children[0]),
+                                            *plan->table, plan->table_id,
+                                            plan->index_ordinal,
+                                            plan->join_pairs, ctx));
+      break;
     case OpKind::kNaiveNLJoin:
-      return OperatorPtr(
-          new NaiveNLJoinOp(std::move(children[0]), std::move(children[1])));
+      built = OperatorPtr(new NaiveNLJoinOp(std::move(children[0]),
+                                            std::move(children[1]), ctx));
+      break;
     case OpKind::kHashJoin:
-      return OperatorPtr(new HashJoinOp(std::move(children[0]),
-                                        std::move(children[1]),
-                                        plan->join_pairs));
+      built = OperatorPtr(new HashJoinOp(std::move(children[0]),
+                                         std::move(children[1]),
+                                         plan->join_pairs, ctx));
+      break;
     case OpKind::kMergeLeftJoin:
-      return OperatorPtr(new MergeLeftJoinOp(std::move(children[0]),
-                                             std::move(children[1]),
-                                             plan->join_pairs, metrics));
+      built = OperatorPtr(new MergeLeftJoinOp(std::move(children[0]),
+                                              std::move(children[1]),
+                                              plan->join_pairs, ctx));
+      break;
     case OpKind::kHashLeftJoin:
-      return OperatorPtr(new HashLeftJoinOp(std::move(children[0]),
-                                            std::move(children[1]),
-                                            plan->join_pairs));
-    case OpKind::kNaiveLeftJoin:
-      return OperatorPtr(new NaiveLeftJoinOp(std::move(children[0]),
+      built = OperatorPtr(new HashLeftJoinOp(std::move(children[0]),
                                              std::move(children[1]),
-                                             plan->predicates));
+                                             plan->join_pairs, ctx));
+      break;
+    case OpKind::kNaiveLeftJoin:
+      built = OperatorPtr(new NaiveLeftJoinOp(std::move(children[0]),
+                                              std::move(children[1]),
+                                              plan->predicates, ctx));
+      break;
     case OpKind::kStreamGroupBy:
     case OpKind::kSortGroupBy:
-      return OperatorPtr(new StreamGroupByOp(std::move(children[0]),
-                                             plan->group_columns,
-                                             plan->aggregates, metrics));
+      built = OperatorPtr(new StreamGroupByOp(std::move(children[0]),
+                                              plan->group_columns,
+                                              plan->aggregates, ctx));
+      break;
     case OpKind::kHashGroupBy:
-      return OperatorPtr(new HashGroupByOp(std::move(children[0]),
-                                           plan->group_columns,
-                                           plan->aggregates, metrics));
+      built = OperatorPtr(new HashGroupByOp(std::move(children[0]),
+                                            plan->group_columns,
+                                            plan->aggregates, ctx));
+      break;
     case OpKind::kStreamDistinct:
-      return OperatorPtr(new StreamDistinctOp(std::move(children[0]),
-                                              plan->distinct_columns));
+      built = OperatorPtr(new StreamDistinctOp(std::move(children[0]),
+                                               plan->distinct_columns, ctx));
+      break;
     case OpKind::kHashDistinct:
-      return OperatorPtr(new HashDistinctOp(std::move(children[0]),
-                                            plan->distinct_columns));
+      built = OperatorPtr(new HashDistinctOp(std::move(children[0]),
+                                             plan->distinct_columns, ctx));
+      break;
     case OpKind::kProject:
-      return OperatorPtr(
-          new ProjectOp(std::move(children[0]), plan->projections));
+      built = OperatorPtr(
+          new ProjectOp(std::move(children[0]), plan->projections, ctx));
+      break;
     case OpKind::kLimit:
-      return OperatorPtr(new LimitOp(std::move(children[0]), plan->limit));
+      built = OperatorPtr(
+          new LimitOp(std::move(children[0]), plan->limit, ctx));
+      break;
     case OpKind::kTopN:
-      return OperatorPtr(new TopNOp(std::move(children[0]), plan->sort_spec,
-                                    plan->limit, metrics));
+      built = OperatorPtr(new TopNOp(std::move(children[0]), plan->sort_spec,
+                                     plan->limit, ctx));
+      break;
     case OpKind::kUnionAll:
     case OpKind::kMergeUnion: {
       std::vector<ColumnId> layout;
@@ -85,28 +104,54 @@ Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan,
         layout.push_back(oc.id);
       }
       if (plan->kind == OpKind::kUnionAll) {
-        return OperatorPtr(
-            new UnionAllOp(std::move(children), std::move(layout)));
+        built = OperatorPtr(
+            new UnionAllOp(std::move(children), std::move(layout), ctx));
+      } else {
+        built = OperatorPtr(
+            new MergeUnionOp(std::move(children), std::move(layout), ctx));
       }
-      return OperatorPtr(new MergeUnionOp(std::move(children),
-                                          std::move(layout), metrics));
+      break;
     }
   }
-  return Status::Internal(
-      StrFormat("unknown operator kind %d", static_cast<int>(plan->kind)));
+  if (built == nullptr) {
+    return Status::Internal(
+        StrFormat("unknown operator kind %d", static_cast<int>(plan->kind)));
+  }
+  // Constructors report planner bugs (e.g. a column missing from a child
+  // layout) by poisoning the guard; surface them before the tree can run.
+  if (ctx.guard != nullptr && !ctx.guard->ok()) {
+    return ctx.guard->status();
+  }
+  return built;
 }
 
 Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
-                                     RuntimeMetrics* metrics) {
-  ORDOPT_ASSIGN_OR_RETURN(OperatorPtr root, BuildOperatorTree(plan, metrics));
+                                     RuntimeMetrics* metrics,
+                                     QueryGuard* guard) {
+  // An unlimited local guard keeps the error channel available (poison,
+  // fault injection) even for callers that configured no limits.
+  QueryGuard local_guard;
+  if (guard == nullptr) guard = &local_guard;
+  guard->Arm();
+
+  ExecContext ctx(metrics, guard);
+  ORDOPT_ASSIGN_OR_RETURN(OperatorPtr root, BuildOperatorTree(plan, ctx));
   root->Open();
   std::vector<Row> rows;
   Row row;
-  while (root->Next(&row)) {
-    rows.push_back(std::move(row));
+  while (guard->ok()) {
+    if (ctx.InjectFault("exec.operator.next")) break;
+    if (!root->Next(&row)) break;
     ++metrics->rows_produced;
+    if (!guard->OnRowProduced()) break;
+    rows.push_back(std::move(row));
   }
   root->Close();
+  // A query that finished under the periodic check interval still honors a
+  // tiny deadline or a pending cancellation.
+  guard->ForceCheck();
+  guard->ReportTo(metrics);
+  if (!guard->ok()) return guard->status();
   return rows;
 }
 

@@ -7,19 +7,24 @@
 #include "common/status.h"
 #include "exec/metrics.h"
 #include "exec/operators.h"
+#include "exec/query_guard.h"
 #include "optimizer/plan.h"
 
 namespace ordopt {
 
-/// Instantiates the Volcano operator tree for a physical plan. `metrics`
-/// must outlive the returned operator.
-Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan,
-                                      RuntimeMetrics* metrics);
+/// Instantiates the Volcano operator tree for a physical plan. The metrics
+/// and guard in `ctx` must outlive the returned operator. A plan whose
+/// construction poisons the guard (planner bug surfaced at build time)
+/// returns the poisoned Status instead of an operator.
+Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan, ExecContext ctx);
 
 /// Convenience: builds, opens, drains, and closes the plan, returning every
-/// produced row.
+/// produced row. When `guard` is non-null its limits are enforced during the
+/// drain and a tripped guard's Status is returned (with consumption peaks
+/// already merged into `metrics`); a null guard executes unlimited.
 Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
-                                     RuntimeMetrics* metrics);
+                                     RuntimeMetrics* metrics,
+                                     QueryGuard* guard = nullptr);
 
 }  // namespace ordopt
 

@@ -1,10 +1,14 @@
 #include "exec/expr_eval.h"
 
 #include "common/macros.h"
+#include "common/str_util.h"
+#include "exec/query_guard.h"
 
 namespace ordopt {
 
-ExprEvaluator::ExprEvaluator(const std::vector<ColumnId>& layout) {
+ExprEvaluator::ExprEvaluator(const std::vector<ColumnId>& layout,
+                             QueryGuard* guard)
+    : guard_(guard) {
   for (size_t i = 0; i < layout.size(); ++i) {
     positions_.emplace(layout[i], static_cast<int>(i));
   }
@@ -89,8 +93,16 @@ Value ExprEvaluator::Eval(const BoundExpr& expr, const Row& row) const {
       return expr.literal();
     case BoundExpr::Kind::kColumn: {
       int pos = PositionOf(expr.column());
-      ORDOPT_CHECK_MSG(pos >= 0, "column %s not in row layout",
-                       DefaultColumnName(expr.column()).c_str());
+      if (pos < 0) {
+        if (guard_ != nullptr) {
+          guard_->Poison(Status::Internal(
+              StrFormat("column %s not in row layout",
+                        DefaultColumnName(expr.column()).c_str())));
+          return Value::Null();
+        }
+        ORDOPT_CHECK_MSG(false, "column %s not in row layout",
+                         DefaultColumnName(expr.column()).c_str());
+      }
       return row[static_cast<size_t>(pos)];
     }
     case BoundExpr::Kind::kBinary: {

@@ -10,14 +10,21 @@
 
 namespace ordopt {
 
+class QueryGuard;
+
 /// Maps a stream's row layout (a ColumnId per position) to positions and
 /// evaluates bound expressions against rows of that layout.
 ///
 /// SQL three-valued logic is folded to two: a NULL comparison result is
 /// "not satisfied", matching WHERE semantics.
+///
+/// When constructed with a guard, a reference to a column missing from the
+/// layout (a planner bug) poisons the guard and evaluates to NULL instead
+/// of aborting the process.
 class ExprEvaluator {
  public:
-  explicit ExprEvaluator(const std::vector<ColumnId>& layout);
+  explicit ExprEvaluator(const std::vector<ColumnId>& layout,
+                         QueryGuard* guard = nullptr);
 
   /// Position of `col` in the layout; -1 when absent.
   int PositionOf(const ColumnId& col) const;
@@ -31,6 +38,7 @@ class ExprEvaluator {
 
  private:
   std::unordered_map<ColumnId, int, ColumnIdHash> positions_;
+  QueryGuard* guard_ = nullptr;
 };
 
 /// Arithmetic/comparison on two Values with NULL propagation; used by both

@@ -7,7 +7,8 @@ namespace ordopt {
 std::string RuntimeMetrics::ToString() const {
   return StrFormat(
       "rows=%lld scanned=%lld cmp=%lld seq_pages=%lld rand_pages=%lld "
-      "probes=%lld sorts=%lld rows_sorted=%lld sim_io=%.3fs",
+      "probes=%lld sorts=%lld rows_sorted=%lld buf_rows_peak=%lld "
+      "buf_bytes_peak=%lld sim_io=%.3fs",
       static_cast<long long>(rows_produced),
       static_cast<long long>(rows_scanned),
       static_cast<long long>(comparisons),
@@ -15,7 +16,9 @@ std::string RuntimeMetrics::ToString() const {
       static_cast<long long>(random_pages),
       static_cast<long long>(index_probes),
       static_cast<long long>(sorts_performed),
-      static_cast<long long>(rows_sorted), SimulatedIoSeconds());
+      static_cast<long long>(rows_sorted),
+      static_cast<long long>(rows_buffered_peak),
+      static_cast<long long>(bytes_buffered_peak), SimulatedIoSeconds());
 }
 
 }  // namespace ordopt

@@ -22,6 +22,12 @@ struct RuntimeMetrics {
   int64_t index_probes = 0;    ///< nested-loop index probes
   int64_t sorts_performed = 0; ///< Sort operators that ran
   int64_t rows_sorted = 0;     ///< total rows passed through sorts
+  /// Guardrail consumption high-water marks (filled by the QueryGuard so
+  /// callers can compare consumption against configured limits even when
+  /// the query tripped): peak rows / approximate bytes held at once in
+  /// blocking operators (sorts, hash builds, materialized inners).
+  int64_t rows_buffered_peak = 0;
+  int64_t bytes_buffered_peak = 0;
 
   /// Simulated I/O time with 1996-style disk parameters: a random page
   /// pays a seek (~8 ms); sequential pages stream with big-block prefetch

@@ -3,20 +3,29 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "common/str_util.h"
 
 namespace ordopt {
 
 namespace {
 
-// Positions of `cols` within `layout`; aborts on a miss (planner bug).
+// Positions of `cols` within `layout`. A miss is a planner bug: with a
+// guard the query degrades to Status::Internal (the poisoned tree is
+// discarded by BuildOperatorTree before it can run); without one the
+// historical abort stands.
 std::vector<int> PositionsOf(const std::vector<ColumnId>& cols,
-                             const std::vector<ColumnId>& layout) {
+                             const std::vector<ColumnId>& layout,
+                             const ExecContext& ctx) {
   ExprEvaluator eval(layout);
   std::vector<int> out;
   for (const ColumnId& c : cols) {
     int pos = eval.PositionOf(c);
-    ORDOPT_CHECK_MSG(pos >= 0, "column %s missing from layout",
-                     DefaultColumnName(c).c_str());
+    if (pos < 0) {
+      ctx.Poison(Status::Internal(
+          StrFormat("column %s missing from operator layout",
+                    DefaultColumnName(c).c_str())));
+      pos = 0;  // placeholder; the poisoned tree never executes
+    }
     out.push_back(pos);
   }
   return out;
@@ -36,9 +45,8 @@ std::vector<ColumnId> TableLayout(const Table& table, int table_id) {
 // TableScanOp
 // ---------------------------------------------------------------------------
 
-TableScanOp::TableScanOp(const Table& table, int table_id,
-                         RuntimeMetrics* metrics)
-    : table_(table), metrics_(metrics), pages_(metrics, kRowsPerPage) {
+TableScanOp::TableScanOp(const Table& table, int table_id, ExecContext ctx)
+    : Operator(ctx), table_(table), pages_(ctx.metrics, kRowsPerPage) {
   layout_ = TableLayout(table, table_id);
 }
 
@@ -47,7 +55,8 @@ void TableScanOp::Open() { rid_ = 0; }
 bool TableScanOp::Next(Row* out) {
   if (rid_ >= table_.row_count()) return false;
   pages_.Access(rid_);
-  ++metrics_->rows_scanned;
+  ++ctx_.metrics->rows_scanned;
+  if (!ctx_.OnRowScanned()) return false;
   *out = table_.row(rid_);
   ++rid_;
   return true;
@@ -59,22 +68,31 @@ bool TableScanOp::Next(Row* out) {
 
 IndexScanOp::IndexScanOp(const Table& table, int table_id, int index_ordinal,
                          bool reverse, std::vector<Predicate> range_predicates,
-                         RuntimeMetrics* metrics)
-    : table_(table),
+                         ExecContext ctx)
+    : Operator(ctx),
+      table_(table),
       index_ordinal_(index_ordinal),
       reverse_(reverse),
       range_predicates_(std::move(range_predicates)),
-      metrics_(metrics),
-      pages_(metrics, kRowsPerPage) {
+      pages_(ctx.metrics, kRowsPerPage) {
   layout_ = TableLayout(table, table_id);
-  ORDOPT_CHECK_MSG(!reverse_ || range_predicates_.empty(),
-                   "reverse index scans do not support range bounds");
+  if (reverse_ && !range_predicates_.empty()) {
+    ctx_.Poison(Status::Internal(
+        "reverse index scans do not support range bounds"));
+  }
 }
 
 void IndexScanOp::Open() {
+  done_ = true;
+  if (!ctx_.GuardOk()) return;
+  if (ctx_.InjectFault("storage.btree.read")) return;
   const BTreeIndex* index =
       table_.index(static_cast<size_t>(index_ordinal_));
-  ORDOPT_CHECK(index != nullptr);
+  if (index == nullptr) {
+    ctx_.Poison(Status::Internal("index scan over unbuilt index on table '" +
+                                 table_.name() + "'"));
+    return;
+  }
   done_ = false;
   eq_prefix_.clear();
   cmp_position_ = -1;
@@ -92,9 +110,18 @@ void IndexScanOp::Open() {
         break;
       }
     }
-    ORDOPT_CHECK_MSG(key_pos >= 0, "range predicate off the index key");
+    if (key_pos < 0) {
+      ctx_.Poison(Status::Internal("range predicate off the index key"));
+      done_ = true;
+      return;
+    }
     if (p.kind == Predicate::Kind::kColEqConst) {
-      ORDOPT_CHECK(key_pos == static_cast<int>(eq_prefix_.size()));
+      if (key_pos != static_cast<int>(eq_prefix_.size())) {
+        ctx_.Poison(Status::Internal(
+            "index range predicates do not form an equality prefix"));
+        done_ = true;
+        return;
+      }
       eq_prefix_.push_back(p.constant);
     } else {
       cmp_position_ = key_pos;
@@ -161,7 +188,11 @@ bool IndexScanOp::Next(Row* out) {
       cursor_.Next();
     }
     pages_.Access(rid);
-    ++metrics_->rows_scanned;
+    ++ctx_.metrics->rows_scanned;
+    if (!ctx_.OnRowScanned()) {
+      done_ = true;
+      return false;
+    }
     *out = table_.row(rid);
     return true;
   }
@@ -172,14 +203,16 @@ bool IndexScanOp::Next(Row* out) {
 // FilterOp
 // ---------------------------------------------------------------------------
 
-FilterOp::FilterOp(OperatorPtr child, std::vector<Predicate> predicates)
-    : child_(std::move(child)), predicates_(std::move(predicates)) {
+FilterOp::FilterOp(OperatorPtr child, std::vector<Predicate> predicates,
+                   ExecContext ctx)
+    : Operator(ctx), child_(std::move(child)),
+      predicates_(std::move(predicates)) {
   layout_ = child_->layout();
 }
 
 void FilterOp::Open() {
   child_->Open();
-  eval_ = std::make_unique<ExprEvaluator>(layout_);
+  eval_ = std::make_unique<ExprEvaluator>(layout_, ctx_.guard);
 }
 
 bool FilterOp::Next(Row* out) {
@@ -206,38 +239,57 @@ void FilterOp::Close() { child_->Close(); }
 // SortOp
 // ---------------------------------------------------------------------------
 
-SortOp::SortOp(OperatorPtr child, OrderSpec spec, RuntimeMetrics* metrics)
-    : child_(std::move(child)), spec_(std::move(spec)), metrics_(metrics) {
+SortOp::SortOp(OperatorPtr child, OrderSpec spec, ExecContext ctx)
+    : Operator(ctx), child_(std::move(child)), spec_(std::move(spec)),
+      buffer_(ctx.guard) {
   layout_ = child_->layout();
 }
 
 void SortOp::Open() {
   child_->Open();
+  buffer_.Release();
   rows_.clear();
   pos_ = 0;
   Row row;
-  while (child_->Next(&row)) rows_.push_back(std::move(row));
+  while (child_->Next(&row)) {
+    if (!buffer_.Add(row)) return;  // buffer limit tripped: wind down
+    rows_.push_back(std::move(row));
+  }
+  if (!ctx_.GuardOk()) return;
+  // Models the write of sorted run files; a failed run write poisons the
+  // query instead of aborting it.
+  if (!rows_.empty() && ctx_.InjectFault("exec.sort.spill")) {
+    rows_.clear();
+    buffer_.Release();
+    return;
+  }
 
   std::vector<int> positions;
   std::vector<bool> descending;
   ExprEvaluator eval(layout_);
   for (const OrderElement& e : spec_) {
     int p = eval.PositionOf(e.col);
-    ORDOPT_CHECK_MSG(p >= 0, "sort column %s missing from layout",
-                     DefaultColumnName(e.col).c_str());
+    if (p < 0) {
+      ctx_.Poison(Status::Internal(
+          StrFormat("sort column %s missing from layout",
+                    DefaultColumnName(e.col).c_str())));
+      rows_.clear();
+      buffer_.Release();
+      return;
+    }
     positions.push_back(p);
     descending.push_back(e.dir == SortDirection::kDescending);
   }
-  ++metrics_->sorts_performed;
-  metrics_->rows_sorted += static_cast<int64_t>(rows_.size());
+  ++ctx_.metrics->sorts_performed;
+  ctx_.metrics->rows_sorted += static_cast<int64_t>(rows_.size());
   // A sort exceeding memory spills run files and merges them back: two
   // sequential passes over the data (mirrors CostParams::sort_memory_rows).
   constexpr size_t kSortMemoryRows = 200000;
   if (rows_.size() > kSortMemoryRows) {
-    metrics_->seq_pages +=
+    ctx_.metrics->seq_pages +=
         2 * static_cast<int64_t>(rows_.size()) / kRowsPerPage;
   }
-  int64_t* cmp_counter = &metrics_->comparisons;
+  int64_t* cmp_counter = &ctx_.metrics->comparisons;
   std::stable_sort(rows_.begin(), rows_.end(),
                    [&positions, &descending, cmp_counter](const Row& a,
                                                           const Row& b) {
@@ -260,6 +312,7 @@ bool SortOp::Next(Row* out) {
 void SortOp::Close() {
   child_->Close();
   rows_.clear();
+  buffer_.Release();
 }
 
 // ---------------------------------------------------------------------------
@@ -268,8 +321,9 @@ void SortOp::Close() {
 
 MergeJoinOp::MergeJoinOp(OperatorPtr outer, OperatorPtr inner,
                          std::vector<std::pair<ColumnId, ColumnId>> pairs,
-                         RuntimeMetrics* metrics)
-    : outer_(std::move(outer)), inner_(std::move(inner)), metrics_(metrics) {
+                         ExecContext ctx)
+    : Operator(ctx), outer_(std::move(outer)), inner_(std::move(inner)),
+      group_buffer_(ctx.guard) {
   layout_ = outer_->layout();
   for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
   std::vector<ColumnId> ocols, icols;
@@ -277,8 +331,8 @@ MergeJoinOp::MergeJoinOp(OperatorPtr outer, OperatorPtr inner,
     ocols.push_back(o);
     icols.push_back(i);
   }
-  outer_positions_ = PositionsOf(ocols, outer_->layout());
-  inner_positions_ = PositionsOf(icols, inner_->layout());
+  outer_positions_ = PositionsOf(ocols, outer_->layout(), ctx_);
+  inner_positions_ = PositionsOf(icols, inner_->layout(), ctx_);
 }
 
 void MergeJoinOp::Open() {
@@ -293,7 +347,7 @@ void MergeJoinOp::Open() {
 int MergeJoinOp::CompareKeys(const Row& outer_row,
                              const Row& inner_row) const {
   for (size_t i = 0; i < outer_positions_.size(); ++i) {
-    ++metrics_->comparisons;
+    ++ctx_.metrics->comparisons;
     int c = outer_row[static_cast<size_t>(outer_positions_[i])].Compare(
         inner_row[static_cast<size_t>(inner_positions_[i])]);
     if (c != 0) return c;
@@ -318,6 +372,7 @@ bool MergeJoinOp::FetchOuter() {
 
 void MergeJoinOp::LoadInnerGroup() {
   group_.clear();
+  group_buffer_.Release();
   group_key_.clear();
   for (int p : inner_positions_) {
     group_key_.push_back(inner_row_[static_cast<size_t>(p)]);
@@ -332,6 +387,10 @@ void MergeJoinOp::LoadInnerGroup() {
       }
     }
     if (!same) break;
+    if (!group_buffer_.Add(inner_row_)) {
+      inner_valid_ = false;  // buffer limit tripped: wind down
+      break;
+    }
     group_.push_back(inner_row_);
     inner_valid_ = inner_->Next(&inner_row_);
   }
@@ -394,6 +453,7 @@ void MergeJoinOp::Close() {
   outer_->Close();
   inner_->Close();
   group_.clear();
+  group_buffer_.Release();
 }
 
 // ---------------------------------------------------------------------------
@@ -403,18 +463,18 @@ void MergeJoinOp::Close() {
 IndexNLJoinOp::IndexNLJoinOp(OperatorPtr outer, const Table& table,
                              int table_id, int index_ordinal,
                              std::vector<std::pair<ColumnId, ColumnId>> pairs,
-                             RuntimeMetrics* metrics)
-    : outer_(std::move(outer)),
+                             ExecContext ctx)
+    : Operator(ctx),
+      outer_(std::move(outer)),
       table_(table),
       index_ordinal_(index_ordinal),
       pairs_(std::move(pairs)),
-      metrics_(metrics),
-      pages_(metrics, kRowsPerPage) {
+      pages_(ctx.metrics, kRowsPerPage) {
   layout_ = outer_->layout();
   for (const ColumnId& c : TableLayout(table, table_id)) layout_.push_back(c);
   std::vector<ColumnId> ocols;
   for (const auto& [o, i] : pairs_) ocols.push_back(o);
-  outer_positions_ = PositionsOf(ocols, outer_->layout());
+  outer_positions_ = PositionsOf(ocols, outer_->layout(), ctx_);
 }
 
 void IndexNLJoinOp::Open() {
@@ -425,8 +485,13 @@ void IndexNLJoinOp::Open() {
 bool IndexNLJoinOp::Probe() {
   const BTreeIndex* index =
       table_.index(static_cast<size_t>(index_ordinal_));
-  ORDOPT_CHECK(index != nullptr);
+  if (index == nullptr) {
+    ctx_.Poison(Status::Internal("index join probe into unbuilt index on "
+                                 "table '" + table_.name() + "'"));
+    return false;
+  }
   while (outer_->Next(&outer_row_)) {
+    if (ctx_.InjectFault("storage.btree.read")) return false;
     probe_key_.clear();
     bool has_null = false;
     for (int p : outer_positions_) {
@@ -435,7 +500,7 @@ bool IndexNLJoinOp::Probe() {
       probe_key_.push_back(v);
     }
     if (has_null) continue;
-    ++metrics_->index_probes;
+    ++ctx_.metrics->index_probes;
     cursor_ = index->SeekAtLeast(probe_key_);
     if (cursor_.Valid() && index->CompareKeys(cursor_.key(), probe_key_) == 0) {
       probing_ = true;
@@ -457,7 +522,8 @@ bool IndexNLJoinOp::Next(Row* out) {
       int64_t rid = cursor_.rid();
       cursor_.Next();
       pages_.Access(rid);
-      ++metrics_->rows_scanned;
+      ++ctx_.metrics->rows_scanned;
+      if (!ctx_.OnRowScanned()) return false;
       *out = outer_row_;
       const Row& inner = table_.row(rid);
       out->insert(out->end(), inner.begin(), inner.end());
@@ -473,8 +539,10 @@ void IndexNLJoinOp::Close() { outer_->Close(); }
 // NaiveNLJoinOp
 // ---------------------------------------------------------------------------
 
-NaiveNLJoinOp::NaiveNLJoinOp(OperatorPtr outer, OperatorPtr inner)
-    : outer_(std::move(outer)), inner_(std::move(inner)) {
+NaiveNLJoinOp::NaiveNLJoinOp(OperatorPtr outer, OperatorPtr inner,
+                             ExecContext ctx)
+    : Operator(ctx), outer_(std::move(outer)), inner_(std::move(inner)),
+      buffer_(ctx.guard) {
   layout_ = outer_->layout();
   for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
 }
@@ -483,8 +551,16 @@ void NaiveNLJoinOp::Open() {
   outer_->Open();
   inner_->Open();
   inner_rows_.clear();
+  buffer_.Release();
   Row row;
-  while (inner_->Next(&row)) inner_rows_.push_back(std::move(row));
+  while (inner_->Next(&row)) {
+    if (!buffer_.Add(row)) {
+      outer_valid_ = false;
+      inner_pos_ = 0;
+      return;
+    }
+    inner_rows_.push_back(std::move(row));
+  }
   outer_valid_ = outer_->Next(&outer_row_);
   inner_pos_ = 0;
 }
@@ -507,6 +583,7 @@ void NaiveNLJoinOp::Close() {
   outer_->Close();
   inner_->Close();
   inner_rows_.clear();
+  buffer_.Release();
 }
 
 // ---------------------------------------------------------------------------
@@ -531,8 +608,10 @@ bool HashJoinOp::KeyEq::operator()(const std::vector<Value>& a,
 }
 
 HashJoinOp::HashJoinOp(OperatorPtr outer, OperatorPtr inner,
-                       std::vector<std::pair<ColumnId, ColumnId>> pairs)
-    : outer_(std::move(outer)), inner_(std::move(inner)) {
+                       std::vector<std::pair<ColumnId, ColumnId>> pairs,
+                       ExecContext ctx)
+    : Operator(ctx), outer_(std::move(outer)), inner_(std::move(inner)),
+      buffer_(ctx.guard) {
   layout_ = outer_->layout();
   for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
   std::vector<ColumnId> ocols, icols;
@@ -540,14 +619,15 @@ HashJoinOp::HashJoinOp(OperatorPtr outer, OperatorPtr inner,
     ocols.push_back(o);
     icols.push_back(i);
   }
-  outer_positions_ = PositionsOf(ocols, outer_->layout());
-  inner_positions_ = PositionsOf(icols, inner_->layout());
+  outer_positions_ = PositionsOf(ocols, outer_->layout(), ctx_);
+  inner_positions_ = PositionsOf(icols, inner_->layout(), ctx_);
 }
 
 void HashJoinOp::Open() {
   outer_->Open();
   inner_->Open();
   hash_table_.clear();
+  buffer_.Release();
   Row row;
   while (inner_->Next(&row)) {
     std::vector<Value> key;
@@ -557,6 +637,7 @@ void HashJoinOp::Open() {
       key.push_back(row[static_cast<size_t>(p)]);
     }
     if (has_null) continue;
+    if (!buffer_.Add(row)) break;  // buffer limit tripped: wind down
     hash_table_[std::move(key)].push_back(std::move(row));
   }
   matches_ = nullptr;
@@ -564,6 +645,7 @@ void HashJoinOp::Open() {
 }
 
 bool HashJoinOp::Next(Row* out) {
+  if (!ctx_.GuardOk()) return false;
   while (true) {
     if (matches_ != nullptr && match_pos_ < matches_->size()) {
       *out = outer_row_;
@@ -592,6 +674,7 @@ void HashJoinOp::Close() {
   outer_->Close();
   inner_->Close();
   hash_table_.clear();
+  buffer_.Release();
 }
 
 // ---------------------------------------------------------------------------
@@ -600,8 +683,9 @@ void HashJoinOp::Close() {
 
 MergeLeftJoinOp::MergeLeftJoinOp(
     OperatorPtr outer, OperatorPtr inner,
-    std::vector<std::pair<ColumnId, ColumnId>> pairs, RuntimeMetrics* metrics)
-    : outer_(std::move(outer)), inner_(std::move(inner)), metrics_(metrics) {
+    std::vector<std::pair<ColumnId, ColumnId>> pairs, ExecContext ctx)
+    : Operator(ctx), outer_(std::move(outer)), inner_(std::move(inner)),
+      group_buffer_(ctx.guard) {
   layout_ = outer_->layout();
   inner_width_ = inner_->layout().size();
   for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
@@ -610,8 +694,8 @@ MergeLeftJoinOp::MergeLeftJoinOp(
     ocols.push_back(o);
     icols.push_back(i);
   }
-  outer_positions_ = PositionsOf(ocols, outer_->layout());
-  inner_positions_ = PositionsOf(icols, inner_->layout());
+  outer_positions_ = PositionsOf(ocols, outer_->layout(), ctx_);
+  inner_positions_ = PositionsOf(icols, inner_->layout(), ctx_);
 }
 
 void MergeLeftJoinOp::Open() {
@@ -656,7 +740,7 @@ void MergeLeftJoinOp::LoadGroupFor(const Row& outer_row) {
         inner_null = true;
         break;
       }
-      ++metrics_->comparisons;
+      ++ctx_.metrics->comparisons;
       cmp = iv.Compare(
           outer_row[static_cast<size_t>(outer_positions_[i])]);
     }
@@ -670,6 +754,7 @@ void MergeLeftJoinOp::LoadGroupFor(const Row& outer_row) {
     }
     // Equal: buffer the whole group.
     group_.clear();
+    group_buffer_.Release();
     group_key_.clear();
     for (int p : inner_positions_) {
       group_key_.push_back(inner_row_[static_cast<size_t>(p)]);
@@ -684,6 +769,10 @@ void MergeLeftJoinOp::LoadGroupFor(const Row& outer_row) {
         }
       }
       if (!same) break;
+      if (!group_buffer_.Add(inner_row_)) {
+        inner_valid_ = false;  // buffer limit tripped: wind down
+        break;
+      }
       group_.push_back(inner_row_);
       inner_valid_ = inner_->Next(&inner_row_);
     }
@@ -733,6 +822,7 @@ void MergeLeftJoinOp::Close() {
   outer_->Close();
   inner_->Close();
   group_.clear();
+  group_buffer_.Release();
 }
 
 // ---------------------------------------------------------------------------
@@ -741,8 +831,9 @@ void MergeLeftJoinOp::Close() {
 
 HashLeftJoinOp::HashLeftJoinOp(
     OperatorPtr outer, OperatorPtr inner,
-    std::vector<std::pair<ColumnId, ColumnId>> pairs)
-    : outer_(std::move(outer)), inner_(std::move(inner)) {
+    std::vector<std::pair<ColumnId, ColumnId>> pairs, ExecContext ctx)
+    : Operator(ctx), outer_(std::move(outer)), inner_(std::move(inner)),
+      buffer_(ctx.guard) {
   layout_ = outer_->layout();
   inner_width_ = inner_->layout().size();
   for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
@@ -751,14 +842,15 @@ HashLeftJoinOp::HashLeftJoinOp(
     ocols.push_back(o);
     icols.push_back(i);
   }
-  outer_positions_ = PositionsOf(ocols, outer_->layout());
-  inner_positions_ = PositionsOf(icols, inner_->layout());
+  outer_positions_ = PositionsOf(ocols, outer_->layout(), ctx_);
+  inner_positions_ = PositionsOf(icols, inner_->layout(), ctx_);
 }
 
 void HashLeftJoinOp::Open() {
   outer_->Open();
   inner_->Open();
   hash_table_.clear();
+  buffer_.Release();
   Row row;
   while (inner_->Next(&row)) {
     std::vector<Value> key;
@@ -768,6 +860,7 @@ void HashLeftJoinOp::Open() {
       key.push_back(row[static_cast<size_t>(p)]);
     }
     if (has_null) continue;
+    if (!buffer_.Add(row)) break;  // buffer limit tripped: wind down
     hash_table_[std::move(key)].push_back(std::move(row));
   }
   matches_ = nullptr;
@@ -775,6 +868,7 @@ void HashLeftJoinOp::Open() {
 }
 
 bool HashLeftJoinOp::Next(Row* out) {
+  if (!ctx_.GuardOk()) return false;
   while (true) {
     if (matches_ != nullptr && match_pos_ < matches_->size()) {
       *out = outer_row_;
@@ -807,6 +901,7 @@ void HashLeftJoinOp::Close() {
   outer_->Close();
   inner_->Close();
   hash_table_.clear();
+  buffer_.Release();
 }
 
 // ---------------------------------------------------------------------------
@@ -814,10 +909,13 @@ void HashLeftJoinOp::Close() {
 // ---------------------------------------------------------------------------
 
 NaiveLeftJoinOp::NaiveLeftJoinOp(OperatorPtr outer, OperatorPtr inner,
-                                 std::vector<Predicate> on_predicates)
-    : outer_(std::move(outer)),
+                                 std::vector<Predicate> on_predicates,
+                                 ExecContext ctx)
+    : Operator(ctx),
+      outer_(std::move(outer)),
       inner_(std::move(inner)),
-      on_predicates_(std::move(on_predicates)) {
+      on_predicates_(std::move(on_predicates)),
+      buffer_(ctx.guard) {
   layout_ = outer_->layout();
   for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
 }
@@ -825,10 +923,18 @@ NaiveLeftJoinOp::NaiveLeftJoinOp(OperatorPtr outer, OperatorPtr inner,
 void NaiveLeftJoinOp::Open() {
   outer_->Open();
   inner_->Open();
-  eval_ = std::make_unique<ExprEvaluator>(layout_);
+  eval_ = std::make_unique<ExprEvaluator>(layout_, ctx_.guard);
   inner_rows_.clear();
+  buffer_.Release();
   Row row;
-  while (inner_->Next(&row)) inner_rows_.push_back(std::move(row));
+  while (inner_->Next(&row)) {
+    if (!buffer_.Add(row)) {
+      outer_valid_ = false;
+      inner_pos_ = 0;
+      return;
+    }
+    inner_rows_.push_back(std::move(row));
+  }
   outer_valid_ = outer_->Next(&outer_row_);
   matched_current_ = false;
   inner_pos_ = 0;
@@ -877,6 +983,7 @@ void NaiveLeftJoinOp::Close() {
   outer_->Close();
   inner_->Close();
   inner_rows_.clear();
+  buffer_.Release();
 }
 
 // ---------------------------------------------------------------------------
@@ -886,19 +993,19 @@ void NaiveLeftJoinOp::Close() {
 StreamGroupByOp::StreamGroupByOp(OperatorPtr child,
                                  std::vector<ColumnId> group_columns,
                                  std::vector<AggregateSpec> aggregates,
-                                 RuntimeMetrics* metrics)
-    : child_(std::move(child)),
+                                 ExecContext ctx)
+    : Operator(ctx),
+      child_(std::move(child)),
       group_columns_(std::move(group_columns)),
-      aggregates_(std::move(aggregates)),
-      metrics_(metrics) {
+      aggregates_(std::move(aggregates)) {
   for (const ColumnId& c : group_columns_) layout_.push_back(c);
   for (const AggregateSpec& a : aggregates_) layout_.push_back(a.output);
-  group_positions_ = PositionsOf(group_columns_, child_->layout());
+  group_positions_ = PositionsOf(group_columns_, child_->layout(), ctx_);
 }
 
 void StreamGroupByOp::Open() {
   child_->Open();
-  eval_ = std::make_unique<ExprEvaluator>(child_->layout());
+  eval_ = std::make_unique<ExprEvaluator>(child_->layout(), ctx_.guard);
   pending_valid_ = child_->Next(&pending_row_);
   done_ = false;
   emitted_global_ = false;
@@ -1010,7 +1117,7 @@ Row StreamGroupByOp::EmitGroup() {
         break;
     }
   }
-  ++metrics_->comparisons;  // group-boundary detection work
+  ++ctx_.metrics->comparisons;  // group-boundary detection work
   return out;
 }
 
@@ -1041,7 +1148,7 @@ bool StreamGroupByOp::Next(Row* out) {
   while (child_->Next(&row)) {
     bool same = true;
     for (size_t i = 0; i < group_positions_.size(); ++i) {
-      ++metrics_->comparisons;
+      ++ctx_.metrics->comparisons;
       if (row[static_cast<size_t>(group_positions_[i])].Compare(
               current_key_[i]) != 0) {
         same = false;
@@ -1070,11 +1177,12 @@ void StreamGroupByOp::Close() { child_->Close(); }
 HashGroupByOp::HashGroupByOp(OperatorPtr child,
                              std::vector<ColumnId> group_columns,
                              std::vector<AggregateSpec> aggregates,
-                             RuntimeMetrics* metrics)
-    : child_(std::move(child)),
+                             ExecContext ctx)
+    : Operator(ctx),
+      child_(std::move(child)),
       group_columns_(std::move(group_columns)),
       aggregates_(std::move(aggregates)),
-      metrics_(metrics) {
+      buffer_(ctx.guard) {
   for (const ColumnId& c : group_columns_) layout_.push_back(c);
   for (const AggregateSpec& a : aggregates_) layout_.push_back(a.output);
 }
@@ -1085,17 +1193,20 @@ void HashGroupByOp::Open() {
   // ordered map for determinism), then stream-aggregate each bucket.
   child_->Open();
   results_.clear();
+  buffer_.Release();
   pos_ = 0;
 
-  std::vector<int> positions = PositionsOf(group_columns_, child_->layout());
-  ExprEvaluator eval(child_->layout());
+  std::vector<int> positions =
+      PositionsOf(group_columns_, child_->layout(), ctx_);
   std::map<std::vector<Value>, std::vector<Row>> buckets;
   Row row;
   while (child_->Next(&row)) {
+    if (!buffer_.Add(row)) return;  // buffer limit tripped: wind down
     std::vector<Value> key;
     for (int p : positions) key.push_back(row[static_cast<size_t>(p)]);
     buckets[std::move(key)].push_back(std::move(row));
   }
+  if (!ctx_.GuardOk()) return;
 
   // Reuse the streaming accumulator per bucket via a tiny adapter.
   class BucketSource : public Operator {
@@ -1122,7 +1233,7 @@ void HashGroupByOp::Open() {
     static const std::vector<Row> kEmpty;
     StreamGroupByOp agg(
         std::make_unique<BucketSource>(&kEmpty, child_->layout()),
-        group_columns_, aggregates_, metrics_);
+        group_columns_, aggregates_, ctx_);
     agg.Open();
     Row out;
     while (agg.Next(&out)) results_.push_back(out);
@@ -1132,11 +1243,12 @@ void HashGroupByOp::Open() {
   for (const auto& [key, rows] : buckets) {
     StreamGroupByOp agg(std::make_unique<BucketSource>(&rows,
                                                        child_->layout()),
-                        group_columns_, aggregates_, metrics_);
+                        group_columns_, aggregates_, ctx_);
     agg.Open();
     Row out;
     while (agg.Next(&out)) results_.push_back(out);
   }
+  buffer_.Release();  // buckets die with this scope
 }
 
 bool HashGroupByOp::Next(Row* out) {
@@ -1148,6 +1260,7 @@ bool HashGroupByOp::Next(Row* out) {
 void HashGroupByOp::Close() {
   child_->Close();
   results_.clear();
+  buffer_.Release();
 }
 
 // ---------------------------------------------------------------------------
@@ -1155,12 +1268,13 @@ void HashGroupByOp::Close() {
 // ---------------------------------------------------------------------------
 
 StreamDistinctOp::StreamDistinctOp(OperatorPtr child,
-                                   ColumnSet distinct_columns)
-    : child_(std::move(child)), distinct_columns_(std::move(distinct_columns)) {
+                                   ColumnSet distinct_columns, ExecContext ctx)
+    : Operator(ctx), child_(std::move(child)),
+      distinct_columns_(std::move(distinct_columns)) {
   layout_ = child_->layout();
   std::vector<ColumnId> cols(distinct_columns_.begin(),
                              distinct_columns_.end());
-  positions_ = PositionsOf(cols, layout_);
+  positions_ = PositionsOf(cols, layout_, ctx_);
 }
 
 void StreamDistinctOp::Open() {
@@ -1193,17 +1307,20 @@ bool StreamDistinctOp::Next(Row* out) {
 
 void StreamDistinctOp::Close() { child_->Close(); }
 
-HashDistinctOp::HashDistinctOp(OperatorPtr child, ColumnSet distinct_columns)
-    : child_(std::move(child)), distinct_columns_(std::move(distinct_columns)) {
+HashDistinctOp::HashDistinctOp(OperatorPtr child, ColumnSet distinct_columns,
+                               ExecContext ctx)
+    : Operator(ctx), child_(std::move(child)),
+      distinct_columns_(std::move(distinct_columns)), buffer_(ctx.guard) {
   layout_ = child_->layout();
   std::vector<ColumnId> cols(distinct_columns_.begin(),
                              distinct_columns_.end());
-  positions_ = PositionsOf(cols, layout_);
+  positions_ = PositionsOf(cols, layout_, ctx_);
 }
 
 void HashDistinctOp::Open() {
   child_->Open();
   seen_.clear();
+  buffer_.Release();
 }
 
 bool HashDistinctOp::Next(Row* out) {
@@ -1211,7 +1328,10 @@ bool HashDistinctOp::Next(Row* out) {
   while (child_->Next(&row)) {
     std::vector<Value> key;
     for (int p : positions_) key.push_back(row[static_cast<size_t>(p)]);
-    if (!seen_.emplace(std::move(key), true).second) continue;
+    auto inserted = seen_.emplace(std::move(key), true);
+    if (!inserted.second) continue;
+    // The seen-set retains every distinct key: charge it as buffered.
+    if (!buffer_.Add(inserted.first->first)) return false;
     *out = std::move(row);
     return true;
   }
@@ -1221,6 +1341,7 @@ bool HashDistinctOp::Next(Row* out) {
 void HashDistinctOp::Close() {
   child_->Close();
   seen_.clear();
+  buffer_.Release();
 }
 
 // ---------------------------------------------------------------------------
@@ -1228,8 +1349,8 @@ void HashDistinctOp::Close() {
 // ---------------------------------------------------------------------------
 
 UnionAllOp::UnionAllOp(std::vector<OperatorPtr> children,
-                       std::vector<ColumnId> layout)
-    : children_(std::move(children)) {
+                       std::vector<ColumnId> layout, ExecContext ctx)
+    : Operator(ctx), children_(std::move(children)) {
   layout_ = std::move(layout);
 }
 
@@ -1251,9 +1372,8 @@ void UnionAllOp::Close() {
 }
 
 MergeUnionOp::MergeUnionOp(std::vector<OperatorPtr> children,
-                           std::vector<ColumnId> layout,
-                           RuntimeMetrics* metrics)
-    : children_(std::move(children)), metrics_(metrics) {
+                           std::vector<ColumnId> layout, ExecContext ctx)
+    : Operator(ctx), children_(std::move(children)) {
   layout_ = std::move(layout);
 }
 
@@ -1268,7 +1388,7 @@ void MergeUnionOp::Open() {
 
 int MergeUnionOp::CompareRows(const Row& a, const Row& b) const {
   for (size_t i = 0; i < a.size(); ++i) {
-    ++metrics_->comparisons;
+    ++ctx_.metrics->comparisons;
     int c = a[i].Compare(b[i]);
     if (c != 0) return c;
   }
@@ -1300,17 +1420,19 @@ void MergeUnionOp::Close() {
 // ---------------------------------------------------------------------------
 
 TopNOp::TopNOp(OperatorPtr child, OrderSpec spec, int64_t limit,
-               RuntimeMetrics* metrics)
-    : child_(std::move(child)),
+               ExecContext ctx)
+    : Operator(ctx),
+      child_(std::move(child)),
       spec_(std::move(spec)),
       limit_(limit),
-      metrics_(metrics) {
+      buffer_(ctx.guard) {
   layout_ = child_->layout();
 }
 
 void TopNOp::Open() {
   child_->Open();
   rows_.clear();
+  buffer_.Release();
   pos_ = 0;
   if (limit_ <= 0) return;
 
@@ -1319,12 +1441,16 @@ void TopNOp::Open() {
   ExprEvaluator eval(layout_);
   for (const OrderElement& e : spec_) {
     int p = eval.PositionOf(e.col);
-    ORDOPT_CHECK_MSG(p >= 0, "top-n column %s missing from layout",
-                     DefaultColumnName(e.col).c_str());
+    if (p < 0) {
+      ctx_.Poison(Status::Internal(
+          StrFormat("top-n column %s missing from layout",
+                    DefaultColumnName(e.col).c_str())));
+      return;
+    }
     positions.push_back(p);
     descending.push_back(e.dir == SortDirection::kDescending);
   }
-  int64_t* cmp_counter = &metrics_->comparisons;
+  int64_t* cmp_counter = &ctx_.metrics->comparisons;
   auto less = [&positions, &descending, cmp_counter](const Row& a,
                                                      const Row& b) {
     for (size_t i = 0; i < positions.size(); ++i) {
@@ -1341,6 +1467,11 @@ void TopNOp::Open() {
   size_t cap = static_cast<size_t>(limit_);
   while (child_->Next(&row)) {
     if (rows_.size() < cap) {
+      if (!buffer_.Add(row)) {
+        rows_.clear();
+        buffer_.Release();
+        return;
+      }
       rows_.push_back(std::move(row));
       std::push_heap(rows_.begin(), rows_.end(), less);
       continue;
@@ -1352,8 +1483,8 @@ void TopNOp::Open() {
     }
   }
   std::sort_heap(rows_.begin(), rows_.end(), less);
-  ++metrics_->sorts_performed;
-  metrics_->rows_sorted += static_cast<int64_t>(rows_.size());
+  ++ctx_.metrics->sorts_performed;
+  ctx_.metrics->rows_sorted += static_cast<int64_t>(rows_.size());
 }
 
 bool TopNOp::Next(Row* out) {
@@ -1365,14 +1496,15 @@ bool TopNOp::Next(Row* out) {
 void TopNOp::Close() {
   child_->Close();
   rows_.clear();
+  buffer_.Release();
 }
 
 // ---------------------------------------------------------------------------
 // LimitOp
 // ---------------------------------------------------------------------------
 
-LimitOp::LimitOp(OperatorPtr child, int64_t limit)
-    : child_(std::move(child)), limit_(limit) {
+LimitOp::LimitOp(OperatorPtr child, int64_t limit, ExecContext ctx)
+    : Operator(ctx), child_(std::move(child)), limit_(limit) {
   layout_ = child_->layout();
 }
 
@@ -1394,14 +1526,16 @@ void LimitOp::Close() { child_->Close(); }
 // ProjectOp
 // ---------------------------------------------------------------------------
 
-ProjectOp::ProjectOp(OperatorPtr child, std::vector<OutputColumn> projections)
-    : child_(std::move(child)), projections_(std::move(projections)) {
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<OutputColumn> projections,
+                     ExecContext ctx)
+    : Operator(ctx), child_(std::move(child)),
+      projections_(std::move(projections)) {
   for (const OutputColumn& oc : projections_) layout_.push_back(oc.id);
 }
 
 void ProjectOp::Open() {
   child_->Open();
-  eval_ = std::make_unique<ExprEvaluator>(child_->layout());
+  eval_ = std::make_unique<ExprEvaluator>(child_->layout(), ctx_.guard);
 }
 
 bool ProjectOp::Next(Row* out) {

@@ -9,6 +9,7 @@
 
 #include "exec/expr_eval.h"
 #include "exec/metrics.h"
+#include "exec/query_guard.h"
 #include "optimizer/plan.h"
 #include "storage/table.h"
 
@@ -18,6 +19,8 @@ namespace ordopt {
 /// ColumnId at each position) so parents can bind expressions by identity.
 class Operator {
  public:
+  Operator() = default;
+  explicit Operator(ExecContext ctx) : ctx_(ctx) {}
   virtual ~Operator() = default;
 
   virtual void Open() = 0;
@@ -28,6 +31,7 @@ class Operator {
   const std::vector<ColumnId>& layout() const { return layout_; }
 
  protected:
+  ExecContext ctx_;
   std::vector<ColumnId> layout_;
 };
 
@@ -36,13 +40,12 @@ using OperatorPtr = std::unique_ptr<Operator>;
 /// Heap scan over a base table (sequential pages).
 class TableScanOp : public Operator {
  public:
-  TableScanOp(const Table& table, int table_id, RuntimeMetrics* metrics);
+  TableScanOp(const Table& table, int table_id, ExecContext ctx);
   void Open() override;
   bool Next(Row* out) override;
 
  private:
   const Table& table_;
-  RuntimeMetrics* metrics_;
   PageTracker pages_;
   int64_t rid_ = 0;
 };
@@ -54,7 +57,7 @@ class IndexScanOp : public Operator {
  public:
   IndexScanOp(const Table& table, int table_id, int index_ordinal,
               bool reverse, std::vector<Predicate> range_predicates,
-              RuntimeMetrics* metrics);
+              ExecContext ctx);
   void Open() override;
   bool Next(Row* out) override;
 
@@ -65,7 +68,6 @@ class IndexScanOp : public Operator {
   int index_ordinal_;
   bool reverse_;
   std::vector<Predicate> range_predicates_;
-  RuntimeMetrics* metrics_;
   PageTracker pages_;
   BTreeIndex::Cursor cursor_;
   // Range bounds in index-key positions.
@@ -79,7 +81,8 @@ class IndexScanOp : public Operator {
 /// Predicate application.
 class FilterOp : public Operator {
  public:
-  FilterOp(OperatorPtr child, std::vector<Predicate> predicates);
+  FilterOp(OperatorPtr child, std::vector<Predicate> predicates,
+           ExecContext ctx = ExecContext());
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;
@@ -93,7 +96,7 @@ class FilterOp : public Operator {
 /// Full in-memory sort on an OrderSpec (counts comparisons).
 class SortOp : public Operator {
  public:
-  SortOp(OperatorPtr child, OrderSpec spec, RuntimeMetrics* metrics);
+  SortOp(OperatorPtr child, OrderSpec spec, ExecContext ctx);
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;
@@ -101,7 +104,7 @@ class SortOp : public Operator {
  private:
   OperatorPtr child_;
   OrderSpec spec_;
-  RuntimeMetrics* metrics_;
+  BufferAccount buffer_;
   std::vector<Row> rows_;
   size_t pos_ = 0;
 };
@@ -112,7 +115,7 @@ class MergeJoinOp : public Operator {
  public:
   MergeJoinOp(OperatorPtr outer, OperatorPtr inner,
               std::vector<std::pair<ColumnId, ColumnId>> pairs,
-              RuntimeMetrics* metrics);
+              ExecContext ctx);
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;
@@ -127,7 +130,7 @@ class MergeJoinOp : public Operator {
   OperatorPtr inner_;
   std::vector<int> outer_positions_;
   std::vector<int> inner_positions_;
-  RuntimeMetrics* metrics_;
+  BufferAccount group_buffer_;
 
   Row outer_row_;
   bool outer_valid_ = false;
@@ -149,7 +152,7 @@ class IndexNLJoinOp : public Operator {
   IndexNLJoinOp(OperatorPtr outer, const Table& table, int table_id,
                 int index_ordinal,
                 std::vector<std::pair<ColumnId, ColumnId>> pairs,
-                RuntimeMetrics* metrics);
+                ExecContext ctx);
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;
@@ -162,7 +165,6 @@ class IndexNLJoinOp : public Operator {
   int index_ordinal_;
   std::vector<std::pair<ColumnId, ColumnId>> pairs_;
   std::vector<int> outer_positions_;
-  RuntimeMetrics* metrics_;
   PageTracker pages_;
 
   Row outer_row_;
@@ -175,7 +177,8 @@ class IndexNLJoinOp : public Operator {
 /// row); used for cartesian products and non-equality joins.
 class NaiveNLJoinOp : public Operator {
  public:
-  NaiveNLJoinOp(OperatorPtr outer, OperatorPtr inner);
+  NaiveNLJoinOp(OperatorPtr outer, OperatorPtr inner,
+                ExecContext ctx = ExecContext());
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;
@@ -183,6 +186,7 @@ class NaiveNLJoinOp : public Operator {
  private:
   OperatorPtr outer_;
   OperatorPtr inner_;
+  BufferAccount buffer_;
   std::vector<Row> inner_rows_;
   Row outer_row_;
   bool outer_valid_ = false;
@@ -194,7 +198,8 @@ class NaiveNLJoinOp : public Operator {
 class HashJoinOp : public Operator {
  public:
   HashJoinOp(OperatorPtr outer, OperatorPtr inner,
-             std::vector<std::pair<ColumnId, ColumnId>> pairs);
+             std::vector<std::pair<ColumnId, ColumnId>> pairs,
+             ExecContext ctx = ExecContext());
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;
@@ -212,6 +217,7 @@ class HashJoinOp : public Operator {
   OperatorPtr inner_;
   std::vector<int> outer_positions_;
   std::vector<int> inner_positions_;
+  BufferAccount buffer_;
   std::unordered_map<std::vector<Value>, std::vector<Row>, KeyHash, KeyEq>
       hash_table_;
   Row outer_row_;
@@ -226,7 +232,7 @@ class MergeLeftJoinOp : public Operator {
  public:
   MergeLeftJoinOp(OperatorPtr outer, OperatorPtr inner,
                   std::vector<std::pair<ColumnId, ColumnId>> pairs,
-                  RuntimeMetrics* metrics);
+                  ExecContext ctx);
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;
@@ -243,7 +249,7 @@ class MergeLeftJoinOp : public Operator {
   std::vector<int> outer_positions_;
   std::vector<int> inner_positions_;
   size_t inner_width_;
-  RuntimeMetrics* metrics_;
+  BufferAccount group_buffer_;
 
   Row outer_row_;
   bool outer_valid_ = false;
@@ -261,7 +267,8 @@ class MergeLeftJoinOp : public Operator {
 class HashLeftJoinOp : public Operator {
  public:
   HashLeftJoinOp(OperatorPtr outer, OperatorPtr inner,
-                 std::vector<std::pair<ColumnId, ColumnId>> pairs);
+                 std::vector<std::pair<ColumnId, ColumnId>> pairs,
+                 ExecContext ctx = ExecContext());
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;
@@ -272,6 +279,7 @@ class HashLeftJoinOp : public Operator {
   std::vector<int> outer_positions_;
   std::vector<int> inner_positions_;
   size_t inner_width_;
+  BufferAccount buffer_;
   std::map<std::vector<Value>, std::vector<Row>> hash_table_;
   Row outer_row_;
   const std::vector<Row>* matches_ = nullptr;
@@ -285,7 +293,8 @@ class HashLeftJoinOp : public Operator {
 class NaiveLeftJoinOp : public Operator {
  public:
   NaiveLeftJoinOp(OperatorPtr outer, OperatorPtr inner,
-                  std::vector<Predicate> on_predicates);
+                  std::vector<Predicate> on_predicates,
+                  ExecContext ctx = ExecContext());
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;
@@ -295,6 +304,7 @@ class NaiveLeftJoinOp : public Operator {
   OperatorPtr inner_;
   std::vector<Predicate> on_predicates_;
   std::unique_ptr<ExprEvaluator> eval_;
+  BufferAccount buffer_;
   std::vector<Row> inner_rows_;
   Row outer_row_;
   bool outer_valid_ = false;
@@ -309,8 +319,7 @@ class NaiveLeftJoinOp : public Operator {
 class StreamGroupByOp : public Operator {
  public:
   StreamGroupByOp(OperatorPtr child, std::vector<ColumnId> group_columns,
-                  std::vector<AggregateSpec> aggregates,
-                  RuntimeMetrics* metrics);
+                  std::vector<AggregateSpec> aggregates, ExecContext ctx);
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;
@@ -326,7 +335,6 @@ class StreamGroupByOp : public Operator {
   std::vector<ColumnId> group_columns_;
   std::vector<AggregateSpec> aggregates_;
   std::vector<int> group_positions_;
-  RuntimeMetrics* metrics_;
   std::unique_ptr<ExprEvaluator> eval_;
 
   std::vector<Value> current_key_;
@@ -353,8 +361,7 @@ class StreamGroupByOp : public Operator {
 class HashGroupByOp : public Operator {
  public:
   HashGroupByOp(OperatorPtr child, std::vector<ColumnId> group_columns,
-                std::vector<AggregateSpec> aggregates,
-                RuntimeMetrics* metrics);
+                std::vector<AggregateSpec> aggregates, ExecContext ctx);
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;
@@ -363,7 +370,7 @@ class HashGroupByOp : public Operator {
   OperatorPtr child_;
   std::vector<ColumnId> group_columns_;
   std::vector<AggregateSpec> aggregates_;
-  RuntimeMetrics* metrics_;
+  BufferAccount buffer_;
   std::vector<Row> results_;
   size_t pos_ = 0;
 };
@@ -372,7 +379,8 @@ class HashGroupByOp : public Operator {
 /// adjacent (sorted or grouped); preserves order.
 class StreamDistinctOp : public Operator {
  public:
-  StreamDistinctOp(OperatorPtr child, ColumnSet distinct_columns);
+  StreamDistinctOp(OperatorPtr child, ColumnSet distinct_columns,
+                   ExecContext ctx = ExecContext());
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;
@@ -388,7 +396,8 @@ class StreamDistinctOp : public Operator {
 /// Hash-based duplicate elimination (destroys order).
 class HashDistinctOp : public Operator {
  public:
-  HashDistinctOp(OperatorPtr child, ColumnSet distinct_columns);
+  HashDistinctOp(OperatorPtr child, ColumnSet distinct_columns,
+                 ExecContext ctx = ExecContext());
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;
@@ -397,6 +406,7 @@ class HashDistinctOp : public Operator {
   OperatorPtr child_;
   ColumnSet distinct_columns_;
   std::vector<int> positions_;
+  BufferAccount buffer_;
   std::map<std::vector<Value>, bool> seen_;
 };
 
@@ -405,8 +415,8 @@ class HashDistinctOp : public Operator {
 /// output ColumnIds.
 class UnionAllOp : public Operator {
  public:
-  UnionAllOp(std::vector<OperatorPtr> children,
-             std::vector<ColumnId> layout);
+  UnionAllOp(std::vector<OperatorPtr> children, std::vector<ColumnId> layout,
+             ExecContext ctx = ExecContext());
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;
@@ -422,7 +432,7 @@ class UnionAllOp : public Operator {
 class MergeUnionOp : public Operator {
  public:
   MergeUnionOp(std::vector<OperatorPtr> children,
-               std::vector<ColumnId> layout, RuntimeMetrics* metrics);
+               std::vector<ColumnId> layout, ExecContext ctx);
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;
@@ -431,7 +441,6 @@ class MergeUnionOp : public Operator {
   int CompareRows(const Row& a, const Row& b) const;
 
   std::vector<OperatorPtr> children_;
-  RuntimeMetrics* metrics_;
   std::vector<Row> heads_;
   std::vector<bool> valid_;
 };
@@ -442,8 +451,7 @@ class MergeUnionOp : public Operator {
 /// the classic ORDER BY + LIMIT fusion.
 class TopNOp : public Operator {
  public:
-  TopNOp(OperatorPtr child, OrderSpec spec, int64_t limit,
-         RuntimeMetrics* metrics);
+  TopNOp(OperatorPtr child, OrderSpec spec, int64_t limit, ExecContext ctx);
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;
@@ -452,7 +460,7 @@ class TopNOp : public Operator {
   OperatorPtr child_;
   OrderSpec spec_;
   int64_t limit_;
-  RuntimeMetrics* metrics_;
+  BufferAccount buffer_;
   std::vector<Row> rows_;
   size_t pos_ = 0;
 };
@@ -460,7 +468,7 @@ class TopNOp : public Operator {
 /// Emits at most `limit` rows, then ends the stream.
 class LimitOp : public Operator {
  public:
-  LimitOp(OperatorPtr child, int64_t limit);
+  LimitOp(OperatorPtr child, int64_t limit, ExecContext ctx = ExecContext());
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;
@@ -474,7 +482,8 @@ class LimitOp : public Operator {
 /// Final projection: evaluates the output expressions.
 class ProjectOp : public Operator {
  public:
-  ProjectOp(OperatorPtr child, std::vector<OutputColumn> projections);
+  ProjectOp(OperatorPtr child, std::vector<OutputColumn> projections,
+            ExecContext ctx = ExecContext());
   void Open() override;
   bool Next(Row* out) override;
   void Close() override;

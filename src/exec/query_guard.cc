@@ -1,0 +1,121 @@
+#include "exec/query_guard.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/str_util.h"
+
+namespace ordopt {
+
+int64_t ApproxRowBytes(const Row& row) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Row));
+  for (const Value& v : row) {
+    bytes += static_cast<int64_t>(sizeof(Value));
+    if (v.type() == DataType::kString) {
+      bytes += static_cast<int64_t>(v.AsString().size());
+    }
+  }
+  return bytes;
+}
+
+void QueryGuard::Arm() {
+  armed_ = true;
+  start_time_ = std::chrono::steady_clock::now();
+  events_until_check_ = 1;
+}
+
+void QueryGuard::Poison(Status status) {
+  if (tripped_) return;
+  ORDOPT_CHECK_MSG(!status.ok(), "QueryGuard poisoned with OK status");
+  status_ = std::move(status);
+  tripped_ = true;
+}
+
+bool QueryGuard::TripScanLimit() {
+  Poison(Status::ResourceExhausted(
+      StrFormat("scan limit exceeded: %lld rows scanned, limit %lld",
+                static_cast<long long>(rows_scanned_),
+                static_cast<long long>(limits_.max_rows_scanned))));
+  return false;
+}
+
+bool QueryGuard::TripProducedLimit() {
+  Poison(Status::ResourceExhausted(
+      StrFormat("output limit exceeded: %lld rows produced, limit %lld",
+                static_cast<long long>(rows_produced_),
+                static_cast<long long>(limits_.max_rows_produced))));
+  return false;
+}
+
+bool QueryGuard::OnRowsBuffered(int64_t rows, int64_t bytes) {
+  buffered_rows_ += rows;
+  buffered_bytes_ += bytes;
+  buffered_rows_peak_ = std::max(buffered_rows_peak_, buffered_rows_);
+  buffered_bytes_peak_ = std::max(buffered_bytes_peak_, buffered_bytes_);
+  if (limits_.max_buffered_rows > 0 &&
+      buffered_rows_ > limits_.max_buffered_rows) {
+    Poison(Status::ResourceExhausted(
+        StrFormat("buffer limit exceeded: %lld rows buffered in blocking "
+                  "operators, limit %lld",
+                  static_cast<long long>(buffered_rows_),
+                  static_cast<long long>(limits_.max_buffered_rows))));
+    return false;
+  }
+  if (limits_.max_buffered_bytes > 0 &&
+      buffered_bytes_ > limits_.max_buffered_bytes) {
+    Poison(Status::ResourceExhausted(
+        StrFormat("buffer limit exceeded: ~%lld bytes buffered in blocking "
+                  "operators, limit %lld",
+                  static_cast<long long>(buffered_bytes_),
+                  static_cast<long long>(limits_.max_buffered_bytes))));
+    return false;
+  }
+  return PeriodicCheck();
+}
+
+void QueryGuard::OnBufferReleased(int64_t rows, int64_t bytes) {
+  buffered_rows_ -= rows;
+  buffered_bytes_ -= bytes;
+}
+
+bool QueryGuard::ForceCheck() {
+  if (tripped_) return false;
+  events_until_check_ = kCheckIntervalRows;
+  if (cancel_requested_.load(std::memory_order_relaxed)) {
+    Poison(Status::Cancelled("query cancelled by caller"));
+    return false;
+  }
+  if (armed_ && limits_.deadline_seconds > 0.0) {
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_time_)
+                         .count();
+    if (elapsed > limits_.deadline_seconds) {
+      Poison(Status::Timeout(
+          StrFormat("query deadline of %.3fs exceeded (ran %.3fs)",
+                    limits_.deadline_seconds, elapsed)));
+      return false;
+    }
+  }
+  return true;
+}
+
+void QueryGuard::ReportTo(RuntimeMetrics* metrics) const {
+  if (metrics == nullptr) return;
+  metrics->rows_buffered_peak =
+      std::max(metrics->rows_buffered_peak, buffered_rows_peak_);
+  metrics->bytes_buffered_peak =
+      std::max(metrics->bytes_buffered_peak, buffered_bytes_peak_);
+}
+
+void ExecContext::Poison(Status status) const {
+  if (guard != nullptr) {
+    guard->Poison(std::move(status));
+    return;
+  }
+  // No guard: this is a directly-constructed operator tree (tests,
+  // benches); keep the historical fail-fast behavior for invariants.
+  ORDOPT_CHECK_MSG(false, "executor error without a guard: %s",
+                   status.ToString().c_str());
+}
+
+}  // namespace ordopt

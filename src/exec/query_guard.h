@@ -1,0 +1,228 @@
+#ifndef ORDOPT_EXEC_QUERY_GUARD_H_
+#define ORDOPT_EXEC_QUERY_GUARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/fault_injection.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/metrics.h"
+
+namespace ordopt {
+
+/// Per-query resource limits. Zero means unlimited; every limit is
+/// enforced cooperatively at row granularity inside the executor, so a
+/// runaway query degrades to a clean non-OK Status instead of consuming
+/// the machine.
+struct QueryLimits {
+  /// Wall-clock budget for execution, in seconds.
+  double deadline_seconds = 0.0;
+  /// Rows read from base tables (scans + index probes).
+  int64_t max_rows_scanned = 0;
+  /// Rows emitted by the plan root.
+  int64_t max_rows_produced = 0;
+  /// Rows held at once across all blocking operators (sorts, hash builds,
+  /// materialized inners, group buffers).
+  int64_t max_buffered_rows = 0;
+  /// Approximate bytes held at once across all blocking operators.
+  int64_t max_buffered_bytes = 0;
+
+  bool Unlimited() const {
+    return deadline_seconds <= 0.0 && max_rows_scanned <= 0 &&
+           max_rows_produced <= 0 && max_buffered_rows <= 0 &&
+           max_buffered_bytes <= 0;
+  }
+};
+
+/// Approximate heap footprint of one row (inline Values plus string
+/// payloads); used for the buffered-bytes guardrail.
+int64_t ApproxRowBytes(const Row& row);
+
+/// Runtime safety net for one query execution: enforces QueryLimits,
+/// carries a cooperative cancellation flag (safe to set from another
+/// thread), and serves as the executor's error channel — operators whose
+/// Next() cannot return Status poison the guard instead, and ExecutePlan
+/// surfaces the poisoned Status to the caller.
+///
+/// The first violation wins: the guard latches a non-OK Status, every
+/// subsequent check returns false, and operators wind down their streams.
+class QueryGuard {
+ public:
+  /// Unlimited guard: still usable for cancellation and poisoning.
+  QueryGuard() = default;
+  explicit QueryGuard(QueryLimits limits) : limits_(limits) {}
+
+  const QueryLimits& limits() const { return limits_; }
+
+  /// Starts (or restarts) the wall-clock deadline. ExecutePlan arms the
+  /// guard when execution begins; a pending cancellation survives Arm.
+  void Arm();
+
+  /// Requests cooperative cancellation; the query trips with kCancelled
+  /// at its next check. Thread-safe.
+  void RequestCancel() {
+    cancel_requested_.store(true, std::memory_order_relaxed);
+  }
+  bool cancel_requested() const {
+    return cancel_requested_.load(std::memory_order_relaxed);
+  }
+
+  /// False once any limit tripped, cancellation was observed, or the
+  /// guard was poisoned.
+  bool ok() const { return !tripped_; }
+  const Status& status() const { return status_; }
+
+  /// Records an error from a context that cannot return Status (operator
+  /// Open/Next). The first poison latches; later ones are dropped.
+  void Poison(Status status);
+
+  /// One base-table row was scanned. Returns ok().
+  bool OnRowScanned() {
+    ++rows_scanned_;
+    if (limits_.max_rows_scanned > 0 &&
+        rows_scanned_ > limits_.max_rows_scanned) {
+      return TripScanLimit();
+    }
+    return PeriodicCheck();
+  }
+
+  /// One row was emitted by the plan root. Returns ok().
+  bool OnRowProduced() {
+    ++rows_produced_;
+    if (limits_.max_rows_produced > 0 &&
+        rows_produced_ > limits_.max_rows_produced) {
+      return TripProducedLimit();
+    }
+    return PeriodicCheck();
+  }
+
+  /// `bytes` more row data is now buffered in a blocking operator.
+  /// Returns ok().
+  bool OnRowsBuffered(int64_t rows, int64_t bytes);
+  /// A blocking operator released buffered data (Close or group turnover).
+  void OnBufferReleased(int64_t rows, int64_t bytes);
+
+  /// Immediate full check (deadline + cancellation), regardless of the
+  /// periodic interval. Returns ok().
+  bool ForceCheck();
+
+  /// Copies consumption high-water marks into `metrics` so callers see
+  /// consumed-vs-limit even when the query tripped.
+  void ReportTo(RuntimeMetrics* metrics) const;
+
+  int64_t rows_scanned() const { return rows_scanned_; }
+  int64_t rows_produced() const { return rows_produced_; }
+  int64_t buffered_rows() const { return buffered_rows_; }
+  int64_t buffered_rows_peak() const { return buffered_rows_peak_; }
+  int64_t buffered_bytes_peak() const { return buffered_bytes_peak_; }
+
+ private:
+  /// Deadline and cancellation are checked every this many guard events;
+  /// the common-case cost of a check is one decrement and compare.
+  static constexpr int64_t kCheckIntervalRows = 1024;
+
+  bool PeriodicCheck() {
+    if (tripped_) return false;
+    if (--events_until_check_ > 0) return true;
+    return ForceCheck();
+  }
+  bool TripScanLimit();
+  bool TripProducedLimit();
+
+  QueryLimits limits_;
+  Status status_;
+  bool tripped_ = false;
+  std::atomic<bool> cancel_requested_{false};
+
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point start_time_;
+
+  int64_t events_until_check_ = 1;  // full check on the first event
+  int64_t rows_scanned_ = 0;
+  int64_t rows_produced_ = 0;
+  int64_t buffered_rows_ = 0;
+  int64_t buffered_bytes_ = 0;
+  int64_t buffered_rows_peak_ = 0;
+  int64_t buffered_bytes_peak_ = 0;
+};
+
+/// Tracks the rows/bytes one blocking operator currently holds, charging
+/// them against the guard's shared buffered-total; Release (or the
+/// destructor) gives the charge back when the operator drops its buffer.
+class BufferAccount {
+ public:
+  BufferAccount() = default;
+  explicit BufferAccount(QueryGuard* guard) : guard_(guard) {}
+  BufferAccount(const BufferAccount&) = delete;
+  BufferAccount& operator=(const BufferAccount&) = delete;
+  ~BufferAccount() { Release(); }
+
+  /// Charges one buffered row. Returns false once a buffer limit trips.
+  bool Add(const Row& row) {
+    if (guard_ == nullptr) return true;
+    int64_t bytes = ApproxRowBytes(row);
+    rows_ += 1;
+    bytes_ += bytes;
+    return guard_->OnRowsBuffered(1, bytes);
+  }
+
+  /// Releases everything charged so far.
+  void Release() {
+    if (guard_ != nullptr && rows_ > 0) {
+      guard_->OnBufferReleased(rows_, bytes_);
+    }
+    rows_ = 0;
+    bytes_ = 0;
+  }
+
+ private:
+  QueryGuard* guard_ = nullptr;
+  int64_t rows_ = 0;
+  int64_t bytes_ = 0;
+};
+
+/// Everything the operator tree needs from its environment: runtime
+/// counters plus the (optional) guard. Passed by value — two pointers.
+struct ExecContext {
+  ExecContext() = default;
+  ExecContext(RuntimeMetrics* m, QueryGuard* g) : metrics(m), guard(g) {}
+  /// Compatibility shape for contexts that only count (benches, direct
+  /// operator tests): no guard, so internal invariants still abort.
+  /// Intentionally implicit so a bare RuntimeMetrics* keeps working at
+  /// every pre-guard operator construction site.
+  ExecContext(RuntimeMetrics* m) : metrics(m) {}  // NOLINT
+
+  RuntimeMetrics* metrics = nullptr;
+  QueryGuard* guard = nullptr;
+
+  bool GuardOk() const { return guard == nullptr || guard->ok(); }
+
+  /// Null-safe guard notification for scan hot paths. Returns false once
+  /// the guard tripped (the operator should end its stream).
+  bool OnRowScanned() const {
+    return guard == nullptr || guard->OnRowScanned();
+  }
+
+  /// Reports an internal error. With a guard the query degrades to an
+  /// error Status; without one (direct operator construction) this is a
+  /// programming error and keeps the historical abort behavior.
+  void Poison(Status status) const;
+
+  /// Fault-injection probe for non-Status contexts: true when `site`
+  /// fired (the guard, if any, is poisoned with the injected Status and
+  /// the caller should end its stream).
+  bool InjectFault(const char* site) const {
+    if (!FaultInjector::Global().enabled()) return false;
+    Status fault = FaultInjector::Global().Check(site);
+    if (fault.ok()) return false;
+    Poison(std::move(fault));
+    return true;
+  }
+};
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_EXEC_QUERY_GUARD_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
 #include "common/macros.h"
 #include "common/str_util.h"
 
@@ -1299,6 +1300,8 @@ Result<std::vector<PlanRef>> Planner::PlanUnionBox(const QgmBox* box) {
 }
 
 Result<std::vector<PlanRef>> Planner::PlanBox(const QgmBox* box) {
+  // Models an allocation failure while the planner expands candidates.
+  ORDOPT_FAULT_POINT("planner.alloc");
   if (box->kind == QgmBox::Kind::kGroupBy) return PlanGroupByBox(box);
   if (box->kind == QgmBox::Kind::kUnion) return PlanUnionBox(box);
   return PlanSelectBox(box);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/query_guard.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/order_scan.h"
 #include "optimizer/plan.h"
@@ -34,6 +35,10 @@ struct OptimizerConfig {
   bool enable_hash_join = true;
   bool enable_hash_grouping = true;
   CostParams cost_params;
+  /// Execution guardrails: QueryEngine::Run enforces these per query
+  /// (deadline, scan/output caps, buffered-row/byte caps). Default:
+  /// unlimited.
+  QueryLimits limits;
 };
 
 /// Cost-based bottom-up planner (§5.2): walks the QGM box tree, runs

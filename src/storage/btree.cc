@@ -73,10 +73,12 @@ int BTreeIndex::CompareKeys(const IndexKey& a, const IndexKey& b) const {
   return 0;  // equal on the shared prefix
 }
 
-void BTreeIndex::Insert(IndexKey key, int64_t rid) {
-  ORDOPT_CHECK_MSG(key.size() == directions_.size(),
-                   "index key arity %zu != declared %zu", key.size(),
-                   directions_.size());
+Status BTreeIndex::Insert(IndexKey key, int64_t rid) {
+  if (key.size() != directions_.size()) {
+    return Status::Internal(
+        StrFormat("index key arity %zu != declared %zu", key.size(),
+                  directions_.size()));
+  }
   // Compares (key, rid) entries under the index collation.
   auto entry_less = [this](const IndexKey& ak, int64_t ar, const IndexKey& bk,
                            int64_t br) {
@@ -186,6 +188,7 @@ void BTreeIndex::Insert(IndexKey key, int64_t rid) {
     root_ = new_root;
   }
   ++size_;
+  return Status::OK();
 }
 
 const IndexKey& BTreeIndex::Cursor::key() const {

@@ -34,8 +34,9 @@ class BTreeIndex {
   BTreeIndex(const BTreeIndex&) = delete;
   BTreeIndex& operator=(const BTreeIndex&) = delete;
 
-  /// Inserts one entry. `key` must have exactly the declared arity.
-  void Insert(IndexKey key, int64_t rid);
+  /// Inserts one entry. `key` must have exactly the declared arity;
+  /// a mismatched key returns Status::Internal without modifying the tree.
+  Status Insert(IndexKey key, int64_t rid);
 
   int64_t size() const { return size_; }
   size_t arity() const { return directions_.size(); }

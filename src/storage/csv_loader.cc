@@ -1,9 +1,11 @@
 #include "storage/csv_loader.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_injection.h"
 #include "common/str_util.h"
 
 namespace ordopt {
@@ -56,17 +58,27 @@ Result<Value> ParseCsvField(const std::string& field, DataType type,
   switch (type) {
     case DataType::kInt64: {
       char* end = nullptr;
+      errno = 0;
       long long v = std::strtoll(field.c_str(), &end, 10);
-      if (end == nullptr || *end != '\0') {
+      if (end == nullptr || end == field.c_str() || *end != '\0') {
         return Status::InvalidArgument("bad int64 field '" + field + "'");
+      }
+      if (errno == ERANGE) {
+        return Status::InvalidArgument("int64 field '" + field +
+                                       "' out of range");
       }
       return Value::Int(v);
     }
     case DataType::kDouble: {
       char* end = nullptr;
+      errno = 0;
       double v = std::strtod(field.c_str(), &end);
-      if (end == nullptr || *end != '\0') {
+      if (end == nullptr || end == field.c_str() || *end != '\0') {
         return Status::InvalidArgument("bad double field '" + field + "'");
+      }
+      if (errno == ERANGE) {
+        return Status::InvalidArgument("double field '" + field +
+                                       "' out of range");
       }
       return Value::Double(v);
     }
@@ -89,6 +101,10 @@ Result<Value> ParseCsvField(const std::string& field, DataType type,
 Result<int64_t> LoadCsvText(const std::string& text, Table* table,
                             const CsvOptions& options) {
   const TableDef& def = table->def();
+  if (table->finalized()) {
+    return Status::InvalidArgument("table '" + def.name +
+                                   "' is finalized; cannot load more rows");
+  }
   std::istringstream in(text);
   std::string line;
   int64_t line_no = 0;
@@ -118,7 +134,8 @@ Result<int64_t> LoadCsvText(const std::string& text, Table* table,
       }
       row.push_back(std::move(value).value());
     }
-    table->AppendRow(std::move(row));
+    ORDOPT_FAULT_POINT("storage.csv.row");
+    ORDOPT_RETURN_NOT_OK(table->AppendRow(std::move(row)).status());
     ++loaded;
   }
   return loaded;

@@ -3,17 +3,22 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/fault_injection.h"
 #include "common/macros.h"
 #include "common/str_util.h"
 
 namespace ordopt {
 
-int64_t Table::AppendRow(Row row) {
-  ORDOPT_CHECK_MSG(!finalized_, "AppendRow after BuildIndexes on '%s'",
-                   def_.name.c_str());
-  ORDOPT_CHECK_MSG(row.size() == def_.columns.size(),
-                   "row arity %zu != schema arity %zu on '%s'", row.size(),
-                   def_.columns.size(), def_.name.c_str());
+Result<int64_t> Table::AppendRow(Row row) {
+  if (finalized_) {
+    return Status::Internal("AppendRow after BuildIndexes on '" + def_.name +
+                            "'");
+  }
+  if (row.size() != def_.columns.size()) {
+    return Status::Internal(
+        StrFormat("row arity %zu != schema arity %zu on '%s'", row.size(),
+                  def_.columns.size(), def_.name.c_str()));
+  }
   rows_.push_back(std::move(row));
   return static_cast<int64_t>(rows_.size()) - 1;
 }
@@ -68,9 +73,11 @@ Status Table::BuildIndexes() {
 
   indexes_.clear();
   for (const IndexDef& idx : def_.indexes) {
+    ORDOPT_FAULT_POINT("storage.table.build");
     auto tree = std::make_unique<BTreeIndex>(idx.directions);
     for (int64_t rid = 0; rid < row_count(); ++rid) {
-      tree->Insert(ExtractKey(rows_[static_cast<size_t>(rid)], idx), rid);
+      ORDOPT_RETURN_NOT_OK(
+          tree->Insert(ExtractKey(rows_[static_cast<size_t>(rid)], idx), rid));
     }
     indexes_.push_back(std::move(tree));
   }

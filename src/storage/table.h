@@ -33,8 +33,12 @@ class Table {
   const Row& row(int64_t rid) const { return rows_[static_cast<size_t>(rid)]; }
   const std::vector<Row>& rows() const { return rows_; }
 
-  /// Appends one row; arity must match the schema. Returns the row id.
-  int64_t AppendRow(Row row);
+  /// Appends one row; arity must match the schema and the table must not
+  /// be finalized yet. Returns the row id, or Status::Internal on misuse.
+  Result<int64_t> AppendRow(Row row);
+
+  /// True once BuildIndexes has run and the table is read-only.
+  bool finalized() const { return finalized_; }
 
   /// If some index is clustered, physically reorders rows into that index's
   /// key order, then builds every declared index and refreshes statistics.

@@ -93,6 +93,36 @@ TEST(Status, Basics) {
   EXPECT_EQ(err.ToString(), "ParseError: bad token");
 }
 
+TEST(Status, EveryFactoryCodeAndToString) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* rendered;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument,
+       "InvalidArgument: m"},
+      {Status::ParseError("m"), StatusCode::kParseError, "ParseError: m"},
+      {Status::BindError("m"), StatusCode::kBindError, "BindError: m"},
+      {Status::NotFound("m"), StatusCode::kNotFound, "NotFound: m"},
+      {Status::AlreadyExists("m"), StatusCode::kAlreadyExists,
+       "AlreadyExists: m"},
+      {Status::Unsupported("m"), StatusCode::kUnsupported, "Unsupported: m"},
+      {Status::Internal("m"), StatusCode::kInternal, "Internal: m"},
+      {Status::ResourceExhausted("m"), StatusCode::kResourceExhausted,
+       "ResourceExhausted: m"},
+      {Status::Cancelled("m"), StatusCode::kCancelled, "Cancelled: m"},
+      {Status::Timeout("m"), StatusCode::kTimeout, "Timeout: m"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+    EXPECT_EQ(c.status.ToString(), c.rendered);
+  }
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
 TEST(Result, ValueAndError) {
   Result<int> ok(7);
   EXPECT_TRUE(ok.ok());

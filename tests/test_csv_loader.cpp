@@ -113,6 +113,61 @@ TEST(CsvLoad, Errors) {
             StatusCode::kNotFound);
 }
 
+TEST(CsvLoad, TruncatedRowIsRejected) {
+  Database db;
+  TableDef def;
+  def.name = "t";
+  def.columns = {{"a", DataType::kInt64},
+                 {"b", DataType::kInt64},
+                 {"c", DataType::kString}};
+  Table* t = db.CreateTable(def).value();
+
+  // The last line was cut mid-row (two fields instead of three).
+  auto r = LoadCsvText("a,b,c\n1,2,x\n3,4\n", t);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("2 fields"), std::string::npos);
+}
+
+TEST(CsvLoad, NumericOverflowIsRejected) {
+  CsvOptions opt;
+  // Past INT64_MAX: strtoll saturates with ERANGE; must not load silently.
+  auto big = ParseCsvField("99999999999999999999", DataType::kInt64, opt);
+  EXPECT_FALSE(big.ok());
+  EXPECT_NE(big.status().message().find("out of range"), std::string::npos);
+  auto small = ParseCsvField("-99999999999999999999", DataType::kInt64, opt);
+  EXPECT_FALSE(small.ok());
+  // Doubles past the representable range likewise.
+  auto huge = ParseCsvField("1e999", DataType::kDouble, opt);
+  EXPECT_FALSE(huge.ok());
+  // Boundary values still parse.
+  EXPECT_EQ(
+      ParseCsvField("9223372036854775807", DataType::kInt64, opt).value()
+          .AsInt(),
+      INT64_MAX);
+}
+
+TEST(CsvLoad, LoadIntoFinalizedTableIsRejected) {
+  Database db;
+  TableDef def;
+  def.name = "t";
+  def.columns = {{"a", DataType::kInt64}};
+  Table* t = db.CreateTable(def).value();
+  ASSERT_TRUE(LoadCsvText("a\n1\n", t).ok());
+  ASSERT_TRUE(db.FinalizeAll().ok());
+
+  auto r = LoadCsvText("a\n2\n", t);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("finalized"), std::string::npos);
+  EXPECT_EQ(t->row_count(), 1);
+
+  // Direct AppendRow misuse degrades to Status, not an abort.
+  auto append = t->AppendRow({Value::Int(3)});
+  EXPECT_FALSE(append.ok());
+  EXPECT_EQ(append.status().code(), StatusCode::kInternal);
+}
+
 TEST(CsvLoad, HeaderlessAndCustomNullMarker) {
   Database db;
   TableDef def;

@@ -1,0 +1,190 @@
+// Fault-injection tests: registry mechanics (arm / fire_after /
+// fire_count / spec parsing) plus end-to-end coverage that every probed
+// site degrades a query or load into a clean non-OK Status naming the
+// site — never an abort.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/fault_injection.h"
+#include "exec/engine.h"
+#include "query_test_util.h"
+#include "storage/csv_loader.h"
+
+namespace ordopt {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().DisarmAll(); }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+};
+
+TEST_F(FaultInjectionTest, DisarmedProbeIsFree) {
+  FaultInjector& fi = FaultInjector::Global();
+  EXPECT_FALSE(fi.enabled());
+  EXPECT_TRUE(fi.Check("some.site").ok());
+  EXPECT_EQ(fi.HitCount("some.site"), 0);
+}
+
+TEST_F(FaultInjectionTest, FireAfterCountsHits) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Arm("s", /*fire_after=*/2, /*fire_count=*/1);
+  EXPECT_TRUE(fi.enabled());
+  EXPECT_TRUE(fi.Check("s").ok());   // hit 1: passes
+  EXPECT_TRUE(fi.Check("s").ok());   // hit 2: passes
+  Status fault = fi.Check("s");      // hit 3: fires
+  ASSERT_FALSE(fault.ok());
+  EXPECT_EQ(fault.code(), StatusCode::kInternal);
+  EXPECT_NE(fault.message().find("injected fault at s"), std::string::npos);
+  EXPECT_TRUE(fi.Check("s").ok());   // fire_count=1 exhausted
+  EXPECT_EQ(fi.HitCount("s"), 4);
+  EXPECT_EQ(fi.FireCount("s"), 1);
+}
+
+TEST_F(FaultInjectionTest, FireForever) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Arm("s", 0, -1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(fi.Check("s").ok()) << "hit " << i;
+  }
+  EXPECT_EQ(fi.FireCount("s"), 5);
+}
+
+TEST_F(FaultInjectionTest, RearmResetsCounters) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Arm("s", 0, 1);
+  EXPECT_FALSE(fi.Check("s").ok());
+  fi.Arm("s", 1, 1);
+  EXPECT_EQ(fi.HitCount("s"), 0);
+  EXPECT_TRUE(fi.Check("s").ok());
+  EXPECT_FALSE(fi.Check("s").ok());
+}
+
+TEST_F(FaultInjectionTest, DisarmAndDisarmAll) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Arm("a", 0, -1);
+  fi.Arm("b", 0, -1);
+  fi.Disarm("a");
+  EXPECT_TRUE(fi.Check("a").ok());
+  EXPECT_FALSE(fi.Check("b").ok());
+  EXPECT_TRUE(fi.enabled());
+  fi.DisarmAll();
+  EXPECT_FALSE(fi.enabled());
+  EXPECT_TRUE(fi.Check("b").ok());
+}
+
+TEST_F(FaultInjectionTest, ArmFromSpecValid) {
+  FaultInjector& fi = FaultInjector::Global();
+  ASSERT_TRUE(fi.ArmFromSpec("a:0").ok());
+  EXPECT_FALSE(fi.Check("a").ok());
+
+  fi.DisarmAll();
+  ASSERT_TRUE(fi.ArmFromSpec("a:1:2,b:0:*").ok());
+  EXPECT_TRUE(fi.Check("a").ok());
+  EXPECT_FALSE(fi.Check("a").ok());
+  EXPECT_FALSE(fi.Check("a").ok());
+  EXPECT_TRUE(fi.Check("a").ok());  // fire_count=2 exhausted
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(fi.Check("b").ok());
+}
+
+TEST_F(FaultInjectionTest, ArmFromSpecInvalid) {
+  FaultInjector& fi = FaultInjector::Global();
+  for (const char* bad : {"", "siteonly", "site:", ":3", "site:abc",
+                          "site:1:xyz", "site:-2"}) {
+    Status s = fi.ArmFromSpec(bad);
+    EXPECT_FALSE(s.ok()) << "spec '" << bad << "' should be rejected";
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_FALSE(fi.enabled()) << "spec '" << bad << "' must not arm sites";
+  }
+}
+
+// --- End-to-end: each probed site must surface as a clean Status. ---
+
+class FaultSiteTest : public FaultInjectionTest {
+ protected:
+  void SetUp() override {
+    FaultInjectionTest::SetUp();
+    BuildToyDatabase(&db_);
+  }
+
+  Database db_;
+};
+
+constexpr const char* kSiteQuery =
+    "select e.eno, d.dname from emp e, dept d "
+    "where e.dno = d.dno order by e.salary, e.eno";
+
+void ExpectCleanFault(const char* site, const Status& status) {
+  ASSERT_FALSE(status.ok()) << "armed site " << site
+                            << " did not fail the query";
+  EXPECT_EQ(status.code(), StatusCode::kInternal) << site;
+  EXPECT_NE(status.message().find(site), std::string::npos)
+      << "error should name the site: " << status.ToString();
+}
+
+TEST_F(FaultSiteTest, ExecOperatorNext) {
+  FaultInjector::Global().Arm("exec.operator.next", 3, 1);
+  QueryEngine engine(&db_);
+  ExpectCleanFault("exec.operator.next", engine.Run(kSiteQuery).status());
+}
+
+TEST_F(FaultSiteTest, ExecSortSpill) {
+  FaultInjector::Global().Arm("exec.sort.spill", 0, 1);
+  QueryEngine engine(&db_);
+  ExpectCleanFault("exec.sort.spill", engine.Run(kSiteQuery).status());
+}
+
+TEST_F(FaultSiteTest, PlannerAlloc) {
+  FaultInjector::Global().Arm("planner.alloc", 0, 1);
+  QueryEngine engine(&db_);
+  ExpectCleanFault("planner.alloc", engine.Run(kSiteQuery).status());
+}
+
+TEST_F(FaultSiteTest, StorageBtreeRead) {
+  FaultInjector::Global().Arm("storage.btree.read", 0, -1);
+  QueryEngine engine(&db_);
+  // Equality on the emp primary key plans an index access path.
+  ExpectCleanFault(
+      "storage.btree.read",
+      engine.Run("select eno, salary from emp where eno = 5").status());
+}
+
+TEST_F(FaultSiteTest, StorageCsvRow) {
+  FaultInjector::Global().Arm("storage.csv.row", 1, 1);
+  Database db;
+  TableDef def;
+  def.name = "csvfault";
+  def.columns = {{"a", DataType::kInt64}, {"b", DataType::kInt64}};
+  Table* t = db.CreateTable(def).value();
+  CsvOptions options;
+  options.has_header = false;
+  auto loaded = LoadCsvText("1,2\n3,4\n5,6\n", t, options);
+  ExpectCleanFault("storage.csv.row", loaded.status());
+}
+
+TEST_F(FaultSiteTest, StorageTableBuild) {
+  FaultInjector::Global().Arm("storage.table.build", 0, 1);
+  Database db;
+  TableDef def;
+  def.name = "buildfault";
+  def.columns = {{"a", DataType::kInt64}};
+  def.AddIndex("a_idx", {"a"});
+  Table* t = db.CreateTable(def).value();
+  ASSERT_TRUE(t->AppendRow({Value::Int(1)}).ok());
+  ExpectCleanFault("storage.table.build", t->BuildIndexes());
+}
+
+TEST_F(FaultSiteTest, EngineRecoversAfterDisarm) {
+  FaultInjector::Global().Arm("exec.operator.next", 0, 1);
+  QueryEngine engine(&db_);
+  EXPECT_FALSE(engine.Run(kSiteQuery).ok());
+  FaultInjector::Global().DisarmAll();
+  auto r = engine.Run(kSiteQuery);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r.value().rows.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ordopt

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
 #include "exec/engine.h"
 #include "qgm/rewrite.h"
 #include "query_test_util.h"
@@ -224,6 +225,66 @@ TEST_P(QueryFuzz, EngineMatchesReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Random, QueryFuzz, ::testing::Range(0, 200));
+
+// Fuzz-under-fault: run random queries with each fault site armed in
+// turn. Every run must either fail with a clean non-OK Status or succeed
+// with rows matching the reference — never crash, hang, or silently
+// return wrong rows. (A run can legitimately succeed when the armed site
+// is not on the chosen plan's path, e.g. btree.read with no index scan.)
+class QueryFuzzUnderFault : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { FaultInjector::Global().DisarmAll(); }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+};
+
+TEST_P(QueryFuzzUnderFault, CleanErrorOrCorrectRows) {
+  Database db;
+  BuildToyDatabase(&db, 1234, 60);
+
+  QueryGen gen(static_cast<uint64_t>(GetParam()) * 2654435761u + 17);
+  std::string sql = gen.Generate();
+  SCOPED_TRACE(sql);
+
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto bound = BindQuery(*stmt.value(), db);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  MergeDerivedTables(bound.value().get());
+  ReferenceEvaluator ref(*bound.value());
+  auto expected = Canonicalize(ref.Evaluate().rows);
+
+  const char* kSites[] = {"storage.btree.read", "exec.sort.spill",
+                          "exec.operator.next", "planner.alloc"};
+  // Vary how deep into execution the fault lands.
+  const int64_t fire_afters[] = {0, 1, 7};
+  for (const char* site : kSites) {
+    for (int64_t fire_after : fire_afters) {
+      FaultInjector::Global().Arm(site, fire_after, /*fire_count=*/-1);
+      QueryEngine engine(&db);
+      auto run = engine.Run(sql);
+      if (run.ok()) {
+        EXPECT_EQ(Canonicalize(run.value().rows), expected)
+            << site << ":" << fire_after
+            << " succeeded with wrong rows; plan:\n"
+            << run.value().plan_text;
+      } else {
+        EXPECT_NE(run.status().message().find(site), std::string::npos)
+            << site << ":" << fire_after
+            << " failed without naming the site: "
+            << run.status().ToString();
+      }
+      FaultInjector::Global().DisarmAll();
+    }
+  }
+
+  // Disarmed, the same engine path must still produce correct rows.
+  QueryEngine engine(&db);
+  auto run = engine.Run(sql);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(Canonicalize(run.value().rows), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, QueryFuzzUnderFault, ::testing::Range(0, 25));
 
 }  // namespace
 }  // namespace ordopt
