@@ -9,12 +9,21 @@
 // aggregation — DB2/CS had neither in 1996); a supplementary run with hash
 // operators enabled shows the modern trade-off.
 //
-// Usage: bench_table1_q3 [--sf=0.02] [--runs=5] [--guard-overhead]
+// Usage: bench_table1_q3 [--sf=0.02] [--runs=5] [--sort-budget=N]
+//                        [--guard-overhead] [--spill-check]
+//
+// --sort-budget=N sets cost_params.sort_memory_rows for every mode, so a
+// small N forces Q3's sorts through the external-merge spill path.
 //
 // --guard-overhead instead measures the wall-clock cost of the execution
 // guardrails on Q3: unlimited QueryLimits (every limit check short-
 // circuits) vs generous finite limits (every per-row check is live but
 // never trips). The delta is the price of the safety net.
+//
+// --spill-check instead runs Q3 once in memory and once with the sort
+// budget forced below the input size, verifies the two row vectors are
+// identical, and reports the spill metrics plus the wall-clock cost of
+// spilling.
 
 #include <cstdio>
 #include <cstring>
@@ -32,13 +41,16 @@ struct ModeResult {
   double wall_seconds = 0;
   RuntimeMetrics metrics;
   std::string plan;
+  std::vector<Row> rows;
 };
 
-ModeResult RunMode(Database* db, bool order_opt, bool hash_ops, int runs) {
+ModeResult RunMode(Database* db, bool order_opt, bool hash_ops, int runs,
+                   int64_t sort_budget = 0) {
   OptimizerConfig cfg;
   cfg.enable_order_optimization = order_opt;
   cfg.enable_hash_join = hash_ops;
   cfg.enable_hash_grouping = hash_ops;
+  if (sort_budget != 0) cfg.cost_params.sort_memory_rows = sort_budget;
   QueryEngine engine(db, cfg);
   ModeResult out;
   for (int i = 0; i < runs; ++i) {
@@ -52,6 +64,7 @@ ModeResult RunMode(Database* db, bool order_opt, bool hash_ops, int runs) {
     if (i == 0) {
       out.metrics = r.value().metrics;
       out.plan = r.value().plan_text;
+      out.rows = std::move(r.value().rows);
     }
   }
   out.sim_seconds /= runs;
@@ -104,18 +117,67 @@ int GuardOverhead(Database* db, int runs) {
   return 0;
 }
 
+// Forced-spill correctness + cost check: the acceptance gate for the
+// external-merge sort. Q3 with the budget below its sort input must be
+// row-identical to the in-memory run and report spilled-run metrics.
+int SpillCheck(Database* db, int runs) {
+  ModeResult in_memory =
+      RunMode(db, /*order_opt=*/true, /*hash=*/false, runs);
+  // Q3's largest sort input at SF=0.02 is a few thousand rows; 64 rows
+  // (one page) forces dozens of runs through the k-way merge.
+  const int64_t budget = 64;
+  ModeResult spilled =
+      RunMode(db, /*order_opt=*/true, /*hash=*/false, runs, budget);
+
+  std::printf("--- forced-spill check (sort budget = %lld rows) ---\n",
+              static_cast<long long>(budget));
+  std::printf("%-24s %12s %12s\n", "", "in-memory", "spilled");
+  std::printf("%-24s %12zu %12zu\n", "result rows", in_memory.rows.size(),
+              spilled.rows.size());
+  std::printf("%-24s %11.4fs %11.4fs\n", "elapsed (wall)",
+              in_memory.wall_seconds, spilled.wall_seconds);
+  std::printf("%-24s %12lld %12lld\n", "spilled runs",
+              static_cast<long long>(in_memory.metrics.spill_runs),
+              static_cast<long long>(spilled.metrics.spill_runs));
+  std::printf("%-24s %12lld %12lld\n", "spilled rows",
+              static_cast<long long>(in_memory.metrics.spill_rows),
+              static_cast<long long>(spilled.metrics.spill_rows));
+  std::printf("%-24s %12lld %12lld\n", "spilled bytes",
+              static_cast<long long>(in_memory.metrics.spill_bytes),
+              static_cast<long long>(spilled.metrics.spill_bytes));
+  std::printf("%-24s %12lld %12lld\n", "I/O retries",
+              static_cast<long long>(in_memory.metrics.spill_retries),
+              static_cast<long long>(spilled.metrics.spill_retries));
+  std::printf("%-24s %12lld %12lld\n", "buffered rows peak",
+              static_cast<long long>(in_memory.metrics.rows_buffered_peak),
+              static_cast<long long>(spilled.metrics.rows_buffered_peak));
+  bool identical = in_memory.rows == spilled.rows;
+  bool spilled_something = spilled.metrics.spill_runs > 0;
+  std::printf("\nrows identical to in-memory path: %s\n",
+              identical ? "YES" : "NO  <-- FAIL");
+  std::printf("spill path exercised: %s\n",
+              spilled_something ? "YES" : "NO  <-- FAIL");
+  return identical && spilled_something ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double sf = 0.02;
   int runs = 5;
+  int64_t sort_budget = 0;
   bool guard_overhead = false;
+  bool spill_check = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--sf=", 5) == 0) sf = std::atof(argv[i] + 5);
     if (std::strncmp(argv[i], "--runs=", 7) == 0) {
       runs = std::atoi(argv[i] + 7);
     }
+    if (std::strncmp(argv[i], "--sort-budget=", 14) == 0) {
+      sort_budget = std::atoll(argv[i] + 14);
+    }
     if (std::strcmp(argv[i], "--guard-overhead") == 0) guard_overhead = true;
+    if (std::strcmp(argv[i], "--spill-check") == 0) spill_check = true;
   }
 
   std::printf("=== Table 1: Elapsed Time for Query 3 (TPC-D, SF=%.3f, "
@@ -135,11 +197,13 @@ int main(int argc, char** argv) {
               static_cast<long long>(db.GetTable("lineitem")->row_count()));
 
   if (guard_overhead) return GuardOverhead(&db, runs);
+  if (spill_check) return SpillCheck(&db, runs);
 
   // DB2/CS engine profile: the paper's configuration.
-  ModeResult prod = RunMode(&db, /*order_opt=*/true, /*hash=*/false, runs);
+  ModeResult prod =
+      RunMode(&db, /*order_opt=*/true, /*hash=*/false, runs, sort_budget);
   ModeResult disabled =
-      RunMode(&db, /*order_opt=*/false, /*hash=*/false, runs);
+      RunMode(&db, /*order_opt=*/false, /*hash=*/false, runs, sort_budget);
 
   std::printf("--- DB2/CS engine profile (no hash operators), simulated "
               "1996 hardware ---\n");
@@ -161,6 +225,14 @@ int main(int argc, char** argv) {
   std::printf("%-22s %14lld %14lld\n", "random pages",
               static_cast<long long>(prod.metrics.random_pages),
               static_cast<long long>(disabled.metrics.random_pages));
+  if (sort_budget != 0) {
+    std::printf("%-22s %14lld %14lld\n", "spilled runs",
+                static_cast<long long>(prod.metrics.spill_runs),
+                static_cast<long long>(disabled.metrics.spill_runs));
+    std::printf("%-22s %14lld %14lld\n", "spilled bytes",
+                static_cast<long long>(prod.metrics.spill_bytes),
+                static_cast<long long>(disabled.metrics.spill_bytes));
+  }
   double ratio = disabled.sim_seconds / prod.sim_seconds;
   std::printf("\nRatio (disabled / production): %.2f   [paper: 2.04]\n",
               ratio);
@@ -168,8 +240,8 @@ int main(int argc, char** argv) {
               ratio > 1.0 ? "YES" : "NO  <-- UNEXPECTED");
 
   // Supplementary: modern engine profile with hash operators available.
-  ModeResult prod_h = RunMode(&db, true, /*hash=*/true, runs);
-  ModeResult dis_h = RunMode(&db, false, /*hash=*/true, runs);
+  ModeResult prod_h = RunMode(&db, true, /*hash=*/true, runs, sort_budget);
+  ModeResult dis_h = RunMode(&db, false, /*hash=*/true, runs, sort_budget);
   std::printf("--- supplementary: hash join/aggregation available ---\n");
   std::printf("production %.2fs vs disabled %.2fs  (ratio %.2f)\n\n",
               prod_h.sim_seconds, dis_h.sim_seconds,

@@ -6,6 +6,8 @@
 //   .orderopt on|off   toggle order optimization (the paper's §8 switch)
 //   .hash on|off       toggle hash join/aggregation (DB2/CS profile = off)
 //   .sortahead on|off  toggle sort-ahead
+//   .sortmem <rows>    sort-memory budget; small values force sorts to
+//                      spill runs to temp files (0 = never spill)
 //   .qgm <sql>         show the bound QGM box tree
 //   .tables            list tables
 //   .quit
@@ -109,6 +111,13 @@ int main(int argc, char** argv) {
                   cfg.enable_order_optimization ? "on" : "off",
                   cfg.enable_hash_join ? "on" : "off",
                   cfg.enable_sort_ahead ? "on" : "off");
+      continue;
+    }
+    if (starts(".sortmem ")) {
+      cfg.cost_params.sort_memory_rows = std::atoll(line.c_str() + 9);
+      engine.set_config(cfg);
+      std::printf("ok (sort_memory_rows=%lld)\n",
+                  static_cast<long long>(cfg.cost_params.sort_memory_rows));
       continue;
     }
     if (starts(".qgm ")) {

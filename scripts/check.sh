@@ -22,4 +22,19 @@ for preset in default asan-ubsan; do
   ctest --preset "$preset" -j "$JOBS"
 done
 
-echo "OK: both configurations build and pass."
+# Spill-file leak gate: rerun the spill suite under sanitizers with a
+# tiny sort budget and a private temp dir (via ORDOPT_TMPDIR); any
+# ordopt-spill-* file left behind after the run is a cleanup bug.
+echo "==> spill leak gate [asan-ubsan]"
+SPILL_TMP="$(mktemp -d -t ordopt-leak-gate.XXXXXX)"
+trap 'rm -rf "$SPILL_TMP"' EXIT
+ORDOPT_TMPDIR="$SPILL_TMP" ./build-asan/tests/test_spill >/dev/null
+ORDOPT_TMPDIR="$SPILL_TMP" ./build-asan/tests/test_fault_injection >/dev/null
+LEAKED="$(find "$SPILL_TMP" -type f -name 'ordopt-spill-*' | wc -l)"
+if [ "$LEAKED" -ne 0 ]; then
+  echo "FAIL: $LEAKED spill file(s) leaked in $SPILL_TMP:"
+  find "$SPILL_TMP" -name 'ordopt-spill-*'
+  exit 1
+fi
+
+echo "OK: both configurations build and pass; no spill files leaked."

@@ -58,11 +58,12 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Arm(const std::string& site, int64_t fire_after,
-                        int64_t fire_count) {
+                        int64_t fire_count, StatusCode code) {
   std::lock_guard<std::mutex> lock(mu_);
   SiteState& state = sites_[site];
   state.fire_after = fire_after;
   state.fire_count = fire_count;
+  state.code = code;
   state.hits = 0;
   state.fired = 0;
   armed_sites_.store(static_cast<int>(sites_.size()),
@@ -75,13 +76,15 @@ Status FaultInjector::ArmFromSpec(const std::string& spec) {
     std::string site;
     int64_t fire_after;
     int64_t fire_count;
+    StatusCode code;
   };
   std::vector<Parsed> parsed;
   for (const std::string& arm : SplitSpec(spec, ',')) {
     std::vector<std::string> parts = SplitSpec(arm, ':');
-    if (parts.size() < 2 || parts.size() > 3) {
+    if (parts.size() < 2 || parts.size() > 4) {
       return Status::InvalidArgument(
-          "fault spec '" + arm + "' is not site:fire_after[:fire_count]");
+          "fault spec '" + arm +
+          "' is not site:fire_after[:fire_count[:code]]");
     }
     Parsed p;
     p.site = parts[0];
@@ -90,18 +93,30 @@ Status FaultInjector::ArmFromSpec(const std::string& spec) {
                                      "': bad fire_after '" + parts[1] + "'");
     }
     p.fire_count = 1;
-    if (parts.size() == 3 &&
+    if (parts.size() >= 3 &&
         (!ParseCount(parts[2], &p.fire_count) ||
          (p.fire_count < 0 && p.fire_count != -1))) {
       return Status::InvalidArgument("fault spec '" + arm +
                                      "': bad fire_count '" + parts[2] + "'");
+    }
+    p.code = StatusCode::kInternal;
+    if (parts.size() == 4) {
+      if (parts[3] == "io") {
+        p.code = StatusCode::kIoError;
+      } else if (parts[3] != "internal") {
+        return Status::InvalidArgument("fault spec '" + arm +
+                                       "': bad code '" + parts[3] +
+                                       "' (want 'internal' or 'io')");
+      }
     }
     parsed.push_back(std::move(p));
   }
   if (parsed.empty()) {
     return Status::InvalidArgument("empty fault spec");
   }
-  for (const Parsed& p : parsed) Arm(p.site, p.fire_after, p.fire_count);
+  for (const Parsed& p : parsed) {
+    Arm(p.site, p.fire_after, p.fire_count, p.code);
+  }
   return Status::OK();
 }
 
@@ -130,8 +145,9 @@ Status FaultInjector::Check(const char* site) {
     return Status::OK();
   }
   ++state.fired;
-  return Status::Internal(StrFormat("injected fault at %s (hit %lld)", site,
-                                    static_cast<long long>(state.hits)));
+  return Status(state.code,
+                StrFormat("injected fault at %s (hit %lld)", site,
+                          static_cast<long long>(state.hits)));
 }
 
 int64_t FaultInjector::HitCount(const std::string& site) const {

@@ -19,32 +19,37 @@ namespace ordopt {
 /// path is a single relaxed atomic load, so probes are safe on hot paths.
 ///
 /// Sites currently probed:
-///   storage.btree.read   B+-tree seek on index scans and index NL probes
-///   storage.csv.row      per-row CSV ingestion
-///   exec.sort.spill      Sort operator run formation (any sort)
-///   exec.operator.next   every row pulled from the plan root
-///   planner.alloc        plan-node construction per QGM box
+///   storage.btree.read    B+-tree seek on index scans and index NL probes
+///   storage.csv.row       per-row CSV ingestion
+///   exec.sort.spill.write sort run-file write (per attempt, retried)
+///   exec.sort.spill.read  sort run-file read during merge (per attempt)
+///   exec.sort.spill.merge k-way merge startup of spilled runs
+///   exec.spill.cleanup    spill run-file removal (Close / early error)
+///   exec.operator.next    every row pulled from the plan root
+///   planner.alloc         plan-node construction per QGM box
 ///
 /// Arming is programmatic (Arm/ArmFromSpec) or via the ORDOPT_FAULTS
 /// environment variable, read once at first use. Spec grammar:
 ///
 ///   spec       := arm (',' arm)*
-///   arm        := site ':' fire_after [':' fire_count]
+///   arm        := site ':' fire_after [':' fire_count [':' code]]
 ///   fire_after := non-negative integer; the site passes this many hits,
 ///                 then starts firing (0 = fire on the first hit)
 ///   fire_count := hits that fail once firing starts (default 1;
 ///                 -1 or '*' = every subsequent hit fails)
+///   code       := 'internal' (default) or 'io'; 'io' injects kIoError,
+///                 which retry-wrapped spill I/O treats as transient
 ///
-/// e.g. ORDOPT_FAULTS="storage.btree.read:2,exec.operator.next:0:*".
+/// e.g. ORDOPT_FAULTS="storage.btree.read:2,exec.sort.spill.write:0:2:io".
 class FaultInjector {
  public:
   /// Process-wide registry. ORDOPT_FAULTS is applied on first call.
   static FaultInjector& Global();
 
   /// Arms `site`: passes `fire_after` hits, then fails `fire_count` hits
-  /// (-1 = forever). Re-arming resets the site's hit counters.
+  /// (-1 = forever) with `code`. Re-arming resets the site's hit counters.
   void Arm(const std::string& site, int64_t fire_after,
-           int64_t fire_count = 1);
+           int64_t fire_count = 1, StatusCode code = StatusCode::kInternal);
 
   /// Parses and applies the spec grammar above. On a malformed spec no
   /// site is armed and an InvalidArgument status describes the problem.
@@ -71,6 +76,7 @@ class FaultInjector {
   struct SiteState {
     int64_t fire_after = 0;
     int64_t fire_count = 1;  // -1 = unlimited
+    StatusCode code = StatusCode::kInternal;
     int64_t hits = 0;
     int64_t fired = 0;
   };

@@ -1,0 +1,39 @@
+#include "common/retry.h"
+
+#include <chrono>
+#include <thread>
+
+namespace ordopt {
+
+int64_t RetryPolicy::BackoffMicros(int retry) const {
+  if (retry < 1 || base_backoff_micros <= 0) return 0;
+  int64_t backoff = base_backoff_micros;
+  for (int i = 1; i < retry && backoff < max_backoff_micros; ++i) {
+    backoff *= 2;
+  }
+  return backoff < max_backoff_micros ? backoff : max_backoff_micros;
+}
+
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kIoError;
+}
+
+Status RetryIo(const RetryPolicy& policy, int64_t* retries,
+               const std::function<Status()>& op) {
+  int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  Status last;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      if (retries != nullptr) ++*retries;
+      int64_t backoff = policy.BackoffMicros(attempt - 1);
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      }
+    }
+    last = op();
+    if (last.ok() || !IsTransient(last)) return last;
+  }
+  return last;
+}
+
+}  // namespace ordopt

@@ -1,0 +1,45 @@
+#ifndef ORDOPT_COMMON_RETRY_H_
+#define ORDOPT_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace ordopt {
+
+/// Bounded retry with deterministic backoff for transient I/O failures
+/// (spill-file writes and reads). Deliberately tiny: no jitter, no wall
+/// clocks — the backoff sequence is a pure function of the attempt number,
+/// so tests and fault-injection runs are exactly reproducible.
+struct RetryPolicy {
+  /// Total tries, including the first. Values below 1 behave as 1.
+  int max_attempts = 3;
+  /// Sleep before the first re-attempt; doubles per further re-attempt.
+  int64_t base_backoff_micros = 100;
+  /// Ceiling on one backoff sleep.
+  int64_t max_backoff_micros = 10000;
+
+  /// Backoff before re-attempt number `retry` (1-based):
+  /// min(base * 2^(retry-1), max).
+  int64_t BackoffMicros(int retry) const;
+};
+
+/// True for failures worth retrying: kIoError, where the device or the
+/// filesystem may recover (EINTR-style blips, NFS hiccups, transient
+/// write pressure). Every other code — including injected kInternal
+/// faults and tripped guardrails — is permanent and fails immediately.
+bool IsTransient(const Status& status);
+
+/// Runs `op` up to `policy.max_attempts` times, sleeping the deterministic
+/// backoff between attempts, while it keeps returning a transient status.
+/// Returns OK on the first success, the first permanent error unretried,
+/// or the last transient error once attempts are exhausted. Each
+/// re-attempt increments `*retries` when non-null (so callers can surface
+/// retry counts in metrics).
+Status RetryIo(const RetryPolicy& policy, int64_t* retries,
+               const std::function<Status()>& op);
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_COMMON_RETRY_H_

@@ -28,6 +28,8 @@ const char* CodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }

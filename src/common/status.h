@@ -22,6 +22,7 @@ enum class StatusCode {
   kResourceExhausted, ///< a configured resource limit was exceeded
   kCancelled,         ///< execution stopped by a cancellation request
   kTimeout,           ///< execution exceeded its wall-clock deadline
+  kIoError,           ///< a file operation failed (possibly transient)
 };
 
 /// Lightweight error-or-success value, RocksDB/Arrow style.
@@ -62,6 +63,9 @@ class Status {
   }
   static Status Timeout(std::string m) {
     return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -31,8 +31,15 @@ Result<QueryResult> QueryEngine::Prepare(const std::string& sql, bool execute,
     // supplied a guard of their own.
     QueryGuard config_guard(config_.limits);
     if (guard == nullptr) guard = &config_guard;
+    // Sorts spill under the same row budget the cost model priced; the
+    // manager lives inside ExecutePlan, scoped to this query.
+    SpillConfig spill_config;
+    spill_config.sort_memory_rows = config_.cost_params.sort_memory_rows;
+    spill_config.temp_dir = config_.spill_temp_dir;
+    spill_config.retry = config_.spill_retry;
     auto start = std::chrono::steady_clock::now();
-    Result<std::vector<Row>> rows = ExecutePlan(plan, &result.metrics, guard);
+    Result<std::vector<Row>> rows =
+        ExecutePlan(plan, &result.metrics, guard, &spill_config);
     auto end = std::chrono::steady_clock::now();
     result.elapsed_seconds =
         std::chrono::duration<double>(end - start).count();

@@ -127,14 +127,22 @@ Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan, ExecContext ctx) {
 
 Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
                                      RuntimeMetrics* metrics,
-                                     QueryGuard* guard) {
+                                     QueryGuard* guard,
+                                     const SpillConfig* spill_config) {
   // An unlimited local guard keeps the error channel available (poison,
   // fault injection) even for callers that configured no limits.
   QueryGuard local_guard;
   if (guard == nullptr) guard = &local_guard;
   guard->Arm();
 
-  ExecContext ctx(metrics, guard);
+  // Declared before the operator tree so operators close (releasing their
+  // spill runs) before the manager goes away.
+  std::unique_ptr<SpillManager> spill;
+  if (spill_config != nullptr) {
+    spill = std::make_unique<SpillManager>(*spill_config, metrics);
+  }
+
+  ExecContext ctx(metrics, guard, spill.get());
   ORDOPT_ASSIGN_OR_RETURN(OperatorPtr root, BuildOperatorTree(plan, ctx));
   root->Open();
   std::vector<Row> rows;

@@ -8,6 +8,7 @@
 #include "exec/metrics.h"
 #include "exec/operators.h"
 #include "exec/query_guard.h"
+#include "exec/spill.h"
 #include "optimizer/plan.h"
 
 namespace ordopt {
@@ -21,10 +22,14 @@ Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan, ExecContext ctx);
 /// Convenience: builds, opens, drains, and closes the plan, returning every
 /// produced row. When `guard` is non-null its limits are enforced during the
 /// drain and a tripped guard's Status is returned (with consumption peaks
-/// already merged into `metrics`); a null guard executes unlimited.
+/// already merged into `metrics`); a null guard executes unlimited. When
+/// `spill_config` is non-null a SpillManager scoped to this execution lets
+/// sorts exceed the row budget by spilling runs to disk; a null config
+/// keeps every sort in memory.
 Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
                                      RuntimeMetrics* metrics,
-                                     QueryGuard* guard = nullptr);
+                                     QueryGuard* guard = nullptr,
+                                     const SpillConfig* spill_config = nullptr);
 
 }  // namespace ordopt
 

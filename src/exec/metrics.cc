@@ -8,7 +8,8 @@ std::string RuntimeMetrics::ToString() const {
   return StrFormat(
       "rows=%lld scanned=%lld cmp=%lld seq_pages=%lld rand_pages=%lld "
       "probes=%lld sorts=%lld rows_sorted=%lld buf_rows_peak=%lld "
-      "buf_bytes_peak=%lld sim_io=%.3fs",
+      "buf_bytes_peak=%lld spill_runs=%lld spill_rows=%lld "
+      "spill_bytes=%lld spill_retries=%lld sim_io=%.3fs",
       static_cast<long long>(rows_produced),
       static_cast<long long>(rows_scanned),
       static_cast<long long>(comparisons),
@@ -18,7 +19,10 @@ std::string RuntimeMetrics::ToString() const {
       static_cast<long long>(sorts_performed),
       static_cast<long long>(rows_sorted),
       static_cast<long long>(rows_buffered_peak),
-      static_cast<long long>(bytes_buffered_peak), SimulatedIoSeconds());
+      static_cast<long long>(bytes_buffered_peak),
+      static_cast<long long>(spill_runs), static_cast<long long>(spill_rows),
+      static_cast<long long>(spill_bytes),
+      static_cast<long long>(spill_retries), SimulatedIoSeconds());
 }
 
 }  // namespace ordopt

@@ -28,6 +28,14 @@ struct RuntimeMetrics {
   /// blocking operators (sorts, hash builds, materialized inners).
   int64_t rows_buffered_peak = 0;
   int64_t bytes_buffered_peak = 0;
+  /// External-sort spill activity (SpillManager): sorted runs written to
+  /// disk when a sort exceeds its row budget, and the rows/bytes they
+  /// carried. Zero for queries that stayed in memory.
+  int64_t spill_runs = 0;
+  int64_t spill_rows = 0;
+  int64_t spill_bytes = 0;
+  /// Spill I/O attempts that were retried after a transient failure.
+  int64_t spill_retries = 0;
 
   /// Simulated I/O time with 1996-style disk parameters: a random page
   /// pays a seek (~8 ms); sequential pages stream with big-block prefetch

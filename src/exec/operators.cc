@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/str_util.h"
+#include "exec/spill.h"
 
 namespace ordopt {
 
@@ -245,27 +246,9 @@ SortOp::SortOp(OperatorPtr child, OrderSpec spec, ExecContext ctx)
   layout_ = child_->layout();
 }
 
-void SortOp::Open() {
-  child_->Open();
-  buffer_.Release();
-  rows_.clear();
-  pos_ = 0;
-  Row row;
-  while (child_->Next(&row)) {
-    if (!buffer_.Add(row)) return;  // buffer limit tripped: wind down
-    rows_.push_back(std::move(row));
-  }
-  if (!ctx_.GuardOk()) return;
-  // Models the write of sorted run files; a failed run write poisons the
-  // query instead of aborting it.
-  if (!rows_.empty() && ctx_.InjectFault("exec.sort.spill")) {
-    rows_.clear();
-    buffer_.Release();
-    return;
-  }
-
-  std::vector<int> positions;
-  std::vector<bool> descending;
+bool SortOp::ResolveComparator() {
+  positions_.clear();
+  descending_.clear();
   ExprEvaluator eval(layout_);
   for (const OrderElement& e : spec_) {
     int p = eval.PositionOf(e.col);
@@ -273,45 +256,156 @@ void SortOp::Open() {
       ctx_.Poison(Status::Internal(
           StrFormat("sort column %s missing from layout",
                     DefaultColumnName(e.col).c_str())));
-      rows_.clear();
-      buffer_.Release();
-      return;
+      return false;
     }
-    positions.push_back(p);
-    descending.push_back(e.dir == SortDirection::kDescending);
+    positions_.push_back(p);
+    descending_.push_back(e.dir == SortDirection::kDescending);
+  }
+  return true;
+}
+
+bool SortOp::RowLess(const Row& a, const Row& b) const {
+  for (size_t i = 0; i < positions_.size(); ++i) {
+    ++ctx_.metrics->comparisons;
+    int c = a[static_cast<size_t>(positions_[i])].Compare(
+        b[static_cast<size_t>(positions_[i])]);
+    if (c != 0) return descending_[i] ? c > 0 : c < 0;
+  }
+  return false;
+}
+
+void SortOp::SortBuffer() {
+  std::stable_sort(
+      rows_.begin(), rows_.end(),
+      [this](const Row& a, const Row& b) { return RowLess(a, b); });
+}
+
+bool SortOp::SpillCurrentRun() {
+  SortBuffer();
+  Result<std::unique_ptr<SpillRun>> run = ctx_.spill->WriteRun(rows_);
+  if (!run.ok()) {
+    ctx_.Poison(run.status());
+    return false;
+  }
+  runs_.push_back(std::move(run).value_unsafe());
+  rows_.clear();
+  buffer_.Release();
+  return true;
+}
+
+void SortOp::Abandon() {
+  rows_.clear();
+  buffer_.Release();
+  heads_.clear();
+  head_valid_.clear();
+  merging_ = false;
+  ReleaseRuns();
+}
+
+void SortOp::ReleaseRuns() {
+  for (std::unique_ptr<SpillRun>& run : runs_) {
+    // runs_ is only ever non-empty under an engine-provided SpillManager.
+    Status st = ctx_.spill->ReleaseRun(std::move(run));
+    if (!st.ok()) ctx_.Poison(std::move(st));
+  }
+  runs_.clear();
+}
+
+void SortOp::Open() {
+  child_->Open();
+  buffer_.Release();
+  rows_.clear();
+  ReleaseRuns();
+  heads_.clear();
+  head_valid_.clear();
+  pos_ = 0;
+  merging_ = false;
+  if (!ResolveComparator()) return;
+  const int64_t budget =
+      ctx_.spill != nullptr ? ctx_.spill->config().sort_memory_rows : 0;
+  int64_t total_rows = 0;
+  Row row;
+  while (child_->Next(&row)) {
+    if (!buffer_.Add(row)) return;  // buffer limit tripped: wind down
+    rows_.push_back(std::move(row));
+    ++total_rows;
+    if (budget > 0 && static_cast<int64_t>(rows_.size()) >= budget) {
+      if (!SpillCurrentRun()) {
+        Abandon();
+        return;
+      }
+    }
+  }
+  if (!ctx_.GuardOk()) {
+    Abandon();
+    return;
   }
   ++ctx_.metrics->sorts_performed;
-  ctx_.metrics->rows_sorted += static_cast<int64_t>(rows_.size());
-  // A sort exceeding memory spills run files and merges them back: two
-  // sequential passes over the data (mirrors CostParams::sort_memory_rows).
-  constexpr size_t kSortMemoryRows = 200000;
-  if (rows_.size() > kSortMemoryRows) {
-    ctx_.metrics->seq_pages +=
-        2 * static_cast<int64_t>(rows_.size()) / kRowsPerPage;
+  ctx_.metrics->rows_sorted += total_rows;
+  SortBuffer();  // the tail — or the whole input when nothing spilled
+  if (runs_.empty()) return;
+  if (ctx_.InjectFault("exec.sort.spill.merge")) {
+    Abandon();
+    return;
   }
-  int64_t* cmp_counter = &ctx_.metrics->comparisons;
-  std::stable_sort(rows_.begin(), rows_.end(),
-                   [&positions, &descending, cmp_counter](const Row& a,
-                                                          const Row& b) {
-                     for (size_t i = 0; i < positions.size(); ++i) {
-                       ++*cmp_counter;
-                       int c = a[static_cast<size_t>(positions[i])].Compare(
-                           b[static_cast<size_t>(positions[i])]);
-                       if (c != 0) return descending[i] ? c > 0 : c < 0;
-                     }
-                     return false;
-                   });
+  heads_.resize(runs_.size());
+  head_valid_.assign(runs_.size(), false);
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    bool eof = false;
+    Status st = ctx_.spill->ReadNext(runs_[i].get(), &heads_[i], &eof);
+    if (!st.ok()) {
+      ctx_.Poison(std::move(st));
+      Abandon();
+      return;
+    }
+    head_valid_[i] = !eof;
+  }
+  merging_ = true;
 }
 
 bool SortOp::Next(Row* out) {
-  if (pos_ >= rows_.size()) return false;
-  *out = rows_[pos_++];
+  if (!merging_) {
+    if (pos_ >= rows_.size()) return false;
+    *out = rows_[pos_++];
+    return true;
+  }
+  if (!ctx_.GuardOk()) return false;
+  // Smallest run head wins; among equal heads the lowest run index (the
+  // earliest rows in input order) wins, and the in-memory tail — the
+  // newest rows — only wins strictly, which together preserve stability.
+  int best = -1;
+  for (size_t i = 0; i < heads_.size(); ++i) {
+    if (!head_valid_[i]) continue;
+    if (best < 0 || RowLess(heads_[i], heads_[static_cast<size_t>(best)])) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (pos_ < rows_.size() &&
+      (best < 0 || RowLess(rows_[pos_], heads_[static_cast<size_t>(best)]))) {
+    *out = std::move(rows_[pos_++]);
+    return true;
+  }
+  if (best < 0) return false;  // runs and tail both drained
+  size_t b = static_cast<size_t>(best);
+  *out = std::move(heads_[b]);
+  bool eof = false;
+  Status st = ctx_.spill->ReadNext(runs_[b].get(), &heads_[b], &eof);
+  if (!st.ok()) {
+    ctx_.Poison(std::move(st));
+    Abandon();
+    return false;
+  }
+  head_valid_[b] = !eof;
   return true;
 }
 
 void SortOp::Close() {
   child_->Close();
   rows_.clear();
+  heads_.clear();
+  head_valid_.clear();
+  merging_ = false;
+  ReleaseRuns();
   buffer_.Release();
 }
 
@@ -997,7 +1091,8 @@ StreamGroupByOp::StreamGroupByOp(OperatorPtr child,
     : Operator(ctx),
       child_(std::move(child)),
       group_columns_(std::move(group_columns)),
-      aggregates_(std::move(aggregates)) {
+      aggregates_(std::move(aggregates)),
+      distinct_buffer_(ctx.guard) {
   for (const ColumnId& c : group_columns_) layout_.push_back(c);
   for (const AggregateSpec& a : aggregates_) layout_.push_back(a.output);
   group_positions_ = PositionsOf(group_columns_, child_->layout(), ctx_);
@@ -1006,6 +1101,7 @@ StreamGroupByOp::StreamGroupByOp(OperatorPtr child,
 void StreamGroupByOp::Open() {
   child_->Open();
   eval_ = std::make_unique<ExprEvaluator>(child_->layout(), ctx_.guard);
+  distinct_buffer_.Release();
   pending_valid_ = child_->Next(&pending_row_);
   done_ = false;
   emitted_global_ = false;
@@ -1013,6 +1109,7 @@ void StreamGroupByOp::Open() {
 
 void StreamGroupByOp::InitStates() {
   states_.assign(aggregates_.size(), State());
+  distinct_buffer_.Release();  // previous group's DISTINCT sets are gone
 }
 
 void StreamGroupByOp::Accumulate(const Row& row) {
@@ -1026,7 +1123,12 @@ void StreamGroupByOp::Accumulate(const Row& row) {
     Value v = eval_->Eval(spec.arg, row);
     if (v.is_null()) continue;
     if (spec.distinct) {
-      st.distinct_values.emplace(std::vector<Value>{v}, true);
+      auto inserted = st.distinct_values.emplace(std::vector<Value>{v}, true);
+      // Each retained distinct value is buffered state; a trip poisons
+      // the guard and Next() winds the stream down.
+      if (inserted.second && !distinct_buffer_.Add(inserted.first->first)) {
+        return;
+      }
       continue;
     }
     st.saw_value = true;
@@ -1122,7 +1224,7 @@ Row StreamGroupByOp::EmitGroup() {
 }
 
 bool StreamGroupByOp::Next(Row* out) {
-  if (done_) return false;
+  if (done_ || !ctx_.GuardOk()) return false;
   if (!pending_valid_) {
     // Empty input: a global aggregate still emits one row.
     if (group_columns_.empty() && !emitted_global_) {
@@ -1168,7 +1270,11 @@ bool StreamGroupByOp::Next(Row* out) {
   return true;
 }
 
-void StreamGroupByOp::Close() { child_->Close(); }
+void StreamGroupByOp::Close() {
+  child_->Close();
+  states_.clear();
+  distinct_buffer_.Release();
+}
 
 // ---------------------------------------------------------------------------
 // HashGroupByOp
@@ -1182,7 +1288,8 @@ HashGroupByOp::HashGroupByOp(OperatorPtr child,
       child_(std::move(child)),
       group_columns_(std::move(group_columns)),
       aggregates_(std::move(aggregates)),
-      buffer_(ctx.guard) {
+      buffer_(ctx.guard),
+      results_buffer_(ctx.guard) {
   for (const ColumnId& c : group_columns_) layout_.push_back(c);
   for (const AggregateSpec& a : aggregates_) layout_.push_back(a.output);
 }
@@ -1194,6 +1301,7 @@ void HashGroupByOp::Open() {
   child_->Open();
   results_.clear();
   buffer_.Release();
+  results_buffer_.Release();
   pos_ = 0;
 
   std::vector<int> positions =
@@ -1236,7 +1344,10 @@ void HashGroupByOp::Open() {
         group_columns_, aggregates_, ctx_);
     agg.Open();
     Row out;
-    while (agg.Next(&out)) results_.push_back(out);
+    while (agg.Next(&out)) {
+      if (!results_buffer_.Add(out)) return;  // limit tripped: wind down
+      results_.push_back(std::move(out));
+    }
     return;
   }
 
@@ -1246,7 +1357,13 @@ void HashGroupByOp::Open() {
                         group_columns_, aggregates_, ctx_);
     agg.Open();
     Row out;
-    while (agg.Next(&out)) results_.push_back(out);
+    while (agg.Next(&out)) {
+      if (!results_buffer_.Add(out)) {  // limit tripped: wind down
+        results_.clear();
+        return;
+      }
+      results_.push_back(std::move(out));
+    }
   }
   buffer_.Release();  // buckets die with this scope
 }
@@ -1261,6 +1378,7 @@ void HashGroupByOp::Close() {
   child_->Close();
   results_.clear();
   buffer_.Release();
+  results_buffer_.Release();
 }
 
 // ---------------------------------------------------------------------------
@@ -1478,6 +1596,13 @@ void TopNOp::Open() {
     }
     if (less(row, rows_.front())) {
       std::pop_heap(rows_.begin(), rows_.end(), less);
+      // Same row count, different payload: re-price the slot so string
+      // growth across evictions can't drift away from the byte guardrail.
+      if (!buffer_.Update(rows_.back(), row)) {
+        rows_.clear();
+        buffer_.Release();
+        return;
+      }
       rows_.back() = std::move(row);
       std::push_heap(rows_.begin(), rows_.end(), less);
     }

@@ -10,6 +10,7 @@
 #include "exec/expr_eval.h"
 #include "exec/metrics.h"
 #include "exec/query_guard.h"
+#include "exec/spill.h"
 #include "optimizer/plan.h"
 #include "storage/table.h"
 
@@ -93,7 +94,14 @@ class FilterOp : public Operator {
   std::unique_ptr<ExprEvaluator> eval_;
 };
 
-/// Full in-memory sort on an OrderSpec (counts comparisons).
+/// ORDER BY via bounded-memory external-merge sort. Rows are buffered up
+/// to the spill budget (SpillConfig::sort_memory_rows); each full buffer
+/// is stable-sorted and written as a run file through the context's
+/// SpillManager, and Next() k-way merges the runs with the in-memory
+/// tail. Ties resolve to the earliest run in input order (the tail last),
+/// so the merge is exactly as stable as the in-memory sort. Without a
+/// SpillManager — or with the budget disabled — this degenerates to the
+/// classic full in-memory sort.
 class SortOp : public Operator {
  public:
   SortOp(OperatorPtr child, OrderSpec spec, ExecContext ctx);
@@ -102,11 +110,32 @@ class SortOp : public Operator {
   void Close() override;
 
  private:
+  /// Resolves the OrderSpec against the child layout into
+  /// positions_/descending_; poisons and returns false on a missing
+  /// column.
+  bool ResolveComparator();
+  /// Strict-weak ordering under the spec; counts comparisons.
+  bool RowLess(const Row& a, const Row& b) const;
+  void SortBuffer();
+  /// Stable-sorts the current buffer and writes it out as one run;
+  /// poisons and returns false on spill failure.
+  bool SpillCurrentRun();
+  /// Winds the operator down after a mid-sort failure: drops buffered
+  /// rows and removes every run file.
+  void Abandon();
+  void ReleaseRuns();
+
   OperatorPtr child_;
   OrderSpec spec_;
   BufferAccount buffer_;
-  std::vector<Row> rows_;
+  std::vector<int> positions_;
+  std::vector<bool> descending_;
+  std::vector<Row> rows_;  ///< in-memory rows (the merge's final run)
   size_t pos_ = 0;
+  std::vector<std::unique_ptr<SpillRun>> runs_;  ///< spilled, input order
+  std::vector<Row> heads_;       ///< current head row per run
+  std::vector<bool> head_valid_;
+  bool merging_ = false;
 };
 
 /// Merge join of two streams sorted on the join keys (ascending). Handles
@@ -336,6 +365,9 @@ class StreamGroupByOp : public Operator {
   std::vector<AggregateSpec> aggregates_;
   std::vector<int> group_positions_;
   std::unique_ptr<ExprEvaluator> eval_;
+  /// Charges the DISTINCT-aggregate value sets (the one place this
+  /// streaming operator buffers unboundedly) against the guard.
+  BufferAccount distinct_buffer_;
 
   std::vector<Value> current_key_;
   bool group_open_ = false;
@@ -370,7 +402,8 @@ class HashGroupByOp : public Operator {
   OperatorPtr child_;
   std::vector<ColumnId> group_columns_;
   std::vector<AggregateSpec> aggregates_;
-  BufferAccount buffer_;
+  BufferAccount buffer_;          ///< materialized input buckets
+  BufferAccount results_buffer_;  ///< aggregated result rows
   std::vector<Row> results_;
   size_t pos_ = 0;
 };

@@ -169,6 +169,19 @@ class BufferAccount {
     return guard_->OnRowsBuffered(1, bytes);
   }
 
+  /// Re-prices one already-charged row that is being replaced in place
+  /// (e.g. a Top-N heap eviction): swaps `old_row`'s bytes for
+  /// `new_row`'s without changing the row count. Returns false once a
+  /// buffer limit trips.
+  bool Update(const Row& old_row, const Row& new_row) {
+    if (guard_ == nullptr) return true;
+    int64_t old_bytes = ApproxRowBytes(old_row);
+    int64_t new_bytes = ApproxRowBytes(new_row);
+    guard_->OnBufferReleased(0, old_bytes);
+    bytes_ += new_bytes - old_bytes;
+    return guard_->OnRowsBuffered(0, new_bytes);
+  }
+
   /// Releases everything charged so far.
   void Release() {
     if (guard_ != nullptr && rows_ > 0) {
@@ -184,11 +197,16 @@ class BufferAccount {
   int64_t bytes_ = 0;
 };
 
+class SpillManager;
+
 /// Everything the operator tree needs from its environment: runtime
-/// counters plus the (optional) guard. Passed by value — two pointers.
+/// counters plus the (optional) guard and spill manager. Passed by value
+/// — three pointers.
 struct ExecContext {
   ExecContext() = default;
   ExecContext(RuntimeMetrics* m, QueryGuard* g) : metrics(m), guard(g) {}
+  ExecContext(RuntimeMetrics* m, QueryGuard* g, SpillManager* s)
+      : metrics(m), guard(g), spill(s) {}
   /// Compatibility shape for contexts that only count (benches, direct
   /// operator tests): no guard, so internal invariants still abort.
   /// Intentionally implicit so a bare RuntimeMetrics* keeps working at
@@ -197,6 +215,9 @@ struct ExecContext {
 
   RuntimeMetrics* metrics = nullptr;
   QueryGuard* guard = nullptr;
+  /// Non-null when the engine provisioned disk spilling; null contexts
+  /// sort purely in memory.
+  SpillManager* spill = nullptr;
 
   bool GuardOk() const { return guard == nullptr || guard->ok(); }
 

@@ -164,7 +164,8 @@ double CostModel::SortCost(double rows, size_t key_columns) const {
   double cpu =
       rows * Log2(rows) * params_.cpu_compare_cost * width +
       rows * params_.cpu_tuple_cost;
-  if (rows > params_.sort_memory_rows) {
+  if (params_.sort_memory_rows > 0 &&
+      rows > static_cast<double>(params_.sort_memory_rows)) {
     double pages = std::ceil(rows / kRowsPerPage);
     cpu += 2.0 * pages * params_.seq_page_cost;  // spill + merge pass
   }

@@ -19,8 +19,11 @@ struct CostParams {
   double cpu_eval_cost = 0.002;   ///< per predicate/expression evaluation
   double hash_tuple_cost = 0.02;  ///< build+probe overhead per tuple
   /// Rows that fit in sort memory; beyond this a sort spills and pays two
-  /// sequential passes over its input pages.
-  double sort_memory_rows = 200000;
+  /// sequential passes over its input pages. This is the same number the
+  /// executor's SpillManager enforces (QueryEngine copies it into
+  /// SpillConfig), so the plan the optimizer priced is the plan that runs.
+  /// Zero or negative disables spilling.
+  int64_t sort_memory_rows = 200000;
   /// Use per-column equi-depth histograms for selectivity (falls back to
   /// uniform min/max interpolation and distinct counts when off). Exposed
   /// for the histogram ablation bench.

@@ -2,8 +2,10 @@
 #define ORDOPT_OPTIMIZER_PLANNER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "exec/query_guard.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/order_scan.h"
@@ -39,6 +41,14 @@ struct OptimizerConfig {
   /// (deadline, scan/output caps, buffered-row/byte caps). Default:
   /// unlimited.
   QueryLimits limits;
+  /// Directory for external-sort run files. Empty resolves to
+  /// $ORDOPT_TMPDIR, then the system temp directory. The row budget that
+  /// triggers spilling is cost_params.sort_memory_rows — one knob for
+  /// the cost model and the executor.
+  std::string spill_temp_dir;
+  /// Retry policy for spill-file I/O (bounded attempts, deterministic
+  /// backoff) before a flaky write/read degrades to a clean error.
+  RetryPolicy spill_retry;
 };
 
 /// Cost-based bottom-up planner (§5.2): walks the QGM box tree, runs

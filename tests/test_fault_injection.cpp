@@ -4,11 +4,14 @@
 // site — never an abort.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
 #include <string>
 
 #include "common/fault_injection.h"
 #include "exec/engine.h"
+#include "exec/spill.h"
 #include "query_test_util.h"
 #include "storage/csv_loader.h"
 
@@ -89,10 +92,22 @@ TEST_F(FaultInjectionTest, ArmFromSpecValid) {
   for (int i = 0; i < 3; ++i) EXPECT_FALSE(fi.Check("b").ok());
 }
 
+TEST_F(FaultInjectionTest, ArmFromSpecStatusCode) {
+  FaultInjector& fi = FaultInjector::Global();
+  ASSERT_TRUE(fi.ArmFromSpec("a:0:1:io,b:0:1:internal").ok());
+  Status a = fi.Check("a");
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.code(), StatusCode::kIoError);
+  Status b = fi.Check("b");
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.code(), StatusCode::kInternal);
+}
+
 TEST_F(FaultInjectionTest, ArmFromSpecInvalid) {
   FaultInjector& fi = FaultInjector::Global();
   for (const char* bad : {"", "siteonly", "site:", ":3", "site:abc",
-                          "site:1:xyz", "site:-2"}) {
+                          "site:1:xyz", "site:-2", "site:0:1:bogus",
+                          "site:0:1:io:extra"}) {
     Status s = fi.ArmFromSpec(bad);
     EXPECT_FALSE(s.ok()) << "spec '" << bad << "' should be rejected";
     EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << bad;
@@ -130,10 +145,55 @@ TEST_F(FaultSiteTest, ExecOperatorNext) {
   ExpectCleanFault("exec.operator.next", engine.Run(kSiteQuery).status());
 }
 
-TEST_F(FaultSiteTest, ExecSortSpill) {
-  FaultInjector::Global().Arm("exec.sort.spill", 0, 1);
-  QueryEngine engine(&db_);
-  ExpectCleanFault("exec.sort.spill", engine.Run(kSiteQuery).status());
+// Engine whose sorts spill after a handful of rows, so the spill fault
+// sites are actually reached by the toy queries.
+OptimizerConfig TinySortBudgetConfig() {
+  OptimizerConfig config;
+  config.cost_params.sort_memory_rows = 3;
+  return config;
+}
+
+// Spill files this process has left behind in the resolved temp dir
+// (other processes' files are ignored via the pid prefix).
+int LeakedSpillFiles() {
+  std::string prefix = "ordopt-spill-" + std::to_string(::getpid()) + "-";
+  int leaked = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           ResolveSpillTempDir(""), ec)) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0) ++leaked;
+  }
+  return leaked;
+}
+
+TEST_F(FaultSiteTest, ExecSortSpillWrite) {
+  FaultInjector::Global().Arm("exec.sort.spill.write", 0, -1);
+  QueryEngine engine(&db_, TinySortBudgetConfig());
+  ExpectCleanFault("exec.sort.spill.write",
+                   engine.Run(kSiteQuery).status());
+  EXPECT_EQ(LeakedSpillFiles(), 0);
+}
+
+TEST_F(FaultSiteTest, ExecSortSpillRead) {
+  FaultInjector::Global().Arm("exec.sort.spill.read", 2, -1);
+  QueryEngine engine(&db_, TinySortBudgetConfig());
+  ExpectCleanFault("exec.sort.spill.read", engine.Run(kSiteQuery).status());
+  EXPECT_EQ(LeakedSpillFiles(), 0);
+}
+
+TEST_F(FaultSiteTest, ExecSortSpillMerge) {
+  FaultInjector::Global().Arm("exec.sort.spill.merge", 0, 1);
+  QueryEngine engine(&db_, TinySortBudgetConfig());
+  ExpectCleanFault("exec.sort.spill.merge",
+                   engine.Run(kSiteQuery).status());
+  EXPECT_EQ(LeakedSpillFiles(), 0);
+}
+
+TEST_F(FaultSiteTest, ExecSpillCleanup) {
+  FaultInjector::Global().Arm("exec.spill.cleanup", 0, 1);
+  QueryEngine engine(&db_, TinySortBudgetConfig());
+  ExpectCleanFault("exec.spill.cleanup", engine.Run(kSiteQuery).status());
+  EXPECT_EQ(LeakedSpillFiles(), 0);
 }
 
 TEST_F(FaultSiteTest, PlannerAlloc) {

@@ -5,14 +5,30 @@
 // that targeted tests miss.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
 
 #include "common/fault_injection.h"
 #include "exec/engine.h"
+#include "exec/spill.h"
 #include "qgm/rewrite.h"
 #include "query_test_util.h"
 
 namespace ordopt {
 namespace {
+
+// Spill files this process has left in the resolved spill directory.
+int LeakedSpillFiles() {
+  std::string prefix = "ordopt-spill-" + std::to_string(::getpid()) + "-";
+  int count = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           ResolveSpillTempDir(""), ec)) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0) ++count;
+  }
+  return count;
+}
 
 // Columns available per table (name, is-numeric-small-domain).
 struct TableSpec {
@@ -209,12 +225,14 @@ TEST_P(QueryFuzz, EngineMatchesReference) {
   ReferenceEvaluator ref(*bound.value());
   auto expected = Canonicalize(ref.Evaluate().rows);
 
-  OptimizerConfig configs[3];
+  OptimizerConfig configs[4];
   configs[1].enable_order_optimization = false;
   configs[2].enable_hash_join = false;
   configs[2].enable_hash_grouping = false;
-  const char* labels[3] = {"enabled", "disabled", "no-hash"};
-  for (int i = 0; i < 3; ++i) {
+  // Every sort runs as a genuine external-merge sort over spilled runs.
+  configs[3].cost_params.sort_memory_rows = 3;
+  const char* labels[4] = {"enabled", "disabled", "no-hash", "spill"};
+  for (int i = 0; i < 4; ++i) {
     QueryEngine engine(db(), configs[i]);
     auto run = engine.Run(sql);
     ASSERT_TRUE(run.ok()) << labels[i] << ": " << run.status().ToString();
@@ -253,14 +271,21 @@ TEST_P(QueryFuzzUnderFault, CleanErrorOrCorrectRows) {
   ReferenceEvaluator ref(*bound.value());
   auto expected = Canonicalize(ref.Evaluate().rows);
 
-  const char* kSites[] = {"storage.btree.read", "exec.sort.spill",
-                          "exec.operator.next", "planner.alloc"};
+  // Sorts spill after a handful of rows so the spill fault sites are on
+  // the executed path whenever the plan sorts at all.
+  OptimizerConfig config;
+  config.cost_params.sort_memory_rows = 4;
+
+  const char* kSites[] = {"storage.btree.read",     "exec.sort.spill.write",
+                          "exec.sort.spill.read",   "exec.sort.spill.merge",
+                          "exec.spill.cleanup",     "exec.operator.next",
+                          "planner.alloc"};
   // Vary how deep into execution the fault lands.
   const int64_t fire_afters[] = {0, 1, 7};
   for (const char* site : kSites) {
     for (int64_t fire_after : fire_afters) {
       FaultInjector::Global().Arm(site, fire_after, /*fire_count=*/-1);
-      QueryEngine engine(&db);
+      QueryEngine engine(&db, config);
       auto run = engine.Run(sql);
       if (run.ok()) {
         EXPECT_EQ(Canonicalize(run.value().rows), expected)
@@ -276,12 +301,16 @@ TEST_P(QueryFuzzUnderFault, CleanErrorOrCorrectRows) {
       FaultInjector::Global().DisarmAll();
     }
   }
+  EXPECT_EQ(LeakedSpillFiles(), 0) << "fault runs leaked spill files";
 
-  // Disarmed, the same engine path must still produce correct rows.
-  QueryEngine engine(&db);
-  auto run = engine.Run(sql);
-  ASSERT_TRUE(run.ok()) << run.status().ToString();
-  EXPECT_EQ(Canonicalize(run.value().rows), expected);
+  // Disarmed, the same engine path must still produce correct rows —
+  // through the spill path as well as in memory.
+  for (const OptimizerConfig& c : {OptimizerConfig(), config}) {
+    QueryEngine engine(&db, c);
+    auto run = engine.Run(sql);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(Canonicalize(run.value().rows), expected);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Random, QueryFuzzUnderFault, ::testing::Range(0, 25));
