@@ -3,6 +3,12 @@
 // optimizer configuration so you can watch plans change:
 //
 //   .explain <sql>     show the plan without executing
+//   explain analyze <sql>
+//                      execute and show the plan annotated with
+//                      per-operator est-vs-actual rows, timings, and the
+//                      optimizer's traced decisions
+//   .trace <path>|off  export each query's trace as JSON lines to <path>
+//                      (same as the ORDOPT_TRACE environment variable)
 //   .orderopt on|off   toggle order optimization (the paper's §8 switch)
 //   .hash on|off       toggle hash join/aggregation (DB2/CS profile = off)
 //   .sortahead on|off  toggle sort-ahead
@@ -14,7 +20,9 @@
 //
 // Usage: ordopt_shell [scale_factor]   (default 0.01)
 
+#include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -42,6 +50,20 @@ void PrintResult(const QueryResult& r, size_t max_rows = 20) {
   std::printf("%zu rows. wall %.1f ms, simulated-1996 %.3f s  [%s]\n",
               r.rows.size(), r.elapsed_seconds * 1000.0,
               r.SimulatedElapsedSeconds(), r.metrics.ToString().c_str());
+}
+
+// Case-insensitive "does `line` start with `prefix`" for SQL-style
+// keywords (EXPLAIN ANALYZE).
+bool StartsWithNoCase(const std::string& line, const char* prefix) {
+  size_t n = std::strlen(prefix);
+  if (line.size() < n) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::tolower(static_cast<unsigned char>(line[i])) !=
+        std::tolower(static_cast<unsigned char>(prefix[i]))) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool ParseOnOff(const std::string& arg, bool* out) {
@@ -77,7 +99,8 @@ int main(int argc, char** argv) {
   std::printf("ready. tables: customer orders lineitem nation region\n"
               "try: select o_orderkey, count(*) from orders group by "
               "o_orderkey order by o_orderkey limit 5\n"
-              "     .explain <sql>   .orderopt off   .hash off   .quit\n\n");
+              "     explain analyze <sql>   .explain <sql>   .trace <path>\n"
+              "     .orderopt off   .hash off   .quit\n\n");
 
   std::string line;
   while (std::printf("ordopt> "), std::fflush(stdout),
@@ -118,6 +141,31 @@ int main(int argc, char** argv) {
       engine.set_config(cfg);
       std::printf("ok (sort_memory_rows=%lld)\n",
                   static_cast<long long>(cfg.cost_params.sort_memory_rows));
+      continue;
+    }
+    if (starts(".trace ")) {
+      std::string arg = line.substr(7);
+      if (arg == "off") {
+        cfg.trace_path.clear();
+        std::printf("trace export off\n");
+      } else {
+        cfg.trace_path = arg;
+        std::printf("tracing queries to %s (JSON lines)\n", arg.c_str());
+      }
+      engine.set_config(cfg);
+      continue;
+    }
+    if (StartsWithNoCase(line, "explain analyze ")) {
+      auto r = engine.RunAnalyzed(line.substr(16));
+      if (!r.ok()) {
+        std::printf("%s\n", r.status().ToString().c_str());
+      } else {
+        std::printf("%s", r.value().analyzed_plan_text.c_str());
+        std::printf("%zu rows. wall %.1f ms, simulated-1996 %.3f s\n",
+                    r.value().rows.size(),
+                    r.value().elapsed_seconds * 1000.0,
+                    r.value().SimulatedElapsedSeconds());
+      }
       continue;
     }
     if (starts(".qgm ")) {

@@ -37,4 +37,34 @@ if [ "$LEAKED" -ne 0 ]; then
   exit 1
 fi
 
-echo "OK: both configurations build and pass; no spill files leaked."
+# Trace export gate: run a traced query through the shell and validate
+# every emitted line is standalone JSON (the ORDOPT_TRACE contract for
+# external consumers).
+echo "==> trace export gate [default]"
+TRACE_FILE="$SPILL_TMP/q.trace.jsonl"
+echo "select c_custkey, c_name from customer order by c_custkey limit 5" |
+  ORDOPT_TRACE="$TRACE_FILE" ./build/examples/ordopt_shell 0.01 >/dev/null
+if [ ! -s "$TRACE_FILE" ]; then
+  echo "FAIL: traced query produced no $TRACE_FILE"
+  exit 1
+fi
+if command -v python3 >/dev/null; then
+  while IFS= read -r line; do
+    echo "$line" | python3 -m json.tool >/dev/null || {
+      echo "FAIL: invalid JSON line in trace: $line"
+      exit 1
+    }
+  done <"$TRACE_FILE"
+  echo "    $(wc -l <"$TRACE_FILE") JSON lines valid"
+else
+  echo "    (python3 not found; JSON validation skipped)"
+fi
+
+# Trace overhead gate: optimizer-level tracing must cost < 2% wall clock
+# on Q3 (the execution path is identical; only plan-time events differ).
+echo "==> trace overhead gate [default]"
+./build/bench/bench_table1_q3 --trace-overhead --runs=3 --sf=0.01 |
+  tail -n 4
+
+echo "OK: both configurations build and pass; no spill files leaked;"
+echo "    trace export valid and within overhead budget."

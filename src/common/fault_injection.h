@@ -26,6 +26,7 @@ namespace ordopt {
 ///   exec.sort.spill.merge k-way merge startup of spilled runs
 ///   exec.spill.cleanup    spill run-file removal (Close / early error)
 ///   exec.operator.next    every row pulled from the plan root
+///   exec.trace.write      trace JSON-lines export (per attempt, retried)
 ///   planner.alloc         plan-node construction per QGM box
 ///
 /// Arming is programmatic (Arm/ArmFromSpec) or via the ORDOPT_FAULTS

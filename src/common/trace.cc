@@ -1,0 +1,201 @@
+#include "common/trace.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/fault_injection.h"
+#include "common/str_util.h"
+
+namespace ordopt {
+
+namespace {
+
+std::string JsonDouble(double v) {
+  // JSON has no Inf/NaN literals; null keeps the line parseable.
+  if (!std::isfinite(v)) return "null";
+  return StrFormat("%.6g", v);
+}
+
+/// One write attempt: create the temp file, write + flush the payload,
+/// rename into place. Any failure removes the temp file so no partial
+/// artifact survives the attempt (mirrors SpillManager::TryWriteRun).
+Status TryWriteFile(const std::string& tmp, const std::string& path,
+                    const std::string& payload) {
+  errno = 0;
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot create trace file %s: %s",
+                                     tmp.c_str(), std::strerror(errno)));
+  }
+  Status st;
+  errno = 0;
+  if (!payload.empty() &&
+      std::fwrite(payload.data(), 1, payload.size(), f) != payload.size()) {
+    st = Status::IoError(
+        StrFormat("trace write failed: %s", std::strerror(errno)));
+  }
+  if (st.ok() && std::fflush(f) != 0) {
+    st = Status::IoError(
+        StrFormat("trace flush failed: %s", std::strerror(errno)));
+  }
+  std::fclose(f);
+  if (st.ok()) {
+    errno = 0;
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      st = Status::IoError(StrFormat("cannot move trace file to %s: %s",
+                                     path.c_str(), std::strerror(errno)));
+    }
+  }
+  if (!st.ok()) std::remove(tmp.c_str());
+  return st;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+TraceEvent::TraceEvent(int64_t seq, std::string phase, std::string name)
+    : seq_(seq), phase_(std::move(phase)), name_(std::move(name)) {}
+
+TraceEvent& TraceEvent::Append(const char* key, std::string json,
+                               std::string display) {
+  fields_.push_back(Field{key, std::move(json), std::move(display)});
+  return *this;
+}
+
+TraceEvent& TraceEvent::Set(const char* key, const std::string& value) {
+  return Append(key, "\"" + JsonEscape(value) + "\"", value);
+}
+
+TraceEvent& TraceEvent::Set(const char* key, const char* value) {
+  return Set(key, std::string(value));
+}
+
+TraceEvent& TraceEvent::SetInt(const char* key, int64_t value) {
+  std::string s = StrFormat("%lld", static_cast<long long>(value));
+  return Append(key, s, s);
+}
+
+TraceEvent& TraceEvent::SetDouble(const char* key, double value) {
+  std::string s = JsonDouble(value);
+  return Append(key, s, s);
+}
+
+TraceEvent& TraceEvent::SetBool(const char* key, bool value) {
+  const char* s = value ? "true" : "false";
+  return Append(key, s, s);
+}
+
+TraceEvent& TraceEvent::SetRaw(const char* key, std::string json) {
+  std::string display = json;
+  return Append(key, std::move(json), std::move(display));
+}
+
+std::string TraceEvent::Get(const char* key) const {
+  for (const Field& f : fields_) {
+    if (f.key == key) return f.display;
+  }
+  return "";
+}
+
+std::string TraceEvent::ToJson() const {
+  std::string out = StrFormat("{\"seq\":%lld,\"phase\":\"%s\",\"event\":\"%s\"",
+                              static_cast<long long>(seq_),
+                              JsonEscape(phase_).c_str(),
+                              JsonEscape(name_).c_str());
+  for (const Field& f : fields_) {
+    out += StrFormat(",\"%s\":%s", JsonEscape(f.key).c_str(), f.json.c_str());
+  }
+  out += "}";
+  return out;
+}
+
+std::string TraceEvent::ToShortString() const {
+  std::string out = StrFormat("%-18s", name_.c_str());
+  for (const Field& f : fields_) {
+    out += " " + f.key + "=" + f.display;
+  }
+  return out;
+}
+
+TraceCollector::TraceCollector(TraceLevel level) : level_(level) {}
+
+TraceEvent& TraceCollector::Add(const char* phase, const char* name) {
+  events_.emplace_back(static_cast<int64_t>(events_.size()) + 1, phase, name);
+  return events_.back();
+}
+
+int64_t TraceCollector::Count(const std::string& name) const {
+  int64_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.name() == name) ++n;
+  }
+  return n;
+}
+
+const TraceEvent* TraceCollector::Find(const std::string& name) const {
+  for (const TraceEvent& e : events_) {
+    if (e.name() == name) return &e;
+  }
+  return nullptr;
+}
+
+std::string TraceCollector::ToJsonLines() const {
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    out += e.ToJson();
+    out += "\n";
+  }
+  return out;
+}
+
+Status TraceCollector::WriteJsonLines(const std::string& path,
+                                      const RetryPolicy& policy,
+                                      int64_t* retries) const {
+  if (path.empty()) {
+    return Status::InvalidArgument("trace path is empty");
+  }
+  const std::string payload = ToJsonLines();
+  const std::string tmp = path + ".tmp";
+  Status st = RetryIo(policy, retries, [&]() -> Status {
+    ORDOPT_FAULT_POINT("exec.trace.write");
+    return TryWriteFile(tmp, path, payload);
+  });
+  // The injected-fault path fails before TryWriteFile's own cleanup runs;
+  // make doubly sure no temp file outlives a failed export.
+  if (!st.ok()) std::remove(tmp.c_str());
+  return st;
+}
+
+}  // namespace ordopt

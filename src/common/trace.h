@@ -1,0 +1,109 @@
+#ifndef ORDOPT_COMMON_TRACE_H_
+#define ORDOPT_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/status.h"
+
+namespace ordopt {
+
+/// How much observability a query records.
+enum class TraceLevel {
+  kOff = 0,        ///< no collector; the executor hot path pays one branch
+  kOptimizer = 1,  ///< optimizer decision events only (plan-time cost)
+  kFull = 2,       ///< optimizer events + per-operator execution stats
+};
+
+/// One structured trace event: a monotonic sequence number, a phase
+/// ("optimizer" / "exec"), an event name ("order.reduce", "sort.placed",
+/// ...), and typed key/value fields. An event renders both as one JSON
+/// object per line (the ORDOPT_TRACE export) and as a compact
+/// human-readable line (the EXPLAIN ANALYZE decisions section).
+class TraceEvent {
+ public:
+  TraceEvent(int64_t seq, std::string phase, std::string name);
+
+  TraceEvent& Set(const char* key, const std::string& value);
+  TraceEvent& Set(const char* key, const char* value);
+  TraceEvent& SetInt(const char* key, int64_t value);
+  TraceEvent& SetDouble(const char* key, double value);
+  TraceEvent& SetBool(const char* key, bool value);
+  /// Embeds an already-JSON-encoded value (e.g. a nested object).
+  TraceEvent& SetRaw(const char* key, std::string json);
+
+  int64_t seq() const { return seq_; }
+  const std::string& phase() const { return phase_; }
+  const std::string& name() const { return name_; }
+
+  /// Display value of field `key`, or "" when absent.
+  std::string Get(const char* key) const;
+
+  /// `{"seq":3,"phase":"optimizer","event":"order.reduce","requested":...}`
+  std::string ToJson() const;
+  /// `order.reduce        requested=(a, b) reduced=(a)`
+  std::string ToShortString() const;
+
+ private:
+  struct Field {
+    std::string key;
+    std::string json;     ///< JSON-encoded value
+    std::string display;  ///< human-readable value
+  };
+
+  TraceEvent& Append(const char* key, std::string json, std::string display);
+
+  int64_t seq_;
+  std::string phase_;
+  std::string name_;
+  std::vector<Field> fields_;
+};
+
+/// Append-only event sink shared by the planner (decision events) and the
+/// engine (per-operator execution stats). One collector lives for one query
+/// and is not thread-safe — a query is planned and executed on one thread.
+class TraceCollector {
+ public:
+  explicit TraceCollector(TraceLevel level = TraceLevel::kOptimizer);
+
+  TraceLevel level() const { return level_; }
+  /// True when execution should collect per-operator stats.
+  bool collect_exec() const { return level_ == TraceLevel::kFull; }
+
+  /// Appends an event and returns it for builder-style Set chaining. The
+  /// reference is invalidated by the next Add.
+  TraceEvent& Add(const char* phase, const char* name);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  /// Number of events named `name` (any phase).
+  int64_t Count(const std::string& name) const;
+  /// First event named `name`, or nullptr.
+  const TraceEvent* Find(const std::string& name) const;
+
+  /// Every event as line-delimited JSON (one object per line).
+  std::string ToJsonLines() const;
+
+  /// Atomically replaces `path` with the JSON-lines event stream: writes
+  /// `path`.tmp, then renames into place, so a reader never observes a
+  /// partial file. Each attempt probes the `exec.trace.write` fault site
+  /// and runs under `policy` (kIoError is transient and retried, like
+  /// spill I/O); on any failure the temp file is removed and the error
+  /// surfaces to the caller. `*retries` counts re-attempts when non-null.
+  Status WriteJsonLines(const std::string& path, const RetryPolicy& policy,
+                        int64_t* retries = nullptr) const;
+
+ private:
+  TraceLevel level_;
+  std::vector<TraceEvent> events_;
+};
+
+/// JSON string escaping (backslash, quote, control characters); returns
+/// the escaped body without surrounding quotes.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_COMMON_TRACE_H_

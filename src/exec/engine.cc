@@ -1,20 +1,38 @@
 #include "exec/engine.h"
 
 #include <chrono>
+#include <cstdlib>
 
+#include "exec/analyze.h"
 #include "parser/parser.h"
 #include "qgm/rewrite.h"
 
 namespace ordopt {
 
 Result<QueryResult> QueryEngine::Prepare(const std::string& sql, bool execute,
-                                         QueryGuard* guard) {
+                                         QueryGuard* guard, bool analyze) {
   ORDOPT_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelect(sql));
   ORDOPT_ASSIGN_OR_RETURN(std::unique_ptr<Query> query,
                           BindQuery(*stmt, *db_));
   MergeDerivedTables(query.get());
 
-  Planner planner(*query, config_);
+  // Effective observability for this query: the configured level, raised
+  // to kFull when EXPLAIN ANALYZE or a trace export path asks for
+  // per-operator stats. The path comes from the config, falling back to
+  // the ORDOPT_TRACE environment variable.
+  std::string trace_path = config_.trace_path;
+  if (trace_path.empty()) {
+    const char* env = std::getenv("ORDOPT_TRACE");
+    if (env != nullptr) trace_path = env;
+  }
+  TraceLevel trace_level = config_.trace_level;
+  if (analyze || !trace_path.empty()) trace_level = TraceLevel::kFull;
+  std::shared_ptr<TraceCollector> trace;
+  if (trace_level != TraceLevel::kOff) {
+    trace = std::make_shared<TraceCollector>(trace_level);
+  }
+
+  Planner planner(*query, config_, trace.get());
   ORDOPT_ASSIGN_OR_RETURN(PlanRef plan, planner.BuildPlan());
 
   QueryResult result;
@@ -22,6 +40,7 @@ Result<QueryResult> QueryEngine::Prepare(const std::string& sql, bool execute,
   result.plan_text = plan->ToString(query->namer());
   result.qgm_text = query->ToString();
   result.plans_generated = planner.plans_generated();
+  result.trace = trace;
   for (const OutputColumn& oc : query->root->outputs) {
     result.column_names.push_back(oc.name);
   }
@@ -37,9 +56,12 @@ Result<QueryResult> QueryEngine::Prepare(const std::string& sql, bool execute,
     spill_config.sort_memory_rows = config_.cost_params.sort_memory_rows;
     spill_config.temp_dir = config_.spill_temp_dir;
     spill_config.retry = config_.spill_retry;
+    std::vector<OperatorProfile>* profile =
+        (trace != nullptr && trace->collect_exec()) ? &result.op_profile
+                                                    : nullptr;
     auto start = std::chrono::steady_clock::now();
     Result<std::vector<Row>> rows =
-        ExecutePlan(plan, &result.metrics, guard, &spill_config);
+        ExecutePlan(plan, &result.metrics, guard, &spill_config, profile);
     auto end = std::chrono::steady_clock::now();
     result.elapsed_seconds =
         std::chrono::duration<double>(end - start).count();
@@ -48,21 +70,70 @@ Result<QueryResult> QueryEngine::Prepare(const std::string& sql, bool execute,
     last_metrics_ = result.metrics;
     ORDOPT_RETURN_NOT_OK(rows.status());
     result.rows = std::move(rows).value();
+
+    if (trace != nullptr && trace->collect_exec()) {
+      // One exec-phase event per operator (post-order sequence matches
+      // op_profile), then the query-level metrics as a nested object.
+      int64_t idx = 0;
+      for (const OperatorProfile& p : result.op_profile) {
+        TraceEvent& e = trace->Add("exec", "operator");
+        e.SetInt("op", idx++);
+        e.Set("label", NodeLabel(*p.node, query->namer()));
+        e.SetDouble("est_rows", p.node->props.cardinality);
+        e.SetInt("rows_out", p.stats.rows_out);
+        e.SetInt("next_calls", p.stats.next_calls);
+        e.SetInt("open_ns", p.stats.open_ns);
+        e.SetInt("next_ns", p.stats.next_ns);
+        e.SetInt("rows_scanned", p.stats.rows_scanned);
+        e.SetInt("comparisons", p.stats.comparisons);
+        e.SetInt("seq_pages", p.stats.seq_pages);
+        e.SetInt("random_pages", p.stats.random_pages);
+        e.SetInt("index_probes", p.stats.index_probes);
+        e.SetInt("spill_runs", p.stats.spill_runs);
+        e.SetInt("spill_retries", p.stats.spill_retries);
+        e.SetInt("buffered_rows_peak", p.stats.buffered_rows_peak);
+      }
+      trace->Add("exec", "metrics")
+          .SetRaw("metrics", result.metrics.ToJson());
+    }
+
+    if (analyze) {
+      result.analyzed_plan_text =
+          RenderAnalyzedPlan(plan, result.op_profile, query->namer());
+      if (trace != nullptr) {
+        std::string decisions = RenderDecisions(*trace);
+        if (!decisions.empty()) {
+          result.analyzed_plan_text += "decisions:\n" + decisions;
+        }
+      }
+    }
+  }
+
+  // Export only after the query itself succeeded: a failed query reports
+  // its own error, and WriteJsonLines never leaves a partial file.
+  if (trace != nullptr && !trace_path.empty()) {
+    ORDOPT_RETURN_NOT_OK(
+        trace->WriteJsonLines(trace_path, config_.spill_retry));
   }
   return result;
 }
 
 Result<QueryResult> QueryEngine::Explain(const std::string& sql) {
-  return Prepare(sql, /*execute=*/false, /*guard=*/nullptr);
+  return Prepare(sql, /*execute=*/false, /*guard=*/nullptr,
+                 /*analyze=*/false);
 }
 
 Result<QueryResult> QueryEngine::Run(const std::string& sql) {
-  return Prepare(sql, /*execute=*/true, /*guard=*/nullptr);
+  return Prepare(sql, /*execute=*/true, /*guard=*/nullptr, /*analyze=*/false);
 }
 
 Result<QueryResult> QueryEngine::Run(const std::string& sql,
                                      QueryGuard* guard) {
-  return Prepare(sql, /*execute=*/true, guard);
+  return Prepare(sql, /*execute=*/true, guard, /*analyze=*/false);
+}
+
+Result<QueryResult> QueryEngine::RunAnalyzed(const std::string& sql) {
+  return Prepare(sql, /*execute=*/true, /*guard=*/nullptr, /*analyze=*/true);
 }
 
 }  // namespace ordopt

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "exec/executor.h"
 #include "optimizer/planner.h"
 #include "qgm/binder.h"
@@ -27,6 +28,18 @@ struct QueryResult {
   RuntimeMetrics metrics;
   double elapsed_seconds = 0.0;
   int64_t plans_generated = 0;
+
+  /// EXPLAIN ANALYZE rendering (RunAnalyzed only): the plan annotated with
+  /// per-operator est-vs-actual rows and timings, followed by the
+  /// optimizer's traced decisions.
+  std::string analyzed_plan_text;
+  /// Per-operator execution stats in operator-construction (post-order)
+  /// sequence; filled when tracing ran at TraceLevel::kFull.
+  std::vector<OperatorProfile> op_profile;
+  /// The query's trace collector, non-null when tracing was on (config
+  /// trace_level, a trace path, or RunAnalyzed). Holds planner decision
+  /// events plus, at kFull, exec-phase operator/metrics events.
+  std::shared_ptr<TraceCollector> trace;
 
   double SimulatedElapsedSeconds() const {
     return metrics.SimulatedElapsedSeconds();
@@ -57,6 +70,11 @@ class QueryEngine {
   /// semantics (Run re-arms it so the deadline clock starts at execution).
   Result<QueryResult> Run(const std::string& sql, QueryGuard* guard);
 
+  /// EXPLAIN ANALYZE: plans and executes `sql` with per-operator stats
+  /// collection forced on (TraceLevel::kFull for this query), and fills
+  /// `analyzed_plan_text` / `op_profile` / `trace` in the result.
+  Result<QueryResult> RunAnalyzed(const std::string& sql);
+
   /// Metrics of the most recent Run, populated even when the query failed —
   /// a tripped guardrail reports consumed-vs-limit here (e.g.
   /// rows_scanned against limits().max_rows_scanned).
@@ -64,7 +82,7 @@ class QueryEngine {
 
  private:
   Result<QueryResult> Prepare(const std::string& sql, bool execute,
-                              QueryGuard* guard);
+                              QueryGuard* guard, bool analyze);
 
   Database* db_;
   OptimizerConfig config_;

@@ -122,13 +122,17 @@ Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan, ExecContext ctx) {
   if (ctx.guard != nullptr && !ctx.guard->ok()) {
     return ctx.guard->status();
   }
+  if (ctx.op_registry != nullptr) {
+    ctx.op_registry->push_back({plan.get(), built.get()});
+  }
   return built;
 }
 
 Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
                                      RuntimeMetrics* metrics,
                                      QueryGuard* guard,
-                                     const SpillConfig* spill_config) {
+                                     const SpillConfig* spill_config,
+                                     std::vector<OperatorProfile>* profile) {
   // An unlimited local guard keeps the error channel available (poison,
   // fault injection) even for callers that configured no limits.
   QueryGuard local_guard;
@@ -143,6 +147,11 @@ Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
   }
 
   ExecContext ctx(metrics, guard, spill.get());
+  std::vector<std::pair<const PlanNode*, Operator*>> registry;
+  if (profile != nullptr) {
+    ctx.collect_op_stats = true;
+    ctx.op_registry = &registry;
+  }
   ORDOPT_ASSIGN_OR_RETURN(OperatorPtr root, BuildOperatorTree(plan, ctx));
   root->Open();
   std::vector<Row> rows;
@@ -155,6 +164,14 @@ Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
     rows.push_back(std::move(row));
   }
   root->Close();
+  // Harvest stats after Close so teardown work (spill cleanup) is final,
+  // but before the tree is destroyed. The registry's pointers reference
+  // operators owned (transitively) by `root`.
+  if (profile != nullptr) {
+    for (const auto& [node, op] : registry) {
+      profile->push_back(OperatorProfile{node, op->stats()});
+    }
+  }
   // A query that finished under the periodic check interval still honors a
   // tiny deadline or a pending cancellation.
   guard->ForceCheck();

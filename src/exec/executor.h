@@ -19,17 +19,31 @@ namespace ordopt {
 /// returns the poisoned Status instead of an operator.
 Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan, ExecContext ctx);
 
+/// One operator's runtime stats paired with the plan node it executed.
+/// ExecutePlan emits profiles in the same post-order BuildOperatorTree
+/// visits nodes (children before parent), so index i in a profile vector
+/// corresponds to the i-th node of a post-order plan walk.
+struct OperatorProfile {
+  const PlanNode* node = nullptr;
+  OperatorStats stats;
+};
+
 /// Convenience: builds, opens, drains, and closes the plan, returning every
 /// produced row. When `guard` is non-null its limits are enforced during the
 /// drain and a tripped guard's Status is returned (with consumption peaks
 /// already merged into `metrics`); a null guard executes unlimited. When
 /// `spill_config` is non-null a SpillManager scoped to this execution lets
 /// sorts exceed the row budget by spilling runs to disk; a null config
-/// keeps every sort in memory.
+/// keeps every sort in memory. When `profile` is non-null the run collects
+/// per-operator stats (EXPLAIN ANALYZE): every Open()/Next() is timed and
+/// the profiles — one per plan node, post-order — are appended on the way
+/// out, whether or not execution succeeded.
 Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
                                      RuntimeMetrics* metrics,
                                      QueryGuard* guard = nullptr,
-                                     const SpillConfig* spill_config = nullptr);
+                                     const SpillConfig* spill_config = nullptr,
+                                     std::vector<OperatorProfile>* profile =
+                                         nullptr);
 
 }  // namespace ordopt
 

@@ -9,7 +9,7 @@ std::string RuntimeMetrics::ToString() const {
       "rows=%lld scanned=%lld cmp=%lld seq_pages=%lld rand_pages=%lld "
       "probes=%lld sorts=%lld rows_sorted=%lld buf_rows_peak=%lld "
       "buf_bytes_peak=%lld spill_runs=%lld spill_rows=%lld "
-      "spill_bytes=%lld spill_retries=%lld sim_io=%.3fs",
+      "spill_bytes=%lld spill_retries=%lld sim_io=%.3fs sim_cpu=%.3fs",
       static_cast<long long>(rows_produced),
       static_cast<long long>(rows_scanned),
       static_cast<long long>(comparisons),
@@ -22,7 +22,33 @@ std::string RuntimeMetrics::ToString() const {
       static_cast<long long>(bytes_buffered_peak),
       static_cast<long long>(spill_runs), static_cast<long long>(spill_rows),
       static_cast<long long>(spill_bytes),
-      static_cast<long long>(spill_retries), SimulatedIoSeconds());
+      static_cast<long long>(spill_retries), SimulatedIoSeconds(),
+      SimulatedCpuSeconds());
+}
+
+std::string RuntimeMetrics::ToJson() const {
+  return StrFormat(
+      "{\"rows_produced\":%lld,\"rows_scanned\":%lld,\"comparisons\":%lld,"
+      "\"seq_pages\":%lld,\"random_pages\":%lld,\"index_probes\":%lld,"
+      "\"sorts_performed\":%lld,\"rows_sorted\":%lld,"
+      "\"rows_buffered_peak\":%lld,\"bytes_buffered_peak\":%lld,"
+      "\"spill_runs\":%lld,\"spill_rows\":%lld,\"spill_bytes\":%lld,"
+      "\"spill_retries\":%lld,\"sim_io_seconds\":%.6g,"
+      "\"sim_cpu_seconds\":%.6g,\"sim_elapsed_seconds\":%.6g}",
+      static_cast<long long>(rows_produced),
+      static_cast<long long>(rows_scanned),
+      static_cast<long long>(comparisons),
+      static_cast<long long>(seq_pages),
+      static_cast<long long>(random_pages),
+      static_cast<long long>(index_probes),
+      static_cast<long long>(sorts_performed),
+      static_cast<long long>(rows_sorted),
+      static_cast<long long>(rows_buffered_peak),
+      static_cast<long long>(bytes_buffered_peak),
+      static_cast<long long>(spill_runs), static_cast<long long>(spill_rows),
+      static_cast<long long>(spill_bytes),
+      static_cast<long long>(spill_retries), SimulatedIoSeconds(),
+      SimulatedCpuSeconds(), SimulatedElapsedSeconds());
 }
 
 }  // namespace ordopt

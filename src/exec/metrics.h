@@ -66,6 +66,36 @@ struct RuntimeMetrics {
   }
 
   std::string ToString() const;
+
+  /// One JSON object with every counter plus the simulated-time rollups;
+  /// embedded verbatim in the ORDOPT_TRACE event stream.
+  std::string ToJson() const;
+};
+
+/// Per-operator runtime statistics, collected when a query runs under
+/// EXPLAIN ANALYZE (ExecContext::collect_op_stats). The metrics-delta
+/// counters are *inclusive* of the operator's children: the Open()/Next()
+/// wrappers accumulate the query-level RuntimeMetrics delta across each
+/// whole call, which contains the nested child pulls. Stats therefore roll
+/// up parent -> child, and an operator's self cost is derivable as its
+/// value minus the sum over its children.
+struct OperatorStats {
+  int64_t open_ns = 0;     ///< wall time inside Open() (blocking work)
+  int64_t next_ns = 0;     ///< wall time across all Next() calls
+  int64_t next_calls = 0;  ///< Next() invocations (incl. the final false)
+  int64_t rows_out = 0;    ///< rows this operator produced
+  /// RuntimeMetrics deltas attributed to this subtree (inclusive).
+  int64_t rows_scanned = 0;
+  int64_t comparisons = 0;
+  int64_t seq_pages = 0;
+  int64_t random_pages = 0;
+  int64_t index_probes = 0;
+  int64_t spill_runs = 0;
+  int64_t spill_retries = 0;
+  /// Peak rows this operator held buffered at once (its BufferAccount).
+  int64_t buffered_rows_peak = 0;
+
+  int64_t total_ns() const { return open_ns + next_ns; }
 };
 
 /// Tracks page-access locality for one scan or probe stream. A fetch on

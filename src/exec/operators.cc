@@ -51,9 +51,9 @@ TableScanOp::TableScanOp(const Table& table, int table_id, ExecContext ctx)
   layout_ = TableLayout(table, table_id);
 }
 
-void TableScanOp::Open() { rid_ = 0; }
+void TableScanOp::OpenImpl() { rid_ = 0; }
 
-bool TableScanOp::Next(Row* out) {
+bool TableScanOp::NextImpl(Row* out) {
   if (rid_ >= table_.row_count()) return false;
   pages_.Access(rid_);
   ++ctx_.metrics->rows_scanned;
@@ -83,7 +83,7 @@ IndexScanOp::IndexScanOp(const Table& table, int table_id, int index_ordinal,
   }
 }
 
-void IndexScanOp::Open() {
+void IndexScanOp::OpenImpl() {
   done_ = true;
   if (!ctx_.GuardOk()) return;
   if (ctx_.InjectFault("storage.btree.read")) return;
@@ -173,7 +173,7 @@ bool IndexScanOp::EntryQualifies() const {
   return true;
 }
 
-bool IndexScanOp::Next(Row* out) {
+bool IndexScanOp::NextImpl(Row* out) {
   while (!done_ && cursor_.Valid()) {
     if (!EntryQualifies()) {
       // Keys are monotone: an equality-prefix mismatch or a violated upper
@@ -211,12 +211,12 @@ FilterOp::FilterOp(OperatorPtr child, std::vector<Predicate> predicates,
   layout_ = child_->layout();
 }
 
-void FilterOp::Open() {
+void FilterOp::OpenImpl() {
   child_->Open();
   eval_ = std::make_unique<ExprEvaluator>(layout_, ctx_.guard);
 }
 
-bool FilterOp::Next(Row* out) {
+bool FilterOp::NextImpl(Row* out) {
   Row row;
   while (child_->Next(&row)) {
     bool pass = true;
@@ -242,7 +242,7 @@ void FilterOp::Close() { child_->Close(); }
 
 SortOp::SortOp(OperatorPtr child, OrderSpec spec, ExecContext ctx)
     : Operator(ctx), child_(std::move(child)), spec_(std::move(spec)),
-      buffer_(ctx.guard) {
+      buffer_(ctx.guard, &stats_) {
   layout_ = child_->layout();
 }
 
@@ -311,7 +311,7 @@ void SortOp::ReleaseRuns() {
   runs_.clear();
 }
 
-void SortOp::Open() {
+void SortOp::OpenImpl() {
   child_->Open();
   buffer_.Release();
   rows_.clear();
@@ -363,7 +363,7 @@ void SortOp::Open() {
   merging_ = true;
 }
 
-bool SortOp::Next(Row* out) {
+bool SortOp::NextImpl(Row* out) {
   if (!merging_) {
     if (pos_ >= rows_.size()) return false;
     *out = rows_[pos_++];
@@ -417,7 +417,7 @@ MergeJoinOp::MergeJoinOp(OperatorPtr outer, OperatorPtr inner,
                          std::vector<std::pair<ColumnId, ColumnId>> pairs,
                          ExecContext ctx)
     : Operator(ctx), outer_(std::move(outer)), inner_(std::move(inner)),
-      group_buffer_(ctx.guard) {
+      group_buffer_(ctx.guard, &stats_) {
   layout_ = outer_->layout();
   for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
   std::vector<ColumnId> ocols, icols;
@@ -429,7 +429,7 @@ MergeJoinOp::MergeJoinOp(OperatorPtr outer, OperatorPtr inner,
   inner_positions_ = PositionsOf(icols, inner_->layout(), ctx_);
 }
 
-void MergeJoinOp::Open() {
+void MergeJoinOp::OpenImpl() {
   outer_->Open();
   inner_->Open();
   outer_valid_ = outer_->Next(&outer_row_);
@@ -492,7 +492,7 @@ void MergeJoinOp::LoadInnerGroup() {
   group_pos_ = 0;
 }
 
-bool MergeJoinOp::Next(Row* out) {
+bool MergeJoinOp::NextImpl(Row* out) {
   while (true) {
     if (group_valid_ && outer_valid_ && OuterKeyEqualsGroup(outer_row_)) {
       if (group_pos_ < group_.size()) {
@@ -571,7 +571,7 @@ IndexNLJoinOp::IndexNLJoinOp(OperatorPtr outer, const Table& table,
   outer_positions_ = PositionsOf(ocols, outer_->layout(), ctx_);
 }
 
-void IndexNLJoinOp::Open() {
+void IndexNLJoinOp::OpenImpl() {
   outer_->Open();
   probing_ = false;
 }
@@ -604,7 +604,7 @@ bool IndexNLJoinOp::Probe() {
   return false;
 }
 
-bool IndexNLJoinOp::Next(Row* out) {
+bool IndexNLJoinOp::NextImpl(Row* out) {
   const BTreeIndex* index =
       table_.index(static_cast<size_t>(index_ordinal_));
   while (true) {
@@ -636,12 +636,12 @@ void IndexNLJoinOp::Close() { outer_->Close(); }
 NaiveNLJoinOp::NaiveNLJoinOp(OperatorPtr outer, OperatorPtr inner,
                              ExecContext ctx)
     : Operator(ctx), outer_(std::move(outer)), inner_(std::move(inner)),
-      buffer_(ctx.guard) {
+      buffer_(ctx.guard, &stats_) {
   layout_ = outer_->layout();
   for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
 }
 
-void NaiveNLJoinOp::Open() {
+void NaiveNLJoinOp::OpenImpl() {
   outer_->Open();
   inner_->Open();
   inner_rows_.clear();
@@ -659,7 +659,7 @@ void NaiveNLJoinOp::Open() {
   inner_pos_ = 0;
 }
 
-bool NaiveNLJoinOp::Next(Row* out) {
+bool NaiveNLJoinOp::NextImpl(Row* out) {
   while (outer_valid_) {
     if (inner_pos_ < inner_rows_.size()) {
       *out = outer_row_;
@@ -705,7 +705,7 @@ HashJoinOp::HashJoinOp(OperatorPtr outer, OperatorPtr inner,
                        std::vector<std::pair<ColumnId, ColumnId>> pairs,
                        ExecContext ctx)
     : Operator(ctx), outer_(std::move(outer)), inner_(std::move(inner)),
-      buffer_(ctx.guard) {
+      buffer_(ctx.guard, &stats_) {
   layout_ = outer_->layout();
   for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
   std::vector<ColumnId> ocols, icols;
@@ -717,7 +717,7 @@ HashJoinOp::HashJoinOp(OperatorPtr outer, OperatorPtr inner,
   inner_positions_ = PositionsOf(icols, inner_->layout(), ctx_);
 }
 
-void HashJoinOp::Open() {
+void HashJoinOp::OpenImpl() {
   outer_->Open();
   inner_->Open();
   hash_table_.clear();
@@ -738,7 +738,7 @@ void HashJoinOp::Open() {
   match_pos_ = 0;
 }
 
-bool HashJoinOp::Next(Row* out) {
+bool HashJoinOp::NextImpl(Row* out) {
   if (!ctx_.GuardOk()) return false;
   while (true) {
     if (matches_ != nullptr && match_pos_ < matches_->size()) {
@@ -779,7 +779,7 @@ MergeLeftJoinOp::MergeLeftJoinOp(
     OperatorPtr outer, OperatorPtr inner,
     std::vector<std::pair<ColumnId, ColumnId>> pairs, ExecContext ctx)
     : Operator(ctx), outer_(std::move(outer)), inner_(std::move(inner)),
-      group_buffer_(ctx.guard) {
+      group_buffer_(ctx.guard, &stats_) {
   layout_ = outer_->layout();
   inner_width_ = inner_->layout().size();
   for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
@@ -792,7 +792,7 @@ MergeLeftJoinOp::MergeLeftJoinOp(
   inner_positions_ = PositionsOf(icols, inner_->layout(), ctx_);
 }
 
-void MergeLeftJoinOp::Open() {
+void MergeLeftJoinOp::OpenImpl() {
   outer_->Open();
   inner_->Open();
   outer_valid_ = outer_->Next(&outer_row_);
@@ -882,7 +882,7 @@ Row MergeLeftJoinOp::Padded() const {
   return out;
 }
 
-bool MergeLeftJoinOp::Next(Row* out) {
+bool MergeLeftJoinOp::NextImpl(Row* out) {
   while (outer_valid_) {
     if (!started_) {
       started_ = true;
@@ -927,7 +927,7 @@ HashLeftJoinOp::HashLeftJoinOp(
     OperatorPtr outer, OperatorPtr inner,
     std::vector<std::pair<ColumnId, ColumnId>> pairs, ExecContext ctx)
     : Operator(ctx), outer_(std::move(outer)), inner_(std::move(inner)),
-      buffer_(ctx.guard) {
+      buffer_(ctx.guard, &stats_) {
   layout_ = outer_->layout();
   inner_width_ = inner_->layout().size();
   for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
@@ -940,7 +940,7 @@ HashLeftJoinOp::HashLeftJoinOp(
   inner_positions_ = PositionsOf(icols, inner_->layout(), ctx_);
 }
 
-void HashLeftJoinOp::Open() {
+void HashLeftJoinOp::OpenImpl() {
   outer_->Open();
   inner_->Open();
   hash_table_.clear();
@@ -961,7 +961,7 @@ void HashLeftJoinOp::Open() {
   match_pos_ = 0;
 }
 
-bool HashLeftJoinOp::Next(Row* out) {
+bool HashLeftJoinOp::NextImpl(Row* out) {
   if (!ctx_.GuardOk()) return false;
   while (true) {
     if (matches_ != nullptr && match_pos_ < matches_->size()) {
@@ -1009,12 +1009,12 @@ NaiveLeftJoinOp::NaiveLeftJoinOp(OperatorPtr outer, OperatorPtr inner,
       outer_(std::move(outer)),
       inner_(std::move(inner)),
       on_predicates_(std::move(on_predicates)),
-      buffer_(ctx.guard) {
+      buffer_(ctx.guard, &stats_) {
   layout_ = outer_->layout();
   for (const ColumnId& c : inner_->layout()) layout_.push_back(c);
 }
 
-void NaiveLeftJoinOp::Open() {
+void NaiveLeftJoinOp::OpenImpl() {
   outer_->Open();
   inner_->Open();
   eval_ = std::make_unique<ExprEvaluator>(layout_, ctx_.guard);
@@ -1034,7 +1034,7 @@ void NaiveLeftJoinOp::Open() {
   inner_pos_ = 0;
 }
 
-bool NaiveLeftJoinOp::Next(Row* out) {
+bool NaiveLeftJoinOp::NextImpl(Row* out) {
   while (outer_valid_) {
     while (inner_pos_ < inner_rows_.size()) {
       const Row& inner = inner_rows_[inner_pos_++];
@@ -1092,13 +1092,13 @@ StreamGroupByOp::StreamGroupByOp(OperatorPtr child,
       child_(std::move(child)),
       group_columns_(std::move(group_columns)),
       aggregates_(std::move(aggregates)),
-      distinct_buffer_(ctx.guard) {
+      distinct_buffer_(ctx.guard, &stats_) {
   for (const ColumnId& c : group_columns_) layout_.push_back(c);
   for (const AggregateSpec& a : aggregates_) layout_.push_back(a.output);
   group_positions_ = PositionsOf(group_columns_, child_->layout(), ctx_);
 }
 
-void StreamGroupByOp::Open() {
+void StreamGroupByOp::OpenImpl() {
   child_->Open();
   eval_ = std::make_unique<ExprEvaluator>(child_->layout(), ctx_.guard);
   distinct_buffer_.Release();
@@ -1223,7 +1223,7 @@ Row StreamGroupByOp::EmitGroup() {
   return out;
 }
 
-bool StreamGroupByOp::Next(Row* out) {
+bool StreamGroupByOp::NextImpl(Row* out) {
   if (done_ || !ctx_.GuardOk()) return false;
   if (!pending_valid_) {
     // Empty input: a global aggregate still emits one row.
@@ -1288,13 +1288,13 @@ HashGroupByOp::HashGroupByOp(OperatorPtr child,
       child_(std::move(child)),
       group_columns_(std::move(group_columns)),
       aggregates_(std::move(aggregates)),
-      buffer_(ctx.guard),
-      results_buffer_(ctx.guard) {
+      buffer_(ctx.guard, &stats_),
+      results_buffer_(ctx.guard, &stats_) {
   for (const ColumnId& c : group_columns_) layout_.push_back(c);
   for (const AggregateSpec& a : aggregates_) layout_.push_back(a.output);
 }
 
-void HashGroupByOp::Open() {
+void HashGroupByOp::OpenImpl() {
   // Implemented by delegation: hash grouping is sort-grouping with an
   // order-insensitive map. We materialize child rows grouped by key (an
   // ordered map for determinism), then stream-aggregate each bucket.
@@ -1323,8 +1323,8 @@ void HashGroupByOp::Open() {
       rows_ = rows;
       layout_ = std::move(layout);
     }
-    void Open() override { pos_ = 0; }
-    bool Next(Row* out) override {
+    void OpenImpl() override { pos_ = 0; }
+    bool NextImpl(Row* out) override {
       if (pos_ >= rows_->size()) return false;
       *out = (*rows_)[pos_++];
       return true;
@@ -1368,7 +1368,7 @@ void HashGroupByOp::Open() {
   buffer_.Release();  // buckets die with this scope
 }
 
-bool HashGroupByOp::Next(Row* out) {
+bool HashGroupByOp::NextImpl(Row* out) {
   if (pos_ >= results_.size()) return false;
   *out = results_[pos_++];
   return true;
@@ -1395,12 +1395,12 @@ StreamDistinctOp::StreamDistinctOp(OperatorPtr child,
   positions_ = PositionsOf(cols, layout_, ctx_);
 }
 
-void StreamDistinctOp::Open() {
+void StreamDistinctOp::OpenImpl() {
   child_->Open();
   has_last_ = false;
 }
 
-bool StreamDistinctOp::Next(Row* out) {
+bool StreamDistinctOp::NextImpl(Row* out) {
   Row row;
   while (child_->Next(&row)) {
     std::vector<Value> key;
@@ -1428,20 +1428,20 @@ void StreamDistinctOp::Close() { child_->Close(); }
 HashDistinctOp::HashDistinctOp(OperatorPtr child, ColumnSet distinct_columns,
                                ExecContext ctx)
     : Operator(ctx), child_(std::move(child)),
-      distinct_columns_(std::move(distinct_columns)), buffer_(ctx.guard) {
+      distinct_columns_(std::move(distinct_columns)), buffer_(ctx.guard, &stats_) {
   layout_ = child_->layout();
   std::vector<ColumnId> cols(distinct_columns_.begin(),
                              distinct_columns_.end());
   positions_ = PositionsOf(cols, layout_, ctx_);
 }
 
-void HashDistinctOp::Open() {
+void HashDistinctOp::OpenImpl() {
   child_->Open();
   seen_.clear();
   buffer_.Release();
 }
 
-bool HashDistinctOp::Next(Row* out) {
+bool HashDistinctOp::NextImpl(Row* out) {
   Row row;
   while (child_->Next(&row)) {
     std::vector<Value> key;
@@ -1472,12 +1472,12 @@ UnionAllOp::UnionAllOp(std::vector<OperatorPtr> children,
   layout_ = std::move(layout);
 }
 
-void UnionAllOp::Open() {
+void UnionAllOp::OpenImpl() {
   for (OperatorPtr& c : children_) c->Open();
   current_ = 0;
 }
 
-bool UnionAllOp::Next(Row* out) {
+bool UnionAllOp::NextImpl(Row* out) {
   while (current_ < children_.size()) {
     if (children_[current_]->Next(out)) return true;
     ++current_;
@@ -1495,7 +1495,7 @@ MergeUnionOp::MergeUnionOp(std::vector<OperatorPtr> children,
   layout_ = std::move(layout);
 }
 
-void MergeUnionOp::Open() {
+void MergeUnionOp::OpenImpl() {
   heads_.assign(children_.size(), Row());
   valid_.assign(children_.size(), false);
   for (size_t i = 0; i < children_.size(); ++i) {
@@ -1513,7 +1513,7 @@ int MergeUnionOp::CompareRows(const Row& a, const Row& b) const {
   return 0;
 }
 
-bool MergeUnionOp::Next(Row* out) {
+bool MergeUnionOp::NextImpl(Row* out) {
   int best = -1;
   for (size_t i = 0; i < children_.size(); ++i) {
     if (!valid_[i]) continue;
@@ -1543,11 +1543,11 @@ TopNOp::TopNOp(OperatorPtr child, OrderSpec spec, int64_t limit,
       child_(std::move(child)),
       spec_(std::move(spec)),
       limit_(limit),
-      buffer_(ctx.guard) {
+      buffer_(ctx.guard, &stats_) {
   layout_ = child_->layout();
 }
 
-void TopNOp::Open() {
+void TopNOp::OpenImpl() {
   child_->Open();
   rows_.clear();
   buffer_.Release();
@@ -1612,7 +1612,7 @@ void TopNOp::Open() {
   ctx_.metrics->rows_sorted += static_cast<int64_t>(rows_.size());
 }
 
-bool TopNOp::Next(Row* out) {
+bool TopNOp::NextImpl(Row* out) {
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
   return true;
@@ -1633,12 +1633,12 @@ LimitOp::LimitOp(OperatorPtr child, int64_t limit, ExecContext ctx)
   layout_ = child_->layout();
 }
 
-void LimitOp::Open() {
+void LimitOp::OpenImpl() {
   child_->Open();
   emitted_ = 0;
 }
 
-bool LimitOp::Next(Row* out) {
+bool LimitOp::NextImpl(Row* out) {
   if (emitted_ >= limit_) return false;
   if (!child_->Next(out)) return false;
   ++emitted_;
@@ -1658,12 +1658,12 @@ ProjectOp::ProjectOp(OperatorPtr child, std::vector<OutputColumn> projections,
   for (const OutputColumn& oc : projections_) layout_.push_back(oc.id);
 }
 
-void ProjectOp::Open() {
+void ProjectOp::OpenImpl() {
   child_->Open();
   eval_ = std::make_unique<ExprEvaluator>(child_->layout(), ctx_.guard);
 }
 
-bool ProjectOp::Next(Row* out) {
+bool ProjectOp::NextImpl(Row* out) {
   Row row;
   if (!child_->Next(&row)) return false;
   out->clear();

@@ -1,6 +1,7 @@
 #ifndef ORDOPT_EXEC_OPERATORS_H_
 #define ORDOPT_EXEC_OPERATORS_H_
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -18,22 +19,103 @@ namespace ordopt {
 
 /// Volcano-style iterator. Each operator declares its row layout (the
 /// ColumnId at each position) so parents can bind expressions by identity.
+///
+/// Open()/Next() are non-virtual wrappers around the OpenImpl()/NextImpl()
+/// hooks subclasses implement. When ExecContext::collect_op_stats is set
+/// (EXPLAIN ANALYZE / full tracing), the wrappers time each call and
+/// attribute the query-level RuntimeMetrics delta across it to this
+/// operator's OperatorStats. The delta spans the whole call — including
+/// nested child pulls — so stats are inclusive of the subtree and a
+/// parent's self cost is its value minus the sum over its children. When
+/// stats collection is off the wrappers cost one branch.
 class Operator {
  public:
   Operator() = default;
   explicit Operator(ExecContext ctx) : ctx_(ctx) {}
   virtual ~Operator() = default;
 
-  virtual void Open() = 0;
+  void Open() {
+    if (!ctx_.collect_op_stats) {
+      OpenImpl();
+      return;
+    }
+    MetricsSnapshot before = Snapshot();
+    auto start = std::chrono::steady_clock::now();
+    OpenImpl();
+    stats_.open_ns += ElapsedNs(start);
+    AccumulateDelta(before);
+  }
+
   /// Produces the next row; false at end of stream.
-  virtual bool Next(Row* out) = 0;
+  bool Next(Row* out) {
+    if (!ctx_.collect_op_stats) return NextImpl(out);
+    MetricsSnapshot before = Snapshot();
+    auto start = std::chrono::steady_clock::now();
+    bool produced = NextImpl(out);
+    stats_.next_ns += ElapsedNs(start);
+    AccumulateDelta(before);
+    ++stats_.next_calls;
+    if (produced) ++stats_.rows_out;
+    return produced;
+  }
+
   virtual void Close() {}
 
   const std::vector<ColumnId>& layout() const { return layout_; }
+  const OperatorStats& stats() const { return stats_; }
 
  protected:
+  virtual void OpenImpl() = 0;
+  virtual bool NextImpl(Row* out) = 0;
+
   ExecContext ctx_;
   std::vector<ColumnId> layout_;
+  OperatorStats stats_;
+
+ private:
+  /// The RuntimeMetrics counters attributed per-operator; rows_produced /
+  /// sorts / buffered peaks are tracked elsewhere (rows_out counts this
+  /// operator's own emissions, buffered_rows_peak via BufferAccount).
+  struct MetricsSnapshot {
+    int64_t rows_scanned = 0;
+    int64_t comparisons = 0;
+    int64_t seq_pages = 0;
+    int64_t random_pages = 0;
+    int64_t index_probes = 0;
+    int64_t spill_runs = 0;
+    int64_t spill_retries = 0;
+  };
+
+  MetricsSnapshot Snapshot() const {
+    MetricsSnapshot s;
+    if (ctx_.metrics != nullptr) {
+      s.rows_scanned = ctx_.metrics->rows_scanned;
+      s.comparisons = ctx_.metrics->comparisons;
+      s.seq_pages = ctx_.metrics->seq_pages;
+      s.random_pages = ctx_.metrics->random_pages;
+      s.index_probes = ctx_.metrics->index_probes;
+      s.spill_runs = ctx_.metrics->spill_runs;
+      s.spill_retries = ctx_.metrics->spill_retries;
+    }
+    return s;
+  }
+
+  void AccumulateDelta(const MetricsSnapshot& before) {
+    if (ctx_.metrics == nullptr) return;
+    stats_.rows_scanned += ctx_.metrics->rows_scanned - before.rows_scanned;
+    stats_.comparisons += ctx_.metrics->comparisons - before.comparisons;
+    stats_.seq_pages += ctx_.metrics->seq_pages - before.seq_pages;
+    stats_.random_pages += ctx_.metrics->random_pages - before.random_pages;
+    stats_.index_probes += ctx_.metrics->index_probes - before.index_probes;
+    stats_.spill_runs += ctx_.metrics->spill_runs - before.spill_runs;
+    stats_.spill_retries += ctx_.metrics->spill_retries - before.spill_retries;
+  }
+
+  static int64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  }
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -42,8 +124,8 @@ using OperatorPtr = std::unique_ptr<Operator>;
 class TableScanOp : public Operator {
  public:
   TableScanOp(const Table& table, int table_id, ExecContext ctx);
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
 
  private:
   const Table& table_;
@@ -59,8 +141,8 @@ class IndexScanOp : public Operator {
   IndexScanOp(const Table& table, int table_id, int index_ordinal,
               bool reverse, std::vector<Predicate> range_predicates,
               ExecContext ctx);
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
 
  private:
   bool EntryQualifies() const;
@@ -84,8 +166,8 @@ class FilterOp : public Operator {
  public:
   FilterOp(OperatorPtr child, std::vector<Predicate> predicates,
            ExecContext ctx = ExecContext());
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:
@@ -105,8 +187,8 @@ class FilterOp : public Operator {
 class SortOp : public Operator {
  public:
   SortOp(OperatorPtr child, OrderSpec spec, ExecContext ctx);
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:
@@ -145,8 +227,8 @@ class MergeJoinOp : public Operator {
   MergeJoinOp(OperatorPtr outer, OperatorPtr inner,
               std::vector<std::pair<ColumnId, ColumnId>> pairs,
               ExecContext ctx);
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:
@@ -182,8 +264,8 @@ class IndexNLJoinOp : public Operator {
                 int index_ordinal,
                 std::vector<std::pair<ColumnId, ColumnId>> pairs,
                 ExecContext ctx);
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:
@@ -208,8 +290,8 @@ class NaiveNLJoinOp : public Operator {
  public:
   NaiveNLJoinOp(OperatorPtr outer, OperatorPtr inner,
                 ExecContext ctx = ExecContext());
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:
@@ -229,8 +311,8 @@ class HashJoinOp : public Operator {
   HashJoinOp(OperatorPtr outer, OperatorPtr inner,
              std::vector<std::pair<ColumnId, ColumnId>> pairs,
              ExecContext ctx = ExecContext());
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:
@@ -262,8 +344,8 @@ class MergeLeftJoinOp : public Operator {
   MergeLeftJoinOp(OperatorPtr outer, OperatorPtr inner,
                   std::vector<std::pair<ColumnId, ColumnId>> pairs,
                   ExecContext ctx);
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:
@@ -298,8 +380,8 @@ class HashLeftJoinOp : public Operator {
   HashLeftJoinOp(OperatorPtr outer, OperatorPtr inner,
                  std::vector<std::pair<ColumnId, ColumnId>> pairs,
                  ExecContext ctx = ExecContext());
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:
@@ -324,8 +406,8 @@ class NaiveLeftJoinOp : public Operator {
   NaiveLeftJoinOp(OperatorPtr outer, OperatorPtr inner,
                   std::vector<Predicate> on_predicates,
                   ExecContext ctx = ExecContext());
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:
@@ -349,8 +431,8 @@ class StreamGroupByOp : public Operator {
  public:
   StreamGroupByOp(OperatorPtr child, std::vector<ColumnId> group_columns,
                   std::vector<AggregateSpec> aggregates, ExecContext ctx);
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:
@@ -394,8 +476,8 @@ class HashGroupByOp : public Operator {
  public:
   HashGroupByOp(OperatorPtr child, std::vector<ColumnId> group_columns,
                 std::vector<AggregateSpec> aggregates, ExecContext ctx);
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:
@@ -414,8 +496,8 @@ class StreamDistinctOp : public Operator {
  public:
   StreamDistinctOp(OperatorPtr child, ColumnSet distinct_columns,
                    ExecContext ctx = ExecContext());
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:
@@ -431,8 +513,8 @@ class HashDistinctOp : public Operator {
  public:
   HashDistinctOp(OperatorPtr child, ColumnSet distinct_columns,
                  ExecContext ctx = ExecContext());
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:
@@ -450,8 +532,8 @@ class UnionAllOp : public Operator {
  public:
   UnionAllOp(std::vector<OperatorPtr> children, std::vector<ColumnId> layout,
              ExecContext ctx = ExecContext());
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:
@@ -466,8 +548,8 @@ class MergeUnionOp : public Operator {
  public:
   MergeUnionOp(std::vector<OperatorPtr> children,
                std::vector<ColumnId> layout, ExecContext ctx);
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:
@@ -485,8 +567,8 @@ class MergeUnionOp : public Operator {
 class TopNOp : public Operator {
  public:
   TopNOp(OperatorPtr child, OrderSpec spec, int64_t limit, ExecContext ctx);
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:
@@ -502,8 +584,8 @@ class TopNOp : public Operator {
 class LimitOp : public Operator {
  public:
   LimitOp(OperatorPtr child, int64_t limit, ExecContext ctx = ExecContext());
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:
@@ -517,8 +599,8 @@ class ProjectOp : public Operator {
  public:
   ProjectOp(OperatorPtr child, std::vector<OutputColumn> projections,
             ExecContext ctx = ExecContext());
-  void Open() override;
-  bool Next(Row* out) override;
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
   void Close() override;
 
  private:

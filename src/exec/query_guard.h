@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/fault_injection.h"
 #include "common/status.h"
@@ -156,15 +158,22 @@ class BufferAccount {
  public:
   BufferAccount() = default;
   explicit BufferAccount(QueryGuard* guard) : guard_(guard) {}
+  /// With `stats`, also records this operator's buffered-rows peak for
+  /// EXPLAIN ANALYZE (independent of whether a guard is present).
+  BufferAccount(QueryGuard* guard, OperatorStats* stats)
+      : guard_(guard), stats_(stats) {}
   BufferAccount(const BufferAccount&) = delete;
   BufferAccount& operator=(const BufferAccount&) = delete;
   ~BufferAccount() { Release(); }
 
   /// Charges one buffered row. Returns false once a buffer limit trips.
   bool Add(const Row& row) {
+    rows_ += 1;
+    if (stats_ != nullptr && rows_ > stats_->buffered_rows_peak) {
+      stats_->buffered_rows_peak = rows_;
+    }
     if (guard_ == nullptr) return true;
     int64_t bytes = ApproxRowBytes(row);
-    rows_ += 1;
     bytes_ += bytes;
     return guard_->OnRowsBuffered(1, bytes);
   }
@@ -193,11 +202,14 @@ class BufferAccount {
 
  private:
   QueryGuard* guard_ = nullptr;
+  OperatorStats* stats_ = nullptr;
   int64_t rows_ = 0;
   int64_t bytes_ = 0;
 };
 
 class SpillManager;
+class Operator;
+struct PlanNode;
 
 /// Everything the operator tree needs from its environment: runtime
 /// counters plus the (optional) guard and spill manager. Passed by value
@@ -218,6 +230,14 @@ struct ExecContext {
   /// Non-null when the engine provisioned disk spilling; null contexts
   /// sort purely in memory.
   SpillManager* spill = nullptr;
+  /// True under EXPLAIN ANALYZE / full tracing: every operator times its
+  /// Open()/Next() calls and accumulates OperatorStats. Off by default so
+  /// the execution hot path pays a single predictable branch.
+  bool collect_op_stats = false;
+  /// When non-null, BuildOperatorTree appends (plan node, operator) pairs
+  /// in post-order so the engine can pair each operator's stats with the
+  /// plan node that produced it. Owned by ExecutePlan.
+  std::vector<std::pair<const PlanNode*, Operator*>>* op_registry = nullptr;
 
   bool GuardOk() const { return guard == nullptr || guard->ok(); }
 

@@ -52,12 +52,10 @@ const char* OpKindName(OpKind kind) {
   return "?";
 }
 
-namespace {
-
-void Print(const PlanNode* node, const ColumnNamer& namer, int indent,
-           std::string* out) {
-  *out += std::string(static_cast<size_t>(indent) * 2, ' ');
-  *out += OpKindName(node->kind);
+std::string NodeLabel(const PlanNode& node_ref, const ColumnNamer& namer) {
+  const PlanNode* node = &node_ref;
+  std::string label = OpKindName(node->kind);
+  std::string* out = &label;
   switch (node->kind) {
     case OpKind::kTableScan:
       *out += StrFormat("(%s)", node->table->name().c_str());
@@ -151,6 +149,15 @@ void Print(const PlanNode* node, const ColumnNamer& namer, int indent,
               StrFormat(" limit %lld", static_cast<long long>(node->limit));
       break;
   }
+  return label;
+}
+
+namespace {
+
+void Print(const PlanNode* node, const ColumnNamer& namer, int indent,
+           std::string* out) {
+  *out += std::string(static_cast<size_t>(indent) * 2, ' ');
+  *out += NodeLabel(*node, namer);
   *out += StrFormat("  {cost=%.1f rows=%.0f", node->cost,
                     node->props.cardinality);
   if (!node->props.order.empty()) {

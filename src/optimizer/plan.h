@@ -37,6 +37,14 @@ enum class OpKind {
 
 const char* OpKindName(OpKind kind);
 
+struct PlanNode;
+
+/// One-line label for a plan node: the operator kind plus its defining
+/// arguments — "IndexScan(emp.emp_pk clustered)", "Sort(a ASC, b DESC)",
+/// "MergeJoin[x = y]" — without costs, properties, or children. Shared by
+/// PlanNode::ToString and the EXPLAIN ANALYZE renderer.
+std::string NodeLabel(const PlanNode& node, const ColumnNamer& namer = nullptr);
+
 /// One node of a physical plan. Immutable after construction; subtrees are
 /// shared between the dynamic-programming table's candidate plans.
 struct PlanNode {

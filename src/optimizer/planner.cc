@@ -23,14 +23,107 @@ bool NaiveSatisfied(const OrderSpec& interesting, const OrderSpec& property) {
   return interesting.IsPrefixOf(property);
 }
 
+std::string ColName(const ColumnNamer& namer, const ColumnId& col) {
+  return namer ? namer(col) : DefaultColumnName(col);
+}
+
 }  // namespace
 
-Planner::Planner(const Query& query, OptimizerConfig config)
+Planner::Planner(const Query& query, OptimizerConfig config,
+                 TraceCollector* trace)
     : query_(query),
       config_(config),
       cost_model_(config.cost_params),
-      order_scan_(query, config.enable_order_optimization) {
+      order_scan_(query, config.enable_order_optimization),
+      trace_(trace) {
   order_scan_.Run();
+}
+
+// ---------------------------------------------------------------------------
+// Trace emission. Decision sites call these; each is a no-op without a
+// collector, so the untraced planning path costs one null check.
+// ---------------------------------------------------------------------------
+
+void Planner::TraceReduce(const char* site, const OrderSpec& interesting,
+                          const OrderSpec& reduced,
+                          const OrderContext& octx) const {
+  if (trace_ == nullptr || reduced == interesting) return;
+  // Re-run the reduction with step reporting — only paid when tracing and
+  // the spec actually changed.
+  std::vector<ReduceStep> steps;
+  ReduceOrder(interesting, octx, &steps);
+  const ColumnNamer namer = query_.namer();
+  TraceEvent& e = trace_->Add("optimizer", "order.reduce");
+  e.Set("site", site);
+  e.Set("requested", interesting.ToString(namer));
+  e.Set("reduced", reduced.ToString(namer));
+  std::vector<std::string> detail;
+  for (const ReduceStep& s : steps) {
+    switch (s.action) {
+      case ReduceStep::Action::kKept:
+        break;
+      case ReduceStep::Action::kHeadSubstituted:
+        detail.push_back(ColName(namer, s.original) + "->" +
+                         ColName(namer, s.column) + " (eq-class head)");
+        break;
+      case ReduceStep::Action::kRemovedDetermined:
+        detail.push_back(ColName(namer, s.original) +
+                         " removed (constant/FD-determined)");
+        break;
+    }
+  }
+  if (!detail.empty()) e.Set("steps", Join(detail, "; "));
+}
+
+void Planner::TraceOrderTest(const char* site, const OrderSpec& interesting,
+                             const PlanNode& plan, bool satisfied) const {
+  if (trace_ == nullptr || interesting.empty()) return;
+  const ColumnNamer namer = query_.namer();
+  trace_->Add("optimizer", "order.test")
+      .Set("site", site)
+      .Set("interesting", interesting.ToString(namer))
+      .Set("property", plan.props.order.ToString(namer))
+      .SetBool("satisfied", satisfied);
+}
+
+void Planner::TraceSortDecision(const char* site, const OrderSpec& interesting,
+                                const PlanNode& input, bool avoided,
+                                const OrderSpec* sort_spec) const {
+  if (trace_ == nullptr || interesting.empty()) return;
+  const ColumnNamer namer = query_.namer();
+  if (avoided) {
+    // Surface the reduction that let the existing order satisfy the
+    // requirement (Test Order reduces internally, so nothing else
+    // reports it on this path).
+    if (config_.enable_order_optimization) {
+      OrderContext octx = input.props.MakeContext(config_.transitive_fds);
+      TraceReduce(site, interesting, ReduceOrder(interesting, octx), octx);
+    }
+    trace_->Add("optimizer", "sort.avoided")
+        .Set("site", site)
+        .Set("interesting", interesting.ToString(namer))
+        .Set("property", input.props.order.ToString(namer))
+        .SetDouble("input_rows", input.props.cardinality);
+    return;
+  }
+  size_t width = sort_spec != nullptr ? sort_spec->size() : interesting.size();
+  TraceEvent& e = trace_->Add("optimizer", "sort.placed");
+  e.Set("site", site);
+  e.Set("interesting", interesting.ToString(namer));
+  if (sort_spec != nullptr) e.Set("spec", sort_spec->ToString(namer));
+  e.SetDouble("input_rows", input.props.cardinality);
+  e.SetDouble("est_cost", cost_model_.SortCost(input.props.cardinality, width));
+}
+
+void Planner::TraceSortAhead(const char* site, const OrderSpec& spec,
+                             const PlanNode& plan, bool retained) const {
+  if (trace_ == nullptr) return;
+  trace_->Add("optimizer",
+              retained ? "sortahead.candidate" : "sortahead.pruned")
+      .Set("site", site)
+      .Set("spec", spec.ToString(query_.namer()))
+      .SetDouble("est_cost", plan.cost)
+      .SetDouble("est_rows", plan.props.cardinality);
 }
 
 bool Planner::OrderSatisfied(const OrderSpec& interesting,
@@ -48,6 +141,7 @@ OrderSpec Planner::SortSpecFor(const OrderSpec& interesting,
   if (!config_.enable_order_optimization) return interesting;
   OrderContext ctx = input.props.MakeContext(config_.transitive_fds);
   OrderSpec reduced = ReduceOrder(interesting, ctx);
+  TraceReduce("sort.spec", interesting, reduced, ctx);
   // Reduction rewrites to equivalence-class heads, which need not be
   // visible in this stream (e.g. the head lives in a table the group-by
   // projected away). Substitute a visible class member for the executor.
@@ -106,13 +200,13 @@ PlanRef Planner::MakeFilter(PlanRef input, std::vector<Predicate> preds,
   return node;
 }
 
-void Planner::InsertCandidate(std::vector<PlanRef>* candidates, PlanRef plan) {
+bool Planner::InsertCandidate(std::vector<PlanRef>* candidates, PlanRef plan) {
   ++plans_generated_;
   // Dominated by an existing plan?
   for (const PlanRef& existing : *candidates) {
     bool cheaper = existing->cost <= plan->cost;
     if (cheaper && OrderSatisfied(plan->props.order, *existing)) {
-      return;  // pruned (§5.2: more costly subplans with comparable props)
+      return false;  // pruned (§5.2: costlier subplan, comparable props)
     }
   }
   // Remove plans the newcomer dominates.
@@ -124,6 +218,7 @@ void Planner::InsertCandidate(std::vector<PlanRef>* candidates, PlanRef plan) {
                      }),
       candidates->end());
   candidates->push_back(std::move(plan));
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -269,8 +364,16 @@ std::vector<PlanRef> Planner::BaseAccessPaths(
     for (const OrderSpec& want : sort_ahead) {
       OrderSpec homog = HomogenizeOrderPrefix(want, targets, octx.eq, octx);
       if (homog.empty()) continue;
+      if (tracing() && homog != want) {
+        trace_->Add("optimizer", "order.homogenize")
+            .Set("site", "leaf")
+            .Set("requested", want.ToString(query_.namer()))
+            .Set("translated", homog.ToString(query_.namer()));
+      }
       if (OrderSatisfied(homog, *cheapest)) continue;
-      InsertCandidate(&out, MakeSort(cheapest, SortSpecFor(homog, *cheapest)));
+      PlanRef sorted = MakeSort(cheapest, SortSpecFor(homog, *cheapest));
+      bool retained = InsertCandidate(&out, sorted);
+      TraceSortAhead("leaf", homog, *sorted, retained);
     }
   }
   return out;
@@ -413,8 +516,15 @@ Result<std::vector<PlanRef>> Planner::PlanSelectBox(const QgmBox* box) {
           OrderSpec homog = HomogenizeOrderPrefix(
               want, qcols[i], info.optimistic_ctx.eq, info.optimistic_ctx);
           if (homog.empty() || OrderSatisfied(homog, *cheapest)) continue;
-          InsertCandidate(&leafs,
-                          MakeSort(cheapest, SortSpecFor(homog, *cheapest)));
+          if (tracing() && homog != want) {
+            trace_->Add("optimizer", "order.homogenize")
+                .Set("site", "derived")
+                .Set("requested", want.ToString(query_.namer()))
+                .Set("translated", homog.ToString(query_.namer()));
+          }
+          PlanRef sorted = MakeSort(cheapest, SortSpecFor(homog, *cheapest));
+          bool retained = InsertCandidate(&leafs, sorted);
+          TraceSortAhead("derived", homog, *sorted, retained);
         }
       }
     }
@@ -576,25 +686,48 @@ Result<std::vector<PlanRef>> Planner::PlanSelectBox(const QgmBox* box) {
                     std::optional<OrderSpec> covered =
                         CoverOrder(homog, merge_outer, octx);
                     if (covered.has_value() && !covered->empty()) {
+                      if (tracing()) {
+                        const ColumnNamer namer = query_.namer();
+                        trace_->Add("optimizer", "order.cover")
+                            .Set("site", "merge_join")
+                            .Set("i1", homog.ToString(namer))
+                            .Set("i2", merge_outer.ToString(namer))
+                            .Set("cover", covered->ToString(namer));
+                      }
                       outer_specs.push_back(*covered);
                     }
                   }
                 }
                 std::vector<PlanRef> sorted_outers;
-                if (OrderSatisfied(merge_outer, *outer)) {
+                bool outer_sat = OrderSatisfied(merge_outer, *outer);
+                TraceOrderTest("merge_join.outer", merge_outer, *outer,
+                               outer_sat);
+                if (outer_sat) {
+                  TraceSortDecision("merge_join.outer", merge_outer, *outer,
+                                    /*avoided=*/true, nullptr);
                   sorted_outers.push_back(outer);
                 } else {
                   for (const OrderSpec& spec : outer_specs) {
                     OrderSpec s = SortSpecFor(spec, *outer);
                     if (s.empty()) s = spec;
+                    TraceSortDecision("merge_join.outer", spec, *outer,
+                                      /*avoided=*/false, &s);
                     sorted_outers.push_back(MakeSort(outer, s));
                   }
                 }
                 PlanRef sorted_inner = inner;
-                if (!OrderSatisfied(merge_inner, *inner)) {
+                bool inner_sat = OrderSatisfied(merge_inner, *inner);
+                TraceOrderTest("merge_join.inner", merge_inner, *inner,
+                               inner_sat);
+                if (!inner_sat) {
                   OrderSpec s = SortSpecFor(merge_inner, *inner);
                   if (s.empty()) s = merge_inner;
+                  TraceSortDecision("merge_join.inner", merge_inner, *inner,
+                                    /*avoided=*/false, &s);
                   sorted_inner = MakeSort(inner, s);
+                } else {
+                  TraceSortDecision("merge_join.inner", merge_inner, *inner,
+                                    /*avoided=*/true, nullptr);
                 }
                 for (const PlanRef& so : sorted_outers) {
                   auto node = std::make_shared<PlanNode>();
@@ -729,8 +862,15 @@ Result<std::vector<PlanRef>> Planner::PlanSelectBox(const QgmBox* box) {
         OrderSpec homog = HomogenizeOrderPrefix(
             want, targets, info.optimistic_ctx.eq, info.optimistic_ctx);
         if (homog.empty() || OrderSatisfied(homog, *cheapest)) continue;
-        InsertCandidate(&dp[mask],
-                        MakeSort(cheapest, SortSpecFor(homog, *cheapest)));
+        if (tracing() && homog != want) {
+          trace_->Add("optimizer", "order.homogenize")
+              .Set("site", "intermediate")
+              .Set("requested", want.ToString(query_.namer()))
+              .Set("translated", homog.ToString(query_.namer()));
+        }
+        PlanRef sorted = MakeSort(cheapest, SortSpecFor(homog, *cheapest));
+        bool retained = InsertCandidate(&dp[mask], sorted);
+        TraceSortAhead("intermediate", homog, *sorted, retained);
       }
     }
   }
@@ -785,6 +925,19 @@ Result<std::vector<PlanRef>> Planner::PlanSelectBox(const QgmBox* box) {
           adjacent = NaiveSatisfied(ConcreteAscending(out_col_list),
                                     v->props.order);
         }
+        if (tracing()) {
+          trace_->Add("optimizer", "order.test")
+              .Set("site", "distinct")
+              .Set("interesting", "DISTINCT grouping")
+              .Set("property", v->props.order.ToString(query_.namer()))
+              .SetBool("satisfied", adjacent);
+          if (adjacent) {
+            trace_->Add("optimizer", "sort.avoided")
+                .Set("site", "distinct")
+                .Set("property", v->props.order.ToString(query_.namer()))
+                .SetDouble("input_rows", v->props.cardinality);
+          }
+        }
         if (adjacent) {
           auto node = std::make_shared<PlanNode>();
           node->kind = OpKind::kStreamDistinct;
@@ -803,6 +956,14 @@ Result<std::vector<PlanRef>> Planner::PlanSelectBox(const QgmBox* box) {
             std::optional<OrderSpec> covered =
                 info.distinct_requirement.CoverConcrete(info.required_output,
                                                         ctx);
+            if (tracing() && covered.has_value()) {
+              const ColumnNamer namer = query_.namer();
+              trace_->Add("optimizer", "order.cover")
+                  .Set("site", "distinct")
+                  .Set("i1", "DISTINCT grouping")
+                  .Set("i2", info.required_output.ToString(namer))
+                  .Set("cover", covered->ToString(namer));
+            }
             spec = covered.has_value()
                        ? *covered
                        : info.distinct_requirement.DefaultSortSpec(ctx);
@@ -810,6 +971,7 @@ Result<std::vector<PlanRef>> Planner::PlanSelectBox(const QgmBox* box) {
             spec = ConcreteAscending(out_col_list);
           }
           if (!spec.empty()) {
+            TraceSortDecision("distinct", spec, *v, /*avoided=*/false, &spec);
             PlanRef sorted = MakeSort(v, spec);
             auto node = std::make_shared<PlanNode>();
             node->kind = OpKind::kStreamDistinct;
@@ -839,10 +1001,21 @@ Result<std::vector<PlanRef>> Planner::PlanSelectBox(const QgmBox* box) {
 
     for (PlanRef v : variants) {
       bool limited = box->limit >= 0;
-      if (!info.required_output.empty() &&
-          !OrderSatisfied(info.required_output, *v)) {
+      bool output_sat =
+          info.required_output.empty() ||
+          OrderSatisfied(info.required_output, *v);
+      if (!info.required_output.empty()) {
+        TraceOrderTest("select.output", info.required_output, *v, output_sat);
+        if (output_sat) {
+          TraceSortDecision("select.output", info.required_output, *v,
+                            /*avoided=*/true, nullptr);
+        }
+      }
+      if (!output_sat) {
         OrderSpec spec = SortSpecFor(info.required_output, *v);
         if (spec.empty()) spec = info.required_output;
+        TraceSortDecision("select.output", info.required_output, *v,
+                          /*avoided=*/false, &spec);
         if (limited) {
           // ORDER BY + LIMIT fuse into a bounded-heap Top-N.
           auto node = std::make_shared<PlanNode>();
@@ -993,16 +1166,31 @@ Result<std::vector<PlanRef>> Planner::FoldOuterJoin(
       }
       // Merge-left: preserves the outer's order.
       PlanRef sorted_outer = outer;
-      if (!OrderSatisfied(merge_outer, *outer)) {
+      bool lo_sat = OrderSatisfied(merge_outer, *outer);
+      TraceOrderTest("merge_left_join.outer", merge_outer, *outer, lo_sat);
+      if (!lo_sat) {
         OrderSpec s = SortSpecFor(merge_outer, *outer);
         if (s.empty()) s = merge_outer;
+        TraceSortDecision("merge_left_join.outer", merge_outer, *outer,
+                          /*avoided=*/false, &s);
         sorted_outer = MakeSort(outer, s);
+      } else {
+        TraceSortDecision("merge_left_join.outer", merge_outer, *outer,
+                          /*avoided=*/true, nullptr);
       }
       PlanRef sorted_inner = cheapest_inner;
-      if (!OrderSatisfied(merge_inner, *cheapest_inner)) {
+      bool li_sat = OrderSatisfied(merge_inner, *cheapest_inner);
+      TraceOrderTest("merge_left_join.inner", merge_inner, *cheapest_inner,
+                     li_sat);
+      if (!li_sat) {
         OrderSpec s = SortSpecFor(merge_inner, *cheapest_inner);
         if (s.empty()) s = merge_inner;
+        TraceSortDecision("merge_left_join.inner", merge_inner,
+                          *cheapest_inner, /*avoided=*/false, &s);
         sorted_inner = MakeSort(cheapest_inner, s);
+      } else {
+        TraceSortDecision("merge_left_join.inner", merge_inner,
+                          *cheapest_inner, /*avoided=*/true, nullptr);
       }
       auto node = std::make_shared<PlanNode>();
       node->kind = OpKind::kMergeLeftJoin;
@@ -1062,6 +1250,19 @@ Result<std::vector<PlanRef>> Planner::PlanGroupByBox(const QgmBox* box) {
       grouped_input = NaiveSatisfied(ConcreteAscending(box->group_columns),
                                      child->props.order);
     }
+    if (tracing()) {
+      trace_->Add("optimizer", "order.test")
+          .Set("site", "groupby")
+          .Set("interesting", "GROUP BY grouping")
+          .Set("property", child->props.order.ToString(query_.namer()))
+          .SetBool("satisfied", grouped_input);
+      if (grouped_input) {
+        trace_->Add("optimizer", "sort.avoided")
+            .Set("site", "groupby")
+            .Set("property", child->props.order.ToString(query_.namer()))
+            .SetDouble("input_rows", child->props.cardinality);
+      }
+    }
 
     if (grouped_input) {
       auto node = std::make_shared<PlanNode>();
@@ -1083,6 +1284,7 @@ Result<std::vector<PlanRef>> Planner::PlanGroupByBox(const QgmBox* box) {
         OrderContext ctx = child->props.MakeContext(config_.transitive_fds);
         for (const OrderSpec& pref : info.preferred_sorts) {
           OrderSpec reduced = ReduceOrder(pref, ctx);
+          TraceReduce("groupby.preferred", pref, reduced, ctx);
           if (reduced.empty()) continue;
           bool dup = false;
           for (const OrderSpec& s : specs) dup = dup || s == reduced;
@@ -1096,6 +1298,7 @@ Result<std::vector<PlanRef>> Planner::PlanGroupByBox(const QgmBox* box) {
         specs.push_back(ConcreteAscending(box->group_columns));
       }
       for (const OrderSpec& spec : specs) {
+        TraceSortDecision("groupby", spec, *child, /*avoided=*/false, &spec);
         PlanRef sorted = MakeSort(child, spec);
         auto node = std::make_shared<PlanNode>();
         node->kind = OpKind::kSortGroupBy;
@@ -1276,11 +1479,19 @@ Result<std::vector<PlanRef>> Planner::PlanUnionBox(const QgmBox* box) {
   // Finishing: ORDER BY + LIMIT on the union.
   std::vector<PlanRef> finished;
   for (PlanRef v : candidates) {
-    if (!info.required_output.empty() &&
-        !OrderSatisfied(info.required_output, *v)) {
-      OrderSpec spec = SortSpecFor(info.required_output, *v);
-      if (spec.empty()) spec = info.required_output;
-      v = MakeSort(v, spec);
+    if (!info.required_output.empty()) {
+      bool sat = OrderSatisfied(info.required_output, *v);
+      TraceOrderTest("union.output", info.required_output, *v, sat);
+      if (!sat) {
+        OrderSpec spec = SortSpecFor(info.required_output, *v);
+        if (spec.empty()) spec = info.required_output;
+        TraceSortDecision("union.output", info.required_output, *v,
+                          /*avoided=*/false, &spec);
+        v = MakeSort(v, spec);
+      } else {
+        TraceSortDecision("union.output", info.required_output, *v,
+                          /*avoided=*/true, nullptr);
+      }
     }
     if (box->limit >= 0) {
       auto node = std::make_shared<PlanNode>();
@@ -1324,6 +1535,14 @@ Result<PlanRef> Planner::BuildPlan() {
     node->props.columns = query_.root->OutputColumns();
     node->cost = best->cost;
     best = node;
+  }
+  if (tracing()) {
+    trace_->Add("optimizer", "plan.chosen")
+        .SetDouble("est_cost", best->cost)
+        .SetDouble("est_rows", best->props.cardinality)
+        .SetInt("nodes", best->NodeCount())
+        .SetInt("plans_generated", plans_generated_)
+        .SetInt("plans_retained", plans_retained_);
   }
   return best;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/retry.h"
+#include "common/trace.h"
 #include "exec/query_guard.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/order_scan.h"
@@ -49,6 +50,17 @@ struct OptimizerConfig {
   /// Retry policy for spill-file I/O (bounded attempts, deterministic
   /// backoff) before a flaky write/read degrades to a clean error.
   RetryPolicy spill_retry;
+  /// Observability. kOff records nothing; kOptimizer records planner
+  /// decision events (order reduced, sort avoided/placed, covers,
+  /// homogenizations, sort-ahead candidates); kFull additionally collects
+  /// per-operator execution stats. EXPLAIN ANALYZE and a set trace path
+  /// both force kFull for that query.
+  TraceLevel trace_level = TraceLevel::kOff;
+  /// When non-empty, the engine writes the query's event stream (plus
+  /// per-operator stats and final metrics) to this path as line-delimited
+  /// JSON after execution. The ORDOPT_TRACE environment variable supplies
+  /// a default when this is empty.
+  std::string trace_path;
 };
 
 /// Cost-based bottom-up planner (§5.2): walks the QGM box tree, runs
@@ -58,7 +70,10 @@ struct OptimizerConfig {
 /// projection operators.
 class Planner {
  public:
-  Planner(const Query& query, OptimizerConfig config = OptimizerConfig());
+  /// `trace`, when non-null, receives structured decision events while
+  /// planning; it must outlive the planner.
+  Planner(const Query& query, OptimizerConfig config = OptimizerConfig(),
+          TraceCollector* trace = nullptr);
 
   /// Plans the whole query; the returned plan's root is a Project with the
   /// query's output columns.
@@ -101,16 +116,37 @@ class Planner {
                         const PlanNode& input) const;
 
   // Adds `plan` to `candidates` under the (cost, order) domination rule.
-  void InsertCandidate(std::vector<PlanRef>* candidates, PlanRef plan);
+  // Returns false when the plan was pruned on arrival (dominated by a
+  // retained candidate), true when it joined the candidate set.
+  bool InsertCandidate(std::vector<PlanRef>* candidates, PlanRef plan);
 
   PlanRef MakeSort(PlanRef input, OrderSpec spec);
   PlanRef MakeFilter(PlanRef input, std::vector<Predicate> preds,
                      const QgmBox* box);
 
+  // --- trace helpers (no-ops when trace_ is null) --------------------------
+  bool tracing() const { return trace_ != nullptr; }
+  // Emits order.reduce when reduction changed `interesting`, detailing
+  // which elements were head-substituted or removed and why.
+  void TraceReduce(const char* site, const OrderSpec& interesting,
+                   const OrderSpec& reduced, const OrderContext& octx) const;
+  // Emits order.test with the verdict of testing `interesting` against a
+  // plan's order property.
+  void TraceOrderTest(const char* site, const OrderSpec& interesting,
+                      const PlanNode& plan, bool satisfied) const;
+  // Emits sort.avoided / sort.placed for an order requirement at `site`.
+  void TraceSortDecision(const char* site, const OrderSpec& interesting,
+                         const PlanNode& input, bool avoided,
+                         const OrderSpec* sort_spec) const;
+  // Emits sortahead.candidate (considered) or sortahead.pruned.
+  void TraceSortAhead(const char* site, const OrderSpec& spec,
+                      const PlanNode& plan, bool retained) const;
+
   const Query& query_;
   OptimizerConfig config_;
   CostModel cost_model_;
   OrderScan order_scan_;
+  TraceCollector* trace_ = nullptr;
   int64_t plans_generated_ = 0;
   int64_t plans_retained_ = 0;
 };

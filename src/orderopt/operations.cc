@@ -5,6 +5,11 @@
 namespace ordopt {
 
 OrderSpec ReduceOrder(const OrderSpec& spec, const OrderContext& ctx) {
+  return ReduceOrder(spec, ctx, nullptr);
+}
+
+OrderSpec ReduceOrder(const OrderSpec& spec, const OrderContext& ctx,
+                      std::vector<ReduceStep>* steps) {
   // Step 1 (Figure 2, line 1): rewrite every column as its equivalence-class
   // head, keeping the requested direction.
   std::vector<OrderElement> elems;
@@ -21,6 +26,24 @@ OrderSpec ReduceOrder(const OrderSpec& spec, const OrderContext& ctx) {
     ColumnSet preceding;
     for (size_t j = 0; j < i; ++j) preceding.Add(elems[j].col);
     if (ctx.Determines(preceding, elems[i].col)) removed[i] = true;
+  }
+
+  if (steps != nullptr) {
+    steps->clear();
+    steps->reserve(elems.size());
+    for (size_t i = 0; i < elems.size(); ++i) {
+      ReduceStep step;
+      step.original = spec.at(i).col;
+      step.column = elems[i].col;
+      if (removed[i]) {
+        step.action = ReduceStep::Action::kRemovedDetermined;
+      } else if (elems[i].col != spec.at(i).col) {
+        step.action = ReduceStep::Action::kHeadSubstituted;
+      } else {
+        step.action = ReduceStep::Action::kKept;
+      }
+      steps->push_back(step);
+    }
   }
 
   OrderSpec out;

@@ -29,12 +29,31 @@ struct OrderContext {
   }
 };
 
+/// What Reduce Order did to one element of the input specification; used
+/// by the optimizer trace to explain *why* an order shrank (§4.1).
+struct ReduceStep {
+  enum class Action {
+    kKept,               ///< survived reduction (possibly head-substituted)
+    kHeadSubstituted,    ///< rewritten to its equivalence-class head, kept
+    kRemovedDetermined,  ///< deleted: preceding columns determine it (an FD,
+                         ///< a constant binding, or a duplicate)
+  };
+  ColumnId original;  ///< column as requested
+  ColumnId column;    ///< column after head substitution
+  Action action = Action::kKept;
+};
+
 /// Reduce Order (§4.1, Figure 2). Rewrites an order specification into
 /// canonical form: every column is replaced by its equivalence-class head,
 /// then a backward scan deletes each column functionally determined by the
 /// columns preceding it (constants and duplicates fall out as special
 /// cases). The result may be empty, which is satisfied by any stream.
 OrderSpec ReduceOrder(const OrderSpec& spec, const OrderContext& ctx);
+
+/// As above, additionally reporting one ReduceStep per input element when
+/// `steps` is non-null (trace instrumentation; cleared first).
+OrderSpec ReduceOrder(const OrderSpec& spec, const OrderContext& ctx,
+                      std::vector<ReduceStep>* steps);
 
 /// Test Order (§4.2, Figure 3). True iff the stream order property
 /// `property` satisfies the interesting order `interesting`: both are

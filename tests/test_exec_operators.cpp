@@ -17,8 +17,8 @@ class RowSource : public Operator {
     layout_ = std::move(layout);
     rows_ = std::move(rows);
   }
-  void Open() override { pos_ = 0; }
-  bool Next(Row* out) override {
+  void OpenImpl() override { pos_ = 0; }
+  bool NextImpl(Row* out) override {
     if (pos_ >= rows_.size()) return false;
     *out = rows_[pos_++];
     return true;
