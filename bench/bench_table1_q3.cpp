@@ -34,10 +34,18 @@
 // tracing on Q3: trace off vs TraceLevel::kOptimizer (identical execution
 // path, events recorded at plan time only). Exits nonzero above 2%.
 // kFull (per-operator stats) overhead is reported informationally.
+//
+// --plan-time instead measures planner wall time on Q3 (plan-only, no
+// execution): average milliseconds per optimization, plans generated and
+// retained, and the reduce-cache hit rate. --json=PATH additionally emits
+// the numbers as a JSON object (the check.sh --plan-bench gate reads it).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "exec/analyze.h"
 #include "exec/engine.h"
@@ -209,47 +217,141 @@ int ExplainQ3(Database* db) {
 // operators), so the delta is plan-time event recording and must sit
 // within noise. kFull turns on per-operator timing/stat collection and is
 // reported for information.
-double RunTraceMode(Database* db, TraceLevel level, int runs) {
+void RunTraceMode(Database* db, TraceLevel level, int runs,
+                  std::vector<double>* samples) {
   OptimizerConfig cfg;
   cfg.enable_order_optimization = true;
   cfg.enable_hash_join = false;
   cfg.enable_hash_grouping = false;
   cfg.trace_level = level;
   QueryEngine engine(db, cfg);
-  double wall = 0;
   for (int i = 0; i < runs; ++i) {
     Result<QueryResult> r = engine.Run(tpcd_queries::kQuery3);
     if (!r.ok()) {
       std::fprintf(stderr, "Q3 failed: %s\n", r.status().ToString().c_str());
       std::exit(1);
     }
-    wall += r.value().elapsed_seconds;
+    samples->push_back(r.value().elapsed_seconds);
   }
-  return wall / runs;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  size_t n = v.size();
+  return n % 2 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
 }
 
 int TraceOverhead(Database* db, int runs) {
-  // Warm-up, then interleave to keep cache/frequency drift symmetric.
-  RunTraceMode(db, TraceLevel::kOff, 1);
-  double off = 0, optimizer = 0, full = 0;
-  for (int i = 0; i < 3; ++i) {
-    off += RunTraceMode(db, TraceLevel::kOff, runs);
-    optimizer += RunTraceMode(db, TraceLevel::kOptimizer, runs);
-    full += RunTraceMode(db, TraceLevel::kFull, runs);
+  // Wall-clock noise on a ~10ms workload dwarfs a 2% budget, so the
+  // estimate must cancel drift rather than average it: each iteration
+  // measures all three modes back-to-back (per-mode median of `runs`
+  // executions), yielding one paired overhead sample; the gate compares
+  // the median across iterations. CPU-frequency drift that spans an
+  // iteration shifts both sides of a pair equally and cancels; a mean of
+  // unpaired batches let one preempted batch blow past the gate.
+  constexpr int kIterations = 9;
+  std::vector<double> warm;
+  RunTraceMode(db, TraceLevel::kOff, 1, &warm);
+  std::vector<double> off_meds, opt_pcts, full_pcts;
+  for (int i = 0; i < kIterations; ++i) {
+    std::vector<double> off, optimizer, full;
+    RunTraceMode(db, TraceLevel::kOff, runs, &off);
+    RunTraceMode(db, TraceLevel::kOptimizer, runs, &optimizer);
+    RunTraceMode(db, TraceLevel::kFull, runs, &full);
+    double o = Median(off);
+    off_meds.push_back(o);
+    opt_pcts.push_back((Median(optimizer) - o) / o * 100.0);
+    full_pcts.push_back((Median(full) - o) / o * 100.0);
   }
-  off /= 3;
-  optimizer /= 3;
-  full /= 3;
-  double opt_pct = (optimizer - off) / off * 100.0;
-  double full_pct = (full - off) / off * 100.0;
-  std::printf("--- tracing overhead on Q3 (wall clock, %d runs x3) ---\n",
-              runs);
-  std::printf("trace off:             %.4fs\n", off);
-  std::printf("kOptimizer (events):   %.4fs  %+.2f%%  [target: < 2%%]\n",
-              optimizer, opt_pct);
-  std::printf("kFull (op stats):      %.4fs  %+.2f%%  (informational)\n",
-              full, full_pct);
+  double off_med = Median(off_meds);
+  double opt_pct = Median(opt_pcts);
+  double full_pct = Median(full_pcts);
+  std::printf(
+      "--- tracing overhead on Q3 (paired medians, %d runs x%d) ---\n",
+      runs, kIterations);
+  std::printf("trace off:             %.4fs\n", off_med);
+  std::printf("kOptimizer (events):   %+.2f%%  [target: < 2%%]\n", opt_pct);
+  std::printf("kFull (op stats):      %+.2f%%  (informational)\n", full_pct);
   return opt_pct < 2.0 ? 0 : 1;
+}
+
+// Planning-time microbenchmark: optimize Q3 repeatedly without executing
+// it. This is the workload the reduce cache and memo refactor target, so
+// the numbers double as the regression baseline for check.sh --plan-bench.
+int PlanTime(Database* db, int runs, const std::string& json_path) {
+  OptimizerConfig cfg;
+  cfg.enable_order_optimization = true;
+  cfg.enable_hash_join = false;
+  cfg.enable_hash_grouping = false;
+  QueryEngine engine(db, cfg);
+
+  // Warm-up (parser/catalog caches, allocator).
+  if (!engine.Explain(tpcd_queries::kQuery3).ok()) {
+    std::fprintf(stderr, "Q3 plan failed\n");
+    return 1;
+  }
+
+  const int iters = runs * 20;  // planning is fast; amplify for stable timing
+  QueryResult last;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    Result<QueryResult> r = engine.Explain(tpcd_queries::kQuery3);
+    if (!r.ok()) {
+      std::fprintf(stderr, "Q3 plan failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    if (i == iters - 1) last = std::move(r.value());
+  }
+  auto end = std::chrono::steady_clock::now();
+  double total_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  double avg_ms = total_ms / iters;
+
+  double hit_rate = 0.0;
+  int64_t lookups = last.reduce_cache_hits + last.reduce_cache_misses;
+  if (lookups > 0) {
+    hit_rate = static_cast<double>(last.reduce_cache_hits) / lookups;
+  }
+
+  std::printf("--- planning time on Q3 (plan-only, %d iterations) ---\n",
+              iters);
+  std::printf("avg plan time:        %.4f ms\n", avg_ms);
+  std::printf("plans generated:      %lld\n",
+              static_cast<long long>(last.plans_generated));
+  std::printf("plans retained:       %lld\n",
+              static_cast<long long>(last.plans_retained));
+  std::printf("reduce-cache hits:    %lld\n",
+              static_cast<long long>(last.reduce_cache_hits));
+  std::printf("reduce-cache misses:  %lld\n",
+              static_cast<long long>(last.reduce_cache_misses));
+  std::printf("reduce-cache hit rate: %.1f%%\n", hit_rate * 100.0);
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"query\": \"tpcd_q3\",\n"
+                 "  \"iterations\": %d,\n"
+                 "  \"avg_plan_ms\": %.6f,\n"
+                 "  \"plans_generated\": %lld,\n"
+                 "  \"plans_retained\": %lld,\n"
+                 "  \"reduce_cache_hits\": %lld,\n"
+                 "  \"reduce_cache_misses\": %lld,\n"
+                 "  \"reduce_cache_hit_rate\": %.6f\n"
+                 "}\n",
+                 iters, avg_ms, static_cast<long long>(last.plans_generated),
+                 static_cast<long long>(last.plans_retained),
+                 static_cast<long long>(last.reduce_cache_hits),
+                 static_cast<long long>(last.reduce_cache_misses), hit_rate);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -262,6 +364,8 @@ int main(int argc, char** argv) {
   bool spill_check = false;
   bool explain = false;
   bool trace_overhead = false;
+  bool plan_time = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--sf=", 5) == 0) sf = std::atof(argv[i] + 5);
     if (std::strncmp(argv[i], "--runs=", 7) == 0) {
@@ -270,10 +374,12 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--sort-budget=", 14) == 0) {
       sort_budget = std::atoll(argv[i] + 14);
     }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
     if (std::strcmp(argv[i], "--guard-overhead") == 0) guard_overhead = true;
     if (std::strcmp(argv[i], "--spill-check") == 0) spill_check = true;
     if (std::strcmp(argv[i], "--explain") == 0) explain = true;
     if (std::strcmp(argv[i], "--trace-overhead") == 0) trace_overhead = true;
+    if (std::strcmp(argv[i], "--plan-time") == 0) plan_time = true;
   }
 
   std::printf("=== Table 1: Elapsed Time for Query 3 (TPC-D, SF=%.3f, "
@@ -296,6 +402,7 @@ int main(int argc, char** argv) {
   if (spill_check) return SpillCheck(&db, runs);
   if (explain) return ExplainQ3(&db);
   if (trace_overhead) return TraceOverhead(&db, runs);
+  if (plan_time) return PlanTime(&db, runs, json_path);
 
   // DB2/CS engine profile: the paper's configuration.
   ModeResult prod =

@@ -40,6 +40,9 @@ Result<QueryResult> QueryEngine::Prepare(const std::string& sql, bool execute,
   result.plan_text = plan->ToString(query->namer());
   result.qgm_text = query->ToString();
   result.plans_generated = planner.plans_generated();
+  result.plans_retained = planner.plans_retained();
+  result.reduce_cache_hits = planner.reduce_cache_hits();
+  result.reduce_cache_misses = planner.reduce_cache_misses();
   result.trace = trace;
   for (const OutputColumn& oc : query->root->outputs) {
     result.column_names.push_back(oc.name);

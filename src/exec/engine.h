@@ -28,6 +28,12 @@ struct QueryResult {
   RuntimeMetrics metrics;
   double elapsed_seconds = 0.0;
   int64_t plans_generated = 0;
+  /// Candidate plans surviving domination pruning across all DP tables.
+  int64_t plans_retained = 0;
+  /// Reduce-cache statistics for this optimization (0/0 when the property
+  /// context never became cacheable; see orderopt/reduce_cache.h).
+  int64_t reduce_cache_hits = 0;
+  int64_t reduce_cache_misses = 0;
 
   /// EXPLAIN ANALYZE rendering (RunAnalyzed only): the plan annotated with
   /// per-operator est-vs-actual rows and timings, followed by the

@@ -1,0 +1,493 @@
+// Box finishing: DISTINCT / required output order / projection / LIMIT on
+// SELECT boxes, and the GROUP BY and UNION box planners.
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "optimizer/planner.h"
+
+namespace ordopt {
+
+namespace {
+
+// Naive order comparison used by the disabled baseline (§8): exact column
+// and direction prefix, no reduction, no equivalence classes.
+bool NaiveSatisfied(const OrderSpec& interesting, const OrderSpec& property) {
+  return interesting.IsPrefixOf(property);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SELECT box finishing: DISTINCT, required order, projection
+// ---------------------------------------------------------------------------
+
+std::vector<PlanRef> Planner::FinishSelectBox(
+    const QgmBox* box, const std::vector<PlanRef>& bases) {
+  const BoxOrderInfo& info = order_scan_.info(box);
+
+  bool all_passthrough = true;
+  for (const OutputColumn& oc : box->outputs) {
+    if (!oc.expr.IsColumn() || oc.expr.column() != oc.id) {
+      all_passthrough = false;
+    }
+  }
+
+  CandidateSet finished;
+  for (const PlanRef& base : bases) {
+    std::vector<PlanRef> variants = {base};
+
+    if (box->distinct) {
+      CandidateSet next;
+      ColumnSet out_cols = box->OutputColumns();
+      std::vector<ColumnId> out_col_list;
+      for (const OutputColumn& oc : box->outputs) {
+        out_col_list.push_back(oc.id);
+      }
+      for (const PlanRef& v : variants) {
+        double dcard = std::max(1.0, v->props.cardinality * 0.5);
+        bool adjacent;
+        if (config_.enable_order_optimization) {
+          OrderContext ctx = v->props.Context(config_.transitive_fds);
+          adjacent = info.distinct_requirement.Satisfies(v->props.order, ctx) ||
+                     v->props.IsOneRecord() ||
+                     v->props.keys.IsUniqueOn(out_cols);
+        } else {
+          adjacent = NaiveSatisfied(OrderSpec::Ascending(out_col_list),
+                                    v->props.order);
+        }
+        if (tracing()) {
+          trace_->Add("optimizer", "order.test")
+              .Set("site", "distinct")
+              .Set("interesting", "DISTINCT grouping")
+              .Set("property", v->props.order.ToString(query_.namer()))
+              .SetBool("satisfied", adjacent);
+          if (adjacent) {
+            trace_->Add("optimizer", "sort.avoided")
+                .Set("site", "distinct")
+                .Set("property", v->props.order.ToString(query_.namer()))
+                .SetDouble("input_rows", v->props.cardinality);
+          }
+        }
+        if (adjacent) {
+          auto node = std::make_shared<PlanNode>();
+          node->kind = OpKind::kStreamDistinct;
+          node->distinct_columns = out_cols;
+          node->children = {v};
+          node->props = DistinctProperties(v->props, out_cols,
+                                           /*preserves_order=*/true, dcard);
+          node->props.cost = v->props.cost + cost_model_.StreamGroupByCost(
+                                                 v->props.cardinality, 0);
+          InsertCandidate(&next, node);
+        } else {
+          // Sort-based distinct.
+          OrderSpec spec;
+          if (config_.enable_order_optimization) {
+            OrderContext ctx = v->props.Context(config_.transitive_fds);
+            std::optional<OrderSpec> covered =
+                info.distinct_requirement.CoverConcrete(info.required_output,
+                                                        ctx);
+            if (tracing() && covered.has_value()) {
+              const ColumnNamer namer = query_.namer();
+              trace_->Add("optimizer", "order.cover")
+                  .Set("site", "distinct")
+                  .Set("i1", "DISTINCT grouping")
+                  .Set("i2", info.required_output.ToString(namer))
+                  .Set("cover", covered->ToString(namer));
+            }
+            spec = covered.has_value()
+                       ? *covered
+                       : info.distinct_requirement.DefaultSortSpec(ctx);
+          } else {
+            spec = OrderSpec::Ascending(out_col_list);
+          }
+          if (!spec.empty()) {
+            TraceSortDecision("distinct", spec, *v, /*avoided=*/false, &spec);
+            PlanRef sorted = MakeSort(v, spec);
+            auto node = std::make_shared<PlanNode>();
+            node->kind = OpKind::kStreamDistinct;
+            node->distinct_columns = out_cols;
+            node->children = {sorted};
+            node->props = DistinctProperties(sorted->props, out_cols, true,
+                                             dcard);
+            node->props.cost =
+                sorted->props.cost +
+                cost_model_.StreamGroupByCost(sorted->props.cardinality, 0);
+            InsertCandidate(&next, node);
+          }
+          // Hash distinct.
+          if (!config_.enable_hash_grouping) continue;
+          auto node = std::make_shared<PlanNode>();
+          node->kind = OpKind::kHashDistinct;
+          node->distinct_columns = out_cols;
+          node->children = {v};
+          node->props = DistinctProperties(v->props, out_cols,
+                                           /*preserves_order=*/false, dcard);
+          node->props.cost = v->props.cost + cost_model_.HashGroupByCost(
+                                                 v->props.cardinality, 0);
+          InsertCandidate(&next, node);
+        }
+      }
+      variants = std::move(next.mutable_plans());
+    }
+
+    for (PlanRef v : variants) {
+      bool limited = box->limit >= 0;
+      bool output_sat = info.required_output.empty() ||
+                        OrderSatisfied(info.required_output, *v);
+      if (!info.required_output.empty()) {
+        TraceOrderTest("select.output", info.required_output, *v, output_sat);
+        if (output_sat) {
+          TraceSortDecision("select.output", info.required_output, *v,
+                            /*avoided=*/true, nullptr);
+        }
+      }
+      if (!output_sat) {
+        OrderSpec spec = SortSpecFor(info.required_output, *v);
+        if (spec.empty()) spec = info.required_output;
+        TraceSortDecision("select.output", info.required_output, *v,
+                          /*avoided=*/false, &spec);
+        if (limited) {
+          // ORDER BY + LIMIT fuse into a bounded-heap Top-N.
+          auto node = std::make_shared<PlanNode>();
+          node->kind = OpKind::kTopN;
+          node->sort_spec = spec;
+          node->limit = box->limit;
+          node->children = {v};
+          node->props = SortProperties(v->props, spec);
+          node->props.cardinality = std::min(
+              v->props.cardinality, static_cast<double>(box->limit));
+          double n = std::max(2.0, v->props.cardinality);
+          double k = std::max(2.0, static_cast<double>(box->limit));
+          node->props.cost = v->props.cost +
+                             n * std::log2(std::min(n, k)) *
+                                 cost_model_.params().cpu_compare_cost *
+                                 (0.5 + 0.5 * static_cast<double>(spec.size()));
+          v = node;
+          limited = false;  // the Top-N already enforced the limit
+        } else {
+          v = MakeSort(v, spec);
+        }
+      }
+      if (!all_passthrough) {
+        auto node = std::make_shared<PlanNode>();
+        node->kind = OpKind::kProject;
+        node->projections = box->outputs;
+        node->children = {v};
+        node->props = ProjectProperties(v->props, box->OutputColumns());
+        node->props.columns = box->OutputColumns();
+        node->props.cost = v->props.cost +
+                           v->props.cardinality *
+                               cost_model_.params().cpu_eval_cost *
+                               static_cast<double>(box->outputs.size());
+        v = node;
+      }
+      if (limited) {
+        auto node = std::make_shared<PlanNode>();
+        node->kind = OpKind::kLimit;
+        node->limit = box->limit;
+        node->children = {v};
+        node->props = v->props;
+        node->props.cardinality = std::min(
+            v->props.cardinality, static_cast<double>(box->limit));
+        node->props.cost = v->props.cost;
+        v = node;
+      }
+      InsertCandidate(&finished, std::move(v));
+    }
+  }
+  plans_retained_ += static_cast<int64_t>(finished.size());
+  return std::move(finished.mutable_plans());
+}
+
+// ---------------------------------------------------------------------------
+// GROUP BY box
+// ---------------------------------------------------------------------------
+
+Result<std::vector<PlanRef>> Planner::PlanGroupByBox(const QgmBox* box) {
+  const BoxOrderInfo& info = order_scan_.info(box);
+  ORDOPT_ASSIGN_OR_RETURN(std::vector<PlanRef> children,
+                          PlanBox(box->quantifiers[0].input));
+
+  ColumnSet agg_outputs;
+  for (const AggregateSpec& a : box->aggregates) agg_outputs.Add(a.output);
+
+  CandidateSet out;
+  for (const PlanRef& child : children) {
+    double card = cost_model_.GroupCardinality(
+        box->group_columns, child->props.cardinality, query_);
+
+    bool grouped_input;
+    if (config_.enable_order_optimization) {
+      OrderContext ctx = child->props.Context(config_.transitive_fds);
+      grouped_input =
+          info.grouping_requirement.Satisfies(child->props.order, ctx) ||
+          child->props.IsOneRecord();
+    } else {
+      grouped_input = NaiveSatisfied(OrderSpec::Ascending(box->group_columns),
+                                     child->props.order);
+    }
+    if (tracing()) {
+      trace_->Add("optimizer", "order.test")
+          .Set("site", "groupby")
+          .Set("interesting", "GROUP BY grouping")
+          .Set("property", child->props.order.ToString(query_.namer()))
+          .SetBool("satisfied", grouped_input);
+      if (grouped_input) {
+        trace_->Add("optimizer", "sort.avoided")
+            .Set("site", "groupby")
+            .Set("property", child->props.order.ToString(query_.namer()))
+            .SetDouble("input_rows", child->props.cardinality);
+      }
+    }
+
+    if (grouped_input) {
+      auto node = std::make_shared<PlanNode>();
+      node->kind = OpKind::kStreamGroupBy;
+      node->group_columns = box->group_columns;
+      node->aggregates = box->aggregates;
+      node->children = {child};
+      node->props = GroupByProperties(child->props, box->group_columns,
+                                      agg_outputs, /*preserves_order=*/true,
+                                      card);
+      node->props.cost = child->props.cost +
+                         cost_model_.StreamGroupByCost(
+                             child->props.cardinality, box->aggregates.size());
+      InsertCandidate(&out, node);
+    } else {
+      // Sort + streaming aggregation.
+      std::vector<OrderSpec> specs;
+      if (config_.enable_order_optimization) {
+        OrderContext ctx = child->props.Context(config_.transitive_fds);
+        for (const OrderSpec& pref : info.preferred_sorts) {
+          OrderSpec reduced = reduce_cache_.Reduce(pref, ctx);
+          TraceReduce("groupby.preferred", pref, reduced, ctx);
+          if (reduced.empty()) continue;
+          bool dup = false;
+          for (const OrderSpec& s : specs) dup = dup || s == reduced;
+          if (!dup) specs.push_back(reduced);
+        }
+        if (specs.empty()) {
+          OrderSpec fallback = info.grouping_requirement.DefaultSortSpec(ctx);
+          if (!fallback.empty()) specs.push_back(fallback);
+        }
+      } else {
+        specs.push_back(OrderSpec::Ascending(box->group_columns));
+      }
+      for (const OrderSpec& spec : specs) {
+        TraceSortDecision("groupby", spec, *child, /*avoided=*/false, &spec);
+        PlanRef sorted = MakeSort(child, spec);
+        auto node = std::make_shared<PlanNode>();
+        node->kind = OpKind::kSortGroupBy;
+        node->group_columns = box->group_columns;
+        node->aggregates = box->aggregates;
+        node->children = {sorted};
+        node->props = GroupByProperties(sorted->props, box->group_columns,
+                                        agg_outputs, /*preserves_order=*/true,
+                                        card);
+        node->props.cost = sorted->props.cost +
+                           cost_model_.StreamGroupByCost(
+                               sorted->props.cardinality,
+                               box->aggregates.size());
+        InsertCandidate(&out, node);
+      }
+      // Hash aggregation.
+      if (!config_.enable_hash_grouping) continue;
+      auto node = std::make_shared<PlanNode>();
+      node->kind = OpKind::kHashGroupBy;
+      node->group_columns = box->group_columns;
+      node->aggregates = box->aggregates;
+      node->children = {child};
+      node->props = GroupByProperties(child->props, box->group_columns,
+                                      agg_outputs, /*preserves_order=*/false,
+                                      card);
+      node->props.cost = child->props.cost +
+                         cost_model_.HashGroupByCost(child->props.cardinality,
+                                                     box->aggregates.size());
+      InsertCandidate(&out, node);
+    }
+  }
+  plans_retained_ += static_cast<int64_t>(out.size());
+  return std::move(out.mutable_plans());
+}
+
+// ---------------------------------------------------------------------------
+// UNION box
+// ---------------------------------------------------------------------------
+
+Result<std::vector<PlanRef>> Planner::PlanUnionBox(const QgmBox* box) {
+  const BoxOrderInfo& info = order_scan_.info(box);
+  ColumnSet out_cols = box->OutputColumns();
+
+  // Ensures a branch plan produces exactly its box outputs, in order.
+  auto projected = [&](PlanRef plan, const QgmBox* branch) -> PlanRef {
+    if (plan->kind == OpKind::kProject &&
+        plan->projections.size() == branch->outputs.size()) {
+      bool same = true;
+      for (size_t i = 0; i < branch->outputs.size(); ++i) {
+        if (!(plan->projections[i].id == branch->outputs[i].id)) same = false;
+      }
+      if (same) return plan;
+    }
+    auto node = std::make_shared<PlanNode>();
+    node->kind = OpKind::kProject;
+    node->projections = branch->outputs;
+    node->children = {plan};
+    node->props = ProjectProperties(plan->props, branch->OutputColumns());
+    node->props.columns = branch->OutputColumns();
+    node->props.cost = plan->props.cost + plan->props.cardinality *
+                                              cost_model_.params().cpu_eval_cost;
+    return node;
+  };
+
+  // Per branch: the cheapest plan, and (order optimization only) the
+  // cheapest plan delivering the all-columns ascending order that the
+  // merge union needs.
+  std::vector<PlanRef> cheapest;
+  std::vector<PlanRef> ordered;
+  double total_card = 0.0;
+  for (const Quantifier& q : box->quantifiers) {
+    const QgmBox* branch = q.input;
+    ORDOPT_ASSIGN_OR_RETURN(std::vector<PlanRef> plans, PlanBox(branch));
+    PlanRef best;
+    for (const PlanRef& p : plans) {
+      if (best == nullptr || p->props.cost < best->props.cost) best = p;
+    }
+    PlanRef best_proj = projected(best, branch);
+    cheapest.push_back(best_proj);
+    total_card += best_proj->props.cardinality;
+
+    if (config_.enable_order_optimization && box->distinct) {
+      std::vector<ColumnId> branch_cols;
+      for (const OutputColumn& oc : branch->outputs) {
+        branch_cols.push_back(oc.id);
+      }
+      OrderSpec want = OrderSpec::Ascending(branch_cols);
+      PlanRef best_ordered;
+      for (const PlanRef& p : plans) {
+        if (!OrderSatisfied(want, *p)) continue;
+        if (best_ordered == nullptr ||
+            p->props.cost < best_ordered->props.cost) {
+          best_ordered = p;
+        }
+      }
+      if (best_ordered == nullptr) {
+        // Sort the cheapest branch on (the reduced form of) the full list.
+        OrderSpec spec = SortSpecFor(want, *best);
+        if (spec.empty()) spec = want;
+        best_ordered = MakeSort(best, spec);
+      }
+      // A reduced branch sort still yields a fully lexicographically
+      // sorted stream: reduction only drops columns that are constant or
+      // FD-determined within the preceding prefix (§4.1's proof).
+      ordered.push_back(projected(best_ordered, branch));
+    }
+  }
+  CandidateSet candidates;
+
+  // Plain concatenation.
+  auto union_all = std::make_shared<PlanNode>();
+  union_all->kind = OpKind::kUnionAll;
+  union_all->projections = box->outputs;
+  union_all->children = {cheapest.begin(), cheapest.end()};
+  union_all->props.columns = out_cols;
+  union_all->props.cardinality = std::max(1.0, total_card);
+  union_all->props.cost = 0;
+  for (const PlanRef& c : cheapest) union_all->props.cost += c->props.cost;
+  union_all->props.cost += total_card * cost_model_.params().cpu_tuple_cost;
+
+  if (!box->distinct) {
+    candidates.mutable_plans().push_back(union_all);
+  } else {
+    double dcard = std::max(1.0, total_card * 0.7);
+    // Hash-based duplicate elimination over the concatenation.
+    if (config_.enable_hash_grouping) {
+      auto node = std::make_shared<PlanNode>();
+      node->kind = OpKind::kHashDistinct;
+      node->distinct_columns = out_cols;
+      node->children = {union_all};
+      node->props = DistinctProperties(union_all->props, out_cols,
+                                       /*preserves_order=*/false, dcard);
+      node->props.cost = union_all->props.cost +
+                         cost_model_.HashGroupByCost(total_card, 0);
+      InsertCandidate(&candidates, std::move(node));
+    }
+    // Sort-based: sort the concatenation, then stream.
+    {
+      std::vector<ColumnId> cols;
+      for (const OutputColumn& oc : box->outputs) cols.push_back(oc.id);
+      PlanRef sorted = MakeSort(union_all, OrderSpec::Ascending(cols));
+      auto node = std::make_shared<PlanNode>();
+      node->kind = OpKind::kStreamDistinct;
+      node->distinct_columns = out_cols;
+      node->children = {sorted};
+      node->props = DistinctProperties(sorted->props, out_cols,
+                                       /*preserves_order=*/true, dcard);
+      node->props.cost = sorted->props.cost +
+                         cost_model_.StreamGroupByCost(total_card, 0);
+      InsertCandidate(&candidates, std::move(node));
+    }
+    // Order-optimized: merge pre-sorted branches, stream-dedupe; the
+    // output arrives sorted on all output columns.
+    if (config_.enable_order_optimization && !ordered.empty()) {
+      std::vector<ColumnId> cols;
+      for (const OutputColumn& oc : box->outputs) cols.push_back(oc.id);
+      auto merge = std::make_shared<PlanNode>();
+      merge->kind = OpKind::kMergeUnion;
+      merge->projections = box->outputs;
+      merge->children = {ordered.begin(), ordered.end()};
+      merge->props.columns = out_cols;
+      merge->props.cardinality = std::max(1.0, total_card);
+      merge->props.order = OrderSpec::Ascending(cols);
+      merge->props.cost = 0;
+      for (const PlanRef& c : ordered) merge->props.cost += c->props.cost;
+      merge->props.cost += total_card * cost_model_.params().cpu_compare_cost *
+                           static_cast<double>(cols.size());
+      auto node = std::make_shared<PlanNode>();
+      node->kind = OpKind::kStreamDistinct;
+      node->distinct_columns = out_cols;
+      node->children = {merge};
+      node->props = DistinctProperties(merge->props, out_cols,
+                                       /*preserves_order=*/true, dcard);
+      node->props.cost = merge->props.cost +
+                         cost_model_.StreamGroupByCost(total_card, 0);
+      InsertCandidate(&candidates, std::move(node));
+    }
+  }
+
+  // Finishing: ORDER BY + LIMIT on the union.
+  CandidateSet finished;
+  for (PlanRef v : candidates.plans()) {
+    if (!info.required_output.empty()) {
+      bool sat = OrderSatisfied(info.required_output, *v);
+      TraceOrderTest("union.output", info.required_output, *v, sat);
+      if (!sat) {
+        OrderSpec spec = SortSpecFor(info.required_output, *v);
+        if (spec.empty()) spec = info.required_output;
+        TraceSortDecision("union.output", info.required_output, *v,
+                          /*avoided=*/false, &spec);
+        v = MakeSort(v, spec);
+      } else {
+        TraceSortDecision("union.output", info.required_output, *v,
+                          /*avoided=*/true, nullptr);
+      }
+    }
+    if (box->limit >= 0) {
+      auto node = std::make_shared<PlanNode>();
+      node->kind = OpKind::kLimit;
+      node->limit = box->limit;
+      node->children = {v};
+      node->props = v->props;
+      node->props.cardinality =
+          std::min(v->props.cardinality, static_cast<double>(box->limit));
+      node->props.cost = v->props.cost;
+      v = node;
+    }
+    InsertCandidate(&finished, std::move(v));
+  }
+  plans_retained_ += static_cast<int64_t>(finished.size());
+  return std::move(finished.mutable_plans());
+}
+
+}  // namespace ordopt

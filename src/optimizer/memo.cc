@@ -1,0 +1,46 @@
+#include "optimizer/memo.h"
+
+#include <algorithm>
+
+namespace ordopt {
+
+bool CandidateSet::Insert(PlanRef plan, const OrderDomination& dom) {
+  // Dominated by an existing plan?
+  for (const PlanRef& existing : plans_) {
+    bool cheaper = existing->props.cost <= plan->props.cost;
+    if (cheaper && dom.Satisfies(plan->props.order, *existing)) {
+      return false;  // pruned (§5.2: costlier subplan, comparable props)
+    }
+  }
+  // Remove plans the newcomer dominates.
+  plans_.erase(std::remove_if(plans_.begin(), plans_.end(),
+                              [&](const PlanRef& existing) {
+                                return plan->props.cost <=
+                                           existing->props.cost &&
+                                       dom.Satisfies(existing->props.order,
+                                                     *plan);
+                              }),
+               plans_.end());
+  plans_.push_back(std::move(plan));
+  return true;
+}
+
+PlanRef CandidateSet::Cheapest() const {
+  if (plans_.empty()) return nullptr;
+  return *std::min_element(plans_.begin(), plans_.end(),
+                           [](const PlanRef& a, const PlanRef& b) {
+                             return a->props.cost < b->props.cost;
+                           });
+}
+
+CandidateSet& Memo::Group(uint32_t quantifier_mask, const OrderSpec& required) {
+  return groups_[Key{quantifier_mask, required}];
+}
+
+const CandidateSet* Memo::FindGroup(uint32_t quantifier_mask,
+                                    const OrderSpec& required) const {
+  auto it = groups_.find(Key{quantifier_mask, required});
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ordopt

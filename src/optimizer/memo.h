@@ -1,0 +1,93 @@
+#ifndef ORDOPT_OPTIMIZER_MEMO_H_
+#define ORDOPT_OPTIMIZER_MEMO_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "optimizer/plan.h"
+#include "orderopt/order_spec.h"
+
+namespace ordopt {
+
+/// How the candidate set decides that one plan's order property satisfies
+/// another plan's interesting order. The planner supplies its Test Order
+/// (reduced, equivalence-aware, memoized) or the naive prefix comparison of
+/// the disabled baseline; tests supply deterministic fakes.
+class OrderDomination {
+ public:
+  virtual ~OrderDomination() = default;
+
+  /// True when `plan`'s physical order satisfies `interesting`.
+  virtual bool Satisfies(const OrderSpec& interesting,
+                         const PlanNode& plan) const = 0;
+};
+
+/// One memo group's candidate plans under the (cost, order) domination rule
+/// of §5.2: a plan is kept only while no cheaper plan provides an order at
+/// least as useful.
+///
+/// Insert order is part of the contract: candidates iterate in insertion
+/// order, the arrival check uses `existing cost <= newcomer cost` (ties
+/// favor the incumbent) while eviction uses `newcomer cost <= existing
+/// cost`, and Cheapest() returns the *first* strict cost minimum. The
+/// planner's choice among equal-cost plans — and therefore the golden plan
+/// fingerprints — depends on these tie-breaks; do not "simplify" them.
+class CandidateSet {
+ public:
+  /// Inserts under the domination rule. Returns false (set unchanged) when
+  /// an incumbent no costlier than `plan` already satisfies `plan`'s order;
+  /// otherwise evicts every incumbent that `plan` dominates the same way
+  /// and appends `plan`.
+  bool Insert(PlanRef plan, const OrderDomination& dom);
+
+  /// The first strict cost minimum, in insertion order; null when empty.
+  PlanRef Cheapest() const;
+
+  bool empty() const { return plans_.size() == 0; }
+  size_t size() const { return plans_.size(); }
+  const std::vector<PlanRef>& plans() const { return plans_; }
+
+  /// Direct access for enumeration phases that seed or move whole groups
+  /// (leaf seeding bypasses domination exactly as the historical DP did).
+  std::vector<PlanRef>& mutable_plans() { return plans_; }
+
+ private:
+  std::vector<PlanRef> plans_;
+};
+
+/// The planner's memo: candidate sets keyed by the quantifier subset
+/// (bitmask over the SELECT box's quantifiers) plus the required order
+/// property of the group. The bottom-up DP currently requires no particular
+/// order from join inputs (sorts are explicit plans inside the groups), so
+/// every group today uses an empty required spec; the key shape is what a
+/// required-property-driven search (Cascades-style) plugs into.
+class Memo {
+ public:
+  CandidateSet& Group(uint32_t quantifier_mask,
+                      const OrderSpec& required = OrderSpec());
+  const CandidateSet* FindGroup(uint32_t quantifier_mask,
+                                const OrderSpec& required = OrderSpec()) const;
+
+  size_t group_count() const { return groups_.size(); }
+
+ private:
+  struct Key {
+    uint32_t mask;
+    OrderSpec required;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      size_t h = OrderSpecHash{}(k.required);
+      return h ^ (k.mask + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    }
+  };
+
+  std::unordered_map<Key, CandidateSet, KeyHash> groups_;
+};
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_OPTIMIZER_MEMO_H_

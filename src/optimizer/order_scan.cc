@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
-#include "properties/stream_properties.h"
+#include "properties/plan_properties.h"
 
 namespace ordopt {
 
@@ -32,8 +32,8 @@ const OrderContext& OrderScan::ContextOf(const QgmBox* box) {
   } else {
     for (const Quantifier& q : box->quantifiers) {
       if (q.IsBase()) {
-        StreamProperties base = BaseTableProperties(*q.table, q.id);
-        ctx.fds.MergeFrom(base.fds);
+        PlanProperties base = BaseTableProperties(*q.table, q.id);
+        ctx.fds.MergeFrom(base.fds());
       } else {
         const OrderContext& child = ContextOf(q.input);
         ctx.fds.MergeFrom(child.fds);
@@ -55,8 +55,8 @@ const OrderContext& OrderScan::ContextOf(const QgmBox* box) {
       const Quantifier& q = step.quantifier;
       ColumnSet null_side;
       if (q.IsBase()) {
-        StreamProperties base = BaseTableProperties(*q.table, q.id);
-        ctx.fds.MergeFrom(base.fds);
+        PlanProperties base = BaseTableProperties(*q.table, q.id);
+        ctx.fds.MergeFrom(base.fds());
         null_side = base.columns;
       } else {
         const OrderContext& child = ContextOf(q.input);

@@ -154,11 +154,39 @@ std::string NodeLabel(const PlanNode& node_ref, const ColumnNamer& namer) {
 
 namespace {
 
+void FingerprintNode(const PlanNode* node, std::string* out) {
+  *out += NodeLabel(*node);
+  // Distinct columns are not part of the label; include them so two
+  // duplicate-elimination plans over different column sets differ.
+  if (node->kind == OpKind::kStreamDistinct ||
+      node->kind == OpKind::kHashDistinct) {
+    std::vector<std::string> cols;
+    for (const ColumnId& c : node->distinct_columns) {
+      cols.push_back(DefaultColumnName(c));
+    }
+    *out += "[" + Join(cols, ", ") + "]";
+  }
+  *out += StrFormat("{cost=%.6g rows=%.6g", node->props.cost,
+                    node->props.cardinality);
+  if (!node->props.order.empty()) {
+    *out += " order" + node->props.order.ToString();
+  }
+  *out += "}";
+  if (!node->children.empty()) {
+    *out += "(";
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      if (i != 0) *out += ", ";
+      FingerprintNode(node->children[i].get(), out);
+    }
+    *out += ")";
+  }
+}
+
 void Print(const PlanNode* node, const ColumnNamer& namer, int indent,
            std::string* out) {
   *out += std::string(static_cast<size_t>(indent) * 2, ' ');
   *out += NodeLabel(*node, namer);
-  *out += StrFormat("  {cost=%.1f rows=%.0f", node->cost,
+  *out += StrFormat("  {cost=%.1f rows=%.0f", node->props.cost,
                     node->props.cardinality);
   if (!node->props.order.empty()) {
     *out += " order" + node->props.order.ToString(namer);
@@ -174,6 +202,12 @@ void Print(const PlanNode* node, const ColumnNamer& namer, int indent,
 std::string PlanNode::ToString(const ColumnNamer& namer) const {
   std::string out;
   Print(this, namer, 0, &out);
+  return out;
+}
+
+std::string PlanFingerprint(const PlanNode& node) {
+  std::string out;
+  FingerprintNode(&node, &out);
   return out;
 }
 

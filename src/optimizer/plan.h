@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "properties/stream_properties.h"
+#include "properties/plan_properties.h"
 #include "qgm/qgm.h"
 
 namespace ordopt {
@@ -44,6 +44,14 @@ struct PlanNode;
 /// "MergeJoin[x = y]" — without costs, properties, or children. Shared by
 /// PlanNode::ToString and the EXPLAIN ANALYZE renderer.
 std::string NodeLabel(const PlanNode& node, const ColumnNamer& namer = nullptr);
+
+/// Canonical single-line serialization of a whole plan tree, used by the
+/// golden plan-stability tests: every node's label plus its estimated cost,
+/// cardinality, and physical order property, with children nested in
+/// parentheses. Columns render via the default "t<i>.c<j>" form so the
+/// result is independent of any ColumnNamer, and floats use %.6g so the
+/// string is byte-stable for identical estimates.
+std::string PlanFingerprint(const PlanNode& node);
 
 /// One node of a physical plan. Immutable after construction; subtrees are
 /// shared between the dynamic-programming table's candidate plans.
@@ -85,8 +93,9 @@ struct PlanNode {
   int64_t limit = -1;
 
   // -- derived --------------------------------------------------------------
-  StreamProperties props;
-  double cost = 0.0;
+  /// Unified property bundle: columns, order, eq/FD context, keys,
+  /// cardinality, and the subtree's estimated cost (props.cost).
+  PlanProperties props;
 
   /// Multi-line indented plan rendering (Figure 7/8-style).
   std::string ToString(const ColumnNamer& namer = nullptr) const;

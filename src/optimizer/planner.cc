@@ -1,30 +1,26 @@
+// Planner orchestration. The heavy lifting lives in sibling translation
+// units: access_paths.cc (leaf access paths, Sort/Filter constructors),
+// join_enumeration.cc (the System-R DP over quantifier masks, JoinStrategy
+// implementations, outer-join folding), finishing.cc (DISTINCT / output
+// order / projection, GROUP BY and UNION boxes), planner_trace.cc (decision
+// tracing), and memo.{h,cc} (CandidateSet domination, memo groups).
+
 #include "optimizer/planner.h"
 
 #include <algorithm>
-#include <cmath>
-#include <unordered_map>
 
 #include "common/fault_injection.h"
 #include "common/macros.h"
-#include "common/str_util.h"
+#include "optimizer/join_enumeration.h"
 
 namespace ordopt {
 
 namespace {
 
-// Concrete ascending order over the given columns.
-OrderSpec ConcreteAscending(const std::vector<ColumnId>& cols) {
-  return OrderSpec::Ascending(cols);
-}
-
 // Naive order comparison used by the disabled baseline: exact column and
 // direction prefix, no reduction, no equivalence classes.
 bool NaiveSatisfied(const OrderSpec& interesting, const OrderSpec& property) {
   return interesting.IsPrefixOf(property);
-}
-
-std::string ColName(const ColumnNamer& namer, const ColumnId& col) {
-  return namer ? namer(col) : DefaultColumnName(col);
 }
 
 }  // namespace
@@ -39,108 +35,24 @@ Planner::Planner(const Query& query, OptimizerConfig config,
   order_scan_.Run();
 }
 
-// ---------------------------------------------------------------------------
-// Trace emission. Decision sites call these; each is a no-op without a
-// collector, so the untraced planning path costs one null check.
-// ---------------------------------------------------------------------------
-
-void Planner::TraceReduce(const char* site, const OrderSpec& interesting,
-                          const OrderSpec& reduced,
-                          const OrderContext& octx) const {
-  if (trace_ == nullptr || reduced == interesting) return;
-  // Re-run the reduction with step reporting — only paid when tracing and
-  // the spec actually changed.
-  std::vector<ReduceStep> steps;
-  ReduceOrder(interesting, octx, &steps);
-  const ColumnNamer namer = query_.namer();
-  TraceEvent& e = trace_->Add("optimizer", "order.reduce");
-  e.Set("site", site);
-  e.Set("requested", interesting.ToString(namer));
-  e.Set("reduced", reduced.ToString(namer));
-  std::vector<std::string> detail;
-  for (const ReduceStep& s : steps) {
-    switch (s.action) {
-      case ReduceStep::Action::kKept:
-        break;
-      case ReduceStep::Action::kHeadSubstituted:
-        detail.push_back(ColName(namer, s.original) + "->" +
-                         ColName(namer, s.column) + " (eq-class head)");
-        break;
-      case ReduceStep::Action::kRemovedDetermined:
-        detail.push_back(ColName(namer, s.original) +
-                         " removed (constant/FD-determined)");
-        break;
-    }
-  }
-  if (!detail.empty()) e.Set("steps", Join(detail, "; "));
-}
-
-void Planner::TraceOrderTest(const char* site, const OrderSpec& interesting,
-                             const PlanNode& plan, bool satisfied) const {
-  if (trace_ == nullptr || interesting.empty()) return;
-  const ColumnNamer namer = query_.namer();
-  trace_->Add("optimizer", "order.test")
-      .Set("site", site)
-      .Set("interesting", interesting.ToString(namer))
-      .Set("property", plan.props.order.ToString(namer))
-      .SetBool("satisfied", satisfied);
-}
-
-void Planner::TraceSortDecision(const char* site, const OrderSpec& interesting,
-                                const PlanNode& input, bool avoided,
-                                const OrderSpec* sort_spec) const {
-  if (trace_ == nullptr || interesting.empty()) return;
-  const ColumnNamer namer = query_.namer();
-  if (avoided) {
-    // Surface the reduction that let the existing order satisfy the
-    // requirement (Test Order reduces internally, so nothing else
-    // reports it on this path).
-    if (config_.enable_order_optimization) {
-      OrderContext octx = input.props.MakeContext(config_.transitive_fds);
-      TraceReduce(site, interesting, ReduceOrder(interesting, octx), octx);
-    }
-    trace_->Add("optimizer", "sort.avoided")
-        .Set("site", site)
-        .Set("interesting", interesting.ToString(namer))
-        .Set("property", input.props.order.ToString(namer))
-        .SetDouble("input_rows", input.props.cardinality);
-    return;
-  }
-  size_t width = sort_spec != nullptr ? sort_spec->size() : interesting.size();
-  TraceEvent& e = trace_->Add("optimizer", "sort.placed");
-  e.Set("site", site);
-  e.Set("interesting", interesting.ToString(namer));
-  if (sort_spec != nullptr) e.Set("spec", sort_spec->ToString(namer));
-  e.SetDouble("input_rows", input.props.cardinality);
-  e.SetDouble("est_cost", cost_model_.SortCost(input.props.cardinality, width));
-}
-
-void Planner::TraceSortAhead(const char* site, const OrderSpec& spec,
-                             const PlanNode& plan, bool retained) const {
-  if (trace_ == nullptr) return;
-  trace_->Add("optimizer",
-              retained ? "sortahead.candidate" : "sortahead.pruned")
-      .Set("site", site)
-      .Set("spec", spec.ToString(query_.namer()))
-      .SetDouble("est_cost", plan.cost)
-      .SetDouble("est_rows", plan.props.cardinality);
-}
-
 bool Planner::OrderSatisfied(const OrderSpec& interesting,
                              const PlanNode& plan) const {
   if (interesting.empty()) return true;
   if (!config_.enable_order_optimization) {
     return NaiveSatisfied(interesting, plan.props.order);
   }
-  OrderContext ctx = plan.props.MakeContext(config_.transitive_fds);
-  return TestOrder(interesting, plan.props.order, ctx);
+  OrderContext ctx = plan.props.Context(config_.transitive_fds);
+  return reduce_cache_.Test(interesting, plan.props.order, ctx);
 }
 
 OrderSpec Planner::SortSpecFor(const OrderSpec& interesting,
                                const PlanNode& input) const {
   if (!config_.enable_order_optimization) return interesting;
-  OrderContext ctx = input.props.MakeContext(config_.transitive_fds);
-  OrderSpec reduced = ReduceOrder(interesting, ctx);
+  OrderContext ctx = input.props.Context(config_.transitive_fds);
+  // The memoized reduction: when OrderSatisfied already reduced this
+  // (interesting, context) pair at the same decision site, this lookup is
+  // the hit that makes one reduction serve both the test and the sort key.
+  OrderSpec reduced = reduce_cache_.Reduce(interesting, ctx);
   TraceReduce("sort.spec", interesting, reduced, ctx);
   // Reduction rewrites to equivalence-class heads, which need not be
   // visible in this stream (e.g. the head lives in a table the group-by
@@ -152,7 +64,7 @@ OrderSpec Planner::SortSpecFor(const OrderSpec& interesting,
       continue;
     }
     bool substituted = false;
-    for (const ColumnId& member : input.props.eq.ClassMembers(e.col)) {
+    for (const ColumnId& member : input.props.eq().ClassMembers(e.col)) {
       if (input.props.columns.Contains(member)) {
         visible.Append(OrderElement(member, e.dir));
         substituted = true;
@@ -164,223 +76,13 @@ OrderSpec Planner::SortSpecFor(const OrderSpec& interesting,
   return visible;
 }
 
-PlanRef Planner::MakeSort(PlanRef input, OrderSpec spec) {
-  auto node = std::make_shared<PlanNode>();
-  node->kind = OpKind::kSort;
-  node->sort_spec = spec;
-  node->props = SortProperties(input->props, spec);
-  node->cost = input->cost + cost_model_.SortCost(input->props.cardinality,
-                                                  spec.size());
-  node->children.push_back(std::move(input));
-  return node;
-}
-
-PlanRef Planner::MakeFilter(PlanRef input, std::vector<Predicate> preds,
-                            const QgmBox* box) {
-  (void)box;
-  if (preds.empty()) return input;
-  auto node = std::make_shared<PlanNode>();
-  node->kind = OpKind::kFilter;
-  node->props = input->props;
-  double sel = 1.0;
-  for (const Predicate& p : preds) {
-    sel *= cost_model_.Selectivity(p, query_);
-  }
-  // Apply each predicate's equivalence/constant effects; cardinality is
-  // scaled once below.
-  for (const Predicate& p : preds) {
-    ApplyPredicate(&node->props, p, 1.0);
-  }
-  node->props.cardinality =
-      std::max(1.0, input->props.cardinality * sel);
-  node->cost = input->cost + cost_model_.FilterCost(input->props.cardinality,
-                                                    preds.size());
-  node->predicates = std::move(preds);
-  node->children.push_back(std::move(input));
-  return node;
-}
-
-bool Planner::InsertCandidate(std::vector<PlanRef>* candidates, PlanRef plan) {
+bool Planner::InsertCandidate(CandidateSet* candidates, PlanRef plan) {
   ++plans_generated_;
-  // Dominated by an existing plan?
-  for (const PlanRef& existing : *candidates) {
-    bool cheaper = existing->cost <= plan->cost;
-    if (cheaper && OrderSatisfied(plan->props.order, *existing)) {
-      return false;  // pruned (§5.2: costlier subplan, comparable props)
-    }
-  }
-  // Remove plans the newcomer dominates.
-  candidates->erase(
-      std::remove_if(candidates->begin(), candidates->end(),
-                     [&](const PlanRef& existing) {
-                       return plan->cost <= existing->cost &&
-                              OrderSatisfied(existing->props.order, *plan);
-                     }),
-      candidates->end());
-  candidates->push_back(std::move(plan));
-  return true;
+  return candidates->Insert(std::move(plan), domination_);
 }
 
 // ---------------------------------------------------------------------------
-// Leaf access paths
-// ---------------------------------------------------------------------------
-
-std::vector<PlanRef> Planner::BaseAccessPaths(
-    const QgmBox* box, const Quantifier& q,
-    const std::vector<const Predicate*>& local_preds,
-    const std::vector<OrderSpec>& sort_ahead) {
-  std::vector<PlanRef> out;
-  const Table& table = *q.table;
-  StreamProperties base_props = BaseTableProperties(table, q.id);
-
-  auto apply_locals = [&](PlanRef scan,
-                          const std::vector<const Predicate*>& remaining) {
-    std::vector<Predicate> preds;
-    for (const Predicate* p : remaining) preds.push_back(*p);
-    return MakeFilter(std::move(scan), std::move(preds), box);
-  };
-
-  // Heap scan.
-  {
-    auto node = std::make_shared<PlanNode>();
-    node->kind = OpKind::kTableScan;
-    node->table = &table;
-    node->table_id = q.id;
-    node->props = base_props;
-    node->cost = cost_model_.TableScanCost(table);
-    InsertCandidate(&out, apply_locals(node, local_preds));
-  }
-
-  // Index scans.
-  for (size_t i = 0; i < table.def().indexes.size(); ++i) {
-    const IndexDef& idx = table.def().indexes[i];
-    // The order an index scan provides.
-    OrderSpec fwd_order;
-    for (size_t k = 0; k < idx.column_ordinals.size(); ++k) {
-      fwd_order.Append(OrderElement(ColumnId(q.id, idx.column_ordinals[k]),
-                                    idx.directions[k]));
-    }
-    OrderSpec rev_order;
-    for (const OrderElement& e : fwd_order) {
-      rev_order.Append(OrderElement(e.col, Reverse(e.dir)));
-    }
-
-    // Split local predicates into those the index prefix can absorb as a
-    // range (equality chain on leading columns plus at most one comparison
-    // on the next) and the rest.
-    std::vector<const Predicate*> range_preds;
-    std::vector<const Predicate*> residual = local_preds;
-    size_t prefix = 0;
-    bool range_open = false;
-    while (prefix < idx.column_ordinals.size() && !range_open) {
-      ColumnId col(q.id, idx.column_ordinals[prefix]);
-      const Predicate* taken = nullptr;
-      for (const Predicate* p : residual) {
-        if (p->kind == Predicate::Kind::kColEqConst && p->left_col == col) {
-          taken = p;
-          break;
-        }
-      }
-      if (taken == nullptr) {
-        for (const Predicate* p : residual) {
-          if (p->kind == Predicate::Kind::kColCmpConst &&
-              p->left_col == col && p->cmp != BinOp::kNe) {
-            taken = p;
-            range_open = true;
-            break;
-          }
-        }
-      }
-      if (taken == nullptr) break;
-      range_preds.push_back(taken);
-      residual.erase(std::find(residual.begin(), residual.end(), taken));
-      if (!range_open) ++prefix;
-    }
-
-    double sel = 1.0;
-    for (const Predicate* p : range_preds) {
-      sel *= cost_model_.Selectivity(*p, query_);
-    }
-    double range_rows =
-        std::max(1.0, static_cast<double>(table.row_count()) * sel);
-
-    for (bool reverse : {false, true}) {
-      // Reverse scans are full scans only (the executor does not run range
-      // bounds backwards), and only worth generating when some requirement
-      // wants the reversed order.
-      if (reverse && !range_preds.empty()) continue;
-      if (reverse) {
-        bool useful = false;
-        const OrderSpec& probe = rev_order;
-        const BoxOrderInfo& info = order_scan_.info(box);
-        for (const OrderSpec& want : info.sort_ahead) {
-          if (!want.empty() && !probe.empty() &&
-              want.at(0).dir == probe.at(0).dir &&
-              want.at(0).col == probe.at(0).col) {
-            useful = true;
-          }
-        }
-        if (!info.required_output.empty() && !probe.empty() &&
-            info.required_output.at(0) == probe.at(0)) {
-          useful = true;
-        }
-        if (!useful) continue;
-      }
-      auto node = std::make_shared<PlanNode>();
-      node->kind = OpKind::kIndexScan;
-      node->table = &table;
-      node->table_id = q.id;
-      node->index_ordinal = static_cast<int>(i);
-      node->reverse_scan = reverse;
-      node->props = base_props;
-      node->props.order = reverse ? rev_order : fwd_order;
-      if (range_preds.empty()) {
-        node->cost = cost_model_.IndexFullScanCost(table, idx.clustered);
-      } else {
-        for (const Predicate* p : range_preds) {
-          node->range_predicates.push_back(*p);
-          ApplyPredicate(&node->props, *p, 1.0);
-        }
-        node->props.cardinality = range_rows;
-        node->cost =
-            cost_model_.IndexRangeScanCost(table, idx.clustered, range_rows);
-      }
-      InsertCandidate(&out, apply_locals(node, residual));
-    }
-  }
-
-  // Sort-ahead at the leaf (§5.2): sort the access on each interesting
-  // order homogenizable to this table's columns.
-  if (config_.enable_order_optimization && config_.enable_sort_ahead &&
-      !sort_ahead.empty() && !out.empty()) {
-    PlanRef cheapest = *std::min_element(
-        out.begin(), out.end(),
-        [](const PlanRef& a, const PlanRef& b) { return a->cost < b->cost; });
-    const OrderContext& octx = order_scan_.info(box).optimistic_ctx;
-    ColumnSet targets;
-    for (size_t c = 0; c < table.def().columns.size(); ++c) {
-      targets.Add(ColumnId(q.id, static_cast<int32_t>(c)));
-    }
-    for (const OrderSpec& want : sort_ahead) {
-      OrderSpec homog = HomogenizeOrderPrefix(want, targets, octx.eq, octx);
-      if (homog.empty()) continue;
-      if (tracing() && homog != want) {
-        trace_->Add("optimizer", "order.homogenize")
-            .Set("site", "leaf")
-            .Set("requested", want.ToString(query_.namer()))
-            .Set("translated", homog.ToString(query_.namer()));
-      }
-      if (OrderSatisfied(homog, *cheapest)) continue;
-      PlanRef sorted = MakeSort(cheapest, SortSpecFor(homog, *cheapest));
-      bool retained = InsertCandidate(&out, sorted);
-      TraceSortAhead("leaf", homog, *sorted, retained);
-    }
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// SELECT box: DP join enumeration + finishing
+// SELECT box: leaf seeding, DP join enumeration, outer joins, finishing
 // ---------------------------------------------------------------------------
 
 Result<std::vector<PlanRef>> Planner::PlanSelectBox(const QgmBox* box) {
@@ -389,1125 +91,55 @@ Result<std::vector<PlanRef>> Planner::PlanSelectBox(const QgmBox* box) {
   if (n == 0) return Status::Unsupported("SELECT box without quantifiers");
   if (n > 16) return Status::Unsupported("joins of more than 16 tables");
 
-  std::vector<OrderSpec> sort_ahead = info.sort_ahead;
-  if (sort_ahead.size() >
-      static_cast<size_t>(config_.max_sort_ahead_orders)) {
-    sort_ahead.resize(static_cast<size_t>(config_.max_sort_ahead_orders));
-  }
+  SelectContext sctx =
+      SelectContext::Build(box, info, config_.max_sort_ahead_orders);
+  Memo memo;
 
-  // Per-quantifier column sets and the ColumnId.table -> quantifier map.
-  std::vector<ColumnSet> qcols(n);
-  std::unordered_map<int32_t, size_t> owner;
+  // Seed the memo's single-quantifier groups with access paths, pinning
+  // every candidate of a mask to the mask's deterministic cardinality so
+  // pruning compares like with like.
   for (size_t i = 0; i < n; ++i) {
-    const Quantifier& q = box->quantifiers[i];
-    if (q.IsBase()) {
-      for (size_t c = 0; c < q.table->def().columns.size(); ++c) {
-        qcols[i].Add(ColumnId(q.id, static_cast<int32_t>(c)));
-      }
-    } else {
-      qcols[i] = q.input->OutputColumns();
-    }
-    for (const ColumnId& c : qcols[i]) {
-      owner[c.table] = i;
-    }
-  }
-  auto mask_columns = [&](uint32_t mask) {
-    ColumnSet cols;
-    for (size_t i = 0; i < n; ++i) {
-      if (mask & (1u << i)) cols = cols.Union(qcols[i]);
-    }
-    return cols;
-  };
-  auto quantifier_mask = [&](const ColumnSet& referenced) {
-    uint32_t mask = 0;
-    for (const ColumnId& c : referenced) {
-      auto it = owner.find(c.table);
-      if (it != owner.end()) mask |= 1u << it->second;
-    }
-    return mask;
-  };
-
-  // Predicates touching an outer-join's null-supplying side cannot run
-  // inside the inner-join DP: they apply after that join step (e.g. the
-  // IS NULL anti-join filter). Defer each to the last step it references.
-  std::vector<ColumnSet> oj_cols;
-  for (const OuterJoinStep& step : box->outer_joins) {
-    const Quantifier& oq = step.quantifier;
-    ColumnSet cols;
-    if (oq.IsBase()) {
-      for (size_t c = 0; c < oq.table->def().columns.size(); ++c) {
-        cols.Add(ColumnId(oq.id, static_cast<int32_t>(c)));
-      }
-    } else {
-      cols = oq.input->OutputColumns();
-    }
-    oj_cols.push_back(std::move(cols));
-  }
-  std::vector<std::vector<Predicate>> deferred(box->outer_joins.size());
-  std::vector<const Predicate*> dp_preds;
-  for (const Predicate& p : box->predicates) {
-    int last_step = -1;
-    for (size_t s = 0; s < oj_cols.size(); ++s) {
-      if (!p.referenced.Intersect(oj_cols[s]).empty()) {
-        last_step = static_cast<int>(s);
-      }
-    }
-    if (last_step >= 0) {
-      deferred[static_cast<size_t>(last_step)].push_back(p);
-    } else {
-      dp_preds.push_back(&p);
-    }
-  }
-
-  // Classify predicates: local to one quantifier vs multi-quantifier.
-  std::vector<std::vector<const Predicate*>> local_preds(n);
-  std::vector<const Predicate*> multi_preds;
-  std::vector<uint32_t> multi_masks;
-  for (const Predicate* pp : dp_preds) {
-    const Predicate& p = *pp;
-    uint32_t pmask = quantifier_mask(p.referenced);
-    if (pmask == 0) {
-      // Constant predicate; treat as local to quantifier 0.
-      local_preds[0].push_back(&p);
-    } else if ((pmask & (pmask - 1)) == 0) {
-      size_t i = static_cast<size_t>(__builtin_ctz(pmask));
-      local_preds[i].push_back(&p);
-    } else {
-      multi_preds.push_back(&p);
-      multi_masks.push_back(pmask);
-    }
-  }
-
-  // Applicable multi-predicate set per mask.
-  auto applicable = [&](uint32_t mask) {
-    std::vector<size_t> out;
-    for (size_t k = 0; k < multi_preds.size(); ++k) {
-      if ((multi_masks[k] & mask) == multi_masks[k]) out.push_back(k);
-    }
-    return out;
-  };
-
-  // Deterministic cardinality per quantifier mask, shared by all plans of
-  // the mask so pruning compares like with like.
-  std::vector<double> mask_card(1u << n, -1.0);
-  std::vector<std::vector<PlanRef>> dp(1u << n);
-
-  for (size_t i = 0; i < n; ++i) {
-    const Quantifier& q = box->quantifiers[i];
-    std::vector<PlanRef> leafs;
-    if (q.IsBase()) {
-      leafs = BaseAccessPaths(box, q, local_preds[i], sort_ahead);
-    } else {
-      ORDOPT_ASSIGN_OR_RETURN(std::vector<PlanRef> child_plans,
-                              PlanBox(q.input));
-      for (PlanRef& child : child_plans) {
-        std::vector<Predicate> preds;
-        for (const Predicate* p : local_preds[i]) preds.push_back(*p);
-        InsertCandidate(&leafs, MakeFilter(std::move(child), preds, box));
-      }
-      // Sort-ahead over a derived quantifier.
-      if (config_.enable_order_optimization && config_.enable_sort_ahead &&
-          !leafs.empty()) {
-        PlanRef cheapest = *std::min_element(
-            leafs.begin(), leafs.end(), [](const PlanRef& a, const PlanRef& b) {
-              return a->cost < b->cost;
-            });
-        for (const OrderSpec& want : sort_ahead) {
-          OrderSpec homog = HomogenizeOrderPrefix(
-              want, qcols[i], info.optimistic_ctx.eq, info.optimistic_ctx);
-          if (homog.empty() || OrderSatisfied(homog, *cheapest)) continue;
-          if (tracing() && homog != want) {
-            trace_->Add("optimizer", "order.homogenize")
-                .Set("site", "derived")
-                .Set("requested", want.ToString(query_.namer()))
-                .Set("translated", homog.ToString(query_.namer()));
-          }
-          PlanRef sorted = MakeSort(cheapest, SortSpecFor(homog, *cheapest));
-          bool retained = InsertCandidate(&leafs, sorted);
-          TraceSortAhead("derived", homog, *sorted, retained);
-        }
-      }
-    }
+    ORDOPT_ASSIGN_OR_RETURN(CandidateSet leafs,
+                            QuantifierAccessPaths(box, sctx, i));
     if (leafs.empty()) {
-      return Status::Internal("no access path for quantifier " + q.alias);
+      return Status::Internal("no access path for quantifier " +
+                              box->quantifiers[i].alias);
     }
-    mask_card[1u << i] = leafs.front()->props.cardinality;
-    for (PlanRef& p : leafs) {
-      // All candidates of one mask share the deterministic estimate.
+    sctx.mask_card[1u << i] = leafs.plans().front()->props.cardinality;
+    CandidateSet& group = memo.Group(1u << i);
+    for (const PlanRef& p : leafs.plans()) {
+      // All candidates of one mask share the deterministic estimate. Leaf
+      // seeding bypasses domination exactly as the historical DP did.
       auto fixed = std::make_shared<PlanNode>(*p);
-      fixed->props.cardinality = mask_card[1u << i];
-      dp[1u << i].push_back(std::move(fixed));
+      fixed->props.cardinality = sctx.mask_card[1u << i];
+      group.mutable_plans().push_back(std::move(fixed));
     }
   }
 
-  // Cardinality of a composite mask: product of leaf cards times the
-  // selectivity of every multi-quantifier predicate applicable within it.
-  auto card_of = [&](uint32_t mask) {
-    if (mask_card[mask] >= 0) return mask_card[mask];
-    double card = 1.0;
-    for (size_t i = 0; i < n; ++i) {
-      if (mask & (1u << i)) card *= mask_card[1u << i];
-    }
-    for (size_t k : applicable(mask)) {
-      card *= cost_model_.Selectivity(*multi_preds[k], query_);
-    }
-    card = std::max(card, 1.0);
-    mask_card[mask] = card;
-    return card;
-  };
+  EnumerateJoins(&sctx, &memo);
 
   const uint32_t full = (1u << n) - 1;
-
-  // Enumerate joins bottom-up by mask population count.
-  std::vector<uint32_t> masks_by_size;
-  for (uint32_t mask = 1; mask <= full; ++mask) masks_by_size.push_back(mask);
-  std::sort(masks_by_size.begin(), masks_by_size.end(),
-            [](uint32_t a, uint32_t b) {
-              int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
-              return pa != pb ? pa < pb : a < b;
-            });
-
-  for (uint32_t mask : masks_by_size) {
-    if (__builtin_popcount(mask) < 2) continue;
-    double out_card = card_of(mask);
-
-    // Predicates newly applicable at this mask.
-    auto newly_applicable = [&](uint32_t outer_mask, uint32_t inner_mask) {
-      std::vector<const Predicate*> out;
-      for (size_t k : applicable(mask)) {
-        uint32_t pm = multi_masks[k];
-        if ((pm & outer_mask) != pm && (pm & inner_mask) != pm) {
-          out.push_back(multi_preds[k]);
-        }
-      }
-      return out;
-    };
-
-    bool found_connected = false;
-    for (int pass = 0; pass < 2; ++pass) {
-      bool allow_cartesian = pass == 1;
-      if (allow_cartesian && found_connected) break;
-      for (uint32_t outer_mask = (mask - 1) & mask; outer_mask != 0;
-           outer_mask = (outer_mask - 1) & mask) {
-        uint32_t inner_mask = mask ^ outer_mask;
-        if (inner_mask == 0 || dp[outer_mask].empty() ||
-            dp[inner_mask].empty()) {
-          continue;
-        }
-        // Equality join pairs crossing this split (outer col, inner col).
-        std::vector<std::pair<ColumnId, ColumnId>> pairs;
-        std::vector<const Predicate*> applied = newly_applicable(outer_mask,
-                                                                 inner_mask);
-        std::vector<Predicate> residual;
-        for (const Predicate* p : applied) {
-          if (p->kind == Predicate::Kind::kColEqCol) {
-            uint32_t lm = quantifier_mask(ColumnSet{p->left_col});
-            uint32_t rm = quantifier_mask(ColumnSet{p->right_col});
-            if ((lm & outer_mask) && (rm & inner_mask)) {
-              pairs.emplace_back(p->left_col, p->right_col);
-              continue;
-            }
-            if ((rm & outer_mask) && (lm & inner_mask)) {
-              pairs.emplace_back(p->right_col, p->left_col);
-              continue;
-            }
-          }
-          residual.push_back(*p);
-        }
-        if (pairs.empty() && !allow_cartesian) continue;
-        if (!pairs.empty()) found_connected = true;
-
-        auto finish_join = [&](std::shared_ptr<PlanNode> node,
-                               const PlanRef& outer, const PlanRef& inner,
-                               bool preserves_outer_order) {
-          node->props =
-              JoinProperties(outer->props, inner->props, pairs,
-                             preserves_outer_order, out_card);
-          for (const auto& [l, r] : pairs) {
-            node->props.eq.AddEquivalence(l, r);
-          }
-          node->props.keys.Simplify(node->props.eq);
-          PlanRef result = node;
-          if (!residual.empty()) {
-            // Filter scales cardinality again; rescale to the mask's
-            // deterministic estimate afterwards.
-            result = MakeFilter(result, residual, box);
-            auto fixed = std::make_shared<PlanNode>(*result);
-            fixed->props.cardinality = out_card;
-            result = fixed;
-          }
-          InsertCandidate(&dp[mask], std::move(result));
-        };
-
-        // Join-pair columns as order specs.
-        std::vector<ColumnId> outer_cols, inner_cols;
-        for (const auto& [l, r] : pairs) {
-          outer_cols.push_back(l);
-          inner_cols.push_back(r);
-        }
-        OrderSpec merge_outer = ConcreteAscending(outer_cols);
-        OrderSpec merge_inner = ConcreteAscending(inner_cols);
-
-        for (const PlanRef& outer : dp[outer_mask]) {
-          for (const PlanRef& inner : dp[inner_mask]) {
-            double join_cpu_rows = out_card;
-
-            if (!pairs.empty()) {
-              // --- Hash join ---
-              if (config_.enable_hash_join) {
-                auto node = std::make_shared<PlanNode>();
-                node->kind = OpKind::kHashJoin;
-                node->join_pairs = pairs;
-                node->children = {outer, inner};
-                node->cost = outer->cost + inner->cost +
-                             cost_model_.HashJoinCost(
-                                 outer->props.cardinality,
-                                 inner->props.cardinality, join_cpu_rows);
-                finish_join(node, outer, inner, /*preserves=*/false);
-              }
-
-              // --- Merge join ---
-              {
-                // Candidate outer orders: the merge order itself plus any
-                // sort-ahead order coverable with it (§5.2: "In the case of
-                // a merge-join, a cover with the merge-join order is also
-                // required").
-                std::vector<OrderSpec> outer_specs = {merge_outer};
-                if (config_.enable_order_optimization &&
-                    config_.enable_sort_ahead) {
-                  OrderContext octx =
-                      outer->props.MakeContext(config_.transitive_fds);
-                  ColumnSet targets = mask_columns(outer_mask);
-                  for (const OrderSpec& want : sort_ahead) {
-                    OrderSpec homog = HomogenizeOrderPrefix(
-                        want, targets, info.optimistic_ctx.eq,
-                        info.optimistic_ctx);
-                    if (homog.empty()) continue;
-                    std::optional<OrderSpec> covered =
-                        CoverOrder(homog, merge_outer, octx);
-                    if (covered.has_value() && !covered->empty()) {
-                      if (tracing()) {
-                        const ColumnNamer namer = query_.namer();
-                        trace_->Add("optimizer", "order.cover")
-                            .Set("site", "merge_join")
-                            .Set("i1", homog.ToString(namer))
-                            .Set("i2", merge_outer.ToString(namer))
-                            .Set("cover", covered->ToString(namer));
-                      }
-                      outer_specs.push_back(*covered);
-                    }
-                  }
-                }
-                std::vector<PlanRef> sorted_outers;
-                bool outer_sat = OrderSatisfied(merge_outer, *outer);
-                TraceOrderTest("merge_join.outer", merge_outer, *outer,
-                               outer_sat);
-                if (outer_sat) {
-                  TraceSortDecision("merge_join.outer", merge_outer, *outer,
-                                    /*avoided=*/true, nullptr);
-                  sorted_outers.push_back(outer);
-                } else {
-                  for (const OrderSpec& spec : outer_specs) {
-                    OrderSpec s = SortSpecFor(spec, *outer);
-                    if (s.empty()) s = spec;
-                    TraceSortDecision("merge_join.outer", spec, *outer,
-                                      /*avoided=*/false, &s);
-                    sorted_outers.push_back(MakeSort(outer, s));
-                  }
-                }
-                PlanRef sorted_inner = inner;
-                bool inner_sat = OrderSatisfied(merge_inner, *inner);
-                TraceOrderTest("merge_join.inner", merge_inner, *inner,
-                               inner_sat);
-                if (!inner_sat) {
-                  OrderSpec s = SortSpecFor(merge_inner, *inner);
-                  if (s.empty()) s = merge_inner;
-                  TraceSortDecision("merge_join.inner", merge_inner, *inner,
-                                    /*avoided=*/false, &s);
-                  sorted_inner = MakeSort(inner, s);
-                } else {
-                  TraceSortDecision("merge_join.inner", merge_inner, *inner,
-                                    /*avoided=*/true, nullptr);
-                }
-                for (const PlanRef& so : sorted_outers) {
-                  auto node = std::make_shared<PlanNode>();
-                  node->kind = OpKind::kMergeJoin;
-                  node->join_pairs = pairs;
-                  node->children = {so, sorted_inner};
-                  node->cost =
-                      so->cost + sorted_inner->cost +
-                      cost_model_.MergeJoinCost(so->props.cardinality,
-                                                sorted_inner->props.cardinality,
-                                                join_cpu_rows);
-                  finish_join(node, so, sorted_inner, /*preserves=*/true);
-                }
-              }
-            } else {
-              // --- Cartesian / naive nested loop ---
-              auto node = std::make_shared<PlanNode>();
-              node->kind = OpKind::kNaiveNLJoin;
-              node->children = {outer, inner};
-              node->cost = outer->cost +
-                           cost_model_.NaiveNestedLoopCost(
-                               outer->props.cardinality,
-                               inner->props.cardinality, inner->cost);
-              finish_join(node, outer, inner, /*preserves=*/true);
-            }
-
-            // --- Index nested-loop join (inner must be one base table) ---
-            if (!pairs.empty() && __builtin_popcount(inner_mask) == 1) {
-              size_t qi = static_cast<size_t>(__builtin_ctz(inner_mask));
-              const Quantifier& q = box->quantifiers[qi];
-              if (!q.IsBase()) continue;
-              for (size_t x = 0; x < q.table->def().indexes.size(); ++x) {
-                const IndexDef& idx = q.table->def().indexes[x];
-                // Greedy prefix of index columns covered by join pairs.
-                std::vector<std::pair<ColumnId, ColumnId>> matched;
-                for (int ord : idx.column_ordinals) {
-                  ColumnId target(q.id, ord);
-                  bool hit = false;
-                  for (const auto& pr : pairs) {
-                    if (pr.second == target) {
-                      matched.push_back(pr);
-                      hit = true;
-                      break;
-                    }
-                  }
-                  if (!hit) break;
-                }
-                if (matched.empty()) continue;
-                double distinct = 1.0;
-                for (const auto& pr : matched) {
-                  distinct = std::max(
-                      distinct, cost_model_.DistinctCount(pr.second, query_));
-                }
-                double inner_rows = static_cast<double>(q.table->row_count());
-                double rows_per_probe = std::max(1.0, inner_rows / distinct);
-                // Recognizing that the outer's order makes probes clustered
-                // is itself order reasoning (§8.1: the disabled optimizer,
-                // "without an awareness of equivalence classes, was unable
-                // to determine that the same sort could be used to generate
-                // an ordered nested-loop join").
-                bool ordered = false;
-                if (config_.enable_order_optimization &&
-                    !outer->props.order.empty()) {
-                  const ColumnId& lead = outer->props.order.at(0).col;
-                  ordered = lead == matched[0].first ||
-                            outer->props.eq.AreEquivalent(lead,
-                                                          matched[0].first);
-                }
-                auto node = std::make_shared<PlanNode>();
-                node->kind = OpKind::kIndexNLJoin;
-                node->table = q.table;
-                node->table_id = q.id;
-                node->index_ordinal = static_cast<int>(x);
-                node->join_pairs = matched;
-                node->ordered_probes = ordered;
-                node->children = {outer};
-                // Residual: unmatched join pairs + inner local predicates.
-                std::vector<Predicate> probe_residual = residual;
-                for (const auto& pr : pairs) {
-                  bool used = std::find(matched.begin(), matched.end(), pr) !=
-                              matched.end();
-                  if (used) continue;
-                  BoundExpr cmp = BoundExpr::Binary(
-                      BinOp::kEq,
-                      BoundExpr::Column(pr.first, query_.TypeOf(pr.first),
-                                        query_.namer()(pr.first)),
-                      BoundExpr::Column(pr.second, query_.TypeOf(pr.second),
-                                        query_.namer()(pr.second)),
-                      DataType::kInt64);
-                  probe_residual.push_back(ClassifyPredicate(std::move(cmp)));
-                }
-                for (const Predicate* p : local_preds[qi]) {
-                  probe_residual.push_back(*p);
-                }
-                node->cost = outer->cost +
-                             cost_model_.IndexNestedLoopCost(
-                                 *q.table, idx.clustered,
-                                 outer->props.cardinality, rows_per_probe,
-                                 ordered);
-                node->props = JoinProperties(
-                    outer->props, BaseTableProperties(*q.table, q.id), pairs,
-                    /*preserves_outer_order=*/true, out_card);
-                for (const auto& [l, r] : pairs) {
-                  node->props.eq.AddEquivalence(l, r);
-                }
-                node->props.keys.Simplify(node->props.eq);
-                PlanRef result = node;
-                if (!probe_residual.empty()) {
-                  result = MakeFilter(result, probe_residual, box);
-                  auto fixed = std::make_shared<PlanNode>(*result);
-                  fixed->props.cardinality = out_card;
-                  result = fixed;
-                }
-                InsertCandidate(&dp[mask], std::move(result));
-              }
-            }
-          }
-        }
-      }
-      if (found_connected) break;
-    }
-
-    // Sort-ahead at intermediate levels (§5.2: "an arbitrary number of
-    // levels in a join tree").
-    if (config_.enable_order_optimization && config_.enable_sort_ahead &&
-        !dp[mask].empty() && mask != full) {
-      PlanRef cheapest = *std::min_element(
-          dp[mask].begin(), dp[mask].end(),
-          [](const PlanRef& a, const PlanRef& b) { return a->cost < b->cost; });
-      ColumnSet targets = mask_columns(mask);
-      for (const OrderSpec& want : sort_ahead) {
-        OrderSpec homog = HomogenizeOrderPrefix(
-            want, targets, info.optimistic_ctx.eq, info.optimistic_ctx);
-        if (homog.empty() || OrderSatisfied(homog, *cheapest)) continue;
-        if (tracing() && homog != want) {
-          trace_->Add("optimizer", "order.homogenize")
-              .Set("site", "intermediate")
-              .Set("requested", want.ToString(query_.namer()))
-              .Set("translated", homog.ToString(query_.namer()));
-        }
-        PlanRef sorted = MakeSort(cheapest, SortSpecFor(homog, *cheapest));
-        bool retained = InsertCandidate(&dp[mask], sorted);
-        TraceSortAhead("intermediate", homog, *sorted, retained);
-      }
-    }
-  }
-
-  if (dp[full].empty()) {
+  const CandidateSet* full_group = memo.FindGroup(full);
+  if (full_group == nullptr || full_group->empty()) {
     return Status::Internal("join enumeration produced no plan");
   }
 
-  // ---- LEFT OUTER JOIN steps (applied in syntax order) ---------------------
-  std::vector<PlanRef> current = dp[full];
+  // LEFT OUTER JOIN steps (applied in syntax order), with the predicates
+  // deferred past each step filtered in right after it.
+  std::vector<PlanRef> current = full_group->plans();
   for (size_t s = 0; s < box->outer_joins.size(); ++s) {
     ORDOPT_ASSIGN_OR_RETURN(
         current, FoldOuterJoin(box, box->outer_joins[s], std::move(current)));
-    if (!deferred[s].empty()) {
-      std::vector<PlanRef> filtered;
+    if (!sctx.deferred[s].empty()) {
+      CandidateSet filtered;
       for (const PlanRef& p : current) {
-        InsertCandidate(&filtered, MakeFilter(p, deferred[s], box));
+        InsertCandidate(&filtered, MakeFilter(p, sctx.deferred[s], box));
       }
-      current = std::move(filtered);
-    }
-  }
-  dp[full] = std::move(current);
-
-  // ---- finishing: DISTINCT, required order, projection ---------------------
-  bool all_passthrough = true;
-  for (const OutputColumn& oc : box->outputs) {
-    if (!oc.expr.IsColumn() || oc.expr.column() != oc.id) {
-      all_passthrough = false;
+      current = std::move(filtered.mutable_plans());
     }
   }
 
-  std::vector<PlanRef> finished;
-  for (const PlanRef& base : dp[full]) {
-    std::vector<PlanRef> variants = {base};
-
-    if (box->distinct) {
-      std::vector<PlanRef> next;
-      ColumnSet out_cols = box->OutputColumns();
-      std::vector<ColumnId> out_col_list;
-      for (const OutputColumn& oc : box->outputs) {
-        out_col_list.push_back(oc.id);
-      }
-      for (const PlanRef& v : variants) {
-        double dcard = std::max(1.0, v->props.cardinality * 0.5);
-        bool adjacent;
-        if (config_.enable_order_optimization) {
-          OrderContext ctx = v->props.MakeContext(config_.transitive_fds);
-          adjacent = info.distinct_requirement.Satisfies(v->props.order, ctx) ||
-                     v->props.IsOneRecord() ||
-                     v->props.keys.IsUniqueOn(out_cols);
-        } else {
-          adjacent = NaiveSatisfied(ConcreteAscending(out_col_list),
-                                    v->props.order);
-        }
-        if (tracing()) {
-          trace_->Add("optimizer", "order.test")
-              .Set("site", "distinct")
-              .Set("interesting", "DISTINCT grouping")
-              .Set("property", v->props.order.ToString(query_.namer()))
-              .SetBool("satisfied", adjacent);
-          if (adjacent) {
-            trace_->Add("optimizer", "sort.avoided")
-                .Set("site", "distinct")
-                .Set("property", v->props.order.ToString(query_.namer()))
-                .SetDouble("input_rows", v->props.cardinality);
-          }
-        }
-        if (adjacent) {
-          auto node = std::make_shared<PlanNode>();
-          node->kind = OpKind::kStreamDistinct;
-          node->distinct_columns = out_cols;
-          node->children = {v};
-          node->props = DistinctProperties(v->props, out_cols,
-                                           /*preserves_order=*/true, dcard);
-          node->cost = v->cost + cost_model_.StreamGroupByCost(
-                                     v->props.cardinality, 0);
-          InsertCandidate(&next, node);
-        } else {
-          // Sort-based distinct.
-          OrderSpec spec;
-          if (config_.enable_order_optimization) {
-            OrderContext ctx = v->props.MakeContext(config_.transitive_fds);
-            std::optional<OrderSpec> covered =
-                info.distinct_requirement.CoverConcrete(info.required_output,
-                                                        ctx);
-            if (tracing() && covered.has_value()) {
-              const ColumnNamer namer = query_.namer();
-              trace_->Add("optimizer", "order.cover")
-                  .Set("site", "distinct")
-                  .Set("i1", "DISTINCT grouping")
-                  .Set("i2", info.required_output.ToString(namer))
-                  .Set("cover", covered->ToString(namer));
-            }
-            spec = covered.has_value()
-                       ? *covered
-                       : info.distinct_requirement.DefaultSortSpec(ctx);
-          } else {
-            spec = ConcreteAscending(out_col_list);
-          }
-          if (!spec.empty()) {
-            TraceSortDecision("distinct", spec, *v, /*avoided=*/false, &spec);
-            PlanRef sorted = MakeSort(v, spec);
-            auto node = std::make_shared<PlanNode>();
-            node->kind = OpKind::kStreamDistinct;
-            node->distinct_columns = out_cols;
-            node->children = {sorted};
-            node->props = DistinctProperties(sorted->props, out_cols, true,
-                                             dcard);
-            node->cost = sorted->cost + cost_model_.StreamGroupByCost(
-                                            sorted->props.cardinality, 0);
-            InsertCandidate(&next, node);
-          }
-          // Hash distinct.
-          if (!config_.enable_hash_grouping) continue;
-          auto node = std::make_shared<PlanNode>();
-          node->kind = OpKind::kHashDistinct;
-          node->distinct_columns = out_cols;
-          node->children = {v};
-          node->props = DistinctProperties(v->props, out_cols,
-                                           /*preserves_order=*/false, dcard);
-          node->cost = v->cost + cost_model_.HashGroupByCost(
-                                     v->props.cardinality, 0);
-          InsertCandidate(&next, node);
-        }
-      }
-      variants = std::move(next);
-    }
-
-    for (PlanRef v : variants) {
-      bool limited = box->limit >= 0;
-      bool output_sat =
-          info.required_output.empty() ||
-          OrderSatisfied(info.required_output, *v);
-      if (!info.required_output.empty()) {
-        TraceOrderTest("select.output", info.required_output, *v, output_sat);
-        if (output_sat) {
-          TraceSortDecision("select.output", info.required_output, *v,
-                            /*avoided=*/true, nullptr);
-        }
-      }
-      if (!output_sat) {
-        OrderSpec spec = SortSpecFor(info.required_output, *v);
-        if (spec.empty()) spec = info.required_output;
-        TraceSortDecision("select.output", info.required_output, *v,
-                          /*avoided=*/false, &spec);
-        if (limited) {
-          // ORDER BY + LIMIT fuse into a bounded-heap Top-N.
-          auto node = std::make_shared<PlanNode>();
-          node->kind = OpKind::kTopN;
-          node->sort_spec = spec;
-          node->limit = box->limit;
-          node->children = {v};
-          node->props = SortProperties(v->props, spec);
-          node->props.cardinality = std::min(
-              v->props.cardinality, static_cast<double>(box->limit));
-          double n = std::max(2.0, v->props.cardinality);
-          double k = std::max(2.0, static_cast<double>(box->limit));
-          node->cost = v->cost +
-                       n * std::log2(std::min(n, k)) *
-                           cost_model_.params().cpu_compare_cost *
-                           (0.5 + 0.5 * static_cast<double>(spec.size()));
-          v = node;
-          limited = false;  // the Top-N already enforced the limit
-        } else {
-          v = MakeSort(v, spec);
-        }
-      }
-      if (!all_passthrough) {
-        auto node = std::make_shared<PlanNode>();
-        node->kind = OpKind::kProject;
-        node->projections = box->outputs;
-        node->children = {v};
-        node->props = ProjectProperties(v->props, box->OutputColumns());
-        node->props.columns = box->OutputColumns();
-        node->cost = v->cost + v->props.cardinality *
-                                   cost_model_.params().cpu_eval_cost *
-                                   static_cast<double>(box->outputs.size());
-        v = node;
-      }
-      if (limited) {
-        auto node = std::make_shared<PlanNode>();
-        node->kind = OpKind::kLimit;
-        node->limit = box->limit;
-        node->children = {v};
-        node->props = v->props;
-        node->props.cardinality = std::min(
-            v->props.cardinality, static_cast<double>(box->limit));
-        node->cost = v->cost;
-        v = node;
-      }
-      InsertCandidate(&finished, std::move(v));
-    }
-  }
-  plans_retained_ += static_cast<int64_t>(finished.size());
-  return finished;
-}
-
-// ---------------------------------------------------------------------------
-// LEFT OUTER JOIN folding
-// ---------------------------------------------------------------------------
-
-Result<std::vector<PlanRef>> Planner::FoldOuterJoin(
-    const QgmBox* box, const OuterJoinStep& step,
-    std::vector<PlanRef> outers) {
-  const Quantifier& q = step.quantifier;
-
-  // Columns of the null-supplying side.
-  ColumnSet inner_cols;
-  if (q.IsBase()) {
-    for (size_t c = 0; c < q.table->def().columns.size(); ++c) {
-      inner_cols.Add(ColumnId(q.id, static_cast<int32_t>(c)));
-    }
-  } else {
-    inner_cols = q.input->OutputColumns();
-  }
-
-  // Split the ON conjuncts: predicates local to the null side can be
-  // applied below the join (they only shrink the match set); equality
-  // predicates crossing the join drive merge/hash variants; anything else
-  // forces the general nested-loop form.
-  std::vector<const Predicate*> inner_local;
-  std::vector<std::pair<ColumnId, ColumnId>> pairs;
-  std::vector<Predicate> residual;
-  for (const Predicate& p : step.on_predicates) {
-    if (p.referenced.IsSubsetOf(inner_cols)) {
-      inner_local.push_back(&p);
-      continue;
-    }
-    if (p.kind == Predicate::Kind::kColEqCol) {
-      bool l_inner = inner_cols.Contains(p.left_col);
-      bool r_inner = inner_cols.Contains(p.right_col);
-      if (l_inner != r_inner) {
-        if (l_inner) {
-          pairs.emplace_back(p.right_col, p.left_col);
-        } else {
-          pairs.emplace_back(p.left_col, p.right_col);
-        }
-        continue;
-      }
-    }
-    residual.push_back(p);
-  }
-
-  // Access paths for the null-supplying side (no sort-ahead through it:
-  // only the preserved side's order survives the join).
-  std::vector<PlanRef> inners;
-  if (q.IsBase()) {
-    inners = BaseAccessPaths(box, q, inner_local, {});
-  } else {
-    ORDOPT_ASSIGN_OR_RETURN(std::vector<PlanRef> child_plans,
-                            PlanBox(q.input));
-    for (PlanRef& child : child_plans) {
-      std::vector<Predicate> preds;
-      for (const Predicate* p : inner_local) preds.push_back(*p);
-      InsertCandidate(&inners, MakeFilter(std::move(child), preds, box));
-    }
-  }
-  if (inners.empty()) {
-    return Status::Internal("no access path for outer-join quantifier " +
-                            q.alias);
-  }
-  PlanRef cheapest_inner = *std::min_element(
-      inners.begin(), inners.end(),
-      [](const PlanRef& a, const PlanRef& b) { return a->cost < b->cost; });
-
-  OrderSpec merge_outer, merge_inner;
-  for (const auto& [o, i] : pairs) {
-    merge_outer.Append(OrderElement(o));
-    merge_inner.Append(OrderElement(i));
-  }
-
-  std::vector<PlanRef> result;
-  for (const PlanRef& outer : outers) {
-    double match_card = std::max(
-        1.0, outer->props.cardinality * cheapest_inner->props.cardinality *
-                 cost_model_.JoinSelectivity(pairs, query_));
-    double out_card = std::max(outer->props.cardinality, match_card);
-
-    if (residual.empty() && !pairs.empty()) {
-      if (config_.enable_hash_join) {
-        auto node = std::make_shared<PlanNode>();
-        node->kind = OpKind::kHashLeftJoin;
-        node->join_pairs = pairs;
-        node->children = {outer, cheapest_inner};
-        node->cost = outer->cost + cheapest_inner->cost +
-                     cost_model_.HashJoinCost(outer->props.cardinality,
-                                              cheapest_inner->props.cardinality,
-                                              out_card);
-        node->props = LeftJoinProperties(outer->props, cheapest_inner->props,
-                                         pairs, /*preserves=*/false,
-                                         out_card);
-        InsertCandidate(&result, std::move(node));
-      }
-      // Merge-left: preserves the outer's order.
-      PlanRef sorted_outer = outer;
-      bool lo_sat = OrderSatisfied(merge_outer, *outer);
-      TraceOrderTest("merge_left_join.outer", merge_outer, *outer, lo_sat);
-      if (!lo_sat) {
-        OrderSpec s = SortSpecFor(merge_outer, *outer);
-        if (s.empty()) s = merge_outer;
-        TraceSortDecision("merge_left_join.outer", merge_outer, *outer,
-                          /*avoided=*/false, &s);
-        sorted_outer = MakeSort(outer, s);
-      } else {
-        TraceSortDecision("merge_left_join.outer", merge_outer, *outer,
-                          /*avoided=*/true, nullptr);
-      }
-      PlanRef sorted_inner = cheapest_inner;
-      bool li_sat = OrderSatisfied(merge_inner, *cheapest_inner);
-      TraceOrderTest("merge_left_join.inner", merge_inner, *cheapest_inner,
-                     li_sat);
-      if (!li_sat) {
-        OrderSpec s = SortSpecFor(merge_inner, *cheapest_inner);
-        if (s.empty()) s = merge_inner;
-        TraceSortDecision("merge_left_join.inner", merge_inner,
-                          *cheapest_inner, /*avoided=*/false, &s);
-        sorted_inner = MakeSort(cheapest_inner, s);
-      } else {
-        TraceSortDecision("merge_left_join.inner", merge_inner,
-                          *cheapest_inner, /*avoided=*/true, nullptr);
-      }
-      auto node = std::make_shared<PlanNode>();
-      node->kind = OpKind::kMergeLeftJoin;
-      node->join_pairs = pairs;
-      node->children = {sorted_outer, sorted_inner};
-      node->cost = sorted_outer->cost + sorted_inner->cost +
-                   cost_model_.MergeJoinCost(sorted_outer->props.cardinality,
-                                             sorted_inner->props.cardinality,
-                                             out_card);
-      node->props = LeftJoinProperties(sorted_outer->props,
-                                       sorted_inner->props, pairs,
-                                       /*preserves=*/true, out_card);
-      InsertCandidate(&result, std::move(node));
-    } else {
-      // General form: every ON conjunct evaluated inside the join.
-      auto node = std::make_shared<PlanNode>();
-      node->kind = OpKind::kNaiveLeftJoin;
-      node->predicates = step.on_predicates;
-      node->children = {outer, cheapest_inner};
-      node->cost = outer->cost +
-                   cost_model_.NaiveNestedLoopCost(
-                       outer->props.cardinality,
-                       cheapest_inner->props.cardinality,
-                       cheapest_inner->cost);
-      node->props = LeftJoinProperties(outer->props, cheapest_inner->props,
-                                       pairs, /*preserves=*/true, out_card);
-      InsertCandidate(&result, std::move(node));
-    }
-  }
-  return result;
-}
-
-// ---------------------------------------------------------------------------
-// GROUP BY box
-// ---------------------------------------------------------------------------
-
-Result<std::vector<PlanRef>> Planner::PlanGroupByBox(const QgmBox* box) {
-  const BoxOrderInfo& info = order_scan_.info(box);
-  ORDOPT_ASSIGN_OR_RETURN(std::vector<PlanRef> children,
-                          PlanBox(box->quantifiers[0].input));
-
-  ColumnSet agg_outputs;
-  for (const AggregateSpec& a : box->aggregates) agg_outputs.Add(a.output);
-
-  std::vector<PlanRef> out;
-  for (const PlanRef& child : children) {
-    double card = cost_model_.GroupCardinality(
-        box->group_columns, child->props.cardinality, query_);
-
-    bool grouped_input;
-    if (config_.enable_order_optimization) {
-      OrderContext ctx = child->props.MakeContext(config_.transitive_fds);
-      grouped_input =
-          info.grouping_requirement.Satisfies(child->props.order, ctx) ||
-          child->props.IsOneRecord();
-    } else {
-      grouped_input = NaiveSatisfied(ConcreteAscending(box->group_columns),
-                                     child->props.order);
-    }
-    if (tracing()) {
-      trace_->Add("optimizer", "order.test")
-          .Set("site", "groupby")
-          .Set("interesting", "GROUP BY grouping")
-          .Set("property", child->props.order.ToString(query_.namer()))
-          .SetBool("satisfied", grouped_input);
-      if (grouped_input) {
-        trace_->Add("optimizer", "sort.avoided")
-            .Set("site", "groupby")
-            .Set("property", child->props.order.ToString(query_.namer()))
-            .SetDouble("input_rows", child->props.cardinality);
-      }
-    }
-
-    if (grouped_input) {
-      auto node = std::make_shared<PlanNode>();
-      node->kind = OpKind::kStreamGroupBy;
-      node->group_columns = box->group_columns;
-      node->aggregates = box->aggregates;
-      node->children = {child};
-      node->props = GroupByProperties(child->props, box->group_columns,
-                                      agg_outputs, /*preserves_order=*/true,
-                                      card);
-      node->cost = child->cost + cost_model_.StreamGroupByCost(
-                                     child->props.cardinality,
-                                     box->aggregates.size());
-      InsertCandidate(&out, node);
-    } else {
-      // Sort + streaming aggregation.
-      std::vector<OrderSpec> specs;
-      if (config_.enable_order_optimization) {
-        OrderContext ctx = child->props.MakeContext(config_.transitive_fds);
-        for (const OrderSpec& pref : info.preferred_sorts) {
-          OrderSpec reduced = ReduceOrder(pref, ctx);
-          TraceReduce("groupby.preferred", pref, reduced, ctx);
-          if (reduced.empty()) continue;
-          bool dup = false;
-          for (const OrderSpec& s : specs) dup = dup || s == reduced;
-          if (!dup) specs.push_back(reduced);
-        }
-        if (specs.empty()) {
-          OrderSpec fallback = info.grouping_requirement.DefaultSortSpec(ctx);
-          if (!fallback.empty()) specs.push_back(fallback);
-        }
-      } else {
-        specs.push_back(ConcreteAscending(box->group_columns));
-      }
-      for (const OrderSpec& spec : specs) {
-        TraceSortDecision("groupby", spec, *child, /*avoided=*/false, &spec);
-        PlanRef sorted = MakeSort(child, spec);
-        auto node = std::make_shared<PlanNode>();
-        node->kind = OpKind::kSortGroupBy;
-        node->group_columns = box->group_columns;
-        node->aggregates = box->aggregates;
-        node->children = {sorted};
-        node->props = GroupByProperties(sorted->props, box->group_columns,
-                                        agg_outputs, /*preserves_order=*/true,
-                                        card);
-        node->cost = sorted->cost + cost_model_.StreamGroupByCost(
-                                        sorted->props.cardinality,
-                                        box->aggregates.size());
-        InsertCandidate(&out, node);
-      }
-      // Hash aggregation.
-      if (!config_.enable_hash_grouping) continue;
-      auto node = std::make_shared<PlanNode>();
-      node->kind = OpKind::kHashGroupBy;
-      node->group_columns = box->group_columns;
-      node->aggregates = box->aggregates;
-      node->children = {child};
-      node->props = GroupByProperties(child->props, box->group_columns,
-                                      agg_outputs, /*preserves_order=*/false,
-                                      card);
-      node->cost = child->cost + cost_model_.HashGroupByCost(
-                                     child->props.cardinality,
-                                     box->aggregates.size());
-      InsertCandidate(&out, node);
-    }
-  }
-  plans_retained_ += static_cast<int64_t>(out.size());
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// UNION box
-// ---------------------------------------------------------------------------
-
-Result<std::vector<PlanRef>> Planner::PlanUnionBox(const QgmBox* box) {
-  const BoxOrderInfo& info = order_scan_.info(box);
-  ColumnSet out_cols = box->OutputColumns();
-
-  // Ensures a branch plan produces exactly its box outputs, in order.
-  auto projected = [&](PlanRef plan, const QgmBox* branch) -> PlanRef {
-    if (plan->kind == OpKind::kProject &&
-        plan->projections.size() == branch->outputs.size()) {
-      bool same = true;
-      for (size_t i = 0; i < branch->outputs.size(); ++i) {
-        if (!(plan->projections[i].id == branch->outputs[i].id)) same = false;
-      }
-      if (same) return plan;
-    }
-    auto node = std::make_shared<PlanNode>();
-    node->kind = OpKind::kProject;
-    node->projections = branch->outputs;
-    node->children = {plan};
-    node->props = ProjectProperties(plan->props, branch->OutputColumns());
-    node->props.columns = branch->OutputColumns();
-    node->cost = plan->cost + plan->props.cardinality *
-                                  cost_model_.params().cpu_eval_cost;
-    return node;
-  };
-
-  // Per branch: the cheapest plan, and (order optimization only) the
-  // cheapest plan delivering the all-columns ascending order that the
-  // merge union needs.
-  std::vector<PlanRef> cheapest;
-  std::vector<PlanRef> ordered;
-  double total_card = 0.0;
-  for (const Quantifier& q : box->quantifiers) {
-    const QgmBox* branch = q.input;
-    ORDOPT_ASSIGN_OR_RETURN(std::vector<PlanRef> plans, PlanBox(branch));
-    PlanRef best;
-    for (const PlanRef& p : plans) {
-      if (best == nullptr || p->cost < best->cost) best = p;
-    }
-    PlanRef best_proj = projected(best, branch);
-    cheapest.push_back(best_proj);
-    total_card += best_proj->props.cardinality;
-
-    if (config_.enable_order_optimization && box->distinct) {
-      std::vector<ColumnId> branch_cols;
-      for (const OutputColumn& oc : branch->outputs) {
-        branch_cols.push_back(oc.id);
-      }
-      OrderSpec want = OrderSpec::Ascending(branch_cols);
-      PlanRef best_ordered;
-      for (const PlanRef& p : plans) {
-        if (!OrderSatisfied(want, *p)) continue;
-        if (best_ordered == nullptr || p->cost < best_ordered->cost) {
-          best_ordered = p;
-        }
-      }
-      if (best_ordered == nullptr) {
-        // Sort the cheapest branch on (the reduced form of) the full list.
-        OrderSpec spec = SortSpecFor(want, *best);
-        if (spec.empty()) spec = want;
-        best_ordered = MakeSort(best, spec);
-      }
-      // A reduced branch sort still yields a fully lexicographically
-      // sorted stream: reduction only drops columns that are constant or
-      // FD-determined within the preceding prefix (§4.1's proof).
-      ordered.push_back(projected(best_ordered, branch));
-    }
-  }
-  std::vector<PlanRef> candidates;
-
-  // Plain concatenation.
-  auto union_all = std::make_shared<PlanNode>();
-  union_all->kind = OpKind::kUnionAll;
-  union_all->projections = box->outputs;
-  union_all->children = {cheapest.begin(), cheapest.end()};
-  union_all->props.columns = out_cols;
-  union_all->props.cardinality = std::max(1.0, total_card);
-  union_all->cost = 0;
-  for (const PlanRef& c : cheapest) union_all->cost += c->cost;
-  union_all->cost += total_card * cost_model_.params().cpu_tuple_cost;
-
-  if (!box->distinct) {
-    candidates.push_back(union_all);
-  } else {
-    double dcard = std::max(1.0, total_card * 0.7);
-    // Hash-based duplicate elimination over the concatenation.
-    if (config_.enable_hash_grouping) {
-      auto node = std::make_shared<PlanNode>();
-      node->kind = OpKind::kHashDistinct;
-      node->distinct_columns = out_cols;
-      node->children = {union_all};
-      node->props = DistinctProperties(union_all->props, out_cols,
-                                       /*preserves_order=*/false, dcard);
-      node->cost = union_all->cost +
-                   cost_model_.HashGroupByCost(total_card, 0);
-      InsertCandidate(&candidates, std::move(node));
-    }
-    // Sort-based: sort the concatenation, then stream.
-    {
-      std::vector<ColumnId> cols;
-      for (const OutputColumn& oc : box->outputs) cols.push_back(oc.id);
-      PlanRef sorted = MakeSort(union_all, OrderSpec::Ascending(cols));
-      auto node = std::make_shared<PlanNode>();
-      node->kind = OpKind::kStreamDistinct;
-      node->distinct_columns = out_cols;
-      node->children = {sorted};
-      node->props = DistinctProperties(sorted->props, out_cols,
-                                       /*preserves_order=*/true, dcard);
-      node->cost = sorted->cost +
-                   cost_model_.StreamGroupByCost(total_card, 0);
-      InsertCandidate(&candidates, std::move(node));
-    }
-    // Order-optimized: merge pre-sorted branches, stream-dedupe; the
-    // output arrives sorted on all output columns.
-    if (config_.enable_order_optimization && !ordered.empty()) {
-      std::vector<ColumnId> cols;
-      for (const OutputColumn& oc : box->outputs) cols.push_back(oc.id);
-      auto merge = std::make_shared<PlanNode>();
-      merge->kind = OpKind::kMergeUnion;
-      merge->projections = box->outputs;
-      merge->children = {ordered.begin(), ordered.end()};
-      merge->props.columns = out_cols;
-      merge->props.cardinality = std::max(1.0, total_card);
-      merge->props.order = OrderSpec::Ascending(cols);
-      merge->cost = 0;
-      for (const PlanRef& c : ordered) merge->cost += c->cost;
-      merge->cost += total_card * cost_model_.params().cpu_compare_cost *
-                     static_cast<double>(cols.size());
-      auto node = std::make_shared<PlanNode>();
-      node->kind = OpKind::kStreamDistinct;
-      node->distinct_columns = out_cols;
-      node->children = {merge};
-      node->props = DistinctProperties(merge->props, out_cols,
-                                       /*preserves_order=*/true, dcard);
-      node->cost = merge->cost +
-                   cost_model_.StreamGroupByCost(total_card, 0);
-      InsertCandidate(&candidates, std::move(node));
-    }
-  }
-
-  // Finishing: ORDER BY + LIMIT on the union.
-  std::vector<PlanRef> finished;
-  for (PlanRef v : candidates) {
-    if (!info.required_output.empty()) {
-      bool sat = OrderSatisfied(info.required_output, *v);
-      TraceOrderTest("union.output", info.required_output, *v, sat);
-      if (!sat) {
-        OrderSpec spec = SortSpecFor(info.required_output, *v);
-        if (spec.empty()) spec = info.required_output;
-        TraceSortDecision("union.output", info.required_output, *v,
-                          /*avoided=*/false, &spec);
-        v = MakeSort(v, spec);
-      } else {
-        TraceSortDecision("union.output", info.required_output, *v,
-                          /*avoided=*/true, nullptr);
-      }
-    }
-    if (box->limit >= 0) {
-      auto node = std::make_shared<PlanNode>();
-      node->kind = OpKind::kLimit;
-      node->limit = box->limit;
-      node->children = {v};
-      node->props = v->props;
-      node->props.cardinality =
-          std::min(v->props.cardinality, static_cast<double>(box->limit));
-      node->cost = v->cost;
-      v = node;
-    }
-    InsertCandidate(&finished, std::move(v));
-  }
-  plans_retained_ += static_cast<int64_t>(finished.size());
-  return finished;
+  return FinishSelectBox(box, current);
 }
 
 Result<std::vector<PlanRef>> Planner::PlanBox(const QgmBox* box) {
@@ -1522,9 +154,10 @@ Result<PlanRef> Planner::BuildPlan() {
   ORDOPT_ASSIGN_OR_RETURN(std::vector<PlanRef> candidates,
                           PlanBox(query_.root));
   ORDOPT_CHECK(!candidates.empty());
-  PlanRef best = *std::min_element(
-      candidates.begin(), candidates.end(),
-      [](const PlanRef& a, const PlanRef& b) { return a->cost < b->cost; });
+  PlanRef best = *std::min_element(candidates.begin(), candidates.end(),
+                                   [](const PlanRef& a, const PlanRef& b) {
+                                     return a->props.cost < b->props.cost;
+                                   });
   if (best->kind != OpKind::kProject) {
     auto node = std::make_shared<PlanNode>();
     node->kind = OpKind::kProject;
@@ -1533,16 +166,18 @@ Result<PlanRef> Planner::BuildPlan() {
     node->props = ProjectProperties(best->props,
                                     query_.root->OutputColumns());
     node->props.columns = query_.root->OutputColumns();
-    node->cost = best->cost;
+    node->props.cost = best->props.cost;
     best = node;
   }
   if (tracing()) {
     trace_->Add("optimizer", "plan.chosen")
-        .SetDouble("est_cost", best->cost)
+        .SetDouble("est_cost", best->props.cost)
         .SetDouble("est_rows", best->props.cardinality)
         .SetInt("nodes", best->NodeCount())
         .SetInt("plans_generated", plans_generated_)
-        .SetInt("plans_retained", plans_retained_);
+        .SetInt("plans_retained", plans_retained_)
+        .SetInt("reduce_cache_hits", reduce_cache_.hits())
+        .SetInt("reduce_cache_misses", reduce_cache_.misses());
   }
   return best;
 }

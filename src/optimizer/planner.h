@@ -9,11 +9,16 @@
 #include "common/trace.h"
 #include "exec/query_guard.h"
 #include "optimizer/cost_model.h"
+#include "optimizer/memo.h"
 #include "optimizer/order_scan.h"
 #include "optimizer/plan.h"
+#include "orderopt/reduce_cache.h"
 #include "qgm/qgm.h"
 
 namespace ordopt {
+
+struct SelectContext;
+class JoinStrategy;
 
 /// Optimizer switches. `enable_order_optimization=false` reproduces the
 /// paper's §8 baseline ("a modified version of DB2 with order optimization
@@ -83,14 +88,53 @@ class Planner {
   int64_t plans_generated() const { return plans_generated_; }
   int64_t plans_retained() const { return plans_retained_; }
 
+  /// Reduce-cache statistics for this planner's optimization run: how many
+  /// Reduce/Test Order reductions were served from the memo vs computed.
+  int64_t reduce_cache_hits() const { return reduce_cache_.hits(); }
+  int64_t reduce_cache_misses() const { return reduce_cache_.misses(); }
+
  private:
-  struct QuantifierInfo;
+  // Derived strategies reach planner internals through JoinStrategy's
+  // protected bridges (friendship is not inherited).
+  friend class JoinStrategy;
+
+  /// Adapts this planner's OrderSatisfied (Test Order when order
+  /// optimization is enabled, the naive prefix baseline otherwise) to the
+  /// CandidateSet domination interface.
+  class PlannerDomination : public OrderDomination {
+   public:
+    explicit PlannerDomination(const Planner* planner) : planner_(planner) {}
+    bool Satisfies(const OrderSpec& interesting,
+                   const PlanNode& plan) const override {
+      return planner_->OrderSatisfied(interesting, plan);
+    }
+
+   private:
+    const Planner* planner_;
+  };
 
   Result<std::vector<PlanRef>> PlanBox(const QgmBox* box);
+
+  // --- planner.cc: orchestration ------------------------------------------
   Result<std::vector<PlanRef>> PlanSelectBox(const QgmBox* box);
+
+  // --- finishing.cc --------------------------------------------------------
   Result<std::vector<PlanRef>> PlanGroupByBox(const QgmBox* box);
   Result<std::vector<PlanRef>> PlanUnionBox(const QgmBox* box);
+  // DISTINCT, required output order (Sort / Top-N), projection and LIMIT on
+  // top of the join-enumeration candidates of a SELECT box.
+  std::vector<PlanRef> FinishSelectBox(const QgmBox* box,
+                                       const std::vector<PlanRef>& bases);
 
+  // --- join_enumeration.cc -------------------------------------------------
+  // System-R DP over quantifier subsets: for every mask (by population
+  // count) and every (outer, inner) split, runs each registered
+  // JoinStrategy, then tries sort-ahead on the mask's candidate group.
+  void EnumerateJoins(SelectContext* sctx, Memo* memo);
+  // Deterministic cardinality for a quantifier mask, memoized in
+  // `sctx->mask_card` so every plan of the mask prices against the same
+  // estimate.
+  double MaskCardinality(SelectContext* sctx, uint32_t mask) const;
   // Applies one LEFT OUTER JOIN step on top of the candidate plans for the
   // preserved side, generating merge-left / hash-left / nested-loop-left
   // alternatives with §4.1 outer-join property propagation.
@@ -98,12 +142,18 @@ class Planner {
                                              const OuterJoinStep& step,
                                              std::vector<PlanRef> outers);
 
+  // --- access_paths.cc -----------------------------------------------------
   // Leaf access paths for one base-table quantifier (scan, index scans,
   // range scans), with local predicates applied.
-  std::vector<PlanRef> BaseAccessPaths(
-      const QgmBox* box, const Quantifier& q,
-      const std::vector<const Predicate*>& local_preds,
-      const std::vector<OrderSpec>& sort_ahead);
+  CandidateSet BaseAccessPaths(const QgmBox* box, const Quantifier& q,
+                               const std::vector<const Predicate*>& local_preds,
+                               const std::vector<OrderSpec>& sort_ahead);
+  // Access paths for quantifier `index` of the SELECT box: BaseAccessPaths
+  // for a base table, recursive PlanBox + local filters (+ sort-ahead) for
+  // a derived quantifier.
+  Result<CandidateSet> QuantifierAccessPaths(const QgmBox* box,
+                                             const SelectContext& sctx,
+                                             size_t index);
 
   // True when `property` (a plan's physical order) satisfies `interesting`
   // under this config: the paper's Test Order when enabled, a naive exact
@@ -115,16 +165,18 @@ class Planner {
   OrderSpec SortSpecFor(const OrderSpec& interesting,
                         const PlanNode& input) const;
 
-  // Adds `plan` to `candidates` under the (cost, order) domination rule.
-  // Returns false when the plan was pruned on arrival (dominated by a
-  // retained candidate), true when it joined the candidate set.
-  bool InsertCandidate(std::vector<PlanRef>* candidates, PlanRef plan);
+  // Adds `plan` to `candidates` under the (cost, order) domination rule —
+  // CandidateSet::Insert with this planner's order test — and counts the
+  // attempt in plans_generated_. Returns false when the plan was pruned on
+  // arrival (dominated by a retained candidate), true when it joined the
+  // candidate set.
+  bool InsertCandidate(CandidateSet* candidates, PlanRef plan);
 
   PlanRef MakeSort(PlanRef input, OrderSpec spec);
   PlanRef MakeFilter(PlanRef input, std::vector<Predicate> preds,
                      const QgmBox* box);
 
-  // --- trace helpers (no-ops when trace_ is null) --------------------------
+  // --- planner_trace.cc: trace helpers (no-ops when trace_ is null) --------
   bool tracing() const { return trace_ != nullptr; }
   // Emits order.reduce when reduction changed `interesting`, detailing
   // which elements were head-substituted or removed and why.
@@ -149,6 +201,11 @@ class Planner {
   TraceCollector* trace_ = nullptr;
   int64_t plans_generated_ = 0;
   int64_t plans_retained_ = 0;
+  /// Memoized Reduce/Test Order results keyed by context epoch; mutable
+  /// because the const decision helpers (OrderSatisfied, SortSpecFor) are
+  /// where memoization pays off.
+  mutable ReduceCache reduce_cache_;
+  PlannerDomination domination_{this};
 };
 
 }  // namespace ordopt

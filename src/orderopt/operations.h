@@ -23,6 +23,13 @@ struct OrderContext {
   /// compared against the simple mode in tests and benches.
   bool transitive_fds = false;
 
+  /// Identity of this context's (eq, fds) content for memoization. Two
+  /// contexts with the same nonzero epoch are guaranteed to hold identical
+  /// classes and dependencies (PlanProperties assigns epochs and resets
+  /// them on mutation). 0 means "unknown identity" and bypasses the
+  /// ReduceCache.
+  uint64_t epoch = 0;
+
   bool Determines(const ColumnSet& b, const ColumnId& c) const {
     return transitive_fds ? fds.DeterminesTransitive(b, c, eq)
                           : fds.Determines(b, c, eq);

@@ -81,6 +81,20 @@ class OrderSpec {
 /// Default "t<i>.c<j>" rendering for a ColumnId.
 std::string DefaultColumnName(const ColumnId& col);
 
+/// Hash functor for OrderSpec (columns and directions, order-sensitive),
+/// for unordered containers keyed by specifications — e.g. the ReduceCache.
+struct OrderSpecHash {
+  size_t operator()(const OrderSpec& spec) const {
+    size_t h = spec.size();
+    for (const OrderElement& e : spec) {
+      size_t eh = ColumnIdHash{}(e.col) * 2 +
+                  (e.dir == SortDirection::kDescending ? 1 : 0);
+      h ^= eh + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
 }  // namespace ordopt
 
 #endif  // ORDOPT_ORDEROPT_ORDER_SPEC_H_

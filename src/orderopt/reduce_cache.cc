@@ -1,0 +1,29 @@
+#include "orderopt/reduce_cache.h"
+
+namespace ordopt {
+
+OrderSpec ReduceCache::Reduce(const OrderSpec& spec, const OrderContext& ctx) {
+  if (ctx.epoch == 0) {
+    // Unknown context identity: compute without memoizing.
+    return ReduceOrder(spec, ctx);
+  }
+  Key key{ctx.epoch, ctx.transitive_fds, spec};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  OrderSpec reduced = ReduceOrder(spec, ctx);
+  entries_.emplace(std::move(key), reduced);
+  return reduced;
+}
+
+bool ReduceCache::Test(const OrderSpec& interesting, const OrderSpec& property,
+                       const OrderContext& ctx) {
+  OrderSpec i = Reduce(interesting, ctx);
+  if (i.empty()) return true;  // trivially satisfied (§4.1 end)
+  return i.IsPrefixOf(Reduce(property, ctx));
+}
+
+}  // namespace ordopt

@@ -1,27 +1,48 @@
-#include "properties/stream_properties.h"
+#include "properties/plan_properties.h"
+
+#include <atomic>
 
 #include "common/str_util.h"
 
 namespace ordopt {
 
-std::string StreamProperties::ToString(const ColumnNamer& namer) const {
+namespace {
+// Process-wide epoch source. Epoch 0 is reserved for "unstamped", so the
+// counter starts at 1.
+std::atomic<uint64_t> g_next_epoch{1};
+}  // namespace
+
+OrderContext PlanProperties::Context(bool transitive_fds) const {
+  if (epoch_ == 0) {
+    epoch_ = g_next_epoch.fetch_add(1, std::memory_order_relaxed);
+  }
+  OrderContext ctx;
+  ctx.eq = eq_;
+  ctx.fds = fds_;
+  ctx.transitive_fds = transitive_fds;
+  ctx.epoch = epoch_;
+  return ctx;
+}
+
+std::string PlanProperties::ToString(const ColumnNamer& namer) const {
   std::string out = "order" + order.ToString(namer);
   out += " " + keys.ToString(namer);
   out += StrFormat(" card=%.0f", cardinality);
   return out;
 }
 
-StreamProperties BaseTableProperties(const Table& table, int table_id) {
-  StreamProperties props;
+PlanProperties BaseTableProperties(const Table& table, int table_id) {
+  PlanProperties props;
   const TableDef& def = table.def();
   for (size_t i = 0; i < def.columns.size(); ++i) {
     props.columns.Add(ColumnId(table_id, static_cast<int32_t>(i)));
   }
+  FDSet& fds = props.mutable_fds();
   for (const std::vector<int>& key : def.unique_keys) {
     ColumnSet key_cols;
     for (int ord : key) key_cols.Add(ColumnId(table_id, ord));
     props.keys.AddKey(key_cols);
-    props.fds.AddKey(key_cols, props.columns);
+    fds.AddKey(key_cols, props.columns);
   }
   // Unique indexes are keys too.
   for (const IndexDef& idx : def.indexes) {
@@ -29,20 +50,20 @@ StreamProperties BaseTableProperties(const Table& table, int table_id) {
     ColumnSet key_cols;
     for (int ord : idx.column_ordinals) key_cols.Add(ColumnId(table_id, ord));
     props.keys.AddKey(key_cols);
-    props.fds.AddKey(key_cols, props.columns);
+    fds.AddKey(key_cols, props.columns);
   }
   props.cardinality = static_cast<double>(table.row_count());
   return props;
 }
 
-void ApplyPredicate(StreamProperties* props, const Predicate& pred,
+void ApplyPredicate(PlanProperties* props, const Predicate& pred,
                     double selectivity) {
   switch (pred.kind) {
     case Predicate::Kind::kColEqCol:
-      props->eq.AddEquivalence(pred.left_col, pred.right_col);
+      props->mutable_eq().AddEquivalence(pred.left_col, pred.right_col);
       break;
     case Predicate::Kind::kColEqConst:
-      props->eq.AddConstant(pred.left_col, pred.constant);
+      props->mutable_eq().AddConstant(pred.left_col, pred.constant);
       break;
     default:
       break;
@@ -51,39 +72,47 @@ void ApplyPredicate(StreamProperties* props, const Predicate& pred,
   if (props->cardinality < 1.0) props->cardinality = 1.0;
   // Key columns bound to constants stop discriminating; a fully bound key
   // collapses the property to the one-record condition.
-  props->keys.Simplify(props->eq);
+  props->keys.Simplify(props->eq());
 }
 
-StreamProperties JoinProperties(
-    const StreamProperties& outer, const StreamProperties& inner,
+PlanProperties JoinProperties(
+    const PlanProperties& outer, const PlanProperties& inner,
     const std::vector<std::pair<ColumnId, ColumnId>>& join_pairs,
     bool preserves_outer_order, double cardinality) {
-  StreamProperties props;
+  PlanProperties props;
   props.columns = outer.columns.Union(inner.columns);
-  props.eq = outer.eq;
-  props.eq.MergeFrom(inner.eq);
-  props.fds = outer.fds;
-  props.fds.MergeFrom(inner.fds);
+  {
+    EquivalenceClasses& eq = props.mutable_eq();
+    eq = outer.eq();
+    eq.MergeFrom(inner.eq());
+    FDSet& fds = props.mutable_fds();
+    fds = outer.fds();
+    fds.MergeFrom(inner.fds());
+  }
   props.keys = KeyProperty::PropagateJoin(outer.keys, inner.keys, join_pairs);
-  props.keys.Simplify(props.eq);
+  props.keys.Simplify(props.eq());
   if (preserves_outer_order) props.order = outer.order;
   props.cardinality = cardinality;
   return props;
 }
 
-StreamProperties LeftJoinProperties(
-    const StreamProperties& outer, const StreamProperties& inner,
+PlanProperties LeftJoinProperties(
+    const PlanProperties& outer, const PlanProperties& inner,
     const std::vector<std::pair<ColumnId, ColumnId>>& on_pairs,
     bool preserves_outer_order, double cardinality) {
-  StreamProperties props;
+  PlanProperties props;
   props.columns = outer.columns.Union(inner.columns);
-  props.eq = outer.eq;
-  props.eq.MergeEquivalencesFrom(inner.eq);
-  props.fds = outer.fds;
-  props.fds.MergeFrom(inner.fds);
-  // §4.1: {preserved} -> {null-supplying} per equality ON predicate.
-  for (const auto& [p, n] : on_pairs) {
-    props.fds.Add(ColumnSet{p}, ColumnSet{n});
+  {
+    EquivalenceClasses& eq = props.mutable_eq();
+    eq = outer.eq();
+    eq.MergeEquivalencesFrom(inner.eq());
+    FDSet& fds = props.mutable_fds();
+    fds = outer.fds();
+    fds.MergeFrom(inner.fds());
+    // §4.1: {preserved} -> {null-supplying} per equality ON predicate.
+    for (const auto& [p, n] : on_pairs) {
+      fds.Add(ColumnSet{p}, ColumnSet{n});
+    }
   }
   // Keys: n-to-1 (some inner key fully covered by ON columns) keeps the
   // outer's keys; otherwise concatenate.
@@ -101,34 +130,34 @@ StreamProperties LeftJoinProperties(
       }
     }
   }
-  props.keys.Simplify(props.eq);
+  props.keys.Simplify(props.eq());
   if (preserves_outer_order) props.order = outer.order;
   props.cardinality = cardinality;
   return props;
 }
 
-StreamProperties SortProperties(const StreamProperties& input,
-                                const OrderSpec& spec) {
-  StreamProperties props = input;
+PlanProperties SortProperties(const PlanProperties& input,
+                              const OrderSpec& spec) {
+  PlanProperties props = input;
   props.order = spec;
   return props;
 }
 
-StreamProperties GroupByProperties(const StreamProperties& input,
-                                   const std::vector<ColumnId>& group_columns,
-                                   const ColumnSet& aggregate_outputs,
-                                   bool preserves_order, double cardinality) {
-  StreamProperties props;
+PlanProperties GroupByProperties(const PlanProperties& input,
+                                 const std::vector<ColumnId>& group_columns,
+                                 const ColumnSet& aggregate_outputs,
+                                 bool preserves_order, double cardinality) {
+  PlanProperties props;
   ColumnSet group_set;
   for (const ColumnId& c : group_columns) group_set.Add(c);
   props.columns = group_set.Union(aggregate_outputs);
-  props.eq = input.eq;
-  props.fds = input.fds;
+  props.mutable_eq() = input.eq();
+  props.mutable_fds() = input.fds();
   // After grouping, the grouping columns identify each output record and
   // determine the aggregate outputs.
   props.keys.AddKey(group_set);
-  props.keys.Simplify(props.eq);
-  props.fds.Add(group_set, props.columns);
+  props.keys.Simplify(props.eq());
+  props.mutable_fds().Add(group_set, props.columns);
   if (preserves_order) {
     props.order = input.order;
   }
@@ -136,13 +165,13 @@ StreamProperties GroupByProperties(const StreamProperties& input,
   return props;
 }
 
-StreamProperties DistinctProperties(const StreamProperties& input,
-                                    const ColumnSet& distinct_columns,
-                                    bool preserves_order, double cardinality) {
-  StreamProperties props = input;
+PlanProperties DistinctProperties(const PlanProperties& input,
+                                  const ColumnSet& distinct_columns,
+                                  bool preserves_order, double cardinality) {
+  PlanProperties props = input;
   props.columns = distinct_columns;
   props.keys.AddKey(distinct_columns);
-  props.keys.Simplify(props.eq);
+  props.keys.Simplify(props.eq());
   if (!preserves_order) props.order = OrderSpec();
   props.cardinality = cardinality;
   props.keys.Project(distinct_columns);
@@ -152,9 +181,9 @@ StreamProperties DistinctProperties(const StreamProperties& input,
   return props;
 }
 
-StreamProperties ProjectProperties(const StreamProperties& input,
-                                   const ColumnSet& visible) {
-  StreamProperties props = input;
+PlanProperties ProjectProperties(const PlanProperties& input,
+                                 const ColumnSet& visible) {
+  PlanProperties props = input;
   props.columns = visible;
   props.keys.Project(visible);
   // Truncate the order property at the first invisible column that has no
@@ -166,7 +195,7 @@ StreamProperties ProjectProperties(const StreamProperties& input,
       continue;
     }
     bool substituted = false;
-    for (const ColumnId& member : input.eq.ClassMembers(e.col)) {
+    for (const ColumnId& member : input.eq().ClassMembers(e.col)) {
       if (visible.Contains(member)) {
         truncated.Append(OrderElement(member, e.dir));
         substituted = true;

@@ -1,0 +1,117 @@
+// CandidateSet / Memo tests: the (cost, order) domination rule extracted
+// from the planner (§5.2 pruning), exercised directly — dominated plans are
+// pruned on arrival, newcomers evict worse incumbents, plans with
+// incomparable orders coexist, and the tie-break semantics the golden plan
+// fingerprints depend on hold exactly.
+
+#include <gtest/gtest.h>
+
+#include "optimizer/memo.h"
+
+namespace ordopt {
+namespace {
+
+// Order satisfaction without reduction: exact column/direction prefix.
+// (The planner's real implementation reduces first; the rule under test is
+// the domination logic, not the order test.)
+class PrefixDomination : public OrderDomination {
+ public:
+  bool Satisfies(const OrderSpec& interesting,
+                 const PlanNode& plan) const override {
+    return interesting.empty() || interesting.IsPrefixOf(plan.props.order);
+  }
+};
+
+PlanRef MakePlan(double cost, OrderSpec order = OrderSpec()) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = OpKind::kTableScan;
+  node->props.cost = cost;
+  node->props.order = std::move(order);
+  return node;
+}
+
+const OrderSpec kX{{ColumnId(0, 0)}};
+const OrderSpec kXY{{ColumnId(0, 0)}, {ColumnId(0, 1)}};
+const OrderSpec kY{{ColumnId(0, 1)}};
+
+TEST(CandidateSet, DominatedOnArrivalIsPruned) {
+  CandidateSet set;
+  PrefixDomination dom;
+  ASSERT_TRUE(set.Insert(MakePlan(10.0, kX), dom));
+  // Costlier and asks for an order the incumbent already provides.
+  EXPECT_FALSE(set.Insert(MakePlan(20.0, kX), dom));
+  // Unordered newcomer costlier than an incumbent: any order satisfies the
+  // empty requirement, so it is pruned too.
+  EXPECT_FALSE(set.Insert(MakePlan(15.0), dom));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(CandidateSet, NewcomerEvictsWorseIncumbents) {
+  CandidateSet set;
+  PrefixDomination dom;
+  ASSERT_TRUE(set.Insert(MakePlan(10.0, kX), dom));
+  ASSERT_TRUE(set.Insert(MakePlan(8.0, kY), dom));
+  // Cheaper than both, and its order (x, y) satisfies x but not y.
+  EXPECT_TRUE(set.Insert(MakePlan(5.0, kXY), dom));
+  EXPECT_EQ(set.size(), 2u);
+  // The x-ordered incumbent is gone; the y-ordered one survives.
+  for (const PlanRef& p : set.plans()) {
+    EXPECT_NE(p->props.order, kX);
+  }
+}
+
+TEST(CandidateSet, IncomparableOrdersCoexist) {
+  CandidateSet set;
+  PrefixDomination dom;
+  EXPECT_TRUE(set.Insert(MakePlan(10.0, kX), dom));
+  EXPECT_TRUE(set.Insert(MakePlan(20.0, kY), dom));
+  // Costlier but provides an order nobody else has: retained.
+  EXPECT_EQ(set.size(), 2u);
+  // A cheap unordered plan doesn't evict ordered ones (its empty order
+  // satisfies neither x nor y)...
+  EXPECT_TRUE(set.Insert(MakePlan(1.0), dom));
+  EXPECT_EQ(set.size(), 3u);
+  // ...but any later unordered plan is dominated by it.
+  EXPECT_FALSE(set.Insert(MakePlan(2.0), dom));
+}
+
+TEST(CandidateSet, EqualCostTieFavorsIncumbent) {
+  CandidateSet set;
+  PrefixDomination dom;
+  ASSERT_TRUE(set.Insert(MakePlan(10.0, kX), dom));
+  // Same cost, same order: the arrival check (existing <= newcomer) fires
+  // before any eviction, so the incumbent stays.
+  EXPECT_FALSE(set.Insert(MakePlan(10.0, kX), dom));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(CandidateSet, CheapestReturnsFirstStrictMinimum) {
+  CandidateSet set;
+  PrefixDomination dom;
+  EXPECT_EQ(set.Cheapest(), nullptr);
+  PlanRef a = MakePlan(7.0, kX);
+  PlanRef b = MakePlan(7.0, kY);
+  ASSERT_TRUE(set.Insert(a, dom));
+  ASSERT_TRUE(set.Insert(b, dom));
+  ASSERT_TRUE(set.Insert(MakePlan(9.0, kXY), dom));
+  // Ties resolve to the earliest-inserted plan (min_element semantics).
+  EXPECT_EQ(set.Cheapest(), a);
+}
+
+TEST(Memo, GroupsAreKeyedByMaskAndRequiredOrder) {
+  Memo memo;
+  PrefixDomination dom;
+  memo.Group(0b01).Insert(MakePlan(1.0), dom);
+  memo.Group(0b10).Insert(MakePlan(2.0), dom);
+  memo.Group(0b01, kX).Insert(MakePlan(3.0), dom);
+  EXPECT_EQ(memo.group_count(), 3u);
+  ASSERT_NE(memo.FindGroup(0b01), nullptr);
+  EXPECT_EQ(memo.FindGroup(0b01)->size(), 1u);
+  EXPECT_EQ(memo.FindGroup(0b01)->Cheapest()->props.cost, 1.0);
+  ASSERT_NE(memo.FindGroup(0b01, kX), nullptr);
+  EXPECT_EQ(memo.FindGroup(0b01, kX)->Cheapest()->props.cost, 3.0);
+  EXPECT_EQ(memo.FindGroup(0b11), nullptr);
+}
+
+}  // namespace
+}  // namespace ordopt

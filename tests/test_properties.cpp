@@ -1,9 +1,10 @@
-// Stream-property propagation tests (§5.2.1): base tables, predicates,
-// sorts, joins, grouping, and projection.
+// Plan-property propagation tests (§5.2.1): base tables, predicates,
+// sorts, joins, grouping, projection, and the context-epoch identity that
+// keys the ReduceCache.
 
 #include <gtest/gtest.h>
 
-#include "properties/stream_properties.h"
+#include "properties/plan_properties.h"
 
 namespace ordopt {
 namespace {
@@ -25,29 +26,29 @@ std::unique_ptr<Table> MakeTable(const std::string& name, bool with_key) {
 
 TEST(Properties, BaseTable) {
   auto t = MakeTable("t", /*with_key=*/true);
-  StreamProperties props = BaseTableProperties(*t, 0);
+  PlanProperties props = BaseTableProperties(*t, 0);
   EXPECT_EQ(props.columns.size(), 3u);
   EXPECT_TRUE(props.keys.IsUniqueOn(ColumnSet{{0, 0}}));
   EXPECT_TRUE(props.order.empty());
   EXPECT_EQ(props.cardinality, 10.0);
   // The key's FD determines every column.
-  EXPECT_TRUE(props.fds.Determines(ColumnSet{{0, 0}}, {0, 2}, props.eq));
+  EXPECT_TRUE(props.fds().Determines(ColumnSet{{0, 0}}, {0, 2}, props.eq()));
 }
 
 TEST(Properties, ApplyPredicateUpdatesEqAndCardinality) {
   auto t = MakeTable("t", true);
-  StreamProperties props = BaseTableProperties(*t, 0);
+  PlanProperties props = BaseTableProperties(*t, 0);
   BoundExpr eq_const = BoundExpr::Binary(
       BinOp::kEq, BoundExpr::Column({0, 1}, DataType::kInt64, "y"),
       BoundExpr::Literal(Value::Int(2)), DataType::kInt64);
   ApplyPredicate(&props, ClassifyPredicate(std::move(eq_const)), 0.3);
-  EXPECT_TRUE(props.eq.IsConstant({0, 1}));
+  EXPECT_TRUE(props.eq().IsConstant({0, 1}));
   EXPECT_DOUBLE_EQ(props.cardinality, 3.0);
 }
 
 TEST(Properties, KeyBoundByPredicateGivesOneRecord) {
   auto t = MakeTable("t", true);
-  StreamProperties props = BaseTableProperties(*t, 0);
+  PlanProperties props = BaseTableProperties(*t, 0);
   BoundExpr eq_const = BoundExpr::Binary(
       BinOp::kEq, BoundExpr::Column({0, 0}, DataType::kInt64, "x"),
       BoundExpr::Literal(Value::Int(2)), DataType::kInt64);
@@ -57,9 +58,9 @@ TEST(Properties, KeyBoundByPredicateGivesOneRecord) {
 
 TEST(Properties, SortReplacesOrderOnly) {
   auto t = MakeTable("t", true);
-  StreamProperties props = BaseTableProperties(*t, 0);
+  PlanProperties props = BaseTableProperties(*t, 0);
   OrderSpec spec{{ColumnId(0, 1)}};
-  StreamProperties sorted = SortProperties(props, spec);
+  PlanProperties sorted = SortProperties(props, spec);
   EXPECT_EQ(sorted.order, spec);
   EXPECT_EQ(sorted.columns, props.columns);
   EXPECT_EQ(sorted.cardinality, props.cardinality);
@@ -68,48 +69,48 @@ TEST(Properties, SortReplacesOrderOnly) {
 TEST(Properties, JoinMergesAndPropagatesOuterOrder) {
   auto t1 = MakeTable("t1", true);
   auto t2 = MakeTable("t2", true);
-  StreamProperties outer = BaseTableProperties(*t1, 0);
+  PlanProperties outer = BaseTableProperties(*t1, 0);
   outer.order = OrderSpec{{ColumnId(0, 0)}};
-  StreamProperties inner = BaseTableProperties(*t2, 1);
+  PlanProperties inner = BaseTableProperties(*t2, 1);
   std::vector<std::pair<ColumnId, ColumnId>> pairs = {{{0, 0}, {1, 0}}};
-  StreamProperties joined =
+  PlanProperties joined =
       JoinProperties(outer, inner, pairs, /*preserves=*/true, 10.0);
   EXPECT_EQ(joined.columns.size(), 6u);
   EXPECT_EQ(joined.order, outer.order);
   // n-to-1 on inner key: outer key survives.
   EXPECT_TRUE(joined.keys.IsUniqueOn(ColumnSet{{0, 0}}));
   // Inner FDs visible after merge.
-  EXPECT_TRUE(joined.fds.Determines(ColumnSet{{1, 0}}, {1, 2}, joined.eq));
+  EXPECT_TRUE(joined.fds().Determines(ColumnSet{{1, 0}}, {1, 2}, joined.eq()));
 
-  StreamProperties hash_joined =
+  PlanProperties hash_joined =
       JoinProperties(outer, inner, pairs, /*preserves=*/false, 10.0);
   EXPECT_TRUE(hash_joined.order.empty());
 }
 
 TEST(Properties, GroupByMakesGroupColumnsAKey) {
   auto t = MakeTable("t", false);
-  StreamProperties input = BaseTableProperties(*t, 0);
+  PlanProperties input = BaseTableProperties(*t, 0);
   input.order = OrderSpec{{ColumnId(0, 1)}};
   ColumnSet aggs{{7, 0}};
-  StreamProperties grouped = GroupByProperties(
+  PlanProperties grouped = GroupByProperties(
       input, {ColumnId(0, 1)}, aggs, /*preserves_order=*/true, 3.0);
   EXPECT_TRUE(grouped.keys.IsUniqueOn(ColumnSet{{0, 1}}));
-  EXPECT_TRUE(grouped.fds.Determines(ColumnSet{{0, 1}}, {7, 0}, grouped.eq));
+  EXPECT_TRUE(grouped.fds().Determines(ColumnSet{{0, 1}}, {7, 0}, grouped.eq()));
   EXPECT_EQ(grouped.order, input.order);
   EXPECT_TRUE(grouped.columns.Contains({7, 0}));
   // Global aggregation: one record.
-  StreamProperties global =
+  PlanProperties global =
       GroupByProperties(input, {}, aggs, /*preserves_order=*/false, 1.0);
   EXPECT_TRUE(global.IsOneRecord());
 }
 
 TEST(Properties, ProjectionTruncatesOrder) {
   auto t = MakeTable("t", true);
-  StreamProperties props = BaseTableProperties(*t, 0);
+  PlanProperties props = BaseTableProperties(*t, 0);
   props.order = OrderSpec{{ColumnId(0, 0)}, {ColumnId(0, 2)},
                           {ColumnId(0, 1)}};
   ColumnSet visible{{0, 0}, {0, 1}};
-  StreamProperties projected = ProjectProperties(props, visible);
+  PlanProperties projected = ProjectProperties(props, visible);
   // Order truncated at the invisible z column.
   EXPECT_EQ(projected.order, (OrderSpec{{ColumnId(0, 0)}}));
   EXPECT_TRUE(projected.keys.IsUniqueOn(ColumnSet{{0, 0}}));
@@ -117,20 +118,54 @@ TEST(Properties, ProjectionTruncatesOrder) {
 
 TEST(Properties, ProjectionSubstitutesEquivalentColumn) {
   auto t = MakeTable("t", true);
-  StreamProperties props = BaseTableProperties(*t, 0);
-  props.eq.AddEquivalence({0, 2}, {0, 1});  // z = y applied
+  PlanProperties props = BaseTableProperties(*t, 0);
+  props.mutable_eq().AddEquivalence({0, 2}, {0, 1});  // z = y applied
   props.order = OrderSpec{{ColumnId(0, 2)}};
   ColumnSet visible{{0, 0}, {0, 1}};
-  StreamProperties projected = ProjectProperties(props, visible);
+  PlanProperties projected = ProjectProperties(props, visible);
   EXPECT_EQ(projected.order, (OrderSpec{{ColumnId(0, 1)}}));
 }
 
 TEST(Properties, DistinctAddsKey) {
   auto t = MakeTable("t", false);
-  StreamProperties input = BaseTableProperties(*t, 0);
+  PlanProperties input = BaseTableProperties(*t, 0);
   ColumnSet cols{{0, 1}, {0, 2}};
-  StreamProperties d = DistinctProperties(input, cols, true, 6.0);
+  PlanProperties d = DistinctProperties(input, cols, true, 6.0);
   EXPECT_TRUE(d.keys.IsUniqueOn(cols));
+}
+
+TEST(Properties, ContextEpochIsStableAcrossCalls) {
+  auto t = MakeTable("t", true);
+  PlanProperties props = BaseTableProperties(*t, 0);
+  OrderContext c1 = props.Context();
+  OrderContext c2 = props.Context();
+  EXPECT_NE(c1.epoch, 0u);
+  EXPECT_EQ(c1.epoch, c2.epoch);
+}
+
+TEST(Properties, CopiesShareEpochUntilMutated) {
+  auto t = MakeTable("t", true);
+  PlanProperties props = BaseTableProperties(*t, 0);
+  uint64_t epoch = props.Context().epoch;
+  PlanProperties copy = props;
+  // Identical content: the copy reuses the original's identity.
+  EXPECT_EQ(copy.Context().epoch, epoch);
+  // Mutation gives the copy a new identity; the original keeps its own.
+  copy.mutable_eq().AddEquivalence({0, 0}, {0, 1});
+  EXPECT_NE(copy.Context().epoch, epoch);
+  EXPECT_EQ(props.Context().epoch, epoch);
+}
+
+TEST(Properties, MutationInvalidatesEpoch) {
+  auto t = MakeTable("t", true);
+  PlanProperties props = BaseTableProperties(*t, 0);
+  uint64_t e1 = props.Context().epoch;
+  props.mutable_fds().Add(ColumnSet{{0, 1}}, ColumnSet{{0, 2}});
+  uint64_t e2 = props.Context().epoch;
+  EXPECT_NE(e1, e2);
+  // Distinct property objects never share an epoch unless copied.
+  PlanProperties other = BaseTableProperties(*t, 0);
+  EXPECT_NE(other.Context().epoch, e2);
 }
 
 }  // namespace
