@@ -12,6 +12,12 @@
 #                                         --plan-time into BENCH_plan.json and
 #                                         checks it against
 #                                         scripts/plan_baseline.json
+#        scripts/check.sh --verify-orders runs the tier-1 suites under
+#                                         asan-ubsan with runtime order
+#                                         verification (OrderCheckOp above
+#                                         every order/key-claiming operator)
+#                                         and reports the measured overhead
+#                                         vs an unverified run
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -65,6 +71,29 @@ if [ "${1:-}" = "--plan-bench" ]; then
   exit 0
 fi
 
+# Runtime order verification gate: the full tier-1 suite under sanitizers
+# with ORDOPT_VERIFY_ORDERS=1 — every operator claiming an order or key
+# property gets an OrderCheckOp on top, and any violated claim poisons the
+# query with kInternal (which the suites surface as failures). The
+# unverified run right before it yields a measured overhead figure
+# (informational: wall clock on a shared box is noisy).
+if [ "${1:-}" = "--verify-orders" ]; then
+  JOBS="${2:-$(nproc)}"
+  cmake --preset asan-ubsan >/dev/null
+  cmake --build --preset asan-ubsan -j "$JOBS"
+  echo "==> baseline suite [asan-ubsan]"
+  BASE_START=$(date +%s)
+  ctest --preset asan-ubsan -j "$JOBS"
+  BASE_SECS=$(( $(date +%s) - BASE_START ))
+  echo "==> verified suite [asan-ubsan, ORDOPT_VERIFY_ORDERS=1]"
+  VO_START=$(date +%s)
+  ORDOPT_VERIFY_ORDERS=1 ctest --preset asan-ubsan -j "$JOBS"
+  VO_SECS=$(( $(date +%s) - VO_START ))
+  echo "OK: zero order/key violations across the suite under verification"
+  echo "    overhead: ${VO_SECS}s verified vs ${BASE_SECS}s baseline"
+  exit 0
+fi
+
 JOBS="${1:-$(nproc)}"
 
 for preset in default asan-ubsan; do
@@ -75,6 +104,30 @@ for preset in default asan-ubsan; do
   echo "==> test [$preset]"
   ctest --preset "$preset" -j "$JOBS"
 done
+
+# Fuzz matrix gate: the randomized query fuzzer (including its
+# fault-injection suite) across several toy-database seeds, all with
+# runtime order verification enabled — every plan's claimed order and key
+# properties are checked row by row while the results are compared against
+# the reference evaluator.
+echo "==> fuzz matrix gate [default, ORDOPT_VERIFY_ORDERS=1]"
+for seed in 7 99 1234 4242 90001; do
+  echo "    db seed $seed"
+  ORDOPT_FUZZ_DB_SEED="$seed" ORDOPT_VERIFY_ORDERS=1 \
+    ./build/tests/test_query_fuzz >/dev/null
+done
+
+# Q3 under runtime order verification: the paper's flagship query must
+# report zero order/key violations end to end.
+echo "==> Q3 verify-orders gate [default]"
+echo "select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as rev, \
+o_orderdate, o_shippriority from customer, orders, lineitem \
+where o_orderkey = l_orderkey and c_custkey = o_custkey \
+and c_mktsegment = 'building' and o_orderdate < date('1995-03-15') \
+and l_shipdate > date('1995-03-15') \
+group by l_orderkey, o_orderdate, o_shippriority \
+order by rev desc, o_orderdate" |
+  ORDOPT_VERIFY_ORDERS=1 ./build/examples/ordopt_shell 0.01 >/dev/null
 
 # Spill-file leak gate: rerun the spill suite under sanitizers with a
 # tiny sort budget and a private temp dir (via ORDOPT_TMPDIR); any
@@ -136,6 +189,7 @@ fi
 
 plan_bench_gate
 
-echo "OK: both configurations build and pass; no spill files leaked;"
-echo "    trace export valid and within overhead budget; planning time"
-echo "    within the recorded baseline."
+echo "OK: both configurations build and pass; fuzz matrix and Q3 clean"
+echo "    under runtime order verification; no spill files leaked; trace"
+echo "    export valid and within overhead budget; planning time within"
+echo "    the recorded baseline."

@@ -43,6 +43,10 @@ Result<QueryResult> QueryEngine::Prepare(const std::string& sql, bool execute,
   result.plans_retained = planner.plans_retained();
   result.reduce_cache_hits = planner.reduce_cache_hits();
   result.reduce_cache_misses = planner.reduce_cache_misses();
+  // Mirrored into the runtime metrics so ToJson/ToString (and therefore the
+  // trace export's exec.metrics event) carry the planner's cache behavior.
+  result.metrics.reduce_cache_hits = planner.reduce_cache_hits();
+  result.metrics.reduce_cache_misses = planner.reduce_cache_misses();
   result.trace = trace;
   for (const OutputColumn& oc : query->root->outputs) {
     result.column_names.push_back(oc.name);
@@ -62,9 +66,19 @@ Result<QueryResult> QueryEngine::Prepare(const std::string& sql, bool execute,
     std::vector<OperatorProfile>* profile =
         (trace != nullptr && trace->collect_exec()) ? &result.op_profile
                                                     : nullptr;
+    // Runtime order verification: the config switch, with the
+    // ORDOPT_VERIFY_ORDERS environment variable as a default so whole test
+    // suites can run checked without touching call sites ("0" disables).
+    bool verify_orders = config_.verify_orders;
+    if (!verify_orders) {
+      const char* env = std::getenv("ORDOPT_VERIFY_ORDERS");
+      verify_orders = env != nullptr && env[0] != '\0' &&
+                      !(env[0] == '0' && env[1] == '\0');
+    }
     auto start = std::chrono::steady_clock::now();
     Result<std::vector<Row>> rows =
-        ExecutePlan(plan, &result.metrics, guard, &spill_config, profile);
+        ExecutePlan(plan, &result.metrics, guard, &spill_config, profile,
+                    verify_orders);
     auto end = std::chrono::steady_clock::now();
     result.elapsed_seconds =
         std::chrono::duration<double>(end - start).count();

@@ -2,6 +2,7 @@
 
 #include "common/fault_injection.h"
 #include "common/str_util.h"
+#include "exec/order_check.h"
 
 namespace ordopt {
 
@@ -125,6 +126,13 @@ Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan, ExecContext ctx) {
   if (ctx.op_registry != nullptr) {
     ctx.op_registry->push_back({plan.get(), built.get()});
   }
+  // Wrap after the registry push so EXPLAIN ANALYZE keeps pairing plan
+  // nodes with the operators that actually execute them; the checker is a
+  // pure pass-through observer of this node's asserted properties.
+  if (ctx.verify_orders &&
+      (!plan->props.order.empty() || !plan->props.keys.empty())) {
+    built = OperatorPtr(new OrderCheckOp(std::move(built), *plan, ctx));
+  }
   return built;
 }
 
@@ -132,7 +140,8 @@ Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
                                      RuntimeMetrics* metrics,
                                      QueryGuard* guard,
                                      const SpillConfig* spill_config,
-                                     std::vector<OperatorProfile>* profile) {
+                                     std::vector<OperatorProfile>* profile,
+                                     bool verify_orders) {
   // An unlimited local guard keeps the error channel available (poison,
   // fault injection) even for callers that configured no limits.
   QueryGuard local_guard;
@@ -147,6 +156,7 @@ Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
   }
 
   ExecContext ctx(metrics, guard, spill.get());
+  ctx.verify_orders = verify_orders;
   std::vector<std::pair<const PlanNode*, Operator*>> registry;
   if (profile != nullptr) {
     ctx.collect_op_stats = true;

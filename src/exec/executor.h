@@ -37,13 +37,17 @@ struct OperatorProfile {
 /// keeps every sort in memory. When `profile` is non-null the run collects
 /// per-operator stats (EXPLAIN ANALYZE): every Open()/Next() is timed and
 /// the profiles — one per plan node, post-order — are appended on the way
-/// out, whether or not execution succeeded.
+/// out, whether or not execution succeeded. With `verify_orders` set, every
+/// operator whose plan node claims a non-empty order or key property runs
+/// under an OrderCheckOp (see exec/order_check.h) and a violated claim
+/// fails the query with kInternal.
 Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
                                      RuntimeMetrics* metrics,
                                      QueryGuard* guard = nullptr,
                                      const SpillConfig* spill_config = nullptr,
                                      std::vector<OperatorProfile>* profile =
-                                         nullptr);
+                                         nullptr,
+                                     bool verify_orders = false);
 
 }  // namespace ordopt
 

@@ -9,7 +9,8 @@ std::string RuntimeMetrics::ToString() const {
       "rows=%lld scanned=%lld cmp=%lld seq_pages=%lld rand_pages=%lld "
       "probes=%lld sorts=%lld rows_sorted=%lld buf_rows_peak=%lld "
       "buf_bytes_peak=%lld spill_runs=%lld spill_rows=%lld "
-      "spill_bytes=%lld spill_retries=%lld sim_io=%.3fs sim_cpu=%.3fs",
+      "spill_bytes=%lld spill_retries=%lld reduce_hits=%lld "
+      "reduce_misses=%lld sim_io=%.3fs sim_cpu=%.3fs",
       static_cast<long long>(rows_produced),
       static_cast<long long>(rows_scanned),
       static_cast<long long>(comparisons),
@@ -22,7 +23,9 @@ std::string RuntimeMetrics::ToString() const {
       static_cast<long long>(bytes_buffered_peak),
       static_cast<long long>(spill_runs), static_cast<long long>(spill_rows),
       static_cast<long long>(spill_bytes),
-      static_cast<long long>(spill_retries), SimulatedIoSeconds(),
+      static_cast<long long>(spill_retries),
+      static_cast<long long>(reduce_cache_hits),
+      static_cast<long long>(reduce_cache_misses), SimulatedIoSeconds(),
       SimulatedCpuSeconds());
 }
 
@@ -33,7 +36,8 @@ std::string RuntimeMetrics::ToJson() const {
       "\"sorts_performed\":%lld,\"rows_sorted\":%lld,"
       "\"rows_buffered_peak\":%lld,\"bytes_buffered_peak\":%lld,"
       "\"spill_runs\":%lld,\"spill_rows\":%lld,\"spill_bytes\":%lld,"
-      "\"spill_retries\":%lld,\"sim_io_seconds\":%.6g,"
+      "\"spill_retries\":%lld,\"reduce_cache_hits\":%lld,"
+      "\"reduce_cache_misses\":%lld,\"sim_io_seconds\":%.6g,"
       "\"sim_cpu_seconds\":%.6g,\"sim_elapsed_seconds\":%.6g}",
       static_cast<long long>(rows_produced),
       static_cast<long long>(rows_scanned),
@@ -47,7 +51,9 @@ std::string RuntimeMetrics::ToJson() const {
       static_cast<long long>(bytes_buffered_peak),
       static_cast<long long>(spill_runs), static_cast<long long>(spill_rows),
       static_cast<long long>(spill_bytes),
-      static_cast<long long>(spill_retries), SimulatedIoSeconds(),
+      static_cast<long long>(spill_retries),
+      static_cast<long long>(reduce_cache_hits),
+      static_cast<long long>(reduce_cache_misses), SimulatedIoSeconds(),
       SimulatedCpuSeconds(), SimulatedElapsedSeconds());
 }
 

@@ -36,6 +36,12 @@ struct RuntimeMetrics {
   int64_t spill_bytes = 0;
   /// Spill I/O attempts that were retried after a transient failure.
   int64_t spill_retries = 0;
+  /// Reduce-cache statistics of the optimization that produced this
+  /// query's plan (copied from the planner by the engine so trace export
+  /// and the plan-bench gate see cache behavior alongside the runtime
+  /// counters). 0/0 when the query was executed from a prebuilt plan.
+  int64_t reduce_cache_hits = 0;
+  int64_t reduce_cache_misses = 0;
 
   /// Simulated I/O time with 1996-style disk parameters: a random page
   /// pays a seek (~8 ms); sequential pages stream with big-block prefetch

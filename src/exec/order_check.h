@@ -1,0 +1,102 @@
+#ifndef ORDOPT_EXEC_ORDER_CHECK_H_
+#define ORDOPT_EXEC_ORDER_CHECK_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/operators.h"
+#include "optimizer/plan.h"
+
+namespace ordopt {
+
+/// Runtime verification of a plan node's asserted stream properties
+/// (OptimizerConfig::verify_orders). BuildOperatorTree wraps every operator
+/// whose PlanProperties claim a non-empty order or key property in one of
+/// these; the wrapper passes rows through untouched (it copies only the
+/// checked key/order column Values, never whole rows) and poisons the guard
+/// with kInternal — naming the operator, the claimed specification, and the
+/// violating row pair — the moment the stream disobeys a claim. This turns
+/// every "sort avoided because the order property already satisfies the
+/// requirement" planner decision into a checked assertion.
+///
+/// What is checked, and how claims are resolved against the child layout:
+///  - Order property: each claimed column resolves to a layout position,
+///    falling back to a visible member of its equivalence class (order
+///    claims may be stated on a class head the stream no longer carries).
+///    The claim is truncated at the first unresolvable column — a prefix
+///    check is still a sound check of a weaker claim. Adjacent rows are
+///    compared with Value::Compare (NULLs first, DESC flips), the same
+///    total order SortOp and the merge operators use.
+///  - Key property: every claimed key whose columns all resolve is checked
+///    for uniqueness with a hash set of seen key tuples; NULL participates
+///    as an ordinary value (the engine's total order treats NULLs equal).
+///    The one-record condition (empty key) asserts the stream produces at
+///    most one row.
+///
+/// The checker is deliberately invisible to everything else: it touches no
+/// RuntimeMetrics counters, is skipped by the op-stats registry, and its
+/// seen-keys memory is not charged against the query guard's buffer limits
+/// (verification is a debug mode; tripping a caller's buffer guardrail
+/// would change behavior under test).
+class OrderCheckOp : public Operator {
+ public:
+  /// `node` is the plan node whose properties are being verified; only its
+  /// label and property bundle are read (and copied) at construction.
+  OrderCheckOp(OperatorPtr child, const PlanNode& node, ExecContext ctx);
+
+  void OpenImpl() override;
+  bool NextImpl(Row* out) override;
+  void Close() override;
+
+ private:
+  struct KeyTupleHash {
+    size_t operator()(const std::vector<Value>& key) const;
+  };
+  struct KeyTupleEq {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const;
+  };
+
+  /// One claimed key with its columns resolved to layout positions.
+  struct KeyCheck {
+    ColumnSet claimed;
+    std::vector<int> positions;  ///< empty for the one-record condition
+    std::unordered_set<std::vector<Value>, KeyTupleHash, KeyTupleEq> seen;
+  };
+
+  /// Formats `row` restricted to the checked columns for diagnostics.
+  std::string RenderRow(const Row& row, const std::vector<int>& positions)
+      const;
+  bool CheckOrder(const Row& row);
+  bool CheckKeys(const Row& row);
+
+  OperatorPtr child_;
+  std::string op_label_;   ///< NodeLabel of the wrapped plan node
+  OrderSpec claimed_;      ///< order claim as asserted by the planner
+  OrderSpec checked_;      ///< resolvable prefix actually verified
+  std::vector<int> positions_;
+  std::vector<bool> descending_;
+  std::vector<KeyCheck> keys_;
+
+  std::vector<Value> prev_key_;  ///< previous row's checked order columns
+  bool has_prev_ = false;
+  int64_t row_index_ = 0;
+};
+
+/// Statistics of the checks a verified execution performed, for tests and
+/// the --verify-orders gate's report (process-wide, reset manually).
+struct OrderCheckStats {
+  int64_t operators_checked = 0;  ///< OrderCheckOp instances constructed
+  int64_t rows_checked = 0;       ///< rows that passed through checkers
+  int64_t violations = 0;         ///< claims found violated
+
+  void Reset() { *this = OrderCheckStats(); }
+};
+
+/// Global check statistics (single-threaded execution, like TraceCollector).
+OrderCheckStats& GlobalOrderCheckStats();
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_EXEC_ORDER_CHECK_H_

@@ -238,6 +238,12 @@ struct ExecContext {
   /// in post-order so the engine can pair each operator's stats with the
   /// plan node that produced it. Owned by ExecutePlan.
   std::vector<std::pair<const PlanNode*, Operator*>>* op_registry = nullptr;
+  /// Runtime order verification (OptimizerConfig::verify_orders): every
+  /// operator whose plan node claims a non-empty order or key property is
+  /// wrapped in an OrderCheckOp that poisons the guard with kInternal the
+  /// moment the stream disobeys the claim. Checker operators are invisible
+  /// to op_registry, metrics, and the guard's buffer accounting.
+  bool verify_orders = false;
 
   bool GuardOk() const { return guard == nullptr || guard->ok(); }
 

@@ -79,8 +79,9 @@ std::vector<PlanRef> Planner::FinishSelectBox(
                                            /*preserves_order=*/true, dcard);
           node->props.cost = v->props.cost + cost_model_.StreamGroupByCost(
                                                  v->props.cardinality, 0);
-          InsertCandidate(&next, node);
-        } else {
+          FinalInsert(&next, node);
+        }
+        if (!adjacent || enumerate_keep_all_) {
           // Sort-based distinct.
           OrderSpec spec;
           if (config_.enable_order_optimization) {
@@ -114,39 +115,54 @@ std::vector<PlanRef> Planner::FinishSelectBox(
             node->props.cost =
                 sorted->props.cost +
                 cost_model_.StreamGroupByCost(sorted->props.cardinality, 0);
-            InsertCandidate(&next, node);
+            FinalInsert(&next, node);
           }
           // Hash distinct.
-          if (!config_.enable_hash_grouping) continue;
-          auto node = std::make_shared<PlanNode>();
-          node->kind = OpKind::kHashDistinct;
-          node->distinct_columns = out_cols;
-          node->children = {v};
-          node->props = DistinctProperties(v->props, out_cols,
-                                           /*preserves_order=*/false, dcard);
-          node->props.cost = v->props.cost + cost_model_.HashGroupByCost(
-                                                 v->props.cardinality, 0);
-          InsertCandidate(&next, node);
+          if (config_.enable_hash_grouping) {
+            auto node = std::make_shared<PlanNode>();
+            node->kind = OpKind::kHashDistinct;
+            node->distinct_columns = out_cols;
+            node->children = {v};
+            node->props = DistinctProperties(v->props, out_cols,
+                                             /*preserves_order=*/false, dcard);
+            node->props.cost = v->props.cost + cost_model_.HashGroupByCost(
+                                                   v->props.cardinality, 0);
+            FinalInsert(&next, node);
+          }
         }
       }
       variants = std::move(next.mutable_plans());
     }
 
-    for (PlanRef v : variants) {
-      bool limited = box->limit >= 0;
+    for (const PlanRef& variant : variants) {
       bool output_sat = info.required_output.empty() ||
-                        OrderSatisfied(info.required_output, *v);
+                        OrderSatisfied(info.required_output, *variant);
       if (!info.required_output.empty()) {
-        TraceOrderTest("select.output", info.required_output, *v, output_sat);
+        TraceOrderTest("select.output", info.required_output, *variant,
+                       output_sat);
         if (output_sat) {
-          TraceSortDecision("select.output", info.required_output, *v,
+          TraceSortDecision("select.output", info.required_output, *variant,
                             /*avoided=*/true, nullptr);
         }
       }
-      if (!output_sat) {
-        OrderSpec spec = SortSpecFor(info.required_output, *v);
+      // Plans with the output order enforced, paired with whether a LIMIT
+      // is still pending on top. Enumeration mode routes one variant more
+      // than one way: the avoided sort's explicit-sort sibling and the
+      // Top-N's sort+limit sibling are the §4 alternatives the
+      // differential oracle cross-checks against the optimized choice.
+      std::vector<std::pair<PlanRef, bool>> routed;
+      bool limited = box->limit >= 0;
+      if (output_sat) {
+        routed.emplace_back(variant, limited);
+        if (enumerate_keep_all_ && !info.required_output.empty()) {
+          OrderSpec spec = SortSpecFor(info.required_output, *variant);
+          if (spec.empty()) spec = info.required_output;
+          routed.emplace_back(MakeSort(variant, spec), limited);
+        }
+      } else {
+        OrderSpec spec = SortSpecFor(info.required_output, *variant);
         if (spec.empty()) spec = info.required_output;
-        TraceSortDecision("select.output", info.required_output, *v,
+        TraceSortDecision("select.output", info.required_output, *variant,
                           /*avoided=*/false, &spec);
         if (limited) {
           // ORDER BY + LIMIT fuse into a bounded-heap Top-N.
@@ -154,47 +170,53 @@ std::vector<PlanRef> Planner::FinishSelectBox(
           node->kind = OpKind::kTopN;
           node->sort_spec = spec;
           node->limit = box->limit;
-          node->children = {v};
-          node->props = SortProperties(v->props, spec);
+          node->children = {variant};
+          node->props = SortProperties(variant->props, spec);
           node->props.cardinality = std::min(
-              v->props.cardinality, static_cast<double>(box->limit));
-          double n = std::max(2.0, v->props.cardinality);
+              variant->props.cardinality, static_cast<double>(box->limit));
+          double n = std::max(2.0, variant->props.cardinality);
           double k = std::max(2.0, static_cast<double>(box->limit));
-          node->props.cost = v->props.cost +
+          node->props.cost = variant->props.cost +
                              n * std::log2(std::min(n, k)) *
                                  cost_model_.params().cpu_compare_cost *
                                  (0.5 + 0.5 * static_cast<double>(spec.size()));
-          v = node;
-          limited = false;  // the Top-N already enforced the limit
+          // The Top-N already enforced the limit.
+          routed.emplace_back(std::move(node), false);
+          if (enumerate_keep_all_) {
+            routed.emplace_back(MakeSort(variant, spec), true);
+          }
         } else {
-          v = MakeSort(v, spec);
+          routed.emplace_back(MakeSort(variant, spec), false);
         }
       }
-      if (!all_passthrough) {
-        auto node = std::make_shared<PlanNode>();
-        node->kind = OpKind::kProject;
-        node->projections = box->outputs;
-        node->children = {v};
-        node->props = ProjectProperties(v->props, box->OutputColumns());
-        node->props.columns = box->OutputColumns();
-        node->props.cost = v->props.cost +
-                           v->props.cardinality *
-                               cost_model_.params().cpu_eval_cost *
-                               static_cast<double>(box->outputs.size());
-        v = node;
+      for (std::pair<PlanRef, bool>& r : routed) {
+        PlanRef v = std::move(r.first);
+        if (!all_passthrough) {
+          auto node = std::make_shared<PlanNode>();
+          node->kind = OpKind::kProject;
+          node->projections = box->outputs;
+          node->children = {v};
+          node->props = ProjectProperties(v->props, box->OutputColumns());
+          node->props.columns = box->OutputColumns();
+          node->props.cost = v->props.cost +
+                             v->props.cardinality *
+                                 cost_model_.params().cpu_eval_cost *
+                                 static_cast<double>(box->outputs.size());
+          v = node;
+        }
+        if (r.second) {
+          auto node = std::make_shared<PlanNode>();
+          node->kind = OpKind::kLimit;
+          node->limit = box->limit;
+          node->children = {v};
+          node->props = v->props;
+          node->props.cardinality = std::min(
+              v->props.cardinality, static_cast<double>(box->limit));
+          node->props.cost = v->props.cost;
+          v = node;
+        }
+        FinalInsert(&finished, std::move(v));
       }
-      if (limited) {
-        auto node = std::make_shared<PlanNode>();
-        node->kind = OpKind::kLimit;
-        node->limit = box->limit;
-        node->children = {v};
-        node->props = v->props;
-        node->props.cardinality = std::min(
-            v->props.cardinality, static_cast<double>(box->limit));
-        node->props.cost = v->props.cost;
-        v = node;
-      }
-      InsertCandidate(&finished, std::move(v));
     }
   }
   plans_retained_ += static_cast<int64_t>(finished.size());
@@ -254,8 +276,9 @@ Result<std::vector<PlanRef>> Planner::PlanGroupByBox(const QgmBox* box) {
       node->props.cost = child->props.cost +
                          cost_model_.StreamGroupByCost(
                              child->props.cardinality, box->aggregates.size());
-      InsertCandidate(&out, node);
-    } else {
+      FinalInsert(&out, node);
+    }
+    if (!grouped_input || enumerate_keep_all_) {
       // Sort + streaming aggregation.
       std::vector<OrderSpec> specs;
       if (config_.enable_order_optimization) {
@@ -290,22 +313,24 @@ Result<std::vector<PlanRef>> Planner::PlanGroupByBox(const QgmBox* box) {
                            cost_model_.StreamGroupByCost(
                                sorted->props.cardinality,
                                box->aggregates.size());
-        InsertCandidate(&out, node);
+        FinalInsert(&out, node);
       }
       // Hash aggregation.
-      if (!config_.enable_hash_grouping) continue;
-      auto node = std::make_shared<PlanNode>();
-      node->kind = OpKind::kHashGroupBy;
-      node->group_columns = box->group_columns;
-      node->aggregates = box->aggregates;
-      node->children = {child};
-      node->props = GroupByProperties(child->props, box->group_columns,
-                                      agg_outputs, /*preserves_order=*/false,
-                                      card);
-      node->props.cost = child->props.cost +
-                         cost_model_.HashGroupByCost(child->props.cardinality,
-                                                     box->aggregates.size());
-      InsertCandidate(&out, node);
+      if (config_.enable_hash_grouping) {
+        auto node = std::make_shared<PlanNode>();
+        node->kind = OpKind::kHashGroupBy;
+        node->group_columns = box->group_columns;
+        node->aggregates = box->aggregates;
+        node->children = {child};
+        node->props = GroupByProperties(child->props, box->group_columns,
+                                        agg_outputs,
+                                        /*preserves_order=*/false, card);
+        node->props.cost = child->props.cost +
+                           cost_model_.HashGroupByCost(
+                               child->props.cardinality,
+                               box->aggregates.size());
+        FinalInsert(&out, node);
+      }
     }
   }
   plans_retained_ += static_cast<int64_t>(out.size());
@@ -484,7 +509,7 @@ Result<std::vector<PlanRef>> Planner::PlanUnionBox(const QgmBox* box) {
       node->props.cost = v->props.cost;
       v = node;
     }
-    InsertCandidate(&finished, std::move(v));
+    FinalInsert(&finished, std::move(v));
   }
   plans_retained_ += static_cast<int64_t>(finished.size());
   return std::move(finished.mutable_plans());

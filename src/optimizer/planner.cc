@@ -38,6 +38,12 @@ Planner::Planner(const Query& query, OptimizerConfig config,
 bool Planner::OrderSatisfied(const OrderSpec& interesting,
                              const PlanNode& plan) const {
   if (interesting.empty()) return true;
+  // Mutation seam for the verification oracles: a deliberately wrong test
+  // injected here corrupts every order-driven decision (domination, sort
+  // avoidance, stream grouping), and the oracles must catch the fallout.
+  if (config_.order_test_override != nullptr) {
+    return config_.order_test_override->Satisfies(interesting, plan);
+  }
   if (!config_.enable_order_optimization) {
     return NaiveSatisfied(interesting, plan.props.order);
   }
@@ -79,6 +85,15 @@ OrderSpec Planner::SortSpecFor(const OrderSpec& interesting,
 bool Planner::InsertCandidate(CandidateSet* candidates, PlanRef plan) {
   ++plans_generated_;
   return candidates->Insert(std::move(plan), domination_);
+}
+
+void Planner::FinalInsert(CandidateSet* candidates, PlanRef plan) {
+  if (enumerate_keep_all_) {
+    ++plans_generated_;
+    candidates->mutable_plans().push_back(std::move(plan));
+    return;
+  }
+  InsertCandidate(candidates, std::move(plan));
 }
 
 // ---------------------------------------------------------------------------
@@ -150,6 +165,22 @@ Result<std::vector<PlanRef>> Planner::PlanBox(const QgmBox* box) {
   return PlanSelectBox(box);
 }
 
+// Finishes a root-group candidate the way the chosen plan is finished:
+// anything that is not already the output Project gets wrapped in one, so
+// every enumerated candidate produces the query's declared output columns.
+PlanRef Planner::FinishRootCandidate(PlanRef candidate) const {
+  if (candidate->kind == OpKind::kProject) return candidate;
+  auto node = std::make_shared<PlanNode>();
+  node->kind = OpKind::kProject;
+  node->projections = query_.root->outputs;
+  node->children = {candidate};
+  node->props = ProjectProperties(candidate->props,
+                                  query_.root->OutputColumns());
+  node->props.columns = query_.root->OutputColumns();
+  node->props.cost = candidate->props.cost;
+  return node;
+}
+
 Result<PlanRef> Planner::BuildPlan() {
   ORDOPT_ASSIGN_OR_RETURN(std::vector<PlanRef> candidates,
                           PlanBox(query_.root));
@@ -158,17 +189,7 @@ Result<PlanRef> Planner::BuildPlan() {
                                    [](const PlanRef& a, const PlanRef& b) {
                                      return a->props.cost < b->props.cost;
                                    });
-  if (best->kind != OpKind::kProject) {
-    auto node = std::make_shared<PlanNode>();
-    node->kind = OpKind::kProject;
-    node->projections = query_.root->outputs;
-    node->children = {best};
-    node->props = ProjectProperties(best->props,
-                                    query_.root->OutputColumns());
-    node->props.columns = query_.root->OutputColumns();
-    node->props.cost = best->props.cost;
-    best = node;
-  }
+  best = FinishRootCandidate(std::move(best));
   if (tracing()) {
     trace_->Add("optimizer", "plan.chosen")
         .SetDouble("est_cost", best->props.cost)
@@ -180,6 +201,31 @@ Result<PlanRef> Planner::BuildPlan() {
         .SetInt("reduce_cache_misses", reduce_cache_.misses());
   }
   return best;
+}
+
+Result<std::vector<PlanRef>> Planner::EnumerateAllPlans(size_t budget) {
+  // Enumeration mode: the finishers' FinalInsert keeps every survivor of
+  // the memo's interior domination instead of collapsing the finished set
+  // (identical order after the output sort ⇒ cost-only domination would
+  // leave exactly one plan).
+  enumerate_keep_all_ = true;
+  Result<std::vector<PlanRef>> enumerated = PlanBox(query_.root);
+  enumerate_keep_all_ = false;
+  if (!enumerated.ok()) return enumerated.status();
+  std::vector<PlanRef> candidates = std::move(enumerated).value();
+  ORDOPT_CHECK(!candidates.empty());
+  // Winner first (ties break toward the earliest candidate, matching
+  // min_element in BuildPlan), then the survivors in enumeration order.
+  size_t best = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i]->props.cost < candidates[best]->props.cost) best = i;
+  }
+  std::swap(candidates[0], candidates[best]);
+  if (candidates.size() > budget) candidates.resize(budget);
+  for (PlanRef& plan : candidates) {
+    plan = FinishRootCandidate(std::move(plan));
+  }
+  return candidates;
 }
 
 }  // namespace ordopt

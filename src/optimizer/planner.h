@@ -66,6 +66,21 @@ struct OptimizerConfig {
   /// JSON after execution. The ORDOPT_TRACE environment variable supplies
   /// a default when this is empty.
   std::string trace_path;
+  /// Runtime order verification: execute every query with an OrderCheckOp
+  /// above each operator whose plan properties claim a non-empty order or
+  /// key property, failing the query with kInternal on the first violated
+  /// claim (see exec/order_check.h). The ORDOPT_VERIFY_ORDERS environment
+  /// variable (any non-empty value except "0") supplies a default when
+  /// this is false.
+  bool verify_orders = false;
+  /// Testing-only seam for the plan-space oracle's mutation check: when
+  /// non-null, replaces the planner's order-satisfaction test (Test Order /
+  /// naive prefix) everywhere it drives decisions — candidate domination,
+  /// sort avoidance, stream-vs-sort grouping. Deliberately wrong
+  /// implementations let tests prove the differential and runtime oracles
+  /// catch the resulting plans. Must outlive the planner. Never set in
+  /// production configs.
+  const OrderDomination* order_test_override = nullptr;
 };
 
 /// Cost-based bottom-up planner (§5.2): walks the QGM box tree, runs
@@ -83,6 +98,15 @@ class Planner {
   /// Plans the whole query; the returned plan's root is a Project with the
   /// query's output columns.
   Result<PlanRef> BuildPlan();
+
+  /// Plan-space enumeration for the differential oracle: every candidate
+  /// that survived (cost, order) domination at the root group, each
+  /// finished with the query's output projection exactly as BuildPlan
+  /// finishes its winner. The winner comes first; the rest follow in
+  /// enumeration order, truncated to `budget` plans. Every returned plan
+  /// must produce the same rows (modulo order the query didn't request) —
+  /// the oracle executes them all and fails on any divergence.
+  Result<std::vector<PlanRef>> EnumerateAllPlans(size_t budget = 64);
 
   /// Join-enumeration effort counters (for the §5.2 complexity study).
   int64_t plans_generated() const { return plans_generated_; }
@@ -114,6 +138,11 @@ class Planner {
   };
 
   Result<std::vector<PlanRef>> PlanBox(const QgmBox* box);
+
+  // Wraps a root-group candidate in the query's output Project when it is
+  // not one already; shared by BuildPlan and EnumerateAllPlans so every
+  // candidate the oracle executes has the chosen plan's output shape.
+  PlanRef FinishRootCandidate(PlanRef candidate) const;
 
   // --- planner.cc: orchestration ------------------------------------------
   Result<std::vector<PlanRef>> PlanSelectBox(const QgmBox* box);
@@ -172,6 +201,14 @@ class Planner {
   // candidate set.
   bool InsertCandidate(CandidateSet* candidates, PlanRef plan);
 
+  // Insertion used at the *final* (root-facing) candidate sets of the box
+  // finishers. Normally identical to InsertCandidate; in enumeration mode
+  // (EnumerateAllPlans) it keeps every plan, because after the output
+  // order is enforced all finished plans carry the same order property and
+  // cost-only domination would collapse the plan space to one winner —
+  // exactly the alternatives the differential oracle needs to execute.
+  void FinalInsert(CandidateSet* candidates, PlanRef plan);
+
   PlanRef MakeSort(PlanRef input, OrderSpec spec);
   PlanRef MakeFilter(PlanRef input, std::vector<Predicate> preds,
                      const QgmBox* box);
@@ -206,6 +243,9 @@ class Planner {
   /// where memoization pays off.
   mutable ReduceCache reduce_cache_;
   PlannerDomination domination_{this};
+  /// True only inside EnumerateAllPlans: FinalInsert keeps every finished
+  /// candidate instead of letting cost domination pick one winner.
+  bool enumerate_keep_all_ = false;
 };
 
 }  // namespace ordopt

@@ -1,0 +1,75 @@
+// Metamorphic oracle for the §4 order operations. The operations' contracts
+// are statements about *streams*: Reduce must preserve the induced ordering
+// exactly, a true Test verdict means every stream ordered by the property is
+// ordered by the interesting order, a Cover must imply both of its inputs,
+// and a Homogenization must imply the original order once the future
+// equivalences hold. This oracle makes those contracts executable by brute
+// force: enumerate a small tuple domain consistent with an
+// EquivalenceClasses + FD context, then check the claimed implication over
+// every tuple pair. No knowledge of the operations' implementations is used
+// — only their advertised semantics — so an implementation bug and the
+// oracle cannot share a blind spot.
+
+#ifndef ORDOPT_TESTS_ORDER_SEMANTICS_ORACLE_H_
+#define ORDOPT_TESTS_ORDER_SEMANTICS_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "orderopt/operations.h"
+
+namespace ordopt {
+
+/// A concrete tuple domain over a fixed column universe. Every tuple
+/// assigns one int value per column (parallel to `columns`), and the whole
+/// set is consistent with the context it was built from: equivalent columns
+/// hold equal values in every tuple, constant-bound columns hold their
+/// constant, and every functional dependency holds across every tuple pair.
+struct SemanticsDomain {
+  std::vector<ColumnId> columns;
+  std::vector<std::vector<int64_t>> tuples;
+};
+
+/// Builds a domain consistent with `ctx` by enumerating value vectors over
+/// {0..value_count-1}^columns, dropping tuples that violate a per-tuple
+/// constraint (equivalences, constants), then greedily keeping a maximal
+/// prefix-consistent subset under the FDs. Constant bindings must be
+/// integers inside the value range, or no tuple will satisfy them.
+SemanticsDomain BuildSemanticsDomain(const std::vector<ColumnId>& columns,
+                                     const OrderContext& ctx,
+                                     int64_t value_count);
+
+/// Lexicographic three-way comparison of tuples `a`, `b` under `spec`
+/// (descending elements flip the comparison; columns absent from the
+/// domain are skipped).
+int CompareUnder(const SemanticsDomain& domain, const OrderSpec& spec,
+                 size_t a, size_t b);
+
+/// "" when ordering by `stronger` forces the ordering of `weaker` over the
+/// whole domain: for every tuple pair, stronger<0 implies weaker<=0 and
+/// stronger==0 implies weaker==0 (ties under the stronger order may emit
+/// in any sequence, so they must also be ties under the weaker one).
+/// Non-empty: a human-readable counterexample.
+std::string CheckImplication(const SemanticsDomain& domain,
+                             const OrderSpec& stronger,
+                             const OrderSpec& weaker);
+
+/// "" when the two specs induce the identical ordering over the domain
+/// (same comparison sign on every pair) — the Reduce Order contract.
+std::string CheckEquivalentOrders(const SemanticsDomain& domain,
+                                  const OrderSpec& s1, const OrderSpec& s2);
+
+/// Runs the full §4 contract battery for one context: Reduce on every
+/// spec, Test on every (interesting, property) pair, Cover on every spec
+/// pair, and Homogenize of every spec onto `targets` through
+/// `substitution_eq` (checked over a domain rebuilt under the future
+/// context, where the substitution equivalences hold). Returns one
+/// counterexample string per violated contract; empty means all hold.
+std::vector<std::string> VerifyOperationSemantics(
+    const std::vector<ColumnId>& columns, const OrderContext& ctx,
+    const std::vector<OrderSpec>& specs, const ColumnSet& targets,
+    const EquivalenceClasses& substitution_eq, int64_t value_count = 3);
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_TESTS_ORDER_SEMANTICS_ORACLE_H_

@@ -1,0 +1,237 @@
+#include "plan_space_oracle.h"
+
+#include <algorithm>
+
+#include "common/trace.h"
+#include "exec/executor.h"
+#include "optimizer/planner.h"
+#include "parser/parser.h"
+#include "qgm/binder.h"
+#include "qgm/rewrite.h"
+#include "query_test_util.h"
+
+namespace ordopt {
+namespace {
+
+// Upper bound on the rows the naive reference evaluator would materialize
+// for `box`: cartesian products multiply, unions add, group-by defers to
+// its input. Used only as a feasibility gate, so overestimating is fine.
+double ReferenceRowBound(const QgmBox* box) {
+  if (box->kind == QgmBox::Kind::kUnion) {
+    double total = 0;
+    for (const Quantifier& q : box->quantifiers) {
+      total += ReferenceRowBound(q.input);
+    }
+    return total;
+  }
+  if (box->kind == QgmBox::Kind::kGroupBy) {
+    return ReferenceRowBound(box->quantifiers[0].input);
+  }
+  double product = 1;
+  for (const Quantifier& q : box->quantifiers) {
+    product *= q.IsBase() ? static_cast<double>(q.table->rows().size())
+                          : ReferenceRowBound(q.input);
+  }
+  for (const OuterJoinStep& step : box->outer_joins) {
+    product *= step.quantifier.IsBase()
+                   ? static_cast<double>(step.quantifier.table->rows().size())
+                   : ReferenceRowBound(step.quantifier.input);
+  }
+  return product;
+}
+
+// The prefix of the query's ORDER BY that is visible in the output layout —
+// the part of the requirement the result rows themselves can witness (the
+// same convention the integration tests use).
+OrderSpec CheckableOrder(const QgmBox* root,
+                         const std::vector<ColumnId>& layout) {
+  ExprEvaluator eval(layout);
+  OrderSpec checkable;
+  for (const OrderElement& e : root->output_order_requirement) {
+    if (eval.PositionOf(e.col) < 0) break;
+    checkable.Append(e);
+  }
+  return checkable;
+}
+
+// Projects each row onto the checkable order columns. Under LIMIT only the
+// order-column values are deterministic across plans (ties free the engine
+// to pick different rows), so the differential comparison for limited
+// queries runs over this projection.
+std::vector<Row> ProjectOrderColumns(const std::vector<Row>& rows,
+                                     const std::vector<ColumnId>& layout,
+                                     const OrderSpec& order) {
+  ExprEvaluator eval(layout);
+  std::vector<int> positions;
+  for (const OrderElement& e : order) {
+    positions.push_back(eval.PositionOf(e.col));
+  }
+  std::vector<Row> projected;
+  projected.reserve(rows.size());
+  for (const Row& row : rows) {
+    Row p;
+    for (int pos : positions) p.push_back(row[static_cast<size_t>(pos)]);
+    projected.push_back(std::move(p));
+  }
+  return projected;
+}
+
+std::string RenderTrace(const TraceCollector& trace) {
+  std::string out;
+  for (const TraceEvent& e : trace.events()) {
+    out += "  " + e.ToShortString() + "\n";
+  }
+  return out;
+}
+
+std::string Divergence(const std::string& name, const std::string& what,
+                       const PlanRef& winner, const PlanRef& candidate,
+                       const TraceCollector& trace) {
+  std::string msg = name + ": " + what + "\n";
+  msg += "winner fingerprint:    " + PlanFingerprint(*winner) + "\n";
+  msg += "candidate fingerprint: " + PlanFingerprint(*candidate) + "\n";
+  msg += "candidate plan:\n" + candidate->ToString();
+  msg += "optimizer trace:\n" + RenderTrace(trace);
+  return msg;
+}
+
+}  // namespace
+
+Result<PlanSpaceReport> RunPlanSpaceOracle(Database* db,
+                                           const std::string& name,
+                                           const std::string& sql,
+                                           const OptimizerConfig& config,
+                                           const PlanSpaceOptions& options) {
+  ORDOPT_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelect(sql));
+  ORDOPT_ASSIGN_OR_RETURN(std::unique_ptr<Query> query,
+                          BindQuery(*stmt, *db));
+  MergeDerivedTables(query.get());
+
+  TraceCollector trace(TraceLevel::kOptimizer);
+  Planner planner(*query, config, &trace);
+  ORDOPT_ASSIGN_OR_RETURN(std::vector<PlanRef> candidates,
+                          planner.EnumerateAllPlans(options.budget));
+
+  PlanSpaceReport report;
+  report.name = name;
+  report.candidates = candidates.size();
+  for (const PlanRef& plan : candidates) {
+    report.fingerprints.push_back(PlanFingerprint(*plan));
+  }
+
+  std::vector<ColumnId> layout;
+  for (const OutputColumn& oc : query->root->outputs) {
+    layout.push_back(oc.id);
+  }
+  const OrderSpec checkable = CheckableOrder(query->root, layout);
+  const int64_t limit = query->root->limit;
+
+  // The naive reference, when its cartesian products stay tractable. For
+  // limited queries it still pins the expected row count (limit applies to
+  // the full result) even though the surviving rows are tie-dependent.
+  bool have_reference = false;
+  std::vector<std::vector<std::string>> reference_canonical;
+  size_t reference_count = 0;
+  if (ReferenceRowBound(query->root) <=
+      static_cast<double>(options.reference_row_limit)) {
+    ReferenceEvaluator ref(*query);
+    ReferenceEvaluator::Relation expected = ref.Evaluate();
+    reference_canonical = Canonicalize(expected.rows);
+    reference_count = expected.rows.size();
+    have_reference = true;
+    report.reference_compared = true;
+  }
+
+  const PlanRef& winner = candidates[0];
+  std::vector<std::vector<std::string>> winner_canonical;
+  std::vector<std::vector<std::string>> winner_order_projection;
+  size_t winner_count = 0;
+
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const PlanRef& plan = candidates[i];
+    RuntimeMetrics metrics;
+    Result<std::vector<Row>> rows =
+        ExecutePlan(plan, &metrics, /*guard=*/nullptr,
+                    /*spill_config=*/nullptr, /*profile=*/nullptr,
+                    options.verify_orders);
+    if (!rows.ok()) {
+      report.divergences.push_back(Divergence(
+          name, "candidate execution failed: " + rows.status().ToString(),
+          winner, plan, trace));
+      continue;
+    }
+    const std::vector<Row>& result = rows.value();
+
+    // Every candidate must honor the order the query requested.
+    if (!checkable.empty() &&
+        !RowsOrderedBy(result, layout, checkable)) {
+      report.divergences.push_back(Divergence(
+          name, "candidate output violates ORDER BY " + checkable.ToString(),
+          winner, plan, trace));
+      continue;
+    }
+
+    if (limit >= 0) {
+      // Under LIMIT, row identity is only deterministic up to ties on the
+      // order columns: compare row counts (pinned by the reference when
+      // available) plus the order-column projection multiset.
+      std::vector<std::vector<std::string>> projection = Canonicalize(
+          ProjectOrderColumns(result, layout, checkable));
+      if (i == 0) {
+        winner_count = result.size();
+        winner_order_projection = std::move(projection);
+        if (have_reference) {
+          size_t expected = std::min(reference_count,
+                                     static_cast<size_t>(limit));
+          if (result.size() != expected) {
+            report.divergences.push_back(Divergence(
+                name,
+                StrFormat("winner produced %zu rows, expected %zu under "
+                          "LIMIT",
+                          result.size(), expected),
+                winner, plan, trace));
+          }
+        }
+        continue;
+      }
+      if (result.size() != winner_count) {
+        report.divergences.push_back(Divergence(
+            name,
+            StrFormat("candidate produced %zu rows under LIMIT, winner "
+                      "produced %zu",
+                      result.size(), winner_count),
+            winner, plan, trace));
+      } else if (projection != winner_order_projection) {
+        report.divergences.push_back(Divergence(
+            name, "candidate disagrees with winner on ORDER BY columns "
+                  "under LIMIT",
+            winner, plan, trace));
+      }
+      continue;
+    }
+
+    std::vector<std::vector<std::string>> canonical = Canonicalize(result);
+    if (i == 0) {
+      winner_canonical = canonical;
+      winner_count = result.size();
+    } else if (canonical != winner_canonical) {
+      report.divergences.push_back(Divergence(
+          name,
+          StrFormat("candidate result differs from winner (%zu vs %zu rows)",
+                    result.size(), winner_count),
+          winner, plan, trace));
+      continue;
+    }
+    if (have_reference && canonical != reference_canonical) {
+      report.divergences.push_back(Divergence(
+          name,
+          StrFormat("candidate result differs from naive reference "
+                    "(%zu vs %zu rows)",
+                    result.size(), reference_count),
+          winner, plan, trace));
+    }
+  }
+  return report;
+}
+
+}  // namespace ordopt

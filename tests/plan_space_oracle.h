@@ -1,0 +1,63 @@
+// Plan-space differential oracle: enumerate every candidate plan that
+// survived (cost, order) domination for a query, execute them all, and
+// assert they produce identical results — modulo the order the query
+// actually requested. The optimizer's pruning logic claims all retained
+// candidates are semantically interchangeable; this harness makes that
+// claim executable. Where the naive reference evaluator is feasible
+// (bounded cartesian product), results are additionally checked against it,
+// so an error shared by every candidate still surfaces.
+
+#ifndef ORDOPT_TESTS_PLAN_SPACE_ORACLE_H_
+#define ORDOPT_TESTS_PLAN_SPACE_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+#include "storage/database.h"
+
+namespace ordopt {
+
+struct PlanSpaceOptions {
+  /// Maximum candidates enumerated and executed per query.
+  size_t budget = 24;
+  /// The naive reference evaluator materializes cartesian products; it is
+  /// only consulted when the product of base-table sizes stays under this
+  /// bound. Differential comparison between candidates always runs.
+  size_t reference_row_limit = 2000000;
+  /// Execute every candidate under runtime order verification
+  /// (OrderCheckOp), so a candidate whose stream disobeys its claimed
+  /// properties fails even when its final rows happen to be right.
+  bool verify_orders = true;
+};
+
+struct PlanSpaceReport {
+  std::string name;
+  /// Candidates that were enumerated and executed (winner first).
+  size_t candidates = 0;
+  /// True when the naive reference evaluator was feasible and consulted.
+  bool reference_compared = false;
+  /// PlanFingerprint of each executed candidate, winner first.
+  std::vector<std::string> fingerprints;
+  /// Human-readable divergence dumps: empty means every candidate agreed
+  /// (and matched the reference where compared). Each entry names the
+  /// query, both plan fingerprints, and carries the optimizer trace.
+  std::vector<std::string> divergences;
+
+  bool ok() const { return divergences.empty(); }
+};
+
+/// Runs the oracle for one query under one optimizer profile. The returned
+/// Result is an error only for infrastructure failures (parse/bind/plan);
+/// semantic divergences are reported in PlanSpaceReport::divergences so a
+/// caller can aggregate them across a catalog.
+Result<PlanSpaceReport> RunPlanSpaceOracle(Database* db,
+                                           const std::string& name,
+                                           const std::string& sql,
+                                           const OptimizerConfig& config,
+                                           const PlanSpaceOptions& options =
+                                               PlanSpaceOptions());
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_TESTS_PLAN_SPACE_ORACLE_H_

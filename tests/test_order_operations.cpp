@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "orderopt/operations.h"
+#include "properties/plan_properties.h"
 
 namespace ordopt {
 namespace {
@@ -190,6 +191,73 @@ TEST(HomogenizeOrder, TargetColumnKeptWhenAlreadyInTargets) {
   auto hom = HomogenizeOrder(OrderSpec{{ax}, {ay}}, targets, future, ctx);
   ASSERT_TRUE(hom.has_value());
   EXPECT_EQ(*hom, (OrderSpec{{ax}, {ay}}));
+}
+
+// §4.4 + §5 across a LEFT OUTER JOIN: the equality ON pair (ax = bx)
+// contributes only the one-way FD {ax} -> {bx}. NULL-extended rows all
+// carry bx = NULL while differing on ax, so recording an equivalence — or
+// the reverse FD — would be unsound. The operations must let order
+// knowledge flow preserved -> null-supplying and never back.
+TEST(HomogenizeOrder, OuterJoinFdTransfersOnlyForward) {
+  PlanProperties outer;
+  outer.columns = ColumnSet{ax, ay};
+  PlanProperties inner;
+  inner.columns = ColumnSet{bx, by};
+  PlanProperties join =
+      LeftJoinProperties(outer, inner, {{ax, bx}},
+                         /*preserves_outer_order=*/true, 100.0);
+  // The soundness of everything below rests on the ON pair never becoming
+  // an equivalence in the join's properties.
+  EXPECT_FALSE(join.eq().AreEquivalent(ax, bx));
+  OrderContext ctx = join.Context();
+
+  // Forward: within an ax-group, bx is pinned, so it reduces away and an
+  // interest in (ax, bx) is met by a stream ordered on ax alone.
+  EXPECT_EQ(ReduceOrder(OrderSpec{{ax}, {bx}}, ctx), (OrderSpec{{ax}}));
+  EXPECT_TRUE(TestOrder(OrderSpec{{ax}, {bx}}, OrderSpec{{ax}}, ctx));
+
+  // Reverse: bx determines nothing about ax. The element must survive
+  // reduction and a stream ordered on bx satisfies no interest in ax.
+  EXPECT_EQ(ReduceOrder(OrderSpec{{bx}, {ax}}, ctx),
+            (OrderSpec{{bx}, {ax}}));
+  EXPECT_FALSE(TestOrder(OrderSpec{{bx}, {ax}}, OrderSpec{{bx}}, ctx));
+  EXPECT_FALSE(TestOrder(OrderSpec{{ax}}, OrderSpec{{bx}}, ctx));
+}
+
+// Homogenizing across the null-supplying side after an outer join: with no
+// substitution equivalence recorded (the outer join must not supply one),
+// an order led by the null-supplying column cannot be rewritten onto the
+// preserved side — while the forward direction still homogenizes because
+// reduction eliminates the FD-determined null-supplying column first.
+TEST(HomogenizeOrder, OuterJoinNullSupplyingSideDoesNotSubstitute) {
+  PlanProperties outer;
+  outer.columns = ColumnSet{ax, ay};
+  PlanProperties inner;
+  inner.columns = ColumnSet{bx, by};
+  PlanProperties join =
+      LeftJoinProperties(outer, inner, {{ax, bx}},
+                         /*preserves_outer_order=*/true, 100.0);
+  OrderContext ctx = join.Context();
+  EquivalenceClasses no_subst;
+
+  // Forward transfer: (ax, bx) reduces to (ax), already a preserved-side
+  // target, so the homogenization succeeds without any equivalence.
+  auto forward = HomogenizeOrder(OrderSpec{{ax}, {bx}}, ColumnSet{ax, ay},
+                                 no_subst, ctx);
+  ASSERT_TRUE(forward.has_value());
+  EXPECT_EQ(*forward, (OrderSpec{{ax}}));
+
+  // Reverse: bx survives reduction and nothing substitutes it onto the
+  // preserved targets; the rewrite must fail rather than silently use the
+  // one-way FD as if it were an equivalence.
+  EXPECT_FALSE(HomogenizeOrder(OrderSpec{{bx}, {ax}}, ColumnSet{ax, ay},
+                               no_subst, ctx)
+                   .has_value());
+  // Same across the other boundary: a preserved-side order cannot be
+  // homogenized onto the null-supplying side's columns.
+  EXPECT_FALSE(HomogenizeOrder(OrderSpec{{ax}}, ColumnSet{bx, by},
+                               no_subst, ctx)
+                   .has_value());
 }
 
 TEST(HomogenizeOrder, DirectionSurvivesSubstitution) {

@@ -2,7 +2,8 @@
 // the plans chosen for the TPC-D suite and the §6 example schema, compared
 // byte-for-byte against checked-in goldens. Any optimizer refactor that
 // claims to be plan-preserving must keep this file green without
-// regenerating the goldens.
+// regenerating the goldens. The query catalog lives in golden_queries.h,
+// shared with the plan-space differential oracle (test_plan_space).
 //
 // Regenerate (only for intentional plan changes):
 //   ORDOPT_UPDATE_GOLDENS=1 ./build/tests/test_plan_fingerprint
@@ -11,11 +12,8 @@
 
 #include <cstdlib>
 #include <fstream>
-#include <sstream>
 
-#include "common/random.h"
-#include "exec/engine.h"
-#include "tpcd/tpcd.h"
+#include "golden_queries.h"
 
 namespace ordopt {
 namespace {
@@ -29,143 +27,9 @@ bool UpdateGoldens() {
   return env != nullptr && env[0] == '1';
 }
 
-// The engine profiles the goldens cover: the modern default, the paper's
-// DB2/CS profile (no hash operators), and the §8 disabled baseline.
-OptimizerConfig DefaultConfig() { return OptimizerConfig(); }
-
-OptimizerConfig Db2Config() {
-  OptimizerConfig cfg;
-  cfg.enable_hash_join = false;
-  cfg.enable_hash_grouping = false;
-  return cfg;
-}
-
-OptimizerConfig DisabledConfig() {
-  OptimizerConfig cfg = Db2Config();
-  cfg.enable_order_optimization = false;
-  return cfg;
-}
-
-OptimizerConfig NoSortAheadConfig() {
-  OptimizerConfig cfg = Db2Config();
-  cfg.enable_sort_ahead = false;
-  return cfg;
-}
-
-struct Case {
-  std::string name;
-  std::string sql;
-  OptimizerConfig config;
-};
-
-// Mirrors test_planner_plans' PlanShapeTest schema: tables a, b, c; b.x and
-// c.x unique keys with clustered indexes, a.x neither.
-void BuildExampleDb(Database* db) {
-  Rng rng(11);
-  {
-    TableDef def;
-    def.name = "a";
-    def.columns = {{"x", DataType::kInt64}, {"y", DataType::kInt64}};
-    Table* t = db->CreateTable(def).value();
-    for (int i = 0; i < 400; ++i) {
-      t->AppendRow({Value::Int(rng.Uniform(0, 199)),
-                    Value::Int(rng.Uniform(0, 9))});
-    }
-  }
-  {
-    TableDef def;
-    def.name = "b";
-    def.columns = {{"x", DataType::kInt64}, {"y", DataType::kInt64}};
-    def.AddUniqueKey({"x"});
-    def.AddIndex("b_x", {"x"}, /*unique=*/true, /*clustered=*/true);
-    Table* t = db->CreateTable(def).value();
-    for (int i = 0; i < 200; ++i) {
-      t->AppendRow({Value::Int(i), Value::Int(rng.Uniform(0, 99))});
-    }
-  }
-  {
-    TableDef def;
-    def.name = "c";
-    def.columns = {{"x", DataType::kInt64}, {"z", DataType::kInt64}};
-    def.AddUniqueKey({"x"});
-    def.AddIndex("c_x", {"x"}, /*unique=*/true, /*clustered=*/true);
-    Table* t = db->CreateTable(def).value();
-    for (int i = 0; i < 200; ++i) {
-      t->AppendRow({Value::Int(i), Value::Int(rng.Uniform(0, 999))});
-    }
-  }
-  ASSERT_TRUE(db->FinalizeAll().ok());
-}
-
-std::vector<Case> ExampleCases() {
-  const std::string fig6 =
-      "select a.x, a.y, b.y, sum(c.z) from a, b, c "
-      "where a.x = b.x and b.x = c.x "
-      "group by a.x, a.y, b.y order by a.x";
-  return {
-      {"example/index_order", "select x, y from b order by x", Db2Config()},
-      {"example/reverse_index", "select x from b order by x desc",
-       Db2Config()},
-      {"example/constant_reduce",
-       "select x, y from b where y = 5 order by y, x", Db2Config()},
-      {"example/constant_reduce_disabled",
-       "select x, y from b where y = 5 order by y, x", DisabledConfig()},
-      {"example/minimal_sort_a", "select x, y from a order by x, y",
-       Db2Config()},
-      {"example/minimal_sort_b", "select x, y from b order by x, y",
-       Db2Config()},
-      {"example/groupby_key", "select x, count(*) from b group by x",
-       DefaultConfig()},
-      {"example/figure6", fig6, Db2Config()},
-      {"example/figure6_no_sort_ahead", fig6, NoSortAheadConfig()},
-      {"example/figure6_hash", fig6, DefaultConfig()},
-      {"example/one_record", "select x, y from b where x = 7 order by y, x",
-       Db2Config()},
-      {"example/merge_equiv",
-       "select a.y, b.y from a, b where a.x = b.x order by a.x", Db2Config()},
-      {"example/three_way_default",
-       "select a.x, c.z from a, b, c where a.x = b.x and b.x = c.x",
-       DefaultConfig()},
-      {"example/distinct", "select distinct y from b", Db2Config()},
-      {"example/distinct_ordered", "select distinct y from b order by y",
-       DefaultConfig()},
-      {"example/topn", "select x, y from a order by x limit 5", Db2Config()},
-      {"example/left_join",
-       "select a.x, b.y from a left join b on a.x = b.x order by a.x",
-       Db2Config()},
-      {"example/union",
-       "select x from a union select x from b order by x", Db2Config()},
-      {"example/in_subquery",
-       "select x from b where x in (select x from c)", Db2Config()},
-  };
-}
-
-std::vector<Case> TpcdCases() {
-  using namespace tpcd_queries;
-  std::vector<Case> cases;
-  struct Q {
-    const char* name;
-    const char* sql;
-  };
-  const Q queries[] = {{"q3", kQuery3},
-                       {"pricing", kPricingSummary},
-                       {"distinct_shipdates", kDistinctShipdates},
-                       {"late_orders", kLateOrders},
-                       {"region_revenue", kRegionRevenue}};
-  for (const Q& q : queries) {
-    cases.push_back({std::string("tpcd/") + q.name + "/db2", q.sql,
-                     Db2Config()});
-    cases.push_back({std::string("tpcd/") + q.name + "/default", q.sql,
-                     DefaultConfig()});
-    cases.push_back({std::string("tpcd/") + q.name + "/disabled", q.sql,
-                     DisabledConfig()});
-  }
-  return cases;
-}
-
-void CollectFingerprints(Database* db, const std::vector<Case>& cases,
+void CollectFingerprints(Database* db, const std::vector<GoldenCase>& cases,
                          std::vector<std::string>* lines) {
-  for (const Case& c : cases) {
+  for (const GoldenCase& c : cases) {
     QueryEngine engine(db, c.config);
     Result<QueryResult> r = engine.Explain(c.sql);
     ASSERT_TRUE(r.ok()) << c.name << ": " << r.status().ToString();

@@ -1,0 +1,187 @@
+// Plan-space differential oracle driver: every candidate plan that
+// survives (cost, order) domination for the golden queries must produce
+// identical results, obey the requested ORDER BY, and pass runtime order
+// verification. A golden file pins the candidate fingerprints of the five
+// queries with the richest surviving plan spaces, and a mutation check
+// proves the oracle actually bites: a deliberately broken order-domination
+// rule must be caught.
+//
+// Regenerate the candidate goldens (only for intentional plan changes):
+//   ORDOPT_UPDATE_GOLDENS=1 ./build/tests/test_plan_space
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "golden_queries.h"
+#include "optimizer/memo.h"
+#include "plan_space_oracle.h"
+#include "query_test_util.h"
+
+namespace ordopt {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(ORDOPT_TESTS_DIR) + "/golden/plan_space_candidates.txt";
+}
+
+bool UpdateGoldens() {
+  const char* env = std::getenv("ORDOPT_UPDATE_GOLDENS");
+  return env != nullptr && env[0] == '1';
+}
+
+void RunCatalog(Database* db, const std::vector<GoldenCase>& cases,
+                std::vector<PlanSpaceReport>* reports) {
+  for (const GoldenCase& c : cases) {
+    Result<PlanSpaceReport> r = RunPlanSpaceOracle(db, c.name, c.sql,
+                                                   c.config);
+    ASSERT_TRUE(r.ok()) << c.name << ": " << r.status().ToString();
+    for (const std::string& d : r.value().divergences) {
+      ADD_FAILURE() << d;
+    }
+    reports->push_back(std::move(r).value());
+  }
+}
+
+// All 34 golden queries: every surviving candidate of every query must
+// agree, and the plan space must be genuinely multi-candidate — the oracle
+// is vacuous if domination prunes everything down to one plan everywhere.
+TEST(PlanSpaceOracle, GoldenQueriesAgree) {
+  std::vector<PlanSpaceReport> reports;
+  {
+    Database db;
+    BuildExampleDb(&db);
+    RunCatalog(&db, ExampleCases(), &reports);
+  }
+  {
+    Database db;
+    TpcdConfig config;
+    config.scale_factor = 0.002;
+    ASSERT_TRUE(LoadTpcd(&db, config).ok());
+    RunCatalog(&db, TpcdCases(), &reports);
+  }
+
+  size_t multi_candidate = 0;
+  for (const PlanSpaceReport& r : reports) {
+    EXPECT_GE(r.candidates, 1u) << r.name;
+    if (r.candidates >= 3) ++multi_candidate;
+  }
+  EXPECT_GE(multi_candidate, 10u)
+      << "plan space too thin: the oracle needs real alternatives to "
+         "compare";
+
+  // Golden candidate fingerprints for the five widest plan spaces. Any
+  // change to what survives domination shows up here as a diff, reviewed
+  // like any other golden drift.
+  std::vector<const PlanSpaceReport*> widest;
+  for (const PlanSpaceReport& r : reports) widest.push_back(&r);
+  std::stable_sort(widest.begin(), widest.end(),
+                   [](const PlanSpaceReport* a, const PlanSpaceReport* b) {
+                     return a->candidates > b->candidates;
+                   });
+  widest.resize(std::min<size_t>(5, widest.size()));
+  std::vector<std::string> lines;
+  for (const PlanSpaceReport* r : widest) {
+    for (size_t i = 0; i < r->fingerprints.size(); ++i) {
+      lines.push_back(StrFormat("%s#%zu %s", r->name.c_str(), i,
+                                r->fingerprints[i].c_str()));
+    }
+  }
+
+  if (UpdateGoldens()) {
+    std::ofstream out(GoldenPath());
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    for (const std::string& line : lines) out << line << "\n";
+    GTEST_SKIP() << "candidate goldens regenerated at " << GoldenPath();
+  }
+
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << GoldenPath()
+      << " — run with ORDOPT_UPDATE_GOLDENS=1 to create it";
+  std::vector<std::string> golden;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) golden.push_back(line);
+  }
+  ASSERT_EQ(golden.size(), lines.size())
+      << "candidate set shape changed; regenerate with "
+         "ORDOPT_UPDATE_GOLDENS=1 if intentional";
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(golden[i], lines[i]) << "candidate drifted at line " << i;
+  }
+}
+
+// The toy schema (dept/emp/task: duplicates, NULL join keys, secondary
+// indexes) exercised with full reference comparison — products are small
+// enough that the naive evaluator pins the expected result for every case.
+TEST(PlanSpaceOracle, ToySchemaMatchesReference) {
+  Database db;
+  BuildToyDatabase(&db);
+  const std::vector<GoldenCase> cases = {
+      {"toy/emp_by_dno",
+       "select eno, dno from emp order by dno, eno", DefaultConfig()},
+      {"toy/join_ordered",
+       "select dept.dno, emp.eno from dept, emp "
+       "where dept.dno = emp.dno order by dept.dno",
+       DefaultConfig()},
+      {"toy/join_db2",
+       "select dept.dno, emp.eno from dept, emp "
+       "where dept.dno = emp.dno order by dept.dno",
+       Db2Config()},
+      {"toy/group_salary",
+       "select dno, sum(salary) from emp group by dno order by dno",
+       DefaultConfig()},
+      {"toy/three_way",
+       "select dept.dname, emp.eno, task.hours from dept, emp, task "
+       "where dept.dno = emp.dno and emp.eno = task.eno "
+       "order by dept.dno, emp.eno",
+       Db2Config()},
+      {"toy/distinct_ages",
+       "select distinct age from emp order by age", DefaultConfig()},
+      {"toy/left_join",
+       "select emp.eno, task.hours from emp left join task "
+       "on emp.eno = task.eno order by emp.eno",
+       DefaultConfig()},
+  };
+  std::vector<PlanSpaceReport> reports;
+  RunCatalog(&db, cases, &reports);
+  for (const PlanSpaceReport& r : reports) {
+    EXPECT_TRUE(r.reference_compared) << r.name;
+  }
+}
+
+// Mutation check: wire a deliberately broken domination rule — every order
+// "satisfies" every requirement — into the planner. Sorts get skipped,
+// stream aggregation runs over ungrouped input, merge joins see unsorted
+// streams. The oracle must catch the fallout; if it stays green under this
+// mutant, it is not guarding anything.
+TEST(PlanSpaceOracle, BrokenDominationIsCaught) {
+  class AlwaysSatisfied : public OrderDomination {
+   public:
+    bool Satisfies(const OrderSpec&, const PlanNode&) const override {
+      return true;
+    }
+  };
+  AlwaysSatisfied broken;
+
+  Database db;
+  BuildExampleDb(&db);
+  size_t caught = 0;
+  for (GoldenCase c : ExampleCases()) {
+    c.config.order_test_override = &broken;
+    Result<PlanSpaceReport> r = RunPlanSpaceOracle(&db, c.name, c.sql,
+                                                   c.config);
+    // Some queries fail outright (merge join poisons the guard on an
+    // unsorted stream); that counts as caught too.
+    if (!r.ok() || !r.value().ok()) ++caught;
+  }
+  EXPECT_GT(caught, 0u)
+      << "a domination rule that satisfies everything went unnoticed — "
+         "the oracle has no teeth";
+}
+
+}  // namespace
+}  // namespace ordopt
