@@ -1,0 +1,187 @@
+// Concurrent-service throughput/latency benchmark: N client sessions
+// issue a mixed TPC-D workload against one QueryService and we report
+// queries/sec, p50/p99 end-to-end latency, and the plan-cache hit rate
+// at 1, 8, and 64 sessions. Custom main (not google-benchmark): the
+// measurement unit is a whole closed-loop client fleet, and the output is
+// the JSON consumed by scripts/check.sh --service (BENCH_service.json).
+//
+// Usage: bench_service [output.json]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/str_util.h"
+#include "service/query_service.h"
+#include "tpcd/tpcd.h"
+
+namespace ordopt {
+namespace {
+
+struct LoadPoint {
+  int sessions = 0;
+  int64_t queries = 0;
+  double elapsed_seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  int64_t shed = 0;
+};
+
+double PercentileMs(std::vector<double>* latencies, double p) {
+  if (latencies->empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * (latencies->size() - 1));
+  std::nth_element(latencies->begin(), latencies->begin() + idx,
+                   latencies->end());
+  return (*latencies)[idx] * 1000.0;
+}
+
+LoadPoint RunLoad(Database* db, int sessions, int queries_per_session) {
+  const std::vector<std::string> workload = {
+      tpcd_queries::kQuery3,
+      tpcd_queries::kPricingSummary,
+      tpcd_queries::kDistinctShipdates,
+      tpcd_queries::kLateOrders,
+      tpcd_queries::kRegionRevenue,
+  };
+
+  ServiceConfig config;
+  config.workers = 4;
+  config.queue_depth = 512;
+  config.plan_cache_capacity = 64;
+  QueryService service(db, config);
+
+  std::vector<int64_t> session_ids;
+  session_ids.reserve(sessions);
+  for (int s = 0; s < sessions; ++s) {
+    session_ids.push_back(service.OpenSession());
+  }
+
+  std::vector<std::vector<double>> per_client_latencies(sessions);
+  std::atomic<int64_t> completed{0};
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(sessions);
+  for (int s = 0; s < sessions; ++s) {
+    clients.emplace_back([&, s] {
+      per_client_latencies[s].reserve(queries_per_session);
+      for (int q = 0; q < queries_per_session; ++q) {
+        const std::string& sql = workload[(s + q) % workload.size()];
+        auto t0 = std::chrono::steady_clock::now();
+        Result<QueryResult> result = service.Execute(session_ids[s], sql);
+        auto t1 = std::chrono::steady_clock::now();
+        if (result.ok()) {
+          completed.fetch_add(1);
+          per_client_latencies[s].push_back(
+              std::chrono::duration<double>(t1 - t0).count());
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+  std::vector<double> latencies;
+  for (const auto& client : per_client_latencies) {
+    latencies.insert(latencies.end(), client.begin(), client.end());
+  }
+
+  LoadPoint point;
+  point.sessions = sessions;
+  point.queries = completed.load();
+  point.elapsed_seconds = elapsed;
+  point.qps = elapsed > 0 ? point.queries / elapsed : 0.0;
+  point.p50_ms = PercentileMs(&latencies, 0.50);
+  point.p99_ms = PercentileMs(&latencies, 0.99);
+  point.cache_hit_rate = service.plan_cache_hit_rate();
+  ServiceStats stats = service.stats();
+  point.shed = stats.shed_queue_full + stats.shed_session_cap +
+               stats.shed_budget;
+  return point;
+}
+
+// The acceptance workload: one session re-running TPC-D Q3. After the
+// first (planning) run, every execution must hit the cache and skip the
+// optimizer entirely.
+struct RepeatedQ3 {
+  int runs = 0;
+  int planning_skipped = 0;
+  double cache_hit_rate = 0.0;
+};
+
+RepeatedQ3 RunRepeatedQ3(Database* db, int runs) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.plan_cache_capacity = 8;
+  QueryService service(db, config);
+  int64_t session = service.OpenSession();
+  RepeatedQ3 result;
+  result.runs = runs;
+  for (int i = 0; i < runs; ++i) {
+    Result<QueryResult> r = service.Execute(session, tpcd_queries::kQuery3);
+    if (r.ok() && r.value().planned_from_cache) ++result.planning_skipped;
+  }
+  result.cache_hit_rate = service.plan_cache_hit_rate();
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_service.json";
+
+  Database db;
+  TpcdConfig tpcd;
+  tpcd.scale_factor = 0.002;
+  Status load = LoadTpcd(&db, tpcd);
+  if (!load.ok()) {
+    std::fprintf(stderr, "bench_service: %s\n", load.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<LoadPoint> points;
+  for (int sessions : {1, 8, 64}) {
+    std::fprintf(stderr, "bench_service: %d session(s)...\n", sessions);
+    points.push_back(RunLoad(&db, sessions, /*queries_per_session=*/8));
+  }
+  std::fprintf(stderr, "bench_service: repeated Q3...\n");
+  RepeatedQ3 q3 = RunRepeatedQ3(&db, /*runs=*/20);
+
+  std::string json = "{\n  \"benchmark\": \"service\",\n  \"workload\": "
+                     "\"tpcd-mixed-5\",\n  \"workers\": 4,\n  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const LoadPoint& p = points[i];
+    json += StrFormat(
+        "    {\"sessions\": %d, \"queries\": %lld, \"qps\": %.1f, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"cache_hit_rate\": %.3f, "
+        "\"shed\": %lld}%s\n",
+        p.sessions, static_cast<long long>(p.queries), p.qps, p.p50_ms,
+        p.p99_ms, p.cache_hit_rate, static_cast<long long>(p.shed),
+        i + 1 < points.size() ? "," : "");
+  }
+  json += StrFormat(
+      "  ],\n  \"repeated_q3\": {\"runs\": %d, \"planning_skipped\": %d, "
+      "\"cache_hit_rate\": %.3f}\n}\n",
+      q3.runs, q3.planning_skipped, q3.cache_hit_rate);
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_service: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "bench_service: wrote %s\n", out_path);
+  std::fputs(json.c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ordopt
+
+int main(int argc, char** argv) { return ordopt::Main(argc, argv); }

@@ -18,6 +18,13 @@
 #                                         every order/key-claiming operator)
 #                                         and reports the measured overhead
 #                                         vs an unverified run
+#        scripts/check.sh --service       concurrency gate: runs the
+#                                         concurrent suites (query service,
+#                                         plan cache, thread-safety
+#                                         regressions) under BOTH asan-ubsan
+#                                         and ThreadSanitizer, then emits
+#                                         BENCH_service.json (qps, p50/p99,
+#                                         cache hit rate at 1/8/64 sessions)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -91,6 +98,33 @@ if [ "${1:-}" = "--verify-orders" ]; then
   VO_SECS=$(( $(date +%s) - VO_START ))
   echo "OK: zero order/key violations across the suite under verification"
   echo "    overhead: ${VO_SECS}s verified vs ${BASE_SECS}s baseline"
+  exit 0
+fi
+
+# Concurrency gate: the suites that exercise the QueryService, the shared
+# plan cache, and the cross-thread pieces they depend on, under address/UB
+# sanitizers AND ThreadSanitizer — a data race anywhere in the
+# worker-pool/cache/fault-injector paths fails here. Finishes by running
+# the service load benchmark (1/8/64 sessions) into BENCH_service.json.
+if [ "${1:-}" = "--service" ]; then
+  JOBS="${2:-$(nproc)}"
+  CONCURRENT_SUITES="test_service|test_plan_cache|test_concurrency|test_fault_injection"
+  for preset in asan-ubsan tsan; do
+    echo "==> configure [$preset]"
+    cmake --preset "$preset" >/dev/null
+    echo "==> build [$preset]"
+    cmake --build --preset "$preset" -j "$JOBS" \
+      --target test_service test_plan_cache test_concurrency \
+               test_fault_injection
+    echo "==> concurrent suites [$preset]"
+    ctest --preset "$preset" -R "$CONCURRENT_SUITES"
+  done
+  echo "==> service load benchmark [default]"
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$JOBS" --target bench_service
+  ./build/bench/bench_service BENCH_service.json
+  echo "OK: concurrent suites clean under asan-ubsan and tsan;"
+  echo "    BENCH_service.json written"
   exit 0
 fi
 

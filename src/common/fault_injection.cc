@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 #include "common/str_util.h"
@@ -59,13 +60,14 @@ FaultInjector& FaultInjector::Global() {
 
 void FaultInjector::Arm(const std::string& site, int64_t fire_after,
                         int64_t fire_count, StatusCode code) {
-  std::lock_guard<std::mutex> lock(mu_);
-  SiteState& state = sites_[site];
-  state.fire_after = fire_after;
-  state.fire_count = fire_count;
-  state.code = code;
-  state.hits = 0;
-  state.fired = 0;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Re-arming replaces the whole state so the hit/fired counters restart
+  // from zero (atomics are not assignable wholesale).
+  auto state = std::make_unique<SiteState>();
+  state->fire_after = fire_after;
+  state->fire_count = fire_count;
+  state->code = code;
+  sites_[site] = std::move(state);
   armed_sites_.store(static_cast<int>(sites_.size()),
                      std::memory_order_relaxed);
 }
@@ -121,45 +123,52 @@ Status FaultInjector::ArmFromSpec(const std::string& spec) {
 }
 
 void FaultInjector::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   sites_.erase(site);
   armed_sites_.store(static_cast<int>(sites_.size()),
                      std::memory_order_relaxed);
 }
 
 void FaultInjector::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   sites_.clear();
   armed_sites_.store(0, std::memory_order_relaxed);
 }
 
 Status FaultInjector::Check(const char* site) {
   if (!enabled()) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return Status::OK();
-  SiteState& state = it->second;
-  ++state.hits;
-  if (state.hits <= state.fire_after) return Status::OK();
-  if (state.fire_count >= 0 && state.fired >= state.fire_count) {
+  SiteState& state = *it->second;
+  // Claim a unique 1-based hit number; whether *this* hit fires depends
+  // only on that number, so the set of firing hits — and therefore the
+  // total fire count — is identical under every thread interleaving.
+  int64_t hit = state.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (hit <= state.fire_after) return Status::OK();
+  if (state.fire_count >= 0 &&
+      hit > state.fire_after + state.fire_count) {
     return Status::OK();
   }
-  ++state.fired;
+  state.fired.fetch_add(1, std::memory_order_relaxed);
   return Status(state.code,
                 StrFormat("injected fault at %s (hit %lld)", site,
-                          static_cast<long long>(state.hits)));
+                          static_cast<long long>(hit)));
 }
 
 int64_t FaultInjector::HitCount(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = sites_.find(site);
-  return it == sites_.end() ? 0 : it->second.hits;
+  return it == sites_.end() ? 0
+                            : it->second->hits.load(std::memory_order_relaxed);
 }
 
 int64_t FaultInjector::FireCount(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = sites_.find(site);
-  return it == sites_.end() ? 0 : it->second.fired;
+  return it == sites_.end()
+             ? 0
+             : it->second->fired.load(std::memory_order_relaxed);
 }
 
 }  // namespace ordopt

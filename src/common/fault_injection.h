@@ -3,7 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -42,6 +43,17 @@ namespace ordopt {
 ///                 which retry-wrapped spill I/O treats as transient
 ///
 /// e.g. ORDOPT_FAULTS="storage.btree.read:2,exec.sort.spill.write:0:2:io".
+///
+/// Thread-safety and determinism: probes from concurrent queries are safe
+/// and *count-deterministic*. Each hit on a site atomically claims a unique
+/// 1-based sequence number, and exactly the hits numbered (fire_after,
+/// fire_after + fire_count] fail — so the total number of injected
+/// failures is a pure function of the armed spec and the total hit count,
+/// independent of thread interleaving. (Which thread absorbs a given
+/// failure is scheduling-dependent; tests should assert on totals, not on
+/// which session failed.) Arming/disarming while probes are in flight is
+/// serialized by a writer lock; probes take a shared lock and touch only
+/// per-site atomic counters.
 class FaultInjector {
  public:
   /// Process-wide registry. ORDOPT_FAULTS is applied on first call.
@@ -78,15 +90,21 @@ class FaultInjector {
     int64_t fire_after = 0;
     int64_t fire_count = 1;  // -1 = unlimited
     StatusCode code = StatusCode::kInternal;
-    int64_t hits = 0;
-    int64_t fired = 0;
+    /// Concurrent probes claim hit sequence numbers with fetch_add; the
+    /// firing window is decided from the claimed number alone, so counts
+    /// stay deterministic under any interleaving.
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> fired{0};
   };
 
   FaultInjector();
 
-  mutable std::mutex mu_;
+  /// Writer lock for arming/disarming; probes hold it shared. Sites are
+  /// heap-allocated so their atomic counters have stable addresses across
+  /// rehashes.
+  mutable std::shared_mutex mu_;
   std::atomic<int> armed_sites_{0};
-  std::unordered_map<std::string, SiteState> sites_;
+  std::unordered_map<std::string, std::unique_ptr<SiteState>> sites_;
 };
 
 /// Probe for Status-returning code: returns the injected fault from the

@@ -9,6 +9,41 @@
 
 namespace ordopt {
 
+namespace {
+
+/// Effective runtime order verification: the config switch, with the
+/// ORDOPT_VERIFY_ORDERS environment variable as a default so whole test
+/// suites can run checked without touching call sites ("0" disables).
+bool EffectiveVerifyOrders(const OptimizerConfig& config) {
+  if (config.verify_orders) return true;
+  const char* env = std::getenv("ORDOPT_VERIFY_ORDERS");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+}  // namespace
+
+Result<std::vector<Row>> QueryEngine::ExecutePhase(
+    QueryResult* result, QueryGuard* guard,
+    std::vector<OperatorProfile>* profile) {
+  // Sorts spill under the same row budget the cost model priced; the
+  // manager lives inside ExecutePlan, scoped to this query.
+  SpillConfig spill_config;
+  spill_config.sort_memory_rows = config_.cost_params.sort_memory_rows;
+  spill_config.temp_dir = config_.spill_temp_dir;
+  spill_config.retry = config_.spill_retry;
+  auto start = std::chrono::steady_clock::now();
+  Result<std::vector<Row>> rows =
+      ExecutePlan(result->plan, &result->metrics, guard, &spill_config,
+                  profile, EffectiveVerifyOrders(config_));
+  auto end = std::chrono::steady_clock::now();
+  result->elapsed_seconds = std::chrono::duration<double>(end - start).count();
+  // Keep consumed-vs-limit visible even when the query failed: a
+  // Result<QueryResult> error drops the metrics it carried.
+  SnapshotMetrics(result->metrics);
+  return rows;
+}
+
 Result<QueryResult> QueryEngine::Prepare(const std::string& sql, bool execute,
                                          QueryGuard* guard, bool analyze) {
   ORDOPT_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelect(sql));
@@ -57,34 +92,10 @@ Result<QueryResult> QueryEngine::Prepare(const std::string& sql, bool execute,
     // supplied a guard of their own.
     QueryGuard config_guard(config_.limits);
     if (guard == nullptr) guard = &config_guard;
-    // Sorts spill under the same row budget the cost model priced; the
-    // manager lives inside ExecutePlan, scoped to this query.
-    SpillConfig spill_config;
-    spill_config.sort_memory_rows = config_.cost_params.sort_memory_rows;
-    spill_config.temp_dir = config_.spill_temp_dir;
-    spill_config.retry = config_.spill_retry;
     std::vector<OperatorProfile>* profile =
         (trace != nullptr && trace->collect_exec()) ? &result.op_profile
                                                     : nullptr;
-    // Runtime order verification: the config switch, with the
-    // ORDOPT_VERIFY_ORDERS environment variable as a default so whole test
-    // suites can run checked without touching call sites ("0" disables).
-    bool verify_orders = config_.verify_orders;
-    if (!verify_orders) {
-      const char* env = std::getenv("ORDOPT_VERIFY_ORDERS");
-      verify_orders = env != nullptr && env[0] != '\0' &&
-                      !(env[0] == '0' && env[1] == '\0');
-    }
-    auto start = std::chrono::steady_clock::now();
-    Result<std::vector<Row>> rows =
-        ExecutePlan(plan, &result.metrics, guard, &spill_config, profile,
-                    verify_orders);
-    auto end = std::chrono::steady_clock::now();
-    result.elapsed_seconds =
-        std::chrono::duration<double>(end - start).count();
-    // Keep consumed-vs-limit visible even when the query failed: a
-    // Result<QueryResult> error drops the metrics it carried.
-    last_metrics_ = result.metrics;
+    Result<std::vector<Row>> rows = ExecutePhase(&result, guard, profile);
     ORDOPT_RETURN_NOT_OK(rows.status());
     result.rows = std::move(rows).value();
 
@@ -151,6 +162,26 @@ Result<QueryResult> QueryEngine::Run(const std::string& sql,
 
 Result<QueryResult> QueryEngine::RunAnalyzed(const std::string& sql) {
   return Prepare(sql, /*execute=*/true, /*guard=*/nullptr, /*analyze=*/true);
+}
+
+Result<QueryResult> QueryEngine::RunPrepared(const PreparedPlan& prepared,
+                                             QueryGuard* guard) {
+  if (prepared.plan == nullptr) {
+    return Status::InvalidArgument("RunPrepared: prepared plan is null");
+  }
+  QueryResult result;
+  result.plan = prepared.plan;
+  result.plan_text = prepared.plan_text;
+  result.qgm_text = prepared.qgm_text;
+  result.column_names = prepared.column_names;
+  result.planned_from_cache = true;
+  QueryGuard config_guard(config_.limits);
+  if (guard == nullptr) guard = &config_guard;
+  Result<std::vector<Row>> rows =
+      ExecutePhase(&result, guard, /*profile=*/nullptr);
+  ORDOPT_RETURN_NOT_OK(rows.status());
+  result.rows = std::move(rows).value();
+  return result;
 }
 
 }  // namespace ordopt

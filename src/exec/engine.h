@@ -2,6 +2,7 @@
 #define ORDOPT_EXEC_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,14 +48,52 @@ struct QueryResult {
   /// events plus, at kFull, exec-phase operator/metrics events.
   std::shared_ptr<TraceCollector> trace;
 
+  /// True when the plan was taken from a plan cache and execution skipped
+  /// parse/bind/optimize entirely (RunPrepared); plans_generated and the
+  /// reduce-cache counters are 0 for such runs.
+  bool planned_from_cache = false;
+
   double SimulatedElapsedSeconds() const {
     return metrics.SimulatedElapsedSeconds();
+  }
+};
+
+/// Everything needed to execute a query whose optimization already
+/// happened — the currency of the service's plan cache. The plan tree is
+/// immutable and shared; holders may execute it from many threads at once
+/// (each execution builds its own operator tree). Table pointers inside
+/// the plan stay valid as long as the Database outlives the holder, and
+/// the plan is only correct for the stats epoch it was built under —
+/// cache keys carry that epoch (see service/plan_cache.h).
+struct PreparedPlan {
+  PlanRef plan;
+  std::vector<std::string> column_names;
+  std::string plan_text;
+  std::string qgm_text;
+
+  /// Captures the planned artifacts of a QueryResult (from Explain or a
+  /// full Run) for later re-execution.
+  static PreparedPlan FromResult(const QueryResult& result) {
+    PreparedPlan p;
+    p.plan = result.plan;
+    p.column_names = result.column_names;
+    p.plan_text = result.plan_text;
+    p.qgm_text = result.qgm_text;
+    return p;
   }
 };
 
 /// End-to-end facade: parse -> bind -> rewrite -> optimize -> execute.
 /// Toggle `config.enable_order_optimization` to run the paper's disabled
 /// baseline against the same database.
+///
+/// Threading: Run/Explain/RunAnalyzed/RunPrepared are safe to call from
+/// multiple threads on one engine — every query builds its own planner,
+/// guard, spill manager, and trace collector, the database is read-only,
+/// and last_metrics() snapshots under a lock. set_config is NOT
+/// synchronized with in-flight queries: configure before sharing the
+/// engine (the QueryService sidesteps this entirely by owning one engine
+/// per worker thread).
 class QueryEngine {
  public:
   explicit QueryEngine(Database* db, OptimizerConfig config = OptimizerConfig())
@@ -81,17 +120,44 @@ class QueryEngine {
   /// `analyzed_plan_text` / `op_profile` / `trace` in the result.
   Result<QueryResult> RunAnalyzed(const std::string& sql);
 
+  /// Executes an already-optimized plan, skipping parse/bind/optimize —
+  /// the plan-cache hit path. Runs under `guard` when non-null, else
+  /// under the engine's configured limits; spilling, guardrails, and
+  /// runtime order verification behave exactly as in Run. Tracing and
+  /// EXPLAIN ANALYZE are not available on this path (cached execution is
+  /// the hot path); result.planned_from_cache is set.
+  Result<QueryResult> RunPrepared(const PreparedPlan& prepared,
+                                  QueryGuard* guard = nullptr);
+
   /// Metrics of the most recent Run, populated even when the query failed —
   /// a tripped guardrail reports consumed-vs-limit here (e.g.
-  /// rows_scanned against limits().max_rows_scanned).
-  const RuntimeMetrics& last_metrics() const { return last_metrics_; }
+  /// rows_scanned against limits().max_rows_scanned). Snapshot under a
+  /// lock: with concurrent queries on one engine you get some recent
+  /// query's complete metrics, never a torn mix.
+  RuntimeMetrics last_metrics() const {
+    std::lock_guard<std::mutex> lock(last_metrics_mu_);
+    return last_metrics_;
+  }
 
  private:
   Result<QueryResult> Prepare(const std::string& sql, bool execute,
                               QueryGuard* guard, bool analyze);
 
+  /// Shared execute phase of Prepare and RunPrepared: runs result->plan
+  /// under the guard/spill/verify-orders environment and fills rows,
+  /// metrics, and timing.
+  Result<std::vector<Row>> ExecutePhase(QueryResult* result,
+                                        QueryGuard* guard,
+                                        std::vector<OperatorProfile>* profile);
+
+  void SnapshotMetrics(const RuntimeMetrics& metrics) {
+    std::lock_guard<std::mutex> lock(last_metrics_mu_);
+    last_metrics_ = metrics;
+  }
+
   Database* db_;
   OptimizerConfig config_;
+  mutable std::mutex last_metrics_mu_;
   RuntimeMetrics last_metrics_;
 };
 

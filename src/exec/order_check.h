@@ -1,6 +1,7 @@
 #ifndef ORDOPT_EXEC_ORDER_CHECK_H_
 #define ORDOPT_EXEC_ORDER_CHECK_H_
 
+#include <atomic>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -85,16 +86,22 @@ class OrderCheckOp : public Operator {
 };
 
 /// Statistics of the checks a verified execution performed, for tests and
-/// the --verify-orders gate's report (process-wide, reset manually).
+/// the --verify-orders gate's report. Process-wide and shared by every
+/// concurrently-verified query, so the counters are atomic; Reset is not
+/// synchronized with in-flight queries — call it only between runs.
 struct OrderCheckStats {
-  int64_t operators_checked = 0;  ///< OrderCheckOp instances constructed
-  int64_t rows_checked = 0;       ///< rows that passed through checkers
-  int64_t violations = 0;         ///< claims found violated
+  std::atomic<int64_t> operators_checked{0};  ///< OrderCheckOps constructed
+  std::atomic<int64_t> rows_checked{0};  ///< rows passed through checkers
+  std::atomic<int64_t> violations{0};    ///< claims found violated
 
-  void Reset() { *this = OrderCheckStats(); }
+  void Reset() {
+    operators_checked.store(0, std::memory_order_relaxed);
+    rows_checked.store(0, std::memory_order_relaxed);
+    violations.store(0, std::memory_order_relaxed);
+  }
 };
 
-/// Global check statistics (single-threaded execution, like TraceCollector).
+/// Global check statistics, safe to bump from concurrent queries.
 OrderCheckStats& GlobalOrderCheckStats();
 
 }  // namespace ordopt

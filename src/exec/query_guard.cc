@@ -50,6 +50,19 @@ bool QueryGuard::TripProducedLimit() {
 bool QueryGuard::OnRowsBuffered(int64_t rows, int64_t bytes) {
   buffered_rows_ += rows;
   buffered_bytes_ += bytes;
+  if (shared_budget_ != nullptr && bytes > 0) {
+    if (shared_budget_->TryCharge(bytes)) {
+      shared_charged_bytes_ += bytes;
+    } else {
+      Poison(Status::ResourceExhausted(StrFormat(
+          "global memory budget exhausted: query holds ~%lld bytes, pool "
+          "%lld/%lld bytes committed",
+          static_cast<long long>(buffered_bytes_),
+          static_cast<long long>(shared_budget_->used_bytes()),
+          static_cast<long long>(shared_budget_->limit_bytes()))));
+      return false;
+    }
+  }
   buffered_rows_peak_ = std::max(buffered_rows_peak_, buffered_rows_);
   buffered_bytes_peak_ = std::max(buffered_bytes_peak_, buffered_bytes_);
   if (limits_.max_buffered_rows > 0 &&
@@ -76,6 +89,13 @@ bool QueryGuard::OnRowsBuffered(int64_t rows, int64_t bytes) {
 void QueryGuard::OnBufferReleased(int64_t rows, int64_t bytes) {
   buffered_rows_ -= rows;
   buffered_bytes_ -= bytes;
+  if (shared_budget_ != nullptr && bytes > 0) {
+    // Release at most what this guard actually managed to charge: a trip
+    // mid-buffer leaves the failed charge uncounted.
+    int64_t give_back = std::min(bytes, shared_charged_bytes_);
+    shared_budget_->Release(give_back);
+    shared_charged_bytes_ -= give_back;
+  }
 }
 
 bool QueryGuard::ForceCheck() {

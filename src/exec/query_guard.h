@@ -43,6 +43,67 @@ struct QueryLimits {
 /// payloads); used for the buffered-bytes guardrail.
 int64_t ApproxRowBytes(const Row& row);
 
+/// A memory budget shared by many concurrent queries (the QueryService
+/// gives every session's guards one instance): each guard charges its
+/// buffered bytes here in addition to its per-query limits, so one
+/// spilling sort cannot buffer the whole process into the ground — the
+/// query whose charge would cross the budget trips kResourceExhausted
+/// while its neighbors keep their reservations and complete. All counters
+/// are atomic; TryCharge is wait-free.
+class SharedMemoryBudget {
+ public:
+  /// `limit_bytes <= 0` means unlimited (charges are still tracked).
+  explicit SharedMemoryBudget(int64_t limit_bytes = 0)
+      : limit_bytes_(limit_bytes) {}
+
+  int64_t limit_bytes() const { return limit_bytes_; }
+  int64_t used_bytes() const {
+    return used_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Charges that failed because they would cross the limit.
+  int64_t rejections() const {
+    return rejections_.load(std::memory_order_relaxed);
+  }
+  /// True when the budget is fully committed (admission gate).
+  bool Exhausted() const {
+    return limit_bytes_ > 0 && used_bytes() >= limit_bytes_;
+  }
+
+  /// Reserves `bytes`; false (and nothing charged) when the reservation
+  /// would exceed the limit.
+  bool TryCharge(int64_t bytes) {
+    if (bytes <= 0) return true;
+    int64_t used = used_bytes_.fetch_add(bytes, std::memory_order_relaxed) +
+                   bytes;
+    if (limit_bytes_ > 0 && used > limit_bytes_) {
+      used_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+      rejections_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // Track the high-water mark (racy max: CAS loop keeps it monotonic).
+    int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+    while (used > peak &&
+           !peak_bytes_.compare_exchange_weak(peak, used,
+                                              std::memory_order_relaxed)) {
+    }
+    return true;
+  }
+
+  /// Returns a reservation made with TryCharge.
+  void Release(int64_t bytes) {
+    if (bytes > 0) used_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+ private:
+  const int64_t limit_bytes_;
+  std::atomic<int64_t> used_bytes_{0};
+  std::atomic<int64_t> peak_bytes_{0};
+  std::atomic<int64_t> rejections_{0};
+};
+
 /// Runtime safety net for one query execution: enforces QueryLimits,
 /// carries a cooperative cancellation flag (safe to set from another
 /// thread), and serves as the executor's error channel — operators whose
@@ -56,8 +117,25 @@ class QueryGuard {
   /// Unlimited guard: still usable for cancellation and poisoning.
   QueryGuard() = default;
   explicit QueryGuard(QueryLimits limits) : limits_(limits) {}
+  ~QueryGuard() {
+    // Backstop: a guard that dies with buffered charges outstanding (its
+    // operators were torn down without releasing) must not leak budget
+    // from the shared pool forever.
+    if (shared_budget_ != nullptr && shared_charged_bytes_ > 0) {
+      shared_budget_->Release(shared_charged_bytes_);
+    }
+  }
 
   const QueryLimits& limits() const { return limits_; }
+
+  /// Attaches a cross-query memory budget: every buffered byte is charged
+  /// against it in addition to this guard's own limits, and a failed
+  /// charge trips the guard with kResourceExhausted. Set before execution
+  /// starts; `budget` must outlive the guard.
+  void set_shared_budget(SharedMemoryBudget* budget) {
+    shared_budget_ = budget;
+  }
+  SharedMemoryBudget* shared_budget() const { return shared_budget_; }
 
   /// Starts (or restarts) the wall-clock deadline. ExecutePlan arms the
   /// guard when execution begins; a pending cancellation survives Arm.
@@ -149,6 +227,12 @@ class QueryGuard {
   int64_t buffered_bytes_ = 0;
   int64_t buffered_rows_peak_ = 0;
   int64_t buffered_bytes_peak_ = 0;
+
+  /// Optional service-wide budget (see SharedMemoryBudget above); the
+  /// guard itself is single-query/single-thread, so the local charge
+  /// bookkeeping needs no synchronization.
+  SharedMemoryBudget* shared_budget_ = nullptr;
+  int64_t shared_charged_bytes_ = 0;
 };
 
 /// Tracks the rows/bytes one blocking operator currently holds, charging

@@ -69,8 +69,10 @@ class EquivalenceClasses {
   // Const lookup: root if col known, col itself otherwise.
   ColumnId FindRootConst(const ColumnId& col) const;
 
-  // parent_[c] == c for roots.
-  mutable std::unordered_map<ColumnId, ColumnId, ColumnIdHash> parent_;
+  // parent_[c] == c for roots. Path compression happens only in the
+  // non-const FindRoot; const lookups never mutate, so concurrent readers
+  // of a shared (e.g. plan-cached) instance are safe.
+  std::unordered_map<ColumnId, ColumnId, ColumnIdHash> parent_;
   // Root -> smallest member of the class.
   std::unordered_map<ColumnId, ColumnId, ColumnIdHash> head_;
   // Root -> bound constant.

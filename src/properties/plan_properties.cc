@@ -13,14 +13,23 @@ std::atomic<uint64_t> g_next_epoch{1};
 }  // namespace
 
 OrderContext PlanProperties::Context(bool transitive_fds) const {
-  if (epoch_ == 0) {
-    epoch_ = g_next_epoch.fetch_add(1, std::memory_order_relaxed);
+  uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (epoch == 0) {
+    // First stamp wins: concurrent callers racing on an unstamped bundle
+    // CAS a fresh epoch in, and the losers adopt the winner's value so
+    // every thread sees one identity for this content.
+    uint64_t fresh = g_next_epoch.fetch_add(1, std::memory_order_relaxed);
+    if (epoch_.compare_exchange_strong(epoch, fresh,
+                                       std::memory_order_relaxed)) {
+      epoch = fresh;
+    }
+    // On failure compare_exchange loaded the winner's epoch into `epoch`.
   }
   OrderContext ctx;
   ctx.eq = eq_;
   ctx.fds = fds_;
   ctx.transitive_fds = transitive_fds;
-  ctx.epoch = epoch_;
+  ctx.epoch = epoch;
   return ctx;
 }
 

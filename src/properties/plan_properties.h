@@ -1,8 +1,10 @@
 #ifndef ORDOPT_PROPERTIES_PLAN_PROPERTIES_H_
 #define ORDOPT_PROPERTIES_PLAN_PROPERTIES_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "orderopt/equivalence.h"
@@ -32,6 +34,54 @@ namespace ordopt {
 /// Context() re-stamps and stale cache entries are simply never hit.
 class PlanProperties {
  public:
+  PlanProperties() = default;
+  // The epoch is an atomic (lazy stamping may race between threads reading
+  // a shared plan), which deletes the implicit copy/move members; copies
+  // transfer the stamped value — same content, same identity.
+  PlanProperties(const PlanProperties& o)
+      : columns(o.columns),
+        order(o.order),
+        keys(o.keys),
+        cardinality(o.cardinality),
+        cost(o.cost),
+        eq_(o.eq_),
+        fds_(o.fds_),
+        epoch_(o.epoch_.load(std::memory_order_relaxed)) {}
+  PlanProperties(PlanProperties&& o) noexcept
+      : columns(std::move(o.columns)),
+        order(std::move(o.order)),
+        keys(std::move(o.keys)),
+        cardinality(o.cardinality),
+        cost(o.cost),
+        eq_(std::move(o.eq_)),
+        fds_(std::move(o.fds_)),
+        epoch_(o.epoch_.load(std::memory_order_relaxed)) {}
+  PlanProperties& operator=(const PlanProperties& o) {
+    if (this == &o) return *this;
+    columns = o.columns;
+    order = o.order;
+    keys = o.keys;
+    cardinality = o.cardinality;
+    cost = o.cost;
+    eq_ = o.eq_;
+    fds_ = o.fds_;
+    epoch_.store(o.epoch_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+  PlanProperties& operator=(PlanProperties&& o) noexcept {
+    columns = std::move(o.columns);
+    order = std::move(o.order);
+    keys = std::move(o.keys);
+    cardinality = o.cardinality;
+    cost = o.cost;
+    eq_ = std::move(o.eq_);
+    fds_ = std::move(o.fds_);
+    epoch_.store(o.epoch_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
   ColumnSet columns;
   OrderSpec order;  ///< physical order; originates from index or sort
   KeyProperty keys;
@@ -45,11 +95,11 @@ class PlanProperties {
   /// context identity — call once and batch edits rather than interleaving
   /// with Context().
   EquivalenceClasses& mutable_eq() {
-    epoch_ = 0;
+    epoch_.store(0, std::memory_order_relaxed);
     return eq_;
   }
   FDSet& mutable_fds() {
-    epoch_ = 0;
+    epoch_.store(0, std::memory_order_relaxed);
     return fds_;
   }
 
@@ -67,8 +117,10 @@ class PlanProperties {
   EquivalenceClasses eq_;
   FDSet fds_;
   /// Context identity of the current (eq_, fds_) content; 0 = unstamped.
-  /// Mutable: stamping happens inside const Context().
-  mutable uint64_t epoch_ = 0;
+  /// Mutable: stamping happens inside const Context(). Atomic with a CAS
+  /// stamp so concurrent Context() calls on a shared (e.g. plan-cached)
+  /// property bundle agree on one epoch without a data race.
+  mutable std::atomic<uint64_t> epoch_{0};
 };
 
 /// Properties of a base-table access with instance id `table_id`: columns,

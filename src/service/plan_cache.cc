@@ -1,0 +1,191 @@
+#include "service/plan_cache.h"
+
+#include <cctype>
+#include <utility>
+
+namespace ordopt {
+
+std::string NormalizeQueryText(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool in_string = false;
+  bool pending_space = false;
+  for (size_t i = 0; i < sql.size(); ++i) {
+    char c = sql[i];
+    if (in_string) {
+      out += c;
+      // A doubled '' inside a literal is an escaped quote, not the end.
+      if (c == '\'') {
+        if (i + 1 < sql.size() && sql[i + 1] == '\'') {
+          out += '\'';
+          ++i;
+        } else {
+          in_string = false;
+        }
+      }
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    if (c == '\'') {
+      in_string = true;
+      out += c;
+    } else {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<const PreparedPlan> PlanCache::GetOrBeginPlanning(
+    const std::string& sql, uint64_t stats_epoch) {
+  std::string key = NormalizeQueryText(sql);
+  std::unique_lock<std::mutex> lock(mu_);
+  bool counted_wait = false;
+  while (true) {
+    auto it = slots_.find(key);
+    if (it == slots_.end()) {
+      // Caller becomes the planner. The in-flight marker is invisible to
+      // the LRU (it holds no plan yet).
+      Slot slot;
+      slot.stats_epoch = stats_epoch;
+      slot.planning = true;
+      slots_.emplace(key, std::move(slot));
+      ++stats_.misses;
+      return nullptr;
+    }
+    Slot& slot = it->second;
+    if (!slot.planning) {
+      if (slot.stats_epoch == stats_epoch) {
+        ++stats_.hits;
+        TouchLocked(&slot, key);
+        return slot.plan;
+      }
+      // The statistics moved under the cached plan: drop it and take the
+      // planner role for the new epoch.
+      ++stats_.invalidations;
+      if (slot.in_lru) lru_.erase(slot.lru_pos);
+      slots_.erase(it);
+      continue;
+    }
+    // A planner is in flight (possibly under an older epoch — its result
+    // will be epoch-checked when it lands). Wait for it to resolve.
+    if (!counted_wait) {
+      ++stats_.stampede_waits;
+      counted_wait = true;
+    }
+    int64_t seen_generation = slot.generation;
+    cv_.wait(lock, [&] {
+      auto cur = slots_.find(key);
+      return cur == slots_.end() || !cur->second.planning ||
+             cur->second.generation != seen_generation;
+    });
+  }
+}
+
+std::shared_ptr<const PreparedPlan> PlanCache::Peek(
+    const std::string& sql, uint64_t stats_epoch) const {
+  std::string key = NormalizeQueryText(sql);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(key);
+  if (it == slots_.end() || it->second.planning ||
+      it->second.stats_epoch != stats_epoch) {
+    return nullptr;
+  }
+  return it->second.plan;
+}
+
+void PlanCache::Publish(const std::string& sql, uint64_t stats_epoch,
+                        PreparedPlan plan) {
+  std::string key = NormalizeQueryText(sql);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(key);
+    if (it == slots_.end()) return;  // Clear() raced the planner; drop it
+    Slot& slot = it->second;
+    slot.plan = std::make_shared<const PreparedPlan>(std::move(plan));
+    slot.stats_epoch = stats_epoch;
+    slot.planning = false;
+    if (capacity_ == 0) {
+      // Caching disabled: resolve waiters, keep nothing.
+      slots_.erase(it);
+    } else {
+      TouchLocked(&slot, key);
+      EvictIfOverCapacityLocked();
+    }
+  }
+  cv_.notify_all();
+}
+
+void PlanCache::Abandon(const std::string& sql, uint64_t stats_epoch) {
+  (void)stats_epoch;
+  std::string key = NormalizeQueryText(sql);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(key);
+    if (it == slots_.end() || !it->second.planning) return;
+    // Erase the marker; the first waiter to wake re-misses and becomes
+    // the next planner.
+    ++it->second.generation;
+    slots_.erase(it);
+  }
+  cv_.notify_all();
+}
+
+void PlanCache::Clear() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = slots_.begin(); it != slots_.end();) {
+      if (it->second.planning) {
+        ++it;  // leave in-flight markers to their planners
+      } else {
+        if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+        it = slots_.erase(it);
+      }
+    }
+  }
+  cv_.notify_all();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+double PlanCache::HitRate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t lookups = stats_.hits + stats_.misses;
+  return lookups == 0 ? 0.0
+                      : static_cast<double>(stats_.hits) /
+                            static_cast<double>(lookups);
+}
+
+void PlanCache::TouchLocked(Slot* slot, const std::string& key) {
+  if (slot->in_lru) lru_.erase(slot->lru_pos);
+  lru_.push_front(key);
+  slot->lru_pos = lru_.begin();
+  slot->in_lru = true;
+}
+
+void PlanCache::EvictIfOverCapacityLocked() {
+  while (lru_.size() > capacity_) {
+    const std::string& victim = lru_.back();
+    auto it = slots_.find(victim);
+    if (it != slots_.end()) slots_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace ordopt

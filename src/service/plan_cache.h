@@ -1,0 +1,117 @@
+#ifndef ORDOPT_SERVICE_PLAN_CACHE_H_
+#define ORDOPT_SERVICE_PLAN_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "exec/engine.h"
+
+namespace ordopt {
+
+/// Normalizes query text for plan-cache keying: lowercases everything
+/// outside single-quoted string literals and collapses runs of whitespace
+/// to one space, so "SELECT  x\nFROM t" and "select x from t" share a
+/// cache entry while "where name = 'Smith'" and "... = 'smith'" do not.
+/// No semantic analysis — queries that differ in literals are distinct
+/// entries by design (this engine has no parameter markers).
+std::string NormalizeQueryText(const std::string& sql);
+
+/// Counter snapshot of one cache's lifetime behavior.
+struct PlanCacheStats {
+  int64_t hits = 0;          ///< lookups served an entry (planning skipped)
+  int64_t misses = 0;        ///< lookups that made the caller the planner
+  int64_t evictions = 0;     ///< entries dropped by the LRU capacity bound
+  int64_t invalidations = 0; ///< entries dropped for a stale stats epoch
+  int64_t stampede_waits = 0;///< lookups that blocked on an in-flight plan
+};
+
+/// Fingerprint-keyed cache of optimized plans shared by every session of a
+/// QueryService. The key is the *normalized* query text; each entry is
+/// stamped with the Database stats epoch it was planned under, and a
+/// lookup whose epoch differs drops the stale entry on the spot — the PR 4
+/// epoch-invalidation rule lifted from Reduce/Test results to whole plans
+/// (see Database::stats_epoch). Capacity is bounded with LRU eviction.
+///
+/// Stampede control: the first thread to miss on a key becomes its
+/// *planner* (GetOrBeginPlanning returns nullptr) and must finish with
+/// Publish or Abandon; concurrent lookups of the same key block until the
+/// planner resolves instead of all re-planning the same query. If the
+/// planner abandons (its query failed), one waiter is promoted to planner
+/// and the rest keep waiting — so a failing query is re-tried by each
+/// caller (it may fail for per-session reasons) but never planned twice
+/// concurrently.
+///
+/// All methods are thread-safe.
+class PlanCache {
+ public:
+  /// `capacity` = max ready entries; 0 disables caching (every
+  /// GetOrBeginPlanning returns planner-role and Publish drops the entry).
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Looks up `sql` (normalizing internally) under `stats_epoch`.
+  /// Returns the ready entry on a hit. Returns nullptr when the caller
+  /// has been elected planner for this key: the caller MUST later call
+  /// exactly one of Publish (success) or Abandon (failure), or every
+  /// future lookup of the key will block forever.
+  std::shared_ptr<const PreparedPlan> GetOrBeginPlanning(
+      const std::string& sql, uint64_t stats_epoch);
+
+  /// Non-blocking peek: the ready entry, or nullptr (never elects a
+  /// planner, counts neither hit nor miss). For tests and introspection.
+  std::shared_ptr<const PreparedPlan> Peek(const std::string& sql,
+                                           uint64_t stats_epoch) const;
+
+  /// Publishes the planner's result for `sql` and wakes waiters.
+  void Publish(const std::string& sql, uint64_t stats_epoch,
+               PreparedPlan plan);
+
+  /// Gives up the planner role for `sql` (the query failed before a plan
+  /// existed); one waiter, if any, is promoted to planner.
+  void Abandon(const std::string& sql, uint64_t stats_epoch);
+
+  /// Drops every entry (ready and in-flight markers are left to their
+  /// planners; only ready entries are removed).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  /// Ready entries currently resident.
+  size_t size() const;
+  PlanCacheStats stats() const;
+  /// hits / (hits + misses), 0 when nothing was looked up.
+  double HitRate() const;
+
+ private:
+  struct Slot {
+    /// nullptr while a planner is in flight; set by Publish.
+    std::shared_ptr<const PreparedPlan> plan;
+    uint64_t stats_epoch = 0;
+    bool planning = true;
+    /// Planner generation: bumped on Abandon so waiters can tell "my
+    /// planner resolved" from spurious wakeups.
+    int64_t generation = 0;
+    /// LRU position, valid only for ready (published) slots.
+    std::list<std::string>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  // Both called with mu_ held.
+  void TouchLocked(Slot* slot, const std::string& key);
+  void EvictIfOverCapacityLocked();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, Slot> slots_;
+  /// Most-recently-used keys at the front; only ready slots are listed.
+  std::list<std::string> lru_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_SERVICE_PLAN_CACHE_H_

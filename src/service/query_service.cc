@@ -1,0 +1,286 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace ordopt {
+
+const Result<QueryResult>& QueryTicket::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return result_;
+}
+
+bool QueryTicket::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void QueryTicket::Complete(Result<QueryResult> result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    result_ = std::move(result);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+QueryService::QueryService(Database* db, ServiceConfig config)
+    : db_(db),
+      config_(config),
+      plan_cache_(config.plan_cache_capacity),
+      budget_(config.global_budget_bytes) {
+  int workers = std::max(1, config_.workers);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+int64_t QueryService::OpenSession() {
+  return OpenSession(config_.default_limits);
+}
+
+int64_t QueryService::OpenSession(QueryLimits limits) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  int64_t id = next_session_id_++;
+  Session& session = sessions_[id];
+  session.limits = limits;
+  return id;
+}
+
+void QueryService::CloseSession(int64_t session_id) {
+  std::vector<std::weak_ptr<QueryTicket>> to_cancel;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end() || !it->second.open) return;
+    it->second.open = false;
+    to_cancel = std::move(it->second.tickets);
+    it->second.tickets.clear();
+  }
+  // Cancel outside the lock: RequestCancel is a relaxed store, but a
+  // worker completing a ticket takes sessions_mu_ in FinishTicket.
+  for (const std::weak_ptr<QueryTicket>& weak : to_cancel) {
+    if (TicketRef ticket = weak.lock()) ticket->Cancel();
+  }
+}
+
+Result<TicketRef> QueryService::Submit(int64_t session_id,
+                                       const std::string& sql) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+  }
+
+  // Admission gate 1: global memory budget fully committed. Checked before
+  // touching the session so an exhausted pool sheds uniformly.
+  if (budget_.Exhausted()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shed_budget;
+    return Status::ResourceExhausted(StrFormat(
+        "global memory budget exhausted: %lld/%lld bytes committed",
+        static_cast<long long>(budget_.used_bytes()),
+        static_cast<long long>(budget_.limit_bytes())));
+  }
+
+  // Admission gate 2: session exists, is open, and is under its in-flight
+  // cap. The in-flight count is reserved here and released in
+  // FinishTicket, so the cap covers queued + running.
+  QueryLimits limits;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end() || !it->second.open) {
+      return Status::NotFound(
+          StrFormat("session %lld is not open",
+                    static_cast<long long>(session_id)));
+    }
+    Session& session = it->second;
+    if (config_.max_inflight_per_session > 0 &&
+        session.inflight >= config_.max_inflight_per_session) {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.shed_session_cap;
+      return Status::ResourceExhausted(
+          StrFormat("session %lld at its in-flight limit (%d)",
+                    static_cast<long long>(session_id),
+                    config_.max_inflight_per_session));
+    }
+    ++session.inflight;
+    limits = session.limits;
+  }
+
+  TicketRef ticket(new QueryTicket(
+      next_ticket_id_.fetch_add(1, std::memory_order_relaxed), session_id,
+      sql, limits));
+  ticket->guard_.set_shared_budget(&budget_);
+
+  // Admission gate 3: bounded queue — shed, never block.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      ReleaseSessionSlot(session_id, /*ticket=*/nullptr);
+      return Status::Cancelled("query service is shut down");
+    }
+    size_t bound = std::max<size_t>(1, config_.queue_depth);
+    if (queue_.size() >= bound) {
+      ReleaseSessionSlot(session_id, /*ticket=*/nullptr);
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.shed_queue_full;
+      return Status::ResourceExhausted(
+          StrFormat("admission queue full (%lld queries queued)",
+                    static_cast<long long>(queue_.size())));
+    }
+    queue_.push_back(ticket);
+  }
+  queue_cv_.notify_one();
+
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(session_id);
+    if (it != sessions_.end()) {
+      it->second.tickets.push_back(ticket);
+      // Prune dead weak_ptrs so a long-lived session's vector stays
+      // proportional to its in-flight count.
+      if (it->second.tickets.size() >
+          static_cast<size_t>(it->second.inflight) * 2 + 8) {
+        auto& v = it->second.tickets;
+        v.erase(std::remove_if(v.begin(), v.end(),
+                               [](const std::weak_ptr<QueryTicket>& w) {
+                                 return w.expired();
+                               }),
+                v.end());
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.admitted;
+  }
+  return ticket;
+}
+
+Result<QueryResult> QueryService::Execute(int64_t session_id,
+                                          const std::string& sql) {
+  ORDOPT_ASSIGN_OR_RETURN(TicketRef ticket, Submit(session_id, sql));
+  return ticket->Wait();
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  // Second and later calls find every worker already joined.
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+ServiceStats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+size_t QueryService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+void QueryService::WorkerLoop() {
+  // Engine-per-worker: no shared mutable engine state, so workers only
+  // meet at the queue, the plan cache, and the budget.
+  QueryEngine engine(db_, config_.engine_config);
+  while (true) {
+    TicketRef ticket;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      ticket = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunTicket(&engine, ticket);
+  }
+}
+
+void QueryService::RunTicket(QueryEngine* engine, const TicketRef& ticket) {
+  auto picked_up = std::chrono::steady_clock::now();
+  ticket->queued_seconds_ =
+      std::chrono::duration<double>(picked_up - ticket->submit_time_).count();
+
+  // A cancel that lands while the query is still queued skips execution
+  // (and planning) entirely.
+  if (ticket->guard_.cancel_requested()) {
+    ticket->exec_seconds_ = 0.0;
+    FinishTicket(*ticket, /*ok=*/false);
+    ticket->Complete(Status::Cancelled("query cancelled while queued"));
+    return;
+  }
+
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    if (plan_cache_.capacity() == 0) {
+      return engine->Run(ticket->sql_, &ticket->guard_);
+    }
+    // Capture the epoch before planning so a stats refresh that lands
+    // mid-optimization can only make the published entry *stale* (dropped
+    // at next lookup), never wrongly fresh.
+    uint64_t epoch = db_->stats_epoch();
+    std::shared_ptr<const PreparedPlan> cached =
+        plan_cache_.GetOrBeginPlanning(ticket->sql_, epoch);
+    if (cached != nullptr) {
+      return engine->RunPrepared(*cached, &ticket->guard_);
+    }
+    // This worker is the planner for the key: it must resolve the slot.
+    Result<QueryResult> planned = engine->Run(ticket->sql_, &ticket->guard_);
+    if (planned.ok()) {
+      plan_cache_.Publish(ticket->sql_, epoch,
+                          PreparedPlan::FromResult(planned.value()));
+    } else {
+      plan_cache_.Abandon(ticket->sql_, epoch);
+    }
+    return planned;
+  }();
+
+  ticket->exec_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    picked_up)
+          .count();
+  FinishTicket(*ticket, result.ok());
+  ticket->Complete(std::move(result));
+}
+
+void QueryService::FinishTicket(const QueryTicket& ticket, bool ok) {
+  ReleaseSessionSlot(ticket.session_id(), &ticket);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (ok) {
+    ++stats_.completed;
+  } else {
+    ++stats_.failed;
+  }
+}
+
+void QueryService::ReleaseSessionSlot(int64_t session_id,
+                                      const QueryTicket* ticket) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  if (it->second.inflight > 0) --it->second.inflight;
+  if (ticket != nullptr) {
+    auto& v = it->second.tickets;
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [ticket](const std::weak_ptr<QueryTicket>& w) {
+                             TicketRef t = w.lock();
+                             return t == nullptr || t.get() == ticket;
+                           }),
+            v.end());
+  }
+}
+
+}  // namespace ordopt

@@ -29,6 +29,7 @@ Status Database::FinalizeAll() {
   for (auto& [_, table] : tables_) {
     ORDOPT_RETURN_NOT_OK(table->BuildIndexes());
   }
+  BumpStatsEpoch();
   return Status::OK();
 }
 

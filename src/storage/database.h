@@ -1,6 +1,8 @@
 #ifndef ORDOPT_STORAGE_DATABASE_H_
 #define ORDOPT_STORAGE_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -13,6 +15,12 @@ namespace ordopt {
 /// The catalog-plus-storage registry: owns every table by (lowercased)
 /// name. This is the root object an application creates, loads, and then
 /// runs queries against (see QueryEngine in exec/engine.h).
+///
+/// Concurrency: load-then-serve. CreateTable/AppendRow/FinalizeAll are
+/// single-threaded setup; after FinalizeAll the catalog and every table are
+/// immutable, and any number of threads may plan and execute against them
+/// (the QueryService relies on this). The stats epoch below is the one
+/// mutable cell, and it is atomic.
 class Database {
  public:
   Database() = default;
@@ -27,8 +35,21 @@ class Database {
   const Table* GetTable(const std::string& name) const;
 
   /// Finalizes every table (sorts clustered heaps, builds indexes, refreshes
-  /// statistics). Call once after loading data.
+  /// statistics). Call once after loading data. Bumps the stats epoch.
   Status FinalizeAll();
+
+  /// Monotonic version of this database's schema + statistics content.
+  /// Plans are valid for the epoch they were built under; the service's
+  /// plan cache keys entries on it, so bumping the epoch invalidates every
+  /// cached plan (the PR 4 ReduceCache invalidation rule, lifted to whole
+  /// plans). Starts at 1; FinalizeAll bumps it, and tooling that refreshes
+  /// statistics in place should call BumpStatsEpoch itself.
+  uint64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_acquire);
+  }
+  void BumpStatsEpoch() {
+    stats_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
   const std::map<std::string, std::unique_ptr<Table>>& tables() const {
     return tables_;
@@ -36,6 +57,7 @@ class Database {
 
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::atomic<uint64_t> stats_epoch_{1};
 };
 
 }  // namespace ordopt

@@ -1,0 +1,245 @@
+// Thread-safety regression tests for the pieces the QueryService shares
+// across sessions: one QueryEngine run from many threads, the global
+// FaultInjector's deterministic fire counts under contention, concurrent
+// planners agreeing on plans, and the lazily-stamped PlanProperties
+// context epoch on a shared plan. Run these under TSan (the `tsan` CMake
+// preset / scripts/check.sh --service) — the assertions hold on any
+// build, but the races they guard against only surface as TSan reports.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "exec/engine.h"
+#include "query_test_util.h"
+
+namespace ordopt {
+namespace {
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BuildToyDatabase(&db_, 31, 150);
+    FaultInjector::Global().DisarmAll();
+  }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+
+  Database db_;
+};
+
+// One engine, many threads: every concurrent run of a query returns the
+// rows its serial run returns, and last_metrics() is readable throughout
+// (a torn snapshot is a TSan report and, at best, nonsense values).
+TEST_F(ConcurrencyTest, SharedEngineConcurrentRunsMatchSerial) {
+  QueryEngine engine(&db_);
+  const std::vector<std::string> queries = {
+      "select e.eno, d.dname from emp e, dept d where e.dno = d.dno "
+      "order by e.eno",
+      "select dno, count(*), sum(salary) from emp group by dno",
+      "select distinct dname from dept order by dname",
+  };
+  std::vector<std::vector<std::vector<std::string>>> expected;
+  for (const std::string& sql : queries) {
+    Result<QueryResult> serial = engine.Run(sql);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    expected.push_back(Canonicalize(serial.value().rows));
+  }
+
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 4;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        size_t q = (t + round) % queries.size();
+        Result<QueryResult> result = engine.Run(queries[q]);
+        if (!result.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (Canonicalize(result.value().rows) != expected[q]) {
+          mismatches.fetch_add(1);
+        }
+        // Concurrent metric snapshots must be complete, not torn.
+        RuntimeMetrics metrics = engine.last_metrics();
+        (void)metrics;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// Deterministic fire counts: with fire_after=A and fire_count=C, exactly
+// C of the first A+C hits fire — no matter how many threads hammer the
+// site or how their increments interleave.
+TEST_F(ConcurrencyTest, FaultInjectorFireCountExactUnderContention) {
+  FaultInjector& fi = FaultInjector::Global();
+  constexpr int64_t kFireAfter = 100;
+  constexpr int64_t kFireCount = 7;
+  fi.Arm("test.site", kFireAfter, kFireCount, StatusCode::kIoError);
+
+  constexpr int kThreads = 8;
+  constexpr int kChecksPerThread = 200;
+  std::atomic<int> observed_failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kChecksPerThread; ++i) {
+        if (!fi.Check("test.site").ok()) observed_failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(observed_failures.load(), kFireCount);
+  EXPECT_EQ(fi.FireCount("test.site"), kFireCount);
+  EXPECT_EQ(fi.HitCount("test.site"),
+            static_cast<int64_t>(kThreads) * kChecksPerThread);
+}
+
+// The service-level fault isolation story: a fault armed to fire once
+// fails exactly one of N concurrent queries; the other N-1 complete
+// cleanly with correct rows.
+TEST_F(ConcurrencyTest, InjectedFaultFailsExactlyOneConcurrentQuery) {
+  const std::string sql = "select eno, salary from emp order by eno";
+  QueryEngine reference_engine(&db_);
+  Result<QueryResult> serial = reference_engine.Run(sql);
+  ASSERT_TRUE(serial.ok());
+  auto expected = Canonicalize(serial.value().rows);
+
+  // Fires on the first exec.operator.next hit after arming, once.
+  FaultInjector::Global().Arm("exec.operator.next", 0, 1,
+                              StatusCode::kIoError);
+
+  constexpr int kThreads = 5;
+  std::atomic<int> clean{0};
+  std::atomic<int> injected{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      QueryEngine engine(&db_);
+      Result<QueryResult> result = engine.Run(sql);
+      if (result.ok()) {
+        if (Canonicalize(result.value().rows) == expected) {
+          clean.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      } else if (result.status().code() == StatusCode::kIoError) {
+        injected.fetch_add(1);
+      } else {
+        other.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(injected.load(), 1);
+  EXPECT_EQ(clean.load(), kThreads - 1);
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_EQ(FaultInjector::Global().FireCount("exec.operator.next"), 1);
+}
+
+// Concurrent arming/checking/disarming must stay a clean Status affair:
+// this is purely a TSan target (the map is under a shared_mutex).
+TEST_F(ConcurrencyTest, FaultInjectorArmDisarmRaceIsClean) {
+  FaultInjector& fi = FaultInjector::Global();
+  std::atomic<bool> stop{false};
+  std::thread armer([&] {
+    for (int i = 0; i < 200; ++i) {
+      fi.Arm("race.site", i % 3, 1, StatusCode::kInternal);
+      fi.Disarm("race.site");
+    }
+    stop.store(true);
+  });
+  std::thread checker([&] {
+    while (!stop.load()) {
+      (void)fi.Check("race.site");
+      (void)fi.FireCount("race.site");
+    }
+  });
+  armer.join();
+  checker.join();
+}
+
+// Independent engines planning the same query concurrently must agree on
+// the chosen plan — the optimizer reads only shared-immutable state
+// (catalog, stats), so any divergence means a race leaked into costing.
+TEST_F(ConcurrencyTest, ConcurrentPlannersChooseIdenticalPlans) {
+  const std::string sql =
+      "select e.eno, d.dname, t.hours from emp e, dept d, task t "
+      "where e.dno = d.dno and t.eno = e.eno order by d.dname, e.eno";
+  QueryEngine reference_engine(&db_);
+  Result<QueryResult> reference = reference_engine.Explain(sql);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  const std::string expected_plan = reference.value().plan_text;
+
+  constexpr int kThreads = 6;
+  std::atomic<int> divergent{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      QueryEngine engine(&db_);
+      Result<QueryResult> result = engine.Explain(sql);
+      if (!result.ok() || result.value().plan_text != expected_plan) {
+        divergent.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(divergent.load(), 0);
+}
+
+// A cached plan's PlanProperties are shared by every thread executing it.
+// The lazily-stamped context epoch must resolve to ONE value however many
+// threads race the first Context() call.
+TEST_F(ConcurrencyTest, SharedPlanPropertiesAgreeOnContextEpoch) {
+  QueryEngine engine(&db_);
+  Result<QueryResult> planned = engine.Explain(
+      "select e.eno from emp e, dept d where e.dno = d.dno order by e.eno");
+  ASSERT_TRUE(planned.ok());
+  const PlanNode& root = *planned.value().plan;
+
+  constexpr int kThreads = 8;
+  std::vector<uint64_t> epochs(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { epochs[t] = root.props.Context().epoch; });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(epochs[t], epochs[0]) << "thread " << t;
+  }
+  EXPECT_NE(epochs[0], 0u);
+  // And the stamp is sticky: a later call still agrees.
+  EXPECT_EQ(root.props.Context().epoch, epochs[0]);
+}
+
+// mutable_eq/mutable_fds reset the context identity; a re-stamp from a
+// different thread must observe the reset and mint a fresh epoch (the
+// ReduceCache invalidation rule), never resurrect the old one.
+TEST_F(ConcurrencyTest, MutableAccessBumpsEpochAcrossThreads) {
+  PlanProperties props;
+  uint64_t before = 0;
+  std::thread stamper([&] { before = props.Context().epoch; });
+  stamper.join();
+  ASSERT_NE(before, 0u);
+
+  props.mutable_eq().AddEquivalence(ColumnId{1, 0}, ColumnId{1, 1});
+  uint64_t after = 0;
+  std::thread restamper([&] { after = props.Context().epoch; });
+  restamper.join();
+  EXPECT_NE(after, 0u);
+  EXPECT_NE(after, before);
+}
+
+}  // namespace
+}  // namespace ordopt

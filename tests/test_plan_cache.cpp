@@ -1,0 +1,240 @@
+// Plan-cache tests: normalized-text keying, LRU eviction, stats-epoch
+// invalidation, the leader/waiter stampede protocol (one planner per key
+// however many threads race the lookup), and the integration behavior the
+// service relies on — a published plan re-executes to the same rows the
+// planning run produced.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/engine.h"
+#include "query_test_util.h"
+#include "service/plan_cache.h"
+
+namespace ordopt {
+namespace {
+
+PreparedPlan FakePlan(const std::string& tag) {
+  PreparedPlan p;
+  p.plan_text = tag;
+  return p;
+}
+
+TEST(NormalizeQueryText, CollapsesWhitespaceAndCase) {
+  EXPECT_EQ(NormalizeQueryText("SELECT  x\n\tFROM   T"),
+            NormalizeQueryText("select x from t"));
+  EXPECT_EQ(NormalizeQueryText("  select 1  "), "select 1");
+}
+
+TEST(NormalizeQueryText, PreservesStringLiterals) {
+  // Case inside a literal is semantic; outside it is not.
+  EXPECT_EQ(NormalizeQueryText("SELECT 'MiXeD' FROM t"),
+            "select 'MiXeD' from t");
+  EXPECT_NE(NormalizeQueryText("select 'a' from t"),
+            NormalizeQueryText("select 'A' from t"));
+  // Whitespace inside a literal survives; a doubled quote does not end it.
+  EXPECT_EQ(NormalizeQueryText("select 'two  spaces' from t"),
+            "select 'two  spaces' from t");
+  EXPECT_EQ(NormalizeQueryText("select 'It''s  A' FROM T"),
+            "select 'It''s  A' from t");
+}
+
+TEST(PlanCacheTest, MissPublishHit) {
+  PlanCache cache(8);
+  EXPECT_EQ(cache.GetOrBeginPlanning("SELECT x FROM t", 1), nullptr);
+  cache.Publish("SELECT x FROM t", 1, FakePlan("p1"));
+  // Different surface text, same normalized key.
+  auto hit = cache.GetOrBeginPlanning("select  X from T", 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->plan_text, "p1");
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
+}
+
+TEST(PlanCacheTest, PeekNeverElectsNorCounts) {
+  PlanCache cache(8);
+  EXPECT_EQ(cache.Peek("select 1", 1), nullptr);
+  EXPECT_EQ(cache.stats().misses, 0);
+  ASSERT_EQ(cache.GetOrBeginPlanning("select 1", 1), nullptr);
+  // In-flight: peek still refuses rather than blocking.
+  EXPECT_EQ(cache.Peek("select 1", 1), nullptr);
+  cache.Publish("select 1", 1, FakePlan("p"));
+  EXPECT_NE(cache.Peek("select 1", 1), nullptr);
+  EXPECT_EQ(cache.Peek("select 1", 2), nullptr);  // wrong epoch
+  EXPECT_EQ(cache.stats().hits, 0);
+}
+
+TEST(PlanCacheTest, StatsEpochBumpInvalidates) {
+  PlanCache cache(8);
+  ASSERT_EQ(cache.GetOrBeginPlanning("select 1", /*stats_epoch=*/1), nullptr);
+  cache.Publish("select 1", 1, FakePlan("old"));
+  // The epoch moved: the stale entry is dropped and the caller re-plans.
+  EXPECT_EQ(cache.GetOrBeginPlanning("select 1", /*stats_epoch=*/2), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1);
+  cache.Publish("select 1", 2, FakePlan("new"));
+  auto hit = cache.GetOrBeginPlanning("select 1", 2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->plan_text, "new");
+}
+
+TEST(PlanCacheTest, LruEvictsOldest) {
+  PlanCache cache(2);
+  for (const char* sql : {"select 1", "select 2", "select 3"}) {
+    ASSERT_EQ(cache.GetOrBeginPlanning(sql, 1), nullptr);
+    cache.Publish(sql, 1, FakePlan(sql));
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.Peek("select 1", 1), nullptr);       // evicted
+  EXPECT_NE(cache.Peek("select 2", 1), nullptr);
+  EXPECT_NE(cache.Peek("select 3", 1), nullptr);
+  // A hit refreshes recency: "select 2" survives the next insert.
+  ASSERT_NE(cache.GetOrBeginPlanning("select 2", 1), nullptr);
+  ASSERT_EQ(cache.GetOrBeginPlanning("select 4", 1), nullptr);
+  cache.Publish("select 4", 1, FakePlan("p4"));
+  EXPECT_NE(cache.Peek("select 2", 1), nullptr);
+  EXPECT_EQ(cache.Peek("select 3", 1), nullptr);
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
+  PlanCache cache(0);
+  ASSERT_EQ(cache.GetOrBeginPlanning("select 1", 1), nullptr);
+  cache.Publish("select 1", 1, FakePlan("p"));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.GetOrBeginPlanning("select 1", 1), nullptr);
+  cache.Abandon("select 1", 1);
+}
+
+TEST(PlanCacheTest, ClearDropsReadyEntries) {
+  PlanCache cache(8);
+  ASSERT_EQ(cache.GetOrBeginPlanning("select 1", 1), nullptr);
+  cache.Publish("select 1", 1, FakePlan("p"));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Peek("select 1", 1), nullptr);
+}
+
+// The stampede guarantee: N threads racing one cold key produce exactly
+// one planner; everyone else blocks and comes back with the published
+// plan, not a duplicate planning role.
+TEST(PlanCacheTest, StampedeElectsOnePlanner) {
+  PlanCache cache(8);
+  constexpr int kThreads = 8;
+  std::atomic<int> planners{0};
+  std::atomic<int> hits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      auto plan = cache.GetOrBeginPlanning("select x from t", 7);
+      if (plan == nullptr) {
+        planners.fetch_add(1);
+        cache.Publish("select x from t", 7, FakePlan("winner"));
+      } else {
+        hits.fetch_add(1);
+        EXPECT_EQ(plan->plan_text, "winner");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(planners.load(), 1);
+  EXPECT_EQ(hits.load(), kThreads - 1);
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, kThreads - 1);
+}
+
+// An abandoning planner promotes exactly one waiter to the planner role;
+// the others keep waiting and are served by the promoted planner.
+TEST(PlanCacheTest, AbandonPromotesOneWaiter) {
+  PlanCache cache(8);
+  ASSERT_EQ(cache.GetOrBeginPlanning("select 1", 1), nullptr);
+  std::atomic<int> promoted{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      auto plan = cache.GetOrBeginPlanning("select 1", 1);
+      if (plan == nullptr) {
+        promoted.fetch_add(1);
+        cache.Publish("select 1", 1, FakePlan("retry"));
+      } else {
+        served.fetch_add(1);
+        EXPECT_EQ(plan->plan_text, "retry");
+      }
+    });
+  }
+  // Give the waiters a moment to block, then fail the original planner.
+  std::this_thread::yield();
+  cache.Abandon("select 1", 1);
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(promoted.load(), 1);
+  EXPECT_EQ(served.load(), 3);
+}
+
+// Many threads, several keys, repeated lookups: every query is planned at
+// most once per (key, epoch), every thread always gets a plan, and the
+// counters balance.
+TEST(PlanCacheTest, ManyThreadsOnePlanningPerKey) {
+  PlanCache cache(16);
+  const std::vector<std::string> keys = {"select 1", "select 2", "select 3",
+                                         "select 4"};
+  std::atomic<int> plannings{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 20; ++round) {
+        const std::string& sql = keys[(t + round) % keys.size()];
+        auto plan = cache.GetOrBeginPlanning(sql, 3);
+        if (plan == nullptr) {
+          plannings.fetch_add(1);
+          cache.Publish(sql, 3, FakePlan(sql));
+        } else {
+          EXPECT_EQ(plan->plan_text, sql);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(plannings.load(), static_cast<int>(keys.size()));
+  EXPECT_EQ(cache.stats().misses, static_cast<int64_t>(keys.size()));
+}
+
+// End-to-end: a plan published from a real planning run re-executes via
+// RunPrepared to exactly the rows the planning run produced.
+TEST(PlanCacheTest, PublishedPlanReexecutesIdentically) {
+  Database db;
+  BuildToyDatabase(&db, 11, 120);
+  QueryEngine engine(&db);
+  const std::string sql =
+      "select e.eno, d.dname from emp e, dept d where e.dno = d.dno "
+      "order by e.eno";
+  PlanCache cache(4);
+  uint64_t epoch = db.stats_epoch();
+  ASSERT_EQ(cache.GetOrBeginPlanning(sql, epoch), nullptr);
+  Result<QueryResult> first = engine.Run(sql);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  cache.Publish(sql, epoch, PreparedPlan::FromResult(first.value()));
+
+  auto cached = cache.GetOrBeginPlanning(sql, epoch);
+  ASSERT_NE(cached, nullptr);
+  Result<QueryResult> second = engine.RunPrepared(*cached);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second.value().planned_from_cache);
+  EXPECT_FALSE(first.value().planned_from_cache);
+  EXPECT_EQ(Canonicalize(second.value().rows),
+            Canonicalize(first.value().rows));
+  EXPECT_EQ(second.value().column_names, first.value().column_names);
+  EXPECT_EQ(second.value().plan_text, first.value().plan_text);
+}
+
+}  // namespace
+}  // namespace ordopt

@@ -1,0 +1,404 @@
+// QueryService tests: the robustness acceptance criteria of the
+// concurrent-service milestone. 64 sessions of mixed TPC-D queries must
+// be row-identical to serial execution; overload must shed fast with
+// kResourceExhausted while every admitted query completes; cancellation
+// and deadlines must work on queued and running queries; the shared plan
+// cache must skip planning on repeats and invalidate on a stats-epoch
+// bump; Shutdown must drain cleanly. Run under ASan and TSan via
+// scripts/check.sh --service.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query_test_util.h"
+#include "service/query_service.h"
+#include "tpcd/tpcd.h"
+
+namespace ordopt {
+namespace {
+
+using Canon = std::vector<std::vector<std::string>>;
+
+// A query whose work is large enough to keep a worker busy for a while on
+// any machine (~1.7M-row cartesian join) but still bounded; used as a
+// blocker to make queue/cancel states deterministic.
+constexpr const char* kSlowQuery =
+    "select count(*) from emp e1, emp e2, emp e3 "
+    "where e1.salary >= 30 and e2.salary >= 30 and e3.salary >= 30";
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { BuildToyDatabase(&db_, 17, 120); }
+
+  Database db_;
+};
+
+TEST_F(ServiceTest, ExecuteMatchesDirectEngine) {
+  const std::string sql =
+      "select e.eno, d.dname from emp e, dept d where e.dno = d.dno "
+      "order by e.eno";
+  QueryEngine engine(&db_);
+  Result<QueryResult> direct = engine.Run(sql);
+  ASSERT_TRUE(direct.ok());
+
+  ServiceConfig config;
+  config.workers = 2;
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+  Result<QueryResult> via_service = service.Execute(session, sql);
+  ASSERT_TRUE(via_service.ok()) << via_service.status().ToString();
+  EXPECT_EQ(Canonicalize(via_service.value().rows),
+            Canonicalize(direct.value().rows));
+  EXPECT_EQ(via_service.value().column_names, direct.value().column_names);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.admitted, 1);
+  EXPECT_EQ(stats.completed, 1);
+}
+
+TEST_F(ServiceTest, SubmitToUnknownSessionIsNotFound) {
+  QueryService service(&db_);
+  Result<TicketRef> ticket = service.Submit(999, "select 1 from dept");
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServiceTest, QueryErrorsComeBackAsStatuses) {
+  QueryService service(&db_);
+  int64_t session = service.OpenSession();
+  Result<QueryResult> bad = service.Execute(session, "select * from nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(service.stats().failed, 1);
+  // The service survives a failed query; the next one is fine.
+  Result<QueryResult> good =
+      service.Execute(session, "select dname from dept order by dname");
+  EXPECT_TRUE(good.ok()) << good.status().ToString();
+}
+
+// ---- Overload: shed fast, never block, admitted queries complete. ----
+
+TEST_F(ServiceTest, OverloadShedsQueueFullAndAdmittedComplete) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_depth = 2;
+  config.plan_cache_capacity = 0;  // every run plans: keeps the worker slow
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+
+  // Wedge the single worker on a long query, then overfill the queue.
+  Result<TicketRef> blocker = service.Submit(session, kSlowQuery);
+  ASSERT_TRUE(blocker.ok());
+  std::vector<TicketRef> admitted;
+  int shed = 0;
+  for (int i = 0; i < 10; ++i) {
+    Result<TicketRef> t =
+        service.Submit(session, "select dname from dept order by dname");
+    if (t.ok()) {
+      admitted.push_back(t.value());
+    } else {
+      EXPECT_EQ(t.status().code(), StatusCode::kResourceExhausted)
+          << t.status().ToString();
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0);
+  EXPECT_LE(admitted.size(), config.queue_depth);
+
+  // Every admitted query runs to a clean completion.
+  for (const TicketRef& t : admitted) {
+    const Result<QueryResult>& r = t->Wait();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  }
+  EXPECT_TRUE(blocker.value()->Wait().ok());
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed_queue_full, shed);
+  EXPECT_EQ(stats.completed,
+            static_cast<int64_t>(admitted.size()) + 1);
+}
+
+TEST_F(ServiceTest, SessionInflightCapSheds) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_depth = 16;
+  config.max_inflight_per_session = 1;
+  QueryService service(&db_, config);
+  int64_t blocker_session = service.OpenSession();
+  int64_t capped = service.OpenSession();
+
+  Result<TicketRef> blocker = service.Submit(blocker_session, kSlowQuery);
+  ASSERT_TRUE(blocker.ok());
+  // First query occupies the capped session's only slot (queued counts)...
+  Result<TicketRef> first =
+      service.Submit(capped, "select dname from dept order by dname");
+  ASSERT_TRUE(first.ok());
+  // ...so the second sheds even though the queue has room.
+  Result<TicketRef> second = service.Submit(capped, "select 1 from dept");
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.stats().shed_session_cap, 1);
+
+  EXPECT_TRUE(first.value()->Wait().ok());
+  EXPECT_TRUE(blocker.value()->Wait().ok());
+  // The slot came back: the session can submit again.
+  EXPECT_TRUE(service.Execute(capped, "select 1 from dept").ok());
+}
+
+TEST_F(ServiceTest, GlobalBudgetTripsAsResourceExhausted) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.global_budget_bytes = 512;  // far below one sort's buffering
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+  // The ORDER BY must buffer every emp row — charges blow the budget.
+  Result<QueryResult> result =
+      service.Execute(session, "select eno, salary from emp order by salary");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("global memory budget"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_GT(service.budget().rejections(), 0);
+  // The failed query released its reservations: the pool drains back to
+  // zero and small queries still fit.
+  EXPECT_EQ(service.budget().used_bytes(), 0);
+  Result<QueryResult> small =
+      service.Execute(session, "select dno from emp where eno = 3");
+  EXPECT_TRUE(small.ok()) << small.status().ToString();
+}
+
+// ---- Cancellation and timeouts. ----
+
+TEST_F(ServiceTest, CancelQueuedQuerySkipsExecution) {
+  ServiceConfig config;
+  config.workers = 1;
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+  Result<TicketRef> blocker = service.Submit(session, kSlowQuery);
+  ASSERT_TRUE(blocker.ok());
+  Result<TicketRef> queued =
+      service.Submit(session, "select dname from dept order by dname");
+  ASSERT_TRUE(queued.ok());
+  queued.value()->Cancel();
+  const Result<QueryResult>& r = queued.value()->Wait();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  // Cancelled while queued: it never reached the engine.
+  EXPECT_EQ(queued.value()->exec_seconds(), 0.0);
+  EXPECT_TRUE(blocker.value()->Wait().ok());
+}
+
+TEST_F(ServiceTest, CancelRunningQueryTripsCooperatively) {
+  ServiceConfig config;
+  config.workers = 1;
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+  Result<TicketRef> running = service.Submit(session, kSlowQuery);
+  ASSERT_TRUE(running.ok());
+  // Let the worker pick it up, then cancel mid-flight. If the cancel
+  // happens to land while still queued, the outcome is the same code.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  running.value()->Cancel();
+  const Result<QueryResult>& r = running.value()->Wait();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(ServiceTest, SessionDeadlineTimesOut) {
+  ServiceConfig config;
+  config.workers = 1;
+  QueryService service(&db_, config);
+  QueryLimits limits;
+  limits.deadline_seconds = 0.05;
+  int64_t session = service.OpenSession(limits);
+  Result<QueryResult> result = service.Execute(session, kSlowQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+}
+
+TEST_F(ServiceTest, CloseSessionCancelsInflightAndRejectsNew) {
+  ServiceConfig config;
+  config.workers = 1;
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+  Result<TicketRef> running = service.Submit(session, kSlowQuery);
+  ASSERT_TRUE(running.ok());
+  Result<TicketRef> queued = service.Submit(session, kSlowQuery);
+  ASSERT_TRUE(queued.ok());
+  service.CloseSession(session);
+  EXPECT_EQ(service.Submit(session, "select 1 from dept").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(running.value()->Wait().status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(queued.value()->Wait().status().code(), StatusCode::kCancelled);
+}
+
+// ---- Plan cache behavior through the service. ----
+
+TEST_F(ServiceTest, RepeatedQueryHitsPlanCacheAndSkipsPlanning) {
+  ServiceConfig config;
+  config.workers = 2;
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+  const std::string sql =
+      "select e.eno, d.dname from emp e, dept d where e.dno = d.dno "
+      "order by e.eno";
+
+  Result<QueryResult> first = service.Execute(session, sql);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().planned_from_cache);
+  Canon expected = Canonicalize(first.value().rows);
+
+  constexpr int kRepeats = 19;
+  for (int i = 0; i < kRepeats; ++i) {
+    // Vary the surface text: normalization must still hit.
+    Result<QueryResult> repeat = service.Execute(
+        session, i % 2 == 0 ? sql : "SELECT e.eno, d.dname FROM emp e, "
+                                    "dept d WHERE e.dno = d.dno "
+                                    "ORDER BY  e.eno");
+    ASSERT_TRUE(repeat.ok()) << repeat.status().ToString();
+    EXPECT_TRUE(repeat.value().planned_from_cache) << "repeat " << i;
+    EXPECT_EQ(repeat.value().plans_generated, 0) << "repeat " << i;
+    EXPECT_EQ(Canonicalize(repeat.value().rows), expected);
+  }
+  PlanCacheStats cache_stats = service.plan_cache_stats();
+  EXPECT_EQ(cache_stats.hits, kRepeats);
+  EXPECT_EQ(cache_stats.misses, 1);
+  // The acceptance bar: >= 90% hit rate on the repeated query.
+  EXPECT_GE(service.plan_cache_hit_rate(), 0.9);
+}
+
+TEST_F(ServiceTest, StatsEpochBumpInvalidatesCachedPlans) {
+  ServiceConfig config;
+  config.workers = 1;
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+  const std::string sql = "select dname from dept order by dname";
+
+  ASSERT_TRUE(service.Execute(session, sql).ok());
+  Result<QueryResult> hit = service.Execute(session, sql);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.value().planned_from_cache);
+
+  // A statistics refresh bumps the database epoch: the cached plan is
+  // stale and the next run re-plans, then re-caches under the new epoch.
+  db_.BumpStatsEpoch();
+  Result<QueryResult> replanned = service.Execute(session, sql);
+  ASSERT_TRUE(replanned.ok());
+  EXPECT_FALSE(replanned.value().planned_from_cache);
+  EXPECT_GE(service.plan_cache_stats().invalidations, 1);
+  Result<QueryResult> recached = service.Execute(session, sql);
+  ASSERT_TRUE(recached.ok());
+  EXPECT_TRUE(recached.value().planned_from_cache);
+}
+
+// ---- Shutdown. ----
+
+TEST_F(ServiceTest, ShutdownDrainsAdmittedWorkAndRejectsNew) {
+  ServiceConfig config;
+  config.workers = 2;
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+  std::vector<TicketRef> tickets;
+  for (int i = 0; i < 6; ++i) {
+    Result<TicketRef> t =
+        service.Submit(session, "select dname from dept order by dname");
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(t.value());
+  }
+  service.Shutdown();
+  for (const TicketRef& t : tickets) {
+    EXPECT_TRUE(t->done());
+    EXPECT_TRUE(t->Wait().ok());
+  }
+  EXPECT_EQ(service.Submit(session, "select 1 from dept").status().code(),
+            StatusCode::kCancelled);
+  // Idempotent (the destructor will call it again).
+  service.Shutdown();
+}
+
+// ---- The acceptance test: 64 concurrent sessions of mixed TPC-D ----
+// queries, row-identical to serial execution, zero races (under TSan),
+// zero crashes.
+
+TEST(ServiceTpcdTest, SixtyFourSessionsMatchSerialExecution) {
+  Database db;
+  TpcdConfig tpcd;
+  tpcd.scale_factor = 0.002;  // tiny but non-degenerate tables
+  ASSERT_TRUE(LoadTpcd(&db, tpcd).ok());
+
+  const std::vector<std::string> workload = {
+      tpcd_queries::kQuery3,
+      tpcd_queries::kPricingSummary,
+      tpcd_queries::kDistinctShipdates,
+      tpcd_queries::kLateOrders,
+      tpcd_queries::kRegionRevenue,
+  };
+
+  // Serial reference, one engine, one thread.
+  QueryEngine reference(&db);
+  std::vector<Canon> expected;
+  std::vector<std::vector<std::string>> expected_names;
+  for (const std::string& sql : workload) {
+    Result<QueryResult> serial = reference.Run(sql);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    expected.push_back(Canonicalize(serial.value().rows));
+    expected_names.push_back(serial.value().column_names);
+  }
+
+  ServiceConfig config;
+  config.workers = 4;
+  config.queue_depth = 256;
+  config.plan_cache_capacity = 32;
+  QueryService service(&db, config);
+
+  constexpr int kSessions = 64;
+  constexpr int kQueriesPerSession = 3;
+  std::vector<int64_t> sessions;
+  sessions.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) sessions.push_back(service.OpenSession());
+
+  // Submit from many client threads at once; each session rotates through
+  // the workload starting at a different offset.
+  std::atomic<int> wrong_rows{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    clients.emplace_back([&, s] {
+      for (int q = 0; q < kQueriesPerSession; ++q) {
+        size_t w = (s + q) % workload.size();
+        Result<QueryResult> result =
+            service.Execute(sessions[s], workload[w]);
+        if (!result.ok()) {
+          errors.fetch_add(1);
+          ADD_FAILURE() << "session " << s << " query " << w << ": "
+                        << result.status().ToString();
+          continue;
+        }
+        if (Canonicalize(result.value().rows) != expected[w] ||
+            result.value().column_names != expected_names[w]) {
+          wrong_rows.fetch_add(1);
+          ADD_FAILURE() << "session " << s << " query " << w
+                        << ": rows differ from serial execution";
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(wrong_rows.load(), 0);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.admitted, kSessions * kQueriesPerSession);
+  EXPECT_EQ(stats.completed, kSessions * kQueriesPerSession);
+  EXPECT_EQ(stats.failed, 0);
+  // 5 distinct queries, 192 executions: nearly everything hits the cache.
+  EXPECT_GE(service.plan_cache_hit_rate(), 0.9);
+}
+
+}  // namespace
+}  // namespace ordopt
