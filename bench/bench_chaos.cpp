@@ -1,0 +1,303 @@
+// Chaos benchmark: the resilience layer under sustained fault injection.
+// Five seeded randomized fault schedules each drive a 64-session mixed
+// TPC-D fleet through one QueryService while spill, executor, planner,
+// and storage sites misfire; we report per-seed survival rate (queries
+// answered OK or failed cleanly with an expected code), retries, breaker
+// trips, degraded executions, and p99 latency under faults. Custom main
+// (not google-benchmark): the measurement unit is a whole fleet, and the
+// output is the JSON consumed by scripts/check.sh --chaos
+// (BENCH_chaos.json). Exits non-zero if any invariant breaks: a wrong
+// answer, an unexpected failure code, a stuck ticket, or a shared budget
+// that does not drain to zero.
+//
+// Usage: bench_chaos [output.json]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/str_util.h"
+#include "service/query_service.h"
+#include "tpcd/tpcd.h"
+
+namespace ordopt {
+namespace {
+
+using Canon = std::vector<std::vector<std::string>>;
+
+constexpr int kSessions = 64;
+constexpr int kQueriesPerSession = 4;
+
+// Canonical multiset of rendered rows, numerics through double so
+// 3 == 3.0 — mirrors tests/query_test_util.h.
+Canon Canonicalize(const std::vector<Row>& rows) {
+  Canon out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (const Value& v : row) {
+      if (v.type() == DataType::kInt64 || v.type() == DataType::kDouble) {
+        r.push_back(StrFormat("%.6f", v.AsDouble()));
+      } else {
+        r.push_back(v.ToString());
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double PercentileMs(std::vector<double>* latencies, double p) {
+  if (latencies->empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * (latencies->size() - 1));
+  std::nth_element(latencies->begin(), latencies->begin() + idx,
+                   latencies->end());
+  return (*latencies)[idx] * 1000.0;
+}
+
+struct ChaosSite {
+  const char* name;
+  bool can_io;
+};
+constexpr ChaosSite kChaosSites[] = {
+    {"exec.sort.spill.write", true}, {"exec.sort.spill.read", true},
+    {"exec.sort.spill.merge", false}, {"exec.operator.next", false},
+    {"planner.alloc", false},        {"storage.btree.read", true},
+};
+
+// Derives a fault schedule from the seed in the ORDOPT_FAULTS spec grammar
+// and arms it. Mirrors tests/test_chaos.cpp.
+std::string ArmSeededSchedule(std::mt19937* rng) {
+  int arms = 2 + static_cast<int>((*rng)() % 3);
+  std::set<int> picked;
+  std::string spec;
+  for (int i = 0; i < arms; ++i) {
+    int site = static_cast<int>((*rng)() % std::size(kChaosSites));
+    if (!picked.insert(site).second) continue;
+    int64_t fire_after = static_cast<int64_t>((*rng)() % 400);
+    int64_t fire_count = 1 + static_cast<int64_t>((*rng)() % 8);
+    const char* code =
+        (kChaosSites[site].can_io && (*rng)() % 2 == 0) ? "io" : "internal";
+    if (!spec.empty()) spec += ',';
+    spec += std::string(kChaosSites[site].name) + ":" +
+            std::to_string(fire_after) + ":" + std::to_string(fire_count) +
+            ":" + code;
+  }
+  Status armed = FaultInjector::Global().ArmFromSpec(spec);
+  if (!armed.ok()) {
+    std::fprintf(stderr, "bench_chaos: bad spec %s: %s\n", spec.c_str(),
+                 armed.ToString().c_str());
+  }
+  return spec;
+}
+
+bool IsExpectedChaosCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInternal:
+    case StatusCode::kIoError:
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kCancelled:
+    case StatusCode::kTimeout:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct SeedResult {
+  uint32_t seed = 0;
+  std::string spec;
+  int64_t submitted = 0;
+  int64_t ok = 0;
+  int64_t clean_failures = 0;
+  double survival_rate = 0.0;  // (ok + clean failures) / submitted
+  int64_t retried = 0;
+  int64_t breaker_trips = 0;
+  int64_t breaker_rejected = 0;
+  int64_t degraded = 0;
+  int64_t quarantined = 0;
+  double p99_ms = 0.0;
+  bool invariants_ok = true;
+};
+
+SeedResult RunSeed(Database* db, const std::vector<std::string>& workload,
+                   const std::vector<Canon>& expected, uint32_t seed) {
+  SeedResult out;
+  out.seed = seed;
+  std::mt19937 rng(seed);
+  out.spec = ArmSeededSchedule(&rng);
+
+  ServiceConfig config;
+  config.workers = 4;
+  config.queue_depth = 512;
+  config.plan_cache_capacity = 64;
+  config.global_budget_bytes = 64 << 20;
+  config.engine_config.cost_params.sort_memory_rows = 64;  // force spills
+  config.resilience.breaker.failure_threshold = 4;
+  config.resilience.breaker.open_seconds = 0.01;
+  QueryService service(db, config);
+
+  std::vector<int64_t> session_ids;
+  session_ids.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s)
+    session_ids.push_back(service.OpenSession());
+
+  std::vector<std::vector<double>> per_client_latencies(kSessions);
+  std::atomic<int64_t> ok{0};
+  std::atomic<int64_t> clean_failures{0};
+  std::atomic<int64_t> wrong{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    clients.emplace_back([&, s] {
+      per_client_latencies[s].reserve(kQueriesPerSession);
+      for (int q = 0; q < kQueriesPerSession; ++q) {
+        size_t w = (s + q) % workload.size();
+        auto t0 = std::chrono::steady_clock::now();
+        Result<QueryResult> result =
+            service.Execute(session_ids[s], workload[w]);
+        auto t1 = std::chrono::steady_clock::now();
+        if (result.ok()) {
+          ok.fetch_add(1);
+          per_client_latencies[s].push_back(
+              std::chrono::duration<double>(t1 - t0).count());
+          if (Canonicalize(result.value().rows) != expected[w]) {
+            wrong.fetch_add(1);
+            std::fprintf(stderr,
+                         "bench_chaos: seed %u: wrong rows for query %zu\n",
+                         seed, w);
+          }
+        } else if (IsExpectedChaosCode(result.status().code())) {
+          clean_failures.fetch_add(1);
+        } else {
+          wrong.fetch_add(1);
+          std::fprintf(stderr, "bench_chaos: seed %u: unexpected code: %s\n",
+                       seed, result.status().ToString().c_str());
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  FaultInjector::Global().DisarmAll();
+
+  out.submitted = static_cast<int64_t>(kSessions) * kQueriesPerSession;
+  out.ok = ok.load();
+  out.clean_failures = clean_failures.load();
+  out.survival_rate =
+      static_cast<double>(out.ok + out.clean_failures) / out.submitted;
+  ServiceStats stats = service.stats();
+  out.retried = stats.retried;
+  out.breaker_rejected = stats.breaker_rejected;
+  out.breaker_trips = static_cast<int64_t>(service.resilience().total_trips());
+  out.degraded = stats.degraded;
+  out.quarantined = stats.quarantined;
+  std::vector<double> latencies;
+  for (const auto& client : per_client_latencies)
+    latencies.insert(latencies.end(), client.begin(), client.end());
+  out.p99_ms = PercentileMs(&latencies, 0.99);
+
+  // Invariants: every answer accounted for, no wrong rows or alien codes,
+  // and the shared budget drains to zero at shutdown.
+  bool accounted = stats.completed + stats.failed == stats.admitted &&
+                   stats.completed == out.ok;
+  service.Shutdown();
+  bool drained = service.budget().used_bytes() == 0;
+  out.invariants_ok = wrong.load() == 0 && accounted && drained;
+  if (!accounted)
+    std::fprintf(stderr, "bench_chaos: seed %u: ticket accounting broken\n",
+                 seed);
+  if (!drained)
+    std::fprintf(stderr, "bench_chaos: seed %u: budget did not drain\n", seed);
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_chaos.json";
+
+  Database db;
+  TpcdConfig tpcd;
+  tpcd.scale_factor = 0.002;
+  Status load = LoadTpcd(&db, tpcd);
+  if (!load.ok()) {
+    std::fprintf(stderr, "bench_chaos: %s\n", load.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<std::string> workload = {
+      tpcd_queries::kQuery3,         tpcd_queries::kPricingSummary,
+      tpcd_queries::kDistinctShipdates, tpcd_queries::kLateOrders,
+      tpcd_queries::kRegionRevenue,
+  };
+  QueryEngine reference(&db);
+  std::vector<Canon> expected;
+  for (const std::string& sql : workload) {
+    Result<QueryResult> serial = reference.Run(sql);
+    if (!serial.ok()) {
+      std::fprintf(stderr, "bench_chaos: reference failed: %s\n",
+                   serial.status().ToString().c_str());
+      return 1;
+    }
+    expected.push_back(Canonicalize(serial.value().rows));
+  }
+
+  std::vector<SeedResult> results;
+  bool all_ok = true;
+  for (uint32_t seed : {11u, 23u, 37u, 53u, 71u}) {
+    std::fprintf(stderr, "bench_chaos: seed %u (%d sessions)...\n", seed,
+                 kSessions);
+    results.push_back(RunSeed(&db, workload, expected, seed));
+    all_ok = all_ok && results.back().invariants_ok;
+  }
+
+  std::string json = StrFormat(
+      "{\n  \"benchmark\": \"chaos\",\n  \"workload\": \"tpcd-mixed-5\",\n"
+      "  \"workers\": 4,\n  \"sessions\": %d,\n  \"queries_per_session\": "
+      "%d,\n  \"seeds\": [\n",
+      kSessions, kQueriesPerSession);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SeedResult& r = results[i];
+    json += StrFormat(
+        "    {\"seed\": %u, \"spec\": \"%s\", \"submitted\": %lld, "
+        "\"ok\": %lld, \"clean_failures\": %lld, \"survival_rate\": %.3f, "
+        "\"retried\": %lld, \"breaker_trips\": %lld, \"breaker_rejected\": "
+        "%lld, \"degraded\": %lld, \"quarantined\": %lld, \"p99_ms\": %.3f, "
+        "\"invariants_ok\": %s}%s\n",
+        r.seed, r.spec.c_str(), static_cast<long long>(r.submitted),
+        static_cast<long long>(r.ok), static_cast<long long>(r.clean_failures),
+        r.survival_rate, static_cast<long long>(r.retried),
+        static_cast<long long>(r.breaker_trips),
+        static_cast<long long>(r.breaker_rejected),
+        static_cast<long long>(r.degraded),
+        static_cast<long long>(r.quarantined), r.p99_ms,
+        r.invariants_ok ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+  }
+  json += StrFormat("  ],\n  \"all_invariants_ok\": %s\n}\n",
+                    all_ok ? "true" : "false");
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_chaos: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "bench_chaos: wrote %s\n", out_path);
+  std::fputs(json.c_str(), stdout);
+  return all_ok ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace ordopt
+
+int main(int argc, char** argv) { return ordopt::Main(argc, argv); }

@@ -25,6 +25,17 @@
 #                                         and ThreadSanitizer, then emits
 #                                         BENCH_service.json (qps, p50/p99,
 #                                         cache hit rate at 1/8/64 sessions)
+#        scripts/check.sh --chaos         resilience gate: runs the chaos
+#                                         harness (seeded fault schedules
+#                                         against 8/64-session fleets, plus
+#                                         the deterministic retry / breaker /
+#                                         quarantine / degraded scenarios)
+#                                         under BOTH asan-ubsan and
+#                                         ThreadSanitizer, then emits
+#                                         BENCH_chaos.json (per-seed survival
+#                                         rate, retries, breaker trips, p99
+#                                         under faults) and fails on any
+#                                         broken invariant
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -125,6 +136,30 @@ if [ "${1:-}" = "--service" ]; then
   ./build/bench/bench_service BENCH_service.json
   echo "OK: concurrent suites clean under asan-ubsan and tsan;"
   echo "    BENCH_service.json written"
+  exit 0
+fi
+
+# Resilience gate: the chaos harness under both sanitizers — leaks under
+# ASan, deadlocks/races under TSan, and the harness's own invariants
+# (every ticket resolves, successes row-identical to serial execution,
+# budget drains to zero) — then the seeded 64-session chaos benchmark,
+# whose exit status enforces the same invariants at bench scale.
+if [ "${1:-}" = "--chaos" ]; then
+  JOBS="${2:-$(nproc)}"
+  for preset in asan-ubsan tsan; do
+    echo "==> configure [$preset]"
+    cmake --preset "$preset" >/dev/null
+    echo "==> build [$preset]"
+    cmake --build --preset "$preset" -j "$JOBS" --target test_chaos
+    echo "==> chaos harness [$preset]"
+    ctest --preset "$preset" -R "test_chaos"
+  done
+  echo "==> chaos benchmark [default, 5 seeds x 64 sessions]"
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$JOBS" --target bench_chaos
+  ./build/bench/bench_chaos BENCH_chaos.json
+  echo "OK: chaos harness clean under asan-ubsan and tsan; all seeded"
+  echo "    invariants held; BENCH_chaos.json written"
   exit 0
 fi
 

@@ -25,15 +25,19 @@ Status RetryIo(const RetryPolicy& policy, int64_t* retries,
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     if (attempt > 1) {
       if (retries != nullptr) ++*retries;
-      int64_t backoff = policy.BackoffMicros(attempt - 1);
-      if (backoff > 0) {
-        std::this_thread::sleep_for(std::chrono::microseconds(backoff));
-      }
+      SleepForBackoff(policy, attempt - 1);
     }
     last = op();
     if (last.ok() || !IsTransient(last)) return last;
   }
   return last;
+}
+
+void SleepForBackoff(const RetryPolicy& policy, int retry) {
+  int64_t backoff = policy.BackoffMicros(retry);
+  if (backoff > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+  }
 }
 
 }  // namespace ordopt

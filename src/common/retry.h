@@ -40,6 +40,13 @@ bool IsTransient(const Status& status);
 Status RetryIo(const RetryPolicy& policy, int64_t* retries,
                const std::function<Status()>& op);
 
+/// Sleeps the deterministic backoff before re-attempt number `retry`
+/// (1-based); no-op for retry < 1 or a zero backoff. Callers that manage
+/// their own retry loop (the QueryService re-admits whole queries rather
+/// than wrapping them in RetryIo) share the policy's backoff sequence
+/// through this helper.
+void SleepForBackoff(const RetryPolicy& policy, int retry);
+
 }  // namespace ordopt
 
 #endif  // ORDOPT_COMMON_RETRY_H_

@@ -30,6 +30,8 @@ const char* CodeName(StatusCode code) {
       return "Timeout";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

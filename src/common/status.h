@@ -23,6 +23,8 @@ enum class StatusCode {
   kCancelled,         ///< execution stopped by a cancellation request
   kTimeout,           ///< execution exceeded its wall-clock deadline
   kIoError,           ///< a file operation failed (possibly transient)
+  kUnavailable,       ///< fast-fail: a circuit breaker is open for the
+                      ///< fault domain this request depends on
 };
 
 /// Lightweight error-or-success value, RocksDB/Arrow style.
@@ -66,6 +68,9 @@ class Status {
   }
   static Status IoError(std::string m) {
     return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -21,6 +21,55 @@ bool EffectiveVerifyOrders(const OptimizerConfig& config) {
          !(env[0] == '0' && env[1] == '\0');
 }
 
+/// Trace export destination: the config path, falling back to the
+/// ORDOPT_TRACE environment variable.
+std::string EffectiveTracePath(const OptimizerConfig& config) {
+  if (!config.trace_path.empty()) return config.trace_path;
+  const char* env = std::getenv("ORDOPT_TRACE");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+/// One exec-phase event per operator (post-order sequence matches
+/// op_profile), then the query-level metrics as a nested object; shared by
+/// the planned and the cached execution paths.
+void EmitExecEvents(TraceCollector* trace, const QueryResult& result,
+                    const ColumnNamer& namer) {
+  int64_t idx = 0;
+  for (const OperatorProfile& p : result.op_profile) {
+    TraceEvent& e = trace->Add("exec", "operator");
+    e.SetInt("op", idx++);
+    e.Set("label", NodeLabel(*p.node, namer));
+    e.SetDouble("est_rows", p.node->props.cardinality);
+    e.SetInt("rows_out", p.stats.rows_out);
+    e.SetInt("next_calls", p.stats.next_calls);
+    e.SetInt("open_ns", p.stats.open_ns);
+    e.SetInt("next_ns", p.stats.next_ns);
+    e.SetInt("rows_scanned", p.stats.rows_scanned);
+    e.SetInt("comparisons", p.stats.comparisons);
+    e.SetInt("seq_pages", p.stats.seq_pages);
+    e.SetInt("random_pages", p.stats.random_pages);
+    e.SetInt("index_probes", p.stats.index_probes);
+    e.SetInt("spill_runs", p.stats.spill_runs);
+    e.SetInt("spill_retries", p.stats.spill_retries);
+    e.SetInt("buffered_rows_peak", p.stats.buffered_rows_peak);
+  }
+  TraceEvent& m = trace->Add("exec", "metrics");
+  m.SetRaw("metrics", result.metrics.ToJson());
+  m.SetBool("planned_from_cache", result.planned_from_cache);
+  m.SetBool("degraded", result.degraded);
+}
+
+/// The EXPLAIN ANALYZE service summary line: where the plan came from and
+/// whether the run executed in degraded mode (retry attempts are stamped
+/// by the QueryService after completion — the engine cannot know them).
+std::string ServiceSummaryLine(const QueryResult& result) {
+  std::string line = "service: source=";
+  line += result.planned_from_cache ? "plan-cache" : "planner";
+  if (result.degraded) line += " degraded=true";
+  line += "\n";
+  return line;
+}
+
 }  // namespace
 
 Result<std::vector<Row>> QueryEngine::ExecutePhase(
@@ -53,13 +102,8 @@ Result<QueryResult> QueryEngine::Prepare(const std::string& sql, bool execute,
 
   // Effective observability for this query: the configured level, raised
   // to kFull when EXPLAIN ANALYZE or a trace export path asks for
-  // per-operator stats. The path comes from the config, falling back to
-  // the ORDOPT_TRACE environment variable.
-  std::string trace_path = config_.trace_path;
-  if (trace_path.empty()) {
-    const char* env = std::getenv("ORDOPT_TRACE");
-    if (env != nullptr) trace_path = env;
-  }
+  // per-operator stats.
+  std::string trace_path = EffectiveTracePath(config_);
   TraceLevel trace_level = config_.trace_level;
   if (analyze || !trace_path.empty()) trace_level = TraceLevel::kFull;
   std::shared_ptr<TraceCollector> trace;
@@ -83,8 +127,27 @@ Result<QueryResult> QueryEngine::Prepare(const std::string& sql, bool execute,
   result.metrics.reduce_cache_hits = planner.reduce_cache_hits();
   result.metrics.reduce_cache_misses = planner.reduce_cache_misses();
   result.trace = trace;
+  result.degraded = config_.degraded_mode;
   for (const OutputColumn& oc : query->root->outputs) {
     result.column_names.push_back(oc.name);
+  }
+  // Self-contained namer: the bound column-name map is copied behind a
+  // shared_ptr so the renderer outlives the Query (cached plans re-render
+  // EXPLAIN ANALYZE long after planning).
+  {
+    auto names = std::make_shared<
+        std::unordered_map<ColumnId, std::string, ColumnIdHash>>(
+        query->column_names);
+    result.namer = [names](const ColumnId& id) -> std::string {
+      auto it = names->find(id);
+      return it != names->end() ? it->second : DefaultColumnName(id);
+    };
+  }
+  if (trace != nullptr && config_.degraded_mode) {
+    // Degraded-mode admissions are a service-level decision; the event
+    // makes them visible in the per-query trace export.
+    trace->Add("service", "degraded")
+        .SetInt("sort_memory_rows", config_.cost_params.sort_memory_rows);
   }
 
   if (execute) {
@@ -100,34 +163,13 @@ Result<QueryResult> QueryEngine::Prepare(const std::string& sql, bool execute,
     result.rows = std::move(rows).value();
 
     if (trace != nullptr && trace->collect_exec()) {
-      // One exec-phase event per operator (post-order sequence matches
-      // op_profile), then the query-level metrics as a nested object.
-      int64_t idx = 0;
-      for (const OperatorProfile& p : result.op_profile) {
-        TraceEvent& e = trace->Add("exec", "operator");
-        e.SetInt("op", idx++);
-        e.Set("label", NodeLabel(*p.node, query->namer()));
-        e.SetDouble("est_rows", p.node->props.cardinality);
-        e.SetInt("rows_out", p.stats.rows_out);
-        e.SetInt("next_calls", p.stats.next_calls);
-        e.SetInt("open_ns", p.stats.open_ns);
-        e.SetInt("next_ns", p.stats.next_ns);
-        e.SetInt("rows_scanned", p.stats.rows_scanned);
-        e.SetInt("comparisons", p.stats.comparisons);
-        e.SetInt("seq_pages", p.stats.seq_pages);
-        e.SetInt("random_pages", p.stats.random_pages);
-        e.SetInt("index_probes", p.stats.index_probes);
-        e.SetInt("spill_runs", p.stats.spill_runs);
-        e.SetInt("spill_retries", p.stats.spill_retries);
-        e.SetInt("buffered_rows_peak", p.stats.buffered_rows_peak);
-      }
-      trace->Add("exec", "metrics")
-          .SetRaw("metrics", result.metrics.ToJson());
+      EmitExecEvents(trace.get(), result, result.namer);
     }
 
     if (analyze) {
       result.analyzed_plan_text =
-          RenderAnalyzedPlan(plan, result.op_profile, query->namer());
+          RenderAnalyzedPlan(plan, result.op_profile, result.namer);
+      result.analyzed_plan_text += ServiceSummaryLine(result);
       if (trace != nullptr) {
         std::string decisions = RenderDecisions(*trace);
         if (!decisions.empty()) {
@@ -166,6 +208,17 @@ Result<QueryResult> QueryEngine::RunAnalyzed(const std::string& sql) {
 
 Result<QueryResult> QueryEngine::RunPrepared(const PreparedPlan& prepared,
                                              QueryGuard* guard) {
+  return PreparedImpl(prepared, guard, /*analyze=*/false);
+}
+
+Result<QueryResult> QueryEngine::RunPreparedAnalyzed(
+    const PreparedPlan& prepared, QueryGuard* guard) {
+  return PreparedImpl(prepared, guard, /*analyze=*/true);
+}
+
+Result<QueryResult> QueryEngine::PreparedImpl(const PreparedPlan& prepared,
+                                              QueryGuard* guard,
+                                              bool analyze) {
   if (prepared.plan == nullptr) {
     return Status::InvalidArgument("RunPrepared: prepared plan is null");
   }
@@ -174,13 +227,51 @@ Result<QueryResult> QueryEngine::RunPrepared(const PreparedPlan& prepared,
   result.plan_text = prepared.plan_text;
   result.qgm_text = prepared.qgm_text;
   result.column_names = prepared.column_names;
+  result.namer = prepared.namer;
   result.planned_from_cache = true;
+  result.degraded = config_.degraded_mode;
+
+  // Cached-execution observability mirrors Prepare: a configured level or
+  // export path (or EXPLAIN ANALYZE) traces this run; with everything off
+  // the hot path allocates no collector. There are no optimizer events to
+  // record — the plan.cached event says why.
+  std::string trace_path = EffectiveTracePath(config_);
+  TraceLevel trace_level = config_.trace_level;
+  if (analyze || !trace_path.empty()) trace_level = TraceLevel::kFull;
+  std::shared_ptr<TraceCollector> trace;
+  if (trace_level != TraceLevel::kOff) {
+    trace = std::make_shared<TraceCollector>(trace_level);
+    TraceEvent& e = trace->Add("service", "plan.cached");
+    e.SetBool("planned_from_cache", true);
+    if (config_.degraded_mode) e.SetBool("degraded", true);
+    result.trace = trace;
+    if (config_.degraded_mode) {
+      trace->Add("service", "degraded")
+          .SetInt("sort_memory_rows", config_.cost_params.sort_memory_rows);
+    }
+  }
+
   QueryGuard config_guard(config_.limits);
   if (guard == nullptr) guard = &config_guard;
-  Result<std::vector<Row>> rows =
-      ExecutePhase(&result, guard, /*profile=*/nullptr);
+  std::vector<OperatorProfile>* profile =
+      (trace != nullptr && trace->collect_exec()) ? &result.op_profile
+                                                  : nullptr;
+  Result<std::vector<Row>> rows = ExecutePhase(&result, guard, profile);
   ORDOPT_RETURN_NOT_OK(rows.status());
   result.rows = std::move(rows).value();
+
+  if (trace != nullptr && trace->collect_exec()) {
+    EmitExecEvents(trace.get(), result, result.namer);
+  }
+  if (analyze) {
+    result.analyzed_plan_text =
+        RenderAnalyzedPlan(result.plan, result.op_profile, result.namer);
+    result.analyzed_plan_text += ServiceSummaryLine(result);
+  }
+  if (trace != nullptr && !trace_path.empty()) {
+    ORDOPT_RETURN_NOT_OK(
+        trace->WriteJsonLines(trace_path, config_.spill_retry));
+  }
   return result;
 }
 

@@ -53,6 +53,19 @@ struct QueryResult {
   /// reduce-cache counters are 0 for such runs.
   bool planned_from_cache = false;
 
+  /// Service resilience annotations (see service/resilience.h). The engine
+  /// sets `degraded` from OptimizerConfig::degraded_mode; `retry_attempts`
+  /// is stamped by the QueryService with how many times this query was
+  /// re-admitted after a transient failure before it produced this result.
+  bool degraded = false;
+  int retry_attempts = 0;
+
+  /// Column renderer for this query's plan (captures the bound column
+  /// names by value, so it stays valid after the Query object dies).
+  /// Carried into PreparedPlan so cached executions can render EXPLAIN
+  /// ANALYZE output with real column names.
+  ColumnNamer namer;
+
   double SimulatedElapsedSeconds() const {
     return metrics.SimulatedElapsedSeconds();
   }
@@ -70,6 +83,9 @@ struct PreparedPlan {
   std::vector<std::string> column_names;
   std::string plan_text;
   std::string qgm_text;
+  /// Self-contained column renderer (see QueryResult::namer); may be null
+  /// for hand-built plans, in which case labels fall back to c<t>.<i>.
+  ColumnNamer namer;
 
   /// Captures the planned artifacts of a QueryResult (from Explain or a
   /// full Run) for later re-execution.
@@ -79,6 +95,7 @@ struct PreparedPlan {
     p.column_names = result.column_names;
     p.plan_text = result.plan_text;
     p.qgm_text = result.qgm_text;
+    p.namer = result.namer;
     return p;
   }
 };
@@ -123,11 +140,20 @@ class QueryEngine {
   /// Executes an already-optimized plan, skipping parse/bind/optimize —
   /// the plan-cache hit path. Runs under `guard` when non-null, else
   /// under the engine's configured limits; spilling, guardrails, and
-  /// runtime order verification behave exactly as in Run. Tracing and
-  /// EXPLAIN ANALYZE are not available on this path (cached execution is
-  /// the hot path); result.planned_from_cache is set.
+  /// runtime order verification behave exactly as in Run. With tracing
+  /// configured (trace_level / trace_path / ORDOPT_TRACE) the run records
+  /// a `plan.cached` event plus, at kFull, per-operator execution stats —
+  /// the cache-hit hot path with tracing off still pays nothing.
+  /// result.planned_from_cache is set.
   Result<QueryResult> RunPrepared(const PreparedPlan& prepared,
                                   QueryGuard* guard = nullptr);
+
+  /// EXPLAIN ANALYZE for a cached plan: like RunPrepared but forces
+  /// per-operator stats collection and fills analyzed_plan_text (with a
+  /// `source: plan-cache` summary line instead of optimizer decisions —
+  /// planning was skipped, so there are none).
+  Result<QueryResult> RunPreparedAnalyzed(const PreparedPlan& prepared,
+                                          QueryGuard* guard = nullptr);
 
   /// Metrics of the most recent Run, populated even when the query failed —
   /// a tripped guardrail reports consumed-vs-limit here (e.g.
@@ -142,6 +168,9 @@ class QueryEngine {
  private:
   Result<QueryResult> Prepare(const std::string& sql, bool execute,
                               QueryGuard* guard, bool analyze);
+
+  Result<QueryResult> PreparedImpl(const PreparedPlan& prepared,
+                                   QueryGuard* guard, bool analyze);
 
   /// Shared execute phase of Prepare and RunPrepared: runs result->plan
   /// under the guard/spill/verify-orders environment and fills rows,

@@ -24,6 +24,23 @@ void QueryGuard::Arm() {
   events_until_check_ = 1;
 }
 
+void QueryGuard::ResetForRetry() {
+  if (shared_budget_ != nullptr && shared_charged_bytes_ > 0) {
+    shared_budget_->Release(shared_charged_bytes_);
+  }
+  shared_charged_bytes_ = 0;
+  status_ = Status::OK();
+  tripped_ = false;
+  armed_ = false;
+  events_until_check_ = 1;
+  rows_scanned_ = 0;
+  rows_produced_ = 0;
+  buffered_rows_ = 0;
+  buffered_bytes_ = 0;
+  buffered_rows_peak_ = 0;
+  buffered_bytes_peak_ = 0;
+}
+
 void QueryGuard::Poison(Status status) {
   if (tripped_) return;
   ORDOPT_CHECK_MSG(!status.ok(), "QueryGuard poisoned with OK status");

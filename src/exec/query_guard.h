@@ -141,6 +141,14 @@ class QueryGuard {
   /// guard when execution begins; a pending cancellation survives Arm.
   void Arm();
 
+  /// Clears a latched trip and all consumption counters so the same guard
+  /// can police a fresh attempt of the same query (the QueryService
+  /// re-admits transiently failed queries). A pending cancellation
+  /// survives — a cancelled query must not be resurrected by retry — as
+  /// does the attached shared budget; any stray shared charge left by the
+  /// failed attempt's teardown is returned to the pool first.
+  void ResetForRetry();
+
   /// Requests cooperative cancellation; the query trips with kCancelled
   /// at its next check. Thread-safe.
   void RequestCancel() {

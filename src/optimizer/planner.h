@@ -73,6 +73,13 @@ struct OptimizerConfig {
   /// variable (any non-empty value except "0") supplies a default when
   /// this is false.
   bool verify_orders = false;
+  /// Set by the QueryService when it admits a query in degraded mode
+  /// (shared-memory-budget occupancy over the high-water mark): the
+  /// service has already reduced cost_params.sort_memory_rows so sorts
+  /// spill earlier; the engine only *reports* the mode — the result's
+  /// `degraded` flag, a `service.degraded` trace event, and an EXPLAIN
+  /// ANALYZE summary line — so operators can see which runs were squeezed.
+  bool degraded_mode = false;
   /// Testing-only seam for the plan-space oracle's mutation check: when
   /// non-null, replaces the planner's order-satisfaction test (Test Order /
   /// naive prefix) everywhere it drives decisions — candidate domination,

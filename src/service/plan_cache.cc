@@ -5,6 +5,21 @@
 
 namespace ordopt {
 
+namespace {
+
+/// Joins a literal vector into a slot signature. '\x1f' (ASCII unit
+/// separator) cannot appear in parsed SQL text, so the join is injective.
+std::string JoinLiterals(const std::vector<std::string>& literals) {
+  std::string sig;
+  for (const std::string& lit : literals) {
+    sig += lit;
+    sig += '\x1f';
+  }
+  return sig;
+}
+
+}  // namespace
+
 std::string NormalizeQueryText(const std::string& sql) {
   std::string out;
   out.reserve(sql.size());
@@ -43,18 +58,96 @@ std::string NormalizeQueryText(const std::string& sql) {
   return out;
 }
 
+std::string ParameterizeQueryText(const std::string& sql,
+                                  std::vector<std::string>* literals) {
+  std::string out;
+  out.reserve(sql.size());
+  bool pending_space = false;
+  // A digit run is a numeric literal only when it does not continue an
+  // identifier: `24` and the `24` in `p > 24` are literals, the `2` in
+  // `col2` and the `1` in `e1.salary` are not. The last emitted character
+  // decides (a flushed space or punctuation means a fresh token).
+  auto continues_identifier = [&out]() {
+    if (out.empty()) return false;
+    char p = out.back();
+    return std::isalnum(static_cast<unsigned char>(p)) || p == '_' ||
+           p == '.';
+  };
+  size_t i = 0;
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      ++i;
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    if (c == '\'') {
+      // String literal, '' escapes included, captured verbatim.
+      std::string lit(1, '\'');
+      ++i;
+      while (i < sql.size()) {
+        char s = sql[i];
+        lit += s;
+        ++i;
+        if (s == '\'') {
+          if (i < sql.size() && sql[i] == '\'') {
+            lit += '\'';
+            ++i;
+          } else {
+            break;
+          }
+        }
+      }
+      if (literals != nullptr) literals->push_back(lit);
+      out += '?';
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) &&
+        !continues_identifier()) {
+      std::string lit;
+      while (i < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '.')) {
+        lit += sql[i];
+        ++i;
+      }
+      if (literals != nullptr) literals->push_back(lit);
+      out += '?';
+      continue;
+    }
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    ++i;
+  }
+  return out;
+}
+
 std::shared_ptr<const PreparedPlan> PlanCache::GetOrBeginPlanning(
     const std::string& sql, uint64_t stats_epoch) {
-  std::string key = NormalizeQueryText(sql);
+  std::vector<std::string> literals;
+  std::string key = ParameterizeQueryText(sql, &literals);
+  std::string sig = JoinLiterals(literals);
   std::unique_lock<std::mutex> lock(mu_);
   bool counted_wait = false;
   while (true) {
+    if (QuarantinedLocked(key, stats_epoch)) {
+      // Quarantined: no entry is served and no planner is elected (a
+      // marker would obligate a Publish that Quarantine refuses). Every
+      // caller plans fresh until the epoch moves on.
+      ++stats_.quarantine_rejections;
+      ++stats_.misses;
+      return nullptr;
+    }
     auto it = slots_.find(key);
     if (it == slots_.end()) {
       // Caller becomes the planner. The in-flight marker is invisible to
       // the LRU (it holds no plan yet).
       Slot slot;
       slot.stats_epoch = stats_epoch;
+      slot.literal_sig = sig;
       slot.planning = true;
       slots_.emplace(key, std::move(slot));
       ++stats_.misses;
@@ -62,20 +155,29 @@ std::shared_ptr<const PreparedPlan> PlanCache::GetOrBeginPlanning(
     }
     Slot& slot = it->second;
     if (!slot.planning) {
-      if (slot.stats_epoch == stats_epoch) {
-        ++stats_.hits;
-        TouchLocked(&slot, key);
-        return slot.plan;
+      if (slot.stats_epoch != stats_epoch) {
+        // The statistics moved under the cached plan: drop it and take
+        // the planner role for the new epoch.
+        ++stats_.invalidations;
+        if (slot.in_lru) lru_.erase(slot.lru_pos);
+        slots_.erase(it);
+        continue;
       }
-      // The statistics moved under the cached plan: drop it and take the
-      // planner role for the new epoch.
-      ++stats_.invalidations;
-      if (slot.in_lru) lru_.erase(slot.lru_pos);
-      slots_.erase(it);
-      continue;
+      if (slot.literal_sig != sig) {
+        // Same template, different constants: the cached plan embeds the
+        // old literals and cannot be served. Replace rather than grow.
+        ++stats_.literal_evictions;
+        if (slot.in_lru) lru_.erase(slot.lru_pos);
+        slots_.erase(it);
+        continue;
+      }
+      ++stats_.hits;
+      TouchLocked(&slot, key);
+      return slot.plan;
     }
-    // A planner is in flight (possibly under an older epoch — its result
-    // will be epoch-checked when it lands). Wait for it to resolve.
+    // A planner is in flight (possibly under an older epoch or different
+    // literals — its result will be checked when it lands). Wait for it
+    // to resolve.
     if (!counted_wait) {
       ++stats_.stampede_waits;
       counted_wait = true;
@@ -91,11 +193,15 @@ std::shared_ptr<const PreparedPlan> PlanCache::GetOrBeginPlanning(
 
 std::shared_ptr<const PreparedPlan> PlanCache::Peek(
     const std::string& sql, uint64_t stats_epoch) const {
-  std::string key = NormalizeQueryText(sql);
+  std::vector<std::string> literals;
+  std::string key = ParameterizeQueryText(sql, &literals);
+  std::string sig = JoinLiterals(literals);
   std::lock_guard<std::mutex> lock(mu_);
+  if (QuarantinedLocked(key, stats_epoch)) return nullptr;
   auto it = slots_.find(key);
   if (it == slots_.end() || it->second.planning ||
-      it->second.stats_epoch != stats_epoch) {
+      it->second.stats_epoch != stats_epoch ||
+      it->second.literal_sig != sig) {
     return nullptr;
   }
   return it->second.plan;
@@ -103,21 +209,32 @@ std::shared_ptr<const PreparedPlan> PlanCache::Peek(
 
 void PlanCache::Publish(const std::string& sql, uint64_t stats_epoch,
                         PreparedPlan plan) {
-  std::string key = NormalizeQueryText(sql);
+  std::vector<std::string> literals;
+  std::string key = ParameterizeQueryText(sql, &literals);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = slots_.find(key);
-    if (it == slots_.end()) return;  // Clear() raced the planner; drop it
-    Slot& slot = it->second;
-    slot.plan = std::make_shared<const PreparedPlan>(std::move(plan));
-    slot.stats_epoch = stats_epoch;
-    slot.planning = false;
-    if (capacity_ == 0) {
-      // Caching disabled: resolve waiters, keep nothing.
-      slots_.erase(it);
+    if (QuarantinedLocked(key, stats_epoch)) {
+      // Refused. Resolve a leftover planning marker anyway (a planner
+      // elected just before the quarantine landed must not strand its
+      // waiters — they wake, see the quarantine, and plan themselves).
+      ++stats_.quarantine_rejections;
+      auto it = slots_.find(key);
+      if (it != slots_.end() && it->second.planning) slots_.erase(it);
     } else {
-      TouchLocked(&slot, key);
-      EvictIfOverCapacityLocked();
+      auto it = slots_.find(key);
+      if (it == slots_.end()) return;  // Clear() raced the planner; drop it
+      Slot& slot = it->second;
+      slot.plan = std::make_shared<const PreparedPlan>(std::move(plan));
+      slot.stats_epoch = stats_epoch;
+      slot.literal_sig = JoinLiterals(literals);
+      slot.planning = false;
+      if (capacity_ == 0) {
+        // Caching disabled: resolve waiters, keep nothing.
+        slots_.erase(it);
+      } else {
+        TouchLocked(&slot, key);
+        EvictIfOverCapacityLocked();
+      }
     }
   }
   cv_.notify_all();
@@ -125,7 +242,7 @@ void PlanCache::Publish(const std::string& sql, uint64_t stats_epoch,
 
 void PlanCache::Abandon(const std::string& sql, uint64_t stats_epoch) {
   (void)stats_epoch;
-  std::string key = NormalizeQueryText(sql);
+  std::string key = ParameterizeQueryText(sql);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = slots_.find(key);
@@ -136,6 +253,32 @@ void PlanCache::Abandon(const std::string& sql, uint64_t stats_epoch) {
     slots_.erase(it);
   }
   cv_.notify_all();
+}
+
+void PlanCache::Quarantine(const std::string& sql, uint64_t stats_epoch) {
+  std::string key = ParameterizeQueryText(sql);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto q = quarantine_.find(key);
+    if (q == quarantine_.end() || q->second != stats_epoch) {
+      quarantine_[key] = stats_epoch;
+      ++stats_.quarantined;
+    }
+    // Evict the resident entry now; in-flight markers are left to their
+    // planners (their Publish will be refused and will resolve waiters).
+    auto it = slots_.find(key);
+    if (it != slots_.end() && !it->second.planning) {
+      if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+      slots_.erase(it);
+    }
+  }
+}
+
+bool PlanCache::IsQuarantined(const std::string& sql,
+                              uint64_t stats_epoch) const {
+  std::string key = ParameterizeQueryText(sql);
+  std::lock_guard<std::mutex> lock(mu_);
+  return QuarantinedLocked(key, stats_epoch);
 }
 
 void PlanCache::Clear() {
@@ -149,6 +292,7 @@ void PlanCache::Clear() {
         it = slots_.erase(it);
       }
     }
+    quarantine_.clear();
   }
   cv_.notify_all();
 }
@@ -186,6 +330,17 @@ void PlanCache::EvictIfOverCapacityLocked() {
     lru_.pop_back();
     ++stats_.evictions;
   }
+}
+
+bool PlanCache::QuarantinedLocked(const std::string& key,
+                                  uint64_t stats_epoch) const {
+  auto it = quarantine_.find(key);
+  if (it == quarantine_.end()) return false;
+  if (it->second == stats_epoch) return true;
+  // The epoch moved on: statistics changed, a fresh plan is a different
+  // plan — the quarantine has served its purpose.
+  quarantine_.erase(it);
+  return false;
 }
 
 }  // namespace ordopt

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "exec/engine.h"
 
@@ -17,9 +18,19 @@ namespace ordopt {
 /// outside single-quoted string literals and collapses runs of whitespace
 /// to one space, so "SELECT  x\nFROM t" and "select x from t" share a
 /// cache entry while "where name = 'Smith'" and "... = 'smith'" do not.
-/// No semantic analysis — queries that differ in literals are distinct
-/// entries by design (this engine has no parameter markers).
 std::string NormalizeQueryText(const std::string& sql);
+
+/// Parameterized normalization: NormalizeQueryText plus literal stripping.
+/// String literals ('...', with '' escapes) and numeric literals
+/// (digit-dot runs not preceded by an identifier character, so `col2` and
+/// `e1.salary` survive intact) are replaced by `?` and appended to
+/// `*literals` in order of appearance (strings keep their quotes and
+/// case). "where d >= date('1995-03-15') and p > 24" becomes
+/// "where d >= date(?) and p > ?" with literals {"'1995-03-15'", "24"} —
+/// so a literal-varying workload collapses onto one cache key per query
+/// *template*.
+std::string ParameterizeQueryText(const std::string& sql,
+                                  std::vector<std::string>* literals = nullptr);
 
 /// Counter snapshot of one cache's lifetime behavior.
 struct PlanCacheStats {
@@ -28,14 +39,30 @@ struct PlanCacheStats {
   int64_t evictions = 0;     ///< entries dropped by the LRU capacity bound
   int64_t invalidations = 0; ///< entries dropped for a stale stats epoch
   int64_t stampede_waits = 0;///< lookups that blocked on an in-flight plan
+  /// Ready entries replaced because the same template arrived with
+  /// different literal values (the plan embeds constants, so it cannot be
+  /// served across literals; the key being shared bounds the footprint).
+  int64_t literal_evictions = 0;
+  /// Quarantine calls that newly quarantined a template.
+  int64_t quarantined = 0;
+  /// Lookups and publishes refused because the template is quarantined
+  /// for the current stats epoch.
+  int64_t quarantine_rejections = 0;
 };
 
 /// Fingerprint-keyed cache of optimized plans shared by every session of a
-/// QueryService. The key is the *normalized* query text; each entry is
-/// stamped with the Database stats epoch it was planned under, and a
-/// lookup whose epoch differs drops the stale entry on the spot — the PR 4
-/// epoch-invalidation rule lifted from Reduce/Test results to whole plans
-/// (see Database::stats_epoch). Capacity is bounded with LRU eviction.
+/// QueryService. The key is the *parameterized* query text (literals
+/// stripped), so "price > 24" and "price > 25" share one entry slot; each
+/// slot remembers the exact literal values it was planned with and is only
+/// served when they match — this engine has no parameter markers, so a
+/// plan is correct only for the constants baked into it. A same-template,
+/// different-literal lookup evicts the entry and replans (the common
+/// literal-varying workload keeps a bounded one-slot-per-template
+/// footprint instead of flooding the LRU). Each slot is also stamped with
+/// the Database stats epoch it was planned under, and a lookup whose epoch
+/// differs drops the stale entry on the spot — the PR 4 epoch-invalidation
+/// rule lifted from Reduce/Test results to whole plans (see
+/// Database::stats_epoch). Capacity is bounded with LRU eviction.
 ///
 /// Stampede control: the first thread to miss on a key becomes its
 /// *planner* (GetOrBeginPlanning returns nullptr) and must finish with
@@ -46,6 +73,13 @@ struct PlanCacheStats {
 /// caller (it may fail for per-session reasons) but never planned twice
 /// concurrently.
 ///
+/// Quarantine: when a *cached* plan's execution fails non-transiently the
+/// service calls Quarantine, which evicts the entry and blacklists the
+/// template for the stats epoch it failed under — lookups miss (callers
+/// replan fresh every time) and publishes are refused until the epoch
+/// moves on. This keeps one poisoned plan from being re-served to every
+/// session while statistics (and therefore plan choice) are unchanged.
+///
 /// All methods are thread-safe.
 class PlanCache {
  public:
@@ -53,16 +87,20 @@ class PlanCache {
   /// GetOrBeginPlanning returns planner-role and Publish drops the entry).
   explicit PlanCache(size_t capacity) : capacity_(capacity) {}
 
-  /// Looks up `sql` (normalizing internally) under `stats_epoch`.
-  /// Returns the ready entry on a hit. Returns nullptr when the caller
-  /// has been elected planner for this key: the caller MUST later call
-  /// exactly one of Publish (success) or Abandon (failure), or every
-  /// future lookup of the key will block forever.
+  /// Looks up `sql` (parameterizing internally) under `stats_epoch`.
+  /// Returns the ready entry on a hit (same template, same literals, same
+  /// epoch, not quarantined). Returns nullptr when the caller has been
+  /// elected planner for this key: the caller MUST later call exactly one
+  /// of Publish (success) or Abandon (failure), or every future lookup of
+  /// the key will block forever. (Quarantined lookups also return nullptr
+  /// without creating a marker — Publish/Abandon stay safe to call and
+  /// are simply refused.)
   std::shared_ptr<const PreparedPlan> GetOrBeginPlanning(
       const std::string& sql, uint64_t stats_epoch);
 
   /// Non-blocking peek: the ready entry, or nullptr (never elects a
-  /// planner, counts neither hit nor miss). For tests and introspection.
+  /// planner, counts neither hit nor miss). The degraded-mode read path —
+  /// a hit costs nothing and a miss creates no publish obligation.
   std::shared_ptr<const PreparedPlan> Peek(const std::string& sql,
                                            uint64_t stats_epoch) const;
 
@@ -74,8 +112,16 @@ class PlanCache {
   /// existed); one waiter, if any, is promoted to planner.
   void Abandon(const std::string& sql, uint64_t stats_epoch);
 
-  /// Drops every entry (ready and in-flight markers are left to their
-  /// planners; only ready entries are removed).
+  /// Evicts `sql`'s entry and refuses to cache its template again while
+  /// the database is still at `stats_epoch` (the epoch the failure was
+  /// observed under). Idempotent.
+  void Quarantine(const std::string& sql, uint64_t stats_epoch);
+
+  /// True when `sql`'s template is quarantined at `stats_epoch`.
+  bool IsQuarantined(const std::string& sql, uint64_t stats_epoch) const;
+
+  /// Drops every ready entry (in-flight markers are left to their
+  /// planners) and all quarantine marks.
   void Clear();
 
   size_t capacity() const { return capacity_; }
@@ -90,6 +136,9 @@ class PlanCache {
     /// nullptr while a planner is in flight; set by Publish.
     std::shared_ptr<const PreparedPlan> plan;
     uint64_t stats_epoch = 0;
+    /// The literal values the plan was built with (joined signature);
+    /// a ready slot is served only on an exact match.
+    std::string literal_sig;
     bool planning = true;
     /// Planner generation: bumped on Abandon so waiters can tell "my
     /// planner resolved" from spurious wakeups.
@@ -99,9 +148,10 @@ class PlanCache {
     bool in_lru = false;
   };
 
-  // Both called with mu_ held.
+  // All called with mu_ held.
   void TouchLocked(Slot* slot, const std::string& key);
   void EvictIfOverCapacityLocked();
+  bool QuarantinedLocked(const std::string& key, uint64_t stats_epoch) const;
 
   const size_t capacity_;
   mutable std::mutex mu_;
@@ -109,6 +159,9 @@ class PlanCache {
   std::unordered_map<std::string, Slot> slots_;
   /// Most-recently-used keys at the front; only ready slots are listed.
   std::list<std::string> lru_;
+  /// Template -> stats epoch it was quarantined under. Entries for old
+  /// epochs are dropped lazily on lookup.
+  mutable std::unordered_map<std::string, uint64_t> quarantine_;
   PlanCacheStats stats_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/retry.h"
 #include "common/str_util.h"
 
 namespace ordopt {
@@ -31,7 +32,15 @@ QueryService::QueryService(Database* db, ServiceConfig config)
     : db_(db),
       config_(config),
       plan_cache_(config.plan_cache_capacity),
-      budget_(config.global_budget_bytes) {
+      budget_(config.global_budget_bytes),
+      resilience_(config.resilience, &budget_) {
+  degraded_engine_config_ = config_.engine_config;
+  degraded_engine_config_.degraded_mode = true;
+  degraded_engine_config_.cost_params.sort_memory_rows = std::max<int64_t>(
+      16, static_cast<int64_t>(
+              static_cast<double>(
+                  config_.engine_config.cost_params.sort_memory_rows) *
+              config_.resilience.degraded_sort_budget_factor));
   int workers = std::max(1, config_.workers);
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
@@ -195,8 +204,8 @@ size_t QueryService::queue_depth() const {
 
 void QueryService::WorkerLoop() {
   // Engine-per-worker: no shared mutable engine state, so workers only
-  // meet at the queue, the plan cache, and the budget.
-  QueryEngine engine(db_, config_.engine_config);
+  // meet at the queue, the plan cache, the budget, and the breakers.
+  WorkerState state(db_, config_.engine_config);
   while (true) {
     TicketRef ticket;
     {
@@ -206,54 +215,158 @@ void QueryService::WorkerLoop() {
       ticket = std::move(queue_.front());
       queue_.pop_front();
     }
-    RunTicket(&engine, ticket);
+    RunTicket(&state, ticket);
   }
 }
 
-void QueryService::RunTicket(QueryEngine* engine, const TicketRef& ticket) {
+void QueryService::RunTicket(WorkerState* state, const TicketRef& ticket) {
   auto picked_up = std::chrono::steady_clock::now();
-  ticket->queued_seconds_ =
-      std::chrono::duration<double>(picked_up - ticket->submit_time_).count();
+  if (ticket->attempts_ == 0) {
+    ticket->queued_seconds_ =
+        std::chrono::duration<double>(picked_up - ticket->submit_time_)
+            .count();
+  }
 
   // A cancel that lands while the query is still queued skips execution
   // (and planning) entirely.
   if (ticket->guard_.cancel_requested()) {
-    ticket->exec_seconds_ = 0.0;
     FinishTicket(*ticket, /*ok=*/false);
     ticket->Complete(Status::Cancelled("query cancelled while queued"));
     return;
   }
 
-  Result<QueryResult> result = [&]() -> Result<QueryResult> {
-    if (plan_cache_.capacity() == 0) {
-      return engine->Run(ticket->sql_, &ticket->guard_);
+  // Breaker gate: while a fault domain is melting down, admitted work
+  // fast-fails instead of piling onto the broken resource. In half-open
+  // state this query may carry probe tokens whose outcome re-closes (or
+  // re-opens) the breaker.
+  uint32_t probe_mask = 0;
+  Status admit = resilience_.AdmitExecution(&probe_mask);
+  if (!admit.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.breaker_rejected;
     }
-    // Capture the epoch before planning so a stats refresh that lands
-    // mid-optimization can only make the published entry *stale* (dropped
-    // at next lookup), never wrongly fresh.
-    uint64_t epoch = db_->stats_epoch();
-    std::shared_ptr<const PreparedPlan> cached =
-        plan_cache_.GetOrBeginPlanning(ticket->sql_, epoch);
-    if (cached != nullptr) {
-      return engine->RunPrepared(*cached, &ticket->guard_);
-    }
-    // This worker is the planner for the key: it must resolve the slot.
-    Result<QueryResult> planned = engine->Run(ticket->sql_, &ticket->guard_);
-    if (planned.ok()) {
-      plan_cache_.Publish(ticket->sql_, epoch,
-                          PreparedPlan::FromResult(planned.value()));
-    } else {
-      plan_cache_.Abandon(ticket->sql_, epoch);
-    }
-    return planned;
-  }();
+    FinishTicket(*ticket, /*ok=*/false);
+    ticket->Complete(std::move(admit));
+    return;
+  }
 
-  ticket->exec_seconds_ =
+  // Degraded-mode admission: over the budget's high-water mark new work
+  // runs with the squeezed config (sorts spill earlier) rather than
+  // queueing up to be shed at full commitment. The swap is cheap and
+  // sticky — the engine keeps whichever config the last query needed.
+  bool degraded = resilience_.InDegradedMode();
+  if (degraded != state->degraded) {
+    state->engine.set_config(degraded ? degraded_engine_config_
+                                      : config_.engine_config);
+    state->degraded = degraded;
+  }
+  if (degraded) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.degraded;
+  }
+
+  bool from_cache = false;
+  uint64_t epoch = 0;
+  Result<QueryResult> result =
+      ExecuteAttempt(&state->engine, ticket, degraded, &from_cache, &epoch);
+
+  ticket->exec_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     picked_up)
           .count();
+
+  resilience_.OnQueryOutcome(result.status(), probe_mask);
+
+  if (!result.ok() && from_cache &&
+      ResilienceManager::ShouldQuarantine(result.status())) {
+    // A plan that planned fine but fails execution non-transiently is
+    // presumed poisoned: stop re-serving it while the same statistics
+    // would just rebuild it.
+    plan_cache_.Quarantine(ticket->sql_, epoch);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.quarantined;
+  }
+
+  if (!result.ok() &&
+      resilience_.ShouldRetry(result.status(), ticket->attempts_ + 1)) {
+    // Transient failure with tries left: re-admit at the back of the
+    // queue. The ticket stays pending and the session slot stays
+    // reserved; only the guard resets (a cancel request survives).
+    ticket->guard_.ResetForRetry();
+    bool requeued = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (!stopping_) {
+        ++ticket->attempts_;
+        queue_.push_back(ticket);
+        requeued = true;
+      }
+    }
+    if (requeued) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.retried;
+      }
+      // Deterministic backoff, served by this worker *after* handing the
+      // retry off so a healthy queue keeps draining.
+      queue_cv_.notify_one();
+      SleepForBackoff(resilience_.retry_policy(), ticket->attempts_);
+      return;
+    }
+    // Shutting down: no re-admission, the transient error stands.
+  }
+
+  if (result.ok()) {
+    result.value().retry_attempts = ticket->attempts_;
+  }
   FinishTicket(*ticket, result.ok());
   ticket->Complete(std::move(result));
+}
+
+Result<QueryResult> QueryService::ExecuteAttempt(QueryEngine* engine,
+                                                 const TicketRef& ticket,
+                                                 bool degraded,
+                                                 bool* from_cache,
+                                                 uint64_t* epoch) {
+  *from_cache = false;
+  *epoch = 0;
+  if (plan_cache_.capacity() == 0) {
+    return engine->Run(ticket->sql_, &ticket->guard_);
+  }
+  // Capture the epoch before planning so a stats refresh that lands
+  // mid-optimization can only make the published entry *stale* (dropped
+  // at next lookup), never wrongly fresh.
+  *epoch = db_->stats_epoch();
+  if (degraded) {
+    // Degraded admissions read the cache but never write it: Peek elects
+    // no planner, so a miss carries no publish obligation and the squeezed
+    // plan this attempt would build never pollutes the cache.
+    std::shared_ptr<const PreparedPlan> cached =
+        plan_cache_.Peek(ticket->sql_, *epoch);
+    if (cached != nullptr) {
+      *from_cache = true;
+      return engine->RunPrepared(*cached, &ticket->guard_);
+    }
+    return engine->Run(ticket->sql_, &ticket->guard_);
+  }
+  std::shared_ptr<const PreparedPlan> cached =
+      plan_cache_.GetOrBeginPlanning(ticket->sql_, *epoch);
+  if (cached != nullptr) {
+    *from_cache = true;
+    return engine->RunPrepared(*cached, &ticket->guard_);
+  }
+  // This worker is the planner for the key: it must resolve the slot.
+  // (Under quarantine the lookup elects no planner; Publish is refused
+  // and Abandon no-ops, so the protocol below stays safe to run.)
+  Result<QueryResult> planned = engine->Run(ticket->sql_, &ticket->guard_);
+  if (planned.ok()) {
+    plan_cache_.Publish(ticket->sql_, *epoch,
+                        PreparedPlan::FromResult(planned.value()));
+  } else {
+    plan_cache_.Abandon(ticket->sql_, *epoch);
+  }
+  return planned;
 }
 
 void QueryService::FinishTicket(const QueryTicket& ticket, bool ok) {

@@ -16,6 +16,7 @@
 #include "exec/engine.h"
 #include "exec/query_guard.h"
 #include "service/plan_cache.h"
+#include "service/resilience.h"
 #include "storage/database.h"
 
 namespace ordopt {
@@ -48,6 +49,9 @@ struct ServiceConfig {
   QueryLimits default_limits;
   /// Optimizer configuration for every worker engine.
   OptimizerConfig engine_config;
+  /// Failure-handling policy: service-level retry, per-fault-domain
+  /// circuit breakers, degraded-mode admission (see service/resilience.h).
+  ResilienceConfig resilience;
 };
 
 /// Monotonic counters describing a service's lifetime admission behavior.
@@ -59,6 +63,10 @@ struct ServiceStats {
   int64_t shed_budget = 0;       ///< rejected: global memory budget spent
   int64_t completed = 0;         ///< finished with an OK result
   int64_t failed = 0;            ///< finished with any non-OK status
+  int64_t retried = 0;           ///< re-admissions after a transient failure
+  int64_t breaker_rejected = 0;  ///< fast-failed: a circuit breaker was open
+  int64_t degraded = 0;          ///< attempts executed in degraded mode
+  int64_t quarantined = 0;       ///< cached plans quarantined after failing
 };
 
 /// Handle to one submitted query. Created by QueryService::Submit, shared
@@ -83,10 +91,15 @@ class QueryTicket {
   int64_t session_id() const { return session_id_; }
   const std::string& sql() const { return sql_; }
 
-  /// Time spent in the admission queue before a worker picked the query
-  /// up, and executing once it did. Valid after done().
+  /// Time spent in the admission queue before a worker first picked the
+  /// query up, and total execution time across attempts. Valid after
+  /// done().
   double queued_seconds() const { return queued_seconds_; }
   double exec_seconds() const { return exec_seconds_; }
+
+  /// Times the service re-admitted this query after a transient failure
+  /// (0 = first attempt answered). Valid after done().
+  int retry_attempts() const { return attempts_; }
 
  private:
   friend class QueryService;
@@ -108,6 +121,9 @@ class QueryTicket {
   const std::chrono::steady_clock::time_point submit_time_;
   double queued_seconds_ = 0.0;
   double exec_seconds_ = 0.0;
+  /// Re-admissions so far; only the executing worker mutates it, readers
+  /// wait for done().
+  int attempts_ = 0;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -125,7 +141,20 @@ using TicketRef = std::shared_ptr<QueryTicket>;
 /// session's in-flight cap is reached, or the global memory budget is
 /// fully committed — admitted queries always run to an answer or a clean
 /// error. Repeated queries skip the optimizer via a shared
-/// fingerprint-keyed PlanCache (normalized text + Database stats epoch).
+/// fingerprint-keyed PlanCache (parameterized text + Database stats
+/// epoch).
+///
+/// Resilience (see service/resilience.h): queries that fail transiently
+/// are re-admitted with deterministic backoff, up to the configured retry
+/// budget; per-fault-domain circuit breakers (storage / spill / planner)
+/// fast-fail admitted work with kUnavailable while a domain is melting
+/// down; when shared-budget occupancy crosses the high-water mark, new
+/// admissions execute *degraded* (reduced sort budget, plan-cache writes
+/// off) instead of queueing up to be shed; and a cached plan whose
+/// execution fails non-transiently is evicted and quarantined for the
+/// stats epoch. All of it stays off the happy path — with breakers closed
+/// and the budget low, the per-query overhead is a few relaxed atomic
+/// loads.
 ///
 /// All public methods are thread-safe. The Database must be finalized
 /// before construction and must not be mutated while the service lives
@@ -167,6 +196,12 @@ class QueryService {
   PlanCacheStats plan_cache_stats() const { return plan_cache_.stats(); }
   double plan_cache_hit_rate() const { return plan_cache_.HitRate(); }
   const SharedMemoryBudget& budget() const { return budget_; }
+  /// Mutable access to the shared pool for co-owners that charge it from
+  /// outside the worker path (tests use this to simulate external memory
+  /// pressure and force degraded-mode admissions deterministically).
+  SharedMemoryBudget* mutable_budget() { return &budget_; }
+  /// Breaker states / trip counts and the degraded-mode signal.
+  const ResilienceManager& resilience() const { return resilience_; }
   /// Queries queued but not yet claimed by a worker.
   size_t queue_depth() const;
   int workers() const { return static_cast<int>(workers_.size()); }
@@ -180,10 +215,26 @@ class QueryService {
     std::vector<std::weak_ptr<QueryTicket>> tickets;
   };
 
+  /// Per-worker mutable state: the private engine plus which of the two
+  /// configs (normal / degraded) it currently carries.
+  struct WorkerState {
+    WorkerState(Database* db, const OptimizerConfig& config)
+        : engine(db, config) {}
+    QueryEngine engine;
+    bool degraded = false;
+  };
+
   void WorkerLoop();
-  /// Runs one admitted query on `engine`, including the plan-cache
-  /// protocol, and completes its ticket.
-  void RunTicket(QueryEngine* engine, const TicketRef& ticket);
+  /// Runs one admitted query, including the breaker gate, degraded-mode
+  /// engine swap, plan-cache protocol, quarantine, and retry
+  /// re-admission; completes the ticket unless it was re-admitted.
+  void RunTicket(WorkerState* state, const TicketRef& ticket);
+  /// One execution attempt: the plan-cache protocol around the engine
+  /// call. Sets `*from_cache` when a cached plan was executed and
+  /// `*epoch` to the stats epoch the attempt keyed the cache under.
+  Result<QueryResult> ExecuteAttempt(QueryEngine* engine,
+                                     const TicketRef& ticket, bool degraded,
+                                     bool* from_cache, uint64_t* epoch);
   /// Post-completion bookkeeping: session in-flight count and counters.
   void FinishTicket(const QueryTicket& ticket, bool ok);
   /// Returns a session's reserved in-flight slot (and, with `ticket`,
@@ -195,6 +246,11 @@ class QueryService {
   const ServiceConfig config_;
   PlanCache plan_cache_;
   SharedMemoryBudget budget_;
+  ResilienceManager resilience_;
+  /// engine_config with degraded_mode set and the sort budget scaled by
+  /// resilience.degraded_sort_budget_factor; swapped onto worker engines
+  /// while the budget is over the high-water mark.
+  OptimizerConfig degraded_engine_config_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -1,0 +1,199 @@
+#include "service/resilience.h"
+
+#include <algorithm>
+#include <string>
+
+namespace ordopt {
+
+namespace {
+
+bool Contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+FaultDomain ClassifyFaultDomain(const Status& status) {
+  if (status.ok()) return FaultDomain::kNone;
+  // Only infrastructure failures feed breakers. User errors (parse, bind,
+  // unknown tables) and per-query guard trips (limits, cancel, deadline)
+  // say nothing about shared resource health.
+  if (status.code() != StatusCode::kIoError &&
+      status.code() != StatusCode::kInternal) {
+    return FaultDomain::kNone;
+  }
+  const std::string& m = status.message();
+  // Spill before storage: spill-site names ("exec.sort.spill.write",
+  // "ordopt-spill-*" temp files) never mention "storage.".
+  if (Contains(m, "spill")) return FaultDomain::kSpill;
+  if (Contains(m, "storage.") || Contains(m, "btree") || Contains(m, "csv")) {
+    return FaultDomain::kStorage;
+  }
+  if (Contains(m, "planner")) return FaultDomain::kPlanner;
+  return FaultDomain::kNone;
+}
+
+const char* FaultDomainName(FaultDomain domain) {
+  switch (domain) {
+    case FaultDomain::kStorage:
+      return "storage";
+    case FaultDomain::kSpill:
+      return "spill";
+    case FaultDomain::kPlanner:
+      return "planner";
+    case FaultDomain::kNone:
+      return "none";
+  }
+  return "none";
+}
+
+bool CircuitBreaker::Allow(bool* probe) {
+  *probe = false;
+  if (config_.failure_threshold <= 0) return true;
+  // Hot path: a closed breaker admits without taking the lock. The race
+  // (state changes right after the load) only lets one extra request
+  // through or rejects one early — both harmless.
+  if (state_.load(std::memory_order_relaxed) == BreakerState::kClosed) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Clock::time_point now = Clock::now();
+  if (state_.load(std::memory_order_relaxed) == BreakerState::kOpen) {
+    if (now < open_until_) {
+      rejections_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    state_.store(BreakerState::kHalfOpen, std::memory_order_relaxed);
+    probe_in_flight_ = false;
+  }
+  if (state_.load(std::memory_order_relaxed) == BreakerState::kHalfOpen) {
+    if (probe_in_flight_) {
+      rejections_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    probe_in_flight_ = true;
+    *probe = true;
+  }
+  return true;
+}
+
+void CircuitBreaker::OnSuccess(bool probe) {
+  if (config_.failure_threshold <= 0) return;
+  if (!probe &&
+      state_.load(std::memory_order_relaxed) == BreakerState::kClosed) {
+    return;  // the common case stays lock-free
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (probe) {
+    // The probe came back healthy: close and forget the failure history.
+    state_.store(BreakerState::kClosed, std::memory_order_relaxed);
+    probe_in_flight_ = false;
+    failures_.clear();
+  }
+  // A non-probe success while open/half-open is a straggler admitted
+  // before the trip; it proves nothing about current health.
+}
+
+void CircuitBreaker::OnFailure(bool probe) {
+  if (config_.failure_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Clock::time_point now = Clock::now();
+  if (probe) {
+    // The probe failed in-domain: straight back to open for another
+    // cooldown.
+    probe_in_flight_ = false;
+    TripLocked(now);
+    return;
+  }
+  failures_.push_back(now);
+  auto window = std::chrono::duration<double>(
+      std::max(0.0, config_.window_seconds));
+  while (!failures_.empty() && now - failures_.front() > window) {
+    failures_.pop_front();
+  }
+  if (state_.load(std::memory_order_relaxed) == BreakerState::kClosed &&
+      static_cast<int>(failures_.size()) >= config_.failure_threshold) {
+    TripLocked(now);
+  }
+}
+
+void CircuitBreaker::OnProbeInconclusive() {
+  if (config_.failure_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_.load(std::memory_order_relaxed) == BreakerState::kHalfOpen) {
+    probe_in_flight_ = false;
+  }
+}
+
+void CircuitBreaker::TripLocked(Clock::time_point now) {
+  state_.store(BreakerState::kOpen, std::memory_order_relaxed);
+  open_until_ = now + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(
+                              std::max(0.0, config_.open_seconds)));
+  trips_.fetch_add(1, std::memory_order_relaxed);
+  failures_.clear();
+}
+
+Status ResilienceManager::AdmitExecution(uint32_t* probe_mask) {
+  *probe_mask = 0;
+  for (int d = 0; d < kNumFaultDomains; ++d) {
+    bool probe = false;
+    if (!breakers_[d].Allow(&probe)) {
+      // Settle probe tokens already granted by earlier domains: this
+      // request will not run, so it cannot report their outcome.
+      for (int p = 0; p < d; ++p) {
+        if (*probe_mask & (1u << p)) breakers_[p].OnProbeInconclusive();
+      }
+      *probe_mask = 0;
+      return Status::Unavailable(std::string("circuit breaker open for ") +
+                                 FaultDomainName(static_cast<FaultDomain>(d)) +
+                                 " fault domain");
+    }
+    if (probe) *probe_mask |= 1u << d;
+  }
+  return Status::OK();
+}
+
+FaultDomain ResilienceManager::OnQueryOutcome(const Status& status,
+                                              uint32_t probe_mask) {
+  if (status.ok()) {
+    for (int d = 0; d < kNumFaultDomains; ++d) {
+      if (probe_mask & (1u << d)) breakers_[d].OnSuccess(true);
+    }
+    return FaultDomain::kNone;
+  }
+  FaultDomain domain = ClassifyFaultDomain(status);
+  for (int d = 0; d < kNumFaultDomains; ++d) {
+    bool probed = (probe_mask & (1u << d)) != 0;
+    if (static_cast<FaultDomain>(d) == domain) {
+      breakers_[d].OnFailure(probed);
+    } else if (probed) {
+      // The probe carrier failed elsewhere; its domain learned nothing.
+      breakers_[d].OnProbeInconclusive();
+    }
+  }
+  return domain;
+}
+
+bool ResilienceManager::InDegradedMode() const {
+  if (budget_ == nullptr || config_.degraded_high_water <= 0) return false;
+  int64_t limit = budget_->limit_bytes();
+  if (limit <= 0) return false;
+  double occupancy =
+      static_cast<double>(budget_->used_bytes()) / static_cast<double>(limit);
+  return occupancy >= config_.degraded_high_water;
+}
+
+int64_t ResilienceManager::total_trips() const {
+  int64_t total = 0;
+  for (const CircuitBreaker& b : breakers_) total += b.trips();
+  return total;
+}
+
+int64_t ResilienceManager::total_rejections() const {
+  int64_t total = 0;
+  for (const CircuitBreaker& b : breakers_) total += b.rejections();
+  return total;
+}
+
+}  // namespace ordopt

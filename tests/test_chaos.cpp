@@ -1,0 +1,469 @@
+// Chaos harness: the resilience layer's acceptance tests. Deterministic
+// scenarios pin down each mechanism — service-level retry of transient
+// failures, per-fault-domain circuit breakers (trip, fast-fail, half-open
+// recovery), plan-cache quarantine of poisoned cached plans, and
+// degraded-mode admission under shared-budget pressure. Then seeded
+// randomized fault schedules (armed through the ORDOPT_FAULTS spec
+// grammar) hammer 8- and 64-session mixed TPC-D workloads and check the
+// invariants that must survive any interleaving: every ticket resolves,
+// every successful query is row-identical to serial execution, failures
+// carry only expected status codes, completed + failed == admitted, the
+// shared budget drains to zero, and the service answers cleanly once the
+// faults stop. Run under ASan and TSan via scripts/check.sh --chaos.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "query_test_util.h"
+#include "service/query_service.h"
+#include "tpcd/tpcd.h"
+
+namespace ordopt {
+namespace {
+
+using Canon = std::vector<std::vector<std::string>>;
+
+// Sorts 120 rows; with cost_params.sort_memory_rows clamped low this
+// spills several runs, exercising the spill write/read/merge fault sites.
+constexpr const char* kSortQuery =
+    "select e.eno, e.salary from emp e order by e.salary, e.eno";
+
+void ExpectCleanDrain(QueryService* service) {
+  service->Shutdown();
+  EXPECT_EQ(service->budget().used_bytes(), 0);
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().DisarmAll();
+    BuildToyDatabase(&db_, 17, 120);
+  }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+
+  Database db_;
+};
+
+// ---- Service-level retry ------------------------------------------------
+
+// A spill write that stays broken long enough to exhaust the low-level
+// RetryIo budget surfaces kIoError; the service re-admits the query and
+// the second attempt succeeds. The client just sees a slow OK.
+TEST_F(ChaosTest, RetryRecoversTransientSpillFault) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.plan_cache_capacity = 0;
+  config.engine_config.cost_params.sort_memory_rows = 32;
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+
+  // Fail exactly as many hits as one RetryIo loop attempts, so attempt #1
+  // of the query exhausts spill retries and attempt #2 runs clean.
+  const int64_t spill_attempts = config.engine_config.spill_retry.max_attempts;
+  FaultInjector::Global().Arm("exec.sort.spill.write", 0, spill_attempts,
+                              StatusCode::kIoError);
+
+  Result<TicketRef> ticket = service.Submit(session, kSortQuery);
+  ASSERT_TRUE(ticket.ok());
+  const Result<QueryResult>& result = ticket.value()->Wait();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().rows.size(), 120u);
+  EXPECT_EQ(result.value().retry_attempts, 1);
+  EXPECT_EQ(ticket.value()->retry_attempts(), 1);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.retried, 1);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(FaultInjector::Global().FireCount("exec.sort.spill.write"),
+            spill_attempts);
+  ExpectCleanDrain(&service);
+}
+
+// A permanently broken spill device exhausts the service retry budget too;
+// the query then fails with the transient code, once, cleanly.
+TEST_F(ChaosTest, RetryBudgetExhaustsToCleanError) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.plan_cache_capacity = 0;
+  config.engine_config.cost_params.sort_memory_rows = 32;
+  config.resilience.retry.max_attempts = 3;
+  // Keep the spill breaker out of the picture: this test is about retry.
+  config.resilience.breaker.failure_threshold = 100;
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+
+  FaultInjector::Global().Arm("exec.sort.spill.write", 0, -1,
+                              StatusCode::kIoError);
+
+  Result<TicketRef> ticket = service.Submit(session, kSortQuery);
+  ASSERT_TRUE(ticket.ok());
+  const Result<QueryResult>& result = ticket.value()->Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(ticket.value()->retry_attempts(), 2);  // 3 tries total
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.retried, 2);
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.failed, 1);
+  ExpectCleanDrain(&service);
+}
+
+// ---- Circuit breakers ---------------------------------------------------
+
+// Repeated planner failures trip the planner breaker; further queries
+// fast-fail with kUnavailable instead of burning a worker on a melting
+// domain, and stay rejected until the cooldown elapses.
+TEST_F(ChaosTest, PlannerBreakerTripsAndFastFails) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.plan_cache_capacity = 0;  // every query planned -> probes the site
+  config.resilience.breaker.failure_threshold = 3;
+  config.resilience.breaker.window_seconds = 60.0;
+  config.resilience.breaker.open_seconds = 60.0;  // stays open for the test
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+
+  FaultInjector::Global().Arm("planner.alloc", 0, -1, StatusCode::kInternal);
+  for (int i = 0; i < 3; ++i) {
+    Result<QueryResult> r =
+        service.Execute(session, "select dname from dept order by dname");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  }
+  EXPECT_EQ(service.resilience().breaker(FaultDomain::kPlanner).state(),
+            BreakerState::kOpen);
+  EXPECT_EQ(service.resilience().total_trips(), 1);
+
+  // Open breaker: fast-fail, even after the underlying fault is gone.
+  FaultInjector::Global().DisarmAll();
+  Result<QueryResult> rejected =
+      service.Execute(session, "select dname from dept order by dname");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.breaker_rejected, 1);
+  EXPECT_EQ(stats.failed, 4);
+  ExpectCleanDrain(&service);
+}
+
+// After the cooldown the breaker admits a single half-open probe; a
+// successful probe closes it and traffic resumes.
+TEST_F(ChaosTest, BreakerHalfOpenProbeRecovers) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.plan_cache_capacity = 0;
+  config.resilience.breaker.failure_threshold = 2;
+  config.resilience.breaker.window_seconds = 60.0;
+  config.resilience.breaker.open_seconds = 0.02;
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+
+  FaultInjector::Global().Arm("planner.alloc", 0, 2, StatusCode::kInternal);
+  for (int i = 0; i < 2; ++i) {
+    Result<QueryResult> r =
+        service.Execute(session, "select dname from dept order by dname");
+    ASSERT_FALSE(r.ok());
+  }
+  EXPECT_EQ(service.resilience().breaker(FaultDomain::kPlanner).state(),
+            BreakerState::kOpen);
+
+  // Inside the cooldown: fast-fail.
+  Result<QueryResult> rejected =
+      service.Execute(session, "select dname from dept order by dname");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+
+  // Past the cooldown the probe goes through (the fault burned out after
+  // two fires) and its success closes the breaker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Result<QueryResult> probe =
+      service.Execute(session, "select dname from dept order by dname");
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_EQ(service.resilience().breaker(FaultDomain::kPlanner).state(),
+            BreakerState::kClosed);
+  EXPECT_EQ(service.resilience().breaker(FaultDomain::kPlanner).trips(), 1);
+
+  Result<QueryResult> after =
+      service.Execute(session, "select dname from dept order by dname");
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(service.stats().completed, 2);
+  ExpectCleanDrain(&service);
+}
+
+// ---- Plan-cache quarantine ----------------------------------------------
+
+// A cached plan that fails non-transiently is evicted and its template
+// quarantined for the stats epoch: lookups replan fresh (no publish) until
+// the epoch moves, then caching resumes normally.
+TEST_F(ChaosTest, QuarantineEvictsPoisonedCachedPlan) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.plan_cache_capacity = 8;
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+  const std::string sql = "select dname from dept order by dname";
+
+  // Populate the cache, then poison the cached execution: the first root
+  // pull of the next run fails kInternal (a plan-shaped failure, not a
+  // transient one).
+  ASSERT_TRUE(service.Execute(session, sql).ok());
+  FaultInjector::Global().Arm("exec.operator.next", 0, 1,
+                              StatusCode::kInternal);
+  Result<QueryResult> poisoned = service.Execute(session, sql);
+  ASSERT_FALSE(poisoned.ok());
+  EXPECT_EQ(poisoned.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(service.stats().quarantined, 1);
+  EXPECT_EQ(service.plan_cache_stats().quarantined, 1);
+
+  // Same epoch: the template replans fresh every time and is not re-cached.
+  for (int i = 0; i < 2; ++i) {
+    Result<QueryResult> replanned = service.Execute(session, sql);
+    ASSERT_TRUE(replanned.ok()) << replanned.status().ToString();
+    EXPECT_FALSE(replanned.value().planned_from_cache);
+  }
+  EXPECT_GE(service.plan_cache_stats().quarantine_rejections, 2);
+
+  // A stats-epoch bump lifts the quarantine: plan, publish, then hit.
+  db_.BumpStatsEpoch();
+  Result<QueryResult> replan = service.Execute(session, sql);
+  ASSERT_TRUE(replan.ok());
+  EXPECT_FALSE(replan.value().planned_from_cache);
+  Result<QueryResult> cached = service.Execute(session, sql);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached.value().planned_from_cache);
+  ExpectCleanDrain(&service);
+}
+
+// ---- Degraded mode ------------------------------------------------------
+
+// External pressure on the shared pool pushes occupancy over the
+// high-water mark: new admissions execute degraded (reported on the
+// result, counted in stats) and plan-cache writes are suppressed, while
+// cache *reads* still work. Releasing the pressure restores normal mode.
+TEST_F(ChaosTest, DegradedModeUnderBudgetPressure) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.plan_cache_capacity = 8;
+  config.global_budget_bytes = 8 << 20;
+  config.resilience.degraded_high_water = 0.5;
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+  const std::string cached_sql = "select dname from dept order by dname";
+  const std::string fresh_sql = kSortQuery;
+
+  // Warm the cache while healthy.
+  ASSERT_TRUE(service.Execute(session, cached_sql).ok());
+  Result<QueryResult> warm = service.Execute(session, cached_sql);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().planned_from_cache);
+  EXPECT_FALSE(warm.value().degraded);
+  EXPECT_FALSE(service.resilience().InDegradedMode());
+
+  // Simulate a co-owner holding 3/4 of the pool.
+  ASSERT_TRUE(service.mutable_budget()->TryCharge(6 << 20));
+  EXPECT_TRUE(service.resilience().InDegradedMode());
+
+  // Degraded runs still *read* the cache...
+  Result<QueryResult> degraded_hit = service.Execute(session, cached_sql);
+  ASSERT_TRUE(degraded_hit.ok()) << degraded_hit.status().ToString();
+  EXPECT_TRUE(degraded_hit.value().degraded);
+  EXPECT_TRUE(degraded_hit.value().planned_from_cache);
+
+  // ...but never write it: an uncached query replans on every degraded run.
+  for (int i = 0; i < 2; ++i) {
+    Result<QueryResult> fresh = service.Execute(session, fresh_sql);
+    ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+    EXPECT_TRUE(fresh.value().degraded);
+    EXPECT_FALSE(fresh.value().planned_from_cache);
+  }
+  EXPECT_EQ(service.stats().degraded, 3);
+
+  // Pressure released: normal mode, and the query is cacheable again.
+  service.mutable_budget()->Release(6 << 20);
+  EXPECT_FALSE(service.resilience().InDegradedMode());
+  Result<QueryResult> publish = service.Execute(session, fresh_sql);
+  ASSERT_TRUE(publish.ok());
+  EXPECT_FALSE(publish.value().degraded);
+  EXPECT_FALSE(publish.value().planned_from_cache);
+  Result<QueryResult> hit = service.Execute(session, fresh_sql);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.value().planned_from_cache);
+  EXPECT_EQ(service.stats().degraded, 3);  // unchanged
+  ExpectCleanDrain(&service);
+}
+
+// ---- Seeded randomized chaos matrix -------------------------------------
+
+// Runtime fault sites a schedule may arm, and whether kIoError (which the
+// retry machinery treats as transient) makes sense for the site.
+struct ChaosSite {
+  const char* name;
+  bool can_io;
+};
+constexpr ChaosSite kChaosSites[] = {
+    {"exec.sort.spill.write", true}, {"exec.sort.spill.read", true},
+    {"exec.sort.spill.merge", false}, {"exec.operator.next", false},
+    {"planner.alloc", false},        {"storage.btree.read", true},
+};
+
+// Derives a fault schedule from `seed` in the ORDOPT_FAULTS spec grammar
+// (exercising the same parser an operator would use) and arms it.
+std::string ArmSeededSchedule(std::mt19937* rng) {
+  int arms = 2 + static_cast<int>((*rng)() % 3);
+  std::set<int> picked;
+  std::string spec;
+  for (int i = 0; i < arms; ++i) {
+    int site = static_cast<int>((*rng)() % std::size(kChaosSites));
+    if (!picked.insert(site).second) continue;  // re-arming would reset
+    int64_t fire_after = static_cast<int64_t>((*rng)() % 400);
+    int64_t fire_count = 1 + static_cast<int64_t>((*rng)() % 8);
+    const char* code =
+        (kChaosSites[site].can_io && (*rng)() % 2 == 0) ? "io" : "internal";
+    if (!spec.empty()) spec += ',';
+    spec += std::string(kChaosSites[site].name) + ":" +
+            std::to_string(fire_after) + ":" + std::to_string(fire_count) +
+            ":" + code;
+  }
+  Status armed = FaultInjector::Global().ArmFromSpec(spec);
+  EXPECT_TRUE(armed.ok()) << spec << ": " << armed.ToString();
+  return spec;
+}
+
+// One chaos round: arm a seeded schedule, run a concurrent mixed workload,
+// and check every invariant that must hold regardless of which queries the
+// faults happened to hit.
+void RunChaosRound(Database* db, const std::vector<std::string>& workload,
+                   const std::vector<Canon>& expected, uint32_t seed,
+                   int session_count, int queries_per_session) {
+  std::mt19937 rng(seed);
+  SCOPED_TRACE("seed " + std::to_string(seed) + ", spec " +
+               ArmSeededSchedule(&rng));
+
+  ServiceConfig config;
+  config.workers = 4;
+  config.queue_depth = 256;
+  config.plan_cache_capacity = 32;
+  config.global_budget_bytes = 64 << 20;
+  config.engine_config.cost_params.sort_memory_rows = 64;  // force spills
+  config.resilience.breaker.failure_threshold = 4;
+  config.resilience.breaker.open_seconds = 0.01;  // recover mid-round
+  QueryService service(db, config);
+
+  std::vector<int64_t> sessions;
+  sessions.reserve(session_count);
+  for (int s = 0; s < session_count; ++s)
+    sessions.push_back(service.OpenSession());
+
+  std::atomic<int> ok_count{0};
+  std::atomic<int> wrong_rows{0};
+  std::atomic<int> bad_codes{0};
+  std::vector<std::thread> clients;
+  clients.reserve(sessions.size());
+  for (int s = 0; s < session_count; ++s) {
+    clients.emplace_back([&, s] {
+      for (int q = 0; q < queries_per_session; ++q) {
+        size_t w = (s + q) % workload.size();
+        Result<QueryResult> result = service.Execute(sessions[s], workload[w]);
+        if (result.ok()) {
+          ok_count.fetch_add(1);
+          if (Canonicalize(result.value().rows) != expected[w]) {
+            wrong_rows.fetch_add(1);
+            ADD_FAILURE() << "session " << s << " query " << w
+                          << ": rows differ from serial execution";
+          }
+          continue;
+        }
+        switch (result.status().code()) {
+          case StatusCode::kInternal:
+          case StatusCode::kIoError:
+          case StatusCode::kUnavailable:
+          case StatusCode::kResourceExhausted:
+          case StatusCode::kCancelled:
+          case StatusCode::kTimeout:
+            break;  // clean, expected failure modes under chaos
+          default:
+            bad_codes.fetch_add(1);
+            ADD_FAILURE() << "unexpected failure code: "
+                          << result.status().ToString();
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  FaultInjector::Global().DisarmAll();
+
+  EXPECT_EQ(wrong_rows.load(), 0);
+  EXPECT_EQ(bad_codes.load(), 0);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, ok_count.load());
+  EXPECT_EQ(stats.completed + stats.failed, stats.admitted);
+
+  // With the faults gone the service must answer again — at worst one
+  // breaker cooldown away.
+  bool recovered = false;
+  for (int attempt = 0; attempt < 100 && !recovered; ++attempt) {
+    Result<QueryResult> probe = service.Execute(sessions[0], workload[0]);
+    if (probe.ok()) {
+      recovered = Canonicalize(probe.value().rows) == expected[0];
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(recovered) << "service did not recover after chaos";
+  ExpectCleanDrain(&service);
+}
+
+class ChaosTpcdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().DisarmAll();
+    TpcdConfig tpcd;
+    tpcd.scale_factor = 0.002;
+    ASSERT_TRUE(LoadTpcd(&db_, tpcd).ok());
+    workload_ = {
+        tpcd_queries::kQuery3,         tpcd_queries::kPricingSummary,
+        tpcd_queries::kDistinctShipdates, tpcd_queries::kLateOrders,
+        tpcd_queries::kRegionRevenue,
+    };
+    // Serial references, computed before any fault is armed.
+    QueryEngine reference(&db_);
+    for (const std::string& sql : workload_) {
+      Result<QueryResult> serial = reference.Run(sql);
+      ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+      expected_.push_back(Canonicalize(serial.value().rows));
+    }
+  }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+
+  Database db_;
+  std::vector<std::string> workload_;
+  std::vector<Canon> expected_;
+};
+
+TEST_F(ChaosTpcdTest, EightSessionSeededMatrix) {
+  for (uint32_t seed : {101u, 202u, 303u}) {
+    RunChaosRound(&db_, workload_, expected_, seed, /*session_count=*/8,
+                  /*queries_per_session=*/4);
+  }
+}
+
+TEST_F(ChaosTpcdTest, SixtyFourSessionSeededMatrix) {
+  for (uint32_t seed : {7u, 42u}) {
+    RunChaosRound(&db_, workload_, expected_, seed, /*session_count=*/64,
+                  /*queries_per_session=*/2);
+  }
+}
+
+}  // namespace
+}  // namespace ordopt

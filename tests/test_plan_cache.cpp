@@ -1,5 +1,6 @@
-// Plan-cache tests: normalized-text keying, LRU eviction, stats-epoch
-// invalidation, the leader/waiter stampede protocol (one planner per key
+// Plan-cache tests: parameterized-text keying (literal stripping and the
+// one-slot-per-template rule), LRU eviction, stats-epoch invalidation,
+// quarantine, the leader/waiter stampede protocol (one planner per key
 // however many threads race the lookup), and the integration behavior the
 // service relies on — a published plan re-executes to the same rows the
 // planning run produced.
@@ -44,6 +45,48 @@ TEST(NormalizeQueryText, PreservesStringLiterals) {
             "select 'It''s  A' from t");
 }
 
+TEST(ParameterizeQueryText, StripsLiteralsIntoTemplate) {
+  std::vector<std::string> literals;
+  EXPECT_EQ(ParameterizeQueryText(
+                "select x from t where d >= date('1995-03-15') and p > 24",
+                &literals),
+            "select x from t where d >= date(?) and p > ?");
+  ASSERT_EQ(literals.size(), 2u);
+  EXPECT_EQ(literals[0], "'1995-03-15'");
+  EXPECT_EQ(literals[1], "24");
+  // Different literal values share one template — the whole point.
+  EXPECT_EQ(ParameterizeQueryText("select x from t where p > 24"),
+            ParameterizeQueryText("SELECT  x FROM t WHERE p > 25"));
+  EXPECT_EQ(ParameterizeQueryText("select x from t where n = 'Smith'"),
+            ParameterizeQueryText("select x from t where n = 'Jones'"));
+}
+
+TEST(ParameterizeQueryText, PreservesIdentifierDigits) {
+  // Digits that continue an identifier are not literals.
+  EXPECT_EQ(ParameterizeQueryText("select e1.salary from emp e1"),
+            "select e1.salary from emp e1");
+  EXPECT_EQ(ParameterizeQueryText("select col2 from t2 where col2 > 7"),
+            "select col2 from t2 where col2 > ?");
+  // Decimal literals are captured whole.
+  std::vector<std::string> literals;
+  EXPECT_EQ(ParameterizeQueryText("select x from t where f < 0.5", &literals),
+            "select x from t where f < ?");
+  ASSERT_EQ(literals.size(), 1u);
+  EXPECT_EQ(literals[0], "0.5");
+}
+
+TEST(ParameterizeQueryText, HandlesEscapedQuotes) {
+  std::vector<std::string> literals;
+  EXPECT_EQ(
+      ParameterizeQueryText("select x from t where n = 'It''s'", &literals),
+      "select x from t where n = ?");
+  ASSERT_EQ(literals.size(), 1u);
+  EXPECT_EQ(literals[0], "'It''s'");
+  // Literal case is captured verbatim (it is semantic), template is not.
+  ParameterizeQueryText("SELECT 'MiXeD' FROM T", &literals);
+  EXPECT_EQ(literals.back(), "'MiXeD'");
+}
+
 TEST(PlanCacheTest, MissPublishHit) {
   PlanCache cache(8);
   EXPECT_EQ(cache.GetOrBeginPlanning("SELECT x FROM t", 1), nullptr);
@@ -86,22 +129,64 @@ TEST(PlanCacheTest, StatsEpochBumpInvalidates) {
 }
 
 TEST(PlanCacheTest, LruEvictsOldest) {
+  // Distinct table names: distinct literals alone would share a template.
   PlanCache cache(2);
-  for (const char* sql : {"select 1", "select 2", "select 3"}) {
+  for (const char* sql : {"select x from t1", "select x from t2",
+                          "select x from t3"}) {
     ASSERT_EQ(cache.GetOrBeginPlanning(sql, 1), nullptr);
     cache.Publish(sql, 1, FakePlan(sql));
   }
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.stats().evictions, 1);
-  EXPECT_EQ(cache.Peek("select 1", 1), nullptr);       // evicted
-  EXPECT_NE(cache.Peek("select 2", 1), nullptr);
-  EXPECT_NE(cache.Peek("select 3", 1), nullptr);
-  // A hit refreshes recency: "select 2" survives the next insert.
-  ASSERT_NE(cache.GetOrBeginPlanning("select 2", 1), nullptr);
-  ASSERT_EQ(cache.GetOrBeginPlanning("select 4", 1), nullptr);
-  cache.Publish("select 4", 1, FakePlan("p4"));
-  EXPECT_NE(cache.Peek("select 2", 1), nullptr);
-  EXPECT_EQ(cache.Peek("select 3", 1), nullptr);
+  EXPECT_EQ(cache.Peek("select x from t1", 1), nullptr);  // evicted
+  EXPECT_NE(cache.Peek("select x from t2", 1), nullptr);
+  EXPECT_NE(cache.Peek("select x from t3", 1), nullptr);
+  // A hit refreshes recency: t2 survives the next insert.
+  ASSERT_NE(cache.GetOrBeginPlanning("select x from t2", 1), nullptr);
+  ASSERT_EQ(cache.GetOrBeginPlanning("select x from t4", 1), nullptr);
+  cache.Publish("select x from t4", 1, FakePlan("p4"));
+  EXPECT_NE(cache.Peek("select x from t2", 1), nullptr);
+  EXPECT_EQ(cache.Peek("select x from t3", 1), nullptr);
+}
+
+// Same template, different literal values: the cached plan embeds the old
+// constants and must not be served; the entry is replaced in place, so a
+// literal-sweeping workload occupies one slot instead of flooding the LRU.
+TEST(PlanCacheTest, SameTemplateDifferentLiteralsReplaces) {
+  PlanCache cache(8);
+  ASSERT_EQ(cache.GetOrBeginPlanning("select x from t where p > 24", 1),
+            nullptr);
+  cache.Publish("select x from t where p > 24", 1, FakePlan("p24"));
+  // Same literal, different surface text: a hit.
+  auto hit = cache.GetOrBeginPlanning("SELECT  x FROM t WHERE p > 24", 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->plan_text, "p24");
+  // Different literal: never served; the caller replans into the slot.
+  ASSERT_EQ(cache.GetOrBeginPlanning("select x from t where p > 25", 1),
+            nullptr);
+  EXPECT_EQ(cache.stats().literal_evictions, 1);
+  cache.Publish("select x from t where p > 25", 1, FakePlan("p25"));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 0);  // replacement, not LRU pressure
+  hit = cache.GetOrBeginPlanning("select x from t where p > 25", 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->plan_text, "p25");
+  // And the old literal now misses.
+  EXPECT_EQ(cache.Peek("select x from t where p > 24", 1), nullptr);
+}
+
+TEST(PlanCacheTest, LiteralSweepKeepsOneSlot) {
+  PlanCache cache(4);
+  for (int p = 0; p < 10; ++p) {
+    std::string sql =
+        "select x from t where p > " + std::to_string(p * 7 + 1);
+    ASSERT_EQ(cache.GetOrBeginPlanning(sql, 1), nullptr) << sql;
+    cache.Publish(sql, 1, FakePlan(sql));
+    EXPECT_EQ(cache.size(), 1u);
+  }
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.literal_evictions, 9);
+  EXPECT_EQ(stats.evictions, 0);
 }
 
 TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
@@ -185,8 +270,9 @@ TEST(PlanCacheTest, AbandonPromotesOneWaiter) {
 // counters balance.
 TEST(PlanCacheTest, ManyThreadsOnePlanningPerKey) {
   PlanCache cache(16);
-  const std::vector<std::string> keys = {"select 1", "select 2", "select 3",
-                                         "select 4"};
+  const std::vector<std::string> keys = {
+      "select x from t1", "select x from t2", "select x from t3",
+      "select x from t4"};
   std::atomic<int> plannings{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < 6; ++t) {
@@ -206,6 +292,55 @@ TEST(PlanCacheTest, ManyThreadsOnePlanningPerKey) {
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(plannings.load(), static_cast<int>(keys.size()));
   EXPECT_EQ(cache.stats().misses, static_cast<int64_t>(keys.size()));
+}
+
+// Quarantine: a poisoned entry is evicted, lookups stop electing planners
+// (everyone replans fresh, nothing is re-cached), publishes are refused —
+// all scoped to the stats epoch the failure was observed under.
+TEST(PlanCacheTest, QuarantineBlocksTemplateForEpoch) {
+  PlanCache cache(8);
+  const std::string sql = "select x from t where p > 24";
+  ASSERT_EQ(cache.GetOrBeginPlanning(sql, 1), nullptr);
+  cache.Publish(sql, 1, FakePlan("bad"));
+  ASSERT_NE(cache.Peek(sql, 1), nullptr);
+
+  cache.Quarantine(sql, 1);
+  EXPECT_TRUE(cache.IsQuarantined(sql, 1));
+  EXPECT_EQ(cache.Peek(sql, 1), nullptr);  // evicted on the spot
+  EXPECT_EQ(cache.size(), 0u);
+  // Quarantine is per-template: a different literal is equally blocked.
+  EXPECT_TRUE(cache.IsQuarantined("select x from t where p > 99", 1));
+
+  // Lookups return planner-role without a marker: repeated calls must not
+  // block on each other, and a Publish must be refused.
+  EXPECT_EQ(cache.GetOrBeginPlanning(sql, 1), nullptr);
+  EXPECT_EQ(cache.GetOrBeginPlanning(sql, 1), nullptr);
+  cache.Publish(sql, 1, FakePlan("still bad"));
+  EXPECT_EQ(cache.Peek(sql, 1), nullptr);
+  EXPECT_GE(cache.stats().quarantine_rejections, 3);
+  EXPECT_EQ(cache.stats().quarantined, 1);
+
+  // A new stats epoch means a fresh plan would be a different plan: the
+  // quarantine lifts and normal caching resumes.
+  EXPECT_FALSE(cache.IsQuarantined(sql, 2));
+  ASSERT_EQ(cache.GetOrBeginPlanning(sql, 2), nullptr);
+  cache.Publish(sql, 2, FakePlan("rebuilt"));
+  auto hit = cache.Peek(sql, 2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->plan_text, "rebuilt");
+}
+
+// A planner elected just before the quarantine landed must not strand its
+// waiters: its refused Publish still resolves the planning marker.
+TEST(PlanCacheTest, QuarantineDoesNotStrandInFlightPlanner) {
+  PlanCache cache(8);
+  const std::string sql = "select x from t where p > 24";
+  ASSERT_EQ(cache.GetOrBeginPlanning(sql, 1), nullptr);  // marker in place
+  cache.Quarantine(sql, 1);
+  cache.Publish(sql, 1, FakePlan("late"));  // refused, marker resolved
+  EXPECT_EQ(cache.Peek(sql, 1), nullptr);
+  // No marker left behind: this lookup must return immediately.
+  EXPECT_EQ(cache.GetOrBeginPlanning(sql, 1), nullptr);
 }
 
 // End-to-end: a plan published from a real planning run re-executes via

@@ -32,6 +32,14 @@ constexpr const char* kSlowQuery =
     "select count(*) from emp e1, emp e2, emp e3 "
     "where e1.salary >= 30 and e2.salary >= 30 and e3.salary >= 30";
 
+// Drains the service and asserts the shared budget returned every byte —
+// the leak invariant every scenario must uphold no matter how its queries
+// ended (success, shed, cancel, timeout, fault).
+void ExpectCleanDrain(QueryService* service) {
+  service->Shutdown();
+  EXPECT_EQ(service->budget().used_bytes(), 0);
+}
+
 class ServiceTest : public ::testing::Test {
  protected:
   void SetUp() override { BuildToyDatabase(&db_, 17, 120); }
@@ -59,6 +67,7 @@ TEST_F(ServiceTest, ExecuteMatchesDirectEngine) {
   ServiceStats stats = service.stats();
   EXPECT_EQ(stats.admitted, 1);
   EXPECT_EQ(stats.completed, 1);
+  ExpectCleanDrain(&service);
 }
 
 TEST_F(ServiceTest, SubmitToUnknownSessionIsNotFound) {
@@ -78,6 +87,7 @@ TEST_F(ServiceTest, QueryErrorsComeBackAsStatuses) {
   Result<QueryResult> good =
       service.Execute(session, "select dname from dept order by dname");
   EXPECT_TRUE(good.ok()) << good.status().ToString();
+  ExpectCleanDrain(&service);
 }
 
 // ---- Overload: shed fast, never block, admitted queries complete. ----
@@ -119,6 +129,7 @@ TEST_F(ServiceTest, OverloadShedsQueueFullAndAdmittedComplete) {
   EXPECT_EQ(stats.shed_queue_full, shed);
   EXPECT_EQ(stats.completed,
             static_cast<int64_t>(admitted.size()) + 1);
+  ExpectCleanDrain(&service);
 }
 
 TEST_F(ServiceTest, SessionInflightCapSheds) {
@@ -146,6 +157,7 @@ TEST_F(ServiceTest, SessionInflightCapSheds) {
   EXPECT_TRUE(blocker.value()->Wait().ok());
   // The slot came back: the session can submit again.
   EXPECT_TRUE(service.Execute(capped, "select 1 from dept").ok());
+  ExpectCleanDrain(&service);
 }
 
 TEST_F(ServiceTest, GlobalBudgetTripsAsResourceExhausted) {
@@ -169,6 +181,7 @@ TEST_F(ServiceTest, GlobalBudgetTripsAsResourceExhausted) {
   Result<QueryResult> small =
       service.Execute(session, "select dno from emp where eno = 3");
   EXPECT_TRUE(small.ok()) << small.status().ToString();
+  ExpectCleanDrain(&service);
 }
 
 // ---- Cancellation and timeouts. ----
@@ -190,6 +203,7 @@ TEST_F(ServiceTest, CancelQueuedQuerySkipsExecution) {
   // Cancelled while queued: it never reached the engine.
   EXPECT_EQ(queued.value()->exec_seconds(), 0.0);
   EXPECT_TRUE(blocker.value()->Wait().ok());
+  ExpectCleanDrain(&service);
 }
 
 TEST_F(ServiceTest, CancelRunningQueryTripsCooperatively) {
@@ -206,6 +220,7 @@ TEST_F(ServiceTest, CancelRunningQueryTripsCooperatively) {
   const Result<QueryResult>& r = running.value()->Wait();
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  ExpectCleanDrain(&service);
 }
 
 TEST_F(ServiceTest, SessionDeadlineTimesOut) {
@@ -218,6 +233,7 @@ TEST_F(ServiceTest, SessionDeadlineTimesOut) {
   Result<QueryResult> result = service.Execute(session, kSlowQuery);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  ExpectCleanDrain(&service);
 }
 
 TEST_F(ServiceTest, CloseSessionCancelsInflightAndRejectsNew) {
@@ -234,6 +250,92 @@ TEST_F(ServiceTest, CloseSessionCancelsInflightAndRejectsNew) {
             StatusCode::kNotFound);
   EXPECT_EQ(running.value()->Wait().status().code(), StatusCode::kCancelled);
   EXPECT_EQ(queued.value()->Wait().status().code(), StatusCode::kCancelled);
+  ExpectCleanDrain(&service);
+}
+
+// Submit racing CloseSession from other threads: no crash, no hang, every
+// admitted ticket resolves (ok or cancelled), nothing leaks.
+TEST_F(ServiceTest, SubmitRacingCloseSessionResolvesEveryTicket) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.queue_depth = 64;
+  config.global_budget_bytes = 64 << 20;
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+
+  std::mutex tickets_mu;
+  std::vector<TicketRef> tickets;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        Result<TicketRef> r =
+            service.Submit(session, "select dname from dept order by dname");
+        if (r.ok()) {
+          std::lock_guard<std::mutex> lock(tickets_mu);
+          tickets.push_back(r.value());
+        } else {
+          // After the close lands only kNotFound; shedding is also legal
+          // while the queue is saturated.
+          EXPECT_TRUE(r.status().code() == StatusCode::kNotFound ||
+                      r.status().code() == StatusCode::kResourceExhausted)
+              << r.status().ToString();
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  service.CloseSession(session);
+  for (std::thread& t : submitters) t.join();
+
+  for (const TicketRef& t : tickets) {
+    const Result<QueryResult>& r = t->Wait();
+    EXPECT_TRUE(r.ok() || r.status().code() == StatusCode::kCancelled)
+        << r.status().ToString();
+  }
+  ExpectCleanDrain(&service);
+}
+
+// A cancel that trips a buffering sort mid-flight must hand back every
+// byte the query charged against the shared budget.
+TEST_F(ServiceTest, CancelMidSortReleasesBudget) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.global_budget_bytes = 256 << 20;
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+  // 14400 buffered rows: enough to be mid-sort when the cancel lands.
+  Result<TicketRef> t = service.Submit(
+      session,
+      "select e1.eno, e2.eno from emp e1, emp e2 order by e2.eno, e1.eno");
+  ASSERT_TRUE(t.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.value()->Cancel();
+  const Result<QueryResult>& r = t.value()->Wait();
+  // A fast machine may finish before the cancel lands; either way the
+  // budget must drain to exactly zero.
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  }
+  ExpectCleanDrain(&service);
+}
+
+// Same invariant when the deadline, not the caller, kills the query.
+TEST_F(ServiceTest, TimeoutReleasesBudget) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.global_budget_bytes = 256 << 20;
+  QueryService service(&db_, config);
+  QueryLimits limits;
+  limits.deadline_seconds = 0.02;
+  int64_t session = service.OpenSession(limits);
+  Result<QueryResult> r = service.Execute(
+      session,
+      "select e1.eno, e2.eno from emp e1, emp e2 order by e2.eno, e1.eno");
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  }
+  ExpectCleanDrain(&service);
 }
 
 // ---- Plan cache behavior through the service. ----
@@ -269,6 +371,7 @@ TEST_F(ServiceTest, RepeatedQueryHitsPlanCacheAndSkipsPlanning) {
   EXPECT_EQ(cache_stats.misses, 1);
   // The acceptance bar: >= 90% hit rate on the repeated query.
   EXPECT_GE(service.plan_cache_hit_rate(), 0.9);
+  ExpectCleanDrain(&service);
 }
 
 TEST_F(ServiceTest, StatsEpochBumpInvalidatesCachedPlans) {
@@ -293,6 +396,7 @@ TEST_F(ServiceTest, StatsEpochBumpInvalidatesCachedPlans) {
   Result<QueryResult> recached = service.Execute(session, sql);
   ASSERT_TRUE(recached.ok());
   EXPECT_TRUE(recached.value().planned_from_cache);
+  ExpectCleanDrain(&service);
 }
 
 // ---- Shutdown. ----
@@ -318,6 +422,7 @@ TEST_F(ServiceTest, ShutdownDrainsAdmittedWorkAndRejectsNew) {
             StatusCode::kCancelled);
   // Idempotent (the destructor will call it again).
   service.Shutdown();
+  EXPECT_EQ(service.budget().used_bytes(), 0);
 }
 
 // ---- The acceptance test: 64 concurrent sessions of mixed TPC-D ----
@@ -398,6 +503,7 @@ TEST(ServiceTpcdTest, SixtyFourSessionsMatchSerialExecution) {
   EXPECT_EQ(stats.failed, 0);
   // 5 distinct queries, 192 executions: nearly everything hits the cache.
   EXPECT_GE(service.plan_cache_hit_rate(), 0.9);
+  ExpectCleanDrain(&service);
 }
 
 }  // namespace

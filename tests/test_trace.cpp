@@ -316,6 +316,54 @@ TEST_F(TraceTest, RunAnalyzedProfilesEveryOperator) {
   for (const EstActualRow& row : rows) EXPECT_GE(row.q_error, 1.0);
 }
 
+// Cached-plan executions surface their provenance: RunPreparedAnalyzed
+// renders the service summary line, the trace carries a plan.cached event,
+// and the metrics rollup says planned_from_cache; a degraded engine config
+// additionally marks the run degraded in all three places.
+TEST_F(TraceTest, CachedAndDegradedRunsSurfaceProvenance) {
+  QueryEngine engine(&db_, OptimizerConfig());
+  const std::string sql = "select eno, salary from emp order by salary";
+  Result<QueryResult> first = engine.RunAnalyzed(sql);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_NE(first.value().analyzed_plan_text.find("service: source=planner"),
+            std::string::npos);
+  PreparedPlan prepared = PreparedPlan::FromResult(first.value());
+
+  Result<QueryResult> cached = engine.RunPreparedAnalyzed(prepared);
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  const QueryResult& q = cached.value();
+  EXPECT_TRUE(q.planned_from_cache);
+  EXPECT_NE(q.analyzed_plan_text.find("service: source=plan-cache"),
+            std::string::npos);
+  // Same per-operator coverage as a planned EXPLAIN ANALYZE, with real
+  // column names from the prepared plan's namer.
+  EXPECT_EQ(static_cast<int>(q.op_profile.size()), q.plan->NodeCount());
+  EXPECT_NE(q.analyzed_plan_text.find("salary"), std::string::npos);
+  ASSERT_NE(q.trace, nullptr);
+  EXPECT_GE(q.trace->Count("plan.cached"), 1);
+  std::string json = q.trace->ToJsonLines();
+  EXPECT_NE(json.find("\"planned_from_cache\":true"), std::string::npos);
+  std::istringstream lines(json);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(JsonChecker(line).Valid()) << line;
+  }
+
+  OptimizerConfig degraded_cfg;
+  degraded_cfg.degraded_mode = true;
+  degraded_cfg.cost_params.sort_memory_rows = 64;
+  QueryEngine degraded(&db_, degraded_cfg);
+  Result<QueryResult> d = degraded.RunPreparedAnalyzed(prepared);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_TRUE(d.value().degraded);
+  EXPECT_NE(d.value().analyzed_plan_text.find("degraded=true"),
+            std::string::npos);
+  ASSERT_NE(d.value().trace, nullptr);
+  EXPECT_GE(d.value().trace->Count("degraded"), 1);
+  EXPECT_NE(d.value().trace->ToJsonLines().find("\"degraded\":true"),
+            std::string::npos);
+}
+
 // An injected trace-write fault that outlasts the retry budget must fail
 // the query with kIoError and leave neither the file nor its temp behind.
 TEST_F(TraceTest, TraceWriteFaultLeavesNoPartialFile) {
