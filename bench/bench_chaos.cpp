@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "common/str_util.h"
 #include "service/query_service.h"
 #include "tpcd/tpcd.h"
@@ -54,14 +55,6 @@ Canon Canonicalize(const std::vector<Row>& rows) {
   }
   std::sort(out.begin(), out.end());
   return out;
-}
-
-double PercentileMs(std::vector<double>* latencies, double p) {
-  if (latencies->empty()) return 0.0;
-  size_t idx = static_cast<size_t>(p * (latencies->size() - 1));
-  std::nth_element(latencies->begin(), latencies->begin() + idx,
-                   latencies->end());
-  return (*latencies)[idx] * 1000.0;
 }
 
 struct ChaosSite {
@@ -152,7 +145,9 @@ SeedResult RunSeed(Database* db, const std::vector<std::string>& workload,
   for (int s = 0; s < kSessions; ++s)
     session_ids.push_back(service.OpenSession());
 
-  std::vector<std::vector<double>> per_client_latencies(kSessions);
+  // Shared latency histogram: thread-sharded Record, same percentile
+  // definition the service's own latency series uses.
+  Histogram latency_us;
   std::atomic<int64_t> ok{0};
   std::atomic<int64_t> clean_failures{0};
   std::atomic<int64_t> wrong{0};
@@ -160,7 +155,6 @@ SeedResult RunSeed(Database* db, const std::vector<std::string>& workload,
   clients.reserve(kSessions);
   for (int s = 0; s < kSessions; ++s) {
     clients.emplace_back([&, s] {
-      per_client_latencies[s].reserve(kQueriesPerSession);
       for (int q = 0; q < kQueriesPerSession; ++q) {
         size_t w = (s + q) % workload.size();
         auto t0 = std::chrono::steady_clock::now();
@@ -169,8 +163,9 @@ SeedResult RunSeed(Database* db, const std::vector<std::string>& workload,
         auto t1 = std::chrono::steady_clock::now();
         if (result.ok()) {
           ok.fetch_add(1);
-          per_client_latencies[s].push_back(
-              std::chrono::duration<double>(t1 - t0).count());
+          latency_us.Record(
+              std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                  .count());
           if (Canonicalize(result.value().rows) != expected[w]) {
             wrong.fetch_add(1);
             std::fprintf(stderr,
@@ -201,10 +196,7 @@ SeedResult RunSeed(Database* db, const std::vector<std::string>& workload,
   out.breaker_trips = static_cast<int64_t>(service.resilience().total_trips());
   out.degraded = stats.degraded;
   out.quarantined = stats.quarantined;
-  std::vector<double> latencies;
-  for (const auto& client : per_client_latencies)
-    latencies.insert(latencies.end(), client.begin(), client.end());
-  out.p99_ms = PercentileMs(&latencies, 0.99);
+  out.p99_ms = latency_us.Snap().Percentile(0.99) / 1000.0;
 
   // Invariants: every answer accounted for, no wrong rows or alien codes,
   // and the shared budget drains to zero at shutdown.

@@ -15,6 +15,8 @@
 //   .sortmem <rows>    sort-memory budget; small values force sorts to
 //                      spill runs to temp files (0 = never spill)
 //   .qgm <sql>         show the bound QGM box tree
+//   .metrics           dump the process metrics registry (counters,
+//                      gauges, histograms) in text exposition format
 //   .tables            list tables
 //   .quit
 //
@@ -26,6 +28,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/str_util.h"
 #include "exec/engine.h"
 #include "tpcd/tpcd.h"
@@ -95,18 +98,24 @@ int main(int argc, char** argv) {
     return 1;
   }
   OptimizerConfig cfg;
+  // Standalone shell = the process-wide registry; .metrics dumps it.
+  cfg.metrics = &MetricsRegistry::Global();
   QueryEngine engine(&db, cfg);
   std::printf("ready. tables: customer orders lineitem nation region\n"
               "try: select o_orderkey, count(*) from orders group by "
               "o_orderkey order by o_orderkey limit 5\n"
               "     explain analyze <sql>   .explain <sql>   .trace <path>\n"
-              "     .orderopt off   .hash off   .quit\n\n");
+              "     .orderopt off   .hash off   .metrics   .quit\n\n");
 
   std::string line;
   while (std::printf("ordopt> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
     if (line.empty()) continue;
     if (line == ".quit" || line == ".exit") break;
+    if (line == ".metrics") {
+      std::printf("%s", MetricsRegistry::Global().RenderText().c_str());
+      continue;
+    }
     if (line == ".tables") {
       for (const auto& [name, table] : db.tables()) {
         std::printf("  %-10s %lld rows\n", name.c_str(),
@@ -160,6 +169,10 @@ int main(int argc, char** argv) {
       if (!r.ok()) {
         std::printf("%s\n", r.status().ToString().c_str());
       } else {
+        // The query_id header joins this output to trace events and the
+        // engine.* metric series for the same execution.
+        std::printf("-- query_id=%lld\n",
+                    static_cast<long long>(r.value().query_id));
         std::printf("%s", r.value().analyzed_plan_text.c_str());
         std::printf("%zu rows. wall %.1f ms, simulated-1996 %.3f s\n",
                     r.value().rows.size(),

@@ -36,6 +36,20 @@
 #                                         rate, retries, breaker trips, p99
 #                                         under faults) and fails on any
 #                                         broken invariant
+#        scripts/check.sh --metrics       observability gate: runs the
+#                                         metrics suite (histogram math,
+#                                         shard merge, snapshot deltas,
+#                                         reporter, query_id correlation)
+#                                         under BOTH asan-ubsan and
+#                                         ThreadSanitizer, then runs
+#                                         bench_service --metrics and checks
+#                                         that BENCH_metrics.json parses,
+#                                         its counters balance (submitted =
+#                                         admitted + shed, admitted =
+#                                         completed + failed), the exported
+#                                         time series is valid JSON lines,
+#                                         and the instrumentation overhead
+#                                         at 64 sessions is under 2%
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -160,6 +174,85 @@ if [ "${1:-}" = "--chaos" ]; then
   ./build/bench/bench_chaos BENCH_chaos.json
   echo "OK: chaos harness clean under asan-ubsan and tsan; all seeded"
   echo "    invariants held; BENCH_chaos.json written"
+  exit 0
+fi
+
+# Observability gate: the metrics suite under both sanitizers (histogram
+# recording is lock-free and thread-sharded — TSan is the gate that keeps
+# it honest), then the instrumentation-overhead benchmark. Overhead is
+# wall-clock on a shared box, so like the trace gate it retries: noise
+# only ever inflates the measurement, and one pass proves the true cost
+# is within budget.
+if [ "${1:-}" = "--metrics" ]; then
+  JOBS="${2:-$(nproc)}"
+  for preset in asan-ubsan tsan; do
+    echo "==> configure [$preset]"
+    cmake --preset "$preset" >/dev/null
+    echo "==> build [$preset]"
+    cmake --build --preset "$preset" -j "$JOBS" --target test_metrics
+    echo "==> metrics suite [$preset]"
+    ctest --preset "$preset" -R "test_metrics"
+  done
+  echo "==> metrics overhead benchmark [default, 64 sessions]"
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$JOBS" --target bench_service
+  METRICS_GATE_OK=0
+  for attempt in 1 2 3; do
+    ./build/bench/bench_service --metrics BENCH_metrics.json >/dev/null
+    if python3 - <<'EOF'
+import json, sys
+
+report = json.load(open("BENCH_metrics.json"))
+
+balance = report["balance"]
+failures = []
+if not balance["balanced"]:
+    failures.append(f"counters do not balance: {balance}")
+if balance["submitted"] != balance["admitted"] + balance["shed"]:
+    failures.append("submitted != admitted + shed")
+if balance["admitted"] != balance["completed"] + balance["failed"]:
+    failures.append("admitted != completed + failed")
+
+metrics = report["metrics"]
+for section in ("counters", "gauges", "histograms"):
+    if section not in metrics:
+        failures.append(f"exported registry JSON missing {section!r}")
+if metrics["counters"].get("service.submitted", 0) <= 0:
+    failures.append("service.submitted counter missing or zero")
+
+with open(report["timeseries"]) as ts:
+    samples = [json.loads(line) for line in ts]
+if len(samples) != report["reporter_samples"]:
+    failures.append(
+        f"time series has {len(samples)} lines, reporter counted "
+        f"{report['reporter_samples']}")
+if samples and "delta" not in samples[-1]:
+    failures.append("time series samples missing delta section")
+
+if report["overhead_pct"] >= 2.0:
+    failures.append(
+        f"instrumentation overhead {report['overhead_pct']:.2f}% >= 2%")
+
+if failures:
+    for f in failures:
+        print("    " + f)
+    sys.exit(1)
+print(f"    overhead {report['overhead_pct']:.2f}% "
+      f"(qps {report['baseline_qps']:.1f} -> {report['metrics_qps']:.1f}), "
+      f"{report['reporter_samples']} time-series samples, counters balance")
+EOF
+    then
+      METRICS_GATE_OK=1
+      break
+    fi
+    echo "    (attempt $attempt failed the gate; retrying)"
+  done
+  if [ "$METRICS_GATE_OK" -ne 1 ]; then
+    echo "FAIL: metrics gate: overhead/balance checks failed on 3 attempts"
+    exit 1
+  fi
+  echo "OK: metrics suite clean under asan-ubsan and tsan; exported JSON"
+  echo "    parses and balances; BENCH_metrics.json written"
   exit 0
 fi
 

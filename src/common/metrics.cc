@@ -1,0 +1,429 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+#include "common/trace.h"
+
+namespace ordopt {
+
+namespace {
+
+/// Highest set bit position + 1 (bit_width); 0 for 0.
+int BitWidth(uint64_t v) {
+  int w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  return StrFormat("%.6g", v);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Counter
+
+int Counter::ShardIndex() {
+  // Round-robin shard assignment, decided once per thread: cheaper and
+  // better distributed than hashing thread ids on every record.
+  static std::atomic<unsigned> next{0};
+  static thread_local int shard = static_cast<int>(
+      next.fetch_add(1, std::memory_order_relaxed) % kShards);
+  return shard;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value < 0) value = 0;
+  uint64_t v = static_cast<uint64_t>(value);
+  if (v < static_cast<uint64_t>(kSubBuckets)) return static_cast<int>(v);
+  int shift = BitWidth(v) - 1 - kSubBucketBits;
+  int index = (shift + 1) * kSubBuckets +
+              static_cast<int>((v >> shift) - kSubBuckets);
+  return index < kBucketCount ? index : kBucketCount - 1;
+}
+
+int64_t Histogram::BucketLowerBound(int bucket) {
+  if (bucket < kSubBuckets) return bucket;
+  int shift = bucket / kSubBuckets - 1;
+  int64_t base = kSubBuckets + bucket % kSubBuckets;
+  return base << shift;
+}
+
+int64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket + 1 >= kBucketCount) return INT64_MAX;
+  return BucketLowerBound(bucket + 1) - 1;
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  Shard& s = shards_[Counter::ShardIndex()];
+  s.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  // min/max: monotone CAS races only with same-shard writers. The shard's
+  // first record initializes both (count is bumped last, so a racing
+  // Snap() may miss this value entirely — never see a torn min).
+  int64_t prev = s.count.load(std::memory_order_relaxed);
+  if (prev == 0) {
+    s.min.store(value, std::memory_order_relaxed);
+    s.max.store(value, std::memory_order_relaxed);
+  } else {
+    int64_t cur = s.min.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !s.min.compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+    }
+    cur = s.max.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !s.max.compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  s.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snap() const {
+  HistogramSnapshot out;
+  out.buckets.assign(kBucketCount, 0);
+  bool any = false;
+  for (const Shard& s : shards_) {
+    int64_t c = s.count.load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    out.count += c;
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    int64_t mn = s.min.load(std::memory_order_relaxed);
+    int64_t mx = s.max.load(std::memory_order_relaxed);
+    if (!any || mn < out.min) out.min = mn;
+    if (!any || mx > out.max) out.max = mx;
+    any = true;
+    for (int b = 0; b < kBucketCount; ++b) {
+      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count <= 0 || buckets.empty()) return 0.0;
+  p = std::min(1.0, std::max(0.0, p));
+  // 0-based target rank, matching idx = p * (n - 1) of the historical
+  // nth_element percentiles.
+  int64_t target = static_cast<int64_t>(p * static_cast<double>(count - 1));
+  int64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    int64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket > target) {
+      // Rank lands in this bucket: interpolate linearly across it.
+      int64_t lower = Histogram::BucketLowerBound(static_cast<int>(b));
+      int64_t upper = Histogram::BucketUpperBound(static_cast<int>(b));
+      if (upper == INT64_MAX) upper = lower;  // overflow bucket: no width
+      // Clamp the bucket to the observed range so tails never exceed max.
+      int64_t lo = std::max(lower, min);
+      int64_t hi = std::min(upper, max);
+      if (hi < lo) {
+        lo = lower;
+        hi = upper;
+      }
+      double frac =
+          in_bucket <= 1
+              ? 0.0
+              : static_cast<double>(target - seen) /
+                    static_cast<double>(in_bucket - 1);
+      return static_cast<double>(lo) +
+             frac * static_cast<double>(hi - lo);
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max);
+}
+
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot out;
+  out.count = count - earlier.count;
+  out.sum = sum - earlier.sum;
+  // Interval min/max are not derivable from cumulative snapshots; report
+  // the cumulative ones (documented in the header).
+  out.min = min;
+  out.max = max;
+  out.buckets.assign(buckets.size(), 0);
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    int64_t prev = b < earlier.buckets.size() ? earlier.buckets[b] : 0;
+    out.buckets[b] = buckets[b] - prev;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+
+namespace {
+
+template <typename T>
+const T* FindByName(const std::vector<std::pair<std::string, T>>& v,
+                    const std::string& name) {
+  for (const auto& [n, value] : v) {
+    if (n == name) return &value;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  const int64_t* v = FindByName(counters, name);
+  return v != nullptr ? *v : 0;
+}
+
+int64_t MetricsSnapshot::GaugeValue(const std::string& name) const {
+  const int64_t* v = FindByName(gauges, name);
+  return v != nullptr ? *v : 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  return FindByName(histograms, name);
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out;
+  out.counters.reserve(counters.size());
+  for (const auto& [name, value] : counters) {
+    out.counters.emplace_back(name, value - earlier.CounterValue(name));
+  }
+  out.gauges = gauges;
+  out.histograms.reserve(histograms.size());
+  for (const auto& [name, hist] : histograms) {
+    const HistogramSnapshot* prev = earlier.FindHistogram(name);
+    out.histograms.emplace_back(
+        name, prev != nullptr ? hist.DeltaSince(*prev) : hist);
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += StrFormat("%s\"%s\":%lld", first ? "" : ",",
+                     JsonEscape(name).c_str(), static_cast<long long>(value));
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += StrFormat("%s\"%s\":%lld", first ? "" : ",",
+                     JsonEscape(name).c_str(), static_cast<long long>(value));
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += StrFormat(
+        "%s\"%s\":{\"count\":%lld,\"sum\":%lld,\"min\":%lld,\"max\":%lld,"
+        "\"mean\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"buckets\":[",
+        first ? "" : ",", JsonEscape(name).c_str(),
+        static_cast<long long>(h.count), static_cast<long long>(h.sum),
+        static_cast<long long>(h.min), static_cast<long long>(h.max),
+        JsonNumber(h.Mean()).c_str(), JsonNumber(h.Percentile(0.50)).c_str(),
+        JsonNumber(h.Percentile(0.90)).c_str(),
+        JsonNumber(h.Percentile(0.99)).c_str());
+    first = false;
+    bool first_bucket = true;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      out += StrFormat(
+          "%s[%lld,%lld]", first_bucket ? "" : ",",
+          static_cast<long long>(
+              Histogram::BucketLowerBound(static_cast<int>(b))),
+          static_cast<long long>(h.buckets[b]));
+      first_bucket = false;
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += StrFormat("counter %-40s %lld\n", name.c_str(),
+                     static_cast<long long>(value));
+  }
+  for (const auto& [name, value] : gauges) {
+    out += StrFormat("gauge   %-40s %lld\n", name.c_str(),
+                     static_cast<long long>(value));
+  }
+  for (const auto& [name, h] : histograms) {
+    out += StrFormat(
+        "hist    %-40s count=%lld mean=%.1f p50=%.0f p90=%.0f p99=%.0f "
+        "max=%lld\n",
+        name.c_str(), static_cast<long long>(h.count), h.Mean(),
+        h.Percentile(0.50), h.Percentile(0.90), h.Percentile(0.99),
+        static_cast<long long>(h.max));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                            std::function<int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callback_gauges_[name] = std::move(fn);
+}
+
+void MetricsRegistry::UnregisterCallbackGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callback_gauges_.erase(name);
+}
+
+MetricsSnapshot MetricsRegistry::Snap() const {
+  // Copy the instrument pointers under the lock, read them outside it:
+  // callback gauges may take their owners' locks (queue depth, cache
+  // size), which must not nest inside the registry mutex.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  std::vector<std::pair<std::string, std::function<int64_t()>>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+    callbacks.reserve(callback_gauges_.size());
+    for (const auto& [name, fn] : callback_gauges_) {
+      callbacks.emplace_back(name, fn);
+    }
+  }
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters.size());
+  for (const auto& [name, c] : counters) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(gauges.size() + callbacks.size());
+  for (const auto& [name, g] : gauges) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  for (const auto& [name, fn] : callbacks) {
+    snap.gauges.emplace_back(name, fn());
+  }
+  std::sort(snap.gauges.begin(), snap.gauges.end());
+  snap.histograms.reserve(histograms.size());
+  for (const auto& [name, h] : histograms) {
+    snap.histograms.emplace_back(name, h->Snap());
+  }
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsReporter
+
+MetricsReporter::MetricsReporter(const MetricsRegistry* registry,
+                                 std::string path, double interval_seconds)
+    : registry_(registry),
+      path_(std::move(path)),
+      interval_seconds_(interval_seconds > 0 ? interval_seconds : 0.1) {}
+
+MetricsReporter::~MetricsReporter() { Stop(); }
+
+void MetricsReporter::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  start_time_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+Status MetricsReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return last_status_;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  Status final = SampleAndWrite();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+  if (!final.ok()) last_status_ = final;
+  return last_status_;
+}
+
+void MetricsReporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    auto interval = std::chrono::duration<double>(interval_seconds_);
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) return;
+    lock.unlock();
+    Status st = SampleAndWrite();
+    lock.lock();
+    if (!st.ok()) last_status_ = st;
+  }
+}
+
+Status MetricsReporter::SampleAndWrite() {
+  MetricsSnapshot snap = registry_->Snap();
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_time_)
+                       .count();
+  int64_t n = samples_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::string delta_json =
+      have_last_ ? snap.DeltaSince(last_).ToJson() : snap.ToJson();
+  std::string line = StrFormat("{\"sample\":%lld,\"elapsed_seconds\":%.6f,",
+                               static_cast<long long>(n), elapsed);
+  line += "\"total\":" + snap.ToJson() + ",\"delta\":" + delta_json + "}\n";
+  last_ = std::move(snap);
+  have_last_ = true;
+  lines_ += line;
+  // Whole-file rewrite through tmp+rename (the PR-3 trace-export idiom):
+  // a concurrent reader always sees a complete, parseable series.
+  return WriteFileAtomic(path_, lines_);
+}
+
+}  // namespace ordopt

@@ -1,0 +1,276 @@
+#ifndef ORDOPT_COMMON_METRICS_H_
+#define ORDOPT_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ordopt {
+
+/// Service-wide metrics: named counters, gauges, and log-scale histograms
+/// behind one registry, cheap enough to live on every hot path.
+///
+/// Design rules (DESIGN.md §13 has the full telemetry model):
+///  - Recording is a few *relaxed* atomic ops, sharded by thread so the
+///    64-session service does not serialize on one cache line. No locks,
+///    no clocks, no allocation on the record path.
+///  - Instruments are created once (registry lookup under a mutex) and
+///    then held by pointer; the registry owns them and their addresses are
+///    stable for the registry's lifetime.
+///  - Reading is snapshot-based: Snap() walks every instrument in one
+///    pass, and two snapshots subtract (DeltaSince) for interval sampling.
+///    Counters are monotonic, gauges are instantaneous, histograms carry
+///    their full bucket vector so percentiles compose across deltas.
+///  - Naming is `subsystem.metric[_unit]`, lowercase, dot-separated, with
+///    a bounded name set (no per-query / per-session labels — cardinality
+///    is fixed at compile time by the call sites).
+
+/// Monotonic counter, sharded across cache lines. Value() sums the shards
+/// (so a concurrent read may miss in-flight increments but never tears a
+/// single shard).
+class Counter {
+ public:
+  static constexpr int kShards = 8;
+
+  void Add(int64_t delta) {
+    shards_[ShardIndex()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// The shard the calling thread records into (round-robin assignment,
+  /// cached per thread). Shared by Histogram so one scheme covers both.
+  static int ShardIndex();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Instantaneous value with atomic set/add semantics (queue depths,
+/// in-flight counts). For values the owner already maintains elsewhere,
+/// prefer a callback gauge on the registry — it costs nothing until read.
+class Gauge {
+ public:
+  void Set(int64_t value) { v_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Read-only view of a histogram at one instant; also the unit of
+/// histogram arithmetic (DeltaSince) and percentile math. Obtained from
+/// Histogram::Snap or MetricsRegistry::Snap.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;  ///< 0 when count == 0
+  int64_t max = 0;
+  std::vector<int64_t> buckets;  ///< per-bucket counts, fixed length
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Percentile estimate for p in [0, 1]: the 0-based rank is
+  /// floor(p * (count - 1)) — the same definition the nth_element-style
+  /// bench percentiles used — located by walking the buckets and
+  /// interpolating linearly inside the landing bucket. With log-scale
+  /// buckets the estimate is within one bucket width (<= 12.5% relative)
+  /// of the true order statistic. Returns 0 for an empty histogram.
+  double Percentile(double p) const;
+
+  /// This snapshot minus `earlier` (counts, sum, and buckets subtract;
+  /// min/max are NOT recoverable for the interval and are taken from this
+  /// snapshot). Both snapshots must come from the same histogram.
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& earlier) const;
+};
+
+/// Fixed-bucket log-scale histogram of non-negative int64 values
+/// (negative values clamp to 0). Buckets are powers of two subdivided
+/// into 8 linear sub-buckets, so every bucket is at most 12.5% wide and
+/// the whole int64 range fits in 488 buckets. Record() is a handful of
+/// relaxed atomic ops on a thread-sharded bucket array; Snap() merges the
+/// shards.
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 3;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 8
+  /// Highest representable bit-width is 63 (int64), shift range [0, 59],
+  /// so indices run to (59 + 1) * 8 + 7 = 487.
+  static constexpr int kBucketCount = 488;
+
+  /// Bucket that `value` lands in. Values below kSubBuckets map exactly
+  /// (index == value); above, the top kSubBucketBits+1 bits choose the
+  /// bucket.
+  static int BucketIndex(int64_t value);
+  /// Smallest value mapping to `bucket`.
+  static int64_t BucketLowerBound(int bucket);
+  /// Largest value mapping to `bucket`.
+  static int64_t BucketUpperBound(int bucket);
+
+  void Record(int64_t value);
+
+  HistogramSnapshot Snap() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> min{0};  ///< valid when count > 0
+    std::atomic<int64_t> max{0};
+    std::atomic<int64_t> buckets[kBucketCount] = {};
+  };
+  Shard shards_[Counter::kShards];
+};
+
+/// One pass over a registry: every counter, gauge (owned and callback),
+/// and histogram by name, in sorted order. Counters and histograms are
+/// cumulative since process start; DeltaSince turns two snapshots into an
+/// interval sample. A snapshot is *one* read of each instrument — callers
+/// that need several values to be mutually consistent (e.g. the
+/// admitted = completed + failed balance) read them from one snapshot
+/// instead of racing separate accessor calls.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Counter value by name; 0 when absent.
+  int64_t CounterValue(const std::string& name) const;
+  /// Gauge value by name; 0 when absent.
+  int64_t GaugeValue(const std::string& name) const;
+  /// Histogram by name; nullptr when absent.
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+
+  /// Interval sample: counters and histograms subtract; gauges keep this
+  /// snapshot's (instantaneous) values. Instruments created after
+  /// `earlier` was taken appear with their full value.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
+
+  /// One JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
+  ///  "sum":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,"p99":..,
+  ///  "buckets":[[lower,count],...]}}} — buckets list only non-empty
+  /// entries as [lower_bound, count] pairs.
+  std::string ToJson() const;
+  /// Human-readable exposition, one instrument per line.
+  std::string ToText() const;
+};
+
+/// Process- or service-scoped home for named instruments. Get-or-create
+/// is mutex-guarded (call it once and keep the pointer); recording through
+/// the returned pointers never touches the registry again. Callback gauges
+/// read owner-maintained values (queue depth, cache size, breaker state)
+/// lazily at snapshot time, so they add zero hot-path cost.
+///
+/// Thread-safe. Instruments live as long as the registry; callback gauges
+/// must be unregistered (or their owner must outlive the registry's last
+/// snapshot) before the values they capture dangle.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide default instance (the shell and standalone engines use
+  /// it; a QueryService owns a private registry instead so concurrent
+  /// services do not mix their series).
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Registers `fn` as a read-at-snapshot gauge. Replaces any previous
+  /// callback under the same name.
+  void RegisterCallbackGauge(const std::string& name,
+                             std::function<int64_t()> fn);
+  void UnregisterCallbackGauge(const std::string& name);
+
+  MetricsSnapshot Snap() const;
+
+  /// RenderText/RenderJson are Snap() + formatting: the exposition
+  /// endpoints (`.metrics` in the shell, the bench JSON dumps).
+  std::string RenderText() const { return Snap().ToText(); }
+  std::string RenderJson() const { return Snap().ToJson(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<int64_t()>> callback_gauges_;
+};
+
+/// Background sampler: every `interval_seconds` it snapshots the registry
+/// and rewrites `path` with the accumulated JSON-lines time series — one
+/// object per sample carrying the cumulative snapshot plus the delta since
+/// the previous sample. Writes go through the same atomic tmp+rename the
+/// trace export uses, so a reader never observes a partial file. Start'ed
+/// and Stop'ped around a bench run; Stop flushes a final sample and
+/// returns the last write status. The registry (and every callback gauge
+/// it holds) must outlive the reporter.
+class MetricsReporter {
+ public:
+  MetricsReporter(const MetricsRegistry* registry, std::string path,
+                  double interval_seconds);
+  ~MetricsReporter();
+
+  MetricsReporter(const MetricsReporter&) = delete;
+  MetricsReporter& operator=(const MetricsReporter&) = delete;
+
+  void Start();
+  /// Idempotent; joins the sampler thread and flushes the final sample.
+  Status Stop();
+
+  int64_t samples() const { return samples_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+  /// Takes one sample and rewrites the file. Called from the loop and
+  /// from Stop.
+  Status SampleAndWrite();
+
+  const MetricsRegistry* registry_;
+  const std::string path_;
+  const double interval_seconds_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread thread_;
+  std::string lines_;  ///< accumulated JSON lines, rewritten each sample
+  MetricsSnapshot last_;
+  bool have_last_ = false;
+  std::chrono::steady_clock::time_point start_time_;
+  std::atomic<int64_t> samples_{0};
+  Status last_status_;
+};
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_COMMON_METRICS_H_

@@ -18,15 +18,17 @@ std::string JsonDouble(double v) {
   return StrFormat("%.6g", v);
 }
 
+}  // namespace
+
 /// One write attempt: create the temp file, write + flush the payload,
 /// rename into place. Any failure removes the temp file so no partial
 /// artifact survives the attempt (mirrors SpillManager::TryWriteRun).
-Status TryWriteFile(const std::string& tmp, const std::string& path,
-                    const std::string& payload) {
+Status WriteFileAtomic(const std::string& path, const std::string& payload) {
+  const std::string tmp = path + ".tmp";
   errno = 0;
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Status::IoError(StrFormat("cannot create trace file %s: %s",
+    return Status::IoError(StrFormat("cannot create file %s: %s",
                                      tmp.c_str(), std::strerror(errno)));
   }
   Status st;
@@ -34,25 +36,23 @@ Status TryWriteFile(const std::string& tmp, const std::string& path,
   if (!payload.empty() &&
       std::fwrite(payload.data(), 1, payload.size(), f) != payload.size()) {
     st = Status::IoError(
-        StrFormat("trace write failed: %s", std::strerror(errno)));
+        StrFormat("file write failed: %s", std::strerror(errno)));
   }
   if (st.ok() && std::fflush(f) != 0) {
     st = Status::IoError(
-        StrFormat("trace flush failed: %s", std::strerror(errno)));
+        StrFormat("file flush failed: %s", std::strerror(errno)));
   }
   std::fclose(f);
   if (st.ok()) {
     errno = 0;
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-      st = Status::IoError(StrFormat("cannot move trace file to %s: %s",
+      st = Status::IoError(StrFormat("cannot move file to %s: %s",
                                      path.c_str(), std::strerror(errno)));
     }
   }
   if (!st.ok()) std::remove(tmp.c_str());
   return st;
 }
-
-}  // namespace
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -134,6 +134,9 @@ std::string TraceEvent::ToJson() const {
                               static_cast<long long>(seq_),
                               JsonEscape(phase_).c_str(),
                               JsonEscape(name_).c_str());
+  if (query_id_ != 0) {
+    out += StrFormat(",\"query_id\":%lld", static_cast<long long>(query_id_));
+  }
   for (const Field& f : fields_) {
     out += StrFormat(",\"%s\":%s", JsonEscape(f.key).c_str(), f.json.c_str());
   }
@@ -153,6 +156,7 @@ TraceCollector::TraceCollector(TraceLevel level) : level_(level) {}
 
 TraceEvent& TraceCollector::Add(const char* phase, const char* name) {
   events_.emplace_back(static_cast<int64_t>(events_.size()) + 1, phase, name);
+  events_.back().set_query_id(query_id_);
   return events_.back();
 }
 
@@ -187,14 +191,13 @@ Status TraceCollector::WriteJsonLines(const std::string& path,
     return Status::InvalidArgument("trace path is empty");
   }
   const std::string payload = ToJsonLines();
-  const std::string tmp = path + ".tmp";
   Status st = RetryIo(policy, retries, [&]() -> Status {
     ORDOPT_FAULT_POINT("exec.trace.write");
-    return TryWriteFile(tmp, path, payload);
+    return WriteFileAtomic(path, payload);
   });
-  // The injected-fault path fails before TryWriteFile's own cleanup runs;
-  // make doubly sure no temp file outlives a failed export.
-  if (!st.ok()) std::remove(tmp.c_str());
+  // The injected-fault path fails before WriteFileAtomic's own cleanup
+  // runs; make doubly sure no temp file outlives a failed export.
+  if (!st.ok()) std::remove((path + ".tmp").c_str());
   return st;
 }
 

@@ -38,6 +38,14 @@ class TraceEvent {
   const std::string& phase() const { return phase_; }
   const std::string& name() const { return name_; }
 
+  /// End-to-end query correlation id (ticket-assigned by the service,
+  /// engine-assigned for standalone runs; stable across retries). Stamped
+  /// by the collector on every event; 0 = unknown. Rendered in ToJson as a
+  /// first-class "query_id" field but kept out of ToShortString so the
+  /// human-readable decisions section stays uncluttered.
+  void set_query_id(int64_t id) { query_id_ = id; }
+  int64_t query_id() const { return query_id_; }
+
   /// Display value of field `key`, or "" when absent.
   std::string Get(const char* key) const;
 
@@ -56,6 +64,7 @@ class TraceEvent {
   TraceEvent& Append(const char* key, std::string json, std::string display);
 
   int64_t seq_;
+  int64_t query_id_ = 0;
   std::string phase_;
   std::string name_;
   std::vector<Field> fields_;
@@ -71,6 +80,12 @@ class TraceCollector {
   TraceLevel level() const { return level_; }
   /// True when execution should collect per-operator stats.
   bool collect_exec() const { return level_ == TraceLevel::kFull; }
+
+  /// Sets the query correlation id stamped on every event added from now
+  /// on (the engine sets it before planning, so in practice every event
+  /// of a query carries it). See TraceEvent::query_id.
+  void set_query_id(int64_t id) { query_id_ = id; }
+  int64_t query_id() const { return query_id_; }
 
   /// Appends an event and returns it for builder-style Set chaining. The
   /// reference is invalidated by the next Add.
@@ -97,8 +112,15 @@ class TraceCollector {
 
  private:
   TraceLevel level_;
+  int64_t query_id_ = 0;
   std::vector<TraceEvent> events_;
 };
+
+/// Atomically replaces `path` with `payload`: writes `path`.tmp, flushes,
+/// renames into place; any failure removes the temp file so no partial
+/// artifact survives. The single-attempt primitive under the trace export
+/// (which adds retry + fault injection) and the metrics reporter.
+Status WriteFileAtomic(const std::string& path, const std::string& payload);
 
 /// JSON string escaping (backslash, quote, control characters); returns
 /// the escaped body without surrounding quotes.

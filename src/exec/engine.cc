@@ -1,8 +1,11 @@
 #include "exec/engine.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 
+#include "common/metrics.h"
+#include "common/str_util.h"
 #include "exec/analyze.h"
 #include "parser/parser.h"
 #include "qgm/rewrite.h"
@@ -10,6 +13,47 @@
 namespace ordopt {
 
 namespace {
+
+/// Engine-assigned query ids for runs whose guard carries none (standalone
+/// engines, the shell): a process-wide sequence, distinct from 0 so every
+/// query is correlatable. Service-run queries arrive with a ticket id
+/// already stamped on the guard and keep it.
+int64_t NextQueryId() {
+  static std::atomic<int64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// The correlation id for this run: the guard's (ticket-assigned, stable
+/// across retries) when present, else the next engine-assigned id.
+int64_t ResolveQueryId(const QueryGuard* guard) {
+  if (guard != nullptr && guard->query_id() != 0) return guard->query_id();
+  return NextQueryId();
+}
+
+/// Per-query series recorded after every executed run (success or failure
+/// — a tripped query's consumption is exactly what an operator wants to
+/// see). Names follow the `subsystem.metric[_unit]` rule of DESIGN.md §13.
+void RecordEngineMetrics(MetricsRegistry* registry, const QueryResult& result) {
+  if (!result.planned_from_cache) {
+    registry->GetHistogram("engine.plan_us")
+        ->Record(static_cast<int64_t>(result.plan_seconds * 1e6));
+  }
+  registry->GetHistogram("engine.exec_us")
+      ->Record(static_cast<int64_t>(result.elapsed_seconds * 1e6));
+  const RuntimeMetrics& m = result.metrics;
+  if (m.spill_runs > 0) {
+    registry->GetCounter("engine.spill_runs")->Add(m.spill_runs);
+    registry->GetCounter("engine.spill_rows")->Add(m.spill_rows);
+    registry->GetCounter("engine.spill_bytes")->Add(m.spill_bytes);
+  }
+  if (m.spill_retries > 0) {
+    registry->GetCounter("engine.spill_retries")->Add(m.spill_retries);
+  }
+  registry->GetHistogram("engine.buffered_rows_peak")
+      ->Record(m.rows_buffered_peak);
+  registry->GetHistogram("engine.buffered_bytes_peak")
+      ->Record(m.bytes_buffered_peak);
+}
 
 /// Effective runtime order verification: the config switch, with the
 /// ORDOPT_VERIFY_ORDERS environment variable as a default so whole test
@@ -59,12 +103,17 @@ void EmitExecEvents(TraceCollector* trace, const QueryResult& result,
   m.SetBool("degraded", result.degraded);
 }
 
-/// The EXPLAIN ANALYZE service summary line: where the plan came from and
-/// whether the run executed in degraded mode (retry attempts are stamped
-/// by the QueryService after completion — the engine cannot know them).
+/// The EXPLAIN ANALYZE service summary line: where the plan came from, the
+/// query's correlation id (joins this output to the trace export and the
+/// metrics series), and whether the run executed in degraded mode (retry
+/// attempts are stamped by the QueryService after completion — the engine
+/// cannot know them).
 std::string ServiceSummaryLine(const QueryResult& result) {
   std::string line = "service: source=";
   line += result.planned_from_cache ? "plan-cache" : "planner";
+  if (result.query_id != 0) {
+    line += StrFormat(" query_id=%lld", static_cast<long long>(result.query_id));
+  }
   if (result.degraded) line += " degraded=true";
   line += "\n";
   return line;
@@ -95,6 +144,8 @@ Result<std::vector<Row>> QueryEngine::ExecutePhase(
 
 Result<QueryResult> QueryEngine::Prepare(const std::string& sql, bool execute,
                                          QueryGuard* guard, bool analyze) {
+  const int64_t query_id = ResolveQueryId(guard);
+  auto plan_start = std::chrono::steady_clock::now();
   ORDOPT_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelect(sql));
   ORDOPT_ASSIGN_OR_RETURN(std::unique_ptr<Query> query,
                           BindQuery(*stmt, *db_));
@@ -109,12 +160,17 @@ Result<QueryResult> QueryEngine::Prepare(const std::string& sql, bool execute,
   std::shared_ptr<TraceCollector> trace;
   if (trace_level != TraceLevel::kOff) {
     trace = std::make_shared<TraceCollector>(trace_level);
+    trace->set_query_id(query_id);
   }
 
   Planner planner(*query, config_, trace.get());
   ORDOPT_ASSIGN_OR_RETURN(PlanRef plan, planner.BuildPlan());
 
   QueryResult result;
+  result.query_id = query_id;
+  result.plan_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - plan_start)
+                            .count();
   result.plan = plan;
   result.plan_text = plan->ToString(query->namer());
   result.qgm_text = query->ToString();
@@ -159,6 +215,11 @@ Result<QueryResult> QueryEngine::Prepare(const std::string& sql, bool execute,
         (trace != nullptr && trace->collect_exec()) ? &result.op_profile
                                                     : nullptr;
     Result<std::vector<Row>> rows = ExecutePhase(&result, guard, profile);
+    // Record before the error return so a failed query's consumption
+    // still lands in the series (ExecutePhase fills metrics regardless).
+    if (config_.metrics != nullptr) {
+      RecordEngineMetrics(config_.metrics, result);
+    }
     ORDOPT_RETURN_NOT_OK(rows.status());
     result.rows = std::move(rows).value();
 
@@ -222,7 +283,9 @@ Result<QueryResult> QueryEngine::PreparedImpl(const PreparedPlan& prepared,
   if (prepared.plan == nullptr) {
     return Status::InvalidArgument("RunPrepared: prepared plan is null");
   }
+  const int64_t query_id = ResolveQueryId(guard);
   QueryResult result;
+  result.query_id = query_id;
   result.plan = prepared.plan;
   result.plan_text = prepared.plan_text;
   result.qgm_text = prepared.qgm_text;
@@ -241,6 +304,7 @@ Result<QueryResult> QueryEngine::PreparedImpl(const PreparedPlan& prepared,
   std::shared_ptr<TraceCollector> trace;
   if (trace_level != TraceLevel::kOff) {
     trace = std::make_shared<TraceCollector>(trace_level);
+    trace->set_query_id(query_id);
     TraceEvent& e = trace->Add("service", "plan.cached");
     e.SetBool("planned_from_cache", true);
     if (config_.degraded_mode) e.SetBool("degraded", true);
@@ -257,6 +321,9 @@ Result<QueryResult> QueryEngine::PreparedImpl(const PreparedPlan& prepared,
       (trace != nullptr && trace->collect_exec()) ? &result.op_profile
                                                   : nullptr;
   Result<std::vector<Row>> rows = ExecutePhase(&result, guard, profile);
+  if (config_.metrics != nullptr) {
+    RecordEngineMetrics(config_.metrics, result);
+  }
   ORDOPT_RETURN_NOT_OK(rows.status());
   result.rows = std::move(rows).value();
 

@@ -28,6 +28,15 @@ struct QueryResult {
   std::string qgm_text;
   RuntimeMetrics metrics;
   double elapsed_seconds = 0.0;
+  /// Wall time spent in parse + bind + optimize (0 for cached executions,
+  /// which skip all three).
+  double plan_seconds = 0.0;
+  /// End-to-end correlation id: taken from the caller's guard when the
+  /// QueryService assigned one (stable across retries of the same ticket),
+  /// else drawn from a process-wide sequence. Stamped on every trace event
+  /// and shown in the EXPLAIN ANALYZE service summary line, so one query's
+  /// trace export, retries, and analyzed plan join on this value.
+  int64_t query_id = 0;
   int64_t plans_generated = 0;
   /// Candidate plans surviving domination pruning across all DP tables.
   int64_t plans_retained = 0;

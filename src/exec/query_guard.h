@@ -137,6 +137,15 @@ class QueryGuard {
   }
   SharedMemoryBudget* shared_budget() const { return shared_budget_; }
 
+  /// End-to-end correlation id for the query this guard polices. The
+  /// QueryService stamps the ticket's id here at admission; the engine
+  /// reads it into QueryResult::query_id and every trace event. Survives
+  /// ResetForRetry — the id names the *query*, not the attempt — so a
+  /// retried ticket's trace lines join under one id. 0 = unassigned (the
+  /// engine falls back to a process-wide sequence).
+  void set_query_id(int64_t id) { query_id_ = id; }
+  int64_t query_id() const { return query_id_; }
+
   /// Starts (or restarts) the wall-clock deadline. ExecutePlan arms the
   /// guard when execution begins; a pending cancellation survives Arm.
   void Arm();
@@ -241,6 +250,8 @@ class QueryGuard {
   /// bookkeeping needs no synchronization.
   SharedMemoryBudget* shared_budget_ = nullptr;
   int64_t shared_charged_bytes_ = 0;
+
+  int64_t query_id_ = 0;
 };
 
 /// Tracks the rows/bytes one blocking operator currently holds, charging

@@ -19,6 +19,7 @@ namespace ordopt {
 
 struct SelectContext;
 class JoinStrategy;
+class MetricsRegistry;
 
 /// Optimizer switches. `enable_order_optimization=false` reproduces the
 /// paper's §8 baseline ("a modified version of DB2 with order optimization
@@ -80,6 +81,14 @@ struct OptimizerConfig {
   /// `degraded` flag, a `service.degraded` trace event, and an EXPLAIN
   /// ANALYZE summary line — so operators can see which runs were squeezed.
   bool degraded_mode = false;
+  /// When non-null, the engine records per-query series here after every
+  /// run: planning/execution time histograms (`engine.plan_us`,
+  /// `engine.exec_us`), spill activity (`engine.spill_runs`,
+  /// `engine.spill_bytes`), and guard consumption high-water histograms
+  /// (`engine.buffered_rows_peak`, `engine.buffered_bytes_peak`). The
+  /// registry must outlive every query run under this config; null (the
+  /// default) records nothing and costs nothing.
+  MetricsRegistry* metrics = nullptr;
   /// Testing-only seam for the plan-space oracle's mutation check: when
   /// non-null, replaces the planner's order-satisfaction test (Test Order /
   /// naive prefix) everywhere it drives decisions — candidate domination,

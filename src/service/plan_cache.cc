@@ -1,6 +1,7 @@
 #include "service/plan_cache.h"
 
 #include <cctype>
+#include <chrono>
 #include <utility>
 
 namespace ordopt {
@@ -19,6 +20,31 @@ std::string JoinLiterals(const std::vector<std::string>& literals) {
 }
 
 }  // namespace
+
+PlanCache::PlanCache(size_t capacity, MetricsRegistry* registry)
+    : capacity_(capacity) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  metrics_ = registry;
+  c_hits_ = registry->GetCounter("plan_cache.hits");
+  c_misses_ = registry->GetCounter("plan_cache.misses");
+  c_evictions_ = registry->GetCounter("plan_cache.evictions");
+  c_invalidations_ = registry->GetCounter("plan_cache.invalidations");
+  c_stampede_waits_ = registry->GetCounter("plan_cache.stampede_waits");
+  c_literal_evictions_ = registry->GetCounter("plan_cache.literal_evictions");
+  c_quarantined_ = registry->GetCounter("plan_cache.quarantined");
+  c_quarantine_rejections_ =
+      registry->GetCounter("plan_cache.quarantine_rejections");
+  h_stampede_wait_us_ = registry->GetHistogram("plan_cache.stampede_wait_us");
+  registry->RegisterCallbackGauge(
+      "plan_cache.entries", [this] { return static_cast<int64_t>(size()); });
+}
+
+PlanCache::~PlanCache() {
+  metrics_->UnregisterCallbackGauge("plan_cache.entries");
+}
 
 std::string NormalizeQueryText(const std::string& sql) {
   std::string out;
@@ -132,13 +158,25 @@ std::shared_ptr<const PreparedPlan> PlanCache::GetOrBeginPlanning(
   std::string sig = JoinLiterals(literals);
   std::unique_lock<std::mutex> lock(mu_);
   bool counted_wait = false;
+  std::chrono::steady_clock::time_point wait_start;
+  // Time a lookup spent blocked on another thread's in-flight planning;
+  // recorded only for lookups that actually waited, so the fast paths
+  // never read a clock.
+  auto record_wait = [&] {
+    if (!counted_wait) return;
+    h_stampede_wait_us_->Record(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count());
+  };
   while (true) {
     if (QuarantinedLocked(key, stats_epoch)) {
       // Quarantined: no entry is served and no planner is elected (a
       // marker would obligate a Publish that Quarantine refuses). Every
       // caller plans fresh until the epoch moves on.
-      ++stats_.quarantine_rejections;
-      ++stats_.misses;
+      c_quarantine_rejections_->Increment();
+      c_misses_->Increment();
+      record_wait();
       return nullptr;
     }
     auto it = slots_.find(key);
@@ -150,7 +188,8 @@ std::shared_ptr<const PreparedPlan> PlanCache::GetOrBeginPlanning(
       slot.literal_sig = sig;
       slot.planning = true;
       slots_.emplace(key, std::move(slot));
-      ++stats_.misses;
+      c_misses_->Increment();
+      record_wait();
       return nullptr;
     }
     Slot& slot = it->second;
@@ -158,7 +197,7 @@ std::shared_ptr<const PreparedPlan> PlanCache::GetOrBeginPlanning(
       if (slot.stats_epoch != stats_epoch) {
         // The statistics moved under the cached plan: drop it and take
         // the planner role for the new epoch.
-        ++stats_.invalidations;
+        c_invalidations_->Increment();
         if (slot.in_lru) lru_.erase(slot.lru_pos);
         slots_.erase(it);
         continue;
@@ -166,21 +205,23 @@ std::shared_ptr<const PreparedPlan> PlanCache::GetOrBeginPlanning(
       if (slot.literal_sig != sig) {
         // Same template, different constants: the cached plan embeds the
         // old literals and cannot be served. Replace rather than grow.
-        ++stats_.literal_evictions;
+        c_literal_evictions_->Increment();
         if (slot.in_lru) lru_.erase(slot.lru_pos);
         slots_.erase(it);
         continue;
       }
-      ++stats_.hits;
+      c_hits_->Increment();
       TouchLocked(&slot, key);
+      record_wait();
       return slot.plan;
     }
     // A planner is in flight (possibly under an older epoch or different
     // literals — its result will be checked when it lands). Wait for it
     // to resolve.
     if (!counted_wait) {
-      ++stats_.stampede_waits;
+      c_stampede_waits_->Increment();
       counted_wait = true;
+      wait_start = std::chrono::steady_clock::now();
     }
     int64_t seen_generation = slot.generation;
     cv_.wait(lock, [&] {
@@ -217,7 +258,7 @@ void PlanCache::Publish(const std::string& sql, uint64_t stats_epoch,
       // Refused. Resolve a leftover planning marker anyway (a planner
       // elected just before the quarantine landed must not strand its
       // waiters — they wake, see the quarantine, and plan themselves).
-      ++stats_.quarantine_rejections;
+      c_quarantine_rejections_->Increment();
       auto it = slots_.find(key);
       if (it != slots_.end() && it->second.planning) slots_.erase(it);
     } else {
@@ -262,7 +303,7 @@ void PlanCache::Quarantine(const std::string& sql, uint64_t stats_epoch) {
     auto q = quarantine_.find(key);
     if (q == quarantine_.end() || q->second != stats_epoch) {
       quarantine_[key] = stats_epoch;
-      ++stats_.quarantined;
+      c_quarantined_->Increment();
     }
     // Evict the resident entry now; in-flight markers are left to their
     // planners (their Publish will be refused and will resolve waiters).
@@ -303,15 +344,25 @@ size_t PlanCache::size() const {
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  MetricsSnapshot snap = metrics_->Snap();
+  PlanCacheStats s;
+  s.hits = snap.CounterValue("plan_cache.hits");
+  s.misses = snap.CounterValue("plan_cache.misses");
+  s.evictions = snap.CounterValue("plan_cache.evictions");
+  s.invalidations = snap.CounterValue("plan_cache.invalidations");
+  s.stampede_waits = snap.CounterValue("plan_cache.stampede_waits");
+  s.literal_evictions = snap.CounterValue("plan_cache.literal_evictions");
+  s.quarantined = snap.CounterValue("plan_cache.quarantined");
+  s.quarantine_rejections =
+      snap.CounterValue("plan_cache.quarantine_rejections");
+  return s;
 }
 
 double PlanCache::HitRate() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  int64_t lookups = stats_.hits + stats_.misses;
+  PlanCacheStats s = stats();
+  int64_t lookups = s.hits + s.misses;
   return lookups == 0 ? 0.0
-                      : static_cast<double>(stats_.hits) /
+                      : static_cast<double>(s.hits) /
                             static_cast<double>(lookups);
 }
 
@@ -328,7 +379,7 @@ void PlanCache::EvictIfOverCapacityLocked() {
     auto it = slots_.find(victim);
     if (it != slots_.end()) slots_.erase(it);
     lru_.pop_back();
-    ++stats_.evictions;
+    c_evictions_->Increment();
   }
 }
 

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "exec/engine.h"
 
 namespace ordopt {
@@ -85,7 +86,17 @@ class PlanCache {
  public:
   /// `capacity` = max ready entries; 0 disables caching (every
   /// GetOrBeginPlanning returns planner-role and Publish drops the entry).
-  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+  /// With `registry`, the cache records its counters there (names
+  /// `plan_cache.*`) plus a `plan_cache.entries` callback gauge and a
+  /// `plan_cache.stampede_wait_us` histogram of time lookups spent blocked
+  /// on an in-flight planner; the registry must outlive the cache. Without
+  /// one the cache owns a private registry, so stats() always reads from
+  /// one consistent snapshot either way.
+  explicit PlanCache(size_t capacity, MetricsRegistry* registry = nullptr);
+  ~PlanCache();
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
 
   /// Looks up `sql` (parameterizing internally) under `stats_epoch`.
   /// Returns the ready entry on a hit (same template, same literals, same
@@ -127,6 +138,9 @@ class PlanCache {
   size_t capacity() const { return capacity_; }
   /// Ready entries currently resident.
   size_t size() const;
+  /// One registry snapshot — every counter is read from the same pass, so
+  /// derived relations (hits + misses = lookups) never tear against each
+  /// other the way independently-read atomics could.
   PlanCacheStats stats() const;
   /// hits / (hits + misses), 0 when nothing was looked up.
   double HitRate() const;
@@ -162,7 +176,20 @@ class PlanCache {
   /// Template -> stats epoch it was quarantined under. Entries for old
   /// epochs are dropped lazily on lookup.
   mutable std::unordered_map<std::string, uint64_t> quarantine_;
-  PlanCacheStats stats_;
+
+  /// Fallback registry when the caller supplied none (standalone caches in
+  /// tests); metrics_ points at it or at the caller's.
+  std::unique_ptr<MetricsRegistry> owned_registry_;
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* c_hits_ = nullptr;
+  Counter* c_misses_ = nullptr;
+  Counter* c_evictions_ = nullptr;
+  Counter* c_invalidations_ = nullptr;
+  Counter* c_stampede_waits_ = nullptr;
+  Counter* c_literal_evictions_ = nullptr;
+  Counter* c_quarantined_ = nullptr;
+  Counter* c_quarantine_rejections_ = nullptr;
+  Histogram* h_stampede_wait_us_ = nullptr;
 };
 
 }  // namespace ordopt

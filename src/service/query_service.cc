@@ -31,9 +31,21 @@ void QueryTicket::Complete(Result<QueryResult> result) {
 QueryService::QueryService(Database* db, ServiceConfig config)
     : db_(db),
       config_(config),
-      plan_cache_(config.plan_cache_capacity),
+      plan_cache_(config.plan_cache_capacity, &metrics_),
       budget_(config.global_budget_bytes),
       resilience_(config.resilience, &budget_) {
+  c_submitted_ = metrics_.GetCounter("service.submitted");
+  c_admitted_ = metrics_.GetCounter("service.admitted");
+  c_shed_queue_full_ = metrics_.GetCounter("service.shed_queue_full");
+  c_shed_session_cap_ = metrics_.GetCounter("service.shed_session_cap");
+  c_shed_budget_ = metrics_.GetCounter("service.shed_budget");
+  c_completed_ = metrics_.GetCounter("service.completed");
+  c_failed_ = metrics_.GetCounter("service.failed");
+  c_retried_ = metrics_.GetCounter("service.retried");
+  c_breaker_rejected_ = metrics_.GetCounter("service.breaker_rejected");
+  c_degraded_ = metrics_.GetCounter("service.degraded");
+  c_quarantined_ = metrics_.GetCounter("service.quarantined");
+
   degraded_engine_config_ = config_.engine_config;
   degraded_engine_config_.degraded_mode = true;
   degraded_engine_config_.cost_params.sort_memory_rows = std::max<int64_t>(
@@ -41,6 +53,32 @@ QueryService::QueryService(Database* db, ServiceConfig config)
               static_cast<double>(
                   config_.engine_config.cost_params.sort_memory_rows) *
               config_.resilience.degraded_sort_budget_factor));
+  worker_engine_config_ = config_.engine_config;
+
+  if (config_.enable_metrics) {
+    h_queue_wait_us_ = metrics_.GetHistogram("service.queue_wait_us");
+    h_latency_ok_us_ = metrics_.GetHistogram("service.latency_ok_us");
+    h_latency_failed_us_ = metrics_.GetHistogram("service.latency_failed_us");
+    g_inflight_ = metrics_.GetGauge("service.inflight");
+    metrics_.RegisterCallbackGauge("service.queue_depth", [this] {
+      return static_cast<int64_t>(queue_depth());
+    });
+    metrics_.RegisterCallbackGauge("service.degraded_mode", [this] {
+      return resilience_.InDegradedMode() ? int64_t{1} : int64_t{0};
+    });
+    metrics_.RegisterCallbackGauge("budget.used_bytes",
+                                   [this] { return budget_.used_bytes(); });
+    metrics_.RegisterCallbackGauge("budget.peak_bytes",
+                                   [this] { return budget_.peak_bytes(); });
+    metrics_.RegisterCallbackGauge("budget.limit_bytes",
+                                   [this] { return budget_.limit_bytes(); });
+    metrics_.RegisterCallbackGauge("budget.rejections",
+                                   [this] { return budget_.rejections(); });
+    resilience_.AttachMetrics(&metrics_);
+    worker_engine_config_.metrics = &metrics_;
+    degraded_engine_config_.metrics = &metrics_;
+  }
+
   int workers = std::max(1, config_.workers);
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
@@ -81,16 +119,12 @@ void QueryService::CloseSession(int64_t session_id) {
 
 Result<TicketRef> QueryService::Submit(int64_t session_id,
                                        const std::string& sql) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.submitted;
-  }
+  c_submitted_->Increment();
 
   // Admission gate 1: global memory budget fully committed. Checked before
   // touching the session so an exhausted pool sheds uniformly.
   if (budget_.Exhausted()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.shed_budget;
+    c_shed_budget_->Increment();
     return Status::ResourceExhausted(StrFormat(
         "global memory budget exhausted: %lld/%lld bytes committed",
         static_cast<long long>(budget_.used_bytes()),
@@ -112,8 +146,7 @@ Result<TicketRef> QueryService::Submit(int64_t session_id,
     Session& session = it->second;
     if (config_.max_inflight_per_session > 0 &&
         session.inflight >= config_.max_inflight_per_session) {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.shed_session_cap;
+      c_shed_session_cap_->Increment();
       return Status::ResourceExhausted(
           StrFormat("session %lld at its in-flight limit (%d)",
                     static_cast<long long>(session_id),
@@ -127,6 +160,11 @@ Result<TicketRef> QueryService::Submit(int64_t session_id,
       next_ticket_id_.fetch_add(1, std::memory_order_relaxed), session_id,
       sql, limits));
   ticket->guard_.set_shared_budget(&budget_);
+  // The ticket id doubles as the query's end-to-end correlation id: the
+  // guard carries it to the engine, which stamps it on the result, every
+  // trace event, and the EXPLAIN ANALYZE summary. It survives
+  // ResetForRetry, so all attempts of one ticket share one id.
+  ticket->guard_.set_query_id(ticket->id());
 
   // Admission gate 3: bounded queue — shed, never block.
   {
@@ -138,8 +176,7 @@ Result<TicketRef> QueryService::Submit(int64_t session_id,
     size_t bound = std::max<size_t>(1, config_.queue_depth);
     if (queue_.size() >= bound) {
       ReleaseSessionSlot(session_id, /*ticket=*/nullptr);
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.shed_queue_full;
+      c_shed_queue_full_->Increment();
       return Status::ResourceExhausted(
           StrFormat("admission queue full (%lld queries queued)",
                     static_cast<long long>(queue_.size())));
@@ -167,10 +204,7 @@ Result<TicketRef> QueryService::Submit(int64_t session_id,
     }
   }
 
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.admitted;
-  }
+  c_admitted_->Increment();
   return ticket;
 }
 
@@ -193,8 +227,20 @@ void QueryService::Shutdown() {
 }
 
 ServiceStats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  MetricsSnapshot snap = metrics_.Snap();
+  ServiceStats s;
+  s.submitted = snap.CounterValue("service.submitted");
+  s.admitted = snap.CounterValue("service.admitted");
+  s.shed_queue_full = snap.CounterValue("service.shed_queue_full");
+  s.shed_session_cap = snap.CounterValue("service.shed_session_cap");
+  s.shed_budget = snap.CounterValue("service.shed_budget");
+  s.completed = snap.CounterValue("service.completed");
+  s.failed = snap.CounterValue("service.failed");
+  s.retried = snap.CounterValue("service.retried");
+  s.breaker_rejected = snap.CounterValue("service.breaker_rejected");
+  s.degraded = snap.CounterValue("service.degraded");
+  s.quarantined = snap.CounterValue("service.quarantined");
+  return s;
 }
 
 size_t QueryService::queue_depth() const {
@@ -204,8 +250,9 @@ size_t QueryService::queue_depth() const {
 
 void QueryService::WorkerLoop() {
   // Engine-per-worker: no shared mutable engine state, so workers only
-  // meet at the queue, the plan cache, the budget, and the breakers.
-  WorkerState state(db_, config_.engine_config);
+  // meet at the queue, the plan cache, the budget, the breakers, and the
+  // (sharded, relaxed-atomic) metrics registry.
+  WorkerState state(db_, worker_engine_config_);
   while (true) {
     TicketRef ticket;
     {
@@ -225,6 +272,10 @@ void QueryService::RunTicket(WorkerState* state, const TicketRef& ticket) {
     ticket->queued_seconds_ =
         std::chrono::duration<double>(picked_up - ticket->submit_time_)
             .count();
+    if (h_queue_wait_us_ != nullptr) {
+      h_queue_wait_us_->Record(
+          static_cast<int64_t>(ticket->queued_seconds_ * 1e6));
+    }
   }
 
   // A cancel that lands while the query is still queued skips execution
@@ -242,10 +293,7 @@ void QueryService::RunTicket(WorkerState* state, const TicketRef& ticket) {
   uint32_t probe_mask = 0;
   Status admit = resilience_.AdmitExecution(&probe_mask);
   if (!admit.ok()) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.breaker_rejected;
-    }
+    c_breaker_rejected_->Increment();
     FinishTicket(*ticket, /*ok=*/false);
     ticket->Complete(std::move(admit));
     return;
@@ -258,18 +306,17 @@ void QueryService::RunTicket(WorkerState* state, const TicketRef& ticket) {
   bool degraded = resilience_.InDegradedMode();
   if (degraded != state->degraded) {
     state->engine.set_config(degraded ? degraded_engine_config_
-                                      : config_.engine_config);
+                                      : worker_engine_config_);
     state->degraded = degraded;
   }
-  if (degraded) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.degraded;
-  }
+  if (degraded) c_degraded_->Increment();
 
   bool from_cache = false;
   uint64_t epoch = 0;
+  if (g_inflight_ != nullptr) g_inflight_->Add(1);
   Result<QueryResult> result =
       ExecuteAttempt(&state->engine, ticket, degraded, &from_cache, &epoch);
+  if (g_inflight_ != nullptr) g_inflight_->Add(-1);
 
   ticket->exec_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -284,8 +331,7 @@ void QueryService::RunTicket(WorkerState* state, const TicketRef& ticket) {
     // presumed poisoned: stop re-serving it while the same statistics
     // would just rebuild it.
     plan_cache_.Quarantine(ticket->sql_, epoch);
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.quarantined;
+    c_quarantined_->Increment();
   }
 
   if (!result.ok() &&
@@ -304,10 +350,7 @@ void QueryService::RunTicket(WorkerState* state, const TicketRef& ticket) {
       }
     }
     if (requeued) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.retried;
-      }
+      c_retried_->Increment();
       // Deterministic backoff, served by this worker *after* handing the
       // retry off so a healthy queue keeps draining.
       queue_cv_.notify_one();
@@ -371,11 +414,11 @@ Result<QueryResult> QueryService::ExecuteAttempt(QueryEngine* engine,
 
 void QueryService::FinishTicket(const QueryTicket& ticket, bool ok) {
   ReleaseSessionSlot(ticket.session_id(), &ticket);
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  if (ok) {
-    ++stats_.completed;
-  } else {
-    ++stats_.failed;
+  (ok ? c_completed_ : c_failed_)->Increment();
+  Histogram* latency = ok ? h_latency_ok_us_ : h_latency_failed_us_;
+  if (latency != nullptr) {
+    latency->Record(static_cast<int64_t>(
+        (ticket.queued_seconds_ + ticket.exec_seconds_) * 1e6));
   }
 }
 

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "exec/engine.h"
 #include "exec/query_guard.h"
 #include "service/plan_cache.h"
@@ -52,6 +53,14 @@ struct ServiceConfig {
   /// Failure-handling policy: service-level retry, per-fault-domain
   /// circuit breakers, degraded-mode admission (see service/resilience.h).
   ResilienceConfig resilience;
+  /// Distribution/state instrumentation: latency + queue-wait histograms,
+  /// in-flight / queue-depth / budget / breaker gauges, and per-query
+  /// engine series, all on the service's registry. The lifetime *counters*
+  /// (ServiceStats, PlanCacheStats) are registry-backed regardless — they
+  /// are how stats() is produced — so disabling this only strips the extra
+  /// per-query recording, which is what `bench_service --metrics` measures
+  /// the overhead of.
+  bool enable_metrics = true;
 };
 
 /// Monotonic counters describing a service's lifetime admission behavior.
@@ -192,9 +201,17 @@ class QueryService {
   /// Idempotent; the destructor calls it.
   void Shutdown();
 
+  /// Lifetime admission counters, read from ONE registry snapshot — the
+  /// relations between fields (submitted = admitted + sheds, admitted =
+  /// completed + failed once drained) hold within a single return value
+  /// instead of tearing across independently-read atomics.
   ServiceStats stats() const;
   PlanCacheStats plan_cache_stats() const { return plan_cache_.stats(); }
   double plan_cache_hit_rate() const { return plan_cache_.HitRate(); }
+  /// This service's metrics registry: every `service.*`, `plan_cache.*`,
+  /// `breaker.*`, `budget.*`, and (with config.enable_metrics) `engine.*`
+  /// series. Snap/RenderText/RenderJson are safe while queries run.
+  const MetricsRegistry& metrics() const { return metrics_; }
   const SharedMemoryBudget& budget() const { return budget_; }
   /// Mutable access to the shared pool for co-owners that charge it from
   /// outside the worker path (tests use this to simulate external memory
@@ -244,6 +261,11 @@ class QueryService {
 
   Database* const db_;
   const ServiceConfig config_;
+  /// Declared before every member that holds instrument pointers into it
+  /// (plan_cache_, resilience_ gauges, worker engines), so those members
+  /// are destroyed first and never record into a dead registry. Private
+  /// per service: two concurrent services never mix their series.
+  MetricsRegistry metrics_;
   PlanCache plan_cache_;
   SharedMemoryBudget budget_;
   ResilienceManager resilience_;
@@ -251,6 +273,28 @@ class QueryService {
   /// resilience.degraded_sort_budget_factor; swapped onto worker engines
   /// while the budget is over the high-water mark.
   OptimizerConfig degraded_engine_config_;
+  /// engine_config as worker engines actually run it (metrics registry
+  /// attached when config.enable_metrics).
+  OptimizerConfig worker_engine_config_;
+
+  /// Registry-backed ServiceStats counters (always on — they replace the
+  /// old mutex-guarded struct; an increment is one relaxed atomic add).
+  Counter* c_submitted_ = nullptr;
+  Counter* c_admitted_ = nullptr;
+  Counter* c_shed_queue_full_ = nullptr;
+  Counter* c_shed_session_cap_ = nullptr;
+  Counter* c_shed_budget_ = nullptr;
+  Counter* c_completed_ = nullptr;
+  Counter* c_failed_ = nullptr;
+  Counter* c_retried_ = nullptr;
+  Counter* c_breaker_rejected_ = nullptr;
+  Counter* c_degraded_ = nullptr;
+  Counter* c_quarantined_ = nullptr;
+  /// Distribution instruments, null unless config.enable_metrics.
+  Histogram* h_queue_wait_us_ = nullptr;
+  Histogram* h_latency_ok_us_ = nullptr;
+  Histogram* h_latency_failed_us_ = nullptr;
+  Gauge* g_inflight_ = nullptr;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
@@ -261,9 +305,6 @@ class QueryService {
   std::unordered_map<int64_t, Session> sessions_;
   int64_t next_session_id_ = 1;
   std::atomic<int64_t> next_ticket_id_{1};
-
-  mutable std::mutex stats_mu_;
-  ServiceStats stats_;
 
   std::vector<std::thread> workers_;
 };

@@ -89,6 +89,15 @@ void CircuitBreaker::OnSuccess(bool probe) {
     state_.store(BreakerState::kClosed, std::memory_order_relaxed);
     probe_in_flight_ = false;
     failures_.clear();
+    if (open_episode_) {
+      if (open_duration_us_ != nullptr) {
+        open_duration_us_->Record(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - opened_at_)
+                .count());
+      }
+      open_episode_ = false;
+    }
   }
   // A non-probe success while open/half-open is a straggler admitted
   // before the trip; it proves nothing about current health.
@@ -132,6 +141,16 @@ void CircuitBreaker::TripLocked(Clock::time_point now) {
                               std::max(0.0, config_.open_seconds)));
   trips_.fetch_add(1, std::memory_order_relaxed);
   failures_.clear();
+  // A half-open re-trip continues the episode the first trip started.
+  if (!open_episode_) {
+    open_episode_ = true;
+    opened_at_ = now;
+  }
+}
+
+void CircuitBreaker::AttachMetrics(Histogram* open_duration_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_duration_us_ = open_duration_us;
 }
 
 Status ResilienceManager::AdmitExecution(uint32_t* probe_mask) {
@@ -182,6 +201,23 @@ bool ResilienceManager::InDegradedMode() const {
   double occupancy =
       static_cast<double>(budget_->used_bytes()) / static_cast<double>(limit);
   return occupancy >= config_.degraded_high_water;
+}
+
+void ResilienceManager::AttachMetrics(MetricsRegistry* registry) {
+  for (int d = 0; d < kNumFaultDomains; ++d) {
+    std::string prefix =
+        std::string("breaker.") + FaultDomainName(static_cast<FaultDomain>(d));
+    CircuitBreaker* breaker = &breakers_[d];
+    breaker->AttachMetrics(
+        registry->GetHistogram(prefix + ".open_duration_us"));
+    registry->RegisterCallbackGauge(prefix + ".state", [breaker] {
+      return static_cast<int64_t>(breaker->state());
+    });
+    registry->RegisterCallbackGauge(
+        prefix + ".trips", [breaker] { return breaker->trips(); });
+    registry->RegisterCallbackGauge(
+        prefix + ".rejections", [breaker] { return breaker->rejections(); });
+  }
 }
 
 int64_t ResilienceManager::total_trips() const {

@@ -7,6 +7,7 @@
 #include <deque>
 #include <mutex>
 
+#include "common/metrics.h"
 #include "common/retry.h"
 #include "common/status.h"
 #include "exec/query_guard.h"
@@ -85,6 +86,12 @@ class CircuitBreaker {
     return rejections_.load(std::memory_order_relaxed);
   }
 
+  /// Attaches an open-duration histogram: when the breaker re-closes after
+  /// a trip, the microseconds the whole open episode lasted (first trip
+  /// through probe success, including half-open re-trips) are recorded.
+  /// `open_duration_us` must outlive the breaker; null detaches.
+  void AttachMetrics(Histogram* open_duration_us);
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -99,6 +106,12 @@ class CircuitBreaker {
   std::deque<Clock::time_point> failures_;
   std::atomic<int64_t> trips_{0};
   std::atomic<int64_t> rejections_{0};
+  /// Open-episode tracking for the attached histogram (guarded by mu_):
+  /// an episode starts at the closed->open trip and ends when a probe
+  /// success re-closes the breaker.
+  Histogram* open_duration_us_ = nullptr;
+  bool open_episode_ = false;
+  Clock::time_point opened_at_{};
 };
 
 /// Failure-handling policy for one QueryService instance.
@@ -175,6 +188,14 @@ class ResilienceManager {
         return true;
     }
   }
+
+  /// Registers this manager's observability on `registry`: per-domain
+  /// callback gauges `breaker.<domain>.state` (0 closed / 1 open / 2
+  /// half-open), `.trips`, and `.rejections`, plus a
+  /// `breaker.<domain>.open_duration_us` histogram fed by each breaker
+  /// when an open episode ends. Call once; the manager must outlive every
+  /// Snap of the registry.
+  void AttachMetrics(MetricsRegistry* registry);
 
   const RetryPolicy& retry_policy() const { return config_.retry; }
   const ResilienceConfig& config() const { return config_; }

@@ -1,0 +1,408 @@
+// Metrics-layer acceptance tests: the log-scale histogram's bucket
+// geometry and percentile math, shard merging under concurrent writers,
+// snapshot-delta semantics, registry exposition (text/JSON/callback
+// gauges), the background reporter, the single-snapshot ServiceStats
+// contract, breaker open-episode durations, and query_id stability across
+// a fault-injected service retry. Run under ASan and TSan via
+// scripts/check.sh --metrics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "query_test_util.h"
+#include "service/query_service.h"
+#include "service/resilience.h"
+
+namespace ordopt {
+namespace {
+
+// ---- Bucket geometry ----------------------------------------------------
+
+TEST(HistogramBuckets, SmallValuesMapExactly) {
+  for (int64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    int b = Histogram::BucketIndex(v);
+    EXPECT_EQ(b, static_cast<int>(v));
+    EXPECT_EQ(Histogram::BucketLowerBound(b), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(b), v);
+  }
+}
+
+TEST(HistogramBuckets, BoundsRoundTrip) {
+  std::vector<int64_t> values = {8,    9,    10000000,      15,       16,
+                                 17,   100,  1023,          1024,     1025,
+                                 int64_t{1} << 40, INT64_MAX};
+  for (int64_t p = 3; p < 63; ++p) {
+    values.push_back((int64_t{1} << p) - 1);
+    values.push_back(int64_t{1} << p);
+    values.push_back((int64_t{1} << p) + 1);
+  }
+  for (int64_t v : values) {
+    int b = Histogram::BucketIndex(v);
+    ASSERT_GE(b, 0) << v;
+    ASSERT_LT(b, Histogram::kBucketCount) << v;
+    EXPECT_LE(Histogram::BucketLowerBound(b), v) << v;
+    EXPECT_GE(Histogram::BucketUpperBound(b), v) << v;
+  }
+}
+
+TEST(HistogramBuckets, BucketsAreContiguousAndNarrow) {
+  for (int b = 0; b + 1 < Histogram::kBucketCount; ++b) {
+    int64_t hi = Histogram::BucketUpperBound(b);
+    EXPECT_EQ(Histogram::BucketLowerBound(b + 1), hi + 1) << "bucket " << b;
+    // Log-scale guarantee: every bucket at or above kSubBuckets spans at
+    // most lower/8 values, i.e. a 12.5% relative error bound.
+    int64_t lo = Histogram::BucketLowerBound(b);
+    if (lo >= Histogram::kSubBuckets) {
+      EXPECT_LE(hi - lo + 1, lo / Histogram::kSubBuckets) << "bucket " << b;
+    }
+  }
+}
+
+// ---- Percentiles --------------------------------------------------------
+
+TEST(HistogramPercentile, TracksOrderStatisticWithinBucketWidth) {
+  Histogram h;
+  for (int64_t v = 1; v <= 1000; ++v) h.Record(v);
+  HistogramSnapshot s = h.Snap();
+  EXPECT_EQ(s.count, 1000);
+  EXPECT_EQ(s.sum, 1000 * 1001 / 2);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 1000);
+  // Rank = floor(p * (count - 1)), the nth_element definition the benches
+  // used; the estimate may be off by at most one log-bucket (12.5%).
+  for (double p : {0.0, 0.50, 0.90, 0.99, 1.0}) {
+    double exact = 1.0 + p * 999.0;
+    double est = s.Percentile(p);
+    EXPECT_NEAR(est, exact, exact * 0.125 + 1.0) << "p=" << p;
+  }
+}
+
+TEST(HistogramPercentile, EmptyAndClampedInputs) {
+  Histogram h;
+  EXPECT_EQ(h.Snap().Percentile(0.99), 0.0);
+  h.Record(-5);  // negative values clamp to 0
+  HistogramSnapshot s = h.Snap();
+  EXPECT_EQ(s.count, 1);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.Percentile(0.5), 0.0);
+}
+
+// ---- Shard merge under concurrency --------------------------------------
+
+TEST(MetricsConcurrency, ShardsMergeExactly) {
+  Counter counter;
+  Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        hist.Record(t * kPerThread + i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(counter.Value(), int64_t{kThreads} * kPerThread);
+  HistogramSnapshot s = hist.Snap();
+  EXPECT_EQ(s.count, int64_t{kThreads} * kPerThread);
+  int64_t n = int64_t{kThreads} * kPerThread;
+  EXPECT_EQ(s.sum, n * (n - 1) / 2);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, n - 1);
+  int64_t bucket_total = 0;
+  for (int64_t c : s.buckets) bucket_total += c;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+// ---- Snapshot deltas ----------------------------------------------------
+
+TEST(MetricsSnapshotTest, DeltaSubtractsCountersAndHistograms) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.count");
+  Gauge* g = registry.GetGauge("test.gauge");
+  Histogram* h = registry.GetHistogram("test.hist");
+
+  c->Add(5);
+  g->Set(10);
+  h->Record(100);
+  MetricsSnapshot earlier = registry.Snap();
+
+  c->Add(3);
+  g->Set(42);
+  h->Record(100);
+  h->Record(2000);
+  registry.GetCounter("test.late")->Add(7);  // created after `earlier`
+  MetricsSnapshot later = registry.Snap();
+
+  MetricsSnapshot delta = later.DeltaSince(earlier);
+  EXPECT_EQ(delta.CounterValue("test.count"), 3);
+  // Gauges are instantaneous: the delta keeps the later value.
+  EXPECT_EQ(delta.GaugeValue("test.gauge"), 42);
+  // Instruments born inside the interval appear with their full value.
+  EXPECT_EQ(delta.CounterValue("test.late"), 7);
+
+  const HistogramSnapshot* hd = delta.FindHistogram("test.hist");
+  ASSERT_NE(hd, nullptr);
+  EXPECT_EQ(hd->count, 2);
+  EXPECT_EQ(hd->sum, 2100);
+  int64_t bucket_total = 0;
+  for (int64_t n : hd->buckets) bucket_total += n;
+  EXPECT_EQ(bucket_total, 2);
+}
+
+// ---- Registry exposition ------------------------------------------------
+
+TEST(MetricsRegistryTest, CallbackGaugesReadAtSnapshotTime) {
+  MetricsRegistry registry;
+  int64_t depth = 3;
+  registry.RegisterCallbackGauge("test.depth", [&depth] { return depth; });
+  EXPECT_EQ(registry.Snap().GaugeValue("test.depth"), 3);
+  depth = 9;
+  EXPECT_EQ(registry.Snap().GaugeValue("test.depth"), 9);
+  registry.UnregisterCallbackGauge("test.depth");
+  EXPECT_EQ(registry.Snap().gauges.size(), 0u);
+}
+
+TEST(MetricsRegistryTest, RendersTextAndJson) {
+  MetricsRegistry registry;
+  registry.GetCounter("render.count")->Add(4);
+  registry.GetGauge("render.gauge")->Set(-2);
+  registry.GetHistogram("render.hist")->Record(12);
+
+  std::string text = registry.RenderText();
+  EXPECT_NE(text.find("render.count"), std::string::npos);
+  EXPECT_NE(text.find("render.gauge"), std::string::npos);
+  EXPECT_NE(text.find("render.hist"), std::string::npos);
+
+  std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"render.count\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"render.gauge\":-2"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+// ---- Background reporter ------------------------------------------------
+
+TEST(MetricsReporterTest, WritesOneJsonLinePerSample) {
+  std::string path = std::string(::testing::TempDir()) + "/metrics_ts.jsonl";
+  std::remove(path.c_str());
+
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("reporter.count");
+  {
+    MetricsReporter reporter(&registry, path, /*interval_seconds=*/0.01);
+    reporter.Start();
+    for (int i = 0; i < 5; ++i) {
+      c->Increment();
+      std::this_thread::sleep_for(std::chrono::milliseconds(12));
+    }
+    Status st = reporter.Stop();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    EXPECT_GE(reporter.samples(), 1);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    int64_t lines = 0;
+    while (std::getline(in, line)) {
+      ++lines;
+      EXPECT_EQ(line.rfind("{\"sample\":", 0), 0u) << line;
+      EXPECT_NE(line.find("\"total\":"), std::string::npos);
+      EXPECT_NE(line.find("\"delta\":"), std::string::npos);
+    }
+    EXPECT_EQ(lines, reporter.samples());
+  }
+  std::remove(path.c_str());
+}
+
+// ---- Breaker open-episode durations --------------------------------------
+
+TEST(BreakerMetricsTest, OpenEpisodeDurationRecordedOnClose) {
+  BreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_seconds = 0.01;
+  CircuitBreaker breaker(config);
+  Histogram open_us;
+  breaker.AttachMetrics(&open_us);
+
+  breaker.OnFailure(/*probe=*/false);  // trips open
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(open_us.Snap().count, 0);  // episode still running
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  bool probe = false;
+  ASSERT_TRUE(breaker.Allow(&probe));  // half-open probe
+  ASSERT_TRUE(probe);
+  breaker.OnSuccess(/*probe=*/true);  // closes: episode ends
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+
+  HistogramSnapshot s = open_us.Snap();
+  EXPECT_EQ(s.count, 1);
+  EXPECT_GE(s.min, 10000);  // at least the 10ms cooldown, in microseconds
+}
+
+// ---- Service integration -------------------------------------------------
+
+class ServiceMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().DisarmAll();
+    BuildToyDatabase(&db_, 17, 120);
+  }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+
+  Database db_;
+};
+
+constexpr const char* kSortQuery =
+    "select e.eno, e.salary from emp e order by e.salary, e.eno";
+
+TEST_F(ServiceMetricsTest, StatsComeFromOneBalancedSnapshot) {
+  ServiceConfig config;
+  config.workers = 2;
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+  for (int i = 0; i < 6; ++i) {
+    Result<QueryResult> r = service.Execute(session, kSortQuery);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  ASSERT_FALSE(service.Execute(session, "select nonsense from").ok());
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 7);
+  EXPECT_EQ(stats.admitted, stats.completed + stats.failed);
+  EXPECT_EQ(stats.completed, 6);
+  EXPECT_EQ(stats.failed, 1);
+
+  // The same counters, read straight off the registry.
+  MetricsSnapshot snap = service.metrics().Snap();
+  EXPECT_EQ(snap.CounterValue("service.submitted"), 7);
+  EXPECT_EQ(snap.CounterValue("service.completed"), 6);
+  EXPECT_EQ(snap.CounterValue("service.failed"), 1);
+  // Every admitted query consults the cache (the fingerprint lookup
+  // precedes parsing, so even the syntax error counts a miss).
+  EXPECT_EQ(snap.CounterValue("plan_cache.hits") +
+                snap.CounterValue("plan_cache.misses"),
+            7);
+  EXPECT_GE(snap.CounterValue("plan_cache.hits"), 5);
+  EXPECT_GE(snap.GaugeValue("plan_cache.entries"), 1);
+
+  // Per-outcome latency histograms partition completions.
+  const HistogramSnapshot* ok_lat = snap.FindHistogram("service.latency_ok_us");
+  const HistogramSnapshot* failed_lat =
+      snap.FindHistogram("service.latency_failed_us");
+  ASSERT_NE(ok_lat, nullptr);
+  ASSERT_NE(failed_lat, nullptr);
+  EXPECT_EQ(ok_lat->count, 6);
+  EXPECT_EQ(failed_lat->count, 1);
+  const HistogramSnapshot* queue_wait =
+      snap.FindHistogram("service.queue_wait_us");
+  ASSERT_NE(queue_wait, nullptr);
+  EXPECT_EQ(queue_wait->count, 7);
+  service.Shutdown();
+}
+
+TEST_F(ServiceMetricsTest, DisablingMetricsKeepsCountersOnly) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.enable_metrics = false;
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+  ASSERT_TRUE(service.Execute(session, kSortQuery).ok());
+
+  ServiceStats stats = service.stats();  // counters stay registry-backed
+  EXPECT_EQ(stats.completed, 1);
+  MetricsSnapshot snap = service.metrics().Snap();
+  EXPECT_EQ(snap.FindHistogram("service.latency_ok_us"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("engine.exec_us"), nullptr);
+  service.Shutdown();
+}
+
+TEST_F(ServiceMetricsTest, EngineSeriesRecordPlanAndExecution) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.engine_config.cost_params.sort_memory_rows = 32;  // force spills
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service.Execute(session, kSortQuery).ok());
+  }
+
+  MetricsSnapshot snap = service.metrics().Snap();
+  const HistogramSnapshot* plan_us = snap.FindHistogram("engine.plan_us");
+  const HistogramSnapshot* exec_us = snap.FindHistogram("engine.exec_us");
+  ASSERT_NE(plan_us, nullptr);
+  ASSERT_NE(exec_us, nullptr);
+  EXPECT_EQ(plan_us->count, 1);  // runs 2 and 3 hit the plan cache
+  EXPECT_EQ(exec_us->count, 3);
+  // 120 rows through a 32-row sort budget spills multiple runs per query.
+  EXPECT_GE(snap.CounterValue("engine.spill_runs"), 6);
+  EXPECT_GT(snap.CounterValue("engine.spill_bytes"), 0);
+  const HistogramSnapshot* rows_peak =
+      snap.FindHistogram("engine.buffered_rows_peak");
+  ASSERT_NE(rows_peak, nullptr);
+  EXPECT_EQ(rows_peak->count, 3);
+  service.Shutdown();
+}
+
+// The correlation contract: query_id is assigned at Submit from the
+// ticket, survives a service-level retry (the re-admitted attempt reuses
+// the same guard), and joins the result, the ticket, and every trace
+// event for the execution.
+TEST_F(ServiceMetricsTest, QueryIdStableAcrossFaultInjectedRetry) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.plan_cache_capacity = 0;
+  config.engine_config.cost_params.sort_memory_rows = 32;
+  config.engine_config.trace_level = TraceLevel::kFull;
+  QueryService service(&db_, config);
+  int64_t session = service.OpenSession();
+
+  // Fail exactly as many spill writes as one RetryIo loop attempts:
+  // attempt #1 exhausts the low-level retries and fails transiently,
+  // attempt #2 (service re-admission) runs clean.
+  const int64_t spill_attempts = config.engine_config.spill_retry.max_attempts;
+  FaultInjector::Global().Arm("exec.sort.spill.write", 0, spill_attempts,
+                              StatusCode::kIoError);
+
+  Result<TicketRef> ticket = service.Submit(session, kSortQuery);
+  ASSERT_TRUE(ticket.ok());
+  const Result<QueryResult>& result = ticket.value()->Wait();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(ticket.value()->retry_attempts(), 1);
+
+  // The id the service assigned at Submit — not a per-attempt value.
+  EXPECT_NE(result.value().query_id, 0);
+  EXPECT_EQ(result.value().query_id, ticket.value()->id());
+
+  // Every trace event of the (successful, retried) execution carries it.
+  ASSERT_NE(result.value().trace, nullptr);
+  ASSERT_FALSE(result.value().trace->events().empty());
+  for (const TraceEvent& event : result.value().trace->events()) {
+    EXPECT_EQ(event.query_id(), result.value().query_id);
+  }
+
+  // A second query draws a distinct id.
+  Result<QueryResult> other = service.Execute(session, kSortQuery);
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(other.value().query_id, result.value().query_id);
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace ordopt
