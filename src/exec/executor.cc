@@ -6,23 +6,100 @@
 
 namespace ordopt {
 
-Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan, ExecContext ctx) {
+namespace {
+
+/// What a node's parent requires of its output. `all` short-circuits
+/// pruning: the root must surface every column, and UNION branches feed a
+/// positional layout that must stay intact.
+struct RequiredColumns {
+  bool all = true;
+  ColumnSet cols;
+};
+
+/// Columns a plan node itself reads from its inputs: predicates, sort
+/// keys, join keys, grouping columns, aggregate arguments, projection
+/// expressions. Under order verification, a node's asserted order/key
+/// properties are checked against its own output, so those columns count
+/// as consumed too — pruning must not weaken a check it could keep.
+ColumnSet NodeOwnColumns(const PlanNode& plan, bool verify_orders) {
+  ColumnSet own;
+  for (const Predicate& p : plan.predicates) own = own.Union(p.referenced);
+  for (const Predicate& p : plan.range_predicates) {
+    own = own.Union(p.referenced);
+  }
+  for (const OrderElement& e : plan.sort_spec) own.Add(e.col);
+  for (const auto& [o, i] : plan.join_pairs) {
+    own.Add(o);
+    own.Add(i);
+  }
+  for (const ColumnId& c : plan.group_columns) own.Add(c);
+  for (const AggregateSpec& a : plan.aggregates) {
+    if (!a.count_star) a.arg.CollectColumns(&own);
+  }
+  for (const ColumnId& c : plan.distinct_columns) own.Add(c);
+  for (const OutputColumn& oc : plan.projections) {
+    oc.expr.CollectColumns(&own);
+  }
+  if (verify_orders) {
+    own = own.Union(plan.props.order.Columns());
+    for (const ColumnSet& key : plan.props.keys.keys()) {
+      own = own.Union(key);
+    }
+  }
+  return own;
+}
+
+Result<OperatorPtr> BuildTree(const PlanRef& plan, ExecContext ctx,
+                              const RequiredColumns& required) {
+  // Effective requirement on this node's output: what the parent needs
+  // plus what the node itself touches. Scans prune their emitted columns
+  // down to it; everything else derives its layout from its children and
+  // narrows automatically.
+  RequiredColumns eff = required;
+  if (!eff.all) {
+    eff.cols = eff.cols.Union(NodeOwnColumns(*plan, ctx.verify_orders));
+  }
+
+  // Requirement passed to the children.
+  RequiredColumns child_req;
+  switch (plan->kind) {
+    case OpKind::kProject:
+    case OpKind::kStreamGroupBy:
+    case OpKind::kSortGroupBy:
+    case OpKind::kHashGroupBy:
+      // Output columns are fresh (expressions, aggregates): whatever the
+      // parent wants maps below only through this node's own inputs.
+      child_req.all = false;
+      child_req.cols = NodeOwnColumns(*plan, ctx.verify_orders);
+      break;
+    case OpKind::kUnionAll:
+    case OpKind::kMergeUnion:
+      // Branch rows are consumed positionally against the union layout.
+      child_req.all = true;
+      break;
+    default:
+      child_req = eff;
+      break;
+  }
+
   std::vector<OperatorPtr> children;
   for (const PlanRef& child : plan->children) {
-    ORDOPT_ASSIGN_OR_RETURN(OperatorPtr op, BuildOperatorTree(child, ctx));
+    ORDOPT_ASSIGN_OR_RETURN(OperatorPtr op, BuildTree(child, ctx, child_req));
     children.push_back(std::move(op));
   }
+  const ColumnSet* prune = eff.all ? nullptr : &eff.cols;
 
   OperatorPtr built;
   switch (plan->kind) {
     case OpKind::kTableScan:
-      built = OperatorPtr(new TableScanOp(*plan->table, plan->table_id, ctx));
+      built = OperatorPtr(
+          new TableScanOp(*plan->table, plan->table_id, ctx, prune));
       break;
     case OpKind::kIndexScan:
       built = OperatorPtr(new IndexScanOp(*plan->table, plan->table_id,
                                           plan->index_ordinal,
                                           plan->reverse_scan,
-                                          plan->range_predicates, ctx));
+                                          plan->range_predicates, ctx, prune));
       break;
     case OpKind::kFilter:
       built = OperatorPtr(
@@ -41,7 +118,7 @@ Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan, ExecContext ctx) {
       built = OperatorPtr(new IndexNLJoinOp(std::move(children[0]),
                                             *plan->table, plan->table_id,
                                             plan->index_ordinal,
-                                            plan->join_pairs, ctx));
+                                            plan->join_pairs, ctx, prune));
       break;
     case OpKind::kNaiveNLJoin:
       built = OperatorPtr(new NaiveNLJoinOp(std::move(children[0]),
@@ -136,12 +213,21 @@ Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan, ExecContext ctx) {
   return built;
 }
 
+}  // namespace
+
+Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan, ExecContext ctx) {
+  // The root requires every output column; pruning starts below the first
+  // projection or aggregation, where the useful column set narrows.
+  return BuildTree(plan, ctx, RequiredColumns{});
+}
+
 Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
                                      RuntimeMetrics* metrics,
                                      QueryGuard* guard,
                                      const SpillConfig* spill_config,
                                      std::vector<OperatorProfile>* profile,
-                                     bool verify_orders) {
+                                     bool verify_orders, int64_t batch_rows,
+                                     bool row_shim) {
   // An unlimited local guard keeps the error channel available (poison,
   // fault injection) even for callers that configured no limits.
   QueryGuard local_guard;
@@ -157,6 +243,9 @@ Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
 
   ExecContext ctx(metrics, guard, spill.get());
   ctx.verify_orders = verify_orders;
+  ctx.batch_rows = batch_rows > 0 ? batch_rows : 1;
+  ctx.row_shim = row_shim;
+  if (row_shim) ctx.batch_rows = 1;
   std::vector<std::pair<const PlanNode*, Operator*>> registry;
   if (profile != nullptr) {
     ctx.collect_op_stats = true;
@@ -165,13 +254,27 @@ Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
   ORDOPT_ASSIGN_OR_RETURN(OperatorPtr root, BuildOperatorTree(plan, ctx));
   root->Open();
   std::vector<Row> rows;
-  Row row;
-  while (guard->ok()) {
+  RowBatch batch;
+  bool tripped = false;
+  while (!tripped && guard->ok()) {
     if (ctx.InjectFault("exec.operator.next")) break;
-    if (!root->Next(&row)) break;
-    ++metrics->rows_produced;
-    if (!guard->OnRowProduced()) break;
-    rows.push_back(std::move(row));
+    if (!root->NextBatch(&batch)) break;
+    for (int64_t i = 0; i < batch.size(); ++i) {
+      // The site fires once per row pulled from the root, as in the
+      // row-at-a-time drain; the outer probe covers each batch's first row.
+      if (i > 0 && ctx.InjectFault("exec.operator.next")) {
+        tripped = true;
+        break;
+      }
+      ++metrics->rows_produced;
+      // Guard semantics are per row: the row that trips the limit is
+      // counted but not returned, exactly as in the row-at-a-time drain.
+      if (!guard->OnRowProduced()) {
+        tripped = true;
+        break;
+      }
+      rows.push_back(batch.TakeRow(i));
+    }
   }
   root->Close();
   // Harvest stats after Close so teardown work (spill cleanup) is final,

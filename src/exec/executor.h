@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "exec/metrics.h"
+#include "exec/runtime_metrics.h"
 #include "exec/operators.h"
 #include "exec/query_guard.h"
 #include "exec/spill.h"
@@ -40,14 +40,20 @@ struct OperatorProfile {
 /// out, whether or not execution succeeded. With `verify_orders` set, every
 /// operator whose plan node claims a non-empty order or key property runs
 /// under an OrderCheckOp (see exec/order_check.h) and a violated claim
-/// fails the query with kInternal.
+/// fails the query with kInternal. `batch_rows` sets the execution batch
+/// size (ExecContext::batch_rows); 1 degenerates to single-row batches
+/// through the same columnar code path. `row_shim` selects the legacy
+/// row-at-a-time execution shape instead (ExecContext::row_shim; implies
+/// batch_rows = 1).
 Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
                                      RuntimeMetrics* metrics,
                                      QueryGuard* guard = nullptr,
                                      const SpillConfig* spill_config = nullptr,
                                      std::vector<OperatorProfile>* profile =
                                          nullptr,
-                                     bool verify_orders = false);
+                                     bool verify_orders = false,
+                                     int64_t batch_rows = kDefaultBatchRows,
+                                     bool row_shim = false);
 
 }  // namespace ordopt
 

@@ -6,6 +6,7 @@
 
 #include "common/column_id.h"
 #include "common/value.h"
+#include "exec/row_batch.h"
 #include "qgm/predicate.h"
 
 namespace ordopt {
@@ -35,6 +36,26 @@ class ExprEvaluator {
   /// Evaluates a predicate: true iff the expression is non-NULL and
   /// non-zero.
   bool EvalPredicate(const Predicate& pred, const Row& row) const;
+
+  /// Evaluates `expr` for row `row` of `batch` without materializing a Row.
+  Value EvalAt(const BoundExpr& expr, const RowBatch& batch,
+               int64_t row) const;
+
+  /// Batch predicate evaluation: filters `sel` in place, keeping only the
+  /// rows for which `pred` is satisfied (non-NULL, non-zero). The classified
+  /// col-vs-const and col-vs-col shapes take a branch-light fast path over
+  /// the column vector + null bitmap; kGeneric falls back to EvalAt. A NULL
+  /// comparison result never survives, matching the row path's two-valued
+  /// folding.
+  void FilterBatch(const Predicate& pred, const RowBatch& batch,
+                   SelectionVector* sel) const;
+
+  /// Evaluates `expr` over every row of `batch`, appending the results to
+  /// column `out_col` of `out` (which must already be Reset to the output
+  /// width). Plain column references copy the input column; literals
+  /// replicate; everything else evaluates row-at-a-time via EvalAt.
+  void EvalColumn(const BoundExpr& expr, const RowBatch& batch, RowBatch* out,
+                  size_t out_col) const;
 
  private:
   std::unordered_map<ColumnId, int, ColumnIdHash> positions_;

@@ -1,6 +1,9 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "exec/sort_key.h"
 
 #include "common/macros.h"
 #include "common/str_util.h"
@@ -32,10 +35,20 @@ std::vector<int> PositionsOf(const std::vector<ColumnId>& cols,
   return out;
 }
 
-std::vector<ColumnId> TableLayout(const Table& table, int table_id) {
+// Layout of a base-table stream, optionally pruned to `required` (build-time
+// column pruning). `src_ordinals`, when given, receives the table-column
+// ordinal backing each emitted column.
+std::vector<ColumnId> TableLayout(const Table& table, int table_id,
+                                  const ColumnSet* required = nullptr,
+                                  std::vector<int32_t>* src_ordinals = nullptr) {
   std::vector<ColumnId> layout;
   for (size_t i = 0; i < table.def().columns.size(); ++i) {
-    layout.emplace_back(table_id, static_cast<int32_t>(i));
+    ColumnId col(table_id, static_cast<int32_t>(i));
+    if (required != nullptr && !required->Contains(col)) continue;
+    layout.push_back(col);
+    if (src_ordinals != nullptr) {
+      src_ordinals->push_back(static_cast<int32_t>(i));
+    }
   }
   return layout;
 }
@@ -46,21 +59,38 @@ std::vector<ColumnId> TableLayout(const Table& table, int table_id) {
 // TableScanOp
 // ---------------------------------------------------------------------------
 
-TableScanOp::TableScanOp(const Table& table, int table_id, ExecContext ctx)
+TableScanOp::TableScanOp(const Table& table, int table_id, ExecContext ctx,
+                         const ColumnSet* required_columns)
     : Operator(ctx), table_(table), pages_(ctx.metrics, kRowsPerPage) {
-  layout_ = TableLayout(table, table_id);
+  layout_ = TableLayout(table, table_id, required_columns, &src_ordinals_);
 }
 
 void TableScanOp::OpenImpl() { rid_ = 0; }
 
-bool TableScanOp::NextImpl(Row* out) {
-  if (rid_ >= table_.row_count()) return false;
-  pages_.Access(rid_);
-  ++ctx_.metrics->rows_scanned;
-  if (!ctx_.OnRowScanned()) return false;
-  *out = table_.row(rid_);
-  ++rid_;
-  return true;
+bool TableScanOp::NextBatchImpl(RowBatch* out) {
+  out->Reset(layout_.size(), BatchCapacity());
+  // Account pages and the guard for the rid range first, then fill column
+  // at a time: sequential writes into each output column instead of
+  // striding across the full row width per row.
+  const int64_t start = rid_;
+  const int64_t cap = out->capacity();
+  int64_t n = 0;
+  while (n < cap && rid_ < table_.row_count()) {
+    pages_.Access(rid_);
+    ++ctx_.metrics->rows_scanned;
+    if (!ctx_.OnRowScanned()) break;  // tripped row: counted, not emitted
+    ++rid_;
+    ++n;
+  }
+  const size_t width = layout_.size();
+  for (size_t c = 0; c < width; ++c) {
+    const size_t ord = static_cast<size_t>(src_ordinals_[c]);
+    for (int64_t i = 0; i < n; ++i) {
+      out->AppendColumnValue(c, table_.row(start + i)[ord]);
+    }
+  }
+  out->SetRowCount(n);
+  return !out->empty();
 }
 
 // ---------------------------------------------------------------------------
@@ -69,14 +99,14 @@ bool TableScanOp::NextImpl(Row* out) {
 
 IndexScanOp::IndexScanOp(const Table& table, int table_id, int index_ordinal,
                          bool reverse, std::vector<Predicate> range_predicates,
-                         ExecContext ctx)
+                         ExecContext ctx, const ColumnSet* required_columns)
     : Operator(ctx),
       table_(table),
       index_ordinal_(index_ordinal),
       reverse_(reverse),
       range_predicates_(std::move(range_predicates)),
       pages_(ctx.metrics, kRowsPerPage) {
-  layout_ = TableLayout(table, table_id);
+  layout_ = TableLayout(table, table_id, required_columns, &src_ordinals_);
   if (reverse_ && !range_predicates_.empty()) {
     ctx_.Poison(Status::Internal(
         "reverse index scans do not support range bounds"));
@@ -173,14 +203,15 @@ bool IndexScanOp::EntryQualifies() const {
   return true;
 }
 
-bool IndexScanOp::NextImpl(Row* out) {
-  while (!done_ && cursor_.Valid()) {
+bool IndexScanOp::NextBatchImpl(RowBatch* out) {
+  out->Reset(layout_.size(), BatchCapacity());
+  while (!out->full() && !done_ && cursor_.Valid()) {
     if (!EntryQualifies()) {
       // Keys are monotone: an equality-prefix mismatch or a violated upper
       // bound means no further entry qualifies; a violated lower bound
       // cannot happen (the seek skipped below-bound entries).
       done_ = true;
-      return false;
+      break;
     }
     int64_t rid = cursor_.rid();
     if (reverse_) {
@@ -192,12 +223,11 @@ bool IndexScanOp::NextImpl(Row* out) {
     ++ctx_.metrics->rows_scanned;
     if (!ctx_.OnRowScanned()) {
       done_ = true;
-      return false;
+      break;
     }
-    *out = table_.row(rid);
-    return true;
+    out->AppendProjectedRow(table_.row(rid), src_ordinals_);
   }
-  return false;
+  return !out->empty();
 }
 
 // ---------------------------------------------------------------------------
@@ -216,20 +246,42 @@ void FilterOp::OpenImpl() {
   eval_ = std::make_unique<ExprEvaluator>(layout_, ctx_.guard);
 }
 
-bool FilterOp::NextImpl(Row* out) {
-  Row row;
-  while (child_->Next(&row)) {
-    bool pass = true;
-    for (const Predicate& p : predicates_) {
-      if (!eval_->EvalPredicate(p, row)) {
-        pass = false;
-        break;
+bool FilterOp::NextBatchImpl(RowBatch* out) {
+  if (ctx_.row_shim) {
+    // Legacy row-at-a-time shape: pull materialized rows through the
+    // child's compat shim and evaluate each predicate row-wise.
+    return FillBatch(out, [this](Row* row) {
+      while (ctx_.GuardOk() && child_->Next(row)) {
+        bool pass = true;
+        for (const Predicate& p : predicates_) {
+          if (!eval_->EvalPredicate(p, *row)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) return true;
       }
+      return false;
+    });
+  }
+  while (ctx_.GuardOk() && child_->NextBatch(&input_)) {
+    const int64_t n = input_.size();
+    sel_.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      sel_[static_cast<size_t>(i)] = static_cast<int32_t>(i);
     }
-    if (pass) {
-      *out = std::move(row);
-      return true;
+    for (const Predicate& p : predicates_) {
+      if (sel_.empty()) break;
+      eval_->FilterBatch(p, input_, &sel_);
     }
+    if (sel_.empty()) continue;
+    if (static_cast<int64_t>(sel_.size()) != n) {
+      // Compact survivors in place (moves, no Value copies) — the child
+      // batch is our scratch and is reset on the next pull anyway.
+      input_.Compact(sel_);
+    }
+    swap(*out, input_);
+    return true;
   }
   return false;
 }
@@ -275,9 +327,38 @@ bool SortOp::RowLess(const Row& a, const Row& b) const {
 }
 
 void SortOp::SortBuffer() {
-  std::stable_sort(
-      rows_.begin(), rows_.end(),
-      [this](const Row& a, const Row& b) { return RowLess(a, b); });
+  const size_t n = rows_.size();
+  if (n < 2) return;
+  // Normalized-key sort (Graefe): encode each row's sort key once into a
+  // contiguous arena of memcmp-comparable bytes, sort an index vector with
+  // a branch-light comparator, then gather rows_ into the new order. The
+  // index tie-break reproduces std::stable_sort's stability.
+  std::string arena;
+  std::vector<size_t> offsets(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    AppendNormalizedKey(rows_[i], positions_, descending_, &arena);
+    offsets[i + 1] = arena.size();
+  }
+  std::vector<uint32_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
+  const char* data = arena.data();
+  int64_t* cmp_counter = &ctx_.metrics->comparisons;
+  std::sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+    ++*cmp_counter;
+    const size_t alen = offsets[a + 1] - offsets[a];
+    const size_t blen = offsets[b + 1] - offsets[b];
+    const int c = std::memcmp(data + offsets[a], data + offsets[b],
+                              alen < blen ? alen : blen);
+    if (c != 0) return c < 0;
+    // Column encodings are self-delimiting, so equal-prefix keys of
+    // different length cannot happen; the check is belt-and-braces.
+    if (alen != blen) return alen < blen;
+    return a < b;
+  });
+  std::vector<Row> sorted;
+  sorted.reserve(n);
+  for (uint32_t i : idx) sorted.push_back(std::move(rows_[i]));
+  rows_ = std::move(sorted);
 }
 
 bool SortOp::SpillCurrentRun() {
@@ -325,14 +406,34 @@ void SortOp::OpenImpl() {
       ctx_.spill != nullptr ? ctx_.spill->config().sort_memory_rows : 0;
   int64_t total_rows = 0;
   Row row;
-  while (child_->Next(&row)) {
-    if (!buffer_.Add(row)) return;  // buffer limit tripped: wind down
-    rows_.push_back(std::move(row));
-    ++total_rows;
-    if (budget > 0 && static_cast<int64_t>(rows_.size()) >= budget) {
-      if (!SpillCurrentRun()) {
-        Abandon();
-        return;
+  if (ctx_.row_shim) {
+    // Legacy row-at-a-time collection through the child's compat shim.
+    while (child_->Next(&row)) {
+      if (!buffer_.Add(row)) return;  // buffer limit tripped: wind down
+      rows_.push_back(std::move(row));
+      ++total_rows;
+      if (budget > 0 && static_cast<int64_t>(rows_.size()) >= budget) {
+        if (!SpillCurrentRun()) {
+          Abandon();
+          return;
+        }
+      }
+    }
+  } else {
+    RowBatch batch;
+    while (child_->NextBatch(&batch)) {
+      const int64_t n = batch.size();
+      for (int64_t i = 0; i < n; ++i) {
+        batch.TakeRowInto(i, &row);
+        if (!buffer_.Add(row)) return;  // buffer limit tripped: wind down
+        rows_.push_back(std::move(row));
+        ++total_rows;
+        if (budget > 0 && static_cast<int64_t>(rows_.size()) >= budget) {
+          if (!SpillCurrentRun()) {
+            Abandon();
+            return;
+          }
+        }
       }
     }
   }
@@ -363,12 +464,19 @@ void SortOp::OpenImpl() {
   merging_ = true;
 }
 
-bool SortOp::NextImpl(Row* out) {
-  if (!merging_) {
-    if (pos_ >= rows_.size()) return false;
-    *out = rows_[pos_++];
-    return true;
+bool SortOp::NextBatchImpl(RowBatch* out) {
+  if (merging_) {
+    return FillBatch(out, [this](Row* row) { return MergeNext(row); });
   }
+  out->Reset(layout_.size(), BatchCapacity());
+  while (!out->full() && pos_ < rows_.size()) {
+    out->AppendRow(std::move(rows_[pos_]));
+    ++pos_;
+  }
+  return !out->empty();
+}
+
+bool SortOp::MergeNext(Row* out) {
   if (!ctx_.GuardOk()) return false;
   // Smallest run head wins; among equal heads the lowest run index (the
   // earliest rows in input order) wins, and the in-memory tail — the
@@ -492,7 +600,11 @@ void MergeJoinOp::LoadInnerGroup() {
   group_pos_ = 0;
 }
 
-bool MergeJoinOp::NextImpl(Row* out) {
+bool MergeJoinOp::NextBatchImpl(RowBatch* out) {
+  return FillBatch(out, [this](Row* row) { return ProduceRow(row); });
+}
+
+bool MergeJoinOp::ProduceRow(Row* out) {
   while (true) {
     if (group_valid_ && outer_valid_ && OuterKeyEqualsGroup(outer_row_)) {
       if (group_pos_ < group_.size()) {
@@ -557,7 +669,8 @@ void MergeJoinOp::Close() {
 IndexNLJoinOp::IndexNLJoinOp(OperatorPtr outer, const Table& table,
                              int table_id, int index_ordinal,
                              std::vector<std::pair<ColumnId, ColumnId>> pairs,
-                             ExecContext ctx)
+                             ExecContext ctx,
+                             const ColumnSet* required_columns)
     : Operator(ctx),
       outer_(std::move(outer)),
       table_(table),
@@ -565,7 +678,10 @@ IndexNLJoinOp::IndexNLJoinOp(OperatorPtr outer, const Table& table,
       pairs_(std::move(pairs)),
       pages_(ctx.metrics, kRowsPerPage) {
   layout_ = outer_->layout();
-  for (const ColumnId& c : TableLayout(table, table_id)) layout_.push_back(c);
+  for (const ColumnId& c :
+       TableLayout(table, table_id, required_columns, &inner_ordinals_)) {
+    layout_.push_back(c);
+  }
   std::vector<ColumnId> ocols;
   for (const auto& [o, i] : pairs_) ocols.push_back(o);
   outer_positions_ = PositionsOf(ocols, outer_->layout(), ctx_);
@@ -574,9 +690,46 @@ IndexNLJoinOp::IndexNLJoinOp(OperatorPtr outer, const Table& table,
 void IndexNLJoinOp::OpenImpl() {
   outer_->Open();
   probing_ = false;
+  outer_batch_.Reset(outer_->layout().size(), 1);
+  outer_pos_ = -1;  // Probe pre-increments
 }
 
-bool IndexNLJoinOp::Probe() {
+IndexNLJoinOp::ProbeResult IndexNLJoinOp::Probe() {
+  const BTreeIndex* index =
+      table_.index(static_cast<size_t>(index_ordinal_));
+  if (index == nullptr) {
+    ctx_.Poison(Status::Internal("index join probe into unbuilt index on "
+                                 "table '" + table_.name() + "'"));
+    return ProbeResult::kEnd;
+  }
+  while (true) {
+    ++outer_pos_;
+    if (outer_pos_ >= outer_batch_.size()) return ProbeResult::kNeedBatch;
+    if (ctx_.InjectFault("storage.btree.read")) return ProbeResult::kEnd;
+    probe_key_.clear();
+    bool has_null = false;
+    for (int p : outer_positions_) {
+      const size_t c = static_cast<size_t>(p);
+      if (outer_batch_.IsNull(c, outer_pos_)) {
+        has_null = true;
+        break;
+      }
+      probe_key_.push_back(outer_batch_.At(c, outer_pos_));
+    }
+    if (has_null) continue;
+    ++ctx_.metrics->index_probes;
+    cursor_ = index->SeekAtLeast(probe_key_);
+    if (cursor_.Valid() && index->CompareKeys(cursor_.key(), probe_key_) == 0) {
+      probing_ = true;
+      return ProbeResult::kMatch;
+    }
+  }
+}
+
+// Legacy row-shim variants: outer rows are materialized one at a time
+// through the compat shim and each output row is built as a Row — the
+// engine's pre-vectorization shape, kept as the sweep baseline.
+bool IndexNLJoinOp::RowProbe() {
   const BTreeIndex* index =
       table_.index(static_cast<size_t>(index_ordinal_));
   if (index == nullptr) {
@@ -584,12 +737,12 @@ bool IndexNLJoinOp::Probe() {
                                  "table '" + table_.name() + "'"));
     return false;
   }
-  while (outer_->Next(&outer_row_)) {
+  while (outer_->Next(&row_outer_)) {
     if (ctx_.InjectFault("storage.btree.read")) return false;
     probe_key_.clear();
     bool has_null = false;
     for (int p : outer_positions_) {
-      const Value& v = outer_row_[static_cast<size_t>(p)];
+      const Value& v = row_outer_[static_cast<size_t>(p)];
       if (v.is_null()) has_null = true;
       probe_key_.push_back(v);
     }
@@ -604,12 +757,12 @@ bool IndexNLJoinOp::Probe() {
   return false;
 }
 
-bool IndexNLJoinOp::NextImpl(Row* out) {
+bool IndexNLJoinOp::RowProduce(Row* out) {
   const BTreeIndex* index =
       table_.index(static_cast<size_t>(index_ordinal_));
   while (true) {
     if (!probing_) {
-      if (!Probe()) return false;
+      if (!RowProbe()) return false;
     }
     if (cursor_.Valid() &&
         index->CompareKeys(cursor_.key(), probe_key_) == 0) {
@@ -618,13 +771,89 @@ bool IndexNLJoinOp::NextImpl(Row* out) {
       pages_.Access(rid);
       ++ctx_.metrics->rows_scanned;
       if (!ctx_.OnRowScanned()) return false;
-      *out = outer_row_;
+      *out = row_outer_;
       const Row& inner = table_.row(rid);
-      out->insert(out->end(), inner.begin(), inner.end());
+      for (int32_t ord : inner_ordinals_) {
+        out->push_back(inner[static_cast<size_t>(ord)]);
+      }
       return true;
     }
     probing_ = false;
   }
+}
+
+bool IndexNLJoinOp::NextBatchImpl(RowBatch* out) {
+  if (ctx_.row_shim) {
+    return FillBatch(out, [this](Row* row) { return RowProduce(row); });
+  }
+  const BTreeIndex* index =
+      table_.index(static_cast<size_t>(index_ordinal_));
+  out->Reset(layout_.size(), BatchCapacity());
+  const size_t outer_width = outer_->layout().size();
+  const int64_t cap = out->capacity();
+
+  // Gather phase: collect (outer row, inner rid) match pairs. The pairs
+  // only ever reference the *current* outer batch — when the outer batch
+  // is exhausted mid-build, the gathered rows are materialized and the
+  // batch goes out short (consumers must not assume fullness).
+  match_outer_.clear();
+  match_rid_.clear();
+  while (static_cast<int64_t>(match_rid_.size()) < cap) {
+    if (!ctx_.GuardOk()) break;
+    if (!probing_) {
+      ProbeResult r = Probe();
+      if (r == ProbeResult::kEnd) break;
+      if (r == ProbeResult::kNeedBatch) {
+        if (!match_rid_.empty()) break;  // flush rows of the old batch first
+        if (!outer_->NextBatch(&outer_batch_)) break;
+        outer_pos_ = -1;
+        continue;
+      }
+    }
+    // Invariant while probing_: the cursor sits on an entry matching
+    // probe_key_. Advancing it tells us up front whether this is the last
+    // match for the current outer row.
+    const int64_t rid = cursor_.rid();
+    cursor_.Next();
+    const bool last_match =
+        !(cursor_.Valid() &&
+          index->CompareKeys(cursor_.key(), probe_key_) == 0);
+    pages_.Access(rid);
+    ++ctx_.metrics->rows_scanned;
+    probing_ = !last_match;
+    if (!ctx_.OnRowScanned()) break;
+    match_outer_.push_back(static_cast<int32_t>(outer_pos_));
+    match_rid_.push_back(rid);
+  }
+
+  // Materialize phase, column at a time: sequential writes into each
+  // output column instead of striding across the full output width per
+  // row. Outer values are copied per match (one outer row fans out to
+  // every matching inner row) except at each outer row's last gathered
+  // use, where they are moved — the slot is never read again (probe_key_
+  // holds its own copies of the key, and probing_ tells us whether the
+  // final gathered row still has matches pending in the next batch).
+  const size_t n = match_rid_.size();
+  for (size_t c = 0; c < outer_width; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t pos = match_outer_[i];
+      const bool last_use =
+          (i + 1 < n) ? (match_outer_[i + 1] != pos) : !probing_;
+      if (last_use) {
+        out->AppendColumnValue(c, std::move(*outer_batch_.MutableAt(c, pos)));
+      } else {
+        out->AppendColumnValue(c, outer_batch_.At(c, pos));
+      }
+    }
+  }
+  for (size_t c = 0; c < inner_ordinals_.size(); ++c) {
+    const size_t ord = static_cast<size_t>(inner_ordinals_[c]);
+    for (size_t i = 0; i < n; ++i) {
+      out->AppendColumnValue(outer_width + c, table_.row(match_rid_[i])[ord]);
+    }
+  }
+  out->SetRowCount(static_cast<int64_t>(n));
+  return !out->empty();
 }
 
 void IndexNLJoinOp::Close() { outer_->Close(); }
@@ -659,7 +888,11 @@ void NaiveNLJoinOp::OpenImpl() {
   inner_pos_ = 0;
 }
 
-bool NaiveNLJoinOp::NextImpl(Row* out) {
+bool NaiveNLJoinOp::NextBatchImpl(RowBatch* out) {
+  return FillBatch(out, [this](Row* row) { return ProduceRow(row); });
+}
+
+bool NaiveNLJoinOp::ProduceRow(Row* out) {
   while (outer_valid_) {
     if (inner_pos_ < inner_rows_.size()) {
       *out = outer_row_;
@@ -738,7 +971,11 @@ void HashJoinOp::OpenImpl() {
   match_pos_ = 0;
 }
 
-bool HashJoinOp::NextImpl(Row* out) {
+bool HashJoinOp::NextBatchImpl(RowBatch* out) {
+  return FillBatch(out, [this](Row* row) { return ProduceRow(row); });
+}
+
+bool HashJoinOp::ProduceRow(Row* out) {
   if (!ctx_.GuardOk()) return false;
   while (true) {
     if (matches_ != nullptr && match_pos_ < matches_->size()) {
@@ -882,7 +1119,11 @@ Row MergeLeftJoinOp::Padded() const {
   return out;
 }
 
-bool MergeLeftJoinOp::NextImpl(Row* out) {
+bool MergeLeftJoinOp::NextBatchImpl(RowBatch* out) {
+  return FillBatch(out, [this](Row* row) { return ProduceRow(row); });
+}
+
+bool MergeLeftJoinOp::ProduceRow(Row* out) {
   while (outer_valid_) {
     if (!started_) {
       started_ = true;
@@ -961,7 +1202,11 @@ void HashLeftJoinOp::OpenImpl() {
   match_pos_ = 0;
 }
 
-bool HashLeftJoinOp::NextImpl(Row* out) {
+bool HashLeftJoinOp::NextBatchImpl(RowBatch* out) {
+  return FillBatch(out, [this](Row* row) { return ProduceRow(row); });
+}
+
+bool HashLeftJoinOp::ProduceRow(Row* out) {
   if (!ctx_.GuardOk()) return false;
   while (true) {
     if (matches_ != nullptr && match_pos_ < matches_->size()) {
@@ -1034,7 +1279,11 @@ void NaiveLeftJoinOp::OpenImpl() {
   inner_pos_ = 0;
 }
 
-bool NaiveLeftJoinOp::NextImpl(Row* out) {
+bool NaiveLeftJoinOp::NextBatchImpl(RowBatch* out) {
+  return FillBatch(out, [this](Row* row) { return ProduceRow(row); });
+}
+
+bool NaiveLeftJoinOp::ProduceRow(Row* out) {
   while (outer_valid_) {
     while (inner_pos_ < inner_rows_.size()) {
       const Row& inner = inner_rows_[inner_pos_++];
@@ -1223,7 +1472,11 @@ Row StreamGroupByOp::EmitGroup() {
   return out;
 }
 
-bool StreamGroupByOp::NextImpl(Row* out) {
+bool StreamGroupByOp::NextBatchImpl(RowBatch* out) {
+  return FillBatch(out, [this](Row* row) { return ProduceRow(row); });
+}
+
+bool StreamGroupByOp::ProduceRow(Row* out) {
   if (done_ || !ctx_.GuardOk()) return false;
   if (!pending_valid_) {
     // Empty input: a global aggregate still emits one row.
@@ -1324,10 +1577,12 @@ void HashGroupByOp::OpenImpl() {
       layout_ = std::move(layout);
     }
     void OpenImpl() override { pos_ = 0; }
-    bool NextImpl(Row* out) override {
-      if (pos_ >= rows_->size()) return false;
-      *out = (*rows_)[pos_++];
-      return true;
+    bool NextBatchImpl(RowBatch* out) override {
+      out->Reset(layout_.size(), BatchCapacity());
+      while (!out->full() && pos_ < rows_->size()) {
+        out->AppendRow((*rows_)[pos_++]);
+      }
+      return !out->empty();
     }
 
    private:
@@ -1368,10 +1623,13 @@ void HashGroupByOp::OpenImpl() {
   buffer_.Release();  // buckets die with this scope
 }
 
-bool HashGroupByOp::NextImpl(Row* out) {
-  if (pos_ >= results_.size()) return false;
-  *out = results_[pos_++];
-  return true;
+bool HashGroupByOp::NextBatchImpl(RowBatch* out) {
+  out->Reset(layout_.size(), BatchCapacity());
+  while (!out->full() && pos_ < results_.size()) {
+    out->AppendRow(std::move(results_[pos_]));
+    ++pos_;
+  }
+  return !out->empty();
 }
 
 void HashGroupByOp::Close() {
@@ -1400,7 +1658,11 @@ void StreamDistinctOp::OpenImpl() {
   has_last_ = false;
 }
 
-bool StreamDistinctOp::NextImpl(Row* out) {
+bool StreamDistinctOp::NextBatchImpl(RowBatch* out) {
+  return FillBatch(out, [this](Row* row) { return ProduceRow(row); });
+}
+
+bool StreamDistinctOp::ProduceRow(Row* out) {
   Row row;
   while (child_->Next(&row)) {
     std::vector<Value> key;
@@ -1441,7 +1703,11 @@ void HashDistinctOp::OpenImpl() {
   buffer_.Release();
 }
 
-bool HashDistinctOp::NextImpl(Row* out) {
+bool HashDistinctOp::NextBatchImpl(RowBatch* out) {
+  return FillBatch(out, [this](Row* row) { return ProduceRow(row); });
+}
+
+bool HashDistinctOp::ProduceRow(Row* out) {
   Row row;
   while (child_->Next(&row)) {
     std::vector<Value> key;
@@ -1477,9 +1743,11 @@ void UnionAllOp::OpenImpl() {
   current_ = 0;
 }
 
-bool UnionAllOp::NextImpl(Row* out) {
+bool UnionAllOp::NextBatchImpl(RowBatch* out) {
+  // Batches are positional; a child batch is forwarded untouched even
+  // though this operator's layout carries the union's fresh ColumnIds.
   while (current_ < children_.size()) {
-    if (children_[current_]->Next(out)) return true;
+    if (children_[current_]->NextBatch(out)) return true;
     ++current_;
   }
   return false;
@@ -1513,7 +1781,11 @@ int MergeUnionOp::CompareRows(const Row& a, const Row& b) const {
   return 0;
 }
 
-bool MergeUnionOp::NextImpl(Row* out) {
+bool MergeUnionOp::NextBatchImpl(RowBatch* out) {
+  return FillBatch(out, [this](Row* row) { return ProduceRow(row); });
+}
+
+bool MergeUnionOp::ProduceRow(Row* out) {
   int best = -1;
   for (size_t i = 0; i < children_.size(); ++i) {
     if (!valid_[i]) continue;
@@ -1612,10 +1884,13 @@ void TopNOp::OpenImpl() {
   ctx_.metrics->rows_sorted += static_cast<int64_t>(rows_.size());
 }
 
-bool TopNOp::NextImpl(Row* out) {
-  if (pos_ >= rows_.size()) return false;
-  *out = rows_[pos_++];
-  return true;
+bool TopNOp::NextBatchImpl(RowBatch* out) {
+  out->Reset(layout_.size(), BatchCapacity());
+  while (!out->full() && pos_ < rows_.size()) {
+    out->AppendRow(std::move(rows_[pos_]));
+    ++pos_;
+  }
+  return !out->empty();
 }
 
 void TopNOp::Close() {
@@ -1638,11 +1913,16 @@ void LimitOp::OpenImpl() {
   emitted_ = 0;
 }
 
-bool LimitOp::NextImpl(Row* out) {
-  if (emitted_ >= limit_) return false;
-  if (!child_->Next(out)) return false;
-  ++emitted_;
-  return true;
+bool LimitOp::NextBatchImpl(RowBatch* out) {
+  while (emitted_ < limit_) {
+    if (!child_->NextBatch(out)) return false;
+    if (out->empty()) continue;
+    const int64_t remaining = limit_ - emitted_;
+    if (out->size() > remaining) out->Truncate(remaining);
+    emitted_ += out->size();
+    return true;
+  }
+  return false;
 }
 
 void LimitOp::Close() { child_->Close(); }
@@ -1663,14 +1943,18 @@ void ProjectOp::OpenImpl() {
   eval_ = std::make_unique<ExprEvaluator>(child_->layout(), ctx_.guard);
 }
 
-bool ProjectOp::NextImpl(Row* out) {
-  Row row;
-  if (!child_->Next(&row)) return false;
-  out->clear();
-  for (const OutputColumn& oc : projections_) {
-    out->push_back(eval_->Eval(oc.expr, row));
+bool ProjectOp::NextBatchImpl(RowBatch* out) {
+  while (ctx_.GuardOk()) {
+    if (!child_->NextBatch(&input_)) return false;
+    out->Reset(projections_.size(),
+               input_.size() > 0 ? input_.size() : int64_t{1});
+    for (size_t j = 0; j < projections_.size(); ++j) {
+      eval_->EvalColumn(projections_[j].expr, input_, out, j);
+    }
+    out->SetRowCount(input_.size());
+    if (!out->empty()) return true;
   }
-  return true;
+  return false;
 }
 
 void ProjectOp::Close() { child_->Close(); }

@@ -9,25 +9,33 @@
 #include <vector>
 
 #include "exec/expr_eval.h"
-#include "exec/metrics.h"
+#include "exec/runtime_metrics.h"
 #include "exec/query_guard.h"
+#include "exec/row_batch.h"
 #include "exec/spill.h"
 #include "optimizer/plan.h"
 #include "storage/table.h"
 
 namespace ordopt {
 
-/// Volcano-style iterator. Each operator declares its row layout (the
-/// ColumnId at each position) so parents can bind expressions by identity.
+/// Volcano-style iterator over column-oriented batches. Each operator
+/// declares its row layout (the ColumnId at each position) so parents can
+/// bind expressions by identity.
 ///
-/// Open()/Next() are non-virtual wrappers around the OpenImpl()/NextImpl()
-/// hooks subclasses implement. When ExecContext::collect_op_stats is set
-/// (EXPLAIN ANALYZE / full tracing), the wrappers time each call and
-/// attribute the query-level RuntimeMetrics delta across it to this
-/// operator's OperatorStats. The delta spans the whole call — including
-/// nested child pulls — so stats are inclusive of the subtree and a
-/// parent's self cost is its value minus the sum over its children. When
-/// stats collection is off the wrappers cost one branch.
+/// Open()/NextBatch() are non-virtual wrappers around the
+/// OpenImpl()/NextBatchImpl() hooks subclasses implement. When
+/// ExecContext::collect_op_stats is set (EXPLAIN ANALYZE / full tracing),
+/// the wrappers time each call and attribute the query-level RuntimeMetrics
+/// delta across it to this operator's OperatorStats. The delta spans the
+/// whole call — including nested child pulls — so stats are inclusive of
+/// the subtree and a parent's self cost is its value minus the sum over its
+/// children. When stats collection is off the wrappers cost one branch.
+/// At batch granularity next_calls counts NextBatch invocations and
+/// rows_out accumulates emitted batch sizes.
+///
+/// Next(Row*) survives as a row-compat shim draining an internal batch
+/// cursor, so row-at-a-time consumers (operators whose inner logic is
+/// per-row, tests, the oracles) work unchanged against batch producers.
 class Operator {
  public:
   Operator() = default;
@@ -35,6 +43,8 @@ class Operator {
   virtual ~Operator() = default;
 
   void Open() {
+    shim_pos_ = 0;
+    shim_batch_.Reset(0, 1);
     if (!ctx_.collect_op_stats) {
       OpenImpl();
       return;
@@ -46,17 +56,37 @@ class Operator {
     AccumulateDelta(before);
   }
 
-  /// Produces the next row; false at end of stream.
-  bool Next(Row* out) {
-    if (!ctx_.collect_op_stats) return NextImpl(out);
+  /// Produces the next batch of rows; false at end of stream (the batch is
+  /// left empty). Producers Reset `out` to their own width, so a scratch
+  /// batch can be reused across calls and across operators.
+  bool NextBatch(RowBatch* out) {
+    if (!ctx_.collect_op_stats) return NextBatchImpl(out);
     MetricsSnapshot before = Snapshot();
     auto start = std::chrono::steady_clock::now();
-    bool produced = NextImpl(out);
+    bool produced = NextBatchImpl(out);
     stats_.next_ns += ElapsedNs(start);
     AccumulateDelta(before);
     ++stats_.next_calls;
-    if (produced) ++stats_.rows_out;
+    if (produced) stats_.rows_out += out->size();
     return produced;
+  }
+
+  /// Row-compat shim: drains an internal batch cursor one row at a time,
+  /// pulling a fresh batch (through the timed NextBatch wrapper, so stats
+  /// accrue there) whenever the cursor is exhausted. Each row is consumed
+  /// exactly once, so its values are moved out rather than copied.
+  bool Next(Row* out) {
+    while (true) {
+      if (shim_pos_ < shim_batch_.size()) {
+        shim_batch_.TakeRowInto(shim_pos_++, out);
+        return true;
+      }
+      shim_pos_ = 0;
+      if (!NextBatch(&shim_batch_)) {
+        shim_batch_.Reset(0, 1);
+        return false;
+      }
+    }
   }
 
   virtual void Close() {}
@@ -66,7 +96,31 @@ class Operator {
 
  protected:
   virtual void OpenImpl() = 0;
-  virtual bool NextImpl(Row* out) = 0;
+  virtual bool NextBatchImpl(RowBatch* out) = 0;
+
+  /// Rows per emitted batch for this query (ExecContext::batch_rows,
+  /// clamped to at least 1).
+  int64_t BatchCapacity() const {
+    return ctx_.batch_rows > 0 ? ctx_.batch_rows : 1;
+  }
+
+  /// Adapter for operators whose inner logic is still row-at-a-time:
+  /// fills `out` by repeatedly invoking `produce_row` (the old per-row
+  /// NextImpl body) until the batch is full or the producer ends. The
+  /// producer must tolerate calls after end-of-stream, as all Volcano
+  /// NextImpl bodies here do.
+  template <typename Fn>
+  bool FillBatch(RowBatch* out, Fn&& produce_row) {
+    out->Reset(layout_.size(), BatchCapacity());
+    Row row;
+    while (!out->full()) {
+      if (!ctx_.GuardOk()) break;
+      if (!produce_row(&row)) break;
+      out->AppendRow(std::move(row));
+      row.clear();
+    }
+    return !out->empty();
+  }
 
   ExecContext ctx_;
   std::vector<ColumnId> layout_;
@@ -116,20 +170,31 @@ class Operator {
                std::chrono::steady_clock::now() - start)
         .count();
   }
+
+  // Row-compat shim state (see Next(Row*)).
+  RowBatch shim_batch_;
+  int64_t shim_pos_ = 0;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
-/// Heap scan over a base table (sequential pages).
+/// Heap scan over a base table (sequential pages). When `required_columns`
+/// is given, the scan emits only the table columns in that set (build-time
+/// column pruning): pages and guard accounting still cover every row, but
+/// unreferenced cells are never copied out of the heap.
 class TableScanOp : public Operator {
  public:
-  TableScanOp(const Table& table, int table_id, ExecContext ctx);
+  TableScanOp(const Table& table, int table_id, ExecContext ctx,
+              const ColumnSet* required_columns = nullptr);
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
 
  private:
   const Table& table_;
   PageTracker pages_;
+  /// Table-column ordinal backing each emitted column (identity without
+  /// pruning).
+  std::vector<int32_t> src_ordinals_;
   int64_t rid_ = 0;
 };
 
@@ -140,9 +205,9 @@ class IndexScanOp : public Operator {
  public:
   IndexScanOp(const Table& table, int table_id, int index_ordinal,
               bool reverse, std::vector<Predicate> range_predicates,
-              ExecContext ctx);
+              ExecContext ctx, const ColumnSet* required_columns = nullptr);
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
 
  private:
   bool EntryQualifies() const;
@@ -152,6 +217,8 @@ class IndexScanOp : public Operator {
   bool reverse_;
   std::vector<Predicate> range_predicates_;
   PageTracker pages_;
+  /// Table-column ordinal backing each emitted column (see TableScanOp).
+  std::vector<int32_t> src_ordinals_;
   BTreeIndex::Cursor cursor_;
   // Range bounds in index-key positions.
   IndexKey eq_prefix_;
@@ -167,13 +234,15 @@ class FilterOp : public Operator {
   FilterOp(OperatorPtr child, std::vector<Predicate> predicates,
            ExecContext ctx = ExecContext());
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
   OperatorPtr child_;
   std::vector<Predicate> predicates_;
   std::unique_ptr<ExprEvaluator> eval_;
+  RowBatch input_;       ///< scratch batch pulled from the child
+  SelectionVector sel_;  ///< surviving row indices within input_
 };
 
 /// ORDER BY via bounded-memory external-merge sort. Rows are buffered up
@@ -188,7 +257,7 @@ class SortOp : public Operator {
  public:
   SortOp(OperatorPtr child, OrderSpec spec, ExecContext ctx);
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
@@ -196,9 +265,17 @@ class SortOp : public Operator {
   /// positions_/descending_; poisons and returns false on a missing
   /// column.
   bool ResolveComparator();
-  /// Strict-weak ordering under the spec; counts comparisons.
+  /// Strict-weak ordering under the spec; counts comparisons. Used by the
+  /// k-way merge over run heads; the buffer sort itself goes through
+  /// normalized keys (see SortBuffer).
   bool RowLess(const Row& a, const Row& b) const;
+  /// Stable-sorts rows_ under the spec: encodes each row's sort key into a
+  /// memcmp-comparable normalized byte string (Graefe), sorts an index
+  /// vector with a branch-light memcmp comparator, then permutes rows_.
   void SortBuffer();
+  /// One merge step of the spilled-run k-way merge (the per-row inner
+  /// logic behind NextBatchImpl when merging_).
+  bool MergeNext(Row* out);
   /// Stable-sorts the current buffer and writes it out as one run;
   /// poisons and returns false on spill failure.
   bool SpillCurrentRun();
@@ -228,10 +305,11 @@ class MergeJoinOp : public Operator {
               std::vector<std::pair<ColumnId, ColumnId>> pairs,
               ExecContext ctx);
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
+  bool ProduceRow(Row* out);
   int CompareKeys(const Row& outer_row, const Row& inner_row) const;
   bool OuterKeyEqualsGroup(const Row& outer_row) const;
   bool FetchOuter();
@@ -260,28 +338,48 @@ class MergeJoinOp : public Operator {
 /// nested-loop join.
 class IndexNLJoinOp : public Operator {
  public:
+  /// `required_columns`, when given, prunes the inner-table half of the
+  /// output layout to the columns ancestors reference; probing reads the
+  /// index key, so the join itself needs none of the inner cells.
   IndexNLJoinOp(OperatorPtr outer, const Table& table, int table_id,
                 int index_ordinal,
                 std::vector<std::pair<ColumnId, ColumnId>> pairs,
-                ExecContext ctx);
+                ExecContext ctx, const ColumnSet* required_columns = nullptr);
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
-  bool Probe();  // advances to the next outer row and seeks
+  /// Outcome of advancing the probe cursor within the current outer batch.
+  enum class ProbeResult {
+    kMatch,      ///< cursor positioned on a matching index entry
+    kNeedBatch,  ///< current outer batch consumed; caller pulls the next
+    kEnd,        ///< stream over (fault injected or guard poisoned)
+  };
+  ProbeResult Probe();     // advances within outer_batch_ and seeks
+  bool RowProbe();         // legacy row-shim variant of Probe
+  bool RowProduce(Row* out);  // legacy row-shim per-row production
 
   OperatorPtr outer_;
   const Table& table_;
   int index_ordinal_;
   std::vector<std::pair<ColumnId, ColumnId>> pairs_;
   std::vector<int> outer_positions_;
+  /// Inner-table column ordinals emitted after the outer columns (all of
+  /// them without pruning).
+  std::vector<int32_t> inner_ordinals_;
   PageTracker pages_;
 
-  Row outer_row_;
+  RowBatch outer_batch_;       ///< current outer batch, consumed in place
+  int64_t outer_pos_ = -1;     ///< cursor into outer_batch_
+  Row row_outer_;              ///< current outer row (row-shim mode only)
   IndexKey probe_key_;
   BTreeIndex::Cursor cursor_;
   bool probing_ = false;
+  /// Gathered (outer row, inner rid) match pairs for the batch being
+  /// built; materialized column-at-a-time after the gather phase.
+  std::vector<int32_t> match_outer_;
+  std::vector<int64_t> match_rid_;
 };
 
 /// Naive nested-loop join (inner materialized once, rescanned per outer
@@ -291,10 +389,12 @@ class NaiveNLJoinOp : public Operator {
   NaiveNLJoinOp(OperatorPtr outer, OperatorPtr inner,
                 ExecContext ctx = ExecContext());
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
+  bool ProduceRow(Row* out);
+
   OperatorPtr outer_;
   OperatorPtr inner_;
   BufferAccount buffer_;
@@ -312,10 +412,12 @@ class HashJoinOp : public Operator {
              std::vector<std::pair<ColumnId, ColumnId>> pairs,
              ExecContext ctx = ExecContext());
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
+  bool ProduceRow(Row* out);
+
   struct KeyHash {
     size_t operator()(const std::vector<Value>& key) const;
   };
@@ -345,10 +447,11 @@ class MergeLeftJoinOp : public Operator {
                   std::vector<std::pair<ColumnId, ColumnId>> pairs,
                   ExecContext ctx);
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
+  bool ProduceRow(Row* out);
   bool KeyEqualsGroup(const Row& outer_row) const;
   bool OuterKeyHasNull() const;
   void AdvanceOuter();
@@ -381,10 +484,12 @@ class HashLeftJoinOp : public Operator {
                  std::vector<std::pair<ColumnId, ColumnId>> pairs,
                  ExecContext ctx = ExecContext());
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
+  bool ProduceRow(Row* out);
+
   OperatorPtr outer_;
   OperatorPtr inner_;
   std::vector<int> outer_positions_;
@@ -407,10 +512,12 @@ class NaiveLeftJoinOp : public Operator {
                   std::vector<Predicate> on_predicates,
                   ExecContext ctx = ExecContext());
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
+  bool ProduceRow(Row* out);
+
   OperatorPtr outer_;
   OperatorPtr inner_;
   std::vector<Predicate> on_predicates_;
@@ -432,11 +539,13 @@ class StreamGroupByOp : public Operator {
   StreamGroupByOp(OperatorPtr child, std::vector<ColumnId> group_columns,
                   std::vector<AggregateSpec> aggregates, ExecContext ctx);
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
   struct AggState;
+
+  bool ProduceRow(Row* out);
 
   void InitStates();
   void Accumulate(const Row& row);
@@ -477,7 +586,7 @@ class HashGroupByOp : public Operator {
   HashGroupByOp(OperatorPtr child, std::vector<ColumnId> group_columns,
                 std::vector<AggregateSpec> aggregates, ExecContext ctx);
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
@@ -497,10 +606,12 @@ class StreamDistinctOp : public Operator {
   StreamDistinctOp(OperatorPtr child, ColumnSet distinct_columns,
                    ExecContext ctx = ExecContext());
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
+  bool ProduceRow(Row* out);
+
   OperatorPtr child_;
   ColumnSet distinct_columns_;
   std::vector<int> positions_;
@@ -514,10 +625,12 @@ class HashDistinctOp : public Operator {
   HashDistinctOp(OperatorPtr child, ColumnSet distinct_columns,
                  ExecContext ctx = ExecContext());
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
+  bool ProduceRow(Row* out);
+
   OperatorPtr child_;
   ColumnSet distinct_columns_;
   std::vector<int> positions_;
@@ -533,7 +646,7 @@ class UnionAllOp : public Operator {
   UnionAllOp(std::vector<OperatorPtr> children, std::vector<ColumnId> layout,
              ExecContext ctx = ExecContext());
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
@@ -549,10 +662,11 @@ class MergeUnionOp : public Operator {
   MergeUnionOp(std::vector<OperatorPtr> children,
                std::vector<ColumnId> layout, ExecContext ctx);
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
+  bool ProduceRow(Row* out);
   int CompareRows(const Row& a, const Row& b) const;
 
   std::vector<OperatorPtr> children_;
@@ -568,7 +682,7 @@ class TopNOp : public Operator {
  public:
   TopNOp(OperatorPtr child, OrderSpec spec, int64_t limit, ExecContext ctx);
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
@@ -585,7 +699,7 @@ class LimitOp : public Operator {
  public:
   LimitOp(OperatorPtr child, int64_t limit, ExecContext ctx = ExecContext());
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
@@ -600,13 +714,14 @@ class ProjectOp : public Operator {
   ProjectOp(OperatorPtr child, std::vector<OutputColumn> projections,
             ExecContext ctx = ExecContext());
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
   OperatorPtr child_;
   std::vector<OutputColumn> projections_;
   std::unique_ptr<ExprEvaluator> eval_;
+  RowBatch input_;  ///< scratch batch pulled from the child
 };
 
 }  // namespace ordopt

@@ -4,6 +4,7 @@
 
 #include "common/str_util.h"
 #include "exec/expr_eval.h"
+#include "exec/sort_key.h"
 
 namespace ordopt {
 
@@ -86,57 +87,56 @@ OrderCheckOp::OrderCheckOp(OperatorPtr child, const PlanNode& node,
 void OrderCheckOp::OpenImpl() {
   has_prev_ = false;
   row_index_ = 0;
+  prev_norm_.clear();
   prev_key_.clear();
   for (KeyCheck& k : keys_) k.seen.clear();
   child_->Open();
 }
 
-std::string OrderCheckOp::RenderRow(const Row& row,
+std::string OrderCheckOp::RenderRow(const RowBatch& batch, int64_t row,
                                     const std::vector<int>& positions) const {
   std::string out = "(";
   for (size_t i = 0; i < positions.size(); ++i) {
     if (i > 0) out += ", ";
-    out += row[positions[i]].ToString();
+    out += batch.At(static_cast<size_t>(positions[i]), row).ToString();
   }
   out += ")";
   return out;
 }
 
-bool OrderCheckOp::CheckOrder(const Row& row) {
+bool OrderCheckOp::CheckOrder(const RowBatch& batch, int64_t row) {
   if (positions_.empty()) return true;
-  if (has_prev_) {
-    for (size_t i = 0; i < positions_.size(); ++i) {
-      int cmp = prev_key_[i].Compare(row[positions_[i]]);
-      if (descending_[i]) cmp = -cmp;
-      if (cmp > 0) {
-        ++GlobalOrderCheckStats().violations;
-        std::vector<Value> cur;
-        for (int pos : positions_) cur.push_back(row[pos]);
-        std::string prev_text = "(";
-        for (size_t j = 0; j < prev_key_.size(); ++j) {
-          if (j > 0) prev_text += ", ";
-          prev_text += prev_key_[j].ToString();
-        }
-        prev_text += ")";
-        ctx_.Poison(Status::Internal(StrFormat(
-            "order verification failed: %s claims order %s but rows %lld/%lld "
-            "violate it: %s then %s",
-            op_label_.c_str(), claimed_.ToString().c_str(),
-            static_cast<long long>(row_index_ - 1),
-            static_cast<long long>(row_index_), prev_text.c_str(),
-            RenderRow(row, positions_).c_str())));
-        return false;
-      }
-      if (cmp < 0) break;  // strictly ordered on a more significant column
+  cur_norm_.clear();
+  AppendNormalizedKey(batch, row, positions_, descending_, &cur_norm_);
+  // The normalized encoding folds direction and NULL placement into the
+  // bytes, so "claim violated" is one unsigned lexicographic comparison.
+  if (has_prev_ && prev_norm_.compare(cur_norm_) > 0) {
+    ++GlobalOrderCheckStats().violations;
+    std::string prev_text = "(";
+    for (size_t j = 0; j < prev_key_.size(); ++j) {
+      if (j > 0) prev_text += ", ";
+      prev_text += prev_key_[j].ToString();
     }
+    prev_text += ")";
+    ctx_.Poison(Status::Internal(StrFormat(
+        "order verification failed: %s claims order %s but rows %lld/%lld "
+        "violate it: %s then %s",
+        op_label_.c_str(), claimed_.ToString().c_str(),
+        static_cast<long long>(row_index_ - 1),
+        static_cast<long long>(row_index_), prev_text.c_str(),
+        RenderRow(batch, row, positions_).c_str())));
+    return false;
   }
+  prev_norm_.swap(cur_norm_);
   prev_key_.clear();
-  for (int pos : positions_) prev_key_.push_back(row[pos]);
+  for (int pos : positions_) {
+    prev_key_.push_back(batch.At(static_cast<size_t>(pos), row));
+  }
   has_prev_ = true;
   return true;
 }
 
-bool OrderCheckOp::CheckKeys(const Row& row) {
+bool OrderCheckOp::CheckKeys(const RowBatch& batch, int64_t row) {
   for (KeyCheck& k : keys_) {
     if (k.positions.empty()) {
       // One-record condition: any second row is a violation.
@@ -152,7 +152,9 @@ bool OrderCheckOp::CheckKeys(const Row& row) {
     }
     std::vector<Value> key_values;
     key_values.reserve(k.positions.size());
-    for (int pos : k.positions) key_values.push_back(row[pos]);
+    for (int pos : k.positions) {
+      key_values.push_back(batch.At(static_cast<size_t>(pos), row));
+    }
     if (!k.seen.insert(std::move(key_values)).second) {
       ++GlobalOrderCheckStats().violations;
       std::string key_text = "{";
@@ -168,20 +170,23 @@ bool OrderCheckOp::CheckKeys(const Row& row) {
           "key value %s",
           op_label_.c_str(), key_text.c_str(),
           static_cast<long long>(row_index_),
-          RenderRow(row, k.positions).c_str())));
+          RenderRow(batch, row, k.positions).c_str())));
       return false;
     }
   }
   return true;
 }
 
-bool OrderCheckOp::NextImpl(Row* out) {
+bool OrderCheckOp::NextBatchImpl(RowBatch* out) {
   if (!ctx_.GuardOk()) return false;
-  if (!child_->Next(out)) return false;
-  ++GlobalOrderCheckStats().rows_checked;
-  if (!CheckOrder(*out)) return false;
-  if (!CheckKeys(*out)) return false;
-  ++row_index_;
+  if (!child_->NextBatch(out)) return false;
+  const int64_t n = out->size();
+  for (int64_t i = 0; i < n; ++i) {
+    ++GlobalOrderCheckStats().rows_checked;
+    if (!CheckOrder(*out, i)) return false;
+    if (!CheckKeys(*out, i)) return false;
+    ++row_index_;
+  }
   return true;
 }
 

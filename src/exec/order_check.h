@@ -27,8 +27,11 @@ namespace ordopt {
 ///    claims may be stated on a class head the stream no longer carries).
 ///    The claim is truncated at the first unresolvable column — a prefix
 ///    check is still a sound check of a weaker claim. Adjacent rows are
-///    compared with Value::Compare (NULLs first, DESC flips), the same
-///    total order SortOp and the merge operators use.
+///    compared through the normalized sort-key representation (sort_key.h),
+///    which reproduces the Value::Compare total order (NULLs first, DESC
+///    flips) byte-for-byte — the same encoding SortOp sorts by. At batch
+///    granularity every adjacent pair within a batch is checked, plus the
+///    boundary pair against the previous batch's last key.
 ///  - Key property: every claimed key whose columns all resolve is checked
 ///    for uniqueness with a hash set of seen key tuples; NULL participates
 ///    as an ordinary value (the engine's total order treats NULLs equal).
@@ -47,7 +50,7 @@ class OrderCheckOp : public Operator {
   OrderCheckOp(OperatorPtr child, const PlanNode& node, ExecContext ctx);
 
   void OpenImpl() override;
-  bool NextImpl(Row* out) override;
+  bool NextBatchImpl(RowBatch* out) override;
   void Close() override;
 
  private:
@@ -66,11 +69,11 @@ class OrderCheckOp : public Operator {
     std::unordered_set<std::vector<Value>, KeyTupleHash, KeyTupleEq> seen;
   };
 
-  /// Formats `row` restricted to the checked columns for diagnostics.
-  std::string RenderRow(const Row& row, const std::vector<int>& positions)
-      const;
-  bool CheckOrder(const Row& row);
-  bool CheckKeys(const Row& row);
+  /// Formats row `row` of `batch` restricted to the checked columns.
+  std::string RenderRow(const RowBatch& batch, int64_t row,
+                        const std::vector<int>& positions) const;
+  bool CheckOrder(const RowBatch& batch, int64_t row);
+  bool CheckKeys(const RowBatch& batch, int64_t row);
 
   OperatorPtr child_;
   std::string op_label_;   ///< NodeLabel of the wrapped plan node
@@ -80,7 +83,9 @@ class OrderCheckOp : public Operator {
   std::vector<bool> descending_;
   std::vector<KeyCheck> keys_;
 
-  std::vector<Value> prev_key_;  ///< previous row's checked order columns
+  std::string prev_norm_;        ///< previous row's normalized order key
+  std::string cur_norm_;         ///< scratch encoding of the current row
+  std::vector<Value> prev_key_;  ///< previous row's values, for diagnostics
   bool has_prev_ = false;
   int64_t row_index_ = 0;
 };

@@ -11,7 +11,8 @@
 #include "common/fault_injection.h"
 #include "common/status.h"
 #include "common/value.h"
-#include "exec/metrics.h"
+#include "exec/runtime_metrics.h"
+#include "exec/row_batch.h"
 
 namespace ordopt {
 
@@ -347,6 +348,18 @@ struct ExecContext {
   /// moment the stream disobeys the claim. Checker operators are invisible
   /// to op_registry, metrics, and the guard's buffer accounting.
   bool verify_orders = false;
+  /// Rows per execution batch (Operator::BatchCapacity). 1 degenerates to
+  /// single-row batches through the same columnar code path. <= 0 is
+  /// clamped to 1.
+  int64_t batch_rows = kDefaultBatchRows;
+  /// Legacy row-at-a-time execution: operators with columnar kernels
+  /// (filter, sort input, index join) instead pull their children through
+  /// the Next(Row*) compat shim and evaluate row-wise, materializing a Row
+  /// at every operator boundary — the engine's pre-vectorization shape.
+  /// Forces batch_rows to 1. This is the honest baseline of the batch-size
+  /// sweep ("speedup vs the row shim") and of the batch-vs-row
+  /// differential suite.
+  bool row_shim = false;
 
   bool GuardOk() const { return guard == nullptr || guard->ok(); }
 

@@ -1,4 +1,4 @@
-#include "exec/metrics.h"
+#include "exec/runtime_metrics.h"
 
 #include "common/str_util.h"
 

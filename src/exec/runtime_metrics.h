@@ -1,5 +1,5 @@
-#ifndef ORDOPT_EXEC_METRICS_H_
-#define ORDOPT_EXEC_METRICS_H_
+#ifndef ORDOPT_EXEC_RUNTIME_METRICS_H_
+#define ORDOPT_EXEC_RUNTIME_METRICS_H_
 
 #include <cstdint>
 #include <string>
@@ -147,4 +147,4 @@ class PageTracker {
 
 }  // namespace ordopt
 
-#endif  // ORDOPT_EXEC_METRICS_H_
+#endif  // ORDOPT_EXEC_RUNTIME_METRICS_H_

@@ -1,0 +1,118 @@
+#include "exec/sort_key.h"
+
+#include <cstring>
+#include <limits>
+
+namespace ordopt {
+
+namespace {
+
+constexpr uint64_t kSignBit = 0x8000000000000000ULL;
+
+// Maps a double onto uint64 such that unsigned comparison matches double
+// comparison: negative values flip all bits, non-negative set the sign bit.
+// -0.0 is canonicalized to +0.0 first (Value::Compare treats them equal).
+uint64_t OrderedDoubleBits(double d) {
+  if (d == 0.0) d = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return (bits & kSignBit) ? ~bits : (bits | kSignBit);
+}
+
+uint64_t OrderedIntBits(int64_t v) {
+  return static_cast<uint64_t>(v) ^ kSignBit;
+}
+
+void AppendBigEndian(uint64_t bits, std::string* out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((bits >> shift) & 0xFF));
+  }
+}
+
+// The exact integer remainder lost when `v` is rounded to double. Encoding
+// [double(v)][residual] keeps int-vs-int order exact above 2^53 while int 3
+// and double 3.0 (residual 0) stay byte-identical.
+int64_t IntResidual(int64_t v, double d) {
+  // double(v) can round up to exactly 2^63, which does not fit back into
+  // int64. The values mapping there (INT64_MAX - 511 .. INT64_MAX) take
+  // their residual relative to INT64_MAX instead — still order-preserving
+  // within that class, and their shared double prefix already exceeds every
+  // in-range key. (double(v) never rounds below -2^63, which is exact.)
+  if (d >= 9223372036854775808.0) {
+    return v - std::numeric_limits<int64_t>::max();
+  }
+  return v - static_cast<int64_t>(d);
+}
+
+void AppendNumeric(const Value& v, std::string* out) {
+  out->push_back('\x01');
+  if (v.type() == DataType::kDouble) {
+    AppendBigEndian(OrderedDoubleBits(v.AsDouble()), out);
+    AppendBigEndian(OrderedIntBits(0), out);
+  } else {
+    const int64_t i = v.AsInt();
+    const double d = static_cast<double>(i);
+    AppendBigEndian(OrderedDoubleBits(d), out);
+    AppendBigEndian(OrderedIntBits(IntResidual(i, d)), out);
+  }
+}
+
+void AppendString(const std::string& s, std::string* out) {
+  out->push_back('\x02');
+  for (char c : s) {
+    if (c == '\x00') {
+      out->push_back('\x00');
+      out->push_back('\x01');
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('\x00');
+  out->push_back('\x00');
+}
+
+}  // namespace
+
+void AppendNormalizedKeyColumn(const Value& v, bool descending,
+                               std::string* out) {
+  const size_t start = out->size();
+  switch (v.type()) {
+    case DataType::kNull:
+      out->push_back('\x00');
+      break;
+    case DataType::kInt64:
+    case DataType::kDouble:
+    case DataType::kDate:
+      AppendNumeric(v, out);
+      break;
+    case DataType::kString:
+      AppendString(v.AsString(), out);
+      break;
+  }
+  if (descending) {
+    for (size_t i = start; i < out->size(); ++i) {
+      (*out)[i] = static_cast<char>(~static_cast<unsigned char>((*out)[i]));
+    }
+  }
+}
+
+void AppendNormalizedKey(const Row& row, const std::vector<int>& positions,
+                         const std::vector<bool>& descending,
+                         std::string* out) {
+  for (size_t i = 0; i < positions.size(); ++i) {
+    AppendNormalizedKeyColumn(row[static_cast<size_t>(positions[i])],
+                              descending[i], out);
+  }
+}
+
+void AppendNormalizedKey(const RowBatch& batch, int64_t row,
+                         const std::vector<int>& positions,
+                         const std::vector<bool>& descending,
+                         std::string* out) {
+  for (size_t i = 0; i < positions.size(); ++i) {
+    AppendNormalizedKeyColumn(
+        batch.At(static_cast<size_t>(positions[i]), row), descending[i], out);
+  }
+}
+
+}  // namespace ordopt

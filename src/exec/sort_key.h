@@ -1,0 +1,62 @@
+#ifndef ORDOPT_EXEC_SORT_KEY_H_
+#define ORDOPT_EXEC_SORT_KEY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "exec/row_batch.h"
+
+namespace ordopt {
+
+/// Normalized sort keys (Graefe): each sort-key column is encoded into a
+/// byte string such that plain memcmp over the concatenated encodings
+/// reproduces the engine's Value::Compare total order, including direction
+/// and NULL placement. SortOp encodes each row's key once and sorts an index
+/// vector with a branch-light memcmp comparator; OrderCheckOp compares
+/// adjacent keys (within and across batches) the same way.
+///
+/// Per-column layout (ascending):
+///   NULL    -> 0x00
+///   numeric -> 0x01, 8-byte order-preserving double, 8-byte int64 residual
+///              (int64/date are encoded as their double value plus the exact
+///              integer remainder lost to rounding, so int-vs-int compares
+///              exactly while int 3 and double 3.0 encode identically —
+///              matching Value::Compare's mixed-numeric semantics)
+///   string  -> 0x02, bytes with 0x00 escaped as 0x00 0x01, then 0x00 0x00
+///
+/// Descending columns invert every byte of the column's ascending encoding,
+/// which flips the memcmp order of that column only; a NULL (0x00 -> 0xFF)
+/// therefore sorts last under DESC, exactly as the row comparator's
+/// negated Compare does.
+///
+/// Columns are self-delimiting (fixed 17 bytes for numerics, terminated for
+/// strings, 1 byte for NULL), so multi-column keys are plain concatenations.
+///
+/// Caveat (documented, unreachable through the planner): a column mixing
+/// string values with dates, or int64/double values beyond 2^53 mixed in one
+/// column, can order differently from Value::Compare's cross-kind tie rules.
+/// Engine columns are uniformly typed (plus NULLs), where the encoding is
+/// exact; test_row_batch asserts the equivalence per type class.
+
+/// Appends the normalized encoding of `v` to `out`.
+void AppendNormalizedKeyColumn(const Value& v, bool descending,
+                               std::string* out);
+
+/// Appends the full key for `row`: positions[i] names the row index of the
+/// i-th sort column, descending[i] its direction.
+void AppendNormalizedKey(const Row& row, const std::vector<int>& positions,
+                         const std::vector<bool>& descending,
+                         std::string* out);
+
+/// Batch variant: encodes the key of row `row` of `batch` without
+/// materializing a Row.
+void AppendNormalizedKey(const RowBatch& batch, int64_t row,
+                         const std::vector<int>& positions,
+                         const std::vector<bool>& descending,
+                         std::string* out);
+
+}  // namespace ordopt
+
+#endif  // ORDOPT_EXEC_SORT_KEY_H_

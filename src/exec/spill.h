@@ -10,7 +10,7 @@
 #include "common/retry.h"
 #include "common/status.h"
 #include "common/value.h"
-#include "exec/metrics.h"
+#include "exec/runtime_metrics.h"
 
 namespace ordopt {
 

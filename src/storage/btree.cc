@@ -256,14 +256,18 @@ BTreeIndex::Cursor BTreeIndex::SeekInternal(const IndexKey& prefix,
     const InnerNode* inner = static_cast<const InnerNode*>(node);
     // Descend into the first child whose separator could still contain a
     // qualifying entry to its left: first separator that qualifies.
-    size_t idx = inner->sep_keys.size();
-    for (size_t i = 0; i < inner->sep_keys.size(); ++i) {
-      if (qualifies(inner->sep_keys[i])) {
-        idx = i;
-        break;
+    // Binary search is valid because qualification is monotone in key
+    // order (separators are sorted under the index collation).
+    size_t lo = 0, hi = inner->sep_keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (qualifies(inner->sep_keys[mid])) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
       }
     }
-    node = inner->children[idx];
+    node = inner->children[lo];
   }
 
   const LeafNode* leaf = static_cast<const LeafNode*>(node);

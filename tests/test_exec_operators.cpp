@@ -6,6 +6,7 @@
 #include "common/random.h"
 #include "exec/executor.h"
 #include "exec/operators.h"
+#include "exec/order_check.h"
 #include "storage/database.h"
 
 namespace ordopt {
@@ -18,10 +19,12 @@ class RowSource : public Operator {
     rows_ = std::move(rows);
   }
   void OpenImpl() override { pos_ = 0; }
-  bool NextImpl(Row* out) override {
-    if (pos_ >= rows_.size()) return false;
-    *out = rows_[pos_++];
-    return true;
+  bool NextBatchImpl(RowBatch* out) override {
+    return FillBatch(out, [this](Row* row) {
+      if (pos_ >= rows_.size()) return false;
+      *row = rows_[pos_++];
+      return true;
+    });
   }
 
  private:
@@ -482,6 +485,125 @@ TEST(ExecFilterProject, EvaluateExpressions) {
   rows = Drain(&project);
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0][0].AsInt(), 6);
+}
+
+// --- Order verification at batch granularity -------------------------------
+
+// RowSource with a caller-controlled ExecContext, so tests can pick the
+// batch size the stream is produced at and share a guard with the checker.
+class BatchedSource : public Operator {
+ public:
+  BatchedSource(std::vector<ColumnId> layout, std::vector<Row> rows,
+                ExecContext ctx)
+      : Operator(ctx), rows_(std::move(rows)) {
+    layout_ = std::move(layout);
+  }
+  void OpenImpl() override { pos_ = 0; }
+  bool NextBatchImpl(RowBatch* out) override {
+    return FillBatch(out, [this](Row* row) {
+      if (pos_ >= rows_.size()) return false;
+      *row = rows_[pos_++];
+      return true;
+    });
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+PlanNode SortClaimNode(OrderSpec spec) {
+  PlanNode node;
+  node.kind = OpKind::kSort;
+  node.sort_spec = spec;
+  node.props.order = std::move(spec);
+  return node;
+}
+
+TEST(OrderCheckBatches, DescDuplicateRunsAcrossBatchBoundaries) {
+  std::vector<ColumnId> layout = {{0, 0}, {0, 1}};
+  // DESC on col0 with 5-row duplicate runs; batch size 3 guarantees every
+  // run and most run transitions straddle a batch boundary. NULL keys go
+  // last: DESC negates Compare wholesale, NULLs included.
+  std::vector<Row> rows;
+  for (int64_t k = 9; k >= 0; --k) {
+    for (int64_t j = 0; j < 5; ++j) rows.push_back(R({k, j}));
+  }
+  rows.push_back({Value::Null(), Value::Int(0)});
+  rows.push_back({Value::Null(), Value::Int(1)});
+
+  RuntimeMetrics m;
+  QueryGuard guard;
+  ExecContext ctx(&m, &guard, nullptr);
+  ctx.batch_rows = 3;
+  PlanNode node = SortClaimNode(
+      OrderSpec{{ColumnId(0, 0), SortDirection::kDescending}});
+  OrderCheckOp check(std::make_unique<BatchedSource>(layout, rows, ctx), node,
+                     ctx);
+  guard.Arm();
+  std::vector<Row> out = Drain(&check);
+  EXPECT_TRUE(guard.ok()) << guard.status().ToString();
+  EXPECT_EQ(out.size(), rows.size());
+}
+
+TEST(OrderCheckBatches, AscDuplicatesWithLeadingNulls) {
+  std::vector<ColumnId> layout = {{0, 0}};
+  std::vector<Row> rows = {{Value::Null()}, {Value::Null()}, {Value::Int(0)},
+                           {Value::Int(0)}, {Value::Int(0)}, {Value::Int(1)},
+                           {Value::Int(1)}, {Value::Int(2)}};
+  RuntimeMetrics m;
+  QueryGuard guard;
+  ExecContext ctx(&m, &guard, nullptr);
+  ctx.batch_rows = 3;
+  PlanNode node = SortClaimNode(OrderSpec{{ColumnId(0, 0)}});
+  OrderCheckOp check(std::make_unique<BatchedSource>(layout, rows, ctx), node,
+                     ctx);
+  guard.Arm();
+  EXPECT_EQ(Drain(&check).size(), rows.size());
+  EXPECT_TRUE(guard.ok()) << guard.status().ToString();
+}
+
+TEST(OrderCheckBatches, ViolationExactlyAtBatchBoundary) {
+  std::vector<ColumnId> layout = {{0, 0}};
+  // Sorted within each batch of 3, but the boundary pair 3 -> 2 violates
+  // the ASC claim — only the cross-batch check can catch it.
+  std::vector<Row> rows = {{Value::Int(1)}, {Value::Int(2)}, {Value::Int(3)},
+                           {Value::Int(2)}, {Value::Int(3)}, {Value::Int(4)}};
+  RuntimeMetrics m;
+  QueryGuard guard;
+  ExecContext ctx(&m, &guard, nullptr);
+  ctx.batch_rows = 3;
+  PlanNode node = SortClaimNode(OrderSpec{{ColumnId(0, 0)}});
+  OrderCheckOp check(std::make_unique<BatchedSource>(layout, rows, ctx), node,
+                     ctx);
+  guard.Arm();
+  Drain(&check);
+  ASSERT_FALSE(guard.ok());
+  EXPECT_NE(guard.status().message().find("order verification failed"),
+            std::string::npos)
+      << guard.status().ToString();
+  EXPECT_NE(guard.status().message().find("rows 2/3"), std::string::npos)
+      << guard.status().ToString();
+}
+
+TEST(OrderCheckBatches, DescViolationWithinBatch) {
+  std::vector<ColumnId> layout = {{0, 0}};
+  std::vector<Row> rows = {{Value::Int(5)}, {Value::Int(5)}, {Value::Int(4)},
+                           {Value::Int(6)}};
+  RuntimeMetrics m;
+  QueryGuard guard;
+  ExecContext ctx(&m, &guard, nullptr);
+  ctx.batch_rows = 1024;  // one batch: all pairs are within-batch
+  PlanNode node = SortClaimNode(
+      OrderSpec{{ColumnId(0, 0), SortDirection::kDescending}});
+  OrderCheckOp check(std::make_unique<BatchedSource>(layout, rows, ctx), node,
+                     ctx);
+  guard.Arm();
+  Drain(&check);
+  ASSERT_FALSE(guard.ok());
+  EXPECT_NE(guard.status().message().find("order verification failed"),
+            std::string::npos)
+      << guard.status().ToString();
 }
 
 }  // namespace

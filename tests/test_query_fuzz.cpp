@@ -236,20 +236,31 @@ TEST_P(QueryFuzz, EngineMatchesReference) {
   ReferenceEvaluator ref(*bound.value());
   auto expected = Canonicalize(ref.Evaluate().rows);
 
-  OptimizerConfig configs[4];
+  OptimizerConfig configs[5];
   configs[1].enable_order_optimization = false;
   configs[2].enable_hash_join = false;
   configs[2].enable_hash_grouping = false;
   // Every sort runs as a genuine external-merge sort over spilled runs.
   configs[3].cost_params.sort_memory_rows = 3;
-  const char* labels[4] = {"enabled", "disabled", "no-hash", "spill"};
-  for (int i = 0; i < 4; ++i) {
+  // Row shim: batch size 1 drives the same operators row-at-a-time. Its raw
+  // row stream (order included) must be identical to the batched run's.
+  configs[4].batch_rows = 1;
+  const char* labels[5] = {"enabled", "disabled", "no-hash", "spill",
+                           "batch1"};
+  std::vector<Row> batched_rows;
+  for (int i = 0; i < 5; ++i) {
     QueryEngine engine(db(), configs[i]);
     auto run = engine.Run(sql);
     ASSERT_TRUE(run.ok()) << labels[i] << ": " << run.status().ToString();
     EXPECT_EQ(Canonicalize(run.value().rows), expected)
         << labels[i] << " plan:\n"
         << run.value().plan_text;
+    if (i == 0) batched_rows = run.value().rows;
+    if (i == 4) {
+      EXPECT_EQ(run.value().rows, batched_rows)
+          << "batch size 1 diverged row-for-row from the batched run; plan:\n"
+          << run.value().plan_text;
+    }
   }
 }
 
