@@ -46,11 +46,19 @@
 // path. Row streams must be identical across sizes. --json=PATH emits the
 // numbers (the check.sh --batch gate reads it and enforces >= 1.5x at
 // batch size 1024).
+//
+// --parallel-sweep instead runs Q3 at 1/2/4 exchange workers
+// (OptimizerConfig::parallel_workers), asserts every parallel row stream
+// is identical to serial, and reports the modeled critical-path speedup
+// from per-thread CPU time (this host has one core, so wall clock cannot
+// parallelize). --json=PATH emits the numbers (the check.sh --parallel
+// gate reads it and enforces >= 1.8x modeled speedup at 4 workers).
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -467,6 +475,133 @@ int BatchSweep(Database* db, int runs, const std::string& json_path) {
   return rows_identical ? 0 : 1;
 }
 
+// Parallel-worker sweep: Q3 at 1/2/4 exchange workers. Correctness is a
+// hard gate — every parallel row stream must be identical to serial.
+// This container is single-core, so wall clock cannot show a speedup;
+// instead the sweep reports the *modeled critical-path speedup* from
+// per-thread CPU time: a run's critical path is the main thread's
+// execution CPU plus the busiest worker's CPU
+// (metrics.worker_busy_ns_max), i.e. the makespan on a machine with at
+// least `workers` idle cores. The serial run's critical path is simply
+// its thread CPU. Wall clock is reported alongside for honesty — on this
+// box it *rises* with workers (thread switching on one core).
+int ParallelSweep(Database* db, int runs, const std::string& json_path) {
+  constexpr int kWorkers[] = {1, 2, 4};
+  constexpr int kNumModes = 3;
+  constexpr int kIterations = 7;
+
+  auto thread_cpu_ns = [] {
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+  };
+
+  std::vector<Row> serial_rows;
+  bool rows_identical = true;
+  int64_t exchange_batches[kNumModes] = {0, 0, 0};
+  std::vector<double> wall_medians[kNumModes];
+  std::vector<double> critical_medians[kNumModes];
+  // Warm-up: first touch of the tables and the allocator.
+  {
+    OptimizerConfig cfg;
+    cfg.enable_hash_join = false;
+    cfg.enable_hash_grouping = false;
+    QueryEngine engine(db, cfg);
+    if (!engine.Run(tpcd_queries::kQuery3).ok()) return 1;
+  }
+  for (int it = 0; it < kIterations; ++it) {
+    for (int m = 0; m < kNumModes; ++m) {
+      OptimizerConfig cfg;
+      cfg.enable_order_optimization = true;
+      cfg.enable_hash_join = false;
+      cfg.enable_hash_grouping = false;
+      cfg.parallel_workers = kWorkers[m];
+      QueryEngine engine(db, cfg);
+      std::vector<double> walls, criticals;
+      for (int i = 0; i < runs; ++i) {
+        int64_t cpu_before = thread_cpu_ns();
+        Result<QueryResult> r = engine.Run(tpcd_queries::kQuery3);
+        int64_t main_cpu = thread_cpu_ns() - cpu_before;
+        if (!r.ok()) {
+          std::fprintf(stderr, "Q3 failed at %d workers: %s\n", kWorkers[m],
+                       r.status().ToString().c_str());
+          return 1;
+        }
+        // Execution critical path: main-thread CPU minus the (serial,
+        // identical-across-modes) planning phase, plus the busiest
+        // worker thread.
+        double plan_ns = r.value().plan_seconds * 1e9;
+        double critical = static_cast<double>(main_cpu) - plan_ns +
+                          static_cast<double>(
+                              r.value().metrics.worker_busy_ns_max);
+        walls.push_back(r.value().elapsed_seconds);
+        criticals.push_back(critical / 1e9);
+        if (it == 0 && i == 0) {
+          exchange_batches[m] = r.value().metrics.exchange_batches;
+          if (m == 0) {
+            serial_rows = std::move(r.value().rows);
+          } else if (r.value().rows != serial_rows) {
+            rows_identical = false;
+          }
+        }
+      }
+      wall_medians[m].push_back(Median(walls));
+      critical_medians[m].push_back(Median(criticals));
+    }
+  }
+
+  double wall_us[kNumModes], critical_us[kNumModes];
+  for (int m = 0; m < kNumModes; ++m) {
+    wall_us[m] = Median(wall_medians[m]) * 1e6;
+    critical_us[m] = Median(critical_medians[m]) * 1e6;
+  }
+
+  std::printf("--- parallel-worker sweep on Q3 (%d runs x%d paired "
+              "iterations, single-core host) ---\n",
+              runs, kIterations);
+  std::printf("%-8s %14s %18s %18s %10s\n", "workers", "wall (us)",
+              "critical-path (us)", "modeled speedup", "exch bat");
+  for (int m = 0; m < kNumModes; ++m) {
+    std::printf("%-8d %14.1f %18.1f %17.2fx %10lld\n", kWorkers[m],
+                wall_us[m], critical_us[m], critical_us[0] / critical_us[m],
+                static_cast<long long>(exchange_batches[m]));
+  }
+  std::printf("\nrow streams identical to serial: %s\n",
+              rows_identical ? "YES" : "NO  <-- FAIL");
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"query\": \"tpcd_q3\",\n"
+                 "  \"runs\": %d,\n"
+                 "  \"iterations\": %d,\n"
+                 "  \"rows_identical\": %s,\n"
+                 "  \"speedup_model\": \"critical-path from per-thread CPU "
+                 "(single-core host)\",\n"
+                 "  \"workers\": [\n",
+                 runs, kIterations, rows_identical ? "true" : "false");
+    for (int m = 0; m < kNumModes; ++m) {
+      std::fprintf(f,
+                   "    {\"workers\": %d, \"wall_us\": %.1f, "
+                   "\"critical_path_us\": %.1f, \"modeled_speedup\": %.4f, "
+                   "\"exchange_batches\": %lld}%s\n",
+                   kWorkers[m], wall_us[m], critical_us[m],
+                   critical_us[0] / critical_us[m],
+                   static_cast<long long>(exchange_batches[m]),
+                   m + 1 < kNumModes ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return rows_identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -479,6 +614,7 @@ int main(int argc, char** argv) {
   bool trace_overhead = false;
   bool plan_time = false;
   bool batch_sweep = false;
+  bool parallel_sweep = false;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--sf=", 5) == 0) sf = std::atof(argv[i] + 5);
@@ -495,6 +631,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--trace-overhead") == 0) trace_overhead = true;
     if (std::strcmp(argv[i], "--plan-time") == 0) plan_time = true;
     if (std::strcmp(argv[i], "--batch-sweep") == 0) batch_sweep = true;
+    if (std::strcmp(argv[i], "--parallel-sweep") == 0) parallel_sweep = true;
   }
 
   std::printf("=== Table 1: Elapsed Time for Query 3 (TPC-D, SF=%.3f, "
@@ -519,6 +656,7 @@ int main(int argc, char** argv) {
   if (trace_overhead) return TraceOverhead(&db, runs);
   if (plan_time) return PlanTime(&db, runs, json_path);
   if (batch_sweep) return BatchSweep(&db, runs, json_path);
+  if (parallel_sweep) return ParallelSweep(&db, runs, json_path);
 
   // DB2/CS engine profile: the paper's configuration.
   ModeResult prod =

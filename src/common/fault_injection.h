@@ -27,6 +27,8 @@ namespace ordopt {
 ///   exec.sort.spill.merge k-way merge startup of spilled runs
 ///   exec.spill.cleanup    spill run-file removal (Close / early error)
 ///   exec.operator.next    every row pulled from the plan root
+///   exec.parallel.morsel  every morsel claim by a parallel scan worker
+///   exec.exchange.merge   every batch recombination step of an ExchangeOp
 ///   exec.trace.write      trace JSON-lines export (per attempt, retried)
 ///   planner.alloc         plan-node construction per QGM box
 ///

@@ -3,6 +3,7 @@
 #include "common/fault_injection.h"
 #include "common/str_util.h"
 #include "exec/order_check.h"
+#include "exec/parallel/exchange.h"
 
 namespace ordopt {
 
@@ -60,6 +61,27 @@ Result<OperatorPtr> BuildTree(const PlanRef& plan, ExecContext ctx,
     eff.cols = eff.cols.Union(NodeOwnColumns(*plan, ctx.verify_orders));
   }
 
+  if (plan->kind == OpKind::kExchange) {
+    // The child chain is NOT built through the loop below: ExchangeOp
+    // constructs one copy of it per worker against worker-private contexts
+    // (registering worker 0's copy with the registry first, preserving
+    // post-order). The requirement computed here reaches the worker scans,
+    // so pruning through an exchange matches the serial build.
+    const ColumnSet* prune = eff.all ? nullptr : &eff.cols;
+    OperatorPtr built(new ExchangeOp(*plan, ctx, prune));
+    if (ctx.guard != nullptr && !ctx.guard->ok()) {
+      return ctx.guard->status();
+    }
+    if (ctx.op_registry != nullptr) {
+      ctx.op_registry->push_back({plan.get(), built.get()});
+    }
+    if (ctx.verify_orders &&
+        (!plan->props.order.empty() || !plan->props.keys.empty())) {
+      built = OperatorPtr(new OrderCheckOp(std::move(built), *plan, ctx));
+    }
+    return built;
+  }
+
   // Requirement passed to the children.
   RequiredColumns child_req;
   switch (plan->kind) {
@@ -92,15 +114,21 @@ Result<OperatorPtr> BuildTree(const PlanRef& plan, ExecContext ctx,
   OperatorPtr built;
   switch (plan->kind) {
     case OpKind::kTableScan:
-      built = OperatorPtr(
-          new TableScanOp(*plan->table, plan->table_id, ctx, prune));
+      built = OperatorPtr(new TableScanOp(*plan->table, plan->table_id, ctx,
+                                          prune, plan->morsel_driver,
+                                          plan->emit_provenance));
       break;
     case OpKind::kIndexScan:
       built = OperatorPtr(new IndexScanOp(*plan->table, plan->table_id,
                                           plan->index_ordinal,
                                           plan->reverse_scan,
-                                          plan->range_predicates, ctx, prune));
+                                          plan->range_predicates, ctx, prune,
+                                          plan->morsel_driver,
+                                          plan->emit_provenance));
       break;
+    case OpKind::kExchange:
+      // Handled by the early return above; unreachable here.
+      return Status::Internal("exchange reached serial operator dispatch");
     case OpKind::kFilter:
       built = OperatorPtr(
           new FilterOp(std::move(children[0]), plan->predicates, ctx));
@@ -221,13 +249,24 @@ Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan, ExecContext ctx) {
   return BuildTree(plan, ctx, RequiredColumns{});
 }
 
+Result<OperatorPtr> BuildWorkerOperatorTree(const PlanRef& plan,
+                                            ExecContext ctx,
+                                            const ColumnSet* required) {
+  RequiredColumns req;
+  if (required != nullptr) {
+    req.all = false;
+    req.cols = *required;
+  }
+  return BuildTree(plan, ctx, req);
+}
+
 Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
                                      RuntimeMetrics* metrics,
                                      QueryGuard* guard,
                                      const SpillConfig* spill_config,
                                      std::vector<OperatorProfile>* profile,
                                      bool verify_orders, int64_t batch_rows,
-                                     bool row_shim) {
+                                     bool row_shim, int parallel_workers) {
   // An unlimited local guard keeps the error channel available (poison,
   // fault injection) even for callers that configured no limits.
   QueryGuard local_guard;
@@ -246,6 +285,7 @@ Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
   ctx.batch_rows = batch_rows > 0 ? batch_rows : 1;
   ctx.row_shim = row_shim;
   if (row_shim) ctx.batch_rows = 1;
+  ctx.parallel_workers = parallel_workers > 1 ? parallel_workers : 1;
   std::vector<std::pair<const PlanNode*, Operator*>> registry;
   if (profile != nullptr) {
     ctx.collect_op_stats = true;

@@ -19,6 +19,14 @@ namespace ordopt {
 /// returns the poisoned Status instead of an operator.
 Result<OperatorPtr> BuildOperatorTree(const PlanRef& plan, ExecContext ctx);
 
+/// Variant used by ExchangeOp for its worker subtrees: seeds the build with
+/// the column requirement computed at the exchange node (null = all
+/// columns), so worker scans prune exactly as a serial build of the same
+/// chain would.
+Result<OperatorPtr> BuildWorkerOperatorTree(const PlanRef& plan,
+                                            ExecContext ctx,
+                                            const ColumnSet* required);
+
 /// One operator's runtime stats paired with the plan node it executed.
 /// ExecutePlan emits profiles in the same post-order BuildOperatorTree
 /// visits nodes (children before parent), so index i in a profile vector
@@ -44,7 +52,9 @@ struct OperatorProfile {
 /// size (ExecContext::batch_rows); 1 degenerates to single-row batches
 /// through the same columnar code path. `row_shim` selects the legacy
 /// row-at-a-time execution shape instead (ExecContext::row_shim; implies
-/// batch_rows = 1).
+/// batch_rows = 1). `parallel_workers` (ExecContext::parallel_workers)
+/// enables parallel sort-run generation in serial operators and sizes
+/// nothing else — exchange worker counts are baked into the plan.
 Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
                                      RuntimeMetrics* metrics,
                                      QueryGuard* guard = nullptr,
@@ -53,7 +63,8 @@ Result<std::vector<Row>> ExecutePlan(const PlanRef& plan,
                                          nullptr,
                                      bool verify_orders = false,
                                      int64_t batch_rows = kDefaultBatchRows,
-                                     bool row_shim = false);
+                                     bool row_shim = false,
+                                     int parallel_workers = 1);
 
 }  // namespace ordopt
 

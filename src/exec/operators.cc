@@ -2,16 +2,26 @@
 
 #include <algorithm>
 #include <cstring>
+#include <ctime>
 
 #include "exec/sort_key.h"
 
 #include "common/macros.h"
 #include "common/str_util.h"
+#include "exec/parallel/morsel.h"
 #include "exec/spill.h"
 
 namespace ordopt {
 
 namespace {
+
+// CPU time consumed by the calling thread, for parallel-run-generation job
+// accounting (RuntimeMetrics::worker_busy_ns_*).
+int64_t ThreadCpuNs() {
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
 
 // Positions of `cols` within `layout`. A miss is a planner bug: with a
 // guard the query degrades to Status::Internal (the poisoned tree is
@@ -53,6 +63,45 @@ std::vector<ColumnId> TableLayout(const Table& table, int table_id,
   return layout;
 }
 
+// Stable normalized-key sort of `rows` (Graefe): encode each row's sort key
+// once into a contiguous arena of memcmp-comparable bytes, sort an index
+// vector with a branch-light comparator, then gather rows into the new
+// order. The index tie-break reproduces std::stable_sort's stability. Free
+// function so SortOp's parallel run-generation jobs can run it on their own
+// threads against a job-private comparison counter.
+void SortRowsNormalized(std::vector<Row>* rows,
+                        const std::vector<int>& positions,
+                        const std::vector<bool>& descending,
+                        int64_t* cmp_counter) {
+  const size_t n = rows->size();
+  if (n < 2) return;
+  std::string arena;
+  std::vector<size_t> offsets(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    AppendNormalizedKey((*rows)[i], positions, descending, &arena);
+    offsets[i + 1] = arena.size();
+  }
+  std::vector<uint32_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
+  const char* data = arena.data();
+  std::sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+    ++*cmp_counter;
+    const size_t alen = offsets[a + 1] - offsets[a];
+    const size_t blen = offsets[b + 1] - offsets[b];
+    const int c = std::memcmp(data + offsets[a], data + offsets[b],
+                              alen < blen ? alen : blen);
+    if (c != 0) return c < 0;
+    // Column encodings are self-delimiting, so equal-prefix keys of
+    // different length cannot happen; the check is belt-and-braces.
+    if (alen != blen) return alen < blen;
+    return a < b;
+  });
+  std::vector<Row> sorted;
+  sorted.reserve(n);
+  for (uint32_t i : idx) sorted.push_back(std::move((*rows)[i]));
+  *rows = std::move(sorted);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -60,33 +109,59 @@ std::vector<ColumnId> TableLayout(const Table& table, int table_id,
 // ---------------------------------------------------------------------------
 
 TableScanOp::TableScanOp(const Table& table, int table_id, ExecContext ctx,
-                         const ColumnSet* required_columns)
-    : Operator(ctx), table_(table), pages_(ctx.metrics, kRowsPerPage) {
+                         const ColumnSet* required_columns, bool morsel_driver,
+                         bool emit_provenance)
+    : Operator(ctx),
+      table_(table),
+      pages_(ctx.metrics, kRowsPerPage),
+      morsel_driver_(morsel_driver && ctx.morsels != nullptr),
+      emit_provenance_(emit_provenance) {
   layout_ = TableLayout(table, table_id, required_columns, &src_ordinals_);
+  if (emit_provenance_) layout_.push_back(ProvenanceColumnId());
 }
 
-void TableScanOp::OpenImpl() { rid_ = 0; }
+void TableScanOp::OpenImpl() {
+  rid_ = 0;
+  // Morsel mode starts with an empty range so the first NextBatch claims.
+  limit_ = morsel_driver_ ? 0 : table_.row_count();
+}
 
 bool TableScanOp::NextBatchImpl(RowBatch* out) {
   out->Reset(layout_.size(), BatchCapacity());
+  if (morsel_driver_ && rid_ >= limit_) {
+    if (ctx_.InjectFault("exec.parallel.morsel")) return false;
+    if (!ctx_.GuardOk()) return false;
+    if (!ctx_.morsels->ClaimRange(table_.row_count(), &rid_, &limit_)) {
+      return false;
+    }
+  }
   // Account pages and the guard for the rid range first, then fill column
   // at a time: sequential writes into each output column instead of
-  // striding across the full row width per row.
+  // striding across the full row width per row. Batches never cross a
+  // morsel boundary (the loop stops at limit_), so every emitted batch is
+  // a contiguous, ascending rid range.
   const int64_t start = rid_;
   const int64_t cap = out->capacity();
   int64_t n = 0;
-  while (n < cap && rid_ < table_.row_count()) {
+  while (n < cap && rid_ < limit_) {
     pages_.Access(rid_);
     ++ctx_.metrics->rows_scanned;
     if (!ctx_.OnRowScanned()) break;  // tripped row: counted, not emitted
     ++rid_;
     ++n;
   }
-  const size_t width = layout_.size();
+  const size_t width = src_ordinals_.size();
   for (size_t c = 0; c < width; ++c) {
     const size_t ord = static_cast<size_t>(src_ordinals_[c]);
     for (int64_t i = 0; i < n; ++i) {
       out->AppendColumnValue(c, table_.row(start + i)[ord]);
+    }
+  }
+  if (emit_provenance_) {
+    // The provenance of a heap-scan row is its rid: the ordinal at which
+    // the serial scan would have emitted it.
+    for (int64_t i = 0; i < n; ++i) {
+      out->AppendColumnValue(width, Value::Int(start + i));
     }
   }
   out->SetRowCount(n);
@@ -99,14 +174,18 @@ bool TableScanOp::NextBatchImpl(RowBatch* out) {
 
 IndexScanOp::IndexScanOp(const Table& table, int table_id, int index_ordinal,
                          bool reverse, std::vector<Predicate> range_predicates,
-                         ExecContext ctx, const ColumnSet* required_columns)
+                         ExecContext ctx, const ColumnSet* required_columns,
+                         bool morsel_driver, bool emit_provenance)
     : Operator(ctx),
       table_(table),
       index_ordinal_(index_ordinal),
       reverse_(reverse),
       range_predicates_(std::move(range_predicates)),
-      pages_(ctx.metrics, kRowsPerPage) {
+      pages_(ctx.metrics, kRowsPerPage),
+      morsel_driver_(morsel_driver && ctx.morsels != nullptr),
+      emit_provenance_(emit_provenance) {
   layout_ = TableLayout(table, table_id, required_columns, &src_ordinals_);
+  if (emit_provenance_) layout_.push_back(ProvenanceColumnId());
   if (reverse_ && !range_predicates_.empty()) {
     ctx_.Poison(Status::Internal(
         "reverse index scans do not support range bounds"));
@@ -115,6 +194,10 @@ IndexScanOp::IndexScanOp(const Table& table, int table_id, int index_ordinal,
 
 void IndexScanOp::OpenImpl() {
   done_ = true;
+  ordinal_ = 0;
+  pos_ = 0;
+  limit_ = 0;
+  rids_ = nullptr;
   if (!ctx_.GuardOk()) return;
   if (ctx_.InjectFault("storage.btree.read")) return;
   const BTreeIndex* index =
@@ -203,30 +286,97 @@ bool IndexScanOp::EntryQualifies() const {
   return true;
 }
 
-bool IndexScanOp::NextBatchImpl(RowBatch* out) {
-  out->Reset(layout_.size(), BatchCapacity());
-  while (!out->full() && !done_ && cursor_.Valid()) {
+void IndexScanOp::CollectRids(std::vector<int64_t>* rids) {
+  while (!done_ && cursor_.Valid()) {
     if (!EntryQualifies()) {
-      // Keys are monotone: an equality-prefix mismatch or a violated upper
-      // bound means no further entry qualifies; a violated lower bound
-      // cannot happen (the seek skipped below-bound entries).
       done_ = true;
       break;
     }
-    int64_t rid = cursor_.rid();
+    rids->push_back(cursor_.rid());
     if (reverse_) {
       cursor_.Prev();
     } else {
       cursor_.Next();
     }
-    pages_.Access(rid);
-    ++ctx_.metrics->rows_scanned;
-    if (!ctx_.OnRowScanned()) {
-      done_ = true;
-      break;
-    }
-    out->AppendProjectedRow(table_.row(rid), src_ordinals_);
   }
+}
+
+bool IndexScanOp::NextBatchImpl(RowBatch* out) {
+  out->Reset(layout_.size(), BatchCapacity());
+  const int64_t cap = out->capacity();
+  scratch_rids_.clear();
+  int64_t first_ordinal = 0;
+  if (morsel_driver_) {
+    // The qualifying rids are materialized once, in index-walk order, into
+    // the exchange's shared vector (the first worker to get here walks its
+    // own cursor; the rest reuse). Workers then claim position ranges, so
+    // a row's provenance ordinal is simply its walk position, and every
+    // worker's stream stays ascending in it.
+    if (pos_ >= limit_) {
+      if (ctx_.InjectFault("exec.parallel.morsel")) return false;
+      if (!ctx_.GuardOk()) return false;
+      if (rids_ == nullptr) {
+        rids_ = &ctx_.morsels->EnsureRids(
+            [this](std::vector<int64_t>* rids) { CollectRids(rids); });
+      }
+      if (!ctx_.morsels->ClaimRange(static_cast<int64_t>(rids_->size()),
+                                    &pos_, &limit_)) {
+        return false;
+      }
+    }
+    first_ordinal = pos_;
+    while (static_cast<int64_t>(scratch_rids_.size()) < cap &&
+           pos_ < limit_) {
+      const int64_t rid = (*rids_)[static_cast<size_t>(pos_)];
+      pages_.Access(rid);
+      ++ctx_.metrics->rows_scanned;
+      if (!ctx_.OnRowScanned()) break;  // tripped row: counted, not emitted
+      scratch_rids_.push_back(rid);
+      ++pos_;
+    }
+  } else {
+    first_ordinal = ordinal_;
+    while (static_cast<int64_t>(scratch_rids_.size()) < cap && !done_ &&
+           cursor_.Valid()) {
+      if (!EntryQualifies()) {
+        // Keys are monotone: an equality-prefix mismatch or a violated
+        // upper bound means no further entry qualifies; a violated lower
+        // bound cannot happen (the seek skipped below-bound entries).
+        done_ = true;
+        break;
+      }
+      const int64_t rid = cursor_.rid();
+      if (reverse_) {
+        cursor_.Prev();
+      } else {
+        cursor_.Next();
+      }
+      pages_.Access(rid);
+      ++ctx_.metrics->rows_scanned;
+      if (!ctx_.OnRowScanned()) {
+        done_ = true;
+        break;
+      }
+      scratch_rids_.push_back(rid);
+      ++ordinal_;
+    }
+  }
+  // Materialize the gathered rids column at a time (cf. TableScanOp).
+  const int64_t n = static_cast<int64_t>(scratch_rids_.size());
+  const size_t width = src_ordinals_.size();
+  for (size_t c = 0; c < width; ++c) {
+    const size_t ord = static_cast<size_t>(src_ordinals_[c]);
+    for (int64_t i = 0; i < n; ++i) {
+      out->AppendColumnValue(c, table_.row(scratch_rids_[static_cast<size_t>(
+                                    i)])[ord]);
+    }
+  }
+  if (emit_provenance_) {
+    for (int64_t i = 0; i < n; ++i) {
+      out->AppendColumnValue(width, Value::Int(first_ordinal + i));
+    }
+  }
+  out->SetRowCount(n);
   return !out->empty();
 }
 
@@ -327,38 +477,8 @@ bool SortOp::RowLess(const Row& a, const Row& b) const {
 }
 
 void SortOp::SortBuffer() {
-  const size_t n = rows_.size();
-  if (n < 2) return;
-  // Normalized-key sort (Graefe): encode each row's sort key once into a
-  // contiguous arena of memcmp-comparable bytes, sort an index vector with
-  // a branch-light comparator, then gather rows_ into the new order. The
-  // index tie-break reproduces std::stable_sort's stability.
-  std::string arena;
-  std::vector<size_t> offsets(n + 1, 0);
-  for (size_t i = 0; i < n; ++i) {
-    AppendNormalizedKey(rows_[i], positions_, descending_, &arena);
-    offsets[i + 1] = arena.size();
-  }
-  std::vector<uint32_t> idx(n);
-  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
-  const char* data = arena.data();
-  int64_t* cmp_counter = &ctx_.metrics->comparisons;
-  std::sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
-    ++*cmp_counter;
-    const size_t alen = offsets[a + 1] - offsets[a];
-    const size_t blen = offsets[b + 1] - offsets[b];
-    const int c = std::memcmp(data + offsets[a], data + offsets[b],
-                              alen < blen ? alen : blen);
-    if (c != 0) return c < 0;
-    // Column encodings are self-delimiting, so equal-prefix keys of
-    // different length cannot happen; the check is belt-and-braces.
-    if (alen != blen) return alen < blen;
-    return a < b;
-  });
-  std::vector<Row> sorted;
-  sorted.reserve(n);
-  for (uint32_t i : idx) sorted.push_back(std::move(rows_[i]));
-  rows_ = std::move(sorted);
+  SortRowsNormalized(&rows_, positions_, descending_,
+                     &ctx_.metrics->comparisons);
 }
 
 bool SortOp::SpillCurrentRun() {
@@ -374,7 +494,72 @@ bool SortOp::SpillCurrentRun() {
   return true;
 }
 
+bool SortOp::SpillRunAsync() {
+  // Bound in-flight jobs by the worker knob; join oldest-first so the
+  // collection thread blocks on the run most likely to have finished.
+  while (jobs_.size() - jobs_joined_ >=
+         static_cast<size_t>(ctx_.parallel_workers)) {
+    JoinOneJob();
+    if (!ctx_.GuardOk()) return false;
+  }
+  auto job = std::make_unique<RunJob>();
+  job->rows = std::move(rows_);
+  rows_.clear();
+  job->metrics = std::make_unique<RuntimeMetrics>();
+  job->spill = std::make_unique<SpillManager>(ctx_.spill->config(),
+                                              job->metrics.get());
+  // Reserve the run's slot now: runs_ keeps input order regardless of job
+  // completion order, so merge tie-breaking (lowest run index wins) stays
+  // identical to the serial spill order.
+  job->slot = runs_.size();
+  runs_.push_back(nullptr);
+  // The job takes over the buffered rows' guard charge; it is released at
+  // join, once the run is on disk and the rows are freed.
+  job->charged_rows = buffer_.rows();
+  job->charged_bytes = buffer_.bytes();
+  buffer_.ForgetCharge();
+  RunJob* j = job.get();
+  j->thread = std::thread([this, j] {
+    const int64_t start_ns = ThreadCpuNs();
+    SortRowsNormalized(&j->rows, positions_, descending_,
+                       &j->metrics->comparisons);
+    Result<std::unique_ptr<SpillRun>> run = j->spill->WriteRun(j->rows);
+    if (run.ok()) {
+      j->run = std::move(run).value_unsafe();
+    } else {
+      j->status = run.status();
+    }
+    j->rows.clear();
+    j->metrics->worker_busy_ns_max = ThreadCpuNs() - start_ns;
+    j->metrics->worker_busy_ns_total = j->metrics->worker_busy_ns_max;
+  });
+  jobs_.push_back(std::move(job));
+  return ctx_.GuardOk();
+}
+
+void SortOp::JoinOneJob() {
+  RunJob* job = jobs_[jobs_joined_].get();
+  if (job->thread.joinable()) job->thread.join();
+  ++jobs_joined_;
+  if (ctx_.metrics != nullptr) ctx_.metrics->MergeFrom(*job->metrics);
+  if (ctx_.guard != nullptr) {
+    ctx_.guard->OnBufferReleased(job->charged_rows, job->charged_bytes);
+  }
+  if (!job->status.ok()) {
+    ctx_.Poison(job->status);
+    return;
+  }
+  runs_[job->slot] = std::move(job->run);
+}
+
+void SortOp::JoinAllJobs() {
+  while (jobs_joined_ < jobs_.size()) JoinOneJob();
+  jobs_.clear();
+  jobs_joined_ = 0;
+}
+
 void SortOp::Abandon() {
+  JoinAllJobs();
   rows_.clear();
   buffer_.Release();
   heads_.clear();
@@ -385,6 +570,8 @@ void SortOp::Abandon() {
 
 void SortOp::ReleaseRuns() {
   for (std::unique_ptr<SpillRun>& run : runs_) {
+    // A failed/abandoned parallel job can leave its placeholder empty.
+    if (run == nullptr) continue;
     // runs_ is only ever non-empty under an engine-provided SpillManager.
     Status st = ctx_.spill->ReleaseRun(std::move(run));
     if (!st.ok()) ctx_.Poison(std::move(st));
@@ -404,6 +591,11 @@ void SortOp::OpenImpl() {
   if (!ResolveComparator()) return;
   const int64_t budget =
       ctx_.spill != nullptr ? ctx_.spill->config().sort_memory_rows : 0;
+  // Parallel run generation (§5.2): with workers available, a full buffer
+  // is sorted and spilled on a job thread while this thread keeps pulling
+  // input — run formation overlaps input production. The row shim keeps
+  // the historical strictly-serial shape (it is the baseline).
+  const bool async_runs = ctx_.parallel_workers > 1 && !ctx_.row_shim;
   int64_t total_rows = 0;
   Row row;
   if (ctx_.row_shim) {
@@ -425,11 +617,14 @@ void SortOp::OpenImpl() {
       const int64_t n = batch.size();
       for (int64_t i = 0; i < n; ++i) {
         batch.TakeRowInto(i, &row);
-        if (!buffer_.Add(row)) return;  // buffer limit tripped: wind down
+        if (!buffer_.Add(row)) {  // buffer limit tripped: wind down
+          JoinAllJobs();
+          return;
+        }
         rows_.push_back(std::move(row));
         ++total_rows;
         if (budget > 0 && static_cast<int64_t>(rows_.size()) >= budget) {
-          if (!SpillCurrentRun()) {
+          if (!(async_runs ? SpillRunAsync() : SpillCurrentRun())) {
             Abandon();
             return;
           }
@@ -437,6 +632,7 @@ void SortOp::OpenImpl() {
       }
     }
   }
+  JoinAllJobs();  // every reserved runs_ slot is installed past this point
   if (!ctx_.GuardOk()) {
     Abandon();
     return;
@@ -509,6 +705,7 @@ bool SortOp::MergeNext(Row* out) {
 
 void SortOp::Close() {
   child_->Close();
+  JoinAllJobs();
   rows_.clear();
   heads_.clear();
   head_valid_.clear();

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <map>
 #include <memory>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -94,6 +95,12 @@ class Operator {
   const std::vector<ColumnId>& layout() const { return layout_; }
   const OperatorStats& stats() const { return stats_; }
 
+  /// Folds another operator's stats into this one. Used by ExchangeOp at
+  /// Close: workers 1..N-1 ran identical copies of the chain, and their
+  /// per-operator stats aggregate into worker 0's registered operators so
+  /// EXPLAIN ANALYZE reports the chain's total work.
+  void AccumulateStats(const OperatorStats& other) { stats_.MergeFrom(other); }
+
  protected:
   virtual void OpenImpl() = 0;
   virtual bool NextBatchImpl(RowBatch* out) = 0;
@@ -182,10 +189,17 @@ using OperatorPtr = std::unique_ptr<Operator>;
 /// is given, the scan emits only the table columns in that set (build-time
 /// column pruning): pages and guard accounting still cover every row, but
 /// unreferenced cells are never copied out of the heap.
+///
+/// Inside an exchange worker (`morsel_driver` with a MorselScheduler in the
+/// context) the scan claims rid ranges from the shared scheduler instead of
+/// walking [0, row_count); batches never cross a morsel boundary. With
+/// `emit_provenance` the scan appends the hidden provenance column — the
+/// rid, i.e. the serial emission ordinal — after the pruned table columns.
 class TableScanOp : public Operator {
  public:
   TableScanOp(const Table& table, int table_id, ExecContext ctx,
-              const ColumnSet* required_columns = nullptr);
+              const ColumnSet* required_columns = nullptr,
+              bool morsel_driver = false, bool emit_provenance = false);
   void OpenImpl() override;
   bool NextBatchImpl(RowBatch* out) override;
 
@@ -195,22 +209,36 @@ class TableScanOp : public Operator {
   /// Table-column ordinal backing each emitted column (identity without
   /// pruning).
   std::vector<int32_t> src_ordinals_;
+  bool morsel_driver_ = false;
+  bool emit_provenance_ = false;
   int64_t rid_ = 0;
+  int64_t limit_ = 0;  ///< end of the current morsel (serial: row_count)
 };
 
 /// Ordered index scan, optionally range-bounded by equality constants on a
 /// key prefix plus at most one comparison on the next key column, and
 /// optionally reversed (yields the reversed order, full scans only).
+///
+/// Inside an exchange worker (`morsel_driver`) the qualifying rids are
+/// materialized once in index-walk order into the MorselScheduler's shared
+/// vector (first worker walks, the rest reuse), and workers claim position
+/// ranges of that vector — row materialization is what parallelizes, and
+/// the provenance ordinal (the walk position) is the position claimed.
 class IndexScanOp : public Operator {
  public:
   IndexScanOp(const Table& table, int table_id, int index_ordinal,
               bool reverse, std::vector<Predicate> range_predicates,
-              ExecContext ctx, const ColumnSet* required_columns = nullptr);
+              ExecContext ctx, const ColumnSet* required_columns = nullptr,
+              bool morsel_driver = false, bool emit_provenance = false);
   void OpenImpl() override;
   bool NextBatchImpl(RowBatch* out) override;
 
  private:
   bool EntryQualifies() const;
+  /// Walks the cursor to completion, appending each qualifying rid. The
+  /// walk accounts nothing: pages, rows_scanned, and the guard are charged
+  /// by whichever path materializes the rows.
+  void CollectRids(std::vector<int64_t>* rids);
 
   const Table& table_;
   int index_ordinal_;
@@ -226,6 +254,14 @@ class IndexScanOp : public Operator {
   BinOp cmp_op_ = BinOp::kEq;
   Value cmp_bound_;
   bool done_ = false;
+  bool morsel_driver_ = false;
+  bool emit_provenance_ = false;
+  int64_t ordinal_ = 0;  ///< serial mode: walk ordinal of the next row
+  /// Morsel mode: shared qualifying rids plus the claimed [pos_, limit_).
+  const std::vector<int64_t>* rids_ = nullptr;
+  int64_t pos_ = 0;
+  int64_t limit_ = 0;
+  std::vector<int64_t> scratch_rids_;  ///< rids gathered for one batch
 };
 
 /// Predicate application.
@@ -279,10 +315,35 @@ class SortOp : public Operator {
   /// Stable-sorts the current buffer and writes it out as one run;
   /// poisons and returns false on spill failure.
   bool SpillCurrentRun();
+  /// Parallel run generation (ExecContext::parallel_workers > 1): hands the
+  /// current buffer to a worker thread that sorts and spills it through a
+  /// private SpillManager while this thread keeps collecting input — §5.2's
+  /// overlap of run formation with input production. The job's run lands in
+  /// its reserved runs_ slot at join, keeping run order (and thus merge
+  /// tie-breaking) identical to the serial spill order. Bounded: at most
+  /// parallel_workers jobs in flight, then the oldest is joined.
+  bool SpillRunAsync();
+  /// Joins the oldest unjoined job, installs its run, merges its metrics,
+  /// releases its buffer charge; poisons on job failure.
+  void JoinOneJob();
+  void JoinAllJobs();
   /// Winds the operator down after a mid-sort failure: drops buffered
   /// rows and removes every run file.
   void Abandon();
   void ReleaseRuns();
+
+  /// One in-flight asynchronous run-formation job.
+  struct RunJob {
+    std::thread thread;
+    std::vector<Row> rows;
+    std::unique_ptr<RuntimeMetrics> metrics;  ///< private to the job thread
+    std::unique_ptr<SpillManager> spill;
+    std::unique_ptr<SpillRun> run;
+    Status status;
+    size_t slot = 0;  ///< reserved index in runs_
+    int64_t charged_rows = 0;
+    int64_t charged_bytes = 0;
+  };
 
   OperatorPtr child_;
   OrderSpec spec_;
@@ -292,6 +353,8 @@ class SortOp : public Operator {
   std::vector<Row> rows_;  ///< in-memory rows (the merge's final run)
   size_t pos_ = 0;
   std::vector<std::unique_ptr<SpillRun>> runs_;  ///< spilled, input order
+  std::vector<std::unique_ptr<RunJob>> jobs_;    ///< in-flight, oldest first
+  size_t jobs_joined_ = 0;
   std::vector<Row> heads_;       ///< current head row per run
   std::vector<bool> head_valid_;
   bool merging_ = false;

@@ -7,6 +7,21 @@
 
 namespace ordopt {
 
+namespace {
+
+/// Racy-monotonic maximum for peak counters: exact peaks would need a lock
+/// on every buffered row; a CAS loop keeps the recorded peak monotone and
+/// within one concurrent update of the true maximum.
+void AtomicMax(std::atomic<int64_t>* target, int64_t candidate) {
+  int64_t cur = target->load(std::memory_order_relaxed);
+  while (candidate > cur &&
+         !target->compare_exchange_weak(cur, candidate,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 int64_t ApproxRowBytes(const Row& row) {
   int64_t bytes = static_cast<int64_t>(sizeof(Row));
   for (const Value& v : row) {
@@ -21,82 +36,90 @@ int64_t ApproxRowBytes(const Row& row) {
 void QueryGuard::Arm() {
   armed_ = true;
   start_time_ = std::chrono::steady_clock::now();
-  events_until_check_ = 1;
+  events_until_check_.store(1, std::memory_order_relaxed);
 }
 
 void QueryGuard::ResetForRetry() {
-  if (shared_budget_ != nullptr && shared_charged_bytes_ > 0) {
-    shared_budget_->Release(shared_charged_bytes_);
+  int64_t charged = shared_charged_bytes_.load(std::memory_order_relaxed);
+  if (shared_budget_ != nullptr && charged > 0) {
+    shared_budget_->Release(charged);
   }
-  shared_charged_bytes_ = 0;
-  status_ = Status::OK();
-  tripped_ = false;
+  shared_charged_bytes_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    status_ = Status::OK();
+  }
+  tripped_.store(false, std::memory_order_release);
   armed_ = false;
-  events_until_check_ = 1;
-  rows_scanned_ = 0;
-  rows_produced_ = 0;
-  buffered_rows_ = 0;
-  buffered_bytes_ = 0;
-  buffered_rows_peak_ = 0;
-  buffered_bytes_peak_ = 0;
+  events_until_check_.store(1, std::memory_order_relaxed);
+  rows_scanned_.store(0, std::memory_order_relaxed);
+  rows_produced_.store(0, std::memory_order_relaxed);
+  buffered_rows_.store(0, std::memory_order_relaxed);
+  buffered_bytes_.store(0, std::memory_order_relaxed);
+  buffered_rows_peak_.store(0, std::memory_order_relaxed);
+  buffered_bytes_peak_.store(0, std::memory_order_relaxed);
 }
 
 void QueryGuard::Poison(Status status) {
-  if (tripped_) return;
   ORDOPT_CHECK_MSG(!status.ok(), "QueryGuard poisoned with OK status");
+  std::lock_guard<std::mutex> lock(status_mu_);
+  if (tripped_.load(std::memory_order_relaxed)) return;
   status_ = std::move(status);
-  tripped_ = true;
+  // Release: workers observing tripped_ via ok() see the Status write.
+  tripped_.store(true, std::memory_order_release);
 }
 
-bool QueryGuard::TripScanLimit() {
+bool QueryGuard::TripScanLimit(int64_t scanned) {
   Poison(Status::ResourceExhausted(
       StrFormat("scan limit exceeded: %lld rows scanned, limit %lld",
-                static_cast<long long>(rows_scanned_),
+                static_cast<long long>(scanned),
                 static_cast<long long>(limits_.max_rows_scanned))));
   return false;
 }
 
-bool QueryGuard::TripProducedLimit() {
+bool QueryGuard::TripProducedLimit(int64_t produced) {
   Poison(Status::ResourceExhausted(
       StrFormat("output limit exceeded: %lld rows produced, limit %lld",
-                static_cast<long long>(rows_produced_),
+                static_cast<long long>(produced),
                 static_cast<long long>(limits_.max_rows_produced))));
   return false;
 }
 
 bool QueryGuard::OnRowsBuffered(int64_t rows, int64_t bytes) {
-  buffered_rows_ += rows;
-  buffered_bytes_ += bytes;
+  int64_t buffered_rows =
+      buffered_rows_.fetch_add(rows, std::memory_order_relaxed) + rows;
+  int64_t buffered_bytes =
+      buffered_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   if (shared_budget_ != nullptr && bytes > 0) {
     if (shared_budget_->TryCharge(bytes)) {
-      shared_charged_bytes_ += bytes;
+      shared_charged_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     } else {
       Poison(Status::ResourceExhausted(StrFormat(
           "global memory budget exhausted: query holds ~%lld bytes, pool "
           "%lld/%lld bytes committed",
-          static_cast<long long>(buffered_bytes_),
+          static_cast<long long>(buffered_bytes),
           static_cast<long long>(shared_budget_->used_bytes()),
           static_cast<long long>(shared_budget_->limit_bytes()))));
       return false;
     }
   }
-  buffered_rows_peak_ = std::max(buffered_rows_peak_, buffered_rows_);
-  buffered_bytes_peak_ = std::max(buffered_bytes_peak_, buffered_bytes_);
+  AtomicMax(&buffered_rows_peak_, buffered_rows);
+  AtomicMax(&buffered_bytes_peak_, buffered_bytes);
   if (limits_.max_buffered_rows > 0 &&
-      buffered_rows_ > limits_.max_buffered_rows) {
+      buffered_rows > limits_.max_buffered_rows) {
     Poison(Status::ResourceExhausted(
         StrFormat("buffer limit exceeded: %lld rows buffered in blocking "
                   "operators, limit %lld",
-                  static_cast<long long>(buffered_rows_),
+                  static_cast<long long>(buffered_rows),
                   static_cast<long long>(limits_.max_buffered_rows))));
     return false;
   }
   if (limits_.max_buffered_bytes > 0 &&
-      buffered_bytes_ > limits_.max_buffered_bytes) {
+      buffered_bytes > limits_.max_buffered_bytes) {
     Poison(Status::ResourceExhausted(
         StrFormat("buffer limit exceeded: ~%lld bytes buffered in blocking "
                   "operators, limit %lld",
-                  static_cast<long long>(buffered_bytes_),
+                  static_cast<long long>(buffered_bytes),
                   static_cast<long long>(limits_.max_buffered_bytes))));
     return false;
   }
@@ -104,20 +127,26 @@ bool QueryGuard::OnRowsBuffered(int64_t rows, int64_t bytes) {
 }
 
 void QueryGuard::OnBufferReleased(int64_t rows, int64_t bytes) {
-  buffered_rows_ -= rows;
-  buffered_bytes_ -= bytes;
+  buffered_rows_.fetch_sub(rows, std::memory_order_relaxed);
+  buffered_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
   if (shared_budget_ != nullptr && bytes > 0) {
     // Release at most what this guard actually managed to charge: a trip
-    // mid-buffer leaves the failed charge uncounted.
-    int64_t give_back = std::min(bytes, shared_charged_bytes_);
+    // mid-buffer leaves the failed charge uncounted. CAS-bounded so
+    // concurrent worker releases cannot collectively over-release.
+    int64_t cur = shared_charged_bytes_.load(std::memory_order_relaxed);
+    int64_t give_back = 0;
+    do {
+      give_back = std::min(bytes, cur);
+      if (give_back <= 0) return;
+    } while (!shared_charged_bytes_.compare_exchange_weak(
+        cur, cur - give_back, std::memory_order_relaxed));
     shared_budget_->Release(give_back);
-    shared_charged_bytes_ -= give_back;
   }
 }
 
 bool QueryGuard::ForceCheck() {
-  if (tripped_) return false;
-  events_until_check_ = kCheckIntervalRows;
+  if (tripped_.load(std::memory_order_acquire)) return false;
+  events_until_check_.store(kCheckIntervalRows, std::memory_order_relaxed);
   if (cancel_requested_.load(std::memory_order_relaxed)) {
     Poison(Status::Cancelled("query cancelled by caller"));
     return false;
@@ -139,9 +168,9 @@ bool QueryGuard::ForceCheck() {
 void QueryGuard::ReportTo(RuntimeMetrics* metrics) const {
   if (metrics == nullptr) return;
   metrics->rows_buffered_peak =
-      std::max(metrics->rows_buffered_peak, buffered_rows_peak_);
+      std::max(metrics->rows_buffered_peak, buffered_rows_peak());
   metrics->bytes_buffered_peak =
-      std::max(metrics->bytes_buffered_peak, buffered_bytes_peak_);
+      std::max(metrics->bytes_buffered_peak, buffered_bytes_peak());
 }
 
 void ExecContext::Poison(Status status) const {

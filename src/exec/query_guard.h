@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -113,6 +114,15 @@ class SharedMemoryBudget {
 ///
 /// The first violation wins: the guard latches a non-OK Status, every
 /// subsequent check returns false, and operators wind down their streams.
+///
+/// Threading: one guard polices one query, but with morsel-parallel
+/// execution that query spans several worker threads that all charge the
+/// same guard. Every consumption counter is therefore atomic, the latched
+/// Status is published under a mutex behind an atomic `tripped_` flag, and
+/// the shared-budget charge bookkeeping uses CAS so concurrent releases
+/// never give back more than was charged. The fast paths stay wait-free
+/// relaxed atomics — exactness of the counters is preserved (fetch_add),
+/// only the peaks are racy-monotonic maxima.
 class QueryGuard {
  public:
   /// Unlimited guard: still usable for cancellation and poisoning.
@@ -122,8 +132,9 @@ class QueryGuard {
     // Backstop: a guard that dies with buffered charges outstanding (its
     // operators were torn down without releasing) must not leak budget
     // from the shared pool forever.
-    if (shared_budget_ != nullptr && shared_charged_bytes_ > 0) {
-      shared_budget_->Release(shared_charged_bytes_);
+    int64_t charged = shared_charged_bytes_.load(std::memory_order_relaxed);
+    if (shared_budget_ != nullptr && charged > 0) {
+      shared_budget_->Release(charged);
     }
   }
 
@@ -169,30 +180,38 @@ class QueryGuard {
   }
 
   /// False once any limit tripped, cancellation was observed, or the
-  /// guard was poisoned.
-  bool ok() const { return !tripped_; }
-  const Status& status() const { return status_; }
+  /// guard was poisoned. Safe from any worker thread.
+  bool ok() const { return !tripped_.load(std::memory_order_acquire); }
+  /// The latched first-violation Status (OK while ok()). By value: the
+  /// latch is cross-thread, so the snapshot is taken under its mutex.
+  Status status() const {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    return status_;
+  }
 
   /// Records an error from a context that cannot return Status (operator
   /// Open/Next). The first poison latches; later ones are dropped.
+  /// Thread-safe: workers of one query race to poison, exactly one wins.
   void Poison(Status status);
 
   /// One base-table row was scanned. Returns ok().
   bool OnRowScanned() {
-    ++rows_scanned_;
+    int64_t scanned =
+        rows_scanned_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (limits_.max_rows_scanned > 0 &&
-        rows_scanned_ > limits_.max_rows_scanned) {
-      return TripScanLimit();
+        scanned > limits_.max_rows_scanned) {
+      return TripScanLimit(scanned);
     }
     return PeriodicCheck();
   }
 
   /// One row was emitted by the plan root. Returns ok().
   bool OnRowProduced() {
-    ++rows_produced_;
+    int64_t produced =
+        rows_produced_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (limits_.max_rows_produced > 0 &&
-        rows_produced_ > limits_.max_rows_produced) {
-      return TripProducedLimit();
+        produced > limits_.max_rows_produced) {
+      return TripProducedLimit(produced);
     }
     return PeriodicCheck();
   }
@@ -211,11 +230,21 @@ class QueryGuard {
   /// consumed-vs-limit even when the query tripped.
   void ReportTo(RuntimeMetrics* metrics) const;
 
-  int64_t rows_scanned() const { return rows_scanned_; }
-  int64_t rows_produced() const { return rows_produced_; }
-  int64_t buffered_rows() const { return buffered_rows_; }
-  int64_t buffered_rows_peak() const { return buffered_rows_peak_; }
-  int64_t buffered_bytes_peak() const { return buffered_bytes_peak_; }
+  int64_t rows_scanned() const {
+    return rows_scanned_.load(std::memory_order_relaxed);
+  }
+  int64_t rows_produced() const {
+    return rows_produced_.load(std::memory_order_relaxed);
+  }
+  int64_t buffered_rows() const {
+    return buffered_rows_.load(std::memory_order_relaxed);
+  }
+  int64_t buffered_rows_peak() const {
+    return buffered_rows_peak_.load(std::memory_order_relaxed);
+  }
+  int64_t buffered_bytes_peak() const {
+    return buffered_bytes_peak_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Deadline and cancellation are checked every this many guard events;
@@ -223,34 +252,37 @@ class QueryGuard {
   static constexpr int64_t kCheckIntervalRows = 1024;
 
   bool PeriodicCheck() {
-    if (tripped_) return false;
-    if (--events_until_check_ > 0) return true;
+    if (tripped_.load(std::memory_order_acquire)) return false;
+    if (events_until_check_.fetch_sub(1, std::memory_order_relaxed) > 1) {
+      return true;
+    }
     return ForceCheck();
   }
-  bool TripScanLimit();
-  bool TripProducedLimit();
+  bool TripScanLimit(int64_t scanned);
+  bool TripProducedLimit(int64_t produced);
 
   QueryLimits limits_;
-  Status status_;
-  bool tripped_ = false;
+  mutable std::mutex status_mu_;
+  Status status_;  // guarded by status_mu_; published via tripped_
+  std::atomic<bool> tripped_{false};
   std::atomic<bool> cancel_requested_{false};
 
   bool armed_ = false;
   std::chrono::steady_clock::time_point start_time_;
 
-  int64_t events_until_check_ = 1;  // full check on the first event
-  int64_t rows_scanned_ = 0;
-  int64_t rows_produced_ = 0;
-  int64_t buffered_rows_ = 0;
-  int64_t buffered_bytes_ = 0;
-  int64_t buffered_rows_peak_ = 0;
-  int64_t buffered_bytes_peak_ = 0;
+  std::atomic<int64_t> events_until_check_{1};  // full check on first event
+  std::atomic<int64_t> rows_scanned_{0};
+  std::atomic<int64_t> rows_produced_{0};
+  std::atomic<int64_t> buffered_rows_{0};
+  std::atomic<int64_t> buffered_bytes_{0};
+  std::atomic<int64_t> buffered_rows_peak_{0};
+  std::atomic<int64_t> buffered_bytes_peak_{0};
 
-  /// Optional service-wide budget (see SharedMemoryBudget above); the
-  /// guard itself is single-query/single-thread, so the local charge
-  /// bookkeeping needs no synchronization.
+  /// Optional service-wide budget (see SharedMemoryBudget above). The
+  /// charge bookkeeping is CAS-bounded so concurrent worker releases give
+  /// back exactly what this guard managed to charge, never more.
   SharedMemoryBudget* shared_budget_ = nullptr;
-  int64_t shared_charged_bytes_ = 0;
+  std::atomic<int64_t> shared_charged_bytes_{0};
 
   int64_t query_id_ = 0;
 };
@@ -304,6 +336,18 @@ class BufferAccount {
     bytes_ = 0;
   }
 
+  /// Rows/bytes currently charged (used when a sort hands a full buffer to
+  /// a parallel run-generation job: the charge is transferred to the job
+  /// and released when the job's run hits disk).
+  int64_t rows() const { return rows_; }
+  int64_t bytes() const { return bytes_; }
+  /// Drops the account's bookkeeping WITHOUT releasing the guard charge —
+  /// the caller took ownership of the charge (see rows()/bytes()).
+  void ForgetCharge() {
+    rows_ = 0;
+    bytes_ = 0;
+  }
+
  private:
   QueryGuard* guard_ = nullptr;
   OperatorStats* stats_ = nullptr;
@@ -313,6 +357,7 @@ class BufferAccount {
 
 class SpillManager;
 class Operator;
+class MorselScheduler;
 struct PlanNode;
 
 /// Everything the operator tree needs from its environment: runtime
@@ -360,6 +405,15 @@ struct ExecContext {
   /// sweep ("speedup vs the row shim") and of the batch-vs-row
   /// differential suite.
   bool row_shim = false;
+  /// Intra-query worker count from OptimizerConfig::parallel_workers.
+  /// Serial operators above an exchange (and serial plans) use it for
+  /// parallel sort-run generation; inside an exchange worker it is 1 so
+  /// parallelism never nests.
+  int parallel_workers = 1;
+  /// Morsel dispatcher of the enclosing ExchangeOp; non-null only inside a
+  /// worker's operator tree. The chain's driving scan pulls rid/ordinal
+  /// ranges from it instead of scanning its full range.
+  MorselScheduler* morsels = nullptr;
 
   bool GuardOk() const { return guard == nullptr || guard->ok(); }
 

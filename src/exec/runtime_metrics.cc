@@ -1,8 +1,32 @@
 #include "exec/runtime_metrics.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 
 namespace ordopt {
+
+void RuntimeMetrics::MergeFrom(const RuntimeMetrics& worker) {
+  rows_produced += worker.rows_produced;
+  rows_scanned += worker.rows_scanned;
+  comparisons += worker.comparisons;
+  seq_pages += worker.seq_pages;
+  random_pages += worker.random_pages;
+  index_probes += worker.index_probes;
+  sorts_performed += worker.sorts_performed;
+  rows_sorted += worker.rows_sorted;
+  rows_buffered_peak = std::max(rows_buffered_peak, worker.rows_buffered_peak);
+  bytes_buffered_peak =
+      std::max(bytes_buffered_peak, worker.bytes_buffered_peak);
+  spill_runs += worker.spill_runs;
+  spill_rows += worker.spill_rows;
+  spill_bytes += worker.spill_bytes;
+  spill_retries += worker.spill_retries;
+  parallel_workers = std::max(parallel_workers, worker.parallel_workers);
+  exchange_batches += worker.exchange_batches;
+  worker_busy_ns_max = std::max(worker_busy_ns_max, worker.worker_busy_ns_max);
+  worker_busy_ns_total += worker.worker_busy_ns_total;
+}
 
 std::string RuntimeMetrics::ToString() const {
   return StrFormat(
@@ -10,7 +34,9 @@ std::string RuntimeMetrics::ToString() const {
       "probes=%lld sorts=%lld rows_sorted=%lld buf_rows_peak=%lld "
       "buf_bytes_peak=%lld spill_runs=%lld spill_rows=%lld "
       "spill_bytes=%lld spill_retries=%lld reduce_hits=%lld "
-      "reduce_misses=%lld sim_io=%.3fs sim_cpu=%.3fs",
+      "reduce_misses=%lld workers=%lld exch_batches=%lld "
+      "worker_busy_max=%.3fs worker_busy_total=%.3fs "
+      "sim_io=%.3fs sim_cpu=%.3fs",
       static_cast<long long>(rows_produced),
       static_cast<long long>(rows_scanned),
       static_cast<long long>(comparisons),
@@ -25,7 +51,11 @@ std::string RuntimeMetrics::ToString() const {
       static_cast<long long>(spill_bytes),
       static_cast<long long>(spill_retries),
       static_cast<long long>(reduce_cache_hits),
-      static_cast<long long>(reduce_cache_misses), SimulatedIoSeconds(),
+      static_cast<long long>(reduce_cache_misses),
+      static_cast<long long>(parallel_workers),
+      static_cast<long long>(exchange_batches),
+      static_cast<double>(worker_busy_ns_max) / 1e9,
+      static_cast<double>(worker_busy_ns_total) / 1e9, SimulatedIoSeconds(),
       SimulatedCpuSeconds());
 }
 
@@ -37,7 +67,9 @@ std::string RuntimeMetrics::ToJson() const {
       "\"rows_buffered_peak\":%lld,\"bytes_buffered_peak\":%lld,"
       "\"spill_runs\":%lld,\"spill_rows\":%lld,\"spill_bytes\":%lld,"
       "\"spill_retries\":%lld,\"reduce_cache_hits\":%lld,"
-      "\"reduce_cache_misses\":%lld,\"sim_io_seconds\":%.6g,"
+      "\"reduce_cache_misses\":%lld,\"parallel_workers\":%lld,"
+      "\"exchange_batches\":%lld,\"worker_busy_ns_max\":%lld,"
+      "\"worker_busy_ns_total\":%lld,\"sim_io_seconds\":%.6g,"
       "\"sim_cpu_seconds\":%.6g,\"sim_elapsed_seconds\":%.6g}",
       static_cast<long long>(rows_produced),
       static_cast<long long>(rows_scanned),
@@ -53,7 +85,11 @@ std::string RuntimeMetrics::ToJson() const {
       static_cast<long long>(spill_bytes),
       static_cast<long long>(spill_retries),
       static_cast<long long>(reduce_cache_hits),
-      static_cast<long long>(reduce_cache_misses), SimulatedIoSeconds(),
+      static_cast<long long>(reduce_cache_misses),
+      static_cast<long long>(parallel_workers),
+      static_cast<long long>(exchange_batches),
+      static_cast<long long>(worker_busy_ns_max),
+      static_cast<long long>(worker_busy_ns_total), SimulatedIoSeconds(),
       SimulatedCpuSeconds(), SimulatedElapsedSeconds());
 }
 

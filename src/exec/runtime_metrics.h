@@ -42,6 +42,21 @@ struct RuntimeMetrics {
   /// counters). 0/0 when the query was executed from a prebuilt plan.
   int64_t reduce_cache_hits = 0;
   int64_t reduce_cache_misses = 0;
+  /// Morsel-parallel execution (src/exec/parallel/): worker count of the
+  /// widest exchange that ran, batches forwarded through exchanges, and
+  /// per-worker thread-CPU busy time (max = the parallel region's critical
+  /// path, total = work that was distributed). All zero for serial plans.
+  int64_t parallel_workers = 0;
+  int64_t exchange_batches = 0;
+  int64_t worker_busy_ns_max = 0;
+  int64_t worker_busy_ns_total = 0;
+
+  /// Accumulates a worker's counters into this (query-level) instance.
+  /// Workers execute with private RuntimeMetrics so the hot paths never
+  /// share cache lines; the exchange merges them at Close. Sums the
+  /// additive counters, maxes the peaks, and leaves the plan-time fields
+  /// (reduce-cache) alone — workers never plan.
+  void MergeFrom(const RuntimeMetrics& worker);
 
   /// Simulated I/O time with 1996-style disk parameters: a random page
   /// pays a seek (~8 ms); sequential pages stream with big-block prefetch
@@ -102,6 +117,27 @@ struct OperatorStats {
   int64_t buffered_rows_peak = 0;
 
   int64_t total_ns() const { return open_ns + next_ns; }
+
+  /// Accumulates another worker's stats for the same plan node: counters
+  /// and times sum (total work across workers), peaks take the maximum.
+  /// EXPLAIN ANALYZE of a parallel plan therefore shows aggregate work per
+  /// operator, with wall time exceeding elapsed time when workers overlap.
+  void MergeFrom(const OperatorStats& other) {
+    open_ns += other.open_ns;
+    next_ns += other.next_ns;
+    next_calls += other.next_calls;
+    rows_out += other.rows_out;
+    rows_scanned += other.rows_scanned;
+    comparisons += other.comparisons;
+    seq_pages += other.seq_pages;
+    random_pages += other.random_pages;
+    index_probes += other.index_probes;
+    spill_runs += other.spill_runs;
+    spill_retries += other.spill_retries;
+    if (other.buffered_rows_peak > buffered_rows_peak) {
+      buffered_rows_peak = other.buffered_rows_peak;
+    }
+  }
 };
 
 /// Tracks page-access locality for one scan or probe stream. A fetch on

@@ -1,0 +1,144 @@
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "optimizer/planner.h"
+
+namespace ordopt {
+
+namespace {
+
+bool IsLeafScan(OpKind kind) {
+  return kind == OpKind::kTableScan || kind == OpKind::kIndexScan;
+}
+
+/// Chain-interior operators: single-child operators a morsel worker can run
+/// over its partition with the partition's serial semantics intact. Filter
+/// is trivially partitionable; IndexNLJoin probes a read-only base table per
+/// outer row, so partitioning the outer stream partitions the join; Sort
+/// joins the chain only when the order-preserving merge exchange is enabled
+/// — workers then sort their partitions and the exchange merges the sorted
+/// streams (parallel run formation, §5.2's sorts become the parallel work).
+bool ChainInterior(OpKind kind, bool allow_sort) {
+  switch (kind) {
+    case OpKind::kFilter:
+    case OpKind::kIndexNLJoin:
+      return true;
+    case OpKind::kSort:
+      return allow_sort;
+    default:
+      return false;
+  }
+}
+
+/// True when `node` heads a parallelizable chain: a linear path of
+/// chain-interior operators ending in a base-table leaf scan.
+bool IsChain(const PlanNode* node, bool allow_sort) {
+  while (ChainInterior(node->kind, allow_sort)) {
+    node = node->children[0].get();
+  }
+  return IsLeafScan(node->kind);
+}
+
+/// The provenance order element every worker-side sort and merge key ends
+/// in: ties on the user-visible key cannot span workers (each provenance
+/// value — a rid or index-walk ordinal — belongs to exactly one morsel), so
+/// the merged stream reproduces the serial row sequence exactly.
+OrderElement ProvenanceElement() {
+  return OrderElement(ProvenanceColumnId(), SortDirection::kAscending);
+}
+
+/// Deep-copies the chain for execution inside exchange workers: the leaf
+/// scan becomes a morsel driver that emits the provenance column, and every
+/// Sort's specification is extended with the provenance tie-break so the
+/// worker-local sort equals the serial sort restricted to the partition
+/// (the serial SortOp breaks ties by input order, which *is* provenance
+/// order). `merge_spec` receives the topmost Sort's extended spec — the
+/// order the chain's output stream actually has, hence the exchange's merge
+/// key; it stays untouched for sortless chains.
+PlanRef CloneChainForWorkers(const PlanNode* node, bool allow_sort,
+                             bool* saw_sort, OrderSpec* merge_spec) {
+  auto clone = std::make_shared<PlanNode>(*node);
+  if (IsLeafScan(node->kind)) {
+    clone->morsel_driver = true;
+    clone->emit_provenance = true;
+    return clone;
+  }
+  if (node->kind == OpKind::kSort) {
+    OrderSpec extended = node->sort_spec;
+    extended.Append(ProvenanceElement());
+    clone->sort_spec = extended;
+    if (!*saw_sort) {  // top-down walk: the first Sort seen is the topmost
+      *saw_sort = true;
+      *merge_spec = std::move(extended);
+    }
+  }
+  clone->children = {CloneChainForWorkers(node->children[0].get(), allow_sort,
+                                          saw_sort, merge_spec)};
+  return clone;
+}
+
+}  // namespace
+
+PlanRef Planner::Parallelize(PlanRef plan) const {
+  const bool allow_sort = config_.parallel_merge_exchange;
+  const int workers =
+      std::clamp(config_.parallel_workers, 1, 64);
+  if (workers <= 1) return plan;
+
+  // A maximal chain: `plan` heads one, and the caller (recursing only into
+  // non-chain nodes) guarantees no eligible parent extends it upward.
+  if (IsChain(plan.get(), allow_sort)) {
+    bool saw_sort = false;
+    OrderSpec merge_spec;
+    PlanRef worker_chain =
+        CloneChainForWorkers(plan.get(), allow_sort, &saw_sort, &merge_spec);
+    auto exchange = std::make_shared<PlanNode>();
+    exchange->kind = OpKind::kExchange;
+    exchange->exchange_workers = workers;
+    // Always the order-preserving merge variant: a sortless chain's worker
+    // streams are provenance-monotone (morsels are claimed in ascending
+    // ranges), so merging on provenance alone resequences them into the
+    // serial emission order, keeping parallel execution deterministic and
+    // byte-identical to serial for every consumer above the exchange.
+    exchange->exchange_merge = true;
+    exchange->sort_spec =
+        saw_sort ? merge_spec : OrderSpec({ProvenanceElement()});
+    exchange->props = ExchangeProperties(plan->props, /*merge=*/true);
+    exchange->children = {std::move(worker_chain)};
+    // The new decision site: the chain's order claim crosses the exchange
+    // without a serial re-sort — the §4.2 sort-avoidance argument applied
+    // to parallel recombination.
+    if (!plan->props.order.empty()) {
+      TraceSortDecision("exchange.merge", plan->props.order, *plan,
+                        /*avoided=*/true, nullptr);
+    }
+    return exchange;
+  }
+
+  // Re-sort-above ablation: with the merge exchange disabled, a Sort whose
+  // input chain is parallelized stays serial above the exchange — record
+  // the placement the merge variant would have avoided.
+  if (!allow_sort && plan->kind == OpKind::kSort &&
+      IsChain(plan->children[0].get(), /*allow_sort=*/false)) {
+    TraceSortDecision("exchange.resort", plan->sort_spec,
+                      *plan->children[0], /*avoided=*/false, &plan->sort_spec);
+  }
+
+  // Not a chain head: recurse into children, sharing untouched subtrees.
+  bool changed = false;
+  std::vector<PlanRef> children;
+  children.reserve(plan->children.size());
+  for (const PlanRef& child : plan->children) {
+    PlanRef parallelized = Parallelize(child);
+    changed = changed || parallelized.get() != child.get();
+    children.push_back(std::move(parallelized));
+  }
+  if (!changed) return plan;
+  auto clone = std::make_shared<PlanNode>(*plan);
+  clone->children = std::move(children);
+  return clone;
+}
+
+}  // namespace ordopt

@@ -48,6 +48,8 @@ const char* OpKindName(OpKind kind) {
       return "MergeUnion";
     case OpKind::kTopN:
       return "TopN";
+    case OpKind::kExchange:
+      return "Exchange";
   }
   return "?";
 }
@@ -147,6 +149,14 @@ std::string NodeLabel(const PlanNode& node_ref, const ColumnNamer& namer) {
     case OpKind::kTopN:
       *out += node->sort_spec.ToString(namer) +
               StrFormat(" limit %lld", static_cast<long long>(node->limit));
+      break;
+    case OpKind::kExchange:
+      *out += StrFormat("(%s, %d workers)",
+                        node->exchange_merge ? "merge" : "union",
+                        node->exchange_workers);
+      if (node->exchange_merge && !node->sort_spec.empty()) {
+        *out += " on" + node->sort_spec.ToString(namer);
+      }
       break;
   }
   return label;

@@ -33,6 +33,8 @@ enum class OpKind {
   kUnionAll,   ///< concatenation of branch streams (positional columns)
   kMergeUnion, ///< order-preserving merge of sorted branch streams
   kTopN,       ///< bounded-heap sort: ORDER BY + LIMIT in one operator
+  kExchange,   ///< morsel-parallel workers each run the child subtree;
+               ///< merge variant losslessly recombines ordered streams
 };
 
 const char* OpKindName(OpKind kind);
@@ -91,6 +93,22 @@ struct PlanNode {
 
   // -- limit ------------------------------------------------------------------
   int64_t limit = -1;
+
+  // -- parallel (Parallelize post-pass; see optimizer/parallelize.cc) --------
+  /// kExchange: worker count and whether the exchange is the
+  /// order-preserving merge variant (merging per-worker streams on
+  /// `sort_spec`, which always ends in the hidden provenance column) or the
+  /// unordered union variant (sort_spec empty, no order claim).
+  int exchange_workers = 0;
+  bool exchange_merge = false;
+  /// Scans: true when this scan is the chain's morsel driver inside an
+  /// exchange worker — it pulls rid/ordinal ranges from the shared
+  /// MorselScheduler instead of scanning its full range.
+  bool morsel_driver = false;
+  /// Scans: append the hidden provenance column (the row's serial emission
+  /// ordinal) so downstream sorts and the exchange merge can reproduce the
+  /// serial row sequence byte-identically.
+  bool emit_provenance = false;
 
   // -- derived --------------------------------------------------------------
   /// Unified property bundle: columns, order, eq/FD context, keys,

@@ -99,6 +99,22 @@ struct OptimizerConfig {
   /// registry must outlive every query run under this config; null (the
   /// default) records nothing and costs nothing.
   MetricsRegistry* metrics = nullptr;
+  /// Morsel-parallel execution (src/exec/parallel/): number of worker
+  /// threads per exchange. 1 (the default) plans and executes exactly as
+  /// before — the Parallelize post-pass never runs and plan fingerprints
+  /// are byte-identical. >1 wraps each parallelizable scan chain of the
+  /// chosen plan in an Exchange operator whose workers split the leaf scan
+  /// into morsels. Clamped to [1, 64].
+  int parallel_workers = 1;
+  /// When true (default), a chain that contains a Sort is parallelized
+  /// through the *order-preserving merge* exchange: workers sort their
+  /// partitions and the exchange merges the sorted streams, so the Sort's
+  /// order claim survives the exchange and no serial re-sort is needed
+  /// (sort.avoided at site exchange.merge). When false, Sorts are excluded
+  /// from chains and a serial Sort is re-placed above the unordered
+  /// exchange (sort.placed at site exchange.resort) — the ablation that
+  /// shows what order-propagation through exchanges buys.
+  bool parallel_merge_exchange = true;
   /// Testing-only seam for the plan-space oracle's mutation check: when
   /// non-null, replaces the planner's order-satisfaction test (Test Order /
   /// naive prefix) everywhere it drives decisions — candidate domination,
@@ -172,6 +188,14 @@ class Planner {
 
   // --- planner.cc: orchestration ------------------------------------------
   Result<std::vector<PlanRef>> PlanSelectBox(const QgmBox* box);
+
+  // --- parallelize.cc ------------------------------------------------------
+  // Post-pass over the chosen plan (BuildPlan only — never the enumeration
+  // oracle): wraps every maximal parallelizable scan chain in an Exchange,
+  // choosing the order-preserving merge variant when the chain's top claims
+  // an order and tracing the sort decision at the new site. Identity when
+  // config_.parallel_workers <= 1.
+  PlanRef Parallelize(PlanRef plan) const;
 
   // --- finishing.cc --------------------------------------------------------
   Result<std::vector<PlanRef>> PlanGroupByBox(const QgmBox* box);

@@ -236,7 +236,7 @@ TEST_P(QueryFuzz, EngineMatchesReference) {
   ReferenceEvaluator ref(*bound.value());
   auto expected = Canonicalize(ref.Evaluate().rows);
 
-  OptimizerConfig configs[5];
+  OptimizerConfig configs[6];
   configs[1].enable_order_optimization = false;
   configs[2].enable_hash_join = false;
   configs[2].enable_hash_grouping = false;
@@ -245,10 +245,13 @@ TEST_P(QueryFuzz, EngineMatchesReference) {
   // Row shim: batch size 1 drives the same operators row-at-a-time. Its raw
   // row stream (order included) must be identical to the batched run's.
   configs[4].batch_rows = 1;
-  const char* labels[5] = {"enabled", "disabled", "no-hash", "spill",
-                           "batch1"};
+  // Morsel-parallel: 4 exchange workers. The order-preserving merge must
+  // reproduce the serial row *sequence* exactly (see test_parallel_exec).
+  configs[5].parallel_workers = 4;
+  const char* labels[6] = {"enabled", "disabled", "no-hash", "spill",
+                           "batch1", "parallel4"};
   std::vector<Row> batched_rows;
-  for (int i = 0; i < 5; ++i) {
+  for (int i = 0; i < 6; ++i) {
     QueryEngine engine(db(), configs[i]);
     auto run = engine.Run(sql);
     ASSERT_TRUE(run.ok()) << labels[i] << ": " << run.status().ToString();
@@ -256,9 +259,10 @@ TEST_P(QueryFuzz, EngineMatchesReference) {
         << labels[i] << " plan:\n"
         << run.value().plan_text;
     if (i == 0) batched_rows = run.value().rows;
-    if (i == 4) {
+    if (i == 4 || i == 5) {
       EXPECT_EQ(run.value().rows, batched_rows)
-          << "batch size 1 diverged row-for-row from the batched run; plan:\n"
+          << labels[i]
+          << " diverged row-for-row from the batched run; plan:\n"
           << run.value().plan_text;
     }
   }
@@ -313,6 +317,33 @@ TEST_P(QueryFuzzUnderFault, CleanErrorOrCorrectRows) {
         EXPECT_EQ(Canonicalize(run.value().rows), expected)
             << site << ":" << fire_after
             << " succeeded with wrong rows; plan:\n"
+            << run.value().plan_text;
+      } else {
+        EXPECT_NE(run.status().message().find(site), std::string::npos)
+            << site << ":" << fire_after
+            << " failed without naming the site: "
+            << run.status().ToString();
+      }
+      FaultInjector::Global().DisarmAll();
+    }
+  }
+  // The parallel fault sites are only on the executed path when exchange
+  // workers run; repeat the sweep at 4 workers for them (plus the
+  // operator probe, which parallel plans still pull through the root).
+  OptimizerConfig parallel_config = config;
+  parallel_config.parallel_workers = 4;
+  const char* kParallelSites[] = {"exec.parallel.morsel",
+                                  "exec.exchange.merge",
+                                  "exec.operator.next"};
+  for (const char* site : kParallelSites) {
+    for (int64_t fire_after : fire_afters) {
+      FaultInjector::Global().Arm(site, fire_after, /*fire_count=*/-1);
+      QueryEngine engine(&db, parallel_config);
+      auto run = engine.Run(sql);
+      if (run.ok()) {
+        EXPECT_EQ(Canonicalize(run.value().rows), expected)
+            << site << ":" << fire_after
+            << " succeeded with wrong rows under parallel execution; plan:\n"
             << run.value().plan_text;
       } else {
         EXPECT_NE(run.status().message().find(site), std::string::npos)
